@@ -1,0 +1,59 @@
+"""Benchmark E13 — ablations: Stage-2 voting rule and engine vectorization.
+
+In addition to regenerating the E13 table, this module benchmarks the two
+delivery-engine implementations head-to-head with pytest-benchmark so the
+vectorization speedup (the design decision recorded in DESIGN.md) is measured
+by the benchmark harness itself rather than by ad-hoc timers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.experiments import exp_ablation_sampling
+from repro.network.push_model import UniformPushModel
+from repro.noise.families import uniform_noise_matrix
+
+_NUM_NODES = 300
+_NUM_ROUNDS = 10
+
+
+def _make_workload():
+    rng = np.random.default_rng(0)
+    noise = uniform_noise_matrix(3, 0.3)
+    engine = UniformPushModel(_NUM_NODES, noise, rng)
+    senders = rng.integers(1, 4, size=_NUM_NODES)
+    return engine, senders
+
+
+def test_bench_exp_ablation(benchmark):
+    """Regenerate the E13 table (voting-rule and engine ablations)."""
+    table = run_experiment_benchmark(
+        benchmark,
+        exp_ablation_sampling,
+        exp_ablation_sampling.AblationConfig.quick(),
+    )
+    voting_rows = table.filtered(ablation="stage2 voting rule")
+    assert len(voting_rows) == 3
+
+
+def test_bench_push_engine_vectorized(benchmark):
+    """Throughput of the vectorized push engine on a fixed phase workload."""
+    engine, senders = _make_workload()
+    result = benchmark(engine.run_phase, senders, _NUM_ROUNDS)
+    assert result.total_messages() == _NUM_NODES * _NUM_ROUNDS
+
+
+def test_bench_push_engine_naive(benchmark):
+    """Throughput of the naive per-message reference engine (same workload)."""
+    engine, senders = _make_workload()
+    result = benchmark.pedantic(
+        engine.run_phase_naive,
+        args=(senders, _NUM_ROUNDS),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert result.total_messages() == _NUM_NODES * _NUM_ROUNDS

@@ -1,0 +1,14 @@
+"""Benchmark E5 — Proposition 1: sample-majority amplification vs. the bound."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.experiments import exp_amplification
+
+
+def test_bench_exp_amplification(benchmark):
+    """Regenerate the E5 table (measured gap vs. the Proposition 1 bound)."""
+    table = run_experiment_benchmark(
+        benchmark, exp_amplification, exp_amplification.AmplificationConfig.quick()
+    )
+    assert all(record["bound_holds"] for record in table)

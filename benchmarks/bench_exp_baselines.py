@@ -1,0 +1,17 @@
+"""Benchmark E12 — protocol vs. elementary dynamics with and without noise."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.experiments import exp_baselines
+
+
+def test_bench_exp_baselines(benchmark):
+    """Regenerate the E12 comparison table."""
+    table = run_experiment_benchmark(
+        benchmark, exp_baselines, exp_baselines.BaselineComparisonConfig.quick()
+    )
+    protocol_noisy = table.filtered(
+        algorithm="two-stage protocol (this paper)", channel="noisy"
+    )[0]
+    assert protocol_noisy["success_rate"] >= 0.5

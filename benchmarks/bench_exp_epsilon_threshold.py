@@ -1,0 +1,18 @@
+"""Benchmark E9 — Appendix D: success across the eps ~ n^(-1/4) threshold."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.experiments import exp_epsilon_threshold
+
+
+def test_bench_exp_epsilon_threshold(benchmark):
+    """Regenerate the E9 table (success rate vs. eps / n^(-1/4))."""
+    table = run_experiment_benchmark(
+        benchmark,
+        exp_epsilon_threshold,
+        exp_epsilon_threshold.EpsilonThresholdConfig.quick(),
+    )
+    above_threshold = [r for r in table if r["eps_over_threshold"] >= 2.0]
+    assert above_threshold
+    assert all(record["success_rate"] >= 0.5 for record in above_threshold)

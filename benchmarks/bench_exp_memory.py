@@ -1,0 +1,14 @@
+"""Benchmark E11 — memory: per-node bits vs. the O(log log n + log 1/eps) bound."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.experiments import exp_memory
+
+
+def test_bench_exp_memory(benchmark):
+    """Regenerate the E11 table (measured bits vs. the asymptotic bound)."""
+    table = run_experiment_benchmark(
+        benchmark, exp_memory, exp_memory.MemoryConfig.quick()
+    )
+    assert max(table.column("measured_over_bound")) < 10.0

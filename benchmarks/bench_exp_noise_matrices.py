@@ -1,0 +1,18 @@
+"""Benchmark E7 — Section 4: (eps, delta)-majority preservation of example matrices."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.experiments import exp_noise_matrices
+
+
+def test_bench_exp_noise_matrices(benchmark):
+    """Regenerate the E7 table (LP verdicts for the Section-4 examples)."""
+    table = run_experiment_benchmark(
+        benchmark, exp_noise_matrices, exp_noise_matrices.NoiseMatrixConfig.quick()
+    )
+    counterexample_rows = [
+        record for record in table if record["matrix"].startswith("diag-dominant")
+    ]
+    assert counterexample_rows
+    assert not any(record["majority_preserving"] for record in counterexample_rows)

@@ -1,0 +1,14 @@
+"""Benchmark E10 — Lemma 17: sample-size parity and monotonicity."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.experiments import exp_parity
+
+
+def test_bench_exp_parity(benchmark):
+    """Regenerate the E10 table (Pr[maj] for l, l+1, l+2)."""
+    table = run_experiment_benchmark(
+        benchmark, exp_parity, exp_parity.ParityConfig.quick()
+    )
+    assert all(record["lemma_holds"] for record in table)

@@ -1,0 +1,22 @@
+"""Benchmark E2 — Theorem 2: plurality consensus vs. support size and bias."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.experiments import exp_plurality_consensus
+
+
+def test_bench_exp_plurality_consensus(benchmark):
+    """Regenerate the E2 table (success vs. |S| and initial bias)."""
+    table = run_experiment_benchmark(
+        benchmark,
+        exp_plurality_consensus,
+        exp_plurality_consensus.PluralityConsensusConfig.quick(),
+    )
+    well_seeded = [
+        record
+        for record in table
+        if record["support_meets_theorem"] and record["bias_over_required"] >= 2.0
+    ]
+    assert well_seeded
+    assert all(record["success_rate"] >= 0.5 for record in well_seeded)

@@ -1,0 +1,15 @@
+"""Benchmark E8 — Claim 1 / Lemma 2: process equivalence O vs B vs P."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.experiments import exp_poissonization
+
+
+def test_bench_exp_poissonization(benchmark):
+    """Regenerate the E8 table (TV distances and dynamic agreement)."""
+    table = run_experiment_benchmark(
+        benchmark, exp_poissonization, exp_poissonization.PoissonizationConfig.quick()
+    )
+    static_rows = table.filtered(check="static")
+    assert all(record["tv_total_counts"] < 0.15 for record in static_rows)

@@ -1,0 +1,14 @@
+"""Benchmark E1 — Theorem 1: rumor-spreading scaling (rounds vs. log n / eps^2)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.experiments import exp_rumor_scaling
+
+
+def test_bench_exp_rumor_scaling(benchmark):
+    """Regenerate the E1 table (success rate and round count vs. n, eps)."""
+    table = run_experiment_benchmark(
+        benchmark, exp_rumor_scaling, exp_rumor_scaling.RumorScalingConfig.quick()
+    )
+    assert all(record["success_rate"] >= 0.5 for record in table)

@@ -1,0 +1,23 @@
+"""Benchmarks E3/E4 — Stage 1: end-of-stage bias and per-phase growth."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.experiments import exp_stage1_bias, exp_stage1_growth
+
+
+def test_bench_exp_stage1_bias(benchmark):
+    """Regenerate the E3 table (opinionated fraction and bias after Stage 1)."""
+    table = run_experiment_benchmark(
+        benchmark, exp_stage1_bias, exp_stage1_bias.Stage1BiasConfig.quick()
+    )
+    assert all(record["mean_opinionated_fraction"] > 0.99 for record in table)
+
+
+def test_bench_exp_stage1_growth(benchmark):
+    """Regenerate the E4 table (per-phase growth of the opinionated set)."""
+    table = run_experiment_benchmark(
+        benchmark, exp_stage1_growth, exp_stage1_growth.Stage1GrowthConfig.quick()
+    )
+    fractions = table.column("mean_opinionated_fraction")
+    assert fractions[-1] > 0.95

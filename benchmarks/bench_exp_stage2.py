@@ -1,0 +1,16 @@
+"""Benchmark E6 — Lemma 12: Stage-2 bias amplification trajectory."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.experiments import exp_stage2_trajectory
+
+
+def test_bench_exp_stage2_trajectory(benchmark):
+    """Regenerate the E6 table (per-phase bias during Stage 2)."""
+    table = run_experiment_benchmark(
+        benchmark,
+        exp_stage2_trajectory,
+        exp_stage2_trajectory.Stage2TrajectoryConfig.quick(),
+    )
+    assert table.records[-1]["mean_bias_after"] > 0.9

@@ -1,0 +1,17 @@
+"""Benchmark E14 — extension: the protocol on non-complete topologies."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_benchmark
+from repro.experiments import exp_topologies
+
+
+def test_bench_exp_topologies(benchmark):
+    """Regenerate the E14 table (success vs. topology density)."""
+    table = run_experiment_benchmark(
+        benchmark, exp_topologies, exp_topologies.TopologyConfig.quick()
+    )
+    complete_rows = [
+        record for record in table if record["topology"].startswith("complete")
+    ]
+    assert complete_rows[0]["success_rate"] >= 0.5

@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the core simulation primitives.
+
+These are not tied to a specific paper statement; they track the raw cost of
+the building blocks (noise application, a full protocol run, the LP checker)
+so that performance regressions in the library are visible in the benchmark
+suite alongside the per-experiment tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rumor import RumorSpreading
+from repro.core.state import PopulationState
+from repro.network.mailbox import ReceivedMessages
+from repro.noise.families import uniform_noise_matrix
+from repro.noise.majority_preserving import check_majority_preserving
+
+
+def test_bench_noise_application(benchmark):
+    """Per-message noise application on a large batch of opinions."""
+    rng = np.random.default_rng(0)
+    noise = uniform_noise_matrix(5, 0.2)
+    opinions = rng.integers(1, 6, size=100_000)
+    received = benchmark(noise.apply_to_opinions, opinions, rng)
+    assert received.shape == opinions.shape
+
+
+def test_bench_majority_votes(benchmark):
+    """Row-wise sample-majority voting over a large received-count matrix."""
+    rng = np.random.default_rng(1)
+    counts = rng.integers(0, 20, size=(20_000, 4))
+    received = ReceivedMessages(counts)
+    votes = benchmark(received.majority_votes, rng, sample_size=15)
+    assert votes.shape == (20_000,)
+
+
+def test_bench_full_rumor_run(benchmark):
+    """A complete two-stage rumor-spreading run at n = 2000, k = 3."""
+    noise = uniform_noise_matrix(3, 0.3)
+
+    def run_once():
+        return RumorSpreading(
+            2000, 3, noise, 0.3, correct_opinion=1, random_state=0
+        ).run()
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1, warmup_rounds=0)
+    assert result.success
+
+
+def test_bench_mp_lp_checker(benchmark):
+    """The Definition-2 LP verification for a 6-opinion matrix."""
+    noise = uniform_noise_matrix(6, 0.15)
+    report = benchmark(check_majority_preserving, noise, 0.15, 0.1)
+    assert report.is_majority_preserving

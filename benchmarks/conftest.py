@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment benchmark runs the experiment's ``quick()`` configuration
+exactly once under pytest-benchmark (so the wall-clock cost of regenerating
+the table is itself recorded) and then prints the reproduced table, which is
+the artifact recorded in EXPERIMENTS.md.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the reproduced tables inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment_benchmark(benchmark, experiment_module, config, random_state=0):
+    """Benchmark one experiment run and print the resulting table."""
+    table = benchmark.pedantic(
+        experiment_module.run,
+        args=(config,),
+        kwargs={"random_state": random_state},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(table.to_text())
+    return table

@@ -1,0 +1,107 @@
+"""repro — Noisy Rumor Spreading and Plurality Consensus.
+
+A reproduction of Fraigniaud & Natale, *Noisy Rumor Spreading and Plurality
+Consensus*, PODC 2016 (arXiv:1507.05796).
+
+The package provides:
+
+* the noisy uniform push model and its analytical surrogates
+  (:mod:`repro.network`),
+* noise matrices and the (epsilon, delta)-majority-preserving theory
+  (:mod:`repro.noise`),
+* the paper's two-stage rumor-spreading / plurality-consensus protocol
+  (:mod:`repro.core`),
+* baseline opinion dynamics from the related literature
+  (:mod:`repro.dynamics`),
+* the analytical toolbox backing the proofs (:mod:`repro.analysis`),
+* the experiment harness that regenerates every quantitative statement of
+  the paper (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import RumorSpreading, uniform_noise_matrix
+>>> noise = uniform_noise_matrix(num_opinions=4, epsilon=0.3)
+>>> result = RumorSpreading(
+...     num_nodes=2000, num_opinions=4, noise=noise, epsilon=0.3,
+...     correct_opinion=2, random_state=0,
+... ).run()
+>>> result.success
+True
+"""
+
+from repro.core.memory import memory_bound_bits, protocol_memory_usage
+from repro.core.plurality import PluralityConsensus, PluralityInstance
+from repro.core.protocol import ProtocolResult, TwoStageProtocol, make_engine
+from repro.core.rumor import RumorSpreading, RumorSpreadingInstance
+from repro.core.schedule import ProtocolSchedule, Stage1Schedule, Stage2Schedule
+from repro.core.state import PopulationState
+from repro.network.balls_bins import BallsIntoBinsProcess
+from repro.network.mailbox import ReceivedMessages
+from repro.network.poisson_model import PoissonizedProcess
+from repro.network.pull_model import UniformPullModel
+from repro.network.push_model import UniformPushModel
+from repro.network.topology import GraphPushModel, standard_topology
+from repro.noise.estimation import (
+    calibrate_epsilon,
+    collect_channel_observations,
+    estimate_noise_matrix,
+    estimation_error,
+)
+from repro.noise.families import (
+    binary_flip_matrix,
+    cyclic_shift_matrix,
+    diagonally_dominant_counterexample,
+    identity_matrix,
+    near_uniform_matrix,
+    reset_matrix,
+    uniform_noise_matrix,
+)
+from repro.noise.majority_preserving import (
+    MajorityPreservationReport,
+    check_majority_preserving,
+    epsilon_for_delta,
+    sufficient_condition_epsilon,
+)
+from repro.noise.matrix import NoiseMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BallsIntoBinsProcess",
+    "GraphPushModel",
+    "MajorityPreservationReport",
+    "NoiseMatrix",
+    "PluralityConsensus",
+    "PluralityInstance",
+    "PoissonizedProcess",
+    "PopulationState",
+    "ProtocolResult",
+    "ProtocolSchedule",
+    "ReceivedMessages",
+    "RumorSpreading",
+    "RumorSpreadingInstance",
+    "Stage1Schedule",
+    "Stage2Schedule",
+    "TwoStageProtocol",
+    "UniformPullModel",
+    "UniformPushModel",
+    "__version__",
+    "binary_flip_matrix",
+    "calibrate_epsilon",
+    "check_majority_preserving",
+    "collect_channel_observations",
+    "cyclic_shift_matrix",
+    "diagonally_dominant_counterexample",
+    "epsilon_for_delta",
+    "estimate_noise_matrix",
+    "estimation_error",
+    "identity_matrix",
+    "make_engine",
+    "memory_bound_bits",
+    "near_uniform_matrix",
+    "protocol_memory_usage",
+    "reset_matrix",
+    "standard_topology",
+    "sufficient_condition_epsilon",
+    "uniform_noise_matrix",
+]

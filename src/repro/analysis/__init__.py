@@ -1,0 +1,79 @@
+"""The analytical toolbox behind the paper's proofs.
+
+This subpackage collects the closed-form quantities and statistical
+diagnostics that the paper's analysis relies on, so that experiments can
+compare measured behaviour against the proved bounds:
+
+* :mod:`repro.analysis.theory` — the function ``g(delta, l)``, the
+  Proposition-1 amplification lower bound, the central-binomial-coefficient
+  bounds of Lemma 13 and the binomial/beta identity of Lemma 8;
+* :mod:`repro.analysis.bias` — bias and plurality statistics on opinion
+  distributions;
+* :mod:`repro.analysis.concentration` — Chernoff/Hoeffding bounds including
+  the three-point-variable bound of Lemma 16;
+* :mod:`repro.analysis.amplification` — exact and Monte-Carlo estimates of
+  ``Pr[maj_l = m] - Pr[maj_l = i]`` for a given opinion distribution and
+  noise matrix (the quantity bounded by Proposition 1);
+* :mod:`repro.analysis.poisson` — statistical distances between the three
+  delivery processes O, B and P (Claim 1 and Lemma 2/3);
+* :mod:`repro.analysis.convergence` — success-rate estimation and scaling
+  fits of measured convergence times against ``log n / eps^2``.
+"""
+
+from repro.analysis.amplification import (
+    amplification_lower_bound,
+    binary_majority_gap_exact,
+    majority_gap_monte_carlo,
+    majority_probabilities_exact,
+)
+from repro.analysis.bias import (
+    bias_toward,
+    distribution_after_noise,
+    is_delta_biased,
+    plurality_of,
+)
+from repro.analysis.concentration import (
+    chernoff_upper_tail,
+    hoeffding_bound,
+    three_point_chernoff_bound,
+)
+from repro.analysis.convergence import (
+    estimate_success_probability,
+    fit_round_complexity,
+    wilson_interval,
+)
+from repro.analysis.poisson import (
+    poisson_transfer_factor,
+    process_count_distribution,
+    total_variation_distance,
+)
+from repro.analysis.theory import (
+    binomial_beta_survival,
+    central_binomial_bounds,
+    g_function,
+    stage1_growth_envelope,
+)
+
+__all__ = [
+    "amplification_lower_bound",
+    "bias_toward",
+    "binary_majority_gap_exact",
+    "binomial_beta_survival",
+    "central_binomial_bounds",
+    "chernoff_upper_tail",
+    "distribution_after_noise",
+    "estimate_success_probability",
+    "fit_round_complexity",
+    "g_function",
+    "hoeffding_bound",
+    "is_delta_biased",
+    "majority_gap_monte_carlo",
+    "majority_probabilities_exact",
+    "plurality_of",
+    "poisson_transfer_factor",
+    "process_count_distribution",
+    "stage1_growth_envelope",
+    "three_point_chernoff_bound",
+    "total_variation_distance",
+    "wilson_interval",
+]

@@ -1,0 +1,130 @@
+"""Bias and plurality statistics on opinion distributions.
+
+These helpers operate on plain probability vectors (indexed by opinion
+``1..k`` at positions ``0..k-1``) rather than on
+:class:`~repro.core.state.PopulationState`, so the analytical experiments can
+reason about distributions directly without materializing populations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.noise.matrix import NoiseMatrix
+
+__all__ = [
+    "bias_toward",
+    "distribution_after_noise",
+    "is_delta_biased",
+    "make_biased_distribution",
+    "plurality_of",
+]
+
+
+def _as_distribution(distribution: Sequence[float]) -> np.ndarray:
+    array = np.asarray(distribution, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise ValueError("distribution must be a non-empty vector")
+    if np.any(array < -1e-12):
+        raise ValueError("distribution entries must be non-negative")
+    if array.sum() > 1.0 + 1e-9:
+        raise ValueError("distribution entries must sum to at most 1")
+    return np.clip(array, 0.0, None)
+
+
+def bias_toward(distribution: Sequence[float], opinion: int) -> float:
+    """Definition 1's bias: ``min_{i != opinion} (c_opinion - c_i)``.
+
+    For a single-opinion distribution the bias is ``c_1`` by convention.
+    """
+    array = _as_distribution(distribution)
+    if not (1 <= opinion <= array.size):
+        raise ValueError(f"opinion must be in [1, {array.size}], got {opinion}")
+    if array.size == 1:
+        return float(array[0])
+    rivals = np.delete(array, opinion - 1)
+    return float(array[opinion - 1] - rivals.max())
+
+
+def is_delta_biased(distribution: Sequence[float], opinion: int, delta: float) -> bool:
+    """``True`` iff the distribution is delta-biased toward ``opinion``."""
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta}")
+    return bias_toward(distribution, opinion) >= delta
+
+
+def plurality_of(distribution: Sequence[float]) -> int:
+    """The opinion with the largest share (smallest label on ties); 0 if empty."""
+    array = _as_distribution(distribution)
+    if array.sum() <= 0:
+        return 0
+    return int(np.argmax(array)) + 1
+
+
+def distribution_after_noise(
+    distribution: Sequence[float], noise: NoiseMatrix
+) -> np.ndarray:
+    """The expected received-opinion distribution ``c . P`` (paper Eq. (2))."""
+    array = _as_distribution(distribution)
+    if array.size != noise.num_opinions:
+        raise ValueError(
+            f"distribution has {array.size} opinions but the noise matrix has "
+            f"{noise.num_opinions}"
+        )
+    return noise.propagate(array)
+
+
+def make_biased_distribution(
+    num_opinions: int,
+    delta: float,
+    majority_opinion: int = 1,
+    *,
+    style: str = "uniform_rest",
+) -> np.ndarray:
+    """Construct a canonical delta-biased distribution over ``num_opinions``.
+
+    Two shapes are provided:
+
+    * ``"uniform_rest"`` — the majority opinion gets ``1/k + delta*(k-1)/k``
+      and every rival gets ``1/k - delta/k``, so every rival trails the
+      majority by exactly ``delta``;
+    * ``"two_block"`` — only the majority opinion and a single rival are
+      populated (``(1+delta)/2`` vs ``(1-delta)/2``), the hardest two-opinion
+      profile embedded in ``k`` opinions.
+
+    These are the initial conditions used throughout the amplification and
+    plurality experiments.
+    """
+    if num_opinions < 1:
+        raise ValueError("num_opinions must be >= 1")
+    if not (0.0 <= delta <= 1.0):
+        raise ValueError(f"delta must lie in [0, 1], got {delta}")
+    if not (1 <= majority_opinion <= num_opinions):
+        raise ValueError(
+            f"majority_opinion must be in [1, {num_opinions}], got {majority_opinion}"
+        )
+    if num_opinions == 1:
+        return np.ones(1)
+    if style == "uniform_rest":
+        rival_share = 1.0 / num_opinions - delta / num_opinions
+        if rival_share < 0:
+            raise ValueError(
+                f"delta={delta} is too large for the uniform_rest shape with "
+                f"k={num_opinions}"
+            )
+        distribution = np.full(num_opinions, rival_share)
+        distribution[majority_opinion - 1] = (
+            1.0 / num_opinions + delta * (num_opinions - 1) / num_opinions
+        )
+    elif style == "two_block":
+        distribution = np.zeros(num_opinions)
+        rival = 1 if majority_opinion != 1 else 2
+        distribution[majority_opinion - 1] = (1.0 + delta) / 2.0
+        distribution[rival - 1] = (1.0 - delta) / 2.0
+    else:
+        raise ValueError(
+            f"style must be 'uniform_rest' or 'two_block', got {style!r}"
+        )
+    return distribution

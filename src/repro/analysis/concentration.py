@@ -1,0 +1,90 @@
+"""Concentration inequalities used in the analysis.
+
+The paper's probabilistic machinery rests on standard Chernoff/Hoeffding
+bounds plus the specialized three-point-variable bound of Lemma 16, which is
+what turns the per-node amplification gap of Proposition 1 into a
+whole-population statement.  The functions here compute the *bound values*
+(not simulations) so that experiments can juxtapose measured tail frequencies
+with the guaranteed exponents.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.utils.validation import require_fraction, require_positive_int
+
+__all__ = [
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "hoeffding_bound",
+    "three_point_chernoff_bound",
+]
+
+
+def chernoff_upper_tail(mean: float, deviation: float) -> float:
+    """Multiplicative Chernoff bound ``Pr[X >= (1+d) mu] <= exp(-d^2 mu / 3)``.
+
+    Valid for sums of independent ``[0, 1]``-valued random variables with mean
+    ``mu`` and ``0 < d <= 1``.
+    """
+    if mean < 0:
+        raise ValueError(f"mean must be non-negative, got {mean}")
+    if not (0 < deviation <= 1):
+        raise ValueError(f"deviation must lie in (0, 1], got {deviation}")
+    return math.exp(-deviation * deviation * mean / 3.0)
+
+
+def chernoff_lower_tail(mean: float, deviation: float) -> float:
+    """Multiplicative Chernoff bound ``Pr[X <= (1-d) mu] <= exp(-d^2 mu / 2)``."""
+    if mean < 0:
+        raise ValueError(f"mean must be non-negative, got {mean}")
+    if not (0 < deviation <= 1):
+        raise ValueError(f"deviation must lie in (0, 1], got {deviation}")
+    return math.exp(-deviation * deviation * mean / 2.0)
+
+
+def hoeffding_bound(num_samples: int, deviation: float) -> float:
+    """Hoeffding's inequality ``Pr[|X/n - E| >= t] <= 2 exp(-2 n t^2)``."""
+    num_samples = require_positive_int(num_samples, "num_samples")
+    if deviation <= 0:
+        raise ValueError(f"deviation must be positive, got {deviation}")
+    return min(1.0, 2.0 * math.exp(-2.0 * num_samples * deviation * deviation))
+
+
+def three_point_chernoff_bound(
+    num_variables: int,
+    probability_plus: float,
+    probability_zero: float,
+    probability_minus: float,
+    theta: float,
+) -> Tuple[float, float]:
+    """Lemma 16's bound for i.i.d. variables taking values in ``{-1, 0, +1}``.
+
+    For ``X_t`` equal to ``+1`` with probability ``p``, ``0`` with probability
+    ``r`` and ``-1`` with probability ``q`` (``p + r + q = 1``), Lemma 16
+    states::
+
+        Pr[ sum X_t <= (1 - theta) E[sum X_t] - theta n ]
+            <= exp( -theta^2 / 4 * (E[sum X_t] + n) ).
+
+    Returns ``(threshold, bound)``: the deviation threshold appearing on the
+    left-hand side and the probability bound on the right-hand side.  The
+    tests check the bound empirically by direct simulation.
+    """
+    num_variables = require_positive_int(num_variables, "num_variables")
+    probability_plus = require_fraction(probability_plus, "probability_plus")
+    probability_zero = require_fraction(probability_zero, "probability_zero")
+    probability_minus = require_fraction(probability_minus, "probability_minus")
+    total = probability_plus + probability_zero + probability_minus
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(
+            f"the three probabilities must sum to 1, got {total!r}"
+        )
+    if not (0 < theta < 1):
+        raise ValueError(f"theta must lie in (0, 1), got {theta}")
+    expected_sum = num_variables * (probability_plus - probability_minus)
+    threshold = (1.0 - theta) * expected_sum - theta * num_variables
+    bound = math.exp(-theta * theta / 4.0 * (expected_sum + num_variables))
+    return threshold, min(1.0, bound)

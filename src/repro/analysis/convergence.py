@@ -1,0 +1,117 @@
+"""Success-rate estimation and running-time scaling fits.
+
+Theorems 1 and 2 are "w.h.p., within ``O(log n / eps^2)`` rounds" statements.
+The experiment harness turns them into two measurable quantities:
+
+* the empirical success probability over repeated independent trials (with a
+  Wilson confidence interval, so small trial counts are reported honestly);
+* the scaling of the measured number of rounds against the theoretical
+  ``log(n) / eps^2`` clock, summarized by a least-squares proportionality
+  constant and the residual quality of the fit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "wilson_interval",
+    "estimate_success_probability",
+    "fit_round_complexity",
+    "RoundComplexityFit",
+]
+
+
+def wilson_interval(
+    successes: int, trials: int, *, confidence_z: float = 1.96
+) -> Tuple[float, float]:
+    """The Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not (0 <= successes <= trials):
+        raise ValueError(
+            f"successes must lie in [0, {trials}], got {successes}"
+        )
+    z = confidence_z
+    phat = successes / trials
+    denominator = 1.0 + z * z / trials
+    center = (phat + z * z / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+        / denominator
+    )
+    return max(0.0, center - margin), min(1.0, center + margin)
+
+
+def estimate_success_probability(
+    outcomes: Sequence[bool], *, confidence_z: float = 1.96
+) -> Tuple[float, Tuple[float, float]]:
+    """Empirical success probability and its Wilson interval."""
+    outcomes = [bool(outcome) for outcome in outcomes]
+    if not outcomes:
+        raise ValueError("at least one outcome is required")
+    successes = sum(outcomes)
+    trials = len(outcomes)
+    return successes / trials, wilson_interval(
+        successes, trials, confidence_z=confidence_z
+    )
+
+
+@dataclass(frozen=True)
+class RoundComplexityFit:
+    """Result of fitting measured rounds against the theoretical clock.
+
+    Attributes
+    ----------
+    constant:
+        The least-squares proportionality constant ``C`` in
+        ``rounds ~ C * log(n) / eps^2``.
+    relative_residual:
+        Root-mean-square relative deviation of the measurements from the fit;
+        small values mean the measured runtime scales like the theory says.
+    predictions:
+        The fitted values ``C * clock`` for each input point.
+    """
+
+    constant: float
+    relative_residual: float
+    predictions: np.ndarray
+
+
+def fit_round_complexity(
+    num_nodes: Sequence[int],
+    epsilons: Sequence[float],
+    measured_rounds: Sequence[float],
+) -> RoundComplexityFit:
+    """Least-squares fit of measured rounds to ``C * log2(n) / eps^2``.
+
+    All three sequences must have the same length; each position describes
+    one experimental configuration and its measured running time (typically a
+    mean over repeated trials).
+    """
+    nodes = np.asarray(num_nodes, dtype=float)
+    eps = np.asarray(epsilons, dtype=float)
+    rounds = np.asarray(measured_rounds, dtype=float)
+    if not (nodes.shape == eps.shape == rounds.shape) or nodes.ndim != 1:
+        raise ValueError("num_nodes, epsilons and measured_rounds must be "
+                         "1-D sequences of equal length")
+    if nodes.size == 0:
+        raise ValueError("at least one measurement is required")
+    if np.any(nodes < 2) or np.any(eps <= 0) or np.any(rounds <= 0):
+        raise ValueError("nodes must be >= 2, epsilons and rounds positive")
+    clock = np.log2(nodes) / (eps * eps)
+    constant = float(np.dot(clock, rounds) / np.dot(clock, clock))
+    predictions = constant * clock
+    relative_residual = float(
+        np.sqrt(np.mean(((rounds - predictions) / rounds) ** 2))
+    )
+    return RoundComplexityFit(
+        constant=constant,
+        relative_residual=relative_residual,
+        predictions=predictions,
+    )

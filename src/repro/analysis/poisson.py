@@ -1,0 +1,125 @@
+"""Statistical comparison of the delivery processes O, B and P.
+
+Claim 1 states that, per phase, the real push model (process O) and the
+balls-into-bins process (B) induce the same distribution of per-node received
+multisets; Lemma 2/3 state that any event holding w.h.p. under the
+Poissonized process (P) also holds w.h.p. under O, at a transfer cost of
+``e^k * sqrt(prod_i h_i)``.
+
+Experiment E8 validates these statements empirically: it repeatedly delivers
+the same phase under each process and compares the *distribution of received
+counts at a fixed node* (all nodes are exchangeable) across processes via the
+total-variation distance.  This module provides the distance computation, the
+empirical count-distribution extraction, and the Lemma-2 transfer factor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.mailbox import ReceivedMessages
+from repro.utils.validation import require_positive_int
+
+__all__ = [
+    "process_count_distribution",
+    "total_variation_distance",
+    "poisson_transfer_factor",
+    "per_opinion_count_histograms",
+]
+
+
+def process_count_distribution(
+    deliveries: Sequence[ReceivedMessages],
+    *,
+    max_count: int = 30,
+) -> np.ndarray:
+    """The empirical joint distribution of per-node *total* received counts.
+
+    Pools every node of every delivery (nodes are exchangeable under all
+    three processes) and histograms the total number of messages received,
+    truncating at ``max_count`` (the final bucket absorbs the tail).
+
+    Returns a probability vector of length ``max_count + 1``.
+    """
+    max_count = require_positive_int(max_count, "max_count")
+    totals = []
+    for delivery in deliveries:
+        totals.append(delivery.totals())
+    pooled = np.concatenate(totals) if totals else np.zeros(0, dtype=np.int64)
+    clipped = np.minimum(pooled, max_count)
+    histogram = np.bincount(clipped, minlength=max_count + 1).astype(float)
+    if histogram.sum() == 0:
+        return histogram
+    return histogram / histogram.sum()
+
+
+def per_opinion_count_histograms(
+    deliveries: Sequence[ReceivedMessages],
+    *,
+    max_count: int = 30,
+) -> np.ndarray:
+    """Per-opinion empirical distributions of per-node received counts.
+
+    Returns an array of shape ``(num_opinions, max_count + 1)`` whose row
+    ``i`` is the distribution of "copies of opinion ``i+1`` received by a
+    node" pooled over all nodes and deliveries.
+    """
+    max_count = require_positive_int(max_count, "max_count")
+    if not deliveries:
+        raise ValueError("at least one delivery is required")
+    num_opinions = deliveries[0].num_opinions
+    histograms = np.zeros((num_opinions, max_count + 1), dtype=float)
+    for delivery in deliveries:
+        if delivery.num_opinions != num_opinions:
+            raise ValueError("deliveries disagree on the number of opinions")
+        clipped = np.minimum(delivery.counts, max_count)
+        for opinion_index in range(num_opinions):
+            histograms[opinion_index] += np.bincount(
+                clipped[:, opinion_index], minlength=max_count + 1
+            )
+    row_sums = histograms.sum(axis=1, keepdims=True)
+    row_sums[row_sums == 0] = 1.0
+    return histograms / row_sums
+
+
+def total_variation_distance(
+    distribution_p: Sequence[float], distribution_q: Sequence[float]
+) -> float:
+    """Total-variation distance ``0.5 * sum_i |p_i - q_i|``.
+
+    The two vectors are padded to a common length with zeros, so empirical
+    histograms with different supports compare cleanly.
+    """
+    p = np.asarray(distribution_p, dtype=float).ravel()
+    q = np.asarray(distribution_q, dtype=float).ravel()
+    if np.any(p < -1e-12) or np.any(q < -1e-12):
+        raise ValueError("distributions must be non-negative")
+    size = max(p.size, q.size)
+    p = np.pad(p, (0, size - p.size))
+    q = np.pad(q, (0, size - q.size))
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def poisson_transfer_factor(noisy_histogram: Sequence[int]) -> float:
+    """Lemma 2's transfer factor ``e^k * sqrt(prod_i h_i)``.
+
+    ``noisy_histogram[i]`` is the number of messages carrying opinion ``i+1``
+    after the noise has acted (the paper's ``h_i``); opinions with zero
+    messages contribute a factor of 1 (they cannot hurt the bound).  The
+    factor tells how much a failure probability proved under process P can
+    blow up when transferred to process O — Lemma 3's condition
+    ``b > k log h / (2 log n)`` is exactly what keeps the product
+    ``factor * n^{-b}`` polynomially small.
+    """
+    histogram = np.asarray(noisy_histogram, dtype=float)
+    if histogram.ndim != 1 or histogram.size == 0:
+        raise ValueError("noisy_histogram must be a non-empty vector")
+    if np.any(histogram < 0):
+        raise ValueError("noisy_histogram entries must be non-negative")
+    num_opinions = histogram.size
+    positive = histogram[histogram > 0]
+    log_factor = num_opinions + 0.5 * float(np.log(positive).sum())
+    return math.exp(log_factor)

@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+The CLI exposes the most common workflows without writing Python:
+
+* ``python -m repro list-experiments`` — show the experiment index (E1–E14);
+* ``python -m repro run-experiment E5 [--full] [--seed 0]`` — regenerate one
+  experiment table and print it;
+* ``python -m repro rumor --nodes 2000 --opinions 4 --epsilon 0.3`` — run one
+  rumor-spreading instance and print the outcome;
+* ``python -m repro plurality --nodes 2000 --opinions 3 --epsilon 0.3
+  --support 400 --bias 0.2`` — run one plurality-consensus instance.
+
+Every command accepts ``--seed`` for reproducibility.  The CLI is a thin
+layer over the public API; anything it prints can also be obtained
+programmatically (see README).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.plurality import PluralityConsensus
+from repro.core.rumor import RumorSpreading
+from repro.experiments import (
+    exp_ablation_sampling,
+    exp_amplification,
+    exp_baselines,
+    exp_epsilon_threshold,
+    exp_memory,
+    exp_noise_matrices,
+    exp_parity,
+    exp_plurality_consensus,
+    exp_poissonization,
+    exp_rumor_scaling,
+    exp_stage1_bias,
+    exp_stage1_growth,
+    exp_stage2_trajectory,
+    exp_topologies,
+)
+from repro.experiments.workloads import plurality_instance_with_bias
+from repro.noise.families import uniform_noise_matrix
+
+__all__ = ["main", "build_parser", "EXPERIMENTS"]
+
+#: Experiment id -> (module, one-line description).
+EXPERIMENTS = {
+    "E1": (exp_rumor_scaling, "Theorem 1: rumor-spreading scaling"),
+    "E2": (exp_plurality_consensus, "Theorem 2: plurality consensus"),
+    "E3": (exp_stage1_bias, "Lemma 4/6/7: Stage-1 bias"),
+    "E4": (exp_stage1_growth, "Claims 2/3: Stage-1 growth"),
+    "E5": (exp_amplification, "Proposition 1: amplification bound"),
+    "E6": (exp_stage2_trajectory, "Lemma 12: Stage-2 trajectory"),
+    "E7": (exp_noise_matrices, "Section 4: majority-preserving matrices"),
+    "E8": (exp_poissonization, "Claim 1 / Lemma 2: process equivalence"),
+    "E9": (exp_epsilon_threshold, "Appendix D: epsilon threshold"),
+    "E10": (exp_parity, "Lemma 17: sample-size parity"),
+    "E11": (exp_memory, "Memory bound"),
+    "E12": (exp_baselines, "Baseline comparison under noise"),
+    "E13": (exp_ablation_sampling, "Ablations: sampling rule, engine"),
+    "E14": (exp_topologies, "Extension: non-complete topologies"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Noisy rumor spreading and plurality consensus (PODC 2016) - reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser(
+        "list-experiments", help="list the reproducible experiments (E1-E14)"
+    )
+
+    run_parser = subparsers.add_parser(
+        "run-experiment", help="regenerate one experiment table"
+    )
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS, key=_experiment_key))
+    run_parser.add_argument(
+        "--full", action="store_true",
+        help="use the full() configuration instead of quick()",
+    )
+    run_parser.add_argument("--seed", type=int, default=0)
+
+    rumor_parser = subparsers.add_parser(
+        "rumor", help="run one noisy rumor-spreading instance"
+    )
+    _add_common_instance_arguments(rumor_parser)
+    rumor_parser.add_argument(
+        "--correct-opinion", type=int, default=1,
+        help="the opinion held by the source (default 1)",
+    )
+
+    plurality_parser = subparsers.add_parser(
+        "plurality", help="run one noisy plurality-consensus instance"
+    )
+    _add_common_instance_arguments(plurality_parser)
+    plurality_parser.add_argument(
+        "--support", type=int, default=None,
+        help="number of initially opinionated nodes (default: all nodes)",
+    )
+    plurality_parser.add_argument(
+        "--bias", type=float, default=0.2,
+        help="plurality bias within the support (default 0.2)",
+    )
+    return parser
+
+
+def _experiment_key(experiment_id: str) -> int:
+    return int(experiment_id[1:])
+
+
+def _add_common_instance_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=2000, help="population size n")
+    parser.add_argument("--opinions", type=int, default=3, help="number of opinions k")
+    parser.add_argument(
+        "--epsilon", type=float, default=0.3,
+        help="noise parameter of the uniform-noise matrix (default 0.3)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _command_list_experiments() -> int:
+    width = max(len(identifier) for identifier in EXPERIMENTS)
+    for identifier in sorted(EXPERIMENTS, key=_experiment_key):
+        _, description = EXPERIMENTS[identifier]
+        print(f"{identifier.ljust(width)}  {description}")
+    return 0
+
+
+def _command_run_experiment(args: argparse.Namespace) -> int:
+    module, _ = EXPERIMENTS[args.experiment]
+    config_cls = None
+    for attribute in vars(module).values():
+        if isinstance(attribute, type) and hasattr(attribute, "quick"):
+            config_cls = attribute
+            break
+    config = None
+    if config_cls is not None:
+        config = config_cls.full() if args.full else config_cls.quick()
+    table = module.run(config, random_state=args.seed)
+    print(table.to_text())
+    return 0
+
+
+def _command_rumor(args: argparse.Namespace) -> int:
+    noise = uniform_noise_matrix(args.opinions, args.epsilon)
+    result = RumorSpreading(
+        args.nodes,
+        args.opinions,
+        noise,
+        args.epsilon,
+        correct_opinion=args.correct_opinion,
+        random_state=args.seed,
+    ).run()
+    print(f"nodes                 : {args.nodes}")
+    print(f"opinions              : {args.opinions}")
+    print(f"noise matrix          : {noise.name}")
+    print(f"rounds                : {result.total_rounds}")
+    print(f"bias after Stage 1    : {result.bias_after_stage1:.4f}")
+    print(f"success               : {result.success}")
+    print(f"correct fraction      : {result.correct_fraction():.4f}")
+    return 0 if result.success else 1
+
+
+def _command_plurality(args: argparse.Namespace) -> int:
+    noise = uniform_noise_matrix(args.opinions, args.epsilon)
+    support = args.support if args.support is not None else args.nodes
+    instance = plurality_instance_with_bias(
+        args.nodes, support, args.opinions, args.bias
+    )
+    result = PluralityConsensus(
+        instance, noise, args.epsilon, random_state=args.seed
+    ).run()
+    print(f"nodes                 : {args.nodes}")
+    print(f"initially opinionated : {instance.support_size}")
+    print(f"plurality opinion     : {instance.plurality_opinion()}")
+    print(f"bias within support   : {instance.plurality_bias_within_support():.4f}")
+    print(f"rounds                : {result.total_rounds}")
+    print(f"success               : {result.success}")
+    print(f"correct fraction      : {result.correct_fraction():.4f}")
+    return 0 if result.success else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list-experiments":
+        return _command_list_experiments()
+    if args.command == "run-experiment":
+        return _command_run_experiment(args)
+    if args.command == "rumor":
+        return _command_rumor(args)
+    if args.command == "plurality":
+        return _command_plurality(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Per-node memory accounting.
+
+Theorems 1 and 2 state that the protocol uses ``O(log log n + log(1/eps))``
+bits of memory per node.  The dominant cost is the Stage-2 opinion counters:
+in each phase a node only needs to count, per opinion, how many times that
+opinion appears in its size-``L`` sample, and ``L = O(log n / eps^2)`` in the
+worst (final) phase, so each counter needs ``O(log L) = O(log log n +
+log(1/eps))`` bits.  On top of that a node stores its current opinion
+(``ceil(log2 k)`` bits) and a phase counter.
+
+This module turns those observations into concrete bit counts so experiment
+E11 can compare the measured widths against the asymptotic bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.schedule import ProtocolSchedule
+from repro.utils.validation import require_positive, require_positive_int
+
+__all__ = [
+    "MemoryUsage",
+    "counter_bits",
+    "memory_bound_bits",
+    "protocol_memory_usage",
+]
+
+
+def counter_bits(max_value: int) -> int:
+    """Bits needed for a counter that must be able to hold ``max_value``."""
+    max_value = require_positive_int(max_value, "max_value")
+    return max(1, int(math.ceil(math.log2(max_value + 1))))
+
+
+@dataclass(frozen=True)
+class MemoryUsage:
+    """Bit-level memory budget of one node running the protocol.
+
+    Attributes
+    ----------
+    opinion_bits:
+        Bits to store the current opinion (and the undecided marker).
+    phase_counter_bits:
+        Bits to store the current phase index across both stages.
+    round_counter_bits:
+        Bits to count rounds within the longest phase.
+    sample_counter_bits:
+        Bits for the per-opinion counters of the largest Stage-2 sample,
+        summed over the ``k`` opinions.
+    total_bits:
+        Sum of all the above.
+    """
+
+    opinion_bits: int
+    phase_counter_bits: int
+    round_counter_bits: int
+    sample_counter_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        """Total per-node memory in bits."""
+        return (
+            self.opinion_bits
+            + self.phase_counter_bits
+            + self.round_counter_bits
+            + self.sample_counter_bits
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """Dictionary form, convenient for experiment tables."""
+        return {
+            "opinion_bits": self.opinion_bits,
+            "phase_counter_bits": self.phase_counter_bits,
+            "round_counter_bits": self.round_counter_bits,
+            "sample_counter_bits": self.sample_counter_bits,
+            "total_bits": self.total_bits,
+        }
+
+
+def protocol_memory_usage(
+    schedule: ProtocolSchedule, num_opinions: int
+) -> MemoryUsage:
+    """Concrete per-node memory of the protocol under a given schedule.
+
+    The sample counters are sized for the largest Stage-2 sample ``L`` (the
+    final phase's ``l'``); Stage 1 needs only a capacity-1 reservoir, which is
+    dominated by the opinion register.
+    """
+    num_opinions = require_positive_int(num_opinions, "num_opinions")
+    opinion_bits = counter_bits(num_opinions)  # values 0..k
+    total_phases = schedule.stage1.num_phases + schedule.stage2.num_phases
+    phase_counter_bits = counter_bits(total_phases)
+    longest_phase = max(
+        max(schedule.stage1.phase_lengths), max(schedule.stage2.phase_lengths)
+    )
+    round_counter_bits = counter_bits(longest_phase)
+    largest_sample = max(schedule.stage2.sample_sizes)
+    sample_counter_bits = num_opinions * counter_bits(largest_sample)
+    return MemoryUsage(
+        opinion_bits=opinion_bits,
+        phase_counter_bits=phase_counter_bits,
+        round_counter_bits=round_counter_bits,
+        sample_counter_bits=sample_counter_bits,
+    )
+
+
+def memory_bound_bits(
+    num_nodes: int, epsilon: float, num_opinions: int, *, constant: float = 1.0
+) -> float:
+    """The asymptotic bound ``O(log log n + log(1/eps))`` per counter, totalled.
+
+    Returns ``constant * k * (log2 log2 n + log2(1/eps))`` plus the opinion
+    register, i.e. the quantity the measured usage is compared against in
+    experiment E11.  (The paper counts the per-counter width; there are ``k``
+    counters.)
+    """
+    num_nodes = require_positive_int(num_nodes, "num_nodes")
+    epsilon = require_positive(epsilon, "epsilon")
+    num_opinions = require_positive_int(num_opinions, "num_opinions")
+    log_log_n = math.log2(max(math.log2(max(num_nodes, 2)), 2.0))
+    log_inv_eps = math.log2(max(1.0 / epsilon, 2.0))
+    per_counter = log_log_n + log_inv_eps
+    return constant * num_opinions * per_counter + counter_bits(num_opinions)

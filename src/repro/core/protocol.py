@@ -1,0 +1,274 @@
+"""The complete two-stage protocol (Stage 1 followed by Stage 2).
+
+:class:`TwoStageProtocol` wires together the schedule, the delivery engine
+(process O by default), and the two stage executors, and reports a
+:class:`ProtocolResult` containing the final state, the per-phase history of
+both stages, and the headline outcome (did every node adopt the correct
+opinion, and after how many rounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.schedule import ProtocolSchedule
+from repro.core.stage1 import Stage1Executor, Stage1PhaseRecord
+from repro.core.stage2 import Stage2Executor, Stage2PhaseRecord
+from repro.core.state import PopulationState
+from repro.network.balls_bins import BallsIntoBinsProcess
+from repro.network.poisson_model import PoissonizedProcess
+from repro.network.push_model import UniformPushModel
+from repro.noise.matrix import NoiseMatrix
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = ["TwoStageProtocol", "ProtocolResult", "make_engine"]
+
+#: Delivery processes accepted by :func:`make_engine`.
+DELIVERY_PROCESSES = ("push", "balls_bins", "poisson")
+
+
+def make_engine(
+    process: str,
+    num_nodes: int,
+    noise: NoiseMatrix,
+    random_state: RandomState = None,
+):
+    """Instantiate a delivery engine by name.
+
+    ``process`` is one of ``"push"`` (process O, the real model),
+    ``"balls_bins"`` (process B) or ``"poisson"`` (process P).
+    """
+    if process == "push":
+        return UniformPushModel(num_nodes, noise, random_state)
+    if process == "balls_bins":
+        return BallsIntoBinsProcess(num_nodes, noise, random_state)
+    if process == "poisson":
+        return PoissonizedProcess(num_nodes, noise, random_state)
+    raise ValueError(
+        f"process must be one of {DELIVERY_PROCESSES}, got {process!r}"
+    )
+
+
+@dataclass
+class ProtocolResult:
+    """Outcome of a full protocol execution.
+
+    Attributes
+    ----------
+    final_state:
+        The population state after the last executed phase.
+    target_opinion:
+        The correct/plurality opinion ``m`` the run was tracking.
+    success:
+        ``True`` iff every node supports ``target_opinion`` at the end.
+    total_rounds:
+        Total number of communication rounds executed.
+    stage1_records, stage2_records:
+        Per-phase histories of the two stages.
+    """
+
+    final_state: PopulationState
+    target_opinion: int
+    success: bool
+    total_rounds: int
+    stage1_records: List[Stage1PhaseRecord] = field(default_factory=list)
+    stage2_records: List[Stage2PhaseRecord] = field(default_factory=list)
+
+    @property
+    def stage1_rounds(self) -> int:
+        """Rounds spent in Stage 1."""
+        return int(sum(record.num_rounds for record in self.stage1_records))
+
+    @property
+    def stage2_rounds(self) -> int:
+        """Rounds spent in Stage 2."""
+        return int(sum(record.num_rounds for record in self.stage2_records))
+
+    @property
+    def final_bias(self) -> float:
+        """Bias of the final distribution toward the target opinion."""
+        return self.final_state.bias_toward(self.target_opinion)
+
+    @property
+    def bias_after_stage1(self) -> Optional[float]:
+        """Bias toward the target opinion at the end of Stage 1."""
+        if not self.stage1_records:
+            return None
+        return self.stage1_records[-1].bias
+
+    @property
+    def opinionated_after_stage1(self) -> Optional[int]:
+        """Number of opinionated nodes at the end of Stage 1."""
+        if not self.stage1_records:
+            return None
+        return self.stage1_records[-1].opinionated_after
+
+    def bias_trajectory(self) -> np.ndarray:
+        """The per-phase bias toward the target opinion over both stages."""
+        values = []
+        for record in self.stage1_records:
+            if record.bias is not None:
+                values.append(record.bias)
+        for record in self.stage2_records:
+            if record.bias_after is not None:
+                values.append(record.bias_after)
+        return np.asarray(values, dtype=float)
+
+    def correct_fraction(self) -> float:
+        """Fraction of nodes supporting the target opinion at the end."""
+        return float(
+            np.count_nonzero(self.final_state.opinions == self.target_opinion)
+            / self.final_state.num_nodes
+        )
+
+
+class TwoStageProtocol:
+    """The paper's protocol: Stage 1 (spread) followed by Stage 2 (amplify).
+
+    Parameters
+    ----------
+    num_nodes:
+        Population size ``n``.
+    noise:
+        The noise matrix ``P`` of the channel.
+    schedule:
+        The phase schedule; when omitted, a default schedule is built from
+        ``num_nodes``, ``epsilon`` and the initial state at run time.
+    epsilon:
+        The noise parameter used to build the default schedule; mandatory
+        when ``schedule`` is omitted.
+    process:
+        Delivery process name (``"push"``, ``"balls_bins"`` or ``"poisson"``).
+    engine:
+        A pre-built delivery engine to use instead of ``process`` — e.g. a
+        :class:`~repro.network.topology.GraphPushModel` for non-complete
+        topologies.  Must expose ``run_phase_from_senders`` or
+        ``run_phase_from_population``.
+    random_state:
+        Randomness for the engine and both stages.
+    round_scale:
+        Multiplier for phase lengths of the default schedule.
+    sampling_method, use_full_multiset:
+        Passed through to :class:`~repro.core.stage2.Stage2Executor`
+        (ablation knobs).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        noise: NoiseMatrix,
+        *,
+        schedule: Optional[ProtocolSchedule] = None,
+        epsilon: Optional[float] = None,
+        process: str = "push",
+        engine=None,
+        random_state: RandomState = None,
+        round_scale: float = 1.0,
+        sampling_method: str = "without_replacement",
+        use_full_multiset: bool = False,
+    ) -> None:
+        if schedule is None and epsilon is None:
+            raise ValueError("either schedule or epsilon must be provided")
+        self.num_nodes = int(num_nodes)
+        self.noise = noise
+        self.epsilon = epsilon
+        self.process = process
+        self.engine = engine
+        if engine is not None:
+            engine_nodes = getattr(engine, "num_nodes", None)
+            if engine_nodes is not None and int(engine_nodes) != self.num_nodes:
+                raise ValueError(
+                    f"engine is built for {engine_nodes} nodes but the protocol "
+                    f"was asked to run on {self.num_nodes}"
+                )
+        self.round_scale = round_scale
+        self.sampling_method = sampling_method
+        self.use_full_multiset = use_full_multiset
+        self._schedule = schedule
+        self._rng = as_generator(random_state)
+
+    def build_schedule(self, initial_opinionated: int = 1) -> ProtocolSchedule:
+        """The schedule used by :meth:`run` (built lazily when not supplied)."""
+        if self._schedule is not None:
+            return self._schedule
+        return ProtocolSchedule.for_population(
+            self.num_nodes,
+            float(self.epsilon),
+            initial_opinionated=max(1, initial_opinionated),
+            round_scale=self.round_scale,
+        )
+
+    def run(
+        self,
+        initial_state: PopulationState,
+        *,
+        target_opinion: Optional[int] = None,
+        stop_at_consensus: bool = False,
+    ) -> ProtocolResult:
+        """Execute the protocol from ``initial_state``.
+
+        Parameters
+        ----------
+        initial_state:
+            The starting population (rumor source or plurality instance).
+        target_opinion:
+            The correct opinion ``m``; defaults to the initial plurality.
+        stop_at_consensus:
+            Stop Stage 2 early once consensus on ``target_opinion`` is
+            reached (the success criterion is unaffected).
+        """
+        if initial_state.num_nodes != self.num_nodes:
+            raise ValueError(
+                f"initial_state has {initial_state.num_nodes} nodes but the "
+                f"protocol was built for {self.num_nodes}"
+            )
+        if initial_state.num_opinions != self.noise.num_opinions:
+            raise ValueError(
+                "initial_state and noise matrix disagree on the number of "
+                f"opinions ({initial_state.num_opinions} vs {self.noise.num_opinions})"
+            )
+        if target_opinion is None:
+            target_opinion = initial_state.plurality_opinion()
+        if target_opinion <= 0:
+            raise ValueError(
+                "target_opinion could not be inferred: the initial state has "
+                "no opinionated node"
+            )
+        schedule = self.build_schedule(initial_state.opinionated_count())
+        if self.engine is not None:
+            engine = self.engine
+        else:
+            engine = make_engine(
+                self.process, self.num_nodes, self.noise, self._rng
+            )
+        stage1 = Stage1Executor(engine, schedule.stage1, self._rng)
+        state_after_stage1, stage1_records = stage1.run(
+            initial_state, track_opinion=target_opinion
+        )
+        stage2 = Stage2Executor(
+            engine,
+            schedule.stage2,
+            self._rng,
+            sampling_method=self.sampling_method,
+            use_full_multiset=self.use_full_multiset,
+        )
+        final_state, stage2_records = stage2.run(
+            state_after_stage1,
+            track_opinion=target_opinion,
+            stop_at_consensus=stop_at_consensus,
+        )
+        total_rounds = int(
+            sum(record.num_rounds for record in stage1_records)
+            + sum(record.num_rounds for record in stage2_records)
+        )
+        return ProtocolResult(
+            final_state=final_state,
+            target_opinion=target_opinion,
+            success=final_state.has_consensus_on(target_opinion),
+            total_rounds=total_rounds,
+            stage1_records=stage1_records,
+            stage2_records=stage2_records,
+        )

@@ -1,0 +1,105 @@
+"""Per-node reservoir sampling (the paper's footnote 4).
+
+The protocol never requires a node to store every message it receives: in
+Stage 1 a node only needs one uniformly random received opinion, and in
+Stage 2 a node only needs a uniform size-``L`` sample of the received
+multiset.  Both can be maintained online with a classical reservoir sampler,
+which is what keeps the per-node memory at ``O(log log n + log(1/eps))`` bits
+plus the reservoir itself.
+
+The vectorized simulation engines achieve the same distributions directly on
+count matrices (see :class:`repro.network.mailbox.ReceivedMessages`); the
+class below is the faithful node-local mechanism, used by the tests as an
+executable specification and available to users who want to build their own
+per-node agents.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import require_positive_int
+
+__all__ = ["ReservoirSampler"]
+
+
+class ReservoirSampler:
+    """Maintain a uniform random sample of a stream without storing the stream.
+
+    After observing ``t`` items, the reservoir contains a uniformly random
+    size-``min(t, capacity)`` subset of them (Algorithm R).  With
+    ``capacity=1`` this is exactly the Stage-1 rule "pick one received
+    opinion u.a.r., counting multiplicities".
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of items retained (the paper's ``L``).
+    random_state:
+        Randomness for the replacement decisions.
+    """
+
+    def __init__(self, capacity: int, random_state: RandomState = None) -> None:
+        self.capacity = require_positive_int(capacity, "capacity")
+        self._rng = as_generator(random_state)
+        self._reservoir: List[int] = []
+        self._seen = 0
+
+    @property
+    def items_seen(self) -> int:
+        """Total number of items offered to the sampler so far."""
+        return self._seen
+
+    @property
+    def is_full(self) -> bool:
+        """``True`` once the reservoir holds ``capacity`` items."""
+        return len(self._reservoir) >= self.capacity
+
+    def offer(self, item: int) -> None:
+        """Offer one stream item to the sampler."""
+        self._seen += 1
+        if len(self._reservoir) < self.capacity:
+            self._reservoir.append(int(item))
+            return
+        # Classical Algorithm R: replace a uniformly random slot with
+        # probability capacity / items_seen.
+        index = int(self._rng.integers(0, self._seen))
+        if index < self.capacity:
+            self._reservoir[index] = int(item)
+
+    def extend(self, items: Iterable[int]) -> None:
+        """Offer every item of ``items`` in order."""
+        for item in items:
+            self.offer(item)
+
+    def sample(self) -> List[int]:
+        """The current reservoir contents (a uniform sample of the stream)."""
+        return list(self._reservoir)
+
+    def single(self) -> Optional[int]:
+        """The single retained item when ``capacity == 1`` (else first item)."""
+        if not self._reservoir:
+            return None
+        return self._reservoir[0]
+
+    def counts(self, num_opinions: int) -> np.ndarray:
+        """The reservoir as a per-opinion count vector of length ``num_opinions``."""
+        vector = np.zeros(num_opinions, dtype=np.int64)
+        for item in self._reservoir:
+            if not (1 <= item <= num_opinions):
+                raise ValueError(
+                    f"reservoir item {item} outside [1, {num_opinions}]"
+                )
+            vector[item - 1] += 1
+        return vector
+
+    def reset(self) -> None:
+        """Empty the reservoir and reset the stream counter."""
+        self._reservoir = []
+        self._seen = 0
+
+    def __len__(self) -> int:
+        return len(self._reservoir)

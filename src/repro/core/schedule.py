@@ -1,0 +1,325 @@
+"""Phase schedules for the two-stage protocol (Section 3.1).
+
+Stage 1 is split into ``T + 2`` phases:
+
+* phase 0 lasts ``(s / eps^2) * log n`` rounds,
+* phases ``1 .. T`` last ``beta / eps^2`` rounds each, with
+  ``T = floor( log(n / (2 (s/eps^2) log n)) / log(beta/eps^2 + 1) )``,
+* phase ``T + 1`` lasts ``(phi / eps^2) * log n`` rounds,
+
+for constants ``phi > beta > s``.  Stage 2 is split into ``T' + 1`` phases
+with ``T' = ceil( log( sqrt(n) / log n ) )``; phases ``0 .. T'-1`` last
+``2 * l`` rounds with ``l = ceil(c / eps^2)`` and the final phase lasts
+``2 * l'`` rounds with ``l' = Theta(eps^-2 log n)``.
+
+Total running time is ``O(log n / eps^2)`` rounds, which experiment E1
+verifies empirically.  All logarithms here are base 2 (the choice only
+rescales the constants, not the asymptotics); phase lengths are rounded up
+and floored at one round so that small populations still get a well-formed
+schedule.  The multiplicative constants default to small values suitable for
+laptop-scale simulation and can be overridden.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.utils.validation import require_positive, require_positive_int
+
+__all__ = [
+    "Stage1Schedule",
+    "Stage2Schedule",
+    "ProtocolSchedule",
+    "theoretical_round_complexity",
+]
+
+#: Default Stage-1 constants (the paper requires ``phi > beta > s > 0``).
+DEFAULT_S = 1.0
+DEFAULT_BETA = 2.0
+DEFAULT_PHI = 3.0
+#: Default Stage-2 constants: ``c`` sets the short-phase sample size ``l`` and
+#: ``c_final`` sets the long final phase ``l'``.  The paper only requires the
+#: constants to be "large enough"; these defaults are calibrated so that the
+#: w.h.p. statements hold at the laptop scales used in the experiments
+#: (hundreds to tens of thousands of nodes).
+DEFAULT_C = 3.0
+DEFAULT_C_FINAL = 3.0
+
+
+def _log2(value: float) -> float:
+    return math.log2(max(value, 1e-300))
+
+
+def theoretical_round_complexity(num_nodes: int, epsilon: float) -> float:
+    """The paper's asymptotic running time ``log(n) / eps^2`` (no constants).
+
+    Experiments fit measured running times against this quantity.
+    """
+    num_nodes = require_positive_int(num_nodes, "num_nodes")
+    epsilon = require_positive(epsilon, "epsilon")
+    return _log2(num_nodes) / (epsilon * epsilon)
+
+
+@dataclass(frozen=True)
+class Stage1Schedule:
+    """The Stage-1 phase structure.
+
+    Attributes
+    ----------
+    phase_lengths:
+        Rounds per phase; entry 0 is phase 0, the last entry is phase ``T+1``.
+    epsilon:
+        The noise parameter the schedule was built for.
+    constants:
+        The ``(s, beta, phi)`` constants used.
+    """
+
+    phase_lengths: List[int]
+    epsilon: float
+    constants: tuple = (DEFAULT_S, DEFAULT_BETA, DEFAULT_PHI)
+
+    @property
+    def num_phases(self) -> int:
+        """Number of phases ``T + 2``."""
+        return len(self.phase_lengths)
+
+    @property
+    def num_growth_phases(self) -> int:
+        """The paper's ``T`` (number of intermediate growth phases)."""
+        return max(0, self.num_phases - 2)
+
+    @property
+    def total_rounds(self) -> int:
+        """Total number of Stage-1 rounds."""
+        return int(sum(self.phase_lengths))
+
+    @classmethod
+    def for_population(
+        cls,
+        num_nodes: int,
+        epsilon: float,
+        *,
+        initial_opinionated: int = 1,
+        s: float = DEFAULT_S,
+        beta: float = DEFAULT_BETA,
+        phi: float = DEFAULT_PHI,
+        round_scale: float = 1.0,
+    ) -> "Stage1Schedule":
+        """Build the Stage-1 schedule for an ``n``-node population.
+
+        Parameters
+        ----------
+        num_nodes, epsilon:
+            Population size and noise parameter.
+        initial_opinionated:
+            Number of nodes already opinionated at the start of Stage 1
+            (1 for rumor spreading; ``|S|`` for plurality consensus, which
+            shortens or removes the growth phases).
+        s, beta, phi:
+            The paper's Stage-1 constants (must satisfy ``phi > beta > s > 0``).
+        round_scale:
+            Multiplier applied to all phase lengths; values below 1 produce a
+            cheaper schedule for quick experiments (at the cost of the w.h.p.
+            guarantee), values above 1 strengthen the guarantee.
+        """
+        num_nodes = require_positive_int(num_nodes, "num_nodes")
+        epsilon = require_positive(epsilon, "epsilon")
+        initial_opinionated = require_positive_int(
+            initial_opinionated, "initial_opinionated"
+        )
+        round_scale = require_positive(round_scale, "round_scale")
+        if not (phi > beta > s > 0):
+            raise ValueError(
+                f"constants must satisfy phi > beta > s > 0, got "
+                f"s={s}, beta={beta}, phi={phi}"
+            )
+        if initial_opinionated > num_nodes:
+            raise ValueError(
+                "initial_opinionated cannot exceed num_nodes "
+                f"({initial_opinionated} > {num_nodes})"
+            )
+
+        log_n = max(_log2(num_nodes), 1.0)
+        inv_eps_sq = 1.0 / (epsilon * epsilon)
+
+        def rounds(value: float) -> int:
+            return max(1, int(math.ceil(value * round_scale)))
+
+        phase0_length = rounds(s * inv_eps_sq * log_n)
+        growth_length = rounds(beta * inv_eps_sq)
+        final_length = rounds(phi * inv_eps_sq * log_n)
+
+        # Number of growth phases T: enough for the opinionated set, which
+        # multiplies by ~(beta/eps^2 + 1) per phase, to reach Theta(eps^2 n)
+        # starting from the ~ (s/eps^2) log n nodes informed in phase 0 (or
+        # from initial_opinionated if that is already larger).
+        after_phase0 = max(
+            float(initial_opinionated), min(s * inv_eps_sq * log_n, float(num_nodes))
+        )
+        growth_factor = beta * inv_eps_sq + 1.0
+        target = num_nodes / (2.0 * s * inv_eps_sq * log_n)
+        if after_phase0 >= num_nodes or target <= 1.0:
+            num_growth_phases = 0
+        else:
+            num_growth_phases = int(
+                math.floor(_log2(num_nodes / (2.0 * after_phase0))
+                           / _log2(growth_factor))
+            )
+            num_growth_phases = max(0, num_growth_phases)
+
+        phase_lengths = (
+            [phase0_length]
+            + [growth_length] * num_growth_phases
+            + [final_length]
+        )
+        return cls(
+            phase_lengths=phase_lengths,
+            epsilon=epsilon,
+            constants=(s, beta, phi),
+        )
+
+
+@dataclass(frozen=True)
+class Stage2Schedule:
+    """The Stage-2 phase structure.
+
+    Attributes
+    ----------
+    phase_lengths:
+        Rounds per phase (each phase lasts ``2 * sample_size`` rounds).
+    sample_sizes:
+        The per-phase sample size ``L`` (``l`` for the short phases, ``l'``
+        for the final long phase); a node only updates its opinion at the end
+        of a phase if it received at least ``L`` messages.
+    epsilon:
+        The noise parameter the schedule was built for.
+    """
+
+    phase_lengths: List[int]
+    sample_sizes: List[int]
+    epsilon: float
+
+    def __post_init__(self) -> None:
+        if len(self.phase_lengths) != len(self.sample_sizes):
+            raise ValueError(
+                "phase_lengths and sample_sizes must have the same length"
+            )
+
+    @property
+    def num_phases(self) -> int:
+        """Number of Stage-2 phases ``T' + 1``."""
+        return len(self.phase_lengths)
+
+    @property
+    def total_rounds(self) -> int:
+        """Total number of Stage-2 rounds."""
+        return int(sum(self.phase_lengths))
+
+    @classmethod
+    def for_population(
+        cls,
+        num_nodes: int,
+        epsilon: float,
+        *,
+        c: float = DEFAULT_C,
+        c_final: float = DEFAULT_C_FINAL,
+        odd_sample_size: bool = True,
+        round_scale: float = 1.0,
+    ) -> "Stage2Schedule":
+        """Build the Stage-2 schedule for an ``n``-node population.
+
+        Parameters
+        ----------
+        num_nodes, epsilon:
+            Population size and noise parameter.
+        c, c_final:
+            The constants defining the short-phase sample size
+            ``l = ceil(c / eps^2)`` and the final-phase sample size
+            ``l' = ceil(c_final * log n / eps^2)``.
+        odd_sample_size:
+            Round sample sizes up to an odd number (the analysis assumes odd
+            ``l``; Appendix C shows the assumption is harmless, and the
+            parity experiment E10 verifies it).
+        round_scale:
+            Multiplier on the number of *phases* is never touched, but phase
+            lengths/sample sizes are scaled by this factor (values below 1
+            weaken the w.h.p. guarantee).
+        """
+        num_nodes = require_positive_int(num_nodes, "num_nodes")
+        epsilon = require_positive(epsilon, "epsilon")
+        round_scale = require_positive(round_scale, "round_scale")
+        require_positive(c, "c")
+        require_positive(c_final, "c_final")
+
+        log_n = max(_log2(num_nodes), 1.0)
+        inv_eps_sq = 1.0 / (epsilon * epsilon)
+
+        def as_sample(value: float) -> int:
+            size = max(1, int(math.ceil(value * round_scale)))
+            if odd_sample_size and size % 2 == 0:
+                size += 1
+            return size
+
+        short_sample = as_sample(c * inv_eps_sq)
+        final_sample = as_sample(c_final * inv_eps_sq * log_n)
+        # T' = ceil(log(sqrt(n)/log n)) short phases, plus one extra phase of
+        # slack: the per-phase amplification factor is a constant > 1 rather
+        # than exactly 2 at small n, and the extra 2*l rounds are negligible
+        # next to the final phase.
+        num_short_phases = 1 + max(
+            1, int(math.ceil(_log2(max(math.sqrt(num_nodes) / log_n, 2.0))))
+        )
+        sample_sizes = [short_sample] * num_short_phases + [final_sample]
+        phase_lengths = [2 * size for size in sample_sizes]
+        return cls(
+            phase_lengths=phase_lengths,
+            sample_sizes=sample_sizes,
+            epsilon=epsilon,
+        )
+
+
+@dataclass(frozen=True)
+class ProtocolSchedule:
+    """The full two-stage schedule."""
+
+    stage1: Stage1Schedule
+    stage2: Stage2Schedule
+
+    @property
+    def total_rounds(self) -> int:
+        """Total number of rounds over both stages."""
+        return self.stage1.total_rounds + self.stage2.total_rounds
+
+    @classmethod
+    def for_population(
+        cls,
+        num_nodes: int,
+        epsilon: float,
+        *,
+        initial_opinionated: int = 1,
+        round_scale: float = 1.0,
+        stage1_constants: Optional[tuple] = None,
+        stage2_constants: Optional[tuple] = None,
+    ) -> "ProtocolSchedule":
+        """Build both stages' schedules with consistent parameters."""
+        s, beta, phi = stage1_constants or (DEFAULT_S, DEFAULT_BETA, DEFAULT_PHI)
+        c, c_final = stage2_constants or (DEFAULT_C, DEFAULT_C_FINAL)
+        stage1 = Stage1Schedule.for_population(
+            num_nodes,
+            epsilon,
+            initial_opinionated=initial_opinionated,
+            s=s,
+            beta=beta,
+            phi=phi,
+            round_scale=round_scale,
+        )
+        stage2 = Stage2Schedule.for_population(
+            num_nodes,
+            epsilon,
+            c=c,
+            c_final=c_final,
+            round_scale=round_scale,
+        )
+        return cls(stage1=stage1, stage2=stage2)

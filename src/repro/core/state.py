@@ -1,0 +1,269 @@
+"""Population state: who holds which opinion.
+
+The paper tracks, at the beginning of every round ``t``:
+
+* ``a(t)`` — the fraction of nodes that are *opinionated* (support some
+  opinion); the remaining ``1 - a(t)`` fraction is *undecided*;
+* ``c(t) = (c_1, …, c_k)`` — the opinion distribution, where ``c_i`` is the
+  fraction of **all** nodes that support opinion ``i`` (so that
+  ``sum_i c_i = a(t)``);
+* the *bias* of the distribution toward the correct/plurality opinion ``m``:
+  ``min_{i != m} (c_m - c_i)`` (Definition 1 calls ``c`` delta-biased toward
+  ``m`` when this is at least ``delta``).
+
+:class:`PopulationState` stores the opinion vector (0 = undecided,
+``1..k`` = opinions) and exposes those quantities plus the constructors used
+by the rumor-spreading and plurality-consensus instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import require_positive_int
+
+__all__ = ["PopulationState"]
+
+UNDECIDED = 0
+
+
+class PopulationState:
+    """Opinions of an ``n``-node population with ``k`` possible opinions.
+
+    Parameters
+    ----------
+    opinions:
+        Integer vector of length ``n``; entry ``u`` is node ``u``'s opinion in
+        ``1..k``, or 0 for undecided.
+    num_opinions:
+        The number of distinct opinions ``k`` (must upper-bound every entry).
+    """
+
+    def __init__(self, opinions: Sequence[int], num_opinions: int) -> None:
+        self.num_opinions = require_positive_int(num_opinions, "num_opinions")
+        array = np.asarray(opinions, dtype=np.int64).copy()
+        if array.ndim != 1:
+            raise ValueError(f"opinions must be a vector, got shape {array.shape}")
+        if array.size == 0:
+            raise ValueError("the population must contain at least one node")
+        if array.min() < 0 or array.max() > self.num_opinions:
+            raise ValueError(
+                f"opinions must lie in [0, {self.num_opinions}] (0 = undecided)"
+            )
+        self.opinions = array
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def all_undecided(cls, num_nodes: int, num_opinions: int) -> "PopulationState":
+        """A population where nobody holds an opinion yet."""
+        num_nodes = require_positive_int(num_nodes, "num_nodes")
+        return cls(np.zeros(num_nodes, dtype=np.int64), num_opinions)
+
+    @classmethod
+    def single_source(
+        cls, num_nodes: int, num_opinions: int, source_opinion: int,
+        source_node: int = 0
+    ) -> "PopulationState":
+        """The rumor-spreading initial state: one source, everyone else undecided."""
+        state = cls.all_undecided(num_nodes, num_opinions)
+        if not (1 <= source_opinion <= num_opinions):
+            raise ValueError(
+                f"source_opinion must be in [1, {num_opinions}], got {source_opinion}"
+            )
+        if not (0 <= source_node < num_nodes):
+            raise ValueError(
+                f"source_node must be in [0, {num_nodes}), got {source_node}"
+            )
+        state.opinions[source_node] = source_opinion
+        return state
+
+    @classmethod
+    def from_counts(
+        cls,
+        num_nodes: int,
+        opinion_counts: Dict[int, int],
+        num_opinions: int,
+        random_state: RandomState = None,
+        *,
+        shuffle: bool = True,
+    ) -> "PopulationState":
+        """A population with a prescribed number of supporters per opinion.
+
+        ``opinion_counts[i]`` nodes get opinion ``i``; the remaining nodes are
+        undecided.  Node identities are irrelevant on the complete graph, but
+        ``shuffle=True`` still randomizes positions so that engines cannot
+        accidentally rely on ordering.
+        """
+        num_nodes = require_positive_int(num_nodes, "num_nodes")
+        num_opinions = require_positive_int(num_opinions, "num_opinions")
+        total = 0
+        opinions = np.zeros(num_nodes, dtype=np.int64)
+        for opinion, count in sorted(opinion_counts.items()):
+            if not (1 <= opinion <= num_opinions):
+                raise ValueError(
+                    f"opinion {opinion} outside [1, {num_opinions}]"
+                )
+            if count < 0:
+                raise ValueError(f"count for opinion {opinion} must be >= 0")
+            opinions[total:total + count] = opinion
+            total += count
+        if total > num_nodes:
+            raise ValueError(
+                f"opinion counts sum to {total} > num_nodes = {num_nodes}"
+            )
+        if shuffle:
+            rng = as_generator(random_state)
+            rng.shuffle(opinions)
+        return cls(opinions, num_opinions)
+
+    @classmethod
+    def from_fractions(
+        cls,
+        num_nodes: int,
+        fractions: Sequence[float],
+        random_state: RandomState = None,
+        *,
+        shuffle: bool = True,
+    ) -> "PopulationState":
+        """A population whose opinion distribution approximates ``fractions``.
+
+        ``fractions[i]`` is the target fraction of nodes holding opinion
+        ``i + 1``; the fractions may sum to less than one, in which case the
+        remainder is undecided.  Counts are obtained by rounding down and the
+        plurality opinion absorbs any rounding slack so the realized plurality
+        is never accidentally lost to rounding.
+        """
+        num_nodes = require_positive_int(num_nodes, "num_nodes")
+        fractions = np.asarray(fractions, dtype=float)
+        if fractions.ndim != 1 or fractions.size < 1:
+            raise ValueError("fractions must be a non-empty vector")
+        if np.any(fractions < 0) or fractions.sum() > 1.0 + 1e-9:
+            raise ValueError("fractions must be non-negative and sum to at most 1")
+        counts = np.floor(fractions * num_nodes).astype(int)
+        # Give the rounding slack (if any) to the largest-fraction opinion so
+        # the intended plurality is preserved exactly.
+        target_total = int(round(fractions.sum() * num_nodes))
+        slack = target_total - int(counts.sum())
+        if slack > 0:
+            counts[int(np.argmax(fractions))] += slack
+        opinion_counts = {
+            index + 1: int(count) for index, count in enumerate(counts) if count > 0
+        }
+        return cls.from_counts(
+            num_nodes, opinion_counts, fractions.size, random_state, shuffle=shuffle
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return int(self.opinions.shape[0])
+
+    def copy(self) -> "PopulationState":
+        """An independent copy of this state."""
+        return PopulationState(self.opinions.copy(), self.num_opinions)
+
+    def opinionated_mask(self) -> np.ndarray:
+        """Boolean mask of nodes that currently hold an opinion."""
+        return self.opinions > UNDECIDED
+
+    def opinionated_count(self) -> int:
+        """Number of opinionated nodes."""
+        return int(np.count_nonzero(self.opinions))
+
+    def opinionated_fraction(self) -> float:
+        """The paper's ``a(t)``: the fraction of opinionated nodes."""
+        return self.opinionated_count() / self.num_nodes
+
+    def opinion_counts(self) -> np.ndarray:
+        """Number of supporters of each opinion (length ``k``)."""
+        return np.bincount(
+            self.opinions, minlength=self.num_opinions + 1
+        )[1:]
+
+    def opinion_distribution(self) -> np.ndarray:
+        """The paper's ``c(t)``: per-opinion fraction of **all** nodes.
+
+        Sums to :meth:`opinionated_fraction`.
+        """
+        return self.opinion_counts() / self.num_nodes
+
+    def conditional_distribution(self) -> np.ndarray:
+        """Per-opinion fraction among *opinionated* nodes (sums to 1).
+
+        Undefined (all zeros) when nobody is opinionated.
+        """
+        counts = self.opinion_counts()
+        total = counts.sum()
+        if total == 0:
+            return np.zeros(self.num_opinions)
+        return counts / total
+
+    def bias_toward(self, opinion: int) -> float:
+        """``min_{i != opinion} (c_opinion - c_i)`` over all nodes (Definition 1).
+
+        For ``k = 1`` the bias is defined as ``c_1`` (there is no rival).
+        """
+        if not (1 <= opinion <= self.num_opinions):
+            raise ValueError(
+                f"opinion must be in [1, {self.num_opinions}], got {opinion}"
+            )
+        distribution = self.opinion_distribution()
+        if self.num_opinions == 1:
+            return float(distribution[0])
+        rivals = np.delete(distribution, opinion - 1)
+        return float(distribution[opinion - 1] - rivals.max())
+
+    def plurality_opinion(self) -> int:
+        """The opinion with the most supporters (smallest label wins ties).
+
+        Returns 0 when nobody is opinionated.
+        """
+        counts = self.opinion_counts()
+        if counts.sum() == 0:
+            return 0
+        return int(np.argmax(counts)) + 1
+
+    def has_consensus_on(self, opinion: int) -> bool:
+        """``True`` iff every node supports ``opinion``."""
+        return bool(np.all(self.opinions == opinion))
+
+    def is_delta_biased(self, opinion: int, delta: float) -> bool:
+        """Definition 1: is the distribution delta-biased toward ``opinion``?"""
+        return self.bias_toward(opinion) >= delta
+
+    def summary(self) -> Dict[str, float]:
+        """A compact dictionary of the headline state statistics."""
+        return {
+            "num_nodes": self.num_nodes,
+            "num_opinions": self.num_opinions,
+            "opinionated_fraction": self.opinionated_fraction(),
+            "plurality_opinion": self.plurality_opinion(),
+            "plurality_bias": (
+                self.bias_toward(self.plurality_opinion())
+                if self.plurality_opinion() > 0
+                else 0.0
+            ),
+        }
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PopulationState):
+            return NotImplemented
+        return self.num_opinions == other.num_opinions and bool(
+            np.array_equal(self.opinions, other.opinions)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PopulationState(n={self.num_nodes}, k={self.num_opinions}, "
+            f"opinionated={self.opinionated_count()})"
+        )

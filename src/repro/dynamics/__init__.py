@@ -1,0 +1,38 @@
+"""Baseline opinion dynamics from the literature the paper compares against.
+
+The related-work section of the paper situates its protocol among several
+elementary dynamics that solve (noise-free) plurality or majority consensus:
+
+* the **3-majority dynamics** [9] and its **h-majority** generalization
+  [13, 1]: every node samples the opinion of ``h`` random nodes and adopts
+  the most frequent observed opinion;
+* the **undecided-state dynamics** [5, 8]: a node observing a conflicting
+  opinion first becomes undecided, and an undecided node adopts the next
+  opinion it observes;
+* the **median rule / power of two choices** [15]: opinions are treated as
+  ordered values and every node moves to the median of its own value and two
+  sampled values;
+* the plain **voter model**: every node copies one random node's opinion.
+
+These baselines run here on the same noisy uniform communication substrate
+(every observation corrupted by the noise matrix), which is what experiment
+E12 uses to show where the paper's two-stage protocol wins: the elementary
+dynamics are fast without noise but are not designed to withstand a constant
+per-message corruption probability.
+"""
+
+from repro.dynamics.base import DynamicsResult, OpinionDynamics
+from repro.dynamics.h_majority import HMajorityDynamics, ThreeMajorityDynamics
+from repro.dynamics.median_rule import MedianRuleDynamics
+from repro.dynamics.undecided_state import UndecidedStateDynamics
+from repro.dynamics.voter import VoterDynamics
+
+__all__ = [
+    "DynamicsResult",
+    "HMajorityDynamics",
+    "MedianRuleDynamics",
+    "OpinionDynamics",
+    "ThreeMajorityDynamics",
+    "UndecidedStateDynamics",
+    "VoterDynamics",
+]

@@ -1,0 +1,151 @@
+"""Common infrastructure for the baseline opinion dynamics.
+
+Every baseline is a synchronous-round dynamic over a
+:class:`~repro.core.state.PopulationState`: in each round every node observes
+a few uniformly random nodes' opinions through the noisy channel (the same
+noise matrix the paper's protocol faces) and updates its own opinion by a
+local rule.  :class:`OpinionDynamics` implements the run loop, convergence
+detection and history recording; concrete dynamics implement
+:meth:`OpinionDynamics.step`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.state import PopulationState
+from repro.network.pull_model import UniformPullModel
+from repro.noise.matrix import NoiseMatrix
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import require_positive_int
+
+__all__ = ["OpinionDynamics", "DynamicsResult"]
+
+
+@dataclass
+class DynamicsResult:
+    """Outcome of running a baseline dynamic.
+
+    Attributes
+    ----------
+    final_state:
+        The population state when the run stopped.
+    rounds_executed:
+        Number of synchronous rounds executed.
+    converged:
+        ``True`` iff the run stopped because all nodes agreed on one opinion.
+    consensus_opinion:
+        The agreed opinion when ``converged`` (0 otherwise).
+    target_opinion:
+        The opinion the run was tracking (initial plurality by default).
+    success:
+        ``True`` iff the run converged on ``target_opinion``.
+    bias_history:
+        Bias toward ``target_opinion`` after every round.
+    """
+
+    final_state: PopulationState
+    rounds_executed: int
+    converged: bool
+    consensus_opinion: int
+    target_opinion: int
+    success: bool
+    bias_history: List[float] = field(default_factory=list)
+
+
+class OpinionDynamics(ABC):
+    """Base class for synchronous baseline dynamics under noisy observation.
+
+    Parameters
+    ----------
+    num_nodes:
+        Population size ``n``.
+    noise:
+        Noise matrix applied to every observation; pass the identity matrix
+        for the classical noise-free dynamics.
+    random_state:
+        Randomness source shared by the observation substrate and the rules.
+    """
+
+    #: Human-readable name used in comparison tables.
+    name: str = "opinion-dynamics"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        noise: NoiseMatrix,
+        random_state: RandomState = None,
+    ) -> None:
+        self.num_nodes = require_positive_int(num_nodes, "num_nodes")
+        self.noise = noise
+        self._rng = as_generator(random_state)
+        self.pull = UniformPullModel(self.num_nodes, noise, self._rng)
+
+    @property
+    def num_opinions(self) -> int:
+        """Number of opinions ``k``."""
+        return self.noise.num_opinions
+
+    @abstractmethod
+    def step(self, state: PopulationState) -> None:
+        """Execute one synchronous round, mutating ``state`` in place."""
+
+    def _check_state(self, state: PopulationState) -> None:
+        if state.num_nodes != self.num_nodes:
+            raise ValueError(
+                f"state has {state.num_nodes} nodes but the dynamic was built "
+                f"for {self.num_nodes}"
+            )
+        if state.num_opinions != self.num_opinions:
+            raise ValueError(
+                f"state has {state.num_opinions} opinions but the noise matrix "
+                f"has {self.num_opinions}"
+            )
+
+    def run(
+        self,
+        initial_state: PopulationState,
+        max_rounds: int,
+        *,
+        target_opinion: Optional[int] = None,
+        stop_at_consensus: bool = True,
+        record_history: bool = True,
+    ) -> DynamicsResult:
+        """Run the dynamic for up to ``max_rounds`` rounds.
+
+        The run stops early when all nodes share one opinion (if
+        ``stop_at_consensus``), which is the natural convergence-time
+        measurement used by the baseline-comparison experiment.
+        """
+        max_rounds = require_positive_int(max_rounds, "max_rounds")
+        self._check_state(initial_state)
+        state = initial_state.copy()
+        if target_opinion is None:
+            target_opinion = state.plurality_opinion()
+        bias_history: List[float] = []
+        rounds_executed = 0
+        for _ in range(max_rounds):
+            self.step(state)
+            rounds_executed += 1
+            if record_history and target_opinion > 0:
+                bias_history.append(state.bias_toward(target_opinion))
+            if stop_at_consensus:
+                counts = state.opinion_counts()
+                if counts.max(initial=0) == state.num_nodes:
+                    break
+        counts = state.opinion_counts()
+        converged = bool(counts.max(initial=0) == state.num_nodes)
+        consensus_opinion = int(np.argmax(counts)) + 1 if converged else 0
+        return DynamicsResult(
+            final_state=state,
+            rounds_executed=rounds_executed,
+            converged=converged,
+            consensus_opinion=consensus_opinion,
+            target_opinion=int(target_opinion),
+            success=bool(converged and consensus_opinion == target_opinion),
+            bias_history=bias_history,
+        )

@@ -1,0 +1,63 @@
+"""The h-majority dynamics (and its best-known special case, 3-majority).
+
+In each round every node samples the opinions of ``h`` nodes chosen uniformly
+at random (with replacement) and adopts the most frequent opinion among the
+observations, breaking ties uniformly at random.  With ``h = 3`` this is the
+3-majority dynamics analyzed in [9] (and shown there to solve plurality
+consensus quickly when the initial bias is large enough); general ``h`` is
+studied in [13, 1].
+
+Here every observation passes through the noise matrix, so the dynamics can
+be compared head-to-head against the paper's protocol on the same noisy
+substrate (experiment E12).  Undecided nodes participate as observers but are
+transparent as observation targets (observing an undecided node yields no
+opinion); a node that observes no opinion keeps its current one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import PopulationState
+from repro.dynamics.base import OpinionDynamics
+from repro.noise.matrix import NoiseMatrix
+from repro.utils.rng import RandomState
+from repro.utils.validation import require_positive_int
+
+__all__ = ["HMajorityDynamics", "ThreeMajorityDynamics"]
+
+
+class HMajorityDynamics(OpinionDynamics):
+    """Adopt the majority opinion of ``sample_size`` random observations."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        noise: NoiseMatrix,
+        sample_size: int,
+        random_state: RandomState = None,
+    ) -> None:
+        super().__init__(num_nodes, noise, random_state)
+        self.sample_size = require_positive_int(sample_size, "sample_size")
+        self.name = f"{self.sample_size}-majority"
+
+    def step(self, state: PopulationState) -> None:
+        """One round: observe ``sample_size`` nodes, adopt the observed mode."""
+        self._check_state(state)
+        received = self.pull.observe(state.opinions, self.sample_size)
+        votes = received.majority_votes(self._rng)
+        updaters = votes > 0
+        state.opinions[updaters] = votes[updaters]
+
+
+class ThreeMajorityDynamics(HMajorityDynamics):
+    """The 3-majority dynamics of [9] (``h = 3``)."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        noise: NoiseMatrix,
+        random_state: RandomState = None,
+    ) -> None:
+        super().__init__(num_nodes, noise, sample_size=3, random_state=random_state)
+        self.name = "3-majority"

@@ -1,0 +1,46 @@
+"""The undecided-state dynamics [5, 8].
+
+Each node observes the opinion of one uniformly random node per round and
+updates as follows:
+
+* an *opinionated* node that observes a different opinion becomes undecided
+  (it drops its opinion but remembers nothing about the conflict);
+* an *undecided* node that observes an opinion adopts it;
+* otherwise (same opinion observed, or nothing observed because the target
+  was undecided) the node keeps its state.
+
+This is the classical "undecided state dynamic" population-protocol rule,
+transplanted to the synchronous uniform gossip model as in [8].  As with the
+other baselines, observations are corrupted by the noise matrix so the
+dynamic can be benchmarked under the paper's noise assumption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import PopulationState
+from repro.dynamics.base import OpinionDynamics
+
+__all__ = ["UndecidedStateDynamics"]
+
+
+class UndecidedStateDynamics(OpinionDynamics):
+    """One-observation dynamics with an intermediate undecided state."""
+
+    name = "undecided-state"
+
+    def step(self, state: PopulationState) -> None:
+        """One round of the undecided-state update rule."""
+        self._check_state(state)
+        observed = self.pull.observe_single(state.opinions)
+        current = state.opinions
+        saw_opinion = observed > 0
+        # Opinionated nodes observing a *different* opinion become undecided.
+        conflict = saw_opinion & (current > 0) & (observed != current)
+        # Undecided nodes observing any opinion adopt it.
+        adoption = saw_opinion & (current == 0)
+        new_opinions = current.copy()
+        new_opinions[conflict] = 0
+        new_opinions[adoption] = observed[adoption]
+        state.opinions[:] = new_opinions

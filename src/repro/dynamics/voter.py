@@ -1,0 +1,30 @@
+"""The voter model: copy the opinion of one random node.
+
+The simplest pull dynamics: in each round every node observes one uniformly
+random node and adopts its opinion (if the target is undecided, the observer
+keeps its current state).  The voter model reaches consensus only in
+``Theta(n)`` expected rounds on the complete graph and offers no bias
+amplification, so it serves as the "floor" baseline in the comparison
+experiment: it shows what happens when nodes do no aggregation at all, with
+or without noise.
+"""
+
+from __future__ import annotations
+
+from repro.core.state import PopulationState
+from repro.dynamics.base import OpinionDynamics
+
+__all__ = ["VoterDynamics"]
+
+
+class VoterDynamics(OpinionDynamics):
+    """Copy one noisy random observation per round."""
+
+    name = "voter"
+
+    def step(self, state: PopulationState) -> None:
+        """One round: every node copies a noisy observation (if any)."""
+        self._check_state(state)
+        observed = self.pull.observe_single(state.opinions)
+        updaters = observed > 0
+        state.opinions[updaters] = observed[updaters]

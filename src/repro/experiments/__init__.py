@@ -1,0 +1,53 @@
+"""The experiment harness: one module per reproduced quantitative statement.
+
+The paper has no numbered tables or figures; its evaluation is the set of
+theorems, lemmas, claims and worked examples listed in DESIGN.md Section 6.
+Each ``exp_*`` module here regenerates the empirical counterpart of one of
+those statements and returns an :class:`~repro.experiments.results.
+ExperimentTable` whose rows are recorded in EXPERIMENTS.md and printed by the
+corresponding benchmark in ``benchmarks/``.
+
+All experiments accept a configuration dataclass with a ``quick()``
+constructor (minutes on a laptop, used by the benchmark suite) and a
+``full()`` constructor (closer to the asymptotic regime).
+"""
+
+from repro.experiments.results import ExperimentTable
+from repro.experiments.runner import repeat_trials, sweep_product
+
+from repro.experiments import (  # noqa: F401  (re-exported experiment modules)
+    exp_ablation_sampling,
+    exp_amplification,
+    exp_baselines,
+    exp_epsilon_threshold,
+    exp_memory,
+    exp_noise_matrices,
+    exp_parity,
+    exp_plurality_consensus,
+    exp_poissonization,
+    exp_rumor_scaling,
+    exp_stage1_bias,
+    exp_stage1_growth,
+    exp_stage2_trajectory,
+    exp_topologies,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "exp_ablation_sampling",
+    "exp_amplification",
+    "exp_baselines",
+    "exp_epsilon_threshold",
+    "exp_memory",
+    "exp_noise_matrices",
+    "exp_parity",
+    "exp_plurality_consensus",
+    "exp_poissonization",
+    "exp_rumor_scaling",
+    "exp_stage1_bias",
+    "exp_stage1_growth",
+    "exp_stage2_trajectory",
+    "exp_topologies",
+    "repeat_trials",
+    "sweep_product",
+]

@@ -1,0 +1,118 @@
+"""Experiment E4 — Claims 2/3: geometric growth of the opinionated set.
+
+Claim 2 bounds the number of opinionated nodes after phase 0 of Stage 1
+(roughly ``(s/eps^2) log n``, up to a constant), and Claim 3 states that each
+subsequent growth phase multiplies the opinionated count by roughly
+``beta/eps^2 + 1`` (within a factor-8 envelope).  The experiment runs Stage 1
+once per trial, records the opinionated fraction after every phase, and
+checks it against the claimed envelope.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.theory import stage1_growth_envelope
+from repro.core.schedule import DEFAULT_BETA, DEFAULT_S, Stage1Schedule
+from repro.core.stage1 import Stage1Executor
+from repro.core.state import PopulationState
+from repro.experiments.results import ExperimentTable
+from repro.experiments.runner import repeat_trials
+from repro.network.push_model import UniformPushModel
+from repro.noise.families import uniform_noise_matrix
+from repro.utils.rng import RandomState
+
+__all__ = ["Stage1GrowthConfig", "run"]
+
+
+@dataclass
+class Stage1GrowthConfig:
+    """Parameters of the E4 run."""
+
+    num_nodes: int = 4000
+    num_opinions: int = 3
+    epsilon: float = 0.3
+    num_trials: int = 5
+    envelope_slack: float = 2.0
+
+    @classmethod
+    def quick(cls) -> "Stage1GrowthConfig":
+        """A configuration that completes in seconds."""
+        return cls(num_nodes=2000, num_trials=3)
+
+    @classmethod
+    def full(cls) -> "Stage1GrowthConfig":
+        """A configuration with a larger population."""
+        return cls(num_nodes=20000, num_trials=10)
+
+
+def run(
+    config: Optional[Stage1GrowthConfig] = None,
+    random_state: RandomState = 0,
+) -> ExperimentTable:
+    """Run the E4 experiment and return the per-phase growth table."""
+    config = config or Stage1GrowthConfig.quick()
+    table = ExperimentTable(
+        experiment_id="E4",
+        title="Stage 1: per-phase growth of the opinionated set",
+        paper_claim=(
+            "Claim 2/3: phase 0 opinionates Theta((s/eps^2) log n) nodes, and each "
+            "growth phase multiplies the opinionated set by (beta/eps^2 + 1) up to "
+            "a constant-factor envelope"
+        ),
+    )
+    noise = uniform_noise_matrix(config.num_opinions, config.epsilon)
+    schedule = Stage1Schedule.for_population(config.num_nodes, config.epsilon)
+
+    def trial(rng: np.random.Generator):
+        engine = UniformPushModel(config.num_nodes, noise, rng)
+        executor = Stage1Executor(engine, schedule, rng)
+        initial = PopulationState.single_source(
+            config.num_nodes, config.num_opinions, source_opinion=1
+        )
+        _, records = executor.run(initial, track_opinion=1)
+        return [record.opinionated_after / config.num_nodes for record in records]
+
+    trajectories = repeat_trials(trial, config.num_trials, random_state)
+    mean_trajectory = np.mean(np.asarray(trajectories), axis=0)
+
+    # The Claim 2 prediction for the fraction opinionated after phase 0.
+    phase0_prediction = min(
+        1.0,
+        DEFAULT_S
+        / (config.epsilon**2)
+        * math.log2(config.num_nodes)
+        / config.num_nodes,
+    )
+    fraction_after_phase0 = float(mean_trajectory[0])
+    for phase_index, fraction in enumerate(mean_trajectory):
+        if phase_index == 0:
+            lower, upper = phase0_prediction / 3.0, phase0_prediction
+        else:
+            lower, upper = stage1_growth_envelope(
+                fraction_after_phase0,
+                config.epsilon,
+                DEFAULT_BETA,
+                phase_index,
+            )
+        within = (
+            fraction >= lower / config.envelope_slack
+            and fraction <= min(1.0, upper * config.envelope_slack)
+        )
+        table.add_record(
+            phase=phase_index,
+            num_rounds=schedule.phase_lengths[phase_index],
+            mean_opinionated_fraction=float(fraction),
+            envelope_lower=lower,
+            envelope_upper=upper,
+            within_envelope=within,
+        )
+    table.add_note(
+        f"envelope checked with a slack factor of {config.envelope_slack} to "
+        "absorb the unspecified constants of Claims 2/3"
+    )
+    return table

@@ -1,0 +1,81 @@
+"""Experiment result containers.
+
+Every experiment returns an :class:`ExperimentTable`: a named list of record
+dictionaries plus the paper statement it reproduces.  The table renders
+itself as plain text (for benches and examples) and exposes simple accessors
+so tests can assert on the reproduced trends without re-running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.utils.tables import format_records
+
+__all__ = ["ExperimentTable"]
+
+
+@dataclass
+class ExperimentTable:
+    """A reproduced table: rows of measurements plus provenance.
+
+    Attributes
+    ----------
+    experiment_id:
+        The DESIGN.md experiment id (``"E1"`` … ``"E13"``).
+    title:
+        Human-readable title.
+    paper_claim:
+        The paper statement (theorem/lemma/claim) the table reproduces.
+    records:
+        One dictionary per row.
+    notes:
+        Free-form remarks recorded alongside the measurements (e.g. observed
+        deviations, scale caveats).
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_record(self, **fields: Any) -> Dict[str, Any]:
+        """Append a row and return it."""
+        record = dict(fields)
+        self.records.append(record)
+        return record
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form note."""
+        self.notes.append(str(note))
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        return [record.get(name) for record in self.records]
+
+    def filtered(self, **criteria: Any) -> List[Dict[str, Any]]:
+        """Rows whose fields match every keyword criterion exactly."""
+        return [
+            record
+            for record in self.records
+            if all(record.get(key) == value for key, value in criteria.items())
+        ]
+
+    def to_text(self, *, columns: Optional[Sequence[str]] = None) -> str:
+        """Render the table (and notes) as plain text."""
+        header = f"[{self.experiment_id}] {self.title}"
+        claim = f"paper claim: {self.paper_claim}"
+        body = format_records(self.records, columns=columns)
+        parts = [header, claim, "", body]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterable[Dict[str, Any]]:
+        return iter(self.records)

@@ -1,0 +1,65 @@
+"""Shared helpers for running repeated trials and parameter sweeps.
+
+The experiments follow a common pattern: for every point of a small parameter
+grid, run several independent trials (each with its own derived RNG stream),
+and summarize the per-trial outputs.  These helpers centralize the trial
+bookkeeping so that the experiment modules stay declarative.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, TypeVar
+
+import numpy as np
+
+from repro.utils.rng import RandomState, spawn_generators
+
+__all__ = ["repeat_trials", "sweep_product", "summarize"]
+
+T = TypeVar("T")
+
+
+def repeat_trials(
+    trial: Callable[[np.random.Generator], T],
+    num_trials: int,
+    random_state: RandomState = None,
+) -> List[T]:
+    """Run ``trial`` ``num_trials`` times with independent generators.
+
+    Each invocation receives its own :class:`numpy.random.Generator` derived
+    deterministically from ``random_state``, so the whole batch is
+    reproducible while the trials stay statistically independent.
+    """
+    if num_trials < 1:
+        raise ValueError(f"num_trials must be >= 1, got {num_trials}")
+    generators = spawn_generators(num_trials, random_state)
+    return [trial(generator) for generator in generators]
+
+
+def sweep_product(**parameter_values: Sequence[Any]) -> List[Dict[str, Any]]:
+    """The Cartesian product of named parameter lists, as dictionaries.
+
+    >>> sweep_product(n=[10, 20], eps=[0.1])
+    [{'n': 10, 'eps': 0.1}, {'n': 20, 'eps': 0.1}]
+    """
+    if not parameter_values:
+        return [{}]
+    names = list(parameter_values)
+    combinations = itertools.product(
+        *(parameter_values[name] for name in names)
+    )
+    return [dict(zip(names, values)) for values in combinations]
+
+
+def summarize(values: Iterable[float]) -> Dict[str, float]:
+    """Mean / standard deviation / min / max of a batch of measurements."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("at least one value is required")
+    return {
+        "mean": float(array.mean()),
+        "std": float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        "min": float(array.min()),
+        "max": float(array.max()),
+    }

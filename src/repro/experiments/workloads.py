@@ -1,0 +1,89 @@
+"""Workload generators shared by the experiments and examples.
+
+The experiments need a small vocabulary of initial conditions:
+
+* a *rumor* instance (one source node, everyone else undecided);
+* a *fully opinionated* delta-biased population (the state Stage 2 starts
+  from, and the natural input for the baseline dynamics);
+* a *partially opinionated* plurality instance with a prescribed support
+  size ``|S|`` and bias within the support (the Theorem 2 setting).
+
+All generators delegate to :class:`~repro.core.state.PopulationState` /
+:class:`~repro.core.plurality.PluralityInstance` and exist so experiment
+modules read as parameter sweeps rather than state plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.bias import make_biased_distribution
+from repro.core.plurality import PluralityInstance
+from repro.core.state import PopulationState
+from repro.utils.rng import RandomState
+from repro.utils.validation import require_fraction, require_positive_int
+
+__all__ = [
+    "rumor_instance",
+    "biased_population",
+    "plurality_instance_with_bias",
+]
+
+
+def rumor_instance(
+    num_nodes: int,
+    num_opinions: int,
+    correct_opinion: int = 1,
+) -> PopulationState:
+    """The Theorem 1 initial condition: a single source node."""
+    return PopulationState.single_source(
+        num_nodes, num_opinions, correct_opinion
+    )
+
+
+def biased_population(
+    num_nodes: int,
+    num_opinions: int,
+    bias: float,
+    *,
+    majority_opinion: int = 1,
+    style: str = "uniform_rest",
+    random_state: RandomState = None,
+) -> PopulationState:
+    """A fully opinionated population whose distribution is ``bias``-biased.
+
+    Every node holds an opinion; the majority opinion leads every rival by
+    (approximately, up to integer rounding) ``bias`` as a fraction of ``n``.
+    """
+    num_nodes = require_positive_int(num_nodes, "num_nodes")
+    bias = require_fraction(bias, "bias")
+    distribution = make_biased_distribution(
+        num_opinions, bias, majority_opinion, style=style
+    )
+    return PopulationState.from_fractions(
+        num_nodes, distribution, random_state=random_state
+    )
+
+
+def plurality_instance_with_bias(
+    num_nodes: int,
+    support_size: int,
+    num_opinions: int,
+    bias_within_support: float,
+    *,
+    majority_opinion: int = 1,
+) -> PluralityInstance:
+    """A Theorem 2 instance: ``|S|`` opinionated nodes, given bias within ``S``.
+
+    The opinion shares within ``S`` follow the "uniform rest" shape: the
+    plurality opinion leads every rival by ``bias_within_support`` (as a
+    fraction of ``|S|``).
+    """
+    shares = make_biased_distribution(
+        num_opinions, bias_within_support, majority_opinion
+    )
+    return PluralityInstance.from_support_fractions(
+        num_nodes, support_size, shares
+    )

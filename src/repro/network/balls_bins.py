@@ -1,0 +1,121 @@
+"""Process B: the balls-into-bins reformulation (Definition 3).
+
+For a fixed phase, view the messages sent during the phase as colored balls
+(one color per opinion) and the nodes as bins.  The process has two steps:
+
+1. each ball of color ``i`` is independently re-colored ``j`` with
+   probability ``p_ij`` (the noise acting on the message);
+2. every ball is thrown into a bin chosen uniformly at random.
+
+Claim 1 of the paper states that the end-of-phase state of the protocol under
+the real push model (process O) has exactly the same distribution as if the
+messages had been delivered by this process.  The engine below implements the
+process directly from the phase's message histogram so that experiment E8 can
+compare the two empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.network.mailbox import ReceivedMessages
+from repro.noise.matrix import NoiseMatrix
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import require_positive_int
+
+__all__ = ["BallsIntoBinsProcess"]
+
+
+class BallsIntoBinsProcess:
+    """The two-step balls-into-bins process of Definition 3.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of bins ``n`` (= number of nodes).
+    noise:
+        The noise matrix used for the re-coloring step.
+    random_state:
+        Randomness for re-coloring and throwing.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        noise: NoiseMatrix,
+        random_state: RandomState = None,
+    ) -> None:
+        self.num_nodes = require_positive_int(num_nodes, "num_nodes")
+        if not isinstance(noise, NoiseMatrix):
+            raise TypeError(
+                f"noise must be a NoiseMatrix, got {type(noise).__name__}"
+            )
+        self.noise = noise
+        self._rng = as_generator(random_state)
+
+    @property
+    def num_opinions(self) -> int:
+        """Number of ball colors ``k``."""
+        return self.noise.num_opinions
+
+    def _validate_histogram(self, message_histogram: Sequence[int]) -> np.ndarray:
+        histogram = np.asarray(message_histogram, dtype=np.int64)
+        if histogram.shape != (self.num_opinions,):
+            raise ValueError(
+                f"message_histogram must have length {self.num_opinions}, "
+                f"got shape {histogram.shape}"
+            )
+        if np.any(histogram < 0):
+            raise ValueError("message_histogram entries must be non-negative")
+        return histogram
+
+    def recolor(self, message_histogram: Sequence[int]) -> np.ndarray:
+        """Step 1: apply the noise to every ball independently.
+
+        Returns the post-noise histogram ``h`` (the paper's ``N_j`` counts).
+        """
+        histogram = self._validate_histogram(message_histogram)
+        return self.noise.apply_to_counts(histogram, self._rng)
+
+    def throw(self, noisy_histogram: Sequence[int]) -> ReceivedMessages:
+        """Step 2: throw every (already re-colored) ball into a uniform bin."""
+        histogram = self._validate_histogram(noisy_histogram)
+        counts = np.zeros((self.num_nodes, self.num_opinions), dtype=np.int64)
+        for opinion_index in np.nonzero(histogram)[0]:
+            targets = self._rng.integers(
+                0, self.num_nodes, size=int(histogram[opinion_index])
+            )
+            counts[:, opinion_index] += np.bincount(
+                targets, minlength=self.num_nodes
+            )
+        return ReceivedMessages(counts)
+
+    def run_phase(self, message_histogram: Sequence[int]) -> ReceivedMessages:
+        """Run both steps for a phase described by its message histogram.
+
+        ``message_histogram[i]`` is the number of messages carrying opinion
+        ``i + 1`` sent during the phase (the multiset ``M_j``): for the
+        paper's protocol this is ``num_rounds`` times the sender-opinion
+        histogram, since every opinionated node pushes once per round.
+        """
+        noisy = self.recolor(message_histogram)
+        return self.throw(noisy)
+
+    def run_phase_from_senders(
+        self, sender_opinions: np.ndarray, num_rounds: int
+    ) -> ReceivedMessages:
+        """Convenience wrapper mirroring ``UniformPushModel.run_phase``.
+
+        Builds ``M_j`` from the sender opinions (each sender contributes
+        ``num_rounds`` balls of its color) and runs the process.
+        """
+        num_rounds = require_positive_int(num_rounds, "num_rounds")
+        opinions = np.asarray(sender_opinions, dtype=np.int64).ravel()
+        if opinions.size and (opinions.min() < 1 or opinions.max() > self.num_opinions):
+            raise ValueError(
+                f"sender opinions must be in [1, {self.num_opinions}]"
+            )
+        histogram = np.bincount(opinions, minlength=self.num_opinions + 1)[1:]
+        return self.run_phase(histogram * num_rounds)

@@ -1,0 +1,53 @@
+"""Dispatch helper between delivery engines and the protocol executors.
+
+The complete-graph engines (processes O, B, P) are *anonymous*: a phase is
+fully described by the multiset of sender opinions, so they expose
+``run_phase_from_senders(sender_opinions, num_rounds)``.  Topology-aware
+engines (e.g. :class:`~repro.network.topology.GraphPushModel`) additionally
+need to know *which* node holds which opinion, so they expose
+``run_phase_from_population(opinions, num_rounds)`` taking the full opinion
+vector (0 = undecided, undecided nodes do not push).
+
+:func:`deliver_phase` hides that difference from the Stage-1/Stage-2
+executors: it prefers the population-aware entry point when the engine
+provides one and falls back to the anonymous one otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.mailbox import ReceivedMessages
+
+__all__ = ["deliver_phase", "supports_population_delivery"]
+
+
+def supports_population_delivery(engine) -> bool:
+    """``True`` if the engine consumes the full opinion vector per phase."""
+    return hasattr(engine, "run_phase_from_population")
+
+
+def deliver_phase(engine, opinions: np.ndarray, num_rounds: int) -> ReceivedMessages:
+    """Deliver one protocol phase on ``engine``.
+
+    Parameters
+    ----------
+    engine:
+        A delivery engine exposing either ``run_phase_from_population`` (full
+        opinion vector, topology-aware) or ``run_phase_from_senders``
+        (anonymous multiset of sender opinions).
+    opinions:
+        The full opinion vector of the population (0 = undecided).  Undecided
+        nodes do not push.
+    num_rounds:
+        Number of rounds in the phase.
+    """
+    opinions = np.asarray(opinions, dtype=np.int64)
+    if supports_population_delivery(engine):
+        return engine.run_phase_from_population(opinions, num_rounds)
+    if hasattr(engine, "run_phase_from_senders"):
+        sender_opinions = opinions[opinions > 0]
+        return engine.run_phase_from_senders(sender_opinions, num_rounds)
+    raise TypeError(
+        "engine must expose run_phase_from_population or run_phase_from_senders"
+    )

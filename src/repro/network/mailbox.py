@@ -1,0 +1,192 @@
+"""Per-node received-message bookkeeping.
+
+All three communication processes (O, B, P) report what each node received
+during a phase as a dense integer matrix of shape ``(num_nodes, num_opinions)``:
+entry ``(u, i)`` is the number of copies of opinion ``i + 1`` delivered to
+node ``u`` during the phase.  :class:`ReceivedMessages` wraps that matrix with
+the sampling operations the protocol needs (uniform sub-sampling of the
+received multiset, as performed by the reservoir in Stage 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.multiset import majority_from_counts
+from repro.utils.rng import RandomState, as_generator
+
+__all__ = ["ReceivedMessages"]
+
+
+@dataclass
+class ReceivedMessages:
+    """The multiset of opinions each node received during a phase.
+
+    Attributes
+    ----------
+    counts:
+        Integer matrix ``(num_nodes, num_opinions)``; entry ``(u, i)`` is the
+        number of copies of opinion ``i + 1`` node ``u`` received.
+    """
+
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.counts)
+        if counts.ndim != 2:
+            raise ValueError(
+                f"counts must be a 2-D matrix, got shape {counts.shape}"
+            )
+        if np.any(counts < 0):
+            raise ValueError("received counts must be non-negative")
+        self.counts = counts.astype(np.int64, copy=False)
+
+    # ------------------------------------------------------------------ #
+    # Shape / totals
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes (rows)."""
+        return self.counts.shape[0]
+
+    @property
+    def num_opinions(self) -> int:
+        """Number of opinions (columns)."""
+        return self.counts.shape[1]
+
+    def totals(self) -> np.ndarray:
+        """Total number of messages received per node."""
+        return self.counts.sum(axis=1)
+
+    def total_messages(self) -> int:
+        """Total number of messages delivered in the phase."""
+        return int(self.counts.sum())
+
+    def opinion_totals(self) -> np.ndarray:
+        """Total number of delivered copies of each opinion (length ``k``)."""
+        return self.counts.sum(axis=0)
+
+    def received_any(self) -> np.ndarray:
+        """Boolean mask of nodes that received at least one message."""
+        return self.totals() > 0
+
+    def merge(self, other: "ReceivedMessages") -> "ReceivedMessages":
+        """Combine with another phase's deliveries (element-wise sum)."""
+        if self.counts.shape != other.counts.shape:
+            raise ValueError(
+                "cannot merge ReceivedMessages with different shapes: "
+                f"{self.counts.shape} vs {other.counts.shape}"
+            )
+        return ReceivedMessages(self.counts + other.counts)
+
+    # ------------------------------------------------------------------ #
+    # Sampling / voting
+    # ------------------------------------------------------------------ #
+
+    def uniform_opinion_choice(self, random_state: RandomState = None) -> np.ndarray:
+        """One opinion per node, chosen u.a.r. from its received multiset.
+
+        This is the Stage-1 adoption rule ("chosen u.a.r. counting
+        multiplicities").  Nodes that received nothing get 0.
+        """
+        rng = as_generator(random_state)
+        totals = self.totals()
+        choices = np.zeros(self.num_nodes, dtype=np.int64)
+        receivers = np.nonzero(totals)[0]
+        if receivers.size == 0:
+            return choices
+        # Inverse-CDF draw per receiving node over its own counts.
+        cumulative = np.cumsum(self.counts[receivers], axis=1).astype(float)
+        thresholds = rng.random(receivers.size) * totals[receivers]
+        picks = (thresholds[:, np.newaxis] >= cumulative).sum(axis=1) + 1
+        choices[receivers] = picks
+        return choices
+
+    def subsample(
+        self,
+        sample_size: int,
+        random_state: RandomState = None,
+        *,
+        method: str = "without_replacement",
+    ) -> np.ndarray:
+        """A uniform random sample of size ``sample_size`` per node.
+
+        Implements the Stage-2 "random uniform sample S(u) of size L from
+        R_j(u)" (equivalently, the contents of a size-``L`` reservoir after
+        reservoir sampling the received stream).  Nodes that received fewer
+        than ``sample_size`` messages keep their full multiset — the protocol
+        only lets such nodes vote when ``|R_j(u)| >= L``, which callers check
+        via :meth:`totals`.
+
+        Parameters
+        ----------
+        sample_size:
+            The target sample size ``L``.
+        method:
+            ``"without_replacement"`` (exact multiset sub-sampling, via a
+            multivariate hypergeometric draw per node) or
+            ``"with_replacement"`` (multinomial over the empirical received
+            distribution; cheaper and asymptotically equivalent, exposed for
+            the sampling ablation E13).
+
+        Returns
+        -------
+        numpy.ndarray
+            Integer matrix ``(num_nodes, num_opinions)`` of sampled counts.
+        """
+        if sample_size < 1:
+            raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+        if method not in {"without_replacement", "with_replacement"}:
+            raise ValueError(
+                "method must be 'without_replacement' or 'with_replacement', "
+                f"got {method!r}"
+            )
+        rng = as_generator(random_state)
+        totals = self.totals()
+        sampled = self.counts.copy()
+        needs_sampling = np.nonzero(totals > sample_size)[0]
+        if needs_sampling.size == 0:
+            return sampled
+        if method == "without_replacement":
+            for node in needs_sampling:
+                sampled[node] = rng.multivariate_hypergeometric(
+                    self.counts[node], sample_size
+                )
+        else:
+            probabilities = (
+                self.counts[needs_sampling]
+                / totals[needs_sampling, np.newaxis].astype(float)
+            )
+            for offset, node in enumerate(needs_sampling):
+                sampled[node] = rng.multinomial(sample_size, probabilities[offset])
+        return sampled
+
+    def majority_votes(
+        self,
+        random_state: RandomState = None,
+        *,
+        sample_size: Optional[int] = None,
+        sampling_method: str = "without_replacement",
+    ) -> np.ndarray:
+        """Per-node ``maj()`` of the (optionally sub-sampled) received multiset.
+
+        Nodes that received no messages vote 0 (no opinion); when
+        ``sample_size`` is given, nodes that received fewer than
+        ``sample_size`` messages also vote 0, matching the Stage-2 rule that
+        only nodes with ``|R_j(u)| >= L`` update.
+        """
+        rng = as_generator(random_state)
+        if sample_size is None:
+            counts = self.counts
+            eligible = self.received_any()
+        else:
+            counts = self.subsample(
+                sample_size, rng, method=sampling_method
+            )
+            eligible = self.totals() >= sample_size
+        votes = majority_from_counts(counts, rng)
+        return np.where(eligible, votes, 0).astype(np.int64)

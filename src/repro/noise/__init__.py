@@ -1,0 +1,60 @@
+"""Noise matrices and the (epsilon, delta)-majority-preserving property.
+
+This subpackage implements Section 2.1/2.2 and Section 4 of the paper:
+
+* :class:`~repro.noise.matrix.NoiseMatrix` — a validated row-stochastic
+  ``k x k`` matrix describing how an opinion in transit is perturbed;
+* the canonical matrix families used in the paper
+  (:mod:`repro.noise.families`): the binary flip matrix of Eq. (1), its
+  uniform-noise generalization, cyclic-shift noise, "reset" noise, and the
+  diagonally-dominant counterexample of Section 4;
+* verification of the ``(epsilon, delta)``-majority-preserving property
+  (:mod:`repro.noise.majority_preserving`), both exactly via the paper's
+  linear program and via the Eq. (17)/(18) sufficient condition.
+"""
+
+from repro.noise.estimation import (
+    calibrate_epsilon,
+    collect_channel_observations,
+    estimate_noise_matrix,
+    estimation_error,
+)
+from repro.noise.families import (
+    binary_flip_matrix,
+    cyclic_shift_matrix,
+    diagonally_dominant_counterexample,
+    identity_matrix,
+    near_uniform_matrix,
+    reset_matrix,
+    uniform_noise_matrix,
+)
+from repro.noise.majority_preserving import (
+    MajorityPreservationReport,
+    check_majority_preserving,
+    epsilon_for_delta,
+    minimal_bias_gap,
+    sufficient_condition_epsilon,
+    worst_case_distribution,
+)
+from repro.noise.matrix import NoiseMatrix
+
+__all__ = [
+    "MajorityPreservationReport",
+    "NoiseMatrix",
+    "binary_flip_matrix",
+    "calibrate_epsilon",
+    "check_majority_preserving",
+    "collect_channel_observations",
+    "estimate_noise_matrix",
+    "estimation_error",
+    "cyclic_shift_matrix",
+    "diagonally_dominant_counterexample",
+    "epsilon_for_delta",
+    "identity_matrix",
+    "minimal_bias_gap",
+    "near_uniform_matrix",
+    "reset_matrix",
+    "sufficient_condition_epsilon",
+    "uniform_noise_matrix",
+    "worst_case_distribution",
+]

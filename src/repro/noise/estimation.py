@@ -1,0 +1,151 @@
+"""Estimating an unknown noise matrix from observed transmissions.
+
+The protocol's schedule needs the parameter ``epsilon`` of the channel, but a
+real deployment rarely knows the noise matrix exactly.  This module provides
+the obvious empirical route:
+
+* :func:`estimate_noise_matrix` — the maximum-likelihood (empirical
+  frequency) estimate of ``P`` from paired (sent, received) observations,
+  with optional Laplace smoothing so unseen transitions do not produce zero
+  probabilities;
+* :func:`collect_channel_observations` — generate such paired observations by
+  exercising a :class:`~repro.noise.matrix.NoiseMatrix` (useful in tests and
+  calibration experiments);
+* :func:`estimation_error` — total-variation error per row against a ground
+  truth, the quantity that controls how wrong the derived ``epsilon`` can be;
+* :func:`calibrate_epsilon` — the end-to-end helper: estimate the matrix,
+  then derive the effective ``epsilon`` for a target bias via the exact LP of
+  :mod:`repro.noise.majority_preserving`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.noise.majority_preserving import epsilon_for_delta
+from repro.noise.matrix import NoiseMatrix
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import require_positive_int
+
+__all__ = [
+    "estimate_noise_matrix",
+    "collect_channel_observations",
+    "estimation_error",
+    "calibrate_epsilon",
+]
+
+
+def collect_channel_observations(
+    noise: NoiseMatrix,
+    num_observations: int,
+    random_state: RandomState = None,
+    *,
+    sent_distribution: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample ``num_observations`` (sent, received) pairs through ``noise``.
+
+    ``sent_distribution`` is the distribution the sent opinions are drawn
+    from (uniform over the ``k`` opinions by default).  Returns two integer
+    arrays of equal length with 1-based opinion labels.
+    """
+    num_observations = require_positive_int(num_observations, "num_observations")
+    rng = as_generator(random_state)
+    k = noise.num_opinions
+    if sent_distribution is None:
+        sent_distribution = np.full(k, 1.0 / k)
+    sent_distribution = np.asarray(sent_distribution, dtype=float)
+    if sent_distribution.shape != (k,) or np.any(sent_distribution < 0):
+        raise ValueError(
+            f"sent_distribution must be a non-negative vector of length {k}"
+        )
+    total = sent_distribution.sum()
+    if total <= 0:
+        raise ValueError("sent_distribution must have positive mass")
+    sent = rng.choice(np.arange(1, k + 1), size=num_observations,
+                      p=sent_distribution / total)
+    received = noise.apply_to_opinions(sent, rng)
+    return sent, received
+
+
+def estimate_noise_matrix(
+    sent: np.ndarray,
+    received: np.ndarray,
+    num_opinions: int,
+    *,
+    smoothing: float = 1.0,
+    name: Optional[str] = None,
+) -> NoiseMatrix:
+    """Empirical estimate of the noise matrix from paired observations.
+
+    Entry ``(i, j)`` of the estimate is
+    ``(count(i -> j) + smoothing) / (count(i -> *) + k * smoothing)``
+    (Laplace smoothing; set ``smoothing=0`` for the raw MLE, in which case
+    every sent opinion must have been observed at least once).
+    """
+    num_opinions = require_positive_int(num_opinions, "num_opinions")
+    if smoothing < 0:
+        raise ValueError(f"smoothing must be non-negative, got {smoothing}")
+    sent = np.asarray(sent, dtype=np.int64).ravel()
+    received = np.asarray(received, dtype=np.int64).ravel()
+    if sent.shape != received.shape:
+        raise ValueError(
+            f"sent and received must have the same length "
+            f"({sent.shape[0]} vs {received.shape[0]})"
+        )
+    if sent.size == 0:
+        raise ValueError("at least one observation is required")
+    for label, array in (("sent", sent), ("received", received)):
+        if array.min() < 1 or array.max() > num_opinions:
+            raise ValueError(
+                f"{label} opinions must lie in [1, {num_opinions}]"
+            )
+    counts = np.zeros((num_opinions, num_opinions), dtype=float)
+    np.add.at(counts, (sent - 1, received - 1), 1.0)
+    counts += smoothing
+    row_totals = counts.sum(axis=1)
+    if np.any(row_totals <= 0):
+        missing = int(np.argmin(row_totals)) + 1
+        raise ValueError(
+            f"no observations for sent opinion {missing}; increase smoothing "
+            "or provide more data"
+        )
+    matrix = counts / row_totals[:, np.newaxis]
+    return NoiseMatrix(matrix, name=name or "estimated-noise")
+
+
+def estimation_error(estimate: NoiseMatrix, truth: NoiseMatrix) -> float:
+    """Maximum per-row total-variation distance between estimate and truth."""
+    if estimate.num_opinions != truth.num_opinions:
+        raise ValueError(
+            "estimate and truth must have the same number of opinions"
+        )
+    per_row = 0.5 * np.abs(estimate.matrix - truth.matrix).sum(axis=1)
+    return float(per_row.max())
+
+
+def calibrate_epsilon(
+    sent: np.ndarray,
+    received: np.ndarray,
+    num_opinions: int,
+    delta: float,
+    *,
+    majority_opinion: int = 1,
+    smoothing: float = 1.0,
+    safety_factor: float = 0.9,
+) -> Tuple[float, NoiseMatrix]:
+    """Estimate the channel and derive a schedule ``epsilon`` for a target bias.
+
+    Returns ``(epsilon, estimated_matrix)`` where ``epsilon`` is the LP-exact
+    effective epsilon of the *estimated* matrix at bias ``delta``, multiplied
+    by ``safety_factor`` to absorb estimation error (a smaller epsilon only
+    lengthens the schedule, it never invalidates it).
+    """
+    if not (0 < safety_factor <= 1):
+        raise ValueError(f"safety_factor must lie in (0, 1], got {safety_factor}")
+    estimate = estimate_noise_matrix(
+        sent, received, num_opinions, smoothing=smoothing
+    )
+    epsilon = epsilon_for_delta(estimate, delta, majority_opinion)
+    return safety_factor * epsilon, estimate

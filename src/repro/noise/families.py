@@ -1,0 +1,282 @@
+"""Canonical noise-matrix families from the paper.
+
+The paper discusses several concrete noise matrices:
+
+* the binary flip matrix of Eq. (1), ``[[1/2+eps, 1/2-eps], [1/2-eps, 1/2+eps]]``;
+* its k-opinion generalization (Section 4), where the sent opinion survives
+  with probability ``1/k + eps`` and every other opinion is received with
+  probability ``1/k - eps/(k-1)`` — this matrix is (eps', delta)-majority-
+  preserving for every ``delta > 0``;
+* the diagonally-dominant 3x3 counterexample of Section 4, which fails to
+  preserve the majority for ``eps, delta < 1/6``;
+* matrices of the "near uniform off-diagonal" form of Eq. (17), with diagonal
+  ``p`` and off-diagonal entries in ``[q_l, q_u]``, for which Eq. (18) gives a
+  sufficient majority-preservation condition.
+
+Conceptually distinct noise shapes mentioned in the introduction (switching
+to a *close* opinion ``i±1 mod k``, or *resetting* to opinion 1) are also
+provided so that experiments can explore which noise patterns are and are not
+majority preserving.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.noise.matrix import NoiseMatrix
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import require_fraction, require_positive_int
+
+__all__ = [
+    "identity_matrix",
+    "binary_flip_matrix",
+    "uniform_noise_matrix",
+    "near_uniform_matrix",
+    "cyclic_shift_matrix",
+    "reset_matrix",
+    "diagonally_dominant_counterexample",
+    "random_majority_preserving_matrix",
+]
+
+
+def identity_matrix(num_opinions: int) -> NoiseMatrix:
+    """The noise-free channel over ``num_opinions`` opinions (``P = I``)."""
+    num_opinions = require_positive_int(num_opinions, "num_opinions")
+    return NoiseMatrix(np.eye(num_opinions), name=f"identity(k={num_opinions})")
+
+
+def binary_flip_matrix(epsilon: float) -> NoiseMatrix:
+    """The paper's Eq. (1) matrix: a bit survives with probability ``1/2 + epsilon``.
+
+    ``epsilon`` must lie in ``(0, 1/2]``; smaller values mean noisier channels.
+    """
+    epsilon = require_fraction(epsilon, "epsilon", inclusive_low=False)
+    if epsilon > 0.5:
+        raise ValueError(f"epsilon must be at most 1/2, got {epsilon}")
+    keep = 0.5 + epsilon
+    flip = 0.5 - epsilon
+    return NoiseMatrix(
+        [[keep, flip], [flip, keep]], name=f"binary-flip(eps={epsilon:g})"
+    )
+
+
+def uniform_noise_matrix(num_opinions: int, epsilon: float) -> NoiseMatrix:
+    """The Section-4 generalization of Eq. (1) to ``k`` opinions.
+
+    The sent opinion is delivered intact with probability ``1/k + epsilon``
+    and is switched to each of the other ``k - 1`` opinions with probability
+    ``1/k - epsilon/(k-1)``.  The paper shows this matrix is
+    ``(epsilon', delta)``-majority-preserving for every ``delta > 0``.
+
+    ``epsilon`` must satisfy ``0 < epsilon <= 1 - 1/k`` so that all entries
+    stay non-negative.
+    """
+    num_opinions = require_positive_int(num_opinions, "num_opinions")
+    if num_opinions < 2:
+        raise ValueError("uniform_noise_matrix requires at least 2 opinions")
+    epsilon = float(epsilon)
+    if not (0 < epsilon <= 1.0 - 1.0 / num_opinions + 1e-12):
+        raise ValueError(
+            f"epsilon must lie in (0, 1 - 1/k] = (0, {1.0 - 1.0 / num_opinions:g}], "
+            f"got {epsilon}"
+        )
+    keep = 1.0 / num_opinions + epsilon
+    leak = 1.0 / num_opinions - epsilon / (num_opinions - 1)
+    matrix = np.full((num_opinions, num_opinions), leak)
+    np.fill_diagonal(matrix, keep)
+    return NoiseMatrix(
+        matrix, name=f"uniform-noise(k={num_opinions}, eps={epsilon:g})"
+    )
+
+
+def near_uniform_matrix(
+    num_opinions: int,
+    diagonal: float,
+    off_diagonal_low: float,
+    off_diagonal_high: float,
+    random_state: RandomState = None,
+) -> NoiseMatrix:
+    """A random matrix of the Eq. (17) form: fixed diagonal, bounded off-diagonal.
+
+    Each row has diagonal entry ``diagonal`` and off-diagonal entries drawn
+    uniformly from ``[off_diagonal_low, off_diagonal_high]``, then rescaled so
+    the row sums to 1 while keeping the diagonal fixed.  Eq. (18) of the paper
+    gives a sufficient condition for such matrices to be
+    ``(epsilon, delta)``-majority-preserving with
+    ``epsilon = (p - q_u) / 2`` whenever ``(p - q_u) * delta / 2 >= q_u - q_l``.
+    """
+    num_opinions = require_positive_int(num_opinions, "num_opinions")
+    if num_opinions < 2:
+        raise ValueError("near_uniform_matrix requires at least 2 opinions")
+    diagonal = require_fraction(diagonal, "diagonal", inclusive_low=False)
+    if not (0.0 <= off_diagonal_low <= off_diagonal_high):
+        raise ValueError(
+            "off-diagonal bounds must satisfy 0 <= low <= high, got "
+            f"low={off_diagonal_low}, high={off_diagonal_high}"
+        )
+    rng = as_generator(random_state)
+    matrix = np.zeros((num_opinions, num_opinions))
+    remainder = 1.0 - diagonal
+    if remainder < -1e-12:
+        raise ValueError("diagonal entry cannot exceed 1")
+    for row in range(num_opinions):
+        draws = rng.uniform(off_diagonal_low, off_diagonal_high, num_opinions - 1)
+        total = draws.sum()
+        if total <= 0:
+            scaled = np.full(num_opinions - 1, remainder / (num_opinions - 1))
+        else:
+            scaled = draws * (remainder / total)
+        matrix[row, :] = np.insert(scaled, row, diagonal)
+    return NoiseMatrix(
+        matrix,
+        name=(
+            f"near-uniform(k={num_opinions}, p={diagonal:g}, "
+            f"q in [{off_diagonal_low:g},{off_diagonal_high:g}])"
+        ),
+    )
+
+
+def cyclic_shift_matrix(num_opinions: int, noise_probability: float) -> NoiseMatrix:
+    """Noise that switches an opinion to one of its *neighbours* ``i ± 1 (mod k)``.
+
+    With probability ``1 - noise_probability`` the opinion is delivered
+    intact; otherwise it becomes ``i+1`` or ``i-1`` (mod ``k``) with equal
+    probability.  This is the "close opinions" noise pattern mentioned in the
+    introduction's discussion of how multi-valued noise can act.
+    """
+    num_opinions = require_positive_int(num_opinions, "num_opinions")
+    if num_opinions < 2:
+        raise ValueError("cyclic_shift_matrix requires at least 2 opinions")
+    noise_probability = require_fraction(noise_probability, "noise_probability")
+    matrix = np.zeros((num_opinions, num_opinions))
+    for opinion in range(num_opinions):
+        matrix[opinion, opinion] += 1.0 - noise_probability
+        matrix[opinion, (opinion + 1) % num_opinions] += noise_probability / 2.0
+        matrix[opinion, (opinion - 1) % num_opinions] += noise_probability / 2.0
+    return NoiseMatrix(
+        matrix,
+        name=f"cyclic-shift(k={num_opinions}, q={noise_probability:g})",
+    )
+
+
+def reset_matrix(num_opinions: int, noise_probability: float,
+                 reset_opinion: int = 1) -> NoiseMatrix:
+    """Noise that "resets" a corrupted opinion to a fixed opinion.
+
+    With probability ``1 - noise_probability`` the opinion is delivered
+    intact; otherwise it is replaced by ``reset_opinion``.  This is the
+    "reset to opinion 1" pattern from the introduction; it is *not* majority
+    preserving with respect to any opinion other than ``reset_opinion`` once
+    ``noise_probability`` is large enough, which makes it a useful negative
+    example in experiments.
+    """
+    num_opinions = require_positive_int(num_opinions, "num_opinions")
+    noise_probability = require_fraction(noise_probability, "noise_probability")
+    reset_opinion = int(reset_opinion)
+    if not (1 <= reset_opinion <= num_opinions):
+        raise ValueError(
+            f"reset_opinion must be in [1, {num_opinions}], got {reset_opinion}"
+        )
+    matrix = np.eye(num_opinions) * (1.0 - noise_probability)
+    matrix[:, reset_opinion - 1] += noise_probability
+    return NoiseMatrix(
+        matrix,
+        name=(
+            f"reset(k={num_opinions}, q={noise_probability:g}, "
+            f"target={reset_opinion})"
+        ),
+    )
+
+
+def diagonally_dominant_counterexample(epsilon: float) -> NoiseMatrix:
+    """The 3-opinion counterexample of Section 4.
+
+    The matrix::
+
+        [ 1/2+eps   0        1/2-eps ]
+        [ 1/2-eps   1/2+eps  0       ]
+        [ 0         1/2-eps  1/2+eps ]
+
+    is diagonally dominant, yet for ``eps, delta < 1/6`` it does not even
+    preserve the majority opinion: against the delta-biased distribution
+    ``c = (1/2+delta, 1/2-delta, 0)`` the perturbed distribution has
+    ``(cP)_1 < (cP)_3``.  Experiment E7 verifies this via the LP checker.
+    """
+    epsilon = require_fraction(epsilon, "epsilon", inclusive_low=False)
+    if epsilon > 0.5:
+        raise ValueError(f"epsilon must be at most 1/2, got {epsilon}")
+    keep = 0.5 + epsilon
+    leak = 0.5 - epsilon
+    matrix = [
+        [keep, 0.0, leak],
+        [leak, keep, 0.0],
+        [0.0, leak, keep],
+    ]
+    return NoiseMatrix(matrix, name=f"diag-dominant-counterexample(eps={epsilon:g})")
+
+
+def random_majority_preserving_matrix(
+    num_opinions: int,
+    epsilon: float,
+    delta: float,
+    random_state: RandomState = None,
+    max_attempts: int = 200,
+) -> NoiseMatrix:
+    """Sample a random noise matrix satisfying the Eq. (18) sufficient condition.
+
+    Rows are built with a dominant diagonal ``p`` and off-diagonal entries in
+    a band ``[q_l, q_u]`` tight enough that ``(p - q_u) * delta / 2 >= q_u - q_l``
+    with ``epsilon = (p - q_u) / 2``.  Raises ``RuntimeError`` only if no
+    feasible matrix exists for the requested parameters.
+    """
+    num_opinions = require_positive_int(num_opinions, "num_opinions")
+    if num_opinions < 2:
+        raise ValueError("need at least 2 opinions")
+    epsilon = require_fraction(epsilon, "epsilon", inclusive_low=False)
+    delta = require_fraction(delta, "delta", inclusive_low=False)
+    rng = as_generator(random_state)
+
+    # Choose p and q_u with p - q_u = 2 epsilon, and a band width
+    # q_u - q_l <= epsilon * delta, then fill rows accordingly.
+    base_off = (1.0 - 2.0 * epsilon) / num_opinions
+    q_u = base_off
+    p = q_u + 2.0 * epsilon
+    band = min(epsilon * delta, q_u)
+    q_l = q_u - band
+    if p > 1.0 or q_l < 0.0:
+        raise RuntimeError(
+            "no feasible near-uniform matrix for "
+            f"k={num_opinions}, epsilon={epsilon}, delta={delta}"
+        )
+    for _ in range(max_attempts):
+        matrix = np.zeros((num_opinions, num_opinions))
+        feasible = True
+        for row in range(num_opinions):
+            draws = rng.uniform(q_l, q_u, num_opinions - 1)
+            total = draws.sum() + p
+            # Rescale the off-diagonal mass so the row sums to one while the
+            # entries remain inside [q_l, q_u].
+            deficit = 1.0 - total
+            draws = draws + deficit / (num_opinions - 1)
+            if np.any(draws < q_l - 1e-12) or np.any(draws > q_u + 1e-12):
+                feasible = False
+                break
+            matrix[row, :] = np.insert(np.clip(draws, q_l, q_u), row, p)
+        if feasible:
+            return NoiseMatrix(
+                matrix,
+                name=(
+                    f"random-mp(k={num_opinions}, eps={epsilon:g}, delta={delta:g})"
+                ),
+            )
+    # Deterministic fallback: the exactly uniform off-diagonal matrix always
+    # satisfies the band constraints.
+    matrix = np.full((num_opinions, num_opinions), base_off)
+    np.fill_diagonal(matrix, p)
+    matrix = matrix / matrix.sum(axis=1, keepdims=True)
+    return NoiseMatrix(
+        matrix,
+        name=f"random-mp(k={num_opinions}, eps={epsilon:g}, delta={delta:g})",
+    )

@@ -1,0 +1,29 @@
+"""Shared utilities: RNG management, validation, multisets, tables, logging."""
+
+from repro.utils.logging import get_logger
+from repro.utils.multiset import Multiset, majority_vote, mode_set, occurrences
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    require_fraction,
+    require_in_range,
+    require_positive,
+    require_positive_int,
+    require_probability_vector,
+)
+
+__all__ = [
+    "Multiset",
+    "as_generator",
+    "format_table",
+    "get_logger",
+    "majority_vote",
+    "mode_set",
+    "occurrences",
+    "require_fraction",
+    "require_in_range",
+    "require_positive",
+    "require_positive_int",
+    "require_probability_vector",
+    "spawn_generators",
+]

@@ -1,0 +1,44 @@
+"""Logging helpers.
+
+The library logs through the standard :mod:`logging` module under the
+``repro`` namespace and never configures the root logger; applications and
+the experiment harness decide where the records go.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["get_logger", "configure_console_logging"]
+
+_BASE_LOGGER_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a library logger, namespaced under ``repro``."""
+    if not name:
+        return logging.getLogger(_BASE_LOGGER_NAME)
+    if name.startswith(_BASE_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_BASE_LOGGER_NAME}.{name}")
+
+
+def configure_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a console handler to the library logger (idempotent).
+
+    Intended for examples and command-line experiment runs; library code
+    itself never calls this.
+    """
+    logger = get_logger()
+    logger.setLevel(level)
+    has_console = any(
+        isinstance(handler, logging.StreamHandler) for handler in logger.handlers
+    )
+    if not has_console:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,183 @@
+"""Tests for repro.analysis.amplification (Proposition 1 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.amplification import (
+    amplification_lower_bound,
+    binary_majority_gap_exact,
+    expected_amplification_factor,
+    majority_gap_monte_carlo,
+    majority_probabilities_exact,
+)
+from repro.analysis.bias import make_biased_distribution
+from repro.noise.families import uniform_noise_matrix
+
+
+class TestAmplificationLowerBound:
+    def test_increases_with_delta_in_small_regime(self):
+        assert amplification_lower_bound(0.2, 25, 2) > amplification_lower_bound(
+            0.05, 25, 2
+        )
+
+    def test_decreases_with_k(self):
+        assert amplification_lower_bound(0.1, 25, 2) > amplification_lower_bound(
+            0.1, 25, 4
+        )
+
+    def test_never_exceeds_one(self):
+        for delta in (0.01, 0.1, 0.5, 1.0):
+            for ell in (1, 9, 101, 1001):
+                assert amplification_lower_bound(delta, ell, 2) <= 1.0 + 1e-9
+
+    def test_matches_formula(self):
+        import math
+
+        from repro.analysis.theory import g_function
+
+        delta, ell, k = 0.1, 25, 3
+        expected = math.sqrt(2 * ell / math.pi) * g_function(delta, ell) / 4.0
+        assert amplification_lower_bound(delta, ell, k) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amplification_lower_bound(0.1, 0, 2)
+        with pytest.raises(ValueError):
+            amplification_lower_bound(0.1, 9, 1)
+        with pytest.raises(ValueError):
+            amplification_lower_bound(1.5, 9, 2)
+
+
+class TestBinaryMajorityGapExact:
+    def test_unbiased_sample_has_zero_gap(self):
+        assert binary_majority_gap_exact(0.5, 9) == pytest.approx(0.0, abs=1e-12)
+
+    def test_certain_opinion(self):
+        assert binary_majority_gap_exact(1.0, 9) == pytest.approx(1.0)
+        assert binary_majority_gap_exact(0.0, 9) == pytest.approx(-1.0)
+
+    def test_gap_increases_with_probability(self):
+        assert binary_majority_gap_exact(0.7, 11) > binary_majority_gap_exact(0.6, 11)
+
+    def test_gap_increases_with_odd_sample_size(self):
+        assert binary_majority_gap_exact(0.6, 21) > binary_majority_gap_exact(0.6, 5)
+
+    def test_matches_exact_enumeration(self):
+        p, ell = 0.62, 7
+        gap_binomial = binary_majority_gap_exact(p, ell)
+        probabilities = majority_probabilities_exact([p, 1 - p], ell)
+        assert gap_binomial == pytest.approx(
+            probabilities[0] - probabilities[1], abs=1e-10
+        )
+
+    def test_proposition1_bound_respected_k2(self):
+        # For k = 2, the paper's Lemma 9: gap >= sqrt(2l/pi) g(delta, l) where
+        # the sampling distribution is ((1+delta)/2, (1-delta)/2).
+        for delta in (0.02, 0.1, 0.3):
+            for ell in (5, 11, 25, 51):
+                gap = binary_majority_gap_exact((1 + delta) / 2, ell)
+                assert gap >= amplification_lower_bound(delta, ell, 2) - 1e-9
+
+
+class TestMajorityProbabilitiesExact:
+    def test_distribution_sums_to_one(self):
+        result = majority_probabilities_exact([0.4, 0.35, 0.25], 9)
+        assert result.sum() == pytest.approx(1.0)
+
+    def test_plurality_opinion_wins_most_often(self):
+        result = majority_probabilities_exact([0.5, 0.3, 0.2], 11)
+        assert result[0] == result.max()
+
+    def test_symmetric_distribution_gives_equal_probabilities(self):
+        result = majority_probabilities_exact([1 / 3, 1 / 3, 1 / 3], 7)
+        assert np.allclose(result, 1 / 3, atol=1e-9)
+
+    def test_sample_size_one(self):
+        probabilities = [0.6, 0.3, 0.1]
+        result = majority_probabilities_exact(probabilities, 1)
+        assert np.allclose(result, probabilities)
+
+    def test_refuses_huge_enumerations(self):
+        with pytest.raises(ValueError):
+            majority_probabilities_exact([0.1] * 10, 200)
+
+    def test_agrees_with_monte_carlo(self, rng):
+        probabilities = [0.45, 0.35, 0.2]
+        exact = majority_probabilities_exact(probabilities, 9)
+        estimate = majority_gap_monte_carlo(probabilities, 9, 200_000, rng)
+        assert np.allclose(exact, estimate, atol=0.01)
+
+
+class TestMajorityGapMonteCarlo:
+    def test_probabilities_sum_to_one(self, rng):
+        estimate = majority_gap_monte_carlo([0.4, 0.6], 11, 10_000, rng)
+        assert estimate.sum() == pytest.approx(1.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            majority_gap_monte_carlo([0.4, 0.7], 11, 100, rng)
+        with pytest.raises(ValueError):
+            majority_gap_monte_carlo([0.5, 0.5], 0, 100, rng)
+
+
+class TestExpectedAmplificationFactor:
+    def test_bound_holds_on_grid(self, rng):
+        for k in (2, 3):
+            for ell in (5, 11):
+                for delta in (0.05, 0.2):
+                    outcome = expected_amplification_factor(
+                        delta, ell, k, random_state=rng
+                    )
+                    assert outcome["measured_gap"] >= outcome["lower_bound"] - 0.02
+
+    def test_amplification_exceeds_one_for_stage2_samples(self, rng):
+        # The whole point of Stage 2: the per-phase gap exceeds the incoming
+        # bias, i.e. the amplification factor is > 1.
+        outcome = expected_amplification_factor(0.1, 33, 3, random_state=rng)
+        assert outcome["amplification"] > 1.0
+
+    def test_noise_matrix_reduces_but_preserves_gap(self, rng):
+        noise = uniform_noise_matrix(3, 0.3)
+        with_noise = expected_amplification_factor(
+            0.1, 33, 3, noise_matrix=noise, random_state=rng
+        )
+        without_noise = expected_amplification_factor(0.1, 33, 3, random_state=rng)
+        assert 0 < with_noise["measured_gap"] < without_noise["measured_gap"]
+
+    def test_method_validation(self, rng):
+        with pytest.raises(ValueError):
+            expected_amplification_factor(0.1, 5, 2, method="bogus", random_state=rng)
+
+    def test_monte_carlo_method_available(self, rng):
+        outcome = expected_amplification_factor(
+            0.2, 7, 3, method="monte_carlo", num_trials=20_000, random_state=rng
+        )
+        assert outcome["measured_gap"] > 0
+
+
+class TestProposition1Property:
+    @given(
+        st.floats(min_value=0.01, max_value=0.5),
+        st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_binary_gap_dominates_bound(self, delta, half_ell):
+        ell = 2 * half_ell + 1  # odd sample sizes, as in the paper's analysis
+        gap = binary_majority_gap_exact((1 + delta) / 2, ell)
+        assert gap >= amplification_lower_bound(delta, ell, 2) - 1e-9
+
+    @given(
+        st.floats(min_value=0.02, max_value=0.4),
+        st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ternary_gap_dominates_bound(self, delta, half_ell):
+        ell = 2 * half_ell + 1
+        distribution = make_biased_distribution(3, delta, 1)
+        win = majority_probabilities_exact(distribution, ell)
+        gap = win[0] - max(win[1], win[2])
+        assert gap >= amplification_lower_bound(delta, ell, 3) - 1e-9

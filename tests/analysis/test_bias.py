@@ -1,0 +1,132 @@
+"""Tests for repro.analysis.bias."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bias import (
+    bias_toward,
+    distribution_after_noise,
+    is_delta_biased,
+    make_biased_distribution,
+    plurality_of,
+)
+from repro.noise.families import identity_matrix, uniform_noise_matrix
+
+
+class TestBiasToward:
+    def test_basic_bias(self):
+        assert bias_toward([0.5, 0.3, 0.2], 1) == pytest.approx(0.2)
+        assert bias_toward([0.5, 0.3, 0.2], 2) == pytest.approx(-0.2)
+
+    def test_single_opinion_convention(self):
+        assert bias_toward([0.7], 1) == pytest.approx(0.7)
+
+    def test_partial_distributions_allowed(self):
+        assert bias_toward([0.3, 0.1, 0.0], 1) == pytest.approx(0.2)
+
+    def test_invalid_opinion(self):
+        with pytest.raises(ValueError):
+            bias_toward([0.5, 0.5], 3)
+
+    def test_invalid_distribution(self):
+        with pytest.raises(ValueError):
+            bias_toward([0.8, 0.8], 1)
+        with pytest.raises(ValueError):
+            bias_toward([-0.1, 0.5], 1)
+
+
+class TestIsDeltaBiased:
+    def test_true_and_false_cases(self):
+        assert is_delta_biased([0.75, 0.25], 1, 0.5)
+        assert not is_delta_biased([0.75, 0.25], 1, 0.6)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            is_delta_biased([0.6, 0.4], 1, -0.1)
+
+
+class TestPluralityOf:
+    def test_plurality(self):
+        assert plurality_of([0.2, 0.5, 0.3]) == 2
+
+    def test_empty_distribution(self):
+        assert plurality_of([0.0, 0.0]) == 0
+
+    def test_tie_smallest_label(self):
+        assert plurality_of([0.4, 0.4, 0.2]) == 1
+
+
+class TestDistributionAfterNoise:
+    def test_identity_noise(self):
+        c = [0.5, 0.3, 0.2]
+        assert np.allclose(distribution_after_noise(c, identity_matrix(3)), c)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            distribution_after_noise([0.5, 0.5], identity_matrix(3))
+
+    def test_uniform_noise_shrinks_bias(self):
+        noise = uniform_noise_matrix(3, 0.2)
+        c = [0.6, 0.3, 0.1]
+        after = distribution_after_noise(c, noise)
+        assert bias_toward(after, 1) < bias_toward(c, 1)
+        assert bias_toward(after, 1) > 0
+
+
+class TestMakeBiasedDistribution:
+    def test_uniform_rest_shape(self):
+        c = make_biased_distribution(4, 0.2, 1)
+        assert c.sum() == pytest.approx(1.0)
+        assert bias_toward(c, 1) == pytest.approx(0.2)
+        # All rivals equal.
+        assert np.allclose(c[1:], c[1])
+
+    def test_two_block_shape(self):
+        c = make_biased_distribution(4, 0.3, 2, style="two_block")
+        assert c.sum() == pytest.approx(1.0)
+        assert c[1] == pytest.approx(0.65)
+        assert c[0] == pytest.approx(0.35)
+        assert c[2] == 0.0 and c[3] == 0.0
+
+    def test_majority_opinion_placement(self):
+        c = make_biased_distribution(3, 0.2, 3)
+        assert plurality_of(c) == 3
+
+    def test_single_opinion(self):
+        assert make_biased_distribution(1, 0.5, 1).tolist() == [1.0]
+
+    def test_delta_too_large_for_uniform_rest(self):
+        with pytest.raises(ValueError):
+            make_biased_distribution(3, 1.5, 1)
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            make_biased_distribution(3, 0.2, 1, style="bogus")
+
+    def test_invalid_majority_opinion(self):
+        with pytest.raises(ValueError):
+            make_biased_distribution(3, 0.2, 4)
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.floats(min_value=0.0, max_value=0.9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_rest_always_achieves_requested_bias(self, k, delta):
+        c = make_biased_distribution(k, delta, 1)
+        assert bias_toward(c, 1) == pytest.approx(delta, abs=1e-9)
+        assert c.sum() == pytest.approx(1.0)
+        assert np.all(c >= -1e-12)
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_two_block_always_achieves_requested_bias(self, k, delta):
+        c = make_biased_distribution(k, delta, 1, style="two_block")
+        assert bias_toward(c, 1) == pytest.approx(delta, abs=1e-9)

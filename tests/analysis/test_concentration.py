@@ -1,0 +1,116 @@
+"""Tests for repro.analysis.concentration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.concentration import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    hoeffding_bound,
+    three_point_chernoff_bound,
+)
+
+
+class TestChernoffBounds:
+    def test_upper_tail_decreasing_in_deviation(self):
+        assert chernoff_upper_tail(100, 0.5) < chernoff_upper_tail(100, 0.1)
+
+    def test_upper_tail_decreasing_in_mean(self):
+        assert chernoff_upper_tail(1000, 0.2) < chernoff_upper_tail(100, 0.2)
+
+    def test_lower_tail_tighter_than_upper(self):
+        # exp(-d^2 mu / 2) <= exp(-d^2 mu / 3).
+        assert chernoff_lower_tail(100, 0.2) <= chernoff_upper_tail(100, 0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(-1, 0.1)
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(10, 0.0)
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(10, 1.5)
+
+    def test_upper_tail_is_a_valid_bound_empirically(self, rng):
+        # Binomial(n, p) with mean mu: the empirical tail beyond (1+d)mu must
+        # not exceed the bound (allowing simulation noise).
+        n, p, deviation = 400, 0.3, 0.3
+        mean = n * p
+        samples = rng.binomial(n, p, size=20_000)
+        empirical = float(np.mean(samples >= (1 + deviation) * mean))
+        assert empirical <= chernoff_upper_tail(mean, deviation) + 0.01
+
+    def test_lower_tail_is_a_valid_bound_empirically(self, rng):
+        n, p, deviation = 400, 0.3, 0.3
+        mean = n * p
+        samples = rng.binomial(n, p, size=20_000)
+        empirical = float(np.mean(samples <= (1 - deviation) * mean))
+        assert empirical <= chernoff_lower_tail(mean, deviation) + 0.01
+
+
+class TestHoeffding:
+    def test_decreasing_in_samples_and_deviation(self):
+        assert hoeffding_bound(1000, 0.1) < hoeffding_bound(100, 0.1)
+        assert hoeffding_bound(100, 0.2) < hoeffding_bound(100, 0.1)
+
+    def test_capped_at_one(self):
+        assert hoeffding_bound(1, 0.01) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hoeffding_bound(0, 0.1)
+        with pytest.raises(ValueError):
+            hoeffding_bound(10, 0.0)
+
+    def test_empirically_valid(self, rng):
+        n, deviation = 200, 0.1
+        samples = rng.random((20_000, n)).mean(axis=1)
+        empirical = float(np.mean(np.abs(samples - 0.5) >= deviation))
+        assert empirical <= hoeffding_bound(n, deviation) + 0.01
+
+
+class TestThreePointChernoff:
+    def test_bound_shrinks_with_n(self):
+        _, bound_small = three_point_chernoff_bound(100, 0.5, 0.2, 0.3, 0.2)
+        _, bound_large = three_point_chernoff_bound(10_000, 0.5, 0.2, 0.3, 0.2)
+        assert bound_large < bound_small
+
+    def test_bound_capped_at_one(self):
+        _, bound = three_point_chernoff_bound(1, 0.4, 0.2, 0.4, 0.01)
+        assert bound <= 1.0
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            three_point_chernoff_bound(10, 0.5, 0.5, 0.5, 0.2)
+
+    def test_theta_range(self):
+        with pytest.raises(ValueError):
+            three_point_chernoff_bound(10, 0.5, 0.3, 0.2, 0.0)
+        with pytest.raises(ValueError):
+            three_point_chernoff_bound(10, 0.5, 0.3, 0.2, 1.0)
+
+    def test_lemma16_bound_holds_empirically(self, rng):
+        # Simulate sums of {-1, 0, +1} variables and check the deviation
+        # probability never exceeds the Lemma 16 bound.
+        num_variables, p_plus, p_zero, p_minus = 300, 0.5, 0.3, 0.2
+        theta = 0.2
+        threshold, bound = three_point_chernoff_bound(
+            num_variables, p_plus, p_zero, p_minus, theta
+        )
+        values = rng.choice(
+            [1, 0, -1], size=(20_000, num_variables), p=[p_plus, p_zero, p_minus]
+        )
+        sums = values.sum(axis=1)
+        empirical = float(np.mean(sums <= threshold))
+        assert empirical <= bound + 0.01
+
+    def test_threshold_formula(self):
+        num_variables, p_plus, p_zero, p_minus, theta = 50, 0.6, 0.2, 0.2, 0.25
+        threshold, _ = three_point_chernoff_bound(
+            num_variables, p_plus, p_zero, p_minus, theta
+        )
+        expected_sum = num_variables * (p_plus - p_minus)
+        assert threshold == pytest.approx(
+            (1 - theta) * expected_sum - theta * num_variables
+        )

@@ -1,0 +1,96 @@
+"""Tests for repro.analysis.convergence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    estimate_success_probability,
+    fit_round_complexity,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(8, 10)
+        assert low <= 0.8 <= high
+
+    def test_clamped_to_unit_interval(self):
+        low, high = wilson_interval(0, 5)
+        assert low == 0.0
+        low, high = wilson_interval(5, 5)
+        assert high == 1.0
+
+    def test_narrower_with_more_trials(self):
+        low_small, high_small = wilson_interval(8, 10)
+        low_large, high_large = wilson_interval(800, 1000)
+        assert (high_large - low_large) < (high_small - low_small)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    def test_coverage_simulation(self):
+        # The 95% interval should cover the true probability in the vast
+        # majority of repeated experiments.
+        rng = np.random.default_rng(0)
+        true_p, trials = 0.7, 40
+        covered = 0
+        repetitions = 400
+        for _ in range(repetitions):
+            successes = rng.binomial(trials, true_p)
+            low, high = wilson_interval(successes, trials)
+            covered += int(low <= true_p <= high)
+        assert covered / repetitions > 0.9
+
+
+class TestEstimateSuccessProbability:
+    def test_point_estimate(self):
+        rate, (low, high) = estimate_success_probability([True, True, False, True])
+        assert rate == pytest.approx(0.75)
+        assert low < rate < high
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_success_probability([])
+
+
+class TestFitRoundComplexity:
+    def test_perfect_fit_recovered(self):
+        nodes = [1000, 2000, 4000, 8000]
+        epsilons = [0.2, 0.2, 0.3, 0.3]
+        constant = 5.0
+        rounds = [constant * np.log2(n) / e**2 for n, e in zip(nodes, epsilons)]
+        fit = fit_round_complexity(nodes, epsilons, rounds)
+        assert fit.constant == pytest.approx(constant)
+        assert fit.relative_residual == pytest.approx(0.0, abs=1e-12)
+
+    def test_noisy_fit_has_small_residual(self):
+        rng = np.random.default_rng(0)
+        nodes = [500, 1000, 2000, 4000, 8000, 16000]
+        epsilons = [0.15, 0.2, 0.25, 0.3, 0.35, 0.4]
+        rounds = [
+            3.0 * np.log2(n) / e**2 * rng.uniform(0.9, 1.1)
+            for n, e in zip(nodes, epsilons)
+        ]
+        fit = fit_round_complexity(nodes, epsilons, rounds)
+        assert fit.constant == pytest.approx(3.0, rel=0.15)
+        assert fit.relative_residual < 0.15
+
+    def test_predictions_shape(self):
+        fit = fit_round_complexity([1000, 2000], [0.2, 0.2], [100.0, 110.0])
+        assert fit.predictions.shape == (2,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_round_complexity([1000], [0.2, 0.3], [100.0, 120.0])
+        with pytest.raises(ValueError):
+            fit_round_complexity([], [], [])
+        with pytest.raises(ValueError):
+            fit_round_complexity([1000], [0.0], [100.0])
+        with pytest.raises(ValueError):
+            fit_round_complexity([1], [0.2], [100.0])

@@ -1,0 +1,127 @@
+"""Tests for repro.analysis.poisson (O/B/P diagnostics)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.poisson import (
+    per_opinion_count_histograms,
+    poisson_transfer_factor,
+    process_count_distribution,
+    total_variation_distance,
+)
+from repro.network.balls_bins import BallsIntoBinsProcess
+from repro.network.poisson_model import PoissonizedProcess
+from repro.network.push_model import UniformPushModel
+from repro.noise.families import uniform_noise_matrix
+
+
+class TestTotalVariationDistance:
+    def test_identical_distributions(self):
+        assert total_variation_distance([0.5, 0.5], [0.5, 0.5]) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert total_variation_distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        p, q = [0.7, 0.3], [0.4, 0.6]
+        assert total_variation_distance(p, q) == total_variation_distance(q, p)
+
+    def test_padding_of_different_lengths(self):
+        assert total_variation_distance([1.0], [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            total_variation_distance([-0.1, 1.1], [0.5, 0.5])
+
+    def test_triangle_inequality(self):
+        p, q, r = [0.6, 0.4], [0.3, 0.7], [0.5, 0.5]
+        assert total_variation_distance(p, q) <= (
+            total_variation_distance(p, r) + total_variation_distance(r, q) + 1e-12
+        )
+
+
+class TestProcessCountDistribution:
+    def test_probability_vector(self, uniform3, rng):
+        engine = UniformPushModel(30, uniform3, rng)
+        deliveries = [engine.run_phase(np.array([1, 2, 3] * 5), 3) for _ in range(20)]
+        distribution = process_count_distribution(deliveries, max_count=10)
+        assert distribution.shape == (11,)
+        assert distribution.sum() == pytest.approx(1.0)
+
+    def test_tail_truncation(self, uniform3, rng):
+        engine = UniformPushModel(2, uniform3, rng)
+        deliveries = [engine.run_phase(np.array([1] * 50), 2)]
+        distribution = process_count_distribution(deliveries, max_count=5)
+        # Every node receives far more than 5 messages, so all mass is in the
+        # final bucket.
+        assert distribution[-1] == pytest.approx(1.0)
+
+    def test_per_opinion_histograms_shape(self, uniform3, rng):
+        engine = UniformPushModel(30, uniform3, rng)
+        deliveries = [engine.run_phase(np.array([1, 2, 3] * 5), 3) for _ in range(5)]
+        histograms = per_opinion_count_histograms(deliveries, max_count=8)
+        assert histograms.shape == (3, 9)
+        assert np.allclose(histograms.sum(axis=1), 1.0)
+
+    def test_per_opinion_histograms_require_deliveries(self):
+        with pytest.raises(ValueError):
+            per_opinion_count_histograms([])
+
+
+class TestPoissonTransferFactor:
+    def test_formula(self):
+        histogram = [4, 9]
+        expected = math.exp(2) * math.sqrt(36)
+        assert poisson_transfer_factor(histogram) == pytest.approx(expected)
+
+    def test_zero_counts_contribute_factor_one(self):
+        assert poisson_transfer_factor([4, 0]) == pytest.approx(math.exp(2) * 2.0)
+
+    def test_monotone_in_message_count(self):
+        assert poisson_transfer_factor([100, 100]) > poisson_transfer_factor([10, 10])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_transfer_factor([])
+        with pytest.raises(ValueError):
+            poisson_transfer_factor([-1, 2])
+
+
+class TestClaim1AndLemma2Statistically:
+    def test_push_and_balls_bins_distributions_close(self, rng):
+        noise = uniform_noise_matrix(3, 0.25)
+        num_nodes = 40
+        senders = np.array([1] * 30 + [2] * 15 + [3] * 5)
+        push = UniformPushModel(num_nodes, noise, rng)
+        bins = BallsIntoBinsProcess(num_nodes, noise, rng)
+        push_deliveries = [push.run_phase(senders, 4) for _ in range(150)]
+        bins_deliveries = [
+            bins.run_phase_from_senders(senders, 4) for _ in range(150)
+        ]
+        tv = total_variation_distance(
+            process_count_distribution(push_deliveries),
+            process_count_distribution(bins_deliveries),
+        )
+        assert tv < 0.05
+
+    def test_poissonized_process_close_to_push(self, rng):
+        noise = uniform_noise_matrix(3, 0.25)
+        num_nodes = 40
+        senders = np.array([1] * 30 + [2] * 15 + [3] * 5)
+        push = UniformPushModel(num_nodes, noise, rng)
+        poisson = PoissonizedProcess(num_nodes, noise, rng)
+        push_deliveries = [push.run_phase(senders, 4) for _ in range(150)]
+        poisson_deliveries = [
+            poisson.run_phase_from_senders(senders, 4) for _ in range(150)
+        ]
+        tv = total_variation_distance(
+            process_count_distribution(push_deliveries),
+            process_count_distribution(poisson_deliveries),
+        )
+        # Poissonization is an approximation, not an identity; the distance is
+        # small but need not vanish.
+        assert tv < 0.08

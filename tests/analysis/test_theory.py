@@ -1,0 +1,172 @@
+"""Tests for repro.analysis.theory (closed-form quantities of the paper)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.theory import (
+    binomial_beta_survival,
+    central_binomial_bounds,
+    g_function,
+    paper_central_binomial_bounds,
+    stage1_bias_envelope,
+    stage1_growth_envelope,
+    theoretical_bias_after_stage1,
+)
+
+
+class TestGFunction:
+    def test_small_delta_branch(self):
+        # delta < 1/sqrt(l): g = delta (1 - delta^2)^((l-1)/2).
+        delta, ell = 0.1, 25
+        expected = delta * (1 - delta**2) ** 12
+        assert g_function(delta, ell) == pytest.approx(expected)
+
+    def test_large_delta_branch(self):
+        # delta >= 1/sqrt(l): g = sqrt(1/l) (1 - 1/l)^((l-1)/2).
+        delta, ell = 0.5, 25
+        expected = (1 / 5) * (1 - 1 / 25) ** 12
+        assert g_function(delta, ell) == pytest.approx(expected)
+
+    def test_continuity_at_threshold(self):
+        ell = 16
+        threshold = 1 / math.sqrt(ell)
+        below = g_function(threshold - 1e-9, ell)
+        above = g_function(threshold, ell)
+        assert below == pytest.approx(above, rel=1e-6)
+
+    def test_zero_delta_gives_zero(self):
+        assert g_function(0.0, 9) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            g_function(-0.1, 9)
+        with pytest.raises(ValueError):
+            g_function(1.1, 9)
+        with pytest.raises(ValueError):
+            g_function(0.1, 0.5)
+
+    # Lemma 15: monotone non-decreasing in delta, non-increasing in l.
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=1, max_value=400),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lemma15_monotone_in_delta(self, delta_a, delta_b, ell):
+        low, high = sorted((delta_a, delta_b))
+        assert g_function(low, ell) <= g_function(high, ell) + 1e-12
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=1, max_value=400),
+        st.integers(min_value=1, max_value=400),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lemma15_monotone_in_sample_size(self, delta, ell_a, ell_b):
+        small, large = sorted((ell_a, ell_b))
+        assert g_function(delta, large) <= g_function(delta, small) + 1e-12
+
+
+class TestCentralBinomialBounds:
+    def test_corrected_bounds_bracket_exact_value(self):
+        for r in (1, 2, 3, 5, 10, 25, 60):
+            lower, exact, upper = central_binomial_bounds(r)
+            assert lower <= exact <= upper
+
+    def test_paper_upper_bound_valid_but_lower_is_not(self):
+        # Documents the Lemma 13 typo: the printed upper bound holds, the
+        # printed lower bound slightly exceeds C(2r, r) for every r.
+        for r in (1, 2, 5, 10, 30):
+            paper_lower, exact, paper_upper = paper_central_binomial_bounds(r)
+            assert exact <= paper_upper
+            assert paper_lower > exact
+
+    def test_bounds_tighten_with_r(self):
+        lower_small, exact_small, upper_small = central_binomial_bounds(2)
+        lower_big, exact_big, upper_big = central_binomial_bounds(50)
+        assert (upper_small - lower_small) / exact_small > (
+            upper_big - lower_big
+        ) / exact_big
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            central_binomial_bounds(0)
+
+
+class TestBinomialBetaSurvival:
+    # Lemma 8: the binomial survival function equals the beta integral.
+    @pytest.mark.parametrize("p", [0.1, 0.35, 0.5, 0.8])
+    @pytest.mark.parametrize("ell", [3, 7, 12])
+    def test_identity_holds(self, p, ell):
+        for j in range(ell + 1):
+            binomial_sum, beta_integral = binomial_beta_survival(p, j, ell)
+            assert binomial_sum == pytest.approx(beta_integral, abs=1e-10)
+
+    def test_j_equals_ell_gives_zero(self):
+        binomial_sum, beta_integral = binomial_beta_survival(0.4, 5, 5)
+        assert binomial_sum == pytest.approx(0.0)
+        assert beta_integral == pytest.approx(0.0)
+
+    def test_j_zero_gives_one_minus_failure_mass(self):
+        p, ell = 0.3, 6
+        binomial_sum, _ = binomial_beta_survival(p, 0, ell)
+        assert binomial_sum == pytest.approx(1 - (1 - p) ** ell)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binomial_beta_survival(0.5, 9, 5)
+        with pytest.raises(ValueError):
+            binomial_beta_survival(1.5, 1, 5)
+
+
+class TestStage1Envelopes:
+    def test_growth_envelope_increases_with_phase(self):
+        lower1, upper1 = stage1_growth_envelope(0.001, 0.3, 2.0, 1)
+        lower2, upper2 = stage1_growth_envelope(0.001, 0.3, 2.0, 2)
+        assert upper2 > upper1
+        assert lower2 > lower1
+
+    def test_growth_envelope_capped_at_one(self):
+        lower, upper = stage1_growth_envelope(0.5, 0.3, 2.0, 10)
+        assert upper == 1.0
+        assert lower <= 1.0
+
+    def test_growth_envelope_phase_zero_is_identity(self):
+        lower, upper = stage1_growth_envelope(0.01, 0.3, 2.0, 0)
+        assert upper == pytest.approx(0.01)
+        assert lower == pytest.approx(0.01 / 8)
+
+    def test_growth_envelope_validation(self):
+        with pytest.raises(ValueError):
+            stage1_growth_envelope(-0.1, 0.3, 2.0, 1)
+        with pytest.raises(ValueError):
+            stage1_growth_envelope(0.1, 0.0, 2.0, 1)
+        with pytest.raises(ValueError):
+            stage1_growth_envelope(0.1, 0.3, 2.0, -1)
+
+    def test_bias_envelope_decays_geometrically(self):
+        assert stage1_bias_envelope(0.3, 2) == pytest.approx(0.15**2)
+        assert stage1_bias_envelope(0.3, 3) < stage1_bias_envelope(0.3, 2)
+
+    def test_bias_envelope_validation(self):
+        with pytest.raises(ValueError):
+            stage1_bias_envelope(0.0, 1)
+        with pytest.raises(ValueError):
+            stage1_bias_envelope(0.3, 0)
+
+    def test_theoretical_bias_after_stage1_decreases_with_n(self):
+        assert theoretical_bias_after_stage1(10_000) < theoretical_bias_after_stage1(
+            1000
+        )
+
+    def test_theoretical_bias_value(self):
+        n = 1000
+        assert theoretical_bias_after_stage1(n) == pytest.approx(
+            math.sqrt(math.log(n) / n)
+        )

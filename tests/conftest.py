@@ -1,0 +1,36 @@
+"""Shared pytest fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.noise.families import (
+    binary_flip_matrix,
+    identity_matrix,
+    uniform_noise_matrix,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for test randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def identity3():
+    """The noise-free channel over three opinions."""
+    return identity_matrix(3)
+
+
+@pytest.fixture
+def uniform3():
+    """The canonical uniform-noise matrix over three opinions (eps = 0.3)."""
+    return uniform_noise_matrix(3, 0.3)
+
+
+@pytest.fixture
+def binary_flip():
+    """The paper's Eq. (1) binary flip matrix (eps = 0.2)."""
+    return binary_flip_matrix(0.2)

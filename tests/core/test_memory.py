@@ -1,0 +1,100 @@
+"""Tests for repro.core.memory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.memory import (
+    counter_bits,
+    memory_bound_bits,
+    protocol_memory_usage,
+)
+from repro.core.schedule import ProtocolSchedule
+
+
+class TestCounterBits:
+    def test_small_values(self):
+        assert counter_bits(1) == 1
+        assert counter_bits(2) == 2
+        assert counter_bits(3) == 2
+        assert counter_bits(4) == 3
+
+    def test_powers_of_two(self):
+        assert counter_bits(255) == 8
+        assert counter_bits(256) == 9
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            counter_bits(0)
+
+
+class TestProtocolMemoryUsage:
+    def test_total_is_sum_of_components(self):
+        schedule = ProtocolSchedule.for_population(10_000, 0.2)
+        usage = protocol_memory_usage(schedule, num_opinions=4)
+        assert usage.total_bits == (
+            usage.opinion_bits
+            + usage.phase_counter_bits
+            + usage.round_counter_bits
+            + usage.sample_counter_bits
+        )
+
+    def test_as_dict_round_trips(self):
+        schedule = ProtocolSchedule.for_population(10_000, 0.2)
+        usage = protocol_memory_usage(schedule, num_opinions=3)
+        as_dict = usage.as_dict()
+        assert as_dict["total_bits"] == usage.total_bits
+
+    def test_memory_grows_slowly_with_n(self):
+        # Doubling n many times should only add a few bits (log log growth).
+        small = protocol_memory_usage(
+            ProtocolSchedule.for_population(1_000, 0.2), 3
+        ).total_bits
+        large = protocol_memory_usage(
+            ProtocolSchedule.for_population(1_000_000, 0.2), 3
+        ).total_bits
+        assert large - small < 30
+
+    def test_memory_grows_with_inverse_epsilon(self):
+        coarse = protocol_memory_usage(
+            ProtocolSchedule.for_population(10_000, 0.4), 3
+        ).total_bits
+        fine = protocol_memory_usage(
+            ProtocolSchedule.for_population(10_000, 0.05), 3
+        ).total_bits
+        assert fine > coarse
+
+    def test_more_opinions_need_more_counters(self):
+        schedule = ProtocolSchedule.for_population(10_000, 0.2)
+        few = protocol_memory_usage(schedule, 2).total_bits
+        many = protocol_memory_usage(schedule, 8).total_bits
+        assert many > few
+
+
+class TestMemoryBound:
+    def test_bound_positive(self):
+        assert memory_bound_bits(10_000, 0.2, 3) > 0
+
+    def test_bound_grows_with_log_log_n(self):
+        assert memory_bound_bits(10**8, 0.2, 3) > memory_bound_bits(10**3, 0.2, 3)
+
+    def test_bound_grows_with_inverse_epsilon(self):
+        assert memory_bound_bits(10**4, 0.01, 3) > memory_bound_bits(10**4, 0.4, 3)
+
+    def test_measured_within_constant_of_bound(self):
+        # The ratio measured/bound stays bounded over a wide grid - this is
+        # the E11 claim in miniature.
+        ratios = []
+        for n in (10**3, 10**5, 10**7):
+            for eps in (0.3, 0.1, 0.05):
+                usage = protocol_memory_usage(
+                    ProtocolSchedule.for_population(n, eps), 4
+                )
+                ratios.append(usage.total_bits / memory_bound_bits(n, eps, 4))
+        assert max(ratios) / min(ratios) < 6.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            memory_bound_bits(0, 0.2, 3)
+        with pytest.raises(ValueError):
+            memory_bound_bits(100, -0.2, 3)

@@ -1,0 +1,117 @@
+"""Tests for repro.core.plurality (Theorem 2 wrapper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.plurality import PluralityConsensus, PluralityInstance
+from repro.noise.families import uniform_noise_matrix
+
+
+class TestPluralityInstance:
+    def test_basic_properties(self):
+        instance = PluralityInstance(100, 3, {1: 30, 2: 20, 3: 10})
+        assert instance.support_size == 60
+        assert instance.plurality_opinion() == 1
+        assert instance.plurality_bias_within_support() == pytest.approx(10 / 60)
+        assert instance.plurality_bias_global() == pytest.approx(10 / 100)
+
+    def test_tie_resolution_smallest_label(self):
+        instance = PluralityInstance(100, 3, {2: 20, 3: 20})
+        assert instance.plurality_opinion() == 2
+
+    def test_single_opinion_instance(self):
+        instance = PluralityInstance(10, 2, {2: 4})
+        assert instance.plurality_bias_within_support() == pytest.approx(1.0)
+
+    def test_validation_overflow(self):
+        with pytest.raises(ValueError):
+            PluralityInstance(10, 2, {1: 8, 2: 5})
+
+    def test_validation_empty_support(self):
+        with pytest.raises(ValueError):
+            PluralityInstance(10, 2, {})
+
+    def test_validation_bad_opinion(self):
+        with pytest.raises(ValueError):
+            PluralityInstance(10, 2, {3: 1})
+
+    def test_initial_state_realizes_counts(self):
+        instance = PluralityInstance(50, 3, {1: 20, 3: 10})
+        state = instance.initial_state(random_state=0)
+        assert state.opinion_counts().tolist() == [20, 0, 10]
+
+    def test_from_support_fractions(self):
+        instance = PluralityInstance.from_support_fractions(
+            1000, 200, [0.5, 0.3, 0.2]
+        )
+        assert instance.support_size == 200
+        assert instance.opinion_counts[1] == 100
+        assert instance.plurality_opinion() == 1
+
+    def test_from_support_fractions_preserves_plurality_under_rounding(self):
+        instance = PluralityInstance.from_support_fractions(
+            100, 7, [0.4, 0.35, 0.25]
+        )
+        counts = instance.opinion_counts
+        assert counts[1] >= max(counts.get(2, 0), counts.get(3, 0)) + 1
+
+    def test_from_support_fractions_validation(self):
+        with pytest.raises(ValueError):
+            PluralityInstance.from_support_fractions(100, 200, [0.5, 0.5])
+        with pytest.raises(ValueError):
+            PluralityInstance.from_support_fractions(100, 50, [0.5, 0.4])
+
+
+class TestPluralityConsensus:
+    def test_opinion_count_mismatch_rejected(self):
+        instance = PluralityInstance(100, 3, {1: 10, 2: 5})
+        with pytest.raises(ValueError):
+            PluralityConsensus(instance, uniform_noise_matrix(4, 0.3), 0.3)
+
+    def test_full_support_instance_succeeds(self):
+        instance = PluralityInstance.from_support_fractions(
+            800, 800, [0.45, 0.35, 0.20]
+        )
+        solver = PluralityConsensus(
+            instance, uniform_noise_matrix(3, 0.3), 0.3, random_state=0
+        )
+        result = solver.run()
+        assert result.success
+        assert result.final_state.has_consensus_on(1)
+
+    def test_partial_support_instance_succeeds(self):
+        # 20% of nodes opinionated with a strong plurality bias: Stage 1
+        # spreads, Stage 2 amplifies.
+        instance = PluralityInstance.from_support_fractions(
+            1000, 200, [0.6, 0.25, 0.15]
+        )
+        solver = PluralityConsensus(
+            instance, uniform_noise_matrix(3, 0.3), 0.3, random_state=1
+        )
+        result = solver.run()
+        assert result.success
+
+    def test_plurality_not_absolute_majority(self):
+        # The plurality opinion holds under 50% of the support yet still wins.
+        instance = PluralityInstance.from_support_fractions(
+            900, 900, [0.40, 0.32, 0.28]
+        )
+        solver = PluralityConsensus(
+            instance, uniform_noise_matrix(3, 0.3), 0.3, random_state=2
+        )
+        result = solver.run()
+        assert result.success
+        assert result.target_opinion == 1
+
+    def test_runs_are_statistically_independent_realizations(self):
+        instance = PluralityInstance.from_support_fractions(
+            400, 100, [0.6, 0.4]
+        )
+        solver = PluralityConsensus(
+            instance, uniform_noise_matrix(2, 0.3), 0.3, random_state=3
+        )
+        first = solver.run()
+        second = solver.run()
+        assert first.success and second.success

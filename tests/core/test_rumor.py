@@ -1,0 +1,76 @@
+"""Tests for repro.core.rumor (Theorem 1 wrapper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rumor import RumorSpreading, RumorSpreadingInstance
+from repro.noise.families import uniform_noise_matrix
+
+
+class TestRumorSpreadingInstance:
+    def test_initial_state_has_single_source(self):
+        instance = RumorSpreadingInstance(100, 4, correct_opinion=3, source_node=7)
+        state = instance.initial_state()
+        assert state.opinionated_count() == 1
+        assert state.opinions[7] == 3
+
+    def test_instance_is_frozen(self):
+        instance = RumorSpreadingInstance(100, 4, 1)
+        with pytest.raises(AttributeError):
+            instance.num_nodes = 50
+
+
+class TestRumorSpreading:
+    def test_opinion_count_mismatch_rejected(self):
+        noise = uniform_noise_matrix(3, 0.3)
+        with pytest.raises(ValueError):
+            RumorSpreading(100, 4, noise, 0.3)
+
+    def test_invalid_correct_opinion_rejected(self):
+        noise = uniform_noise_matrix(3, 0.3)
+        with pytest.raises(ValueError):
+            RumorSpreading(100, 3, noise, 0.3, correct_opinion=5)
+
+    def test_successful_run(self):
+        noise = uniform_noise_matrix(3, 0.3)
+        solver = RumorSpreading(
+            600, 3, noise, 0.3, correct_opinion=2, random_state=0
+        )
+        result = solver.run()
+        assert result.success
+        assert result.final_state.has_consensus_on(2)
+
+    def test_each_run_uses_a_fresh_initial_state(self):
+        noise = uniform_noise_matrix(3, 0.3)
+        solver = RumorSpreading(300, 3, noise, 0.3, random_state=1)
+        first = solver.run()
+        second = solver.run()
+        # Both runs must start from a single source (not from the first run's
+        # final state) and thus both end in consensus on opinion 1.
+        assert first.success and second.success
+
+    def test_round_scale_reduces_rounds(self):
+        noise = uniform_noise_matrix(3, 0.3)
+        full = RumorSpreading(300, 3, noise, 0.3, random_state=2).run()
+        cheap = RumorSpreading(
+            300, 3, noise, 0.3, random_state=2, round_scale=0.5
+        ).run()
+        assert cheap.total_rounds < full.total_rounds
+
+    def test_works_with_two_opinions_binary_case(self):
+        # The k = 2 specialization reproduces the original FHK setting.
+        from repro.noise.families import binary_flip_matrix
+
+        noise = binary_flip_matrix(0.3)
+        result = RumorSpreading(
+            600, 2, noise, 0.3, correct_opinion=1, random_state=3
+        ).run()
+        assert result.success
+
+    def test_works_with_many_opinions(self):
+        noise = uniform_noise_matrix(6, 0.35)
+        result = RumorSpreading(
+            800, 6, noise, 0.35, correct_opinion=5, random_state=4
+        ).run()
+        assert result.success

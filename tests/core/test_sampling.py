@@ -1,0 +1,119 @@
+"""Tests for repro.core.sampling.ReservoirSampler."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling import ReservoirSampler
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(0)
+
+    def test_fills_up_to_capacity(self):
+        sampler = ReservoirSampler(3, random_state=0)
+        sampler.extend([1, 2, 3])
+        assert sorted(sampler.sample()) == [1, 2, 3]
+        assert sampler.is_full
+
+    def test_items_seen_counts_everything(self):
+        sampler = ReservoirSampler(2, random_state=0)
+        sampler.extend([1, 2, 3, 4, 5])
+        assert sampler.items_seen == 5
+        assert len(sampler) == 2
+
+    def test_sample_is_subset_of_stream(self):
+        sampler = ReservoirSampler(4, random_state=0)
+        stream = [1, 2, 3, 2, 1, 3, 3, 3]
+        sampler.extend(stream)
+        counter_stream = Counter(stream)
+        counter_sample = Counter(sampler.sample())
+        for item, count in counter_sample.items():
+            assert count <= counter_stream[item]
+
+    def test_single_returns_first_or_none(self):
+        sampler = ReservoirSampler(1, random_state=0)
+        assert sampler.single() is None
+        sampler.offer(7)
+        assert sampler.single() == 7
+
+    def test_counts_vector(self):
+        sampler = ReservoirSampler(5, random_state=0)
+        sampler.extend([1, 1, 3])
+        assert sampler.counts(3).tolist() == [2, 0, 1]
+
+    def test_counts_rejects_out_of_range(self):
+        sampler = ReservoirSampler(2, random_state=0)
+        sampler.offer(5)
+        with pytest.raises(ValueError):
+            sampler.counts(3)
+
+    def test_reset(self):
+        sampler = ReservoirSampler(2, random_state=0)
+        sampler.extend([1, 2, 3])
+        sampler.reset()
+        assert len(sampler) == 0
+        assert sampler.items_seen == 0
+
+
+class TestUniformity:
+    def test_capacity_one_matches_stage1_rule(self):
+        # With capacity 1 the retained item is a uniform draw from the stream
+        # (counting multiplicities) - exactly the Stage-1 adoption rule.
+        rng = np.random.default_rng(0)
+        stream = [1] * 3 + [2]
+        picks = []
+        for _ in range(4000):
+            sampler = ReservoirSampler(1, rng)
+            sampler.extend(stream)
+            picks.append(sampler.single())
+        fraction_one = picks.count(1) / len(picks)
+        assert fraction_one == pytest.approx(0.75, abs=0.03)
+
+    def test_every_item_equally_likely_to_survive(self):
+        # Offer items 0..9 to a capacity-3 reservoir many times; each item
+        # should be retained with probability 3/10.
+        rng = np.random.default_rng(1)
+        inclusion = Counter()
+        trials = 3000
+        for _ in range(trials):
+            sampler = ReservoirSampler(3, rng)
+            sampler.extend(range(1, 11))
+            for item in sampler.sample():
+                inclusion[item] += 1
+        for item in range(1, 11):
+            assert inclusion[item] / trials == pytest.approx(0.3, abs=0.05)
+
+
+class TestReservoirProperties:
+    @given(
+        st.lists(st.integers(min_value=1, max_value=6), max_size=80),
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_size_invariant(self, stream, capacity, seed):
+        sampler = ReservoirSampler(capacity, np.random.default_rng(seed))
+        sampler.extend(stream)
+        assert len(sampler) == min(len(stream), capacity)
+        assert sampler.items_seen == len(stream)
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=80),
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_sample_multiset_is_contained_in_stream(self, stream, capacity, seed):
+        sampler = ReservoirSampler(capacity, np.random.default_rng(seed))
+        sampler.extend(stream)
+        stream_counts = Counter(stream)
+        for item, count in Counter(sampler.sample()).items():
+            assert count <= stream_counts[item]

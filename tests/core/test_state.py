@@ -1,0 +1,199 @@
+"""Tests for repro.core.state.PopulationState."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.state import PopulationState
+
+
+class TestConstruction:
+    def test_valid_state(self):
+        state = PopulationState([0, 1, 2, 2], num_opinions=3)
+        assert state.num_nodes == 4
+        assert state.num_opinions == 3
+
+    def test_rejects_out_of_range_opinion(self):
+        with pytest.raises(ValueError):
+            PopulationState([0, 4], num_opinions=3)
+
+    def test_rejects_negative_opinion(self):
+        with pytest.raises(ValueError):
+            PopulationState([-1, 1], num_opinions=3)
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            PopulationState([], num_opinions=2)
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ValueError):
+            PopulationState([[1, 2]], num_opinions=2)
+
+    def test_input_is_copied(self):
+        opinions = np.array([1, 2])
+        state = PopulationState(opinions, num_opinions=2)
+        opinions[0] = 2
+        assert state.opinions[0] == 1
+
+
+class TestConstructors:
+    def test_all_undecided(self):
+        state = PopulationState.all_undecided(10, 3)
+        assert state.opinionated_count() == 0
+        assert state.num_nodes == 10
+
+    def test_single_source(self):
+        state = PopulationState.single_source(10, 3, source_opinion=2, source_node=4)
+        assert state.opinionated_count() == 1
+        assert state.opinions[4] == 2
+
+    def test_single_source_validation(self):
+        with pytest.raises(ValueError):
+            PopulationState.single_source(10, 3, source_opinion=4)
+        with pytest.raises(ValueError):
+            PopulationState.single_source(10, 3, source_opinion=1, source_node=10)
+
+    def test_from_counts(self):
+        state = PopulationState.from_counts(
+            10, {1: 4, 3: 2}, num_opinions=3, random_state=0
+        )
+        counts = state.opinion_counts()
+        assert counts.tolist() == [4, 0, 2]
+        assert state.opinionated_count() == 6
+
+    def test_from_counts_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            PopulationState.from_counts(5, {1: 4, 2: 3}, num_opinions=2)
+
+    def test_from_counts_invalid_opinion(self):
+        with pytest.raises(ValueError):
+            PopulationState.from_counts(5, {4: 1}, num_opinions=3)
+
+    def test_from_counts_shuffle_randomizes_positions(self):
+        unshuffled = PopulationState.from_counts(
+            20, {1: 10, 2: 10}, 2, shuffle=False
+        )
+        shuffled = PopulationState.from_counts(
+            20, {1: 10, 2: 10}, 2, random_state=1, shuffle=True
+        )
+        assert unshuffled.opinion_counts().tolist() == shuffled.opinion_counts().tolist()
+        assert not np.array_equal(unshuffled.opinions, shuffled.opinions)
+
+    def test_from_fractions(self):
+        state = PopulationState.from_fractions(100, [0.5, 0.3, 0.1], random_state=0)
+        counts = state.opinion_counts()
+        assert counts.tolist() == [50, 30, 10]
+        assert state.opinionated_fraction() == pytest.approx(0.9)
+
+    def test_from_fractions_rounding_preserves_plurality(self):
+        state = PopulationState.from_fractions(7, [0.52, 0.48], random_state=0)
+        counts = state.opinion_counts()
+        assert counts[0] > counts[1]
+        assert counts.sum() == 7
+
+    def test_from_fractions_validation(self):
+        with pytest.raises(ValueError):
+            PopulationState.from_fractions(10, [0.7, 0.6])
+        with pytest.raises(ValueError):
+            PopulationState.from_fractions(10, [-0.1, 0.5])
+
+
+class TestDerivedQuantities:
+    def test_opinion_distribution_sums_to_opinionated_fraction(self):
+        state = PopulationState([0, 0, 1, 2, 2], num_opinions=3)
+        distribution = state.opinion_distribution()
+        assert distribution.sum() == pytest.approx(state.opinionated_fraction())
+        assert distribution.tolist() == [0.2, 0.4, 0.0]
+
+    def test_conditional_distribution(self):
+        state = PopulationState([0, 0, 1, 2, 2], num_opinions=3)
+        conditional = state.conditional_distribution()
+        assert conditional.sum() == pytest.approx(1.0)
+        assert conditional.tolist() == pytest.approx([1 / 3, 2 / 3, 0.0])
+
+    def test_conditional_distribution_empty(self):
+        state = PopulationState.all_undecided(5, 2)
+        assert state.conditional_distribution().tolist() == [0.0, 0.0]
+
+    def test_bias_toward(self):
+        state = PopulationState([1, 1, 1, 2, 3], num_opinions=3)
+        assert state.bias_toward(1) == pytest.approx(0.6 - 0.2)
+        assert state.bias_toward(2) == pytest.approx(0.2 - 0.6)
+
+    def test_bias_toward_invalid_opinion(self):
+        state = PopulationState([1], num_opinions=2)
+        with pytest.raises(ValueError):
+            state.bias_toward(3)
+
+    def test_bias_single_opinion_space(self):
+        state = PopulationState([1, 1, 0], num_opinions=1)
+        assert state.bias_toward(1) == pytest.approx(2 / 3)
+
+    def test_plurality_opinion(self):
+        state = PopulationState([1, 2, 2, 3], num_opinions=3)
+        assert state.plurality_opinion() == 2
+
+    def test_plurality_of_undecided_population_is_zero(self):
+        assert PopulationState.all_undecided(4, 3).plurality_opinion() == 0
+
+    def test_plurality_tie_smallest_label(self):
+        state = PopulationState([1, 2], num_opinions=2)
+        assert state.plurality_opinion() == 1
+
+    def test_has_consensus(self):
+        assert PopulationState([2, 2, 2], num_opinions=3).has_consensus_on(2)
+        assert not PopulationState([2, 2, 1], num_opinions=3).has_consensus_on(2)
+        assert not PopulationState([2, 2, 0], num_opinions=3).has_consensus_on(2)
+
+    def test_is_delta_biased(self):
+        state = PopulationState([1, 1, 1, 2], num_opinions=2)
+        assert state.is_delta_biased(1, 0.5)
+        assert not state.is_delta_biased(1, 0.6)
+
+    def test_summary_keys(self):
+        summary = PopulationState([1, 2, 2], num_opinions=2).summary()
+        assert summary["plurality_opinion"] == 2
+        assert summary["opinionated_fraction"] == pytest.approx(1.0)
+
+    def test_copy_is_independent(self):
+        state = PopulationState([1, 2], num_opinions=2)
+        clone = state.copy()
+        clone.opinions[0] = 2
+        assert state.opinions[0] == 1
+
+    def test_equality(self):
+        a = PopulationState([1, 2], num_opinions=2)
+        b = PopulationState([1, 2], num_opinions=2)
+        c = PopulationState([2, 1], num_opinions=2)
+        assert a == b
+        assert a != c
+
+    def test_opinionated_mask(self):
+        state = PopulationState([0, 1, 0, 3], num_opinions=3)
+        assert state.opinionated_mask().tolist() == [False, True, False, True]
+
+
+class TestStateProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=60)
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_counts_and_fractions_consistent(self, opinions):
+        state = PopulationState(opinions, num_opinions=4)
+        counts = state.opinion_counts()
+        assert counts.sum() == state.opinionated_count()
+        assert state.opinion_distribution().sum() == pytest.approx(
+            state.opinionated_fraction()
+        )
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=60)
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_plurality_has_non_negative_bias(self, opinions):
+        state = PopulationState(opinions, num_opinions=4)
+        plurality = state.plurality_opinion()
+        assert state.bias_toward(plurality) >= 0

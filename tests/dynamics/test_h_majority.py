@@ -1,0 +1,84 @@
+"""Tests for repro.dynamics.h_majority."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.state import PopulationState
+from repro.dynamics.h_majority import HMajorityDynamics, ThreeMajorityDynamics
+from repro.experiments.workloads import biased_population
+from repro.noise.families import identity_matrix, uniform_noise_matrix
+
+
+class TestThreeMajority:
+    def test_name(self, identity3, rng):
+        assert ThreeMajorityDynamics(10, identity3, rng).name == "3-majority"
+        assert ThreeMajorityDynamics(10, identity3, rng).sample_size == 3
+
+    def test_converges_quickly_without_noise(self, identity3, rng):
+        dynamic = ThreeMajorityDynamics(800, identity3, rng)
+        initial = biased_population(800, 3, 0.2, random_state=rng)
+        result = dynamic.run(initial, 200, target_opinion=1)
+        assert result.converged
+        assert result.success
+        assert result.rounds_executed < 60
+
+    def test_consensus_is_absorbing(self, identity3, rng):
+        dynamic = ThreeMajorityDynamics(100, identity3, rng)
+        initial = PopulationState.from_counts(100, {2: 100}, 3, rng)
+        result = dynamic.run(initial, 10, stop_at_consensus=False)
+        assert result.final_state.has_consensus_on(2)
+
+    def test_noise_prevents_stable_consensus_on_plurality(self, rng):
+        # Under constant per-observation noise and a small initial bias, the
+        # 3-majority dynamics lose most of the bias: the noisy channel keeps
+        # re-injecting minority opinions.  We check that the final bias does
+        # not approach 1 within the paper-protocol round budget.
+        noise = uniform_noise_matrix(3, 0.2)
+        dynamic = ThreeMajorityDynamics(1000, noise, rng)
+        initial = biased_population(1000, 3, 0.1, random_state=rng)
+        result = dynamic.run(initial, 120, target_opinion=1, stop_at_consensus=False)
+        assert result.final_state.bias_toward(1) < 0.8
+
+
+class TestHMajority:
+    def test_sample_size_validation(self, identity3, rng):
+        with pytest.raises(ValueError):
+            HMajorityDynamics(10, identity3, 0, rng)
+
+    def test_name_reflects_h(self, identity3, rng):
+        assert HMajorityDynamics(10, identity3, 7, rng).name == "7-majority"
+
+    def test_larger_h_converges_at_least_as_fast(self, identity3):
+        rounds = {}
+        for h in (3, 9):
+            rng = np.random.default_rng(0)
+            dynamic = HMajorityDynamics(600, identity3, h, rng)
+            initial = biased_population(600, 3, 0.15, random_state=0)
+            result = dynamic.run(initial, 300, target_opinion=1)
+            assert result.success
+            rounds[h] = result.rounds_executed
+        assert rounds[9] <= rounds[3] + 2
+
+    def test_h_one_behaves_like_voter(self, identity3, rng):
+        # h = 1 copies a single observation; consensus is slow, so after a few
+        # rounds the population should still be mixed.
+        dynamic = HMajorityDynamics(500, identity3, 1, rng)
+        initial = biased_population(500, 3, 0.1, random_state=rng)
+        result = dynamic.run(initial, 10, stop_at_consensus=False)
+        assert not result.converged
+
+    def test_undecided_nodes_get_absorbed(self, identity3, rng):
+        dynamic = ThreeMajorityDynamics(300, identity3, rng)
+        initial = PopulationState.from_counts(300, {1: 100, 2: 50}, 3, rng)
+        result = dynamic.run(initial, 100)
+        assert result.final_state.opinionated_fraction() == pytest.approx(1.0)
+
+    def test_step_keeps_opinions_in_range(self, uniform3, rng):
+        dynamic = HMajorityDynamics(100, uniform3, 5, rng)
+        state = biased_population(100, 3, 0.2, random_state=rng)
+        for _ in range(5):
+            dynamic.step(state)
+        assert state.opinions.min() >= 0
+        assert state.opinions.max() <= 3

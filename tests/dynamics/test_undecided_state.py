@@ -1,0 +1,68 @@
+"""Tests for repro.dynamics.undecided_state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.state import PopulationState
+from repro.dynamics.undecided_state import UndecidedStateDynamics
+from repro.experiments.workloads import biased_population
+from repro.noise.families import identity_matrix, uniform_noise_matrix
+
+
+class TestUndecidedStateDynamics:
+    def test_converges_without_noise(self, identity3, rng):
+        dynamic = UndecidedStateDynamics(600, identity3, rng)
+        initial = biased_population(600, 3, 0.25, random_state=rng)
+        result = dynamic.run(initial, 500, target_opinion=1)
+        assert result.converged
+        assert result.success
+
+    def test_consensus_is_absorbing(self, identity3, rng):
+        dynamic = UndecidedStateDynamics(100, identity3, rng)
+        initial = PopulationState.from_counts(100, {3: 100}, 3, rng)
+        result = dynamic.run(initial, 20, stop_at_consensus=False)
+        assert result.final_state.has_consensus_on(3)
+
+    def test_conflicting_observation_creates_undecided_nodes(self, identity3):
+        # With a 50/50 split and no noise, conflicts must appear immediately.
+        rng = np.random.default_rng(0)
+        dynamic = UndecidedStateDynamics(400, identity3, rng)
+        state = PopulationState.from_counts(400, {1: 200, 2: 200}, 3, rng)
+        dynamic.step(state)
+        assert state.opinionated_count() < 400
+
+    def test_undecided_nodes_adopt_observed_opinion(self, identity3):
+        rng = np.random.default_rng(1)
+        dynamic = UndecidedStateDynamics(50, identity3, rng)
+        # One opinionated node among undecided ones: observers of that node
+        # adopt its opinion, nobody can become "more undecided".
+        state = PopulationState.from_counts(50, {2: 25}, 3, rng)
+        before = state.opinionated_count()
+        dynamic.step(state)
+        assert state.opinionated_count() >= before - 25  # opinionated may drop only via conflict
+        assert set(np.unique(state.opinions)).issubset({0, 2})
+
+    def test_same_opinion_observation_is_stable(self, identity3, rng):
+        dynamic = UndecidedStateDynamics(80, identity3, rng)
+        state = PopulationState.from_counts(80, {1: 80}, 3, rng)
+        dynamic.step(state)
+        assert state.has_consensus_on(1)
+
+    def test_step_keeps_opinions_in_range(self, uniform3, rng):
+        dynamic = UndecidedStateDynamics(100, uniform3, rng)
+        state = biased_population(100, 3, 0.2, random_state=rng)
+        for _ in range(10):
+            dynamic.step(state)
+        assert state.opinions.min() >= 0
+        assert state.opinions.max() <= 3
+
+    def test_noise_slows_or_prevents_convergence(self, rng):
+        noise = uniform_noise_matrix(3, 0.15)
+        dynamic = UndecidedStateDynamics(600, noise, rng)
+        initial = biased_population(600, 3, 0.1, random_state=rng)
+        result = dynamic.run(initial, 80, target_opinion=1, stop_at_consensus=False)
+        # Under noise the dynamics cannot lock in full consensus: corrupted
+        # observations keep knocking nodes back to undecided.
+        assert not result.final_state.has_consensus_on(1)

@@ -1,0 +1,58 @@
+"""Tests for repro.dynamics.voter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.state import PopulationState
+from repro.dynamics.voter import VoterDynamics
+from repro.experiments.workloads import biased_population
+from repro.noise.families import identity_matrix, uniform_noise_matrix
+
+
+class TestVoterDynamics:
+    def test_consensus_is_absorbing_without_noise(self, identity3, rng):
+        dynamic = VoterDynamics(100, identity3, rng)
+        state = PopulationState.from_counts(100, {1: 100}, 3, rng)
+        dynamic.step(state)
+        assert state.has_consensus_on(1)
+
+    def test_noise_breaks_absorbing_consensus(self, rng):
+        noise = uniform_noise_matrix(3, 0.2)
+        dynamic = VoterDynamics(300, noise, rng)
+        state = PopulationState.from_counts(300, {1: 300}, 3, rng)
+        dynamic.step(state)
+        assert not state.has_consensus_on(1)
+
+    def test_no_amplification_of_small_bias(self, identity3, rng):
+        # The voter model drifts: after a handful of rounds the small initial
+        # bias is essentially unchanged in expectation, so full consensus on
+        # the plurality within few rounds would be extraordinary.
+        dynamic = VoterDynamics(2000, identity3, rng)
+        initial = biased_population(2000, 3, 0.05, random_state=rng)
+        result = dynamic.run(initial, 20, stop_at_consensus=False)
+        assert not result.converged
+        assert abs(result.final_state.bias_toward(1) - 0.05) < 0.2
+
+    def test_undecided_observers_keep_state_when_target_undecided(self, identity3, rng):
+        dynamic = VoterDynamics(50, identity3, rng)
+        state = PopulationState.all_undecided(50, 3)
+        dynamic.step(state)
+        assert state.opinionated_count() == 0
+
+    def test_opinion_mass_conserved_in_expectation(self, identity3):
+        rng = np.random.default_rng(0)
+        dynamic = VoterDynamics(3000, identity3, rng)
+        state = PopulationState.from_counts(3000, {1: 1800, 2: 1200}, 3, rng)
+        dynamic.step(state)
+        fraction_one = state.opinion_counts()[0] / 3000
+        assert fraction_one == pytest.approx(0.6, abs=0.03)
+
+    def test_step_keeps_opinions_in_range(self, uniform3, rng):
+        dynamic = VoterDynamics(100, uniform3, rng)
+        state = biased_population(100, 3, 0.2, random_state=rng)
+        for _ in range(10):
+            dynamic.step(state)
+        assert state.opinions.min() >= 0
+        assert state.opinions.max() <= 3

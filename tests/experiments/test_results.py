@@ -1,0 +1,53 @@
+"""Tests for repro.experiments.results.ExperimentTable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.results import ExperimentTable
+
+
+@pytest.fixture
+def table() -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id="E0",
+        title="A test table",
+        paper_claim="Things hold",
+    )
+    table.add_record(n=10, value=1.5, ok=True)
+    table.add_record(n=20, value=2.5, ok=False)
+    return table
+
+
+class TestExperimentTable:
+    def test_add_record_returns_row(self, table):
+        row = table.add_record(n=30, value=3.5, ok=True)
+        assert row["n"] == 30
+        assert len(table) == 3
+
+    def test_column_extraction(self, table):
+        assert table.column("n") == [10, 20]
+        assert table.column("missing") == [None, None]
+
+    def test_filtered(self, table):
+        assert len(table.filtered(ok=True)) == 1
+        assert table.filtered(ok=True)[0]["n"] == 10
+        assert table.filtered(n=20, ok=False)[0]["value"] == 2.5
+        assert table.filtered(n=99) == []
+
+    def test_to_text_contains_metadata_and_rows(self, table):
+        text = table.to_text()
+        assert "[E0] A test table" in text
+        assert "Things hold" in text
+        assert "20" in text
+
+    def test_to_text_column_selection(self, table):
+        text = table.to_text(columns=["n"])
+        assert "value" not in text.splitlines()[3]
+
+    def test_notes_rendered(self, table):
+        table.add_note("a caveat")
+        assert "note: a caveat" in table.to_text()
+
+    def test_iteration(self, table):
+        assert [record["n"] for record in table] == [10, 20]

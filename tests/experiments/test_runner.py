@@ -1,0 +1,61 @@
+"""Tests for repro.experiments.runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import repeat_trials, summarize, sweep_product
+
+
+class TestRepeatTrials:
+    def test_number_of_trials(self):
+        results = repeat_trials(lambda rng: 1, 5, random_state=0)
+        assert results == [1, 1, 1, 1, 1]
+
+    def test_trials_get_independent_generators(self):
+        draws = repeat_trials(lambda rng: rng.integers(0, 10**9), 4, random_state=0)
+        assert len(set(draws)) > 1
+
+    def test_reproducible(self):
+        first = repeat_trials(lambda rng: rng.integers(0, 10**9), 3, random_state=7)
+        second = repeat_trials(lambda rng: rng.integers(0, 10**9), 3, random_state=7)
+        assert first == second
+
+    def test_requires_positive_trials(self):
+        with pytest.raises(ValueError):
+            repeat_trials(lambda rng: 1, 0)
+
+
+class TestSweepProduct:
+    def test_cartesian_product(self):
+        grid = sweep_product(n=[10, 20], eps=[0.1, 0.2])
+        assert len(grid) == 4
+        assert {"n": 20, "eps": 0.1} in grid
+
+    def test_empty_sweep(self):
+        assert sweep_product() == [{}]
+
+    def test_single_axis(self):
+        assert sweep_product(x=[1, 2, 3]) == [{"x": 1}, {"x": 2}, {"x": 3}]
+
+    def test_preserves_order(self):
+        grid = sweep_product(a=[1, 2], b=["x"])
+        assert grid[0] == {"a": 1, "b": "x"}
+        assert grid[1] == {"a": 2, "b": "x"}
+
+
+class TestSummarize:
+    def test_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["std"] == pytest.approx(1.0)
+
+    def test_single_value_has_zero_std(self):
+        assert summarize([4.2])["std"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,55 @@
+"""Tests for repro.experiments.workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.workloads import (
+    biased_population,
+    plurality_instance_with_bias,
+    rumor_instance,
+)
+
+
+class TestRumorInstance:
+    def test_single_source(self):
+        state = rumor_instance(100, 4, correct_opinion=3)
+        assert state.opinionated_count() == 1
+        assert state.plurality_opinion() == 3
+
+
+class TestBiasedPopulation:
+    def test_everyone_opinionated(self):
+        state = biased_population(500, 3, 0.2, random_state=0)
+        assert state.opinionated_fraction() == pytest.approx(1.0)
+
+    def test_bias_approximately_achieved(self):
+        state = biased_population(1000, 3, 0.2, random_state=0)
+        assert state.bias_toward(1) == pytest.approx(0.2, abs=0.01)
+
+    def test_majority_opinion_choice(self):
+        state = biased_population(300, 4, 0.3, majority_opinion=2, random_state=0)
+        assert state.plurality_opinion() == 2
+
+    def test_two_block_style(self):
+        state = biased_population(400, 3, 0.2, style="two_block", random_state=0)
+        counts = state.opinion_counts()
+        assert counts[2] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            biased_population(100, 3, 1.4)
+
+
+class TestPluralityInstanceWithBias:
+    def test_support_and_bias(self):
+        instance = plurality_instance_with_bias(1000, 200, 3, 0.3)
+        assert instance.support_size == 200
+        assert instance.plurality_opinion() == 1
+        assert instance.plurality_bias_within_support() == pytest.approx(0.3, abs=0.02)
+
+    def test_majority_opinion_respected(self):
+        instance = plurality_instance_with_bias(
+            1000, 100, 4, 0.2, majority_opinion=3
+        )
+        assert instance.plurality_opinion() == 3

@@ -1,0 +1,62 @@
+"""Integration tests of the O / B / P process-equivalence claims (Claim 1, Lemma 2/3).
+
+Beyond the unit-level statistical checks, these tests run the *protocol*
+under each delivery process and check the outcomes agree — the operational
+content of the paper's proof strategy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import TwoStageProtocol
+from repro.core.state import PopulationState
+from repro.experiments.workloads import biased_population
+from repro.noise.families import uniform_noise_matrix
+
+
+class TestProtocolUnderEveryProcess:
+    @pytest.mark.parametrize("process", ["push", "balls_bins", "poisson"])
+    def test_rumor_spreading_succeeds(self, process):
+        noise = uniform_noise_matrix(3, 0.3)
+        protocol = TwoStageProtocol(
+            700, noise, epsilon=0.3, process=process, random_state=0
+        )
+        result = protocol.run(PopulationState.single_source(700, 3, 2))
+        assert result.success
+
+    @pytest.mark.parametrize("process", ["push", "balls_bins", "poisson"])
+    def test_stage1_bias_comparable_across_processes(self, process):
+        noise = uniform_noise_matrix(3, 0.3)
+        protocol = TwoStageProtocol(
+            1000, noise, epsilon=0.3, process=process, random_state=1
+        )
+        result = protocol.run(PopulationState.single_source(1000, 3, 1))
+        assert result.opinionated_after_stage1 == 1000
+        assert 0.02 < result.bias_after_stage1 < 0.6
+
+    def test_round_counts_identical_across_processes(self):
+        # The schedule is deterministic, so every process runs the same number
+        # of rounds; only the randomness of deliveries differs.
+        noise = uniform_noise_matrix(3, 0.3)
+        totals = set()
+        for process in ("push", "balls_bins", "poisson"):
+            protocol = TwoStageProtocol(
+                500, noise, epsilon=0.3, process=process, random_state=2
+            )
+            result = protocol.run(PopulationState.single_source(500, 3, 1))
+            totals.add(result.total_rounds)
+        assert len(totals) == 1
+
+    def test_plurality_outcome_agrees_across_processes(self):
+        noise = uniform_noise_matrix(3, 0.25)
+        winners = {}
+        for process in ("push", "balls_bins", "poisson"):
+            protocol = TwoStageProtocol(
+                900, noise, epsilon=0.25, process=process, random_state=3
+            )
+            initial = biased_population(900, 3, 0.15, random_state=3)
+            result = protocol.run(initial, target_opinion=1)
+            winners[process] = result.final_state.plurality_opinion()
+        assert set(winners.values()) == {1}

@@ -1,0 +1,111 @@
+"""Tests for repro.network.balls_bins (process B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.balls_bins import BallsIntoBinsProcess
+from repro.noise.families import identity_matrix, uniform_noise_matrix
+
+
+class TestRecolor:
+    def test_identity_recolor_is_noop(self, identity3, rng):
+        process = BallsIntoBinsProcess(10, identity3, rng)
+        histogram = np.array([5, 3, 2])
+        assert np.array_equal(process.recolor(histogram), histogram)
+
+    def test_recolor_conserves_balls(self, uniform3, rng):
+        process = BallsIntoBinsProcess(10, uniform3, rng)
+        assert process.recolor([100, 50, 0]).sum() == 150
+
+    def test_recolor_validates_length(self, uniform3, rng):
+        process = BallsIntoBinsProcess(10, uniform3, rng)
+        with pytest.raises(ValueError):
+            process.recolor([1, 2])
+
+    def test_recolor_rejects_negative(self, uniform3, rng):
+        process = BallsIntoBinsProcess(10, uniform3, rng)
+        with pytest.raises(ValueError):
+            process.recolor([-1, 2, 3])
+
+
+class TestThrow:
+    def test_throw_conserves_balls(self, identity3, rng):
+        process = BallsIntoBinsProcess(12, identity3, rng)
+        received = process.throw([30, 0, 6])
+        assert received.total_messages() == 36
+        assert received.opinion_totals().tolist() == [30, 0, 6]
+
+    def test_throw_uniform_over_bins(self, identity3, rng):
+        process = BallsIntoBinsProcess(10, identity3, rng)
+        received = process.throw([5000, 0, 0])
+        per_node = received.totals()
+        assert per_node.min() > 350
+        assert per_node.max() < 650
+
+
+class TestRunPhase:
+    def test_run_phase_conserves_messages(self, uniform3, rng):
+        process = BallsIntoBinsProcess(20, uniform3, rng)
+        received = process.run_phase([40, 20, 10])
+        assert received.total_messages() == 70
+
+    def test_run_phase_from_senders(self, uniform3, rng):
+        process = BallsIntoBinsProcess(20, uniform3, rng)
+        senders = np.array([1, 1, 2])
+        received = process.run_phase_from_senders(senders, num_rounds=5)
+        assert received.total_messages() == 15
+
+    def test_invalid_sender_opinion_rejected(self, uniform3, rng):
+        process = BallsIntoBinsProcess(20, uniform3, rng)
+        with pytest.raises(ValueError):
+            process.run_phase_from_senders(np.array([0]), 1)
+
+    def test_requires_noise_matrix(self):
+        with pytest.raises(TypeError):
+            BallsIntoBinsProcess(5, np.eye(2))
+
+
+class TestClaimOneAgreement:
+    def test_matches_push_model_in_distribution(self, rng):
+        """Claim 1: process B and process O agree on end-of-phase statistics."""
+        from repro.network.push_model import UniformPushModel
+
+        noise = uniform_noise_matrix(3, 0.2)
+        num_nodes, num_rounds = 25, 6
+        senders = np.array([1] * 20 + [2] * 10 + [3] * 5)
+        trials = 300
+        push = UniformPushModel(num_nodes, noise, rng)
+        bins = BallsIntoBinsProcess(num_nodes, noise, rng)
+        push_zero, bins_zero = [], []
+        push_opinion1 = []
+        bins_opinion1 = []
+        for _ in range(trials):
+            a = push.run_phase(senders, num_rounds)
+            b = bins.run_phase_from_senders(senders, num_rounds)
+            push_zero.append(float(np.mean(a.totals() == 0)))
+            bins_zero.append(float(np.mean(b.totals() == 0)))
+            push_opinion1.append(a.opinion_totals()[0])
+            bins_opinion1.append(b.opinion_totals()[0])
+        # Fraction of empty mailboxes and mean delivered opinion-1 count agree.
+        assert np.mean(push_zero) == pytest.approx(np.mean(bins_zero), abs=0.01)
+        assert np.mean(push_opinion1) == pytest.approx(
+            np.mean(bins_opinion1), rel=0.03
+        )
+
+
+class TestBallsBinsProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=3, max_size=3),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_total_balls_conserved(self, histogram, seed):
+        process = BallsIntoBinsProcess(
+            9, uniform_noise_matrix(3, 0.15), np.random.default_rng(seed)
+        )
+        received = process.run_phase(histogram)
+        assert received.total_messages() == sum(histogram)

@@ -1,0 +1,46 @@
+"""Tests for repro.network.delivery (engine dispatch)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.network.delivery import deliver_phase, supports_population_delivery
+from repro.network.push_model import UniformPushModel
+from repro.network.topology import GraphPushModel
+from repro.noise.families import identity_matrix
+
+
+class TestSupportsPopulationDelivery:
+    def test_uniform_push_is_anonymous(self, identity3):
+        assert not supports_population_delivery(UniformPushModel(5, identity3))
+
+    def test_graph_push_is_population_aware(self, identity3):
+        assert supports_population_delivery(
+            GraphPushModel(nx.complete_graph(5), identity3)
+        )
+
+
+class TestDeliverPhase:
+    def test_dispatch_to_anonymous_engine(self, identity3, rng):
+        engine = UniformPushModel(10, identity3, rng)
+        opinions = np.array([1, 0, 2, 0, 0, 0, 0, 0, 0, 3])
+        received = deliver_phase(engine, opinions, num_rounds=4)
+        # Three opinionated nodes push 4 rounds each.
+        assert received.total_messages() == 12
+
+    def test_dispatch_to_population_engine(self, identity3, rng):
+        engine = GraphPushModel(nx.complete_graph(10), identity3, rng)
+        opinions = np.array([1, 0, 2, 0, 0, 0, 0, 0, 0, 3])
+        received = deliver_phase(engine, opinions, num_rounds=4)
+        assert received.total_messages() == 12
+
+    def test_undecided_nodes_never_push(self, identity3, rng):
+        engine = UniformPushModel(6, identity3, rng)
+        received = deliver_phase(engine, np.zeros(6, dtype=int), num_rounds=3)
+        assert received.total_messages() == 0
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(TypeError):
+            deliver_phase(object(), np.array([1, 2]), 1)

@@ -1,0 +1,223 @@
+"""Tests for repro.network.mailbox.ReceivedMessages."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.network.mailbox import ReceivedMessages
+
+
+class TestConstruction:
+    def test_valid_counts_accepted(self):
+        received = ReceivedMessages(np.zeros((4, 3), dtype=int))
+        assert received.num_nodes == 4
+        assert received.num_opinions == 3
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ReceivedMessages(np.array([[-1, 0]]))
+
+    def test_vector_rejected(self):
+        with pytest.raises(ValueError):
+            ReceivedMessages(np.zeros(3, dtype=int))
+
+    def test_counts_cast_to_int(self):
+        received = ReceivedMessages(np.array([[1.0, 2.0]]))
+        assert received.counts.dtype == np.int64
+
+
+class TestTotals:
+    def test_totals_per_node(self):
+        received = ReceivedMessages(np.array([[1, 2], [0, 0], [3, 0]]))
+        assert received.totals().tolist() == [3, 0, 3]
+
+    def test_total_messages(self):
+        received = ReceivedMessages(np.array([[1, 2], [3, 4]]))
+        assert received.total_messages() == 10
+
+    def test_opinion_totals(self):
+        received = ReceivedMessages(np.array([[1, 2], [3, 4]]))
+        assert received.opinion_totals().tolist() == [4, 6]
+
+    def test_received_any(self):
+        received = ReceivedMessages(np.array([[0, 0], [1, 0]]))
+        assert received.received_any().tolist() == [False, True]
+
+    def test_merge(self):
+        a = ReceivedMessages(np.array([[1, 0], [0, 1]]))
+        b = ReceivedMessages(np.array([[2, 2], [0, 0]]))
+        merged = a.merge(b)
+        assert merged.counts.tolist() == [[3, 2], [0, 1]]
+
+    def test_merge_shape_mismatch(self):
+        a = ReceivedMessages(np.zeros((2, 2), dtype=int))
+        b = ReceivedMessages(np.zeros((3, 2), dtype=int))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestUniformOpinionChoice:
+    def test_no_messages_gives_zero(self, rng):
+        received = ReceivedMessages(np.zeros((3, 2), dtype=int))
+        assert received.uniform_opinion_choice(rng).tolist() == [0, 0, 0]
+
+    def test_single_opinion_always_chosen(self, rng):
+        received = ReceivedMessages(np.array([[0, 5, 0], [3, 0, 0]]))
+        choices = received.uniform_opinion_choice(rng)
+        assert choices.tolist() == [2, 1]
+
+    def test_choice_proportional_to_multiplicity(self, rng):
+        counts = np.tile(np.array([[3, 1]]), (20000, 1))
+        received = ReceivedMessages(counts)
+        choices = received.uniform_opinion_choice(rng)
+        fraction_one = float(np.mean(choices == 1))
+        assert fraction_one == pytest.approx(0.75, abs=0.02)
+
+    def test_only_receiving_nodes_choose(self, rng):
+        received = ReceivedMessages(np.array([[0, 0], [1, 1], [0, 2]]))
+        choices = received.uniform_opinion_choice(rng)
+        assert choices[0] == 0
+        assert choices[1] in (1, 2)
+        assert choices[2] == 2
+
+
+class TestSubsample:
+    def test_small_multisets_returned_unchanged(self, rng):
+        counts = np.array([[2, 1, 0], [0, 0, 0]])
+        received = ReceivedMessages(counts)
+        sampled = received.subsample(5, rng)
+        assert np.array_equal(sampled, counts)
+
+    def test_sample_size_respected(self, rng):
+        counts = np.array([[10, 10, 10]])
+        received = ReceivedMessages(counts)
+        sampled = received.subsample(7, rng)
+        assert sampled.sum() == 7
+
+    def test_without_replacement_never_exceeds_available(self, rng):
+        counts = np.array([[10, 2, 1]])
+        received = ReceivedMessages(counts)
+        for _ in range(20):
+            sampled = received.subsample(6, rng)
+            assert np.all(sampled <= counts)
+
+    def test_with_replacement_can_exceed_available(self, rng):
+        counts = np.array([[1, 30]])
+        received = ReceivedMessages(counts)
+        exceeded = False
+        for _ in range(200):
+            sampled = received.subsample(10, rng, method="with_replacement")
+            assert sampled.sum() == 10
+            if sampled[0, 0] > 1:
+                exceeded = True
+                break
+        assert exceeded
+
+    def test_invalid_method_rejected(self, rng):
+        received = ReceivedMessages(np.array([[3, 3]]))
+        with pytest.raises(ValueError):
+            received.subsample(2, rng, method="bogus")
+
+    def test_invalid_sample_size_rejected(self, rng):
+        received = ReceivedMessages(np.array([[3, 3]]))
+        with pytest.raises(ValueError):
+            received.subsample(0, rng)
+
+    def test_subsample_is_unbiased(self, rng):
+        # Sampling 5 from a 75/25 multiset keeps the expected proportions.
+        counts = np.tile(np.array([[30, 10]]), (5000, 1))
+        received = ReceivedMessages(counts)
+        sampled = received.subsample(5, rng)
+        fraction_one = sampled[:, 0].sum() / sampled.sum()
+        assert fraction_one == pytest.approx(0.75, abs=0.02)
+
+
+class TestMajorityVotes:
+    def test_clear_majorities(self, rng):
+        received = ReceivedMessages(np.array([[5, 1, 0], [0, 0, 4], [0, 0, 0]]))
+        votes = received.majority_votes(rng)
+        assert votes.tolist() == [1, 3, 0]
+
+    def test_sample_size_threshold_enforced(self, rng):
+        received = ReceivedMessages(np.array([[2, 1, 0], [5, 4, 0]]))
+        votes = received.majority_votes(rng, sample_size=5)
+        assert votes[0] == 0  # received only 3 < 5 messages
+        assert votes[1] in (1, 2)
+
+    def test_majority_reflects_dominant_opinion(self, rng):
+        counts = np.tile(np.array([[12, 4, 2]]), (2000, 1))
+        received = ReceivedMessages(counts)
+        votes = received.majority_votes(rng, sample_size=9)
+        assert float(np.mean(votes == 1)) > 0.9
+
+    def test_with_replacement_variant_runs(self, rng):
+        counts = np.tile(np.array([[12, 4, 2]]), (100, 1))
+        received = ReceivedMessages(counts)
+        votes = received.majority_votes(
+            rng, sample_size=9, sampling_method="with_replacement"
+        )
+        assert set(np.unique(votes)).issubset({1, 2, 3})
+
+
+class TestMailboxProperties:
+    @given(
+        arrays(
+            dtype=np.int64,
+            shape=st.tuples(
+                st.integers(min_value=1, max_value=8),
+                st.integers(min_value=1, max_value=4),
+            ),
+            elements=st.integers(min_value=0, max_value=12),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_subsample_conserves_or_caps_totals(self, counts):
+        received = ReceivedMessages(counts)
+        rng = np.random.default_rng(0)
+        sampled = received.subsample(4, rng)
+        totals = received.totals()
+        sampled_totals = sampled.sum(axis=1)
+        assert np.all(sampled_totals == np.minimum(totals, 4))
+        assert np.all(sampled_totals[totals > 4] == 4)
+        assert np.all(sampled_totals[totals <= 4] == totals[totals <= 4])
+
+    @given(
+        arrays(
+            dtype=np.int64,
+            shape=st.tuples(
+                st.integers(min_value=1, max_value=8),
+                st.integers(min_value=1, max_value=4),
+            ),
+            elements=st.integers(min_value=0, max_value=12),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_majority_votes_only_for_receivers(self, counts):
+        received = ReceivedMessages(counts)
+        votes = received.majority_votes(np.random.default_rng(1))
+        totals = received.totals()
+        assert np.all((votes == 0) == (totals == 0))
+
+    @given(
+        arrays(
+            dtype=np.int64,
+            shape=st.tuples(
+                st.integers(min_value=1, max_value=6),
+                st.integers(min_value=2, max_value=4),
+            ),
+            elements=st.integers(min_value=0, max_value=10),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_vote_is_a_mode_of_the_full_multiset(self, counts):
+        received = ReceivedMessages(counts)
+        votes = received.majority_votes(np.random.default_rng(2))
+        for node in range(received.num_nodes):
+            if votes[node] == 0:
+                continue
+            row = counts[node]
+            assert row[votes[node] - 1] == row.max()

@@ -1,0 +1,79 @@
+"""Tests for repro.network.poisson_model (process P)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.poisson_model import PoissonizedProcess
+from repro.noise.families import identity_matrix, uniform_noise_matrix
+
+
+class TestDeliver:
+    def test_mean_counts_match_rates(self, rng):
+        process = PoissonizedProcess(200, identity_matrix(2), rng)
+        received = process.deliver([1000, 400])
+        means = received.counts.mean(axis=0)
+        assert means[0] == pytest.approx(1000 / 200, rel=0.15)
+        assert means[1] == pytest.approx(400 / 200, rel=0.2)
+
+    def test_zero_histogram_gives_no_messages(self, rng):
+        process = PoissonizedProcess(50, identity_matrix(3), rng)
+        assert process.deliver([0, 0, 0]).total_messages() == 0
+
+    def test_wrong_length_rejected(self, rng):
+        process = PoissonizedProcess(50, identity_matrix(3), rng)
+        with pytest.raises(ValueError):
+            process.deliver([1, 2])
+
+    def test_negative_rejected(self, rng):
+        process = PoissonizedProcess(50, identity_matrix(3), rng)
+        with pytest.raises(ValueError):
+            process.deliver([-1, 0, 0])
+
+    def test_independence_across_opinions(self, rng):
+        # Covariance between counts of different opinions should be ~0 in
+        # process P (unlike the multinomial coupling of process B).
+        process = PoissonizedProcess(5000, identity_matrix(2), rng)
+        received = process.deliver([15000, 15000])
+        correlation = np.corrcoef(received.counts[:, 0], received.counts[:, 1])[0, 1]
+        assert abs(correlation) < 0.05
+
+
+class TestRunPhase:
+    def test_run_phase_applies_noise_first(self, rng):
+        epsilon = 0.3
+        process = PoissonizedProcess(100, uniform_noise_matrix(2, epsilon), rng)
+        received = process.run_phase([20000, 0])
+        fraction_one = received.opinion_totals()[0] / received.total_messages()
+        assert fraction_one == pytest.approx(0.5 + epsilon, abs=0.02)
+
+    def test_run_phase_from_senders(self, uniform3, rng):
+        process = PoissonizedProcess(60, uniform3, rng)
+        received = process.run_phase_from_senders(np.array([1, 2, 3]), num_rounds=100)
+        # Poissonization only conserves the total in expectation.
+        assert received.total_messages() == pytest.approx(300, rel=0.3)
+
+    def test_invalid_sender_opinion_rejected(self, uniform3, rng):
+        process = PoissonizedProcess(60, uniform3, rng)
+        with pytest.raises(ValueError):
+            process.run_phase_from_senders(np.array([9]), 1)
+
+    def test_requires_noise_matrix(self):
+        with pytest.raises(TypeError):
+            PoissonizedProcess(5, np.eye(2))
+
+
+class TestExpectedCounts:
+    def test_expected_counts_shape_and_values(self, rng):
+        process = PoissonizedProcess(10, identity_matrix(2), rng)
+        expected = process.expected_counts([30, 10])
+        assert expected.shape == (10, 2)
+        assert np.allclose(expected[0], [3.0, 1.0])
+
+    def test_empirical_matches_expected(self, rng):
+        process = PoissonizedProcess(2000, identity_matrix(3), rng)
+        histogram = [6000, 2000, 1000]
+        received = process.deliver(histogram)
+        expected = process.expected_counts(histogram)
+        assert np.allclose(received.counts.mean(axis=0), expected[0], rtol=0.1)

@@ -1,0 +1,88 @@
+"""Tests for repro.network.pull_model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.pull_model import UniformPullModel
+from repro.noise.families import identity_matrix, uniform_noise_matrix
+
+
+class TestObserve:
+    def test_every_node_observes_sample_size_when_all_opinionated(self, rng):
+        model = UniformPullModel(50, identity_matrix(3), rng)
+        opinions = rng.integers(1, 4, size=50)
+        received = model.observe(opinions, sample_size=4)
+        assert np.all(received.totals() == 4)
+
+    def test_undecided_targets_yield_fewer_observations(self, rng):
+        model = UniformPullModel(100, identity_matrix(2), rng)
+        opinions = np.zeros(100, dtype=int)
+        opinions[:20] = 1  # only 20% opinionated
+        received = model.observe(opinions, sample_size=5)
+        mean_observed = received.totals().mean()
+        assert mean_observed == pytest.approx(5 * 0.2, abs=0.4)
+
+    def test_exclude_undecided_targets(self, rng):
+        model = UniformPullModel(100, identity_matrix(2), rng)
+        opinions = np.zeros(100, dtype=int)
+        opinions[:10] = 2
+        received = model.observe(opinions, sample_size=3, include_undecided=False)
+        assert np.all(received.totals() == 3)
+        assert received.opinion_totals()[0] == 0
+
+    def test_observation_distribution_matches_population(self, rng):
+        model = UniformPullModel(300, identity_matrix(2), rng)
+        opinions = np.array([1] * 210 + [2] * 90)
+        received = model.observe(opinions, sample_size=10)
+        fraction_one = received.opinion_totals()[0] / received.total_messages()
+        assert fraction_one == pytest.approx(0.7, abs=0.03)
+
+    def test_noise_applied_to_observations(self, rng):
+        epsilon = 0.3
+        model = UniformPullModel(300, uniform_noise_matrix(2, epsilon), rng)
+        opinions = np.ones(300, dtype=int)
+        received = model.observe(opinions, sample_size=10)
+        fraction_one = received.opinion_totals()[0] / received.total_messages()
+        assert fraction_one == pytest.approx(0.5 + epsilon, abs=0.03)
+
+    def test_wrong_length_rejected(self, rng):
+        model = UniformPullModel(10, identity_matrix(2), rng)
+        with pytest.raises(ValueError):
+            model.observe(np.ones(5, dtype=int), 2)
+
+    def test_out_of_range_opinion_rejected(self, rng):
+        model = UniformPullModel(10, identity_matrix(2), rng)
+        with pytest.raises(ValueError):
+            model.observe(np.full(10, 3), 2)
+
+    def test_all_undecided_population(self, rng):
+        model = UniformPullModel(10, identity_matrix(2), rng)
+        received = model.observe(np.zeros(10, dtype=int), 3)
+        assert received.total_messages() == 0
+
+    def test_requires_noise_matrix(self):
+        with pytest.raises(TypeError):
+            UniformPullModel(5, np.eye(2))
+
+
+class TestObserveSingle:
+    def test_single_observation_range(self, rng):
+        model = UniformPullModel(40, identity_matrix(3), rng)
+        opinions = rng.integers(1, 4, size=40)
+        observed = model.observe_single(opinions)
+        assert observed.shape == (40,)
+        assert observed.min() >= 1 and observed.max() <= 3
+
+    def test_single_observation_zero_when_target_undecided(self, rng):
+        model = UniformPullModel(40, identity_matrix(3), rng)
+        observed = model.observe_single(np.zeros(40, dtype=int))
+        assert np.all(observed == 0)
+
+    def test_single_observation_matches_population_mix(self, rng):
+        model = UniformPullModel(5000, identity_matrix(2), rng)
+        opinions = np.array([1] * 4000 + [2] * 1000)
+        observed = model.observe_single(opinions)
+        fraction_one = float(np.mean(observed == 1))
+        assert fraction_one == pytest.approx(0.8, abs=0.03)

@@ -1,0 +1,164 @@
+"""Tests for repro.network.push_model (process O)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.push_model import UniformPushModel
+from repro.noise.families import identity_matrix, uniform_noise_matrix
+
+
+class TestConstruction:
+    def test_requires_noise_matrix(self):
+        with pytest.raises(TypeError):
+            UniformPushModel(10, np.eye(2))
+
+    def test_requires_positive_nodes(self, identity3):
+        with pytest.raises(ValueError):
+            UniformPushModel(0, identity3)
+
+    def test_num_opinions_from_noise(self, uniform3):
+        assert UniformPushModel(10, uniform3).num_opinions == 3
+
+
+class TestRunPhase:
+    def test_message_conservation(self, identity3, rng):
+        model = UniformPushModel(50, identity3, rng)
+        senders = rng.integers(1, 4, size=30)
+        received = model.run_phase(senders, num_rounds=4)
+        assert received.total_messages() == 30 * 4
+
+    def test_noise_free_opinion_histogram_preserved(self, identity3, rng):
+        model = UniformPushModel(50, identity3, rng)
+        senders = np.array([1] * 10 + [2] * 5 + [3] * 2)
+        received = model.run_phase(senders, num_rounds=3)
+        assert received.opinion_totals().tolist() == [30, 15, 6]
+
+    def test_empty_sender_set(self, identity3, rng):
+        model = UniformPushModel(20, identity3, rng)
+        received = model.run_phase(np.array([], dtype=int), num_rounds=3)
+        assert received.total_messages() == 0
+        assert received.counts.shape == (20, 3)
+
+    def test_invalid_opinion_rejected(self, identity3, rng):
+        model = UniformPushModel(20, identity3, rng)
+        with pytest.raises(ValueError):
+            model.run_phase(np.array([0, 1]), num_rounds=1)
+        with pytest.raises(ValueError):
+            model.run_phase(np.array([4]), num_rounds=1)
+
+    def test_invalid_rounds_rejected(self, identity3, rng):
+        model = UniformPushModel(20, identity3, rng)
+        with pytest.raises(ValueError):
+            model.run_phase(np.array([1]), num_rounds=0)
+
+    def test_targets_roughly_uniform(self, identity3, rng):
+        num_nodes = 20
+        model = UniformPushModel(num_nodes, identity3, rng)
+        senders = np.ones(200, dtype=int)
+        received = model.run_phase(senders, num_rounds=50)
+        per_node = received.totals()
+        expected = 200 * 50 / num_nodes
+        assert per_node.min() > expected * 0.7
+        assert per_node.max() < expected * 1.3
+
+    def test_noise_corrupts_expected_fraction(self, rng):
+        epsilon = 0.3
+        noise = uniform_noise_matrix(3, epsilon)
+        model = UniformPushModel(100, noise, rng)
+        senders = np.ones(2000, dtype=int)
+        received = model.run_phase(senders, num_rounds=10)
+        survival = received.opinion_totals()[0] / received.total_messages()
+        assert survival == pytest.approx(1 / 3 + epsilon, abs=0.02)
+
+    def test_statistics_collection(self, rng):
+        noise = uniform_noise_matrix(2, 0.1)
+        model = UniformPushModel(30, noise, rng)
+        senders = np.ones(30, dtype=int)
+        received = model.run_phase(senders, num_rounds=5, collect_statistics=True)
+        stats = received.statistics
+        assert stats.num_rounds == 5
+        assert stats.messages_sent == 150
+        assert 0 < stats.messages_corrupted < 150
+        assert stats.max_received_by_single_node >= 1
+
+    def test_run_round_is_single_round(self, identity3, rng):
+        model = UniformPushModel(25, identity3, rng)
+        received = model.run_round(np.array([1, 2, 3]))
+        assert received.total_messages() == 3
+
+    def test_run_phase_from_senders_alias(self, identity3, rng):
+        model = UniformPushModel(25, identity3, rng)
+        received = model.run_phase_from_senders(np.array([1, 2]), 4)
+        assert received.total_messages() == 8
+
+    def test_reproducibility_with_seed(self, identity3):
+        senders = np.array([1, 2, 3, 1, 2])
+        first = UniformPushModel(15, identity3, 7).run_phase(senders, 3)
+        second = UniformPushModel(15, identity3, 7).run_phase(senders, 3)
+        assert np.array_equal(first.counts, second.counts)
+
+
+class TestNaiveEngine:
+    def test_naive_conserves_messages(self, identity3, rng):
+        model = UniformPushModel(15, identity3, rng)
+        senders = np.array([1, 1, 2, 3])
+        received = model.run_phase_naive(senders, num_rounds=3)
+        assert received.total_messages() == 12
+
+    def test_naive_and_vectorized_agree_in_distribution(self, rng):
+        # Compare the per-opinion delivered histograms of the two engines on
+        # the same workload; they are different random draws of the same
+        # process, so totals must match exactly and per-opinion splits must be
+        # statistically close.
+        noise = uniform_noise_matrix(3, 0.2)
+        senders = np.array([1] * 40 + [2] * 20)
+        model = UniformPushModel(30, noise, rng)
+        fast = model.run_phase(senders, num_rounds=20)
+        slow = model.run_phase_naive(senders, num_rounds=20)
+        assert fast.total_messages() == slow.total_messages()
+        fast_fractions = fast.opinion_totals() / fast.total_messages()
+        slow_fractions = slow.opinion_totals() / slow.total_messages()
+        assert np.allclose(fast_fractions, slow_fractions, atol=0.06)
+
+
+class TestExpectedDistribution:
+    def test_expected_matches_eq2(self, rng):
+        noise = uniform_noise_matrix(3, 0.2)
+        model = UniformPushModel(10, noise, rng)
+        senders = np.array([1, 1, 2])
+        expected = model.expected_received_distribution(senders, num_rounds=4)
+        histogram = np.array([2.0, 1.0, 0.0])
+        manual = (histogram @ noise.matrix) * 4 / 10
+        assert np.allclose(expected[0], manual)
+        assert expected.shape == (10, 3)
+
+    def test_empirical_mean_tracks_expectation(self, rng):
+        noise = uniform_noise_matrix(2, 0.25)
+        model = UniformPushModel(40, noise, rng)
+        senders = np.array([1] * 30 + [2] * 10)
+        expected = model.expected_received_distribution(senders, num_rounds=25)
+        received = model.run_phase(senders, num_rounds=25)
+        empirical_mean = received.counts.mean(axis=0)
+        assert np.allclose(empirical_mean, expected[0], rtol=0.1)
+
+
+class TestPushModelProperties:
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_message_conservation_property(self, num_senders, num_rounds, k, seed):
+        rng = np.random.default_rng(seed)
+        noise = uniform_noise_matrix(max(k, 2), 0.1)
+        model = UniformPushModel(17, noise, rng)
+        senders = rng.integers(1, noise.num_opinions + 1, size=num_senders)
+        received = model.run_phase(senders, num_rounds)
+        assert received.total_messages() == num_senders * num_rounds
+        assert np.all(received.counts >= 0)

@@ -1,0 +1,144 @@
+"""Tests for repro.noise.estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise.estimation import (
+    calibrate_epsilon,
+    collect_channel_observations,
+    estimate_noise_matrix,
+    estimation_error,
+)
+from repro.noise.families import (
+    binary_flip_matrix,
+    cyclic_shift_matrix,
+    uniform_noise_matrix,
+)
+
+
+class TestCollectChannelObservations:
+    def test_shapes_and_ranges(self, uniform3, rng):
+        sent, received = collect_channel_observations(uniform3, 500, rng)
+        assert sent.shape == received.shape == (500,)
+        assert sent.min() >= 1 and sent.max() <= 3
+        assert received.min() >= 1 and received.max() <= 3
+
+    def test_custom_sent_distribution(self, uniform3, rng):
+        sent, _ = collect_channel_observations(
+            uniform3, 2000, rng, sent_distribution=np.array([1.0, 0.0, 0.0])
+        )
+        assert set(np.unique(sent)) == {1}
+
+    def test_invalid_sent_distribution(self, uniform3, rng):
+        with pytest.raises(ValueError):
+            collect_channel_observations(
+                uniform3, 10, rng, sent_distribution=np.array([0.5, 0.5])
+            )
+        with pytest.raises(ValueError):
+            collect_channel_observations(
+                uniform3, 10, rng, sent_distribution=np.zeros(3)
+            )
+
+
+class TestEstimateNoiseMatrix:
+    def test_recovers_true_matrix_with_enough_data(self, rng):
+        truth = uniform_noise_matrix(3, 0.25)
+        sent, received = collect_channel_observations(truth, 60_000, rng)
+        estimate = estimate_noise_matrix(sent, received, 3, smoothing=0.5)
+        assert estimation_error(estimate, truth) < 0.02
+
+    def test_rows_are_stochastic(self, rng):
+        truth = cyclic_shift_matrix(4, 0.4)
+        sent, received = collect_channel_observations(truth, 5000, rng)
+        estimate = estimate_noise_matrix(sent, received, 4)
+        assert np.allclose(estimate.matrix.sum(axis=1), 1.0)
+
+    def test_smoothing_handles_unseen_transitions(self):
+        # Only opinion 1 was ever sent; smoothing must keep rows 2 and 3 valid.
+        sent = np.ones(50, dtype=int)
+        received = np.ones(50, dtype=int)
+        estimate = estimate_noise_matrix(sent, received, 3, smoothing=1.0)
+        assert np.allclose(estimate.matrix.sum(axis=1), 1.0)
+        assert np.allclose(estimate.matrix[1], 1.0 / 3.0)
+
+    def test_no_smoothing_requires_full_coverage(self):
+        sent = np.ones(10, dtype=int)
+        received = np.ones(10, dtype=int)
+        with pytest.raises(ValueError):
+            estimate_noise_matrix(sent, received, 2, smoothing=0.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_noise_matrix(np.array([1, 2]), np.array([1]), 2)
+
+    def test_out_of_range_labels_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_noise_matrix(np.array([1, 4]), np.array([1, 1]), 3)
+
+    def test_empty_observations_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_noise_matrix(np.array([]), np.array([]), 2)
+
+    @given(st.floats(min_value=0.05, max_value=0.45), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_estimation_error_shrinks_with_data(self, epsilon, seed):
+        truth = binary_flip_matrix(epsilon)
+        rng = np.random.default_rng(seed)
+        sent_small, received_small = collect_channel_observations(truth, 200, rng)
+        sent_large, received_large = collect_channel_observations(truth, 20_000, rng)
+        error_small = estimation_error(
+            estimate_noise_matrix(sent_small, received_small, 2), truth
+        )
+        error_large = estimation_error(
+            estimate_noise_matrix(sent_large, received_large, 2), truth
+        )
+        assert error_large < error_small + 0.05
+
+
+class TestEstimationError:
+    def test_zero_for_identical_matrices(self):
+        matrix = uniform_noise_matrix(3, 0.2)
+        assert estimation_error(matrix, matrix) == 0.0
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            estimation_error(uniform_noise_matrix(3, 0.2), binary_flip_matrix(0.2))
+
+
+class TestCalibrateEpsilon:
+    def test_calibrated_epsilon_close_to_truth(self, rng):
+        truth = binary_flip_matrix(0.25)  # effective epsilon at any delta: 0.5
+        sent, received = collect_channel_observations(truth, 40_000, rng)
+        epsilon, estimate = calibrate_epsilon(
+            sent, received, 2, delta=0.1, safety_factor=1.0
+        )
+        assert epsilon == pytest.approx(0.5, abs=0.05)
+        assert estimate.num_opinions == 2
+
+    def test_safety_factor_shrinks_epsilon(self, rng):
+        truth = uniform_noise_matrix(3, 0.3)
+        sent, received = collect_channel_observations(truth, 20_000, rng)
+        full_eps, _ = calibrate_epsilon(sent, received, 3, 0.1, safety_factor=1.0)
+        safe_eps, _ = calibrate_epsilon(sent, received, 3, 0.1, safety_factor=0.8)
+        assert safe_eps == pytest.approx(0.8 * full_eps)
+
+    def test_invalid_safety_factor(self, rng):
+        with pytest.raises(ValueError):
+            calibrate_epsilon(np.array([1]), np.array([1]), 2, 0.1, safety_factor=1.5)
+
+    def test_calibrated_protocol_run_succeeds(self, rng):
+        # The end-to-end story: observe the channel, calibrate, run the
+        # protocol with the estimated epsilon.
+        from repro.core.rumor import RumorSpreading
+
+        truth = uniform_noise_matrix(3, 0.3)
+        sent, received = collect_channel_observations(truth, 30_000, rng)
+        epsilon, _ = calibrate_epsilon(sent, received, 3, delta=0.1)
+        result = RumorSpreading(
+            600, 3, truth, epsilon, correct_opinion=1, random_state=0
+        ).run()
+        assert result.success

@@ -1,0 +1,204 @@
+"""Tests for repro.noise.families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise.families import (
+    binary_flip_matrix,
+    cyclic_shift_matrix,
+    diagonally_dominant_counterexample,
+    identity_matrix,
+    near_uniform_matrix,
+    random_majority_preserving_matrix,
+    reset_matrix,
+    uniform_noise_matrix,
+)
+from repro.noise.majority_preserving import check_majority_preserving
+
+
+class TestIdentityMatrix:
+    def test_is_identity(self):
+        assert identity_matrix(4).is_identity()
+
+    def test_rejects_zero_opinions(self):
+        with pytest.raises(ValueError):
+            identity_matrix(0)
+
+
+class TestBinaryFlipMatrix:
+    def test_matches_paper_equation_1(self):
+        matrix = binary_flip_matrix(0.2)
+        expected = [[0.7, 0.3], [0.3, 0.7]]
+        assert np.allclose(matrix.matrix, expected)
+
+    def test_epsilon_bounds(self):
+        with pytest.raises(ValueError):
+            binary_flip_matrix(0.0)
+        with pytest.raises(ValueError):
+            binary_flip_matrix(0.6)
+
+    def test_equals_uniform_noise_for_k2(self):
+        # For k = 2, the uniform-noise generalization with the same epsilon
+        # coincides with Eq. (1) up to the 1/2 vs 1/k offset convention:
+        # uniform keeps with 1/2 + eps, same as the flip matrix.
+        assert binary_flip_matrix(0.2) == uniform_noise_matrix(2, 0.2)
+
+
+class TestUniformNoiseMatrix:
+    def test_diagonal_and_off_diagonal_values(self):
+        matrix = uniform_noise_matrix(4, 0.2)
+        assert matrix.probability(1, 1) == pytest.approx(0.25 + 0.2)
+        assert matrix.probability(1, 2) == pytest.approx(0.25 - 0.2 / 3)
+
+    def test_rows_stochastic(self):
+        matrix = uniform_noise_matrix(5, 0.1)
+        assert np.allclose(matrix.matrix.sum(axis=1), 1.0)
+
+    def test_requires_two_opinions(self):
+        with pytest.raises(ValueError):
+            uniform_noise_matrix(1, 0.1)
+
+    def test_epsilon_upper_bound(self):
+        # eps may not exceed 1 - 1/k (entries would go negative).
+        with pytest.raises(ValueError):
+            uniform_noise_matrix(3, 0.7)
+        uniform_noise_matrix(3, 2.0 / 3.0)  # boundary accepted
+
+    def test_is_majority_preserving_for_every_delta(self):
+        matrix = uniform_noise_matrix(4, 0.2)
+        for delta in (0.01, 0.1, 0.5):
+            report = check_majority_preserving(matrix, 0.2, delta)
+            assert report.is_majority_preserving
+
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.floats(min_value=0.01, max_value=0.3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_symmetric_and_doubly_stochastic(self, k, epsilon):
+        matrix = uniform_noise_matrix(k, epsilon)
+        assert matrix.is_symmetric()
+        assert matrix.is_doubly_stochastic()
+
+
+class TestNearUniformMatrix:
+    def test_diagonal_fixed(self, rng):
+        matrix = near_uniform_matrix(4, 0.55, 0.1, 0.2, rng)
+        assert np.allclose(np.diag(matrix.matrix), 0.55)
+
+    def test_rows_stochastic(self, rng):
+        matrix = near_uniform_matrix(5, 0.4, 0.1, 0.2, rng)
+        assert np.allclose(matrix.matrix.sum(axis=1), 1.0)
+
+    def test_invalid_band_rejected(self, rng):
+        with pytest.raises(ValueError):
+            near_uniform_matrix(3, 0.5, 0.3, 0.1, rng)
+
+    def test_requires_two_opinions(self, rng):
+        with pytest.raises(ValueError):
+            near_uniform_matrix(1, 0.5, 0.1, 0.2, rng)
+
+
+class TestCyclicShiftMatrix:
+    def test_mass_splits_to_neighbours(self):
+        matrix = cyclic_shift_matrix(5, 0.3)
+        assert matrix.probability(2, 2) == pytest.approx(0.7)
+        assert matrix.probability(2, 1) == pytest.approx(0.15)
+        assert matrix.probability(2, 3) == pytest.approx(0.15)
+        assert matrix.probability(2, 4) == pytest.approx(0.0)
+
+    def test_wraparound(self):
+        matrix = cyclic_shift_matrix(4, 0.4)
+        assert matrix.probability(1, 4) == pytest.approx(0.2)
+        assert matrix.probability(4, 1) == pytest.approx(0.2)
+
+    def test_two_opinions_degenerate_wrap(self):
+        # With k = 2 both neighbours are the same opinion, so all noise mass
+        # lands on the complement.
+        matrix = cyclic_shift_matrix(2, 0.4)
+        assert matrix.probability(1, 2) == pytest.approx(0.4)
+
+    def test_rows_stochastic(self):
+        matrix = cyclic_shift_matrix(6, 0.25)
+        assert np.allclose(matrix.matrix.sum(axis=1), 1.0)
+
+
+class TestResetMatrix:
+    def test_reset_target_receives_noise_mass(self):
+        matrix = reset_matrix(3, 0.3, reset_opinion=2)
+        assert matrix.probability(1, 2) == pytest.approx(0.3)
+        assert matrix.probability(2, 2) == pytest.approx(1.0)
+        assert matrix.probability(3, 3) == pytest.approx(0.7)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            reset_matrix(3, 0.2, reset_opinion=4)
+
+    def test_not_mp_for_other_opinions(self):
+        # Resetting toward opinion 1 destroys a majority held by opinion 2
+        # once the reset probability is large enough.
+        matrix = reset_matrix(3, 0.6, reset_opinion=1)
+        report = check_majority_preserving(matrix, 0.1, 0.1, majority_opinion=2)
+        assert not report.is_majority_preserving
+
+
+class TestDiagonallyDominantCounterexample:
+    def test_structure_matches_paper(self):
+        matrix = diagonally_dominant_counterexample(0.1)
+        expected = np.array(
+            [
+                [0.6, 0.0, 0.4],
+                [0.4, 0.6, 0.0],
+                [0.0, 0.4, 0.6],
+            ]
+        )
+        assert np.allclose(matrix.matrix, expected)
+
+    def test_is_diagonally_dominant_yet_not_mp(self):
+        matrix = diagonally_dominant_counterexample(0.1)
+        assert matrix.is_diagonally_dominant()
+        report = check_majority_preserving(matrix, 0.1, 0.1)
+        assert not report.is_majority_preserving
+        assert not report.preserves_plurality
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            diagonally_dominant_counterexample(0.0)
+        with pytest.raises(ValueError):
+            diagonally_dominant_counterexample(0.7)
+
+
+class TestRandomMajorityPreservingMatrix:
+    def test_generated_matrix_is_mp(self, rng):
+        matrix = random_majority_preserving_matrix(4, 0.1, 0.2, rng)
+        report = check_majority_preserving(matrix, 0.05, 0.2)
+        assert report.is_majority_preserving
+
+    def test_rows_stochastic(self, rng):
+        matrix = random_majority_preserving_matrix(3, 0.1, 0.3, rng)
+        assert np.allclose(matrix.matrix.sum(axis=1), 1.0)
+
+    def test_requires_two_opinions(self, rng):
+        with pytest.raises(ValueError):
+            random_majority_preserving_matrix(1, 0.1, 0.2, rng)
+
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.floats(min_value=0.02, max_value=0.15),
+        st.floats(min_value=0.05, max_value=0.5),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_sufficient_condition_always_satisfied(self, k, epsilon, delta, seed):
+        matrix = random_majority_preserving_matrix(
+            k, epsilon, delta, np.random.default_rng(seed)
+        )
+        diag = float(np.min(np.diag(matrix.matrix)))
+        off = matrix.matrix[~np.eye(k, dtype=bool)]
+        q_u, q_l = float(off.max()), float(off.min())
+        # Eq. (18): (p - q_u) * delta / 2 >= q_u - q_l.
+        assert (diag - q_u) * delta / 2.0 >= (q_u - q_l) - 1e-9

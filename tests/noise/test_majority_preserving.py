@@ -1,0 +1,218 @@
+"""Tests for repro.noise.majority_preserving (Definition 2 / Section 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bias import bias_toward, is_delta_biased
+from repro.noise.families import (
+    binary_flip_matrix,
+    diagonally_dominant_counterexample,
+    identity_matrix,
+    reset_matrix,
+    uniform_noise_matrix,
+)
+from repro.noise.majority_preserving import (
+    bias_gap_bounds,
+    check_majority_preserving,
+    epsilon_for_delta,
+    minimal_bias_gap,
+    sufficient_condition_epsilon,
+    worst_case_distribution,
+)
+
+
+class TestCheckMajorityPreserving:
+    def test_identity_is_mp_for_any_parameters(self):
+        report = check_majority_preserving(identity_matrix(3), 0.5, 0.2)
+        assert report.is_majority_preserving
+        # The identity channel keeps the full delta gap: worst gap == delta.
+        assert report.minimal_gap == pytest.approx(0.2, abs=1e-6)
+
+    def test_binary_flip_worst_gap_is_two_epsilon_delta(self):
+        # For Eq. (1), (cP)_1 - (cP)_2 = 2 eps (c_1 - c_2) >= 2 eps delta.
+        epsilon, delta = 0.2, 0.1
+        report = check_majority_preserving(binary_flip_matrix(epsilon), epsilon, delta)
+        assert report.minimal_gap == pytest.approx(2 * epsilon * delta, abs=1e-6)
+        assert report.is_majority_preserving
+
+    def test_uniform_noise_gap_formula(self):
+        # For the k-opinion uniform matrix, the gap is (eps + eps/(k-1)) * delta.
+        k, epsilon, delta = 4, 0.2, 0.15
+        report = check_majority_preserving(
+            uniform_noise_matrix(k, epsilon), epsilon, delta
+        )
+        expected = (epsilon + epsilon / (k - 1)) * delta
+        assert report.minimal_gap == pytest.approx(expected, abs=1e-6)
+        assert report.is_majority_preserving
+
+    def test_counterexample_rejected(self):
+        report = check_majority_preserving(
+            diagonally_dominant_counterexample(0.1), 0.1, 0.1
+        )
+        assert not report.is_majority_preserving
+        assert report.minimal_gap < 0
+        assert not report.preserves_plurality
+
+    def test_counterexample_with_large_delta_recovers(self):
+        # The Section-4 argument needs eps, delta < 1/6; for a large delta the
+        # diagonally dominant matrix does preserve the plurality.
+        report = check_majority_preserving(
+            diagonally_dominant_counterexample(0.1), 0.05, 0.9
+        )
+        assert report.preserves_plurality
+
+    def test_report_summary_mentions_verdict(self):
+        report = check_majority_preserving(uniform_noise_matrix(3, 0.3), 0.3, 0.1)
+        assert "IS" in report.summary()
+        report_bad = check_majority_preserving(
+            diagonally_dominant_counterexample(0.1), 0.1, 0.1
+        )
+        assert "NOT" in report_bad.summary()
+
+    def test_per_opinion_gaps_cover_all_rivals(self):
+        report = check_majority_preserving(uniform_noise_matrix(4, 0.2), 0.2, 0.1)
+        assert set(report.per_opinion_gap) == {2, 3, 4}
+
+    def test_respects_majority_opinion_argument(self):
+        # Reset noise toward opinion 1 is m.p. w.r.t. opinion 1 but not 2.
+        matrix = reset_matrix(3, 0.5, reset_opinion=1)
+        assert check_majority_preserving(matrix, 0.1, 0.1, 1).is_majority_preserving
+        assert not check_majority_preserving(
+            matrix, 0.1, 0.1, 2
+        ).is_majority_preserving
+
+    def test_parameter_validation(self):
+        matrix = uniform_noise_matrix(3, 0.2)
+        with pytest.raises(ValueError):
+            check_majority_preserving(matrix, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            check_majority_preserving(matrix, 0.1, 0.0)
+
+    def test_infeasible_delta_raises(self):
+        # A delta-biased distribution with delta close to 1 cannot exist when
+        # it would force negative rival shares... it can actually always exist
+        # (c_m = 1), so instead check delta > 1 is rejected by validation.
+        with pytest.raises(ValueError):
+            check_majority_preserving(uniform_noise_matrix(3, 0.2), 0.1, 1.5)
+
+
+class TestMinimalBiasGapAndWorstCase:
+    def test_worst_case_distribution_is_delta_biased(self):
+        matrix = diagonally_dominant_counterexample(0.1)
+        delta = 0.1
+        worst = worst_case_distribution(matrix, delta, 1)
+        assert worst.sum() == pytest.approx(1.0, abs=1e-6)
+        assert is_delta_biased(worst, 1, delta - 1e-9)
+
+    def test_worst_case_achieves_minimal_gap(self):
+        matrix = diagonally_dominant_counterexample(0.1)
+        delta = 0.1
+        gap, _, worst = minimal_bias_gap(matrix, delta, 1)
+        after = matrix.propagate(worst)
+        realized = float(after[0] - np.delete(after, 0).max())
+        assert realized == pytest.approx(gap, abs=1e-6)
+
+    def test_counterexample_worst_case_puts_mass_on_opinion_three(self):
+        # Under the c.P convention the adversarial profile concentrates the
+        # rival mass on opinion 3 (which feeds opinion 3 via the 1 -> 3 leak).
+        worst = worst_case_distribution(diagonally_dominant_counterexample(0.1), 0.1, 1)
+        assert worst[2] > worst[1]
+
+    def test_gap_bounds_ordering(self):
+        low, high = bias_gap_bounds(uniform_noise_matrix(3, 0.2), 0.1)
+        assert low <= high
+
+    def test_single_opinion_matrix_vacuous(self):
+        gap, per_opinion, worst = minimal_bias_gap(identity_matrix(1), 0.1, 1)
+        assert gap == np.inf
+        assert per_opinion == {}
+
+
+class TestEpsilonForDelta:
+    def test_binary_flip_effective_epsilon(self):
+        # Gap = 2 eps delta, so the effective epsilon is 2 eps.
+        assert epsilon_for_delta(binary_flip_matrix(0.2), 0.1) == pytest.approx(
+            0.4, abs=1e-6
+        )
+
+    def test_counterexample_clamped_to_zero(self):
+        assert epsilon_for_delta(
+            diagonally_dominant_counterexample(0.1), 0.1
+        ) == pytest.approx(0.0)
+
+    def test_identity_effective_epsilon_is_one(self):
+        assert epsilon_for_delta(identity_matrix(3), 0.2) == pytest.approx(1.0)
+
+
+class TestSufficientCondition:
+    def test_uniform_noise_matrix_has_zero_delta_min(self):
+        epsilon, delta_min = sufficient_condition_epsilon(uniform_noise_matrix(4, 0.2))
+        # Off-diagonal entries are all equal, so the condition holds for every
+        # delta, and epsilon = (p - q)/2 = (eps + eps/(k-1))/2.
+        assert delta_min == pytest.approx(0.0)
+        assert epsilon == pytest.approx((0.2 + 0.2 / 3) / 2.0)
+
+    def test_counterexample_condition_never_holds(self):
+        epsilon, delta_min = sufficient_condition_epsilon(
+            diagonally_dominant_counterexample(0.1)
+        )
+        assert delta_min == np.inf
+
+    def test_sufficient_condition_implies_lp_verdict(self, rng):
+        # Whenever the Eq. (18) sufficient condition asserts the property for
+        # some delta, the exact LP check must agree.
+        from repro.noise.families import near_uniform_matrix
+
+        matrix = near_uniform_matrix(4, 0.6, 0.12, 0.14, rng)
+        epsilon, delta_min = sufficient_condition_epsilon(matrix)
+        assert epsilon > 0
+        delta = min(1.0, max(delta_min, 1e-3) * 1.5)
+        report = check_majority_preserving(matrix, epsilon, delta)
+        assert report.is_majority_preserving
+
+
+class TestMajorityPreservationProperties:
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.floats(min_value=0.02, max_value=0.3),
+        st.floats(min_value=0.01, max_value=0.5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_noise_always_mp(self, k, epsilon, delta):
+        epsilon = min(epsilon, 1.0 - 1.0 / k - 1e-3)
+        matrix = uniform_noise_matrix(k, epsilon)
+        report = check_majority_preserving(matrix, epsilon, delta)
+        assert report.is_majority_preserving
+
+    @given(
+        st.floats(min_value=0.02, max_value=0.3),
+        st.floats(min_value=0.01, max_value=0.4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_gap_scales_linearly_with_delta(self, epsilon, delta):
+        # For the uniform-noise family the worst-case gap is exactly
+        # (eps + eps/(k-1)) * delta, hence linear in delta.
+        matrix = uniform_noise_matrix(3, epsilon)
+        gap_small, _, _ = minimal_bias_gap(matrix, delta, 1)
+        gap_double, _, _ = minimal_bias_gap(matrix, min(2 * delta, 0.99), 1)
+        expected_ratio = min(2 * delta, 0.99) / delta
+        assert gap_double / gap_small == pytest.approx(expected_ratio, rel=1e-4)
+
+    @given(st.floats(min_value=0.05, max_value=0.45))
+    @settings(max_examples=30, deadline=None)
+    def test_propagated_bias_never_negative_for_mp_matrix(self, delta):
+        # Directly exercise Definition 2's meaning: any delta-biased c keeps
+        # opinion 1 strictly ahead after one application of an m.p. matrix.
+        matrix = uniform_noise_matrix(3, 0.25)
+        rng = np.random.default_rng(int(delta * 10_000))
+        rest = rng.dirichlet([1.0, 1.0]) * (1.0 - delta) / 2.0
+        c = np.array([delta + rest.sum() * 0.0 + (1.0 - delta) / 2.0, *rest])
+        c = c / c.sum()
+        if bias_toward(c, 1) < delta / 2:
+            return  # construction did not reach the intended bias; skip
+        after = matrix.propagate(c)
+        assert after[0] > max(after[1], after[2])

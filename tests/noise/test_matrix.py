@@ -1,0 +1,262 @@
+"""Tests for repro.noise.matrix.NoiseMatrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.noise.families import identity_matrix, uniform_noise_matrix
+from repro.noise.matrix import NoiseMatrix
+
+
+def random_stochastic_matrix(raw: np.ndarray) -> np.ndarray:
+    """Normalize a non-negative matrix into a row-stochastic one."""
+    raw = np.abs(raw) + 1e-3
+    return raw / raw.sum(axis=1, keepdims=True)
+
+
+class TestConstruction:
+    def test_valid_matrix_accepted(self):
+        matrix = NoiseMatrix([[0.7, 0.3], [0.4, 0.6]])
+        assert matrix.num_opinions == 2
+
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            NoiseMatrix([[0.7, 0.2], [0.4, 0.6]])
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseMatrix([[1.2, -0.2], [0.5, 0.5]])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseMatrix([[0.5, 0.5]])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseMatrix([[float("nan"), 1.0], [0.5, 0.5]])
+
+    def test_matrix_is_read_only(self):
+        matrix = NoiseMatrix([[1.0]])
+        with pytest.raises(ValueError):
+            matrix.matrix[0, 0] = 0.5
+
+    def test_default_name(self):
+        assert "2" in NoiseMatrix(np.eye(2)).name
+
+    def test_custom_name(self):
+        assert NoiseMatrix(np.eye(2), name="mychannel").name == "mychannel"
+
+
+class TestAccessors:
+    def test_probability_uses_one_based_labels(self):
+        matrix = NoiseMatrix([[0.7, 0.3], [0.4, 0.6]])
+        assert matrix.probability(1, 2) == pytest.approx(0.3)
+        assert matrix.probability(2, 1) == pytest.approx(0.4)
+
+    def test_probability_out_of_range(self):
+        matrix = NoiseMatrix(np.eye(2))
+        with pytest.raises(ValueError):
+            matrix.probability(0, 1)
+        with pytest.raises(ValueError):
+            matrix.probability(1, 3)
+
+    def test_row_returns_distribution(self):
+        matrix = NoiseMatrix([[0.7, 0.3], [0.4, 0.6]])
+        assert np.allclose(matrix.row(1), [0.7, 0.3])
+
+
+class TestStructuralProperties:
+    def test_identity_detection(self):
+        assert identity_matrix(3).is_identity()
+        assert not uniform_noise_matrix(3, 0.2).is_identity()
+
+    def test_symmetry(self):
+        assert uniform_noise_matrix(3, 0.2).is_symmetric()
+        assert not NoiseMatrix([[0.9, 0.1], [0.5, 0.5]]).is_symmetric()
+
+    def test_doubly_stochastic(self):
+        assert uniform_noise_matrix(4, 0.3).is_doubly_stochastic()
+        assert not NoiseMatrix([[0.9, 0.1], [0.5, 0.5]]).is_doubly_stochastic()
+
+    def test_diagonal_dominance(self):
+        assert uniform_noise_matrix(3, 0.3).is_diagonally_dominant()
+        off_heavy = NoiseMatrix([[0.2, 0.8], [0.8, 0.2]])
+        assert not off_heavy.is_diagonally_dominant()
+
+    def test_diagonal_advantage_positive_for_uniform_noise(self):
+        matrix = uniform_noise_matrix(3, 0.3)
+        expected = (1 / 3 + 0.3) - (1 / 3 - 0.15)
+        assert matrix.diagonal_advantage() == pytest.approx(expected)
+
+    def test_diagonal_advantage_single_opinion(self):
+        assert NoiseMatrix([[1.0]]).diagonal_advantage() == pytest.approx(1.0)
+
+
+class TestPropagate:
+    def test_identity_preserves_distribution(self):
+        matrix = identity_matrix(3)
+        c = np.array([0.5, 0.3, 0.2])
+        assert np.allclose(matrix.propagate(c), c)
+
+    def test_propagate_matches_manual_product(self):
+        matrix = uniform_noise_matrix(3, 0.2)
+        c = np.array([0.6, 0.3, 0.1])
+        assert np.allclose(matrix.propagate(c), c @ matrix.matrix)
+
+    def test_propagate_partial_mass_preserved(self):
+        matrix = uniform_noise_matrix(3, 0.2)
+        c = np.array([0.2, 0.1, 0.0])  # only 30% opinionated
+        assert matrix.propagate(c).sum() == pytest.approx(0.3)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_noise_matrix(3, 0.2).propagate([0.5, 0.5])
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_noise_matrix(2, 0.2).propagate([1.2, -0.2])
+
+
+class TestApplyToOpinions:
+    def test_identity_never_corrupts(self, rng):
+        matrix = identity_matrix(4)
+        opinions = rng.integers(1, 5, size=500)
+        assert np.array_equal(matrix.apply_to_opinions(opinions, rng), opinions)
+
+    def test_output_range_valid(self, rng):
+        matrix = uniform_noise_matrix(4, 0.2)
+        opinions = rng.integers(1, 5, size=1000)
+        received = matrix.apply_to_opinions(opinions, rng)
+        assert received.min() >= 1 and received.max() <= 4
+
+    def test_empty_input(self):
+        matrix = uniform_noise_matrix(3, 0.2)
+        assert matrix.apply_to_opinions(np.array([], dtype=int)).size == 0
+
+    def test_out_of_range_opinion_rejected(self, rng):
+        matrix = uniform_noise_matrix(3, 0.2)
+        with pytest.raises(ValueError):
+            matrix.apply_to_opinions(np.array([4]), rng)
+
+    def test_corruption_rate_matches_matrix(self, rng):
+        epsilon = 0.3
+        matrix = uniform_noise_matrix(3, epsilon)
+        opinions = np.ones(20000, dtype=int)
+        received = matrix.apply_to_opinions(opinions, rng)
+        survival_rate = float(np.mean(received == 1))
+        assert survival_rate == pytest.approx(1 / 3 + epsilon, abs=0.02)
+
+    def test_shape_preserved(self, rng):
+        matrix = uniform_noise_matrix(3, 0.2)
+        opinions = rng.integers(1, 4, size=(10, 7))
+        assert matrix.apply_to_opinions(opinions, rng).shape == (10, 7)
+
+
+class TestApplyToCounts:
+    def test_total_preserved(self, rng):
+        matrix = uniform_noise_matrix(3, 0.25)
+        received = matrix.apply_to_counts([100, 50, 25], rng)
+        assert received.sum() == 175
+
+    def test_identity_preserves_counts(self, rng):
+        matrix = identity_matrix(3)
+        counts = np.array([7, 0, 3])
+        assert np.array_equal(matrix.apply_to_counts(counts, rng), counts)
+
+    def test_wrong_length_rejected(self, rng):
+        with pytest.raises(ValueError):
+            uniform_noise_matrix(3, 0.2).apply_to_counts([1, 2], rng)
+
+    def test_negative_counts_rejected(self, rng):
+        with pytest.raises(ValueError):
+            uniform_noise_matrix(2, 0.2).apply_to_counts([-1, 2], rng)
+
+    def test_expected_mix_approached(self, rng):
+        epsilon = 0.3
+        matrix = uniform_noise_matrix(2, epsilon)
+        received = matrix.apply_to_counts([40000, 0], rng)
+        keep_fraction = received[0] / 40000
+        assert keep_fraction == pytest.approx(0.5 + epsilon, abs=0.02)
+
+
+class TestAlgebra:
+    def test_compose_matches_matrix_product(self):
+        a = uniform_noise_matrix(3, 0.3)
+        b = uniform_noise_matrix(3, 0.1)
+        composed = a.compose(b)
+        assert np.allclose(composed.matrix, a.matrix @ b.matrix)
+
+    def test_compose_requires_same_size(self):
+        with pytest.raises(ValueError):
+            uniform_noise_matrix(3, 0.2).compose(uniform_noise_matrix(4, 0.2))
+
+    def test_power_one_is_same_matrix(self):
+        a = uniform_noise_matrix(3, 0.3)
+        assert a.power(1) == a
+
+    def test_power_two_equals_double_compose(self):
+        a = uniform_noise_matrix(3, 0.3)
+        assert a.power(2) == a.compose(a)
+
+    def test_power_requires_positive_exponent(self):
+        with pytest.raises(ValueError):
+            uniform_noise_matrix(2, 0.2).power(0)
+
+    def test_stationary_distribution_of_doubly_stochastic_is_uniform(self):
+        stationary = uniform_noise_matrix(4, 0.2).stationary_distribution()
+        assert np.allclose(stationary, 0.25, atol=1e-8)
+
+    def test_equality_and_hash(self):
+        a = uniform_noise_matrix(3, 0.3)
+        b = uniform_noise_matrix(3, 0.3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != uniform_noise_matrix(3, 0.2)
+
+
+class TestNoiseMatrixProperties:
+    @given(
+        arrays(
+            dtype=float,
+            shape=st.integers(min_value=2, max_value=5).map(lambda k: (k, k)),
+            elements=st.floats(min_value=0.0, max_value=10.0),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_propagate_preserves_total_mass(self, raw):
+        matrix = NoiseMatrix(random_stochastic_matrix(raw))
+        k = matrix.num_opinions
+        c = np.full(k, 1.0 / k)
+        assert matrix.propagate(c).sum() == pytest.approx(1.0)
+
+    @given(
+        arrays(
+            dtype=float,
+            shape=st.integers(min_value=2, max_value=4).map(lambda k: (k, k)),
+            elements=st.floats(min_value=0.0, max_value=10.0),
+        ),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_power_rows_remain_stochastic(self, raw, exponent):
+        matrix = NoiseMatrix(random_stochastic_matrix(raw))
+        powered = matrix.power(exponent)
+        assert np.allclose(powered.matrix.sum(axis=1), 1.0)
+
+    @given(
+        arrays(
+            dtype=float,
+            shape=(3, 3),
+            elements=st.floats(min_value=0.0, max_value=10.0),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_apply_to_counts_conserves_messages(self, raw):
+        matrix = NoiseMatrix(random_stochastic_matrix(raw))
+        rng = np.random.default_rng(0)
+        counts = np.array([11, 0, 6])
+        assert matrix.apply_to_counts(counts, rng).sum() == counts.sum()

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-experiment", "E99"])
+
+    def test_rumor_defaults(self):
+        args = build_parser().parse_args(["rumor"])
+        assert args.nodes == 2000
+        assert args.opinions == 3
+        assert args.epsilon == pytest.approx(0.3)
+
+    def test_plurality_arguments(self):
+        args = build_parser().parse_args(
+            ["plurality", "--nodes", "500", "--support", "100", "--bias", "0.3"]
+        )
+        assert args.support == 100
+        assert args.bias == pytest.approx(0.3)
+
+
+class TestExperimentRegistry:
+    def test_every_experiment_has_a_module_with_run(self):
+        for identifier, (module, description) in EXPERIMENTS.items():
+            assert identifier.startswith("E")
+            assert callable(module.run)
+            assert description
+
+    def test_registry_covers_e1_through_e14(self):
+        assert sorted(EXPERIMENTS, key=lambda x: int(x[1:])) == [
+            f"E{index}" for index in range(1, 15)
+        ]
+
+
+class TestCommands:
+    def test_list_experiments(self, capsys):
+        exit_code = main(["list-experiments"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "E1" in captured.out
+        assert "E14" in captured.out
+
+    def test_run_experiment_e11(self, capsys):
+        exit_code = main(["run-experiment", "E11", "--seed", "0"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "[E11]" in captured.out
+        assert "total_bits" in captured.out
+
+    def test_run_experiment_e10(self, capsys):
+        exit_code = main(["run-experiment", "E10"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "[E10]" in captured.out
+
+    def test_rumor_command_success_exit_code(self, capsys):
+        exit_code = main(
+            [
+                "rumor",
+                "--nodes", "500",
+                "--opinions", "3",
+                "--epsilon", "0.35",
+                "--seed", "0",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "success               : True" in captured.out
+
+    def test_plurality_command(self, capsys):
+        exit_code = main(
+            [
+                "plurality",
+                "--nodes", "500",
+                "--opinions", "3",
+                "--epsilon", "0.35",
+                "--support", "200",
+                "--bias", "0.4",
+                "--seed", "0",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "plurality opinion     : 1" in captured.out

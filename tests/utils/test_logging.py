@@ -1,0 +1,33 @@
+"""Tests for repro.utils.logging."""
+
+from __future__ import annotations
+
+import logging
+
+from repro.utils.logging import configure_console_logging, get_logger
+
+
+class TestGetLogger:
+    def test_base_logger_name(self):
+        assert get_logger().name == "repro"
+
+    def test_child_logger_namespaced(self):
+        assert get_logger("core").name == "repro.core"
+
+    def test_already_namespaced_name_untouched(self):
+        assert get_logger("repro.network").name == "repro.network"
+
+    def test_same_logger_returned(self):
+        assert get_logger("x") is get_logger("x")
+
+
+class TestConfigureConsoleLogging:
+    def test_adds_single_handler(self):
+        logger = configure_console_logging(logging.DEBUG)
+        first_count = len(logger.handlers)
+        configure_console_logging(logging.DEBUG)
+        assert len(logger.handlers) == first_count
+
+    def test_level_applied(self):
+        logger = configure_console_logging(logging.WARNING)
+        assert logger.level == logging.WARNING

@@ -1,0 +1,194 @@
+"""Tests for repro.utils.multiset (occ / mode / maj of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.multiset import (
+    Multiset,
+    majority_from_counts,
+    majority_vote,
+    mode_from_counts,
+    mode_set,
+    occurrences,
+)
+
+
+class TestMultiset:
+    def test_empty_has_length_zero(self):
+        assert len(Multiset()) == 0
+
+    def test_add_and_occ(self):
+        ms = Multiset([1, 2, 2, 3])
+        assert ms.occ(1) == 1
+        assert ms.occ(2) == 2
+        assert ms.occ(4) == 0
+
+    def test_add_multiplicity(self):
+        ms = Multiset()
+        ms.add(5, multiplicity=3)
+        assert ms.occ(5) == 3
+        assert len(ms) == 3
+
+    def test_add_zero_multiplicity_is_noop(self):
+        ms = Multiset()
+        ms.add(1, multiplicity=0)
+        assert len(ms) == 0
+
+    def test_negative_multiplicity_rejected(self):
+        with pytest.raises(ValueError):
+            Multiset().add(1, multiplicity=-1)
+
+    def test_non_positive_opinion_rejected(self):
+        with pytest.raises(ValueError):
+            Multiset([0])
+
+    def test_mode_single_winner(self):
+        assert Multiset([1, 2, 2]).mode() == {2}
+
+    def test_mode_tie(self):
+        assert Multiset([1, 1, 2, 2]).mode() == {1, 2}
+
+    def test_mode_empty(self):
+        assert Multiset().mode() == set()
+
+    def test_maj_no_tie_deterministic(self):
+        assert Multiset([3, 3, 1]).maj(random_state=0) == 3
+
+    def test_maj_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            Multiset().maj()
+
+    def test_maj_tie_is_roughly_uniform(self):
+        rng = np.random.default_rng(0)
+        ms = Multiset([1, 2])
+        picks = [ms.maj(rng) for _ in range(2000)]
+        fraction_one = picks.count(1) / len(picks)
+        assert 0.42 < fraction_one < 0.58
+
+    def test_contains(self):
+        ms = Multiset([1, 2])
+        assert 1 in ms
+        assert 3 not in ms
+
+    def test_iteration_sorted_with_multiplicity(self):
+        assert list(Multiset([2, 1, 2])) == [1, 2, 2]
+
+    def test_equality(self):
+        assert Multiset([1, 2, 2]) == Multiset([2, 1, 2])
+        assert Multiset([1]) != Multiset([2])
+
+    def test_to_count_vector(self):
+        vector = Multiset([1, 3, 3]).to_count_vector(4)
+        assert vector.tolist() == [1, 0, 2, 0]
+
+    def test_to_count_vector_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Multiset([5]).to_count_vector(3)
+
+    def test_counts_dict(self):
+        assert Multiset([1, 1, 2]).counts() == {1: 2, 2: 1}
+
+
+class TestSequenceHelpers:
+    def test_occurrences(self):
+        assert occurrences(2, [1, 2, 2, 3]) == 2
+
+    def test_mode_set(self):
+        assert mode_set([1, 2, 2, 3, 3]) == {2, 3}
+
+    def test_mode_set_empty(self):
+        assert mode_set([]) == set()
+
+    def test_majority_vote_clear_winner(self):
+        assert majority_vote([1, 1, 2], random_state=0) == 1
+
+    def test_majority_vote_empty_raises(self):
+        with pytest.raises(ValueError):
+            majority_vote([])
+
+    def test_majority_vote_tie_uniform(self):
+        rng = np.random.default_rng(1)
+        picks = [majority_vote([1, 2], rng) for _ in range(2000)]
+        fraction_one = picks.count(1) / len(picks)
+        assert 0.42 < fraction_one < 0.58
+
+
+class TestCountVectorHelpers:
+    def test_mode_from_counts_single(self):
+        mask = mode_from_counts(np.array([0, 3, 1]))
+        assert mask.tolist() == [False, True, False]
+
+    def test_mode_from_counts_tie(self):
+        mask = mode_from_counts(np.array([2, 2, 0]))
+        assert mask.tolist() == [True, True, False]
+
+    def test_mode_from_counts_all_zero(self):
+        assert not mode_from_counts(np.zeros(3, dtype=int)).any()
+
+    def test_mode_from_counts_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            mode_from_counts(np.zeros((2, 2)))
+
+    def test_majority_from_counts_rows(self):
+        counts = np.array([[3, 1, 0], [0, 0, 5], [0, 0, 0]])
+        votes = majority_from_counts(counts, random_state=0)
+        assert votes[0] == 1
+        assert votes[1] == 3
+        assert votes[2] == 0  # no messages -> no vote
+
+    def test_majority_from_counts_single_row_vector(self):
+        vote = majority_from_counts(np.array([0, 4, 1]), random_state=0)
+        assert vote == 2
+
+    def test_majority_from_counts_tie_distribution(self):
+        rng = np.random.default_rng(2)
+        counts = np.tile(np.array([[2, 2, 0]]), (4000, 1))
+        votes = majority_from_counts(counts, rng)
+        fraction_one = float(np.mean(votes == 1))
+        assert 0.45 < fraction_one < 0.55
+        assert not np.any(votes == 3)
+
+    def test_majority_from_counts_matches_multiset_maj(self):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            counts = rng.integers(0, 4, size=5)
+            if counts.sum() == 0:
+                continue
+            vector_vote = majority_from_counts(counts, np.random.default_rng(0))
+            ms = Multiset()
+            for opinion_index, count in enumerate(counts):
+                ms.add(opinion_index + 1, int(count))
+            assert vector_vote in ms.mode()
+
+
+class TestMultisetProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_maj_is_always_in_mode(self, sample):
+        assert majority_vote(sample, random_state=0) in mode_set(sample)
+
+    @given(st.lists(st.integers(min_value=1, max_value=5), max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_occurrence_sum_equals_length(self, sample):
+        total = sum(occurrences(i, sample) for i in range(1, 6))
+        assert total == len(sample)
+
+    @given(st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_count_vector_roundtrip(self, sample):
+        ms = Multiset(sample)
+        vector = ms.to_count_vector(4)
+        assert vector.sum() == len(sample)
+        for opinion in range(1, 5):
+            assert vector[opinion - 1] == ms.occ(opinion)
+
+    @given(st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_mode_matches_count_vector_mode(self, sample):
+        ms = Multiset(sample)
+        mask = mode_from_counts(ms.to_count_vector(4))
+        assert {i + 1 for i in np.nonzero(mask)[0]} == ms.mode()

@@ -1,0 +1,89 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, derive_seed, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        first = as_generator(7).integers(0, 1000, 10)
+        second = as_generator(7).integers(0, 1000, 10)
+        assert np.array_equal(first, second)
+
+    def test_different_seeds_differ(self):
+        first = as_generator(1).integers(0, 10**9, 10)
+        second = as_generator(2).integers(0, 10**9, 10)
+        assert not np.array_equal(first, second)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert as_generator(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(5)
+        assert isinstance(as_generator(sequence), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            as_generator("not a seed")
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(as_generator(np.int64(3)), np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count_respected(self):
+        assert len(spawn_generators(5, 0)) == 5
+
+    def test_zero_count_allowed(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(-1, 0)
+
+    def test_spawned_streams_are_independent(self):
+        generators = spawn_generators(3, 42)
+        draws = [generator.integers(0, 10**9, 5) for generator in generators]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_reproducible_family(self):
+        first = [g.integers(0, 10**9, 3) for g in spawn_generators(3, 42)]
+        second = [g.integers(0, 10**9, 3) for g in spawn_generators(3, 42)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(0)
+        generators = spawn_generators(2, parent)
+        assert len(generators) == 2
+
+    def test_spawn_from_seed_sequence(self):
+        generators = spawn_generators(2, np.random.SeedSequence(9))
+        assert len(generators) == 2
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(3, 0) == derive_seed(3, 0)
+
+    def test_varies_with_index(self):
+        assert derive_seed(3, 0) != derive_seed(3, 1)
+
+    def test_varies_with_base(self):
+        assert derive_seed(3, 0) != derive_seed(4, 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed(3, -1)
+
+    def test_none_base_allowed(self):
+        assert isinstance(derive_seed(None, 2), int)

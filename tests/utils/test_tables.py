@@ -1,0 +1,60 @@
+"""Tests for repro.utils.tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import format_records, format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "1" in lines[2] and "2" in lines[2]
+
+    def test_title_included(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.startswith("My table")
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456789]], float_format=".2f")
+        assert "0.12" in text
+
+    def test_bool_rendering(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_column_alignment(self):
+        text = format_table(["name", "v"], [["long-name-here", 1], ["x", 22]])
+        lines = text.splitlines()
+        # All data lines have the value starting at the same column.
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatRecords:
+    def test_records_rendering(self):
+        text = format_records([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert "a" in text and "4" in text
+
+    def test_column_selection_and_order(self):
+        text = format_records([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = text.splitlines()[0].split()
+        assert header == ["b", "a"]
+
+    def test_missing_key_rendered_empty(self):
+        text = format_records([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in text
+
+    def test_empty_records(self):
+        assert format_records([], title="nothing") == "nothing"
+        assert format_records([]) == "(no records)"

@@ -1,0 +1,166 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    require_fraction,
+    require_in_range,
+    require_non_negative_int,
+    require_opinion,
+    require_positive,
+    require_positive_int,
+    require_probability_vector,
+)
+
+
+class TestRequirePositiveInt:
+    def test_accepts_positive(self):
+        assert require_positive_int(3, "x") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            require_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_positive_int(-2, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            require_positive_int(2.5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            require_positive_int(True, "x")
+
+    def test_accepts_numpy_integer(self):
+        assert require_positive_int(np.int64(4), "x") == 4
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ValueError, match="widgets"):
+            require_positive_int(0, "widgets")
+
+
+class TestRequireNonNegativeInt:
+    def test_accepts_zero(self):
+        assert require_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_non_negative_int(-1, "x")
+
+
+class TestRequirePositive:
+    def test_accepts_positive_float(self):
+        assert require_positive(0.5, "x") == 0.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            require_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_positive(-1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            require_positive(float("nan"), "x")
+
+    def test_rejects_infinity(self):
+        with pytest.raises(ValueError):
+            require_positive(float("inf"), "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            require_positive("1.0", "x")
+
+
+class TestRequireFraction:
+    def test_accepts_interior(self):
+        assert require_fraction(0.3, "x") == 0.3
+
+    def test_accepts_endpoints_by_default(self):
+        assert require_fraction(0.0, "x") == 0.0
+        assert require_fraction(1.0, "x") == 1.0
+
+    def test_exclusive_low(self):
+        with pytest.raises(ValueError):
+            require_fraction(0.0, "x", inclusive_low=False)
+
+    def test_exclusive_high(self):
+        with pytest.raises(ValueError):
+            require_fraction(1.0, "x", inclusive_high=False)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            require_fraction(1.5, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_fraction(-0.1, "x")
+
+
+class TestRequireInRange:
+    def test_accepts_inside(self):
+        assert require_in_range(3.0, "x", 1.0, 5.0) == 3.0
+
+    def test_accepts_boundaries(self):
+        assert require_in_range(1.0, "x", 1.0, 5.0) == 1.0
+        assert require_in_range(5.0, "x", 1.0, 5.0) == 5.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            require_in_range(6.0, "x", 1.0, 5.0)
+
+
+class TestRequireProbabilityVector:
+    def test_accepts_valid_vector(self):
+        result = require_probability_vector([0.2, 0.3, 0.5], "p")
+        assert np.allclose(result, [0.2, 0.3, 0.5])
+
+    def test_normalizes_tiny_drift(self):
+        result = require_probability_vector([0.2, 0.3, 0.5 + 1e-12], "p")
+        assert abs(result.sum() - 1.0) < 1e-12
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValueError):
+            require_probability_vector([0.2, 0.2], "p")
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            require_probability_vector([1.2, -0.2], "p")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            require_probability_vector([], "p")
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            require_probability_vector([[0.5, 0.5]], "p")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            require_probability_vector([0.5, float("nan")], "p")
+
+
+class TestRequireOpinion:
+    def test_accepts_valid_opinion(self):
+        assert require_opinion(2, "o", 3) == 2
+
+    def test_rejects_zero_without_undecided(self):
+        with pytest.raises(ValueError):
+            require_opinion(0, "o", 3)
+
+    def test_accepts_zero_with_undecided(self):
+        assert require_opinion(0, "o", 3, allow_undecided=True) == 0
+
+    def test_rejects_above_k(self):
+        with pytest.raises(ValueError):
+            require_opinion(4, "o", 3)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            require_opinion(1.5, "o", 3)
