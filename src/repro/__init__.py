@@ -31,12 +31,18 @@ True
 
 from repro.core.memory import memory_bound_bits, protocol_memory_usage
 from repro.core.plurality import PluralityConsensus, PluralityInstance
-from repro.core.protocol import ProtocolResult, TwoStageProtocol, make_engine
+from repro.core.protocol import (
+    EnsembleProtocol,
+    EnsembleResult,
+    ProtocolResult,
+    TwoStageProtocol,
+    make_engine,
+)
 from repro.core.rumor import RumorSpreading, RumorSpreadingInstance
 from repro.core.schedule import ProtocolSchedule, Stage1Schedule, Stage2Schedule
-from repro.core.state import PopulationState
+from repro.core.state import EnsembleState, PopulationState
 from repro.network.balls_bins import BallsIntoBinsProcess
-from repro.network.mailbox import ReceivedMessages
+from repro.network.mailbox import EnsembleReceivedMessages, ReceivedMessages
 from repro.network.poisson_model import PoissonizedProcess
 from repro.network.pull_model import UniformPullModel
 from repro.network.push_model import UniformPushModel
@@ -68,6 +74,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BallsIntoBinsProcess",
+    "EnsembleProtocol",
+    "EnsembleReceivedMessages",
+    "EnsembleResult",
+    "EnsembleState",
     "GraphPushModel",
     "MajorityPreservationReport",
     "NoiseMatrix",

@@ -8,7 +8,11 @@ The CLI exposes the most common workflows without writing Python:
 * ``python -m repro rumor --nodes 2000 --opinions 4 --epsilon 0.3`` — run one
   rumor-spreading instance and print the outcome;
 * ``python -m repro plurality --nodes 2000 --opinions 3 --epsilon 0.3
-  --support 400 --bias 0.2`` — run one plurality-consensus instance.
+  --support 400 --bias 0.2`` — run one plurality-consensus instance;
+* ``python -m repro ensemble --nodes 2000 --opinions 3 --epsilon 0.3
+  --trials 32`` — run a batch of independent rumor-spreading trials through
+  the vectorized ensemble engine (or the sequential reference loop with
+  ``--engine sequential``) and print the batch statistics plus throughput.
 
 Every command accepts ``--seed`` for reproducibility.  The CLI is a thin
 layer over the public API; anything it prints can also be obtained
@@ -19,7 +23,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.plurality import PluralityConsensus
 from repro.core.rumor import RumorSpreading
@@ -39,7 +46,8 @@ from repro.experiments import (
     exp_stage2_trajectory,
     exp_topologies,
 )
-from repro.experiments.workloads import plurality_instance_with_bias
+from repro.experiments.runner import TRIAL_ENGINES, protocol_trial_outcomes
+from repro.experiments.workloads import plurality_instance_with_bias, rumor_instance
 from repro.noise.families import uniform_noise_matrix
 
 __all__ = ["main", "build_parser", "EXPERIMENTS"]
@@ -105,6 +113,21 @@ def build_parser() -> argparse.ArgumentParser:
     plurality_parser.add_argument(
         "--bias", type=float, default=0.2,
         help="plurality bias within the support (default 0.2)",
+    )
+
+    ensemble_parser = subparsers.add_parser(
+        "ensemble",
+        help="run a batch of independent rumor-spreading trials at once",
+    )
+    _add_common_instance_arguments(ensemble_parser)
+    ensemble_parser.add_argument(
+        "--trials", type=int, default=32,
+        help="number of independent trials R (default 32)",
+    )
+    ensemble_parser.add_argument(
+        "--engine", choices=TRIAL_ENGINES, default="batched",
+        help="batched vectorized ensemble (default) or the sequential "
+             "reference loop",
     )
     return parser
 
@@ -185,6 +208,41 @@ def _command_plurality(args: argparse.Namespace) -> int:
     return 0 if result.success else 1
 
 
+def _command_ensemble(args: argparse.Namespace) -> int:
+    noise = uniform_noise_matrix(args.opinions, args.epsilon)
+    initial_state = rumor_instance(args.nodes, args.opinions, 1)
+    started = time.perf_counter()
+    outcomes = protocol_trial_outcomes(
+        initial_state,
+        noise,
+        args.epsilon,
+        args.trials,
+        args.seed,
+        target_opinion=1,
+        trial_engine=args.engine,
+    )
+    elapsed = time.perf_counter() - started
+    successes = sum(outcome.success for outcome in outcomes)
+    rounds = [outcome.total_rounds for outcome in outcomes]
+    biases = [
+        outcome.bias_after_stage1
+        for outcome in outcomes
+        if outcome.bias_after_stage1 is not None
+    ]
+    print(f"nodes                 : {args.nodes}")
+    print(f"opinions              : {args.opinions}")
+    print(f"noise matrix          : {noise.name}")
+    print(f"trials                : {args.trials}")
+    print(f"engine                : {args.engine}")
+    print(f"success rate          : {successes / args.trials:.4f}")
+    print(f"mean rounds           : {float(np.mean(rounds)):.1f}")
+    if biases:
+        print(f"mean Stage-1 bias     : {float(np.mean(biases)):.4f}")
+    print(f"wall time             : {elapsed:.3f} s")
+    print(f"throughput            : {args.trials / elapsed:.2f} trials/s")
+    return 0 if successes == args.trials else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -197,6 +255,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_rumor(args)
     if args.command == "plurality":
         return _command_plurality(args)
+    if args.command == "ensemble":
+        return _command_ensemble(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

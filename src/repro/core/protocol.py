@@ -5,26 +5,54 @@
 :class:`ProtocolResult` containing the final state, the per-phase history of
 both stages, and the headline outcome (did every node adopt the correct
 opinion, and after how many rounds).
+
+:class:`EnsembleProtocol` is the batched counterpart: it runs ``R``
+independent trials of the same protocol as one vectorized computation over
+an ``(R, n)`` opinion matrix, which is how repeated-trial experiments get
+multi-fold speedups over a Python-level loop of :class:`TwoStageProtocol`
+runs.  :meth:`TwoStageProtocol.run_ensemble` is a convenience shortcut.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
 from repro.core.schedule import ProtocolSchedule
-from repro.core.stage1 import Stage1Executor, Stage1PhaseRecord
-from repro.core.stage2 import Stage2Executor, Stage2PhaseRecord
-from repro.core.state import PopulationState
+from repro.core.stage1 import (
+    EnsembleStage1Executor,
+    EnsembleStage1PhaseRecord,
+    Stage1Executor,
+    Stage1PhaseRecord,
+)
+from repro.core.stage2 import (
+    EnsembleStage2Executor,
+    EnsembleStage2PhaseRecord,
+    Stage2Executor,
+    Stage2PhaseRecord,
+)
+from repro.core.state import EnsembleState, PopulationState
 from repro.network.balls_bins import BallsIntoBinsProcess
 from repro.network.poisson_model import PoissonizedProcess
 from repro.network.push_model import UniformPushModel
 from repro.noise.matrix import NoiseMatrix
-from repro.utils.rng import RandomState, as_generator
+from repro.utils.rng import (
+    EnsembleRandomState,
+    RandomState,
+    as_generator,
+    as_trial_generators,
+    is_generator_sequence,
+)
 
-__all__ = ["TwoStageProtocol", "ProtocolResult", "make_engine"]
+__all__ = [
+    "TwoStageProtocol",
+    "ProtocolResult",
+    "EnsembleProtocol",
+    "EnsembleResult",
+    "make_engine",
+]
 
 #: Delivery processes accepted by :func:`make_engine`.
 DELIVERY_PROCESSES = ("push", "balls_bins", "poisson")
@@ -268,6 +296,307 @@ class TwoStageProtocol:
             final_state=final_state,
             target_opinion=target_opinion,
             success=final_state.has_consensus_on(target_opinion),
+            total_rounds=total_rounds,
+            stage1_records=stage1_records,
+            stage2_records=stage2_records,
+        )
+
+    def run_ensemble(
+        self,
+        initial_state: Union[PopulationState, EnsembleState],
+        num_trials: Optional[int] = None,
+        *,
+        target_opinion: Optional[int] = None,
+        rng_mode: str = "per_trial",
+    ) -> "EnsembleResult":
+        """Run ``num_trials`` independent trials as one batched computation.
+
+        Convenience shortcut constructing an :class:`EnsembleProtocol` with
+        this protocol's parameters; see there for the full contract.
+        """
+        ensemble = EnsembleProtocol(
+            self.num_nodes,
+            self.noise,
+            schedule=self._schedule,
+            epsilon=self.epsilon,
+            process=self.process,
+            engine=self.engine,
+            random_state=self._rng,
+            rng_mode=rng_mode,
+            round_scale=self.round_scale,
+            sampling_method=self.sampling_method,
+            use_full_multiset=self.use_full_multiset,
+        )
+        return ensemble.run(
+            initial_state, num_trials, target_opinion=target_opinion
+        )
+
+
+@dataclass
+class EnsembleResult:
+    """Outcome of a batched multi-trial protocol execution.
+
+    Attributes
+    ----------
+    final_states:
+        The ensemble state after the last phase (one row per trial).
+    target_opinion:
+        The correct/plurality opinion ``m`` every trial was tracking.
+    successes:
+        Boolean ``(R,)`` array; entry ``r`` is ``True`` iff every node of
+        trial ``r`` supports ``target_opinion`` at the end.
+    total_rounds:
+        Communication rounds executed (identical for every trial — the
+        schedule is shared and the batch never stops early).
+    stage1_records, stage2_records:
+        Per-phase batched histories of the two stages.
+    """
+
+    final_states: EnsembleState
+    target_opinion: int
+    successes: np.ndarray
+    total_rounds: int
+    stage1_records: List[EnsembleStage1PhaseRecord] = field(default_factory=list)
+    stage2_records: List[EnsembleStage2PhaseRecord] = field(default_factory=list)
+
+    @property
+    def num_trials(self) -> int:
+        """Number of trials ``R`` in the batch."""
+        return self.final_states.num_trials
+
+    @property
+    def success_count(self) -> int:
+        """Number of trials that reached consensus on the target opinion."""
+        return int(np.count_nonzero(self.successes))
+
+    @property
+    def success_rate(self) -> float:
+        """Empirical success probability over the batch."""
+        return self.success_count / self.num_trials
+
+    @property
+    def stage1_rounds(self) -> int:
+        """Rounds spent in Stage 1."""
+        return int(sum(record.num_rounds for record in self.stage1_records))
+
+    @property
+    def stage2_rounds(self) -> int:
+        """Rounds spent in Stage 2."""
+        return int(sum(record.num_rounds for record in self.stage2_records))
+
+    @property
+    def final_biases(self) -> np.ndarray:
+        """Per-trial bias of the final distribution toward the target."""
+        return self.final_states.bias_toward(self.target_opinion)
+
+    @property
+    def biases_after_stage1(self) -> Optional[np.ndarray]:
+        """Per-trial bias toward the target at the end of Stage 1."""
+        if not self.stage1_records:
+            return None
+        return self.stage1_records[-1].bias
+
+    @property
+    def opinionated_after_stage1(self) -> Optional[np.ndarray]:
+        """Per-trial number of opinionated nodes at the end of Stage 1."""
+        if not self.stage1_records:
+            return None
+        return self.stage1_records[-1].opinionated_after
+
+    def correct_fractions(self) -> np.ndarray:
+        """Per-trial fraction of nodes supporting the target at the end."""
+        return self.final_states.correct_fractions(self.target_opinion)
+
+    def summary(self) -> dict:
+        """Headline statistics of the batch."""
+        return {
+            "num_trials": self.num_trials,
+            "target_opinion": self.target_opinion,
+            "success_rate": self.success_rate,
+            "total_rounds": self.total_rounds,
+            "mean_final_bias": float(self.final_biases.mean()),
+            "mean_correct_fraction": float(self.correct_fractions().mean()),
+        }
+
+
+class EnsembleProtocol:
+    """Run ``R`` independent two-stage protocol trials as one vectorized batch.
+
+    Every trial follows exactly the protocol of :class:`TwoStageProtocol`
+    (same schedule, same per-phase rules); the trial axis is simply carried
+    through every numpy operation, and the per-round delivery loop collapses
+    into per-phase sampling of the balls-into-bins reformulation (Claim 1),
+    so the wall-clock cost grows far slower than linearly in ``R``.
+
+    Parameters
+    ----------
+    num_nodes, noise, schedule, epsilon, process, engine, round_scale,
+    sampling_method, use_full_multiset:
+        As in :class:`TwoStageProtocol`.  ``engine`` (or ``process``) must be
+        an anonymous complete-graph engine exposing
+        ``run_ensemble_phase_from_senders``; topology-aware engines must use
+        the sequential protocol.
+    random_state:
+        Either a single :data:`~repro.utils.rng.RandomState` or a sequence
+        with one entry per trial.  With a sequence, trial ``r`` consumes
+        randomness exclusively from its own source — a batched run is then
+        *bitwise identical* to ``R`` separate batch-size-1 runs with the same
+        per-trial sources (the equivalence the test-suite checks).
+    rng_mode:
+        ``"per_trial"`` (default): when ``random_state`` is a single source,
+        spawn one independent child generator per trial, preserving the
+        trial-by-trial reproducibility guarantee.  ``"shared"``: drive the
+        whole batch from one generator with fully batched draws — slightly
+        faster, but individual trials are not reproducible in isolation.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        noise: NoiseMatrix,
+        *,
+        schedule: Optional[ProtocolSchedule] = None,
+        epsilon: Optional[float] = None,
+        process: str = "push",
+        engine=None,
+        random_state: EnsembleRandomState = None,
+        rng_mode: str = "per_trial",
+        round_scale: float = 1.0,
+        sampling_method: str = "without_replacement",
+        use_full_multiset: bool = False,
+    ) -> None:
+        if schedule is None and epsilon is None:
+            raise ValueError("either schedule or epsilon must be provided")
+        if rng_mode not in {"per_trial", "shared"}:
+            raise ValueError(
+                f"rng_mode must be 'per_trial' or 'shared', got {rng_mode!r}"
+            )
+        self.num_nodes = int(num_nodes)
+        self.noise = noise
+        self.epsilon = epsilon
+        self.process = process
+        self.engine = engine
+        if engine is not None:
+            engine_nodes = getattr(engine, "num_nodes", None)
+            if engine_nodes is not None and int(engine_nodes) != self.num_nodes:
+                raise ValueError(
+                    f"engine is built for {engine_nodes} nodes but the protocol "
+                    f"was asked to run on {self.num_nodes}"
+                )
+        self.rng_mode = rng_mode
+        self.round_scale = round_scale
+        self.sampling_method = sampling_method
+        self.use_full_multiset = use_full_multiset
+        self._schedule = schedule
+        self._random_state = random_state
+
+    def build_schedule(self, initial_opinionated: int = 1) -> ProtocolSchedule:
+        """The schedule used by :meth:`run` (built lazily when not supplied)."""
+        if self._schedule is not None:
+            return self._schedule
+        return ProtocolSchedule.for_population(
+            self.num_nodes,
+            float(self.epsilon),
+            initial_opinionated=max(1, initial_opinionated),
+            round_scale=self.round_scale,
+        )
+
+    def _trial_randomness(self, num_trials: int) -> EnsembleRandomState:
+        if is_generator_sequence(self._random_state):
+            return as_trial_generators(self._random_state, num_trials)
+        if self.rng_mode == "per_trial":
+            return as_trial_generators(self._random_state, num_trials)
+        return as_generator(self._random_state)
+
+    def run(
+        self,
+        initial_state: Union[PopulationState, EnsembleState],
+        num_trials: Optional[int] = None,
+        *,
+        target_opinion: Optional[int] = None,
+    ) -> EnsembleResult:
+        """Execute ``num_trials`` trials from ``initial_state``.
+
+        Parameters
+        ----------
+        initial_state:
+            Either one :class:`PopulationState` (tiled into ``num_trials``
+            identical starting points — the usual repeated-trial setting) or
+            a pre-built :class:`EnsembleState` with per-trial initial
+            conditions (``num_trials`` is then inferred).
+        num_trials:
+            Number of trials ``R``; required when ``initial_state`` is a
+            single population.
+        target_opinion:
+            The correct opinion ``m``; defaults to the plurality opinion of
+            the pooled initial counts.
+        """
+        if isinstance(initial_state, PopulationState):
+            if num_trials is None:
+                raise ValueError(
+                    "num_trials is required when initial_state is a single "
+                    "PopulationState"
+                )
+            ensemble = EnsembleState.from_state(initial_state, num_trials)
+        elif isinstance(initial_state, EnsembleState):
+            if num_trials is not None and num_trials != initial_state.num_trials:
+                raise ValueError(
+                    f"num_trials = {num_trials} disagrees with the ensemble's "
+                    f"{initial_state.num_trials} trials"
+                )
+            ensemble = initial_state.copy()
+        else:
+            raise TypeError(
+                "initial_state must be a PopulationState or an EnsembleState, "
+                f"got {type(initial_state).__name__}"
+            )
+        if ensemble.num_nodes != self.num_nodes:
+            raise ValueError(
+                f"initial state has {ensemble.num_nodes} nodes but the "
+                f"protocol was built for {self.num_nodes}"
+            )
+        if ensemble.num_opinions != self.noise.num_opinions:
+            raise ValueError(
+                "initial state and noise matrix disagree on the number of "
+                f"opinions ({ensemble.num_opinions} vs {self.noise.num_opinions})"
+            )
+        if target_opinion is None:
+            target_opinion = ensemble.pooled_plurality_opinion()
+        if target_opinion <= 0:
+            raise ValueError(
+                "target_opinion could not be inferred: the initial ensemble "
+                "has no opinionated node"
+            )
+        schedule = self.build_schedule(
+            int(ensemble.opinionated_counts().min())
+        )
+        if self.engine is not None:
+            engine = self.engine
+        else:
+            engine = make_engine(self.process, self.num_nodes, self.noise, None)
+        randomness = self._trial_randomness(ensemble.num_trials)
+        stage1 = EnsembleStage1Executor(engine, schedule.stage1, randomness)
+        state_after_stage1, stage1_records = stage1.run(
+            ensemble, track_opinion=target_opinion
+        )
+        stage2 = EnsembleStage2Executor(
+            engine,
+            schedule.stage2,
+            randomness,
+            sampling_method=self.sampling_method,
+            use_full_multiset=self.use_full_multiset,
+        )
+        final_states, stage2_records = stage2.run(
+            state_after_stage1, track_opinion=target_opinion
+        )
+        total_rounds = int(
+            sum(record.num_rounds for record in stage1_records)
+            + sum(record.num_rounds for record in stage2_records)
+        )
+        return EnsembleResult(
+            final_states=final_states,
+            target_opinion=target_opinion,
+            successes=final_states.consensus_mask(target_opinion),
             total_rounds=total_rounds,
             stage1_records=stage1_records,
             stage2_records=stage2_records,

@@ -24,11 +24,26 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.schedule import Stage1Schedule
-from repro.core.state import PopulationState
-from repro.network.delivery import deliver_phase, supports_population_delivery
-from repro.utils.rng import RandomState, as_generator
+from repro.core.state import EnsembleState, PopulationState
+from repro.network.delivery import (
+    deliver_ensemble_phase,
+    deliver_phase,
+    supports_ensemble_delivery,
+    supports_population_delivery,
+)
+from repro.utils.rng import (
+    EnsembleRandomState,
+    RandomState,
+    as_generator,
+    normalize_ensemble_random_state,
+)
 
-__all__ = ["Stage1Executor", "Stage1PhaseRecord"]
+__all__ = [
+    "Stage1Executor",
+    "Stage1PhaseRecord",
+    "EnsembleStage1Executor",
+    "EnsembleStage1PhaseRecord",
+]
 
 
 @dataclass(frozen=True)
@@ -170,4 +185,117 @@ class Stage1Executor:
             opinion_distribution=state.opinion_distribution(),
             bias=bias,
             messages_sent=messages_sent,
+        )
+
+
+@dataclass(frozen=True)
+class EnsembleStage1PhaseRecord:
+    """Per-trial state snapshots at the end of one batched Stage-1 phase.
+
+    The fields mirror :class:`Stage1PhaseRecord` with a leading trial axis:
+    scalars become ``(R,)`` arrays and the distribution becomes ``(R, k)``.
+    """
+
+    phase_index: int
+    num_rounds: int
+    opinionated_before: np.ndarray
+    opinionated_after: np.ndarray
+    newly_opinionated: np.ndarray
+    opinion_distributions: np.ndarray
+    bias: Optional[np.ndarray]
+    messages_sent: np.ndarray
+
+
+class EnsembleStage1Executor:
+    """Run Stage 1 for ``R`` independent trials with batched phase delivery.
+
+    The executor mirrors :class:`Stage1Executor` but evolves an
+    :class:`~repro.core.state.EnsembleState`: every phase delivers all
+    trials' messages through the engine's batched entry point and applies
+    the end-of-phase adoption rule to the whole ``(R, n)`` batch at once.
+    Trials never interact — a trial's evolution depends only on its own row
+    and (in per-trial randomness mode) its own generator, which is what the
+    batched-equals-sequential equivalence tests rely on.
+
+    Parameters
+    ----------
+    engine:
+        A delivery engine exposing ``run_ensemble_phase_from_senders``
+        (processes O, B and P all do).
+    schedule:
+        The Stage-1 phase schedule, shared by every trial.
+    random_state:
+        One shared randomness source, or a sequence with one source per
+        trial (then trial ``r`` consumes draws from its own generator only).
+    """
+
+    def __init__(
+        self,
+        engine,
+        schedule: Stage1Schedule,
+        random_state: EnsembleRandomState = None,
+    ) -> None:
+        if not supports_ensemble_delivery(engine):
+            raise TypeError(
+                "engine must expose run_ensemble_phase_from_senders"
+            )
+        self.engine = engine
+        self.schedule = schedule
+        self._random_state = normalize_ensemble_random_state(random_state)
+
+    def run(
+        self,
+        state: EnsembleState,
+        *,
+        track_opinion: Optional[int] = None,
+    ) -> Tuple[EnsembleState, List[EnsembleStage1PhaseRecord]]:
+        """Execute every Stage-1 phase on a copy of ``state``.
+
+        ``track_opinion`` defaults to the plurality opinion of the pooled
+        initial counts (summed over trials), matching the single-trial
+        executor on homogeneous ensembles.
+        """
+        current = state.copy()
+        if track_opinion is None:
+            pooled = current.pooled_plurality_opinion()
+            track_opinion = pooled if pooled > 0 else None
+        records: List[EnsembleStage1PhaseRecord] = []
+        for phase_index, num_rounds in enumerate(self.schedule.phase_lengths):
+            record = self.run_phase(
+                current, phase_index, num_rounds, track_opinion=track_opinion
+            )
+            records.append(record)
+        return current, records
+
+    def run_phase(
+        self,
+        state: EnsembleState,
+        phase_index: int,
+        num_rounds: int,
+        *,
+        track_opinion: Optional[int] = None,
+    ) -> EnsembleStage1PhaseRecord:
+        """Execute a single batched Stage-1 phase, mutating ``state`` in place."""
+        opinionated_before = state.opinionated_counts()
+        received = deliver_ensemble_phase(
+            self.engine, state.opinions, num_rounds, self._random_state
+        )
+        # Only undecided nodes act on what they received; each adopts one
+        # received opinion u.a.r. (counting multiplicities) at phase end.
+        adopted = received.uniform_opinion_choice(self._random_state)
+        undecided = ~state.opinionated_mask()
+        adopters = undecided & (adopted > 0)
+        state.opinions[adopters] = adopted[adopters]
+        bias = (
+            state.bias_toward(track_opinion) if track_opinion is not None else None
+        )
+        return EnsembleStage1PhaseRecord(
+            phase_index=phase_index,
+            num_rounds=num_rounds,
+            opinionated_before=opinionated_before,
+            opinionated_after=state.opinionated_counts(),
+            newly_opinionated=np.count_nonzero(adopters, axis=1).astype(np.int64),
+            opinion_distributions=state.opinion_distributions(),
+            bias=bias,
+            messages_sent=received.total_messages(),
         )

@@ -23,11 +23,26 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.schedule import Stage2Schedule
-from repro.core.state import PopulationState
-from repro.network.delivery import deliver_phase, supports_population_delivery
-from repro.utils.rng import RandomState, as_generator
+from repro.core.state import EnsembleState, PopulationState
+from repro.network.delivery import (
+    deliver_ensemble_phase,
+    deliver_phase,
+    supports_ensemble_delivery,
+    supports_population_delivery,
+)
+from repro.utils.rng import (
+    EnsembleRandomState,
+    RandomState,
+    as_generator,
+    normalize_ensemble_random_state,
+)
 
-__all__ = ["Stage2Executor", "Stage2PhaseRecord"]
+__all__ = [
+    "Stage2Executor",
+    "Stage2PhaseRecord",
+    "EnsembleStage2Executor",
+    "EnsembleStage2PhaseRecord",
+]
 
 
 @dataclass(frozen=True)
@@ -197,4 +212,143 @@ class Stage2Executor:
             bias_before=bias_before,
             bias_after=bias_after,
             messages_sent=messages_sent,
+        )
+
+
+@dataclass(frozen=True)
+class EnsembleStage2PhaseRecord:
+    """Per-trial state snapshots at the end of one batched Stage-2 phase.
+
+    The fields mirror :class:`Stage2PhaseRecord` with a leading trial axis;
+    ``consensus_after`` additionally records which trials sit at full
+    consensus on the tracked opinion after the phase (all ``False`` when no
+    opinion is tracked), so callers can reconstruct per-trial
+    rounds-to-consensus without freezing the batch.
+    """
+
+    phase_index: int
+    num_rounds: int
+    sample_size: int
+    updated_nodes: np.ndarray
+    opinion_distributions: np.ndarray
+    bias_before: Optional[np.ndarray]
+    bias_after: Optional[np.ndarray]
+    messages_sent: np.ndarray
+    consensus_after: np.ndarray
+
+
+class EnsembleStage2Executor:
+    """Run Stage 2 for ``R`` independent trials with batched phase delivery.
+
+    Mirrors :class:`Stage2Executor` over an
+    :class:`~repro.core.state.EnsembleState`: each phase delivers every
+    trial's messages at once and applies the sample-majority rule to the
+    whole ``(R, n)`` batch.  Unlike the sequential executor there is no
+    per-trial early stopping — the batch always runs the full schedule (the
+    default behaviour of the sequential executor too) and records per-phase
+    consensus masks instead.
+
+    Parameters
+    ----------
+    engine:
+        A delivery engine exposing ``run_ensemble_phase_from_senders``.
+    schedule:
+        The Stage-2 phase schedule (lengths and sample sizes).
+    random_state:
+        One shared randomness source, or a sequence with one source per
+        trial (then trial ``r`` consumes draws from its own generator only).
+    sampling_method, use_full_multiset:
+        As in :class:`Stage2Executor`.
+    """
+
+    def __init__(
+        self,
+        engine,
+        schedule: Stage2Schedule,
+        random_state: EnsembleRandomState = None,
+        *,
+        sampling_method: str = "without_replacement",
+        use_full_multiset: bool = False,
+    ) -> None:
+        if not supports_ensemble_delivery(engine):
+            raise TypeError(
+                "engine must expose run_ensemble_phase_from_senders"
+            )
+        if sampling_method not in {"without_replacement", "with_replacement"}:
+            raise ValueError(
+                "sampling_method must be 'without_replacement' or "
+                f"'with_replacement', got {sampling_method!r}"
+            )
+        self.engine = engine
+        self.schedule = schedule
+        self.sampling_method = sampling_method
+        self.use_full_multiset = use_full_multiset
+        self._random_state = normalize_ensemble_random_state(random_state)
+
+    def run(
+        self,
+        state: EnsembleState,
+        *,
+        track_opinion: Optional[int] = None,
+    ) -> Tuple[EnsembleState, List[EnsembleStage2PhaseRecord]]:
+        """Execute every Stage-2 phase on a copy of ``state``."""
+        current = state.copy()
+        if track_opinion is None:
+            pooled = current.pooled_plurality_opinion()
+            track_opinion = pooled if pooled > 0 else None
+        records: List[EnsembleStage2PhaseRecord] = []
+        for phase_index, (num_rounds, sample_size) in enumerate(
+            zip(self.schedule.phase_lengths, self.schedule.sample_sizes)
+        ):
+            record = self.run_phase(
+                current,
+                phase_index,
+                num_rounds,
+                sample_size,
+                track_opinion=track_opinion,
+            )
+            records.append(record)
+        return current, records
+
+    def run_phase(
+        self,
+        state: EnsembleState,
+        phase_index: int,
+        num_rounds: int,
+        sample_size: int,
+        *,
+        track_opinion: Optional[int] = None,
+    ) -> EnsembleStage2PhaseRecord:
+        """Execute a single batched Stage-2 phase, mutating ``state`` in place."""
+        bias_before = (
+            state.bias_toward(track_opinion) if track_opinion is not None else None
+        )
+        received = deliver_ensemble_phase(
+            self.engine, state.opinions, num_rounds, self._random_state
+        )
+        votes = received.majority_votes(
+            self._random_state,
+            sample_size=None if self.use_full_multiset else sample_size,
+            sampling_method=self.sampling_method,
+        )
+        updaters = votes > 0
+        state.opinions[updaters] = votes[updaters]
+        bias_after = (
+            state.bias_toward(track_opinion) if track_opinion is not None else None
+        )
+        consensus_after = (
+            state.consensus_mask(track_opinion)
+            if track_opinion is not None
+            else np.zeros(state.num_trials, dtype=bool)
+        )
+        return EnsembleStage2PhaseRecord(
+            phase_index=phase_index,
+            num_rounds=num_rounds,
+            sample_size=sample_size,
+            updated_nodes=np.count_nonzero(updaters, axis=1).astype(np.int64),
+            opinion_distributions=state.opinion_distributions(),
+            bias_before=bias_before,
+            bias_after=bias_after,
+            messages_sent=received.total_messages(),
+            consensus_after=consensus_after,
         )

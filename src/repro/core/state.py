@@ -14,18 +14,24 @@ The paper tracks, at the beginning of every round ``t``:
 :class:`PopulationState` stores the opinion vector (0 = undecided,
 ``1..k`` = opinions) and exposes those quantities plus the constructors used
 by the rumor-spreading and plurality-consensus instances.
+
+:class:`EnsembleState` is the batched counterpart: it stores the opinions of
+``R`` independent trials as an ``(R, n)`` matrix so that multi-trial
+experiments can evolve all trials with single vectorized numpy operations
+instead of a Python-level loop over :class:`PopulationState` runs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.utils.multiset import opinion_counts_matrix
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import require_positive_int
 
-__all__ = ["PopulationState"]
+__all__ = ["PopulationState", "EnsembleState"]
 
 UNDECIDED = 0
 
@@ -266,4 +272,186 @@ class PopulationState:
         return (
             f"PopulationState(n={self.num_nodes}, k={self.num_opinions}, "
             f"opinionated={self.opinionated_count()})"
+        )
+
+
+class EnsembleState:
+    """Opinions of ``R`` independent ``n``-node trials, stored as one matrix.
+
+    Row ``r`` is trial ``r``'s opinion vector (0 = undecided, ``1..k`` =
+    opinions), exactly as in :class:`PopulationState`.  All derived
+    quantities are computed for every trial at once and returned as arrays
+    with a leading trial axis.
+
+    Parameters
+    ----------
+    opinions:
+        Integer matrix of shape ``(num_trials, num_nodes)``.
+    num_opinions:
+        The number of distinct opinions ``k`` (must upper-bound every entry).
+    """
+
+    def __init__(self, opinions: np.ndarray, num_opinions: int) -> None:
+        self.num_opinions = require_positive_int(num_opinions, "num_opinions")
+        array = np.asarray(opinions, dtype=np.int64).copy()
+        if array.ndim != 2:
+            raise ValueError(
+                f"ensemble opinions must be an (R, n) matrix, got shape {array.shape}"
+            )
+        if array.shape[0] == 0 or array.shape[1] == 0:
+            raise ValueError(
+                "the ensemble must contain at least one trial and one node"
+            )
+        if array.min() < 0 or array.max() > self.num_opinions:
+            raise ValueError(
+                f"opinions must lie in [0, {self.num_opinions}] (0 = undecided)"
+            )
+        self.opinions = array
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_state(cls, state: PopulationState, num_trials: int) -> "EnsembleState":
+        """``num_trials`` independent trials all starting from ``state``."""
+        num_trials = require_positive_int(num_trials, "num_trials")
+        return cls(
+            np.tile(state.opinions, (num_trials, 1)), state.num_opinions
+        )
+
+    @classmethod
+    def from_states(cls, states: Sequence[PopulationState]) -> "EnsembleState":
+        """Stack per-trial initial states (all must share ``n`` and ``k``)."""
+        if not states:
+            raise ValueError("at least one trial state is required")
+        first = states[0]
+        for state in states[1:]:
+            if state.num_nodes != first.num_nodes:
+                raise ValueError(
+                    "all trial states must have the same number of nodes"
+                )
+            if state.num_opinions != first.num_opinions:
+                raise ValueError(
+                    "all trial states must have the same number of opinions"
+                )
+        return cls(
+            np.stack([state.opinions for state in states]), first.num_opinions
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shape / conversion
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_trials(self) -> int:
+        """Number of independent trials ``R``."""
+        return int(self.opinions.shape[0])
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n`` per trial."""
+        return int(self.opinions.shape[1])
+
+    def copy(self) -> "EnsembleState":
+        """An independent copy of this ensemble."""
+        return EnsembleState(self.opinions.copy(), self.num_opinions)
+
+    def trial_state(self, trial: int) -> PopulationState:
+        """Trial ``trial`` as a standalone :class:`PopulationState`."""
+        return PopulationState(self.opinions[trial].copy(), self.num_opinions)
+
+    def to_states(self) -> List[PopulationState]:
+        """All trials as standalone :class:`PopulationState` objects."""
+        return [self.trial_state(trial) for trial in range(self.num_trials)]
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities (one entry per trial)
+    # ------------------------------------------------------------------ #
+
+    def opinionated_mask(self) -> np.ndarray:
+        """Boolean ``(R, n)`` mask of nodes that currently hold an opinion."""
+        return self.opinions > UNDECIDED
+
+    def opinionated_counts(self) -> np.ndarray:
+        """Number of opinionated nodes per trial (shape ``(R,)``)."""
+        return np.count_nonzero(self.opinions, axis=1).astype(np.int64)
+
+    def opinionated_fractions(self) -> np.ndarray:
+        """The paper's ``a(t)`` per trial (shape ``(R,)``)."""
+        return self.opinionated_counts() / self.num_nodes
+
+    def opinion_counts(self) -> np.ndarray:
+        """Supporters of each opinion per trial (shape ``(R, k)``).
+
+        Computed with a single offset :func:`numpy.bincount` over the whole
+        batch — no Python loop over trials.
+        """
+        return opinion_counts_matrix(self.opinions, self.num_opinions)
+
+    def opinion_distributions(self) -> np.ndarray:
+        """The paper's ``c(t)`` per trial (shape ``(R, k)``)."""
+        return self.opinion_counts() / self.num_nodes
+
+    def bias_toward(self, opinion: int) -> np.ndarray:
+        """Definition-1 bias toward ``opinion`` per trial (shape ``(R,)``)."""
+        if not (1 <= opinion <= self.num_opinions):
+            raise ValueError(
+                f"opinion must be in [1, {self.num_opinions}], got {opinion}"
+            )
+        distributions = self.opinion_distributions()
+        if self.num_opinions == 1:
+            return distributions[:, 0]
+        rivals = np.delete(distributions, opinion - 1, axis=1)
+        return distributions[:, opinion - 1] - rivals.max(axis=1)
+
+    def plurality_opinions(self) -> np.ndarray:
+        """The most supported opinion per trial, 0 for all-undecided trials."""
+        counts = self.opinion_counts()
+        winners = counts.argmax(axis=1) + 1
+        return np.where(counts.sum(axis=1) > 0, winners, 0).astype(np.int64)
+
+    def pooled_plurality_opinion(self) -> int:
+        """The plurality opinion of the counts pooled over all trials.
+
+        This is the default tracked opinion of the ensemble executors; for a
+        homogeneous ensemble (every trial tiled from one initial state) it
+        coincides with the single-trial plurality.  Returns 0 when no trial
+        has an opinionated node.
+        """
+        pooled = self.opinion_counts().sum(axis=0)
+        if pooled.sum() == 0:
+            return 0
+        return int(pooled.argmax()) + 1
+
+    def consensus_mask(self, opinion: int) -> np.ndarray:
+        """Boolean ``(R,)`` mask of trials where every node supports ``opinion``."""
+        return np.all(self.opinions == opinion, axis=1)
+
+    def correct_fractions(self, opinion: int) -> np.ndarray:
+        """Fraction of nodes supporting ``opinion`` per trial (shape ``(R,)``)."""
+        return np.count_nonzero(self.opinions == opinion, axis=1) / self.num_nodes
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate statistics over the whole ensemble."""
+        fractions = self.opinionated_fractions()
+        return {
+            "num_trials": self.num_trials,
+            "num_nodes": self.num_nodes,
+            "num_opinions": self.num_opinions,
+            "mean_opinionated_fraction": float(fractions.mean()),
+            "min_opinionated_fraction": float(fractions.min()),
+        }
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, EnsembleState):
+            return NotImplemented
+        return self.num_opinions == other.num_opinions and bool(
+            np.array_equal(self.opinions, other.opinions)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EnsembleState(R={self.num_trials}, n={self.num_nodes}, "
+            f"k={self.num_opinions})"
         )

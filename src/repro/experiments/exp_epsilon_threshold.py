@@ -24,9 +24,9 @@ import numpy as np
 
 from repro.analysis.convergence import estimate_success_probability
 from repro.analysis.theory import theoretical_bias_after_stage1
-from repro.core.rumor import RumorSpreading
 from repro.experiments.results import ExperimentTable
-from repro.experiments.runner import repeat_trials
+from repro.experiments.runner import protocol_trial_outcomes
+from repro.experiments.workloads import rumor_instance
 from repro.noise.families import uniform_noise_matrix
 from repro.utils.rng import RandomState
 
@@ -35,12 +35,18 @@ __all__ = ["EpsilonThresholdConfig", "run"]
 
 @dataclass
 class EpsilonThresholdConfig:
-    """Parameters of the E9 sweep."""
+    """Parameters of the E9 sweep.
+
+    ``trial_engine`` selects the repeated-trial execution engine
+    (``"batched"`` vectorized ensemble, or the ``"sequential"`` reference
+    loop).
+    """
 
     num_nodes: int = 2000
     num_opinions: int = 2
     epsilon_over_threshold: Sequence[float] = (3.0, 2.0, 1.0, 0.6, 0.4)
     num_trials: int = 4
+    trial_engine: str = "batched"
 
     @classmethod
     def quick(cls) -> "EpsilonThresholdConfig":
@@ -81,27 +87,30 @@ def run(
     for multiplier in config.epsilon_over_threshold:
         epsilon = min(0.45, multiplier * threshold)
         noise = uniform_noise_matrix(config.num_opinions, epsilon)
-
-        def trial(rng: np.random.Generator):
-            solver = RumorSpreading(
-                config.num_nodes,
-                config.num_opinions,
-                noise,
-                epsilon,
-                correct_opinion=1,
-                random_state=rng,
-            )
-            result = solver.run()
-            return result.success, result.bias_after_stage1, result.total_rounds
-
-        outcomes = repeat_trials(trial, config.num_trials, random_state)
+        outcomes = protocol_trial_outcomes(
+            rumor_instance(config.num_nodes, config.num_opinions, 1),
+            noise,
+            epsilon,
+            config.num_trials,
+            random_state,
+            target_opinion=1,
+            trial_engine=config.trial_engine,
+        )
         success_rate, interval = estimate_success_probability(
-            [success for success, _, _ in outcomes]
+            [outcome.success for outcome in outcomes]
         )
         mean_stage1_bias = float(
-            np.mean([bias for _, bias, _ in outcomes if bias is not None])
+            np.mean(
+                [
+                    outcome.bias_after_stage1
+                    for outcome in outcomes
+                    if outcome.bias_after_stage1 is not None
+                ]
+            )
         )
-        mean_rounds = float(np.mean([rounds for _, _, rounds in outcomes]))
+        mean_rounds = float(
+            np.mean([outcome.total_rounds for outcome in outcomes])
+        )
         table.add_record(
             n=config.num_nodes,
             epsilon=epsilon,

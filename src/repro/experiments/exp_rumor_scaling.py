@@ -20,13 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from repro.analysis.convergence import estimate_success_probability, fit_round_complexity
-from repro.core.rumor import RumorSpreading
 from repro.core.schedule import theoretical_round_complexity
 from repro.experiments.results import ExperimentTable
-from repro.experiments.runner import repeat_trials, summarize
+from repro.experiments.runner import protocol_trial_outcomes, summarize
+from repro.experiments.workloads import rumor_instance
 from repro.noise.families import uniform_noise_matrix
 from repro.utils.rng import RandomState
 
@@ -35,13 +33,19 @@ __all__ = ["RumorScalingConfig", "run"]
 
 @dataclass
 class RumorScalingConfig:
-    """Parameters of the E1 sweep."""
+    """Parameters of the E1 sweep.
+
+    ``trial_engine`` selects how the repeated trials of every grid point are
+    executed: ``"batched"`` (the vectorized ensemble, default) or
+    ``"sequential"`` (the reference single-trial loop).
+    """
 
     num_nodes_grid: Sequence[int] = (500, 1000, 2000)
     epsilon_grid: Sequence[float] = (0.2, 0.3, 0.4)
     num_opinions: int = 3
     num_trials: int = 5
     round_scale: float = 1.0
+    trial_engine: str = "batched"
 
     @classmethod
     def quick(cls) -> "RumorScalingConfig":
@@ -84,23 +88,18 @@ def run(
     for num_nodes in config.num_nodes_grid:
         for epsilon in config.epsilon_grid:
             noise = uniform_noise_matrix(config.num_opinions, epsilon)
-
-            def trial(rng: np.random.Generator):
-                solver = RumorSpreading(
-                    num_nodes,
-                    config.num_opinions,
-                    noise,
-                    epsilon,
-                    correct_opinion=1,
-                    random_state=rng,
-                    round_scale=config.round_scale,
-                )
-                result = solver.run()
-                return result.success, result.total_rounds
-
-            outcomes = repeat_trials(trial, config.num_trials, random_state)
-            successes = [success for success, _ in outcomes]
-            rounds = [rounds_used for _, rounds_used in outcomes]
+            outcomes = protocol_trial_outcomes(
+                rumor_instance(num_nodes, config.num_opinions, 1),
+                noise,
+                epsilon,
+                config.num_trials,
+                random_state,
+                target_opinion=1,
+                round_scale=config.round_scale,
+                trial_engine=config.trial_engine,
+            )
+            successes = [outcome.success for outcome in outcomes]
+            rounds = [outcome.total_rounds for outcome in outcomes]
             success_rate, interval = estimate_success_probability(successes)
             rounds_summary = summarize(rounds)
             clock = theoretical_round_complexity(num_nodes, epsilon)

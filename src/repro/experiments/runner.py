@@ -4,20 +4,46 @@ The experiments follow a common pattern: for every point of a small parameter
 grid, run several independent trials (each with its own derived RNG stream),
 and summarize the per-trial outputs.  These helpers centralize the trial
 bookkeeping so that the experiment modules stay declarative.
+
+Repeated full-protocol trials have two interchangeable execution engines:
+
+* ``"batched"`` (default) — all trials run as one vectorized
+  :class:`~repro.core.protocol.EnsembleProtocol` batch over an ``(R, n)``
+  opinion matrix, which is several times faster than looping;
+* ``"sequential"`` — the reference implementation: a Python loop of
+  single-trial :class:`~repro.core.protocol.TwoStageProtocol` runs, kept for
+  cross-checking the batched path.
+
+:func:`protocol_trial_outcomes` hides the choice behind one call returning a
+flat list of per-trial outcomes.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, TypeVar
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, TypeVar
 
 import numpy as np
 
+from repro.core.protocol import EnsembleProtocol, TwoStageProtocol
+from repro.core.state import PopulationState
+from repro.noise.matrix import NoiseMatrix
 from repro.utils.rng import RandomState, spawn_generators
 
-__all__ = ["repeat_trials", "sweep_product", "summarize"]
+__all__ = [
+    "repeat_trials",
+    "sweep_product",
+    "summarize",
+    "TrialOutcome",
+    "protocol_trial_outcomes",
+    "TRIAL_ENGINES",
+]
 
 T = TypeVar("T")
+
+#: Execution engines accepted by :func:`protocol_trial_outcomes`.
+TRIAL_ENGINES = ("batched", "sequential")
 
 
 def repeat_trials(
@@ -35,6 +61,99 @@ def repeat_trials(
         raise ValueError(f"num_trials must be >= 1, got {num_trials}")
     generators = spawn_generators(num_trials, random_state)
     return [trial(generator) for generator in generators]
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """The per-trial quantities the repeated-trial experiments consume.
+
+    Attributes
+    ----------
+    success:
+        ``True`` iff the trial ended in consensus on the target opinion.
+    total_rounds:
+        Communication rounds the trial executed.
+    bias_after_stage1:
+        Bias toward the target opinion at the end of Stage 1 (``None`` when
+        Stage 1 recorded no phases).
+    correct_fraction:
+        Fraction of nodes supporting the target opinion at the end.
+    """
+
+    success: bool
+    total_rounds: int
+    bias_after_stage1: Optional[float]
+    correct_fraction: float
+
+
+def protocol_trial_outcomes(
+    initial_state: PopulationState,
+    noise: NoiseMatrix,
+    epsilon: float,
+    num_trials: int,
+    random_state: RandomState = None,
+    *,
+    target_opinion: Optional[int] = None,
+    process: str = "push",
+    round_scale: float = 1.0,
+    trial_engine: str = "batched",
+) -> List[TrialOutcome]:
+    """Run ``num_trials`` independent protocol trials from ``initial_state``.
+
+    Every trial starts from the same initial population and runs the full
+    two-stage protocol; the routing between the batched ensemble engine and
+    the sequential reference loop is controlled by ``trial_engine`` (one of
+    :data:`TRIAL_ENGINES`).  Both engines derive per-trial randomness from
+    ``random_state``, so a fixed seed gives a reproducible batch either way
+    (though not the same draws across the two engines).
+    """
+    if trial_engine not in TRIAL_ENGINES:
+        raise ValueError(
+            f"trial_engine must be one of {TRIAL_ENGINES}, got {trial_engine!r}"
+        )
+    num_nodes = initial_state.num_nodes
+    if trial_engine == "batched":
+        result = EnsembleProtocol(
+            num_nodes,
+            noise,
+            epsilon=epsilon,
+            process=process,
+            random_state=random_state,
+            round_scale=round_scale,
+        ).run(initial_state, num_trials, target_opinion=target_opinion)
+        stage1_biases = result.biases_after_stage1
+        correct_fractions = result.correct_fractions()
+        return [
+            TrialOutcome(
+                success=bool(result.successes[trial]),
+                total_rounds=result.total_rounds,
+                bias_after_stage1=(
+                    float(stage1_biases[trial])
+                    if stage1_biases is not None
+                    else None
+                ),
+                correct_fraction=float(correct_fractions[trial]),
+            )
+            for trial in range(result.num_trials)
+        ]
+
+    def trial(rng: np.random.Generator) -> TrialOutcome:
+        result = TwoStageProtocol(
+            num_nodes,
+            noise,
+            epsilon=epsilon,
+            process=process,
+            random_state=rng,
+            round_scale=round_scale,
+        ).run(initial_state, target_opinion=target_opinion)
+        return TrialOutcome(
+            success=result.success,
+            total_rounds=result.total_rounds,
+            bias_after_stage1=result.bias_after_stage1,
+            correct_fraction=result.correct_fraction(),
+        )
+
+    return repeat_trials(trial, num_trials, random_state)
 
 
 def sweep_product(**parameter_values: Sequence[Any]) -> List[Dict[str, Any]]:

@@ -11,6 +11,10 @@ The experiments need a small vocabulary of initial conditions:
 All generators delegate to :class:`~repro.core.state.PopulationState` /
 :class:`~repro.core.plurality.PluralityInstance` and exist so experiment
 modules read as parameter sweeps rather than state plumbing.
+
+The ``ensemble_*`` variants produce the batched
+:class:`~repro.core.state.EnsembleState` counterparts consumed by the
+vectorized multi-trial path (:class:`~repro.core.protocol.EnsembleProtocol`).
 """
 
 from __future__ import annotations
@@ -21,14 +25,16 @@ import numpy as np
 
 from repro.analysis.bias import make_biased_distribution
 from repro.core.plurality import PluralityInstance
-from repro.core.state import PopulationState
-from repro.utils.rng import RandomState
+from repro.core.state import EnsembleState, PopulationState
+from repro.utils.rng import RandomState, spawn_generators
 from repro.utils.validation import require_fraction, require_positive_int
 
 __all__ = [
     "rumor_instance",
     "biased_population",
     "plurality_instance_with_bias",
+    "ensemble_rumor_instance",
+    "ensemble_biased_population",
 ]
 
 
@@ -86,4 +92,52 @@ def plurality_instance_with_bias(
     )
     return PluralityInstance.from_support_fractions(
         num_nodes, support_size, shares
+    )
+
+
+def ensemble_rumor_instance(
+    num_nodes: int,
+    num_opinions: int,
+    num_trials: int,
+    correct_opinion: int = 1,
+) -> EnsembleState:
+    """``num_trials`` independent Theorem-1 initial conditions, batched.
+
+    The single-source state is deterministic, so every trial starts from the
+    same row; the trials diverge through their independent randomness.
+    """
+    return EnsembleState.from_state(
+        rumor_instance(num_nodes, num_opinions, correct_opinion), num_trials
+    )
+
+
+def ensemble_biased_population(
+    num_nodes: int,
+    num_opinions: int,
+    bias: float,
+    num_trials: int,
+    *,
+    majority_opinion: int = 1,
+    style: str = "uniform_rest",
+    random_state: RandomState = None,
+) -> EnsembleState:
+    """``num_trials`` fully opinionated ``bias``-biased populations, batched.
+
+    Each trial gets its own independently shuffled placement (derived from
+    ``random_state``), mirroring what a sequential loop over
+    :func:`biased_population` would produce.
+    """
+    generators = spawn_generators(num_trials, random_state)
+    return EnsembleState.from_states(
+        [
+            biased_population(
+                num_nodes,
+                num_opinions,
+                bias,
+                majority_opinion=majority_opinion,
+                style=style,
+                random_state=generator,
+            )
+            for generator in generators
+        ]
     )

@@ -17,9 +17,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.network.mailbox import ReceivedMessages
+from repro.network.mailbox import EnsembleReceivedMessages, ReceivedMessages
+from repro.utils.multiset import opinion_counts_matrix
+from repro.utils.rng import EnsembleRandomState
 
-__all__ = ["deliver_phase", "supports_population_delivery"]
+__all__ = [
+    "deliver_phase",
+    "supports_population_delivery",
+    "deliver_ensemble_phase",
+    "supports_ensemble_delivery",
+]
 
 
 def supports_population_delivery(engine) -> bool:
@@ -50,4 +57,46 @@ def deliver_phase(engine, opinions: np.ndarray, num_rounds: int) -> ReceivedMess
         return engine.run_phase_from_senders(sender_opinions, num_rounds)
     raise TypeError(
         "engine must expose run_phase_from_population or run_phase_from_senders"
+    )
+
+
+def supports_ensemble_delivery(engine) -> bool:
+    """``True`` if the engine can deliver a whole ``(R, n)`` batch per phase."""
+    return hasattr(engine, "run_ensemble_phase_from_senders")
+
+
+def deliver_ensemble_phase(
+    engine,
+    opinions: np.ndarray,
+    num_rounds: int,
+    random_state: EnsembleRandomState = None,
+) -> EnsembleReceivedMessages:
+    """Deliver one protocol phase for ``R`` independent trials at once.
+
+    Parameters
+    ----------
+    engine:
+        An anonymous delivery engine exposing
+        ``run_ensemble_phase_from_senders`` (all three complete-graph
+        processes O, B, P do; topology-aware engines do not).
+    opinions:
+        The ``(R, n)`` opinion matrix of the ensemble (0 = undecided).
+        Undecided nodes do not push; each trial's sender-opinion histogram is
+        extracted with a single batched bincount.
+    num_rounds:
+        Number of rounds in the phase.
+    random_state:
+        One shared randomness source, or a sequence of per-trial sources for
+        trial-by-trial reproducibility; ``None`` lets the engine use its own
+        generator.
+    """
+    if not supports_ensemble_delivery(engine):
+        raise TypeError(
+            "engine must expose run_ensemble_phase_from_senders; the "
+            "complete-graph engines (push, balls_bins, poisson) do, "
+            "topology-aware engines must go through the sequential path"
+        )
+    histograms = opinion_counts_matrix(opinions, int(engine.num_opinions))
+    return engine.run_ensemble_phase_from_senders(
+        histograms, num_rounds, random_state
     )

@@ -6,6 +6,13 @@ entry ``(u, i)`` is the number of copies of opinion ``i + 1`` delivered to
 node ``u`` during the phase.  :class:`ReceivedMessages` wraps that matrix with
 the sampling operations the protocol needs (uniform sub-sampling of the
 received multiset, as performed by the reservoir in Stage 2).
+
+:class:`EnsembleReceivedMessages` is the batched counterpart used by the
+ensemble engines: a ``(num_trials, num_nodes, num_opinions)`` tensor covering
+``R`` independent trials, with the same sampling operations vectorized over
+the whole batch (the Stage-2 reservoir sub-sample becomes a batched
+multivariate-hypergeometric draw built from ``k - 1`` vectorized
+hypergeometric calls instead of a per-node Python loop).
 """
 
 from __future__ import annotations
@@ -16,9 +23,81 @@ from typing import Optional
 import numpy as np
 
 from repro.utils.multiset import majority_from_counts
-from repro.utils.rng import RandomState, as_generator
+from repro.utils.rng import (
+    EnsembleRandomState,
+    RandomState,
+    as_generator,
+    as_trial_generators,
+    is_generator_sequence,
+)
 
-__all__ = ["ReceivedMessages"]
+__all__ = ["ReceivedMessages", "EnsembleReceivedMessages"]
+
+
+def _uniform_choice_core(counts: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+    """Inverse-CDF draw of one received opinion per node, 0 for empty rows.
+
+    ``counts`` has shape ``(..., num_opinions)`` and ``uniforms`` the matching
+    leading shape; the same kernel serves the single-trial and batched paths.
+    """
+    cumulative = np.cumsum(counts, axis=-1).astype(float)
+    totals = counts.sum(axis=-1)
+    thresholds = uniforms * totals
+    picks = (thresholds[..., np.newaxis] >= cumulative).sum(axis=-1) + 1
+    return np.where(totals > 0, picks, 0).astype(np.int64)
+
+
+def _subsample_core(
+    counts: np.ndarray,
+    sample_size: int,
+    rng: np.random.Generator,
+    method: str,
+) -> np.ndarray:
+    """Uniform sub-sample of size ``sample_size`` per row of ``counts``.
+
+    ``counts`` has shape ``(..., num_opinions)``; rows with at most
+    ``sample_size`` messages are returned untouched.  The
+    ``without_replacement`` draw realizes the multivariate hypergeometric
+    distribution per row through ``k - 1`` *vectorized* conditional
+    hypergeometric draws over all rows at once.
+    """
+    num_opinions = counts.shape[-1]
+    flat = counts.reshape(-1, num_opinions)
+    totals = flat.sum(axis=1)
+    sampled = flat.copy()
+    rows = np.nonzero(totals > sample_size)[0]
+    if rows.size:
+        if method == "without_replacement":
+            subset = flat[rows]
+            remaining = totals[rows].copy()
+            to_draw = np.full(rows.size, sample_size, dtype=np.int64)
+            drawn = np.empty_like(subset)
+            for opinion in range(num_opinions - 1):
+                good = subset[:, opinion]
+                bad = remaining - good
+                taken = rng.hypergeometric(good, bad, to_draw)
+                drawn[:, opinion] = taken
+                to_draw -= taken
+                remaining = bad
+            drawn[:, num_opinions - 1] = to_draw
+            sampled[rows] = drawn
+        else:
+            probabilities = flat[rows] / totals[rows, np.newaxis].astype(float)
+            sampled[rows] = rng.multinomial(sample_size, probabilities)
+    return sampled.reshape(counts.shape)
+
+
+def _majority_core(
+    counts: np.ndarray, eligible: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Row-wise ``maj()`` with uniform tie-break, 0 for ineligible rows."""
+    row_max = counts.max(axis=-1)
+    tie_keys = rng.random(counts.shape)
+    masked_keys = np.where(counts == row_max[..., np.newaxis], tie_keys, -1.0)
+    winners = masked_keys.argmax(axis=-1) + 1
+    return np.where(
+        eligible & (row_max > 0), winners, 0
+    ).astype(np.int64)
 
 
 @dataclass
@@ -190,3 +269,160 @@ class ReceivedMessages:
             eligible = self.totals() >= sample_size
         votes = majority_from_counts(counts, rng)
         return np.where(eligible, votes, 0).astype(np.int64)
+
+
+@dataclass
+class EnsembleReceivedMessages:
+    """The received multisets of ``R`` independent trials, as one tensor.
+
+    Attributes
+    ----------
+    counts:
+        Integer tensor ``(num_trials, num_nodes, num_opinions)``; entry
+        ``(r, u, i)`` is the number of copies of opinion ``i + 1`` node ``u``
+        of trial ``r`` received during the phase.
+
+    Every sampling method accepts either one shared randomness source (fully
+    vectorized over the batch) or a sequence of per-trial sources; in the
+    latter case trial ``r`` consumes draws from its own generator only, so a
+    batched call is reproducible trial by trial.
+    """
+
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.counts)
+        if counts.ndim != 3:
+            raise ValueError(
+                f"ensemble counts must be a 3-D tensor, got shape {counts.shape}"
+            )
+        if np.any(counts < 0):
+            raise ValueError("received counts must be non-negative")
+        self.counts = counts.astype(np.int64, copy=False)
+
+    # ------------------------------------------------------------------ #
+    # Shape / totals
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_trials(self) -> int:
+        """Number of trials ``R``."""
+        return self.counts.shape[0]
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes per trial."""
+        return self.counts.shape[1]
+
+    @property
+    def num_opinions(self) -> int:
+        """Number of opinions ``k``."""
+        return self.counts.shape[2]
+
+    def totals(self) -> np.ndarray:
+        """Messages received per node, shape ``(R, n)``."""
+        return self.counts.sum(axis=2)
+
+    def total_messages(self) -> np.ndarray:
+        """Messages delivered per trial, shape ``(R,)``."""
+        return self.counts.sum(axis=(1, 2))
+
+    def trial(self, index: int) -> ReceivedMessages:
+        """Trial ``index`` as a standalone :class:`ReceivedMessages`."""
+        return ReceivedMessages(self.counts[index].copy())
+
+    # ------------------------------------------------------------------ #
+    # Sampling / voting
+    # ------------------------------------------------------------------ #
+
+    def uniform_opinion_choice(
+        self, random_state: EnsembleRandomState = None
+    ) -> np.ndarray:
+        """One opinion per node per trial, u.a.r. from its received multiset.
+
+        The Stage-1 adoption rule batched over the ensemble; returns an
+        ``(R, n)`` integer matrix with 0 for nodes that received nothing.
+        """
+        if is_generator_sequence(random_state):
+            generators = as_trial_generators(random_state, self.num_trials)
+            return np.stack(
+                [
+                    _uniform_choice_core(
+                        self.counts[trial], generator.random(self.num_nodes)
+                    )
+                    for trial, generator in enumerate(generators)
+                ]
+            )
+        rng = as_generator(random_state)
+        uniforms = rng.random((self.num_trials, self.num_nodes))
+        return _uniform_choice_core(self.counts, uniforms)
+
+    def subsample(
+        self,
+        sample_size: int,
+        random_state: EnsembleRandomState = None,
+        *,
+        method: str = "without_replacement",
+    ) -> np.ndarray:
+        """A uniform random sample of size ``sample_size`` per node per trial.
+
+        The batched version of :meth:`ReceivedMessages.subsample`; the
+        without-replacement draw is a batched multivariate hypergeometric
+        realized with ``k - 1`` vectorized hypergeometric calls (no per-node
+        Python loop).  Returns an ``(R, n, k)`` integer tensor.
+        """
+        if sample_size < 1:
+            raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+        if method not in {"without_replacement", "with_replacement"}:
+            raise ValueError(
+                "method must be 'without_replacement' or 'with_replacement', "
+                f"got {method!r}"
+            )
+        if is_generator_sequence(random_state):
+            generators = as_trial_generators(random_state, self.num_trials)
+            return np.stack(
+                [
+                    _subsample_core(self.counts[trial], sample_size, generator, method)
+                    for trial, generator in enumerate(generators)
+                ]
+            )
+        rng = as_generator(random_state)
+        return _subsample_core(self.counts, sample_size, rng, method)
+
+    def majority_votes(
+        self,
+        random_state: EnsembleRandomState = None,
+        *,
+        sample_size: Optional[int] = None,
+        sampling_method: str = "without_replacement",
+    ) -> np.ndarray:
+        """Per-node ``maj()`` votes batched over the ensemble.
+
+        The batched version of :meth:`ReceivedMessages.majority_votes`;
+        returns an ``(R, n)`` integer matrix with 0 for nodes that do not
+        update (nothing received, or fewer than ``sample_size`` messages).
+        """
+        if is_generator_sequence(random_state):
+            generators = as_trial_generators(random_state, self.num_trials)
+            votes = []
+            for trial, generator in enumerate(generators):
+                counts = self.counts[trial]
+                totals = counts.sum(axis=-1)
+                if sample_size is None:
+                    eligible = totals > 0
+                else:
+                    counts = _subsample_core(
+                        counts, sample_size, generator, sampling_method
+                    )
+                    eligible = totals >= sample_size
+                votes.append(_majority_core(counts, eligible, generator))
+            return np.stack(votes)
+        rng = as_generator(random_state)
+        totals = self.totals()
+        if sample_size is None:
+            counts = self.counts
+            eligible = totals > 0
+        else:
+            counts = _subsample_core(self.counts, sample_size, rng, sampling_method)
+            eligible = totals >= sample_size
+        return _majority_core(counts, eligible, rng)

@@ -16,9 +16,15 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.network.mailbox import ReceivedMessages
+from repro.network.mailbox import EnsembleReceivedMessages, ReceivedMessages
 from repro.noise.matrix import NoiseMatrix
-from repro.utils.rng import RandomState, as_generator
+from repro.utils.rng import (
+    EnsembleRandomState,
+    RandomState,
+    as_generator,
+    as_trial_generators,
+    is_generator_sequence,
+)
 from repro.utils.validation import require_positive_int
 
 __all__ = ["PoissonizedProcess"]
@@ -103,6 +109,53 @@ class PoissonizedProcess:
             )
         histogram = np.bincount(opinions, minlength=self.num_opinions + 1)[1:]
         return self.run_phase(histogram * num_rounds)
+
+    def run_ensemble_phase_from_senders(
+        self,
+        sender_histograms: np.ndarray,
+        num_rounds: int,
+        random_state: EnsembleRandomState = None,
+    ) -> EnsembleReceivedMessages:
+        """Batched phase delivery for ``R`` trials (shape ``(R, k)`` input).
+
+        Applies the noise to each trial's message histogram and then draws
+        the independent ``Poisson(h_i / n)`` deliveries of Definition 4 for
+        the whole ``(R, n, k)`` batch at once.  When ``random_state`` is
+        omitted the engine's own generator is used in shared-stream mode.
+        """
+        num_rounds = require_positive_int(num_rounds, "num_rounds")
+        if random_state is None:
+            random_state = self._rng
+        histograms = np.asarray(sender_histograms, dtype=np.int64)
+        if histograms.ndim != 2 or histograms.shape[1] != self.num_opinions:
+            raise ValueError(
+                f"sender_histograms must have shape (R, {self.num_opinions}), "
+                f"got shape {histograms.shape}"
+            )
+        if np.any(histograms < 0):
+            raise ValueError("sender_histograms entries must be non-negative")
+        messages = histograms * num_rounds
+        num_trials = histograms.shape[0]
+        if is_generator_sequence(random_state):
+            generators = as_trial_generators(random_state, num_trials)
+            counts = np.empty(
+                (num_trials, self.num_nodes, self.num_opinions), dtype=np.int64
+            )
+            for trial, generator in enumerate(generators):
+                noisy = self.noise.apply_to_counts(messages[trial], generator)
+                counts[trial] = generator.poisson(
+                    lam=noisy.astype(float) / self.num_nodes,
+                    size=(self.num_nodes, self.num_opinions),
+                )
+            return EnsembleReceivedMessages(counts)
+        rng = as_generator(random_state)
+        noisy = self.noise.apply_to_count_matrix(messages, rng)
+        rates = noisy.astype(float) / self.num_nodes
+        counts = rng.poisson(
+            lam=rates[:, np.newaxis, :],
+            size=(num_trials, self.num_nodes, self.num_opinions),
+        )
+        return EnsembleReceivedMessages(counts.astype(np.int64))
 
     def expected_counts(self, noisy_histogram: Sequence[int]) -> np.ndarray:
         """The mean matrix of :meth:`deliver` (``h_i / n`` in every row)."""

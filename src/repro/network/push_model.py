@@ -27,9 +27,10 @@ from typing import Optional
 
 import numpy as np
 
-from repro.network.mailbox import ReceivedMessages
+from repro.network.balls_bins import ensemble_recolor_and_throw
+from repro.network.mailbox import EnsembleReceivedMessages, ReceivedMessages
 from repro.noise.matrix import NoiseMatrix
-from repro.utils.rng import RandomState, as_generator
+from repro.utils.rng import EnsembleRandomState, RandomState, as_generator
 from repro.utils.validation import require_positive_int
 
 __all__ = ["UniformPushModel", "PushPhaseStatistics"]
@@ -179,6 +180,35 @@ class UniformPushModel:
         protocol executors can be parameterized by the delivery process.
         """
         return self.run_phase(sender_opinions, num_rounds)
+
+    def run_ensemble_phase_from_senders(
+        self,
+        sender_histograms: np.ndarray,
+        num_rounds: int,
+        random_state: EnsembleRandomState = None,
+    ) -> EnsembleReceivedMessages:
+        """Batched phase delivery for ``R`` independent trials.
+
+        Row ``r`` of ``sender_histograms`` (shape ``(R, k)``) is trial
+        ``r``'s sender-opinion histogram; every sender pushes once per round.
+        Within a phase the sender multiset is fixed, so the phase's messages
+        are i.i.d. — by Claim 1 the aggregated end-of-phase counts of
+        process O are distributed *exactly* as the balls-into-bins process on
+        ``num_rounds`` copies of the histogram.  The batched engine therefore
+        samples that reformulation directly, replacing the per-round
+        simulation loop with a handful of vectorized draws per phase.
+
+        When ``random_state`` is omitted the engine's own generator is used
+        in shared-stream mode; pass a sequence of per-trial sources for
+        trial-by-trial reproducibility.
+        """
+        num_rounds = require_positive_int(num_rounds, "num_rounds")
+        if random_state is None:
+            random_state = self._rng
+        histograms = np.asarray(sender_histograms, dtype=np.int64)
+        return ensemble_recolor_and_throw(
+            self.num_nodes, self.noise, histograms * num_rounds, random_state
+        )
 
     def run_phase_naive(
         self, sender_opinions: np.ndarray, num_rounds: int

@@ -16,7 +16,22 @@ import numpy as np
 
 RandomState = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
-__all__ = ["RandomState", "as_generator", "spawn_generators", "derive_seed"]
+#: Randomness accepted by the batched ensemble machinery: either a single
+#: :data:`RandomState` (shared-stream mode, maximally vectorized) or a
+#: sequence with one :data:`RandomState` per trial (per-trial-stream mode,
+#: reproducible trial by trial).
+EnsembleRandomState = Union[RandomState, Sequence[RandomState]]
+
+__all__ = [
+    "RandomState",
+    "EnsembleRandomState",
+    "as_generator",
+    "spawn_generators",
+    "derive_seed",
+    "is_generator_sequence",
+    "as_trial_generators",
+    "normalize_ensemble_random_state",
+]
 
 
 def as_generator(random_state: RandomState = None) -> np.random.Generator:
@@ -65,6 +80,51 @@ def spawn_generators(
     else:
         seed_seq = np.random.SeedSequence(random_state)
     return [np.random.default_rng(child) for child in seed_seq.spawn(count)]
+
+
+def is_generator_sequence(random_state) -> bool:
+    """``True`` if ``random_state`` is a per-trial sequence of RNG sources.
+
+    The ensemble engines accept either one shared randomness source or a
+    list/tuple with one source per trial; this predicate is how they tell the
+    two apart (strings and arrays are not treated as sequences).
+    """
+    return isinstance(random_state, (list, tuple))
+
+
+def as_trial_generators(
+    random_state: "EnsembleRandomState", num_trials: int
+) -> List[np.random.Generator]:
+    """Coerce ``random_state`` into exactly ``num_trials`` generators.
+
+    A list/tuple is validated (length must match) and coerced element-wise,
+    so callers can pin per-trial seeds; any other :data:`RandomState` is
+    expanded via :func:`spawn_generators` into independent child streams.
+    """
+    if num_trials < 1:
+        raise ValueError(f"num_trials must be >= 1, got {num_trials}")
+    if is_generator_sequence(random_state):
+        if len(random_state) != num_trials:
+            raise ValueError(
+                f"expected {num_trials} per-trial random states, "
+                f"got {len(random_state)}"
+            )
+        return [as_generator(entry) for entry in random_state]
+    return spawn_generators(num_trials, random_state)
+
+
+def normalize_ensemble_random_state(
+    random_state: "EnsembleRandomState",
+) -> "EnsembleRandomState":
+    """Coerce an ensemble randomness source into generators, preserving mode.
+
+    A per-trial sequence becomes a list of generators (one per entry); any
+    other :data:`RandomState` becomes a single shared generator.  This is the
+    normalization every batched executor applies on construction.
+    """
+    if is_generator_sequence(random_state):
+        return [as_generator(entry) for entry in random_state]
+    return as_generator(random_state)
 
 
 def derive_seed(random_state: RandomState, index: int) -> int:

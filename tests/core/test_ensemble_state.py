@@ -1,0 +1,185 @@
+"""Tests for repro.core.state.EnsembleState ((R, n) batched state)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.state import EnsembleState, PopulationState
+
+
+class TestConstruction:
+    def test_valid_ensemble(self):
+        ensemble = EnsembleState([[0, 1, 2], [2, 2, 0]], num_opinions=3)
+        assert ensemble.num_trials == 2
+        assert ensemble.num_nodes == 3
+        assert ensemble.num_opinions == 3
+
+    def test_opinions_dtype_and_shape(self):
+        ensemble = EnsembleState([[0, 1], [1, 2]], num_opinions=2)
+        assert ensemble.opinions.dtype == np.int64
+        assert ensemble.opinions.shape == (2, 2)
+
+    def test_rejects_vector_input(self):
+        with pytest.raises(ValueError):
+            EnsembleState([0, 1, 2], num_opinions=3)
+
+    def test_rejects_out_of_range_opinion(self):
+        with pytest.raises(ValueError):
+            EnsembleState([[0, 4]], num_opinions=3)
+
+    def test_rejects_negative_opinion(self):
+        with pytest.raises(ValueError):
+            EnsembleState([[-1, 1]], num_opinions=3)
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            EnsembleState(np.zeros((0, 4), dtype=np.int64), num_opinions=2)
+
+    def test_input_is_copied(self):
+        opinions = np.array([[1, 2]])
+        ensemble = EnsembleState(opinions, num_opinions=2)
+        opinions[0, 0] = 2
+        assert ensemble.opinions[0, 0] == 1
+
+    def test_from_state_tiles_rows(self):
+        state = PopulationState([0, 1, 2], num_opinions=3)
+        ensemble = EnsembleState.from_state(state, 4)
+        assert ensemble.num_trials == 4
+        for trial in range(4):
+            assert np.array_equal(ensemble.opinions[trial], state.opinions)
+
+    def test_from_state_requires_positive_trials(self):
+        state = PopulationState([1], num_opinions=1)
+        with pytest.raises(ValueError):
+            EnsembleState.from_state(state, 0)
+
+    def test_from_states_stacks(self):
+        states = [
+            PopulationState([0, 1], num_opinions=2),
+            PopulationState([2, 2], num_opinions=2),
+        ]
+        ensemble = EnsembleState.from_states(states)
+        assert np.array_equal(ensemble.opinions, [[0, 1], [2, 2]])
+
+    def test_from_states_rejects_mismatched_nodes(self):
+        states = [
+            PopulationState([0, 1], num_opinions=2),
+            PopulationState([1], num_opinions=2),
+        ]
+        with pytest.raises(ValueError):
+            EnsembleState.from_states(states)
+
+    def test_from_states_rejects_mismatched_opinions(self):
+        states = [
+            PopulationState([0, 1], num_opinions=2),
+            PopulationState([0, 1], num_opinions=3),
+        ]
+        with pytest.raises(ValueError):
+            EnsembleState.from_states(states)
+
+    def test_from_states_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            EnsembleState.from_states([])
+
+
+class TestConversion:
+    def test_trial_state_round_trip(self):
+        ensemble = EnsembleState([[0, 1, 2], [2, 0, 1]], num_opinions=3)
+        state = ensemble.trial_state(1)
+        assert isinstance(state, PopulationState)
+        assert np.array_equal(state.opinions, [2, 0, 1])
+
+    def test_trial_state_is_a_copy(self):
+        ensemble = EnsembleState([[1, 2]], num_opinions=2)
+        state = ensemble.trial_state(0)
+        state.opinions[0] = 2
+        assert ensemble.opinions[0, 0] == 1
+
+    def test_to_states_matches_rows(self):
+        ensemble = EnsembleState([[0, 1], [2, 2], [1, 0]], num_opinions=2)
+        states = ensemble.to_states()
+        assert len(states) == 3
+        for trial, state in enumerate(states):
+            assert np.array_equal(state.opinions, ensemble.opinions[trial])
+
+    def test_copy_is_independent(self):
+        ensemble = EnsembleState([[1, 2]], num_opinions=2)
+        clone = ensemble.copy()
+        clone.opinions[0, 0] = 2
+        assert ensemble.opinions[0, 0] == 1
+
+
+class TestDerivedQuantities:
+    """Every batched metric must agree with the per-trial PopulationState."""
+
+    @pytest.fixture
+    def random_ensemble(self, rng) -> EnsembleState:
+        return EnsembleState(rng.integers(0, 5, size=(6, 40)), num_opinions=4)
+
+    def test_opinionated_counts_match_per_trial(self, random_ensemble):
+        counts = random_ensemble.opinionated_counts()
+        assert counts.shape == (6,)
+        for trial, state in enumerate(random_ensemble.to_states()):
+            assert counts[trial] == state.opinionated_count()
+
+    def test_opinion_counts_match_per_trial(self, random_ensemble):
+        counts = random_ensemble.opinion_counts()
+        assert counts.shape == (6, 4)
+        for trial, state in enumerate(random_ensemble.to_states()):
+            assert np.array_equal(counts[trial], state.opinion_counts())
+
+    def test_distributions_match_per_trial(self, random_ensemble):
+        distributions = random_ensemble.opinion_distributions()
+        for trial, state in enumerate(random_ensemble.to_states()):
+            assert np.allclose(distributions[trial], state.opinion_distribution())
+
+    def test_bias_matches_per_trial(self, random_ensemble):
+        for opinion in (1, 3):
+            biases = random_ensemble.bias_toward(opinion)
+            assert biases.shape == (6,)
+            for trial, state in enumerate(random_ensemble.to_states()):
+                assert biases[trial] == pytest.approx(state.bias_toward(opinion))
+
+    def test_plurality_matches_per_trial(self, random_ensemble):
+        winners = random_ensemble.plurality_opinions()
+        for trial, state in enumerate(random_ensemble.to_states()):
+            assert winners[trial] == state.plurality_opinion()
+
+    def test_bias_rejects_out_of_range_opinion(self, random_ensemble):
+        with pytest.raises(ValueError):
+            random_ensemble.bias_toward(5)
+
+    def test_single_opinion_bias_is_share(self):
+        ensemble = EnsembleState([[0, 1, 1, 0]], num_opinions=1)
+        assert ensemble.bias_toward(1) == pytest.approx([0.5])
+
+    def test_consensus_mask(self):
+        ensemble = EnsembleState([[1, 1, 1], [1, 2, 1], [2, 2, 2]], num_opinions=2)
+        assert np.array_equal(
+            ensemble.consensus_mask(1), [True, False, False]
+        )
+        assert np.array_equal(
+            ensemble.consensus_mask(2), [False, False, True]
+        )
+
+    def test_correct_fractions(self):
+        ensemble = EnsembleState([[1, 1, 2, 0], [2, 2, 2, 2]], num_opinions=2)
+        assert np.allclose(ensemble.correct_fractions(2), [0.25, 1.0])
+
+    def test_plurality_zero_for_all_undecided_trial(self):
+        ensemble = EnsembleState([[0, 0], [1, 0]], num_opinions=2)
+        assert np.array_equal(ensemble.plurality_opinions(), [0, 1])
+
+    def test_summary_keys(self, random_ensemble):
+        summary = random_ensemble.summary()
+        assert summary["num_trials"] == 6
+        assert summary["num_nodes"] == 40
+        assert 0.0 <= summary["min_opinionated_fraction"] <= 1.0
+
+    def test_equality(self):
+        first = EnsembleState([[0, 1]], num_opinions=2)
+        second = EnsembleState([[0, 1]], num_opinions=2)
+        third = EnsembleState([[1, 1]], num_opinions=2)
+        assert first == second
+        assert first != third

@@ -5,7 +5,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.experiments.runner import repeat_trials, summarize, sweep_product
+from repro.experiments.runner import (
+    TRIAL_ENGINES,
+    protocol_trial_outcomes,
+    repeat_trials,
+    summarize,
+    sweep_product,
+)
+from repro.experiments.workloads import rumor_instance
+from repro.noise.families import uniform_noise_matrix
 
 
 class TestRepeatTrials:
@@ -59,3 +67,45 @@ class TestSummarize:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             summarize([])
+
+
+class TestProtocolTrialOutcomes:
+    NUM_NODES = 250
+    EPSILON = 0.35
+
+    def run_engine(self, trial_engine, num_trials=4, random_state=0):
+        noise = uniform_noise_matrix(3, self.EPSILON)
+        return protocol_trial_outcomes(
+            rumor_instance(self.NUM_NODES, 3, 1),
+            noise,
+            self.EPSILON,
+            num_trials,
+            random_state,
+            target_opinion=1,
+            trial_engine=trial_engine,
+        )
+
+    @pytest.mark.parametrize("trial_engine", TRIAL_ENGINES)
+    def test_returns_one_outcome_per_trial(self, trial_engine):
+        outcomes = self.run_engine(trial_engine)
+        assert len(outcomes) == 4
+        for outcome in outcomes:
+            assert isinstance(outcome.success, bool)
+            assert outcome.total_rounds > 0
+            assert outcome.bias_after_stage1 is not None
+            assert 0.0 <= outcome.correct_fraction <= 1.0
+
+    @pytest.mark.parametrize("trial_engine", TRIAL_ENGINES)
+    def test_reproducible_with_fixed_seed(self, trial_engine):
+        first = self.run_engine(trial_engine, random_state=3)
+        second = self.run_engine(trial_engine, random_state=3)
+        assert first == second
+
+    def test_engines_agree_on_round_count(self):
+        batched = self.run_engine("batched", num_trials=2)
+        sequential = self.run_engine("sequential", num_trials=2)
+        assert batched[0].total_rounds == sequential[0].total_rounds
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            self.run_engine("bogus")
