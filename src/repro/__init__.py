@@ -41,10 +41,17 @@ from repro.core.protocol import (
 from repro.core.rumor import RumorSpreading, RumorSpreadingInstance
 from repro.core.schedule import ProtocolSchedule, Stage1Schedule, Stage2Schedule
 from repro.core.state import EnsembleState, PopulationState
+from repro.dynamics import (
+    DYNAMICS_RULES,
+    EnsembleDynamicsResult,
+    EnsembleOpinionDynamics,
+    make_dynamics,
+    make_ensemble_dynamics,
+)
 from repro.network.balls_bins import BallsIntoBinsProcess
 from repro.network.mailbox import EnsembleReceivedMessages, ReceivedMessages
 from repro.network.poisson_model import PoissonizedProcess
-from repro.network.pull_model import UniformPullModel
+from repro.network.pull_model import EnsemblePullModel, UniformPullModel
 from repro.network.push_model import UniformPushModel
 from repro.network.topology import GraphPushModel, standard_topology
 from repro.noise.estimation import (
@@ -74,7 +81,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BallsIntoBinsProcess",
+    "DYNAMICS_RULES",
+    "EnsembleDynamicsResult",
+    "EnsembleOpinionDynamics",
     "EnsembleProtocol",
+    "EnsemblePullModel",
     "EnsembleReceivedMessages",
     "EnsembleResult",
     "EnsembleState",
@@ -106,7 +117,9 @@ __all__ = [
     "estimate_noise_matrix",
     "estimation_error",
     "identity_matrix",
+    "make_dynamics",
     "make_engine",
+    "make_ensemble_dynamics",
     "memory_bound_bits",
     "near_uniform_matrix",
     "protocol_memory_usage",

@@ -12,7 +12,11 @@ The CLI exposes the most common workflows without writing Python:
 * ``python -m repro ensemble --nodes 2000 --opinions 3 --epsilon 0.3
   --trials 32`` — run a batch of independent rumor-spreading trials through
   the vectorized ensemble engine (or the sequential reference loop with
-  ``--engine sequential``) and print the batch statistics plus throughput.
+  ``--engine sequential``) and print the batch statistics plus throughput;
+* ``python -m repro dynamics --rule 3-majority --nodes 2000 --trials 32`` —
+  run a batch of independent baseline-dynamics trials (voter, 3-majority,
+  h-majority, undecided-state, median rule) on the noisy pull substrate,
+  batched by default (``--engine sequential`` for the reference loop).
 
 Every command accepts ``--seed`` for reproducibility.  The CLI is a thin
 layer over the public API; anything it prints can also be obtained
@@ -46,8 +50,17 @@ from repro.experiments import (
     exp_stage2_trajectory,
     exp_topologies,
 )
-from repro.experiments.runner import TRIAL_ENGINES, protocol_trial_outcomes
-from repro.experiments.workloads import plurality_instance_with_bias, rumor_instance
+from repro.dynamics import DYNAMICS_RULES
+from repro.experiments.runner import (
+    TRIAL_ENGINES,
+    dynamics_trial_outcomes,
+    protocol_trial_outcomes,
+)
+from repro.experiments.workloads import (
+    biased_population,
+    plurality_instance_with_bias,
+    rumor_instance,
+)
 from repro.noise.families import uniform_noise_matrix
 
 __all__ = ["main", "build_parser", "EXPERIMENTS"]
@@ -125,6 +138,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of independent trials R (default 32)",
     )
     ensemble_parser.add_argument(
+        "--engine", choices=TRIAL_ENGINES, default="batched",
+        help="batched vectorized ensemble (default) or the sequential "
+             "reference loop",
+    )
+
+    dynamics_parser = subparsers.add_parser(
+        "dynamics",
+        help="run a batch of independent baseline-dynamics trials at once",
+    )
+    _add_common_instance_arguments(dynamics_parser)
+    dynamics_parser.add_argument(
+        "--rule", choices=DYNAMICS_RULES, default="3-majority",
+        help="the baseline update rule (default 3-majority)",
+    )
+    dynamics_parser.add_argument(
+        "--sample-size", type=int, default=None,
+        help="observations per round for the h-majority rule",
+    )
+    dynamics_parser.add_argument(
+        "--bias", type=float, default=0.1,
+        help="initial bias toward opinion 1 (default 0.1)",
+    )
+    dynamics_parser.add_argument(
+        "--max-rounds", type=int, default=300,
+        help="round budget per trial (default 300)",
+    )
+    dynamics_parser.add_argument(
+        "--trials", type=int, default=32,
+        help="number of independent trials R (default 32)",
+    )
+    dynamics_parser.add_argument(
         "--engine", choices=TRIAL_ENGINES, default="batched",
         help="batched vectorized ensemble (default) or the sequential "
              "reference loop",
@@ -243,6 +287,49 @@ def _command_ensemble(args: argparse.Namespace) -> int:
     return 0 if successes == args.trials else 1
 
 
+def _command_dynamics(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    if args.rule == "h-majority" and args.sample_size is None:
+        parser.error("--rule h-majority requires --sample-size")
+    if args.rule != "h-majority" and args.sample_size is not None:
+        parser.error(
+            f"--sample-size only applies to --rule h-majority (got {args.rule})"
+        )
+    noise = uniform_noise_matrix(args.opinions, args.epsilon)
+    initial_state = biased_population(
+        args.nodes, args.opinions, args.bias, random_state=args.seed
+    )
+    started = time.perf_counter()
+    outcomes = dynamics_trial_outcomes(
+        initial_state,
+        noise,
+        args.rule,
+        args.max_rounds,
+        args.trials,
+        args.seed,
+        sample_size=args.sample_size,
+        target_opinion=1,
+        trial_engine=args.engine,
+    )
+    elapsed = time.perf_counter() - started
+    successes = sum(outcome.success for outcome in outcomes)
+    converged = sum(outcome.converged for outcome in outcomes)
+    rounds = [outcome.rounds_executed for outcome in outcomes]
+    biases = [outcome.final_bias for outcome in outcomes]
+    print(f"nodes                 : {args.nodes}")
+    print(f"opinions              : {args.opinions}")
+    print(f"noise matrix          : {noise.name}")
+    print(f"rule                  : {args.rule}")
+    print(f"trials                : {args.trials}")
+    print(f"engine                : {args.engine}")
+    print(f"convergence rate      : {converged / args.trials:.4f}")
+    print(f"success rate          : {successes / args.trials:.4f}")
+    print(f"mean rounds           : {float(np.mean(rounds)):.1f}")
+    print(f"mean final bias       : {float(np.mean(biases)):.4f}")
+    print(f"wall time             : {elapsed:.3f} s")
+    print(f"throughput            : {args.trials / elapsed:.2f} trials/s")
+    return 0 if successes == args.trials else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -257,6 +344,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_plurality(args)
     if args.command == "ensemble":
         return _command_ensemble(args)
+    if args.command == "dynamics":
+        return _command_dynamics(args, parser)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -42,8 +42,7 @@ from repro.utils.rng import (
     EnsembleRandomState,
     RandomState,
     as_generator,
-    as_trial_generators,
-    is_generator_sequence,
+    resolve_trial_randomness,
 )
 
 __all__ = [
@@ -502,11 +501,9 @@ class EnsembleProtocol:
         )
 
     def _trial_randomness(self, num_trials: int) -> EnsembleRandomState:
-        if is_generator_sequence(self._random_state):
-            return as_trial_generators(self._random_state, num_trials)
-        if self.rng_mode == "per_trial":
-            return as_trial_generators(self._random_state, num_trials)
-        return as_generator(self._random_state)
+        return resolve_trial_randomness(
+            self._random_state, num_trials, self.rng_mode
+        )
 
     def run(
         self,

@@ -321,6 +321,20 @@ class EnsembleState:
         )
 
     @classmethod
+    def wrap(cls, opinions: np.ndarray, num_opinions: int) -> "EnsembleState":
+        """Wrap an already-validated ``(R, n)`` int64 matrix without copying.
+
+        Internal fast path for the batched engines (e.g. per-round active
+        sub-batches): the caller guarantees the array is a fresh, in-range
+        int64 ``(R, n)`` matrix, and mutations of the state mutate it.  Use
+        the regular constructor everywhere else.
+        """
+        state = cls.__new__(cls)
+        state.num_opinions = num_opinions
+        state.opinions = opinions
+        return state
+
+    @classmethod
     def from_states(cls, states: Sequence[PopulationState]) -> "EnsembleState":
         """Stack per-trial initial states (all must share ``n`` and ``k``)."""
         if not states:

@@ -19,20 +19,147 @@ These baselines run here on the same noisy uniform communication substrate
 E12 uses to show where the paper's two-stage protocol wins: the elementary
 dynamics are fast without noise but are not designed to withstand a constant
 per-message corruption probability.
+
+Every rule comes in two engines: the sequential :class:`OpinionDynamics`
+subclasses (the reference implementations) and the batched
+:class:`EnsembleOpinionDynamics` subclasses that evolve ``R`` independent
+trials over an ``(R, n)`` matrix at once.  :func:`make_dynamics` /
+:func:`make_ensemble_dynamics` build either engine from a rule name
+(:data:`DYNAMICS_RULES`), which is how the experiment runner and the CLI
+select baselines.
 """
 
-from repro.dynamics.base import DynamicsResult, OpinionDynamics
-from repro.dynamics.h_majority import HMajorityDynamics, ThreeMajorityDynamics
-from repro.dynamics.median_rule import MedianRuleDynamics
-from repro.dynamics.undecided_state import UndecidedStateDynamics
-from repro.dynamics.voter import VoterDynamics
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dynamics.base import (
+    DynamicsResult,
+    EnsembleDynamicsResult,
+    EnsembleOpinionDynamics,
+    OpinionDynamics,
+)
+from repro.dynamics.h_majority import (
+    EnsembleHMajorityDynamics,
+    EnsembleThreeMajorityDynamics,
+    HMajorityDynamics,
+    ThreeMajorityDynamics,
+)
+from repro.dynamics.median_rule import (
+    EnsembleMedianRuleDynamics,
+    MedianRuleDynamics,
+)
+from repro.dynamics.undecided_state import (
+    EnsembleUndecidedStateDynamics,
+    UndecidedStateDynamics,
+)
+from repro.dynamics.voter import EnsembleVoterDynamics, VoterDynamics
+from repro.noise.matrix import NoiseMatrix
+from repro.utils.rng import EnsembleRandomState, RandomState
 
 __all__ = [
+    "DYNAMICS_RULES",
     "DynamicsResult",
+    "EnsembleDynamicsResult",
+    "EnsembleHMajorityDynamics",
+    "EnsembleMedianRuleDynamics",
+    "EnsembleOpinionDynamics",
+    "EnsembleThreeMajorityDynamics",
+    "EnsembleUndecidedStateDynamics",
+    "EnsembleVoterDynamics",
     "HMajorityDynamics",
     "MedianRuleDynamics",
     "OpinionDynamics",
     "ThreeMajorityDynamics",
     "UndecidedStateDynamics",
     "VoterDynamics",
+    "make_dynamics",
+    "make_ensemble_dynamics",
 ]
+
+#: Rule names accepted by :func:`make_dynamics` / :func:`make_ensemble_dynamics`.
+DYNAMICS_RULES = (
+    "voter",
+    "3-majority",
+    "h-majority",
+    "undecided-state",
+    "median-rule",
+)
+
+
+def _resolve_rule(rule: str, sample_size: Optional[int]) -> None:
+    if rule not in DYNAMICS_RULES:
+        raise ValueError(
+            f"rule must be one of {DYNAMICS_RULES}, got {rule!r}"
+        )
+    if rule == "h-majority" and sample_size is None:
+        raise ValueError("rule 'h-majority' requires sample_size")
+    if rule != "h-majority" and sample_size is not None:
+        raise ValueError(
+            f"rule {rule!r} does not take a sample_size "
+            "(use 'h-majority' for a custom h)"
+        )
+
+
+def make_dynamics(
+    rule: str,
+    num_nodes: int,
+    noise: NoiseMatrix,
+    random_state: RandomState = None,
+    *,
+    sample_size: Optional[int] = None,
+) -> OpinionDynamics:
+    """Instantiate a sequential baseline dynamic by rule name.
+
+    ``rule`` is one of :data:`DYNAMICS_RULES`; ``sample_size`` is required
+    for (and only accepted by) ``"h-majority"``.
+    """
+    _resolve_rule(rule, sample_size)
+    if rule == "voter":
+        return VoterDynamics(num_nodes, noise, random_state)
+    if rule == "3-majority":
+        return ThreeMajorityDynamics(num_nodes, noise, random_state)
+    if rule == "h-majority":
+        return HMajorityDynamics(num_nodes, noise, sample_size, random_state)
+    if rule == "undecided-state":
+        return UndecidedStateDynamics(num_nodes, noise, random_state)
+    return MedianRuleDynamics(num_nodes, noise, random_state)
+
+
+def make_ensemble_dynamics(
+    rule: str,
+    num_nodes: int,
+    noise: NoiseMatrix,
+    random_state: EnsembleRandomState = None,
+    *,
+    sample_size: Optional[int] = None,
+    rng_mode: str = "per_trial",
+) -> EnsembleOpinionDynamics:
+    """Instantiate a batched baseline dynamic by rule name.
+
+    The batched counterpart of :func:`make_dynamics`; with the default
+    per-trial randomness mode a batched run is bitwise reproducible trial by
+    trial (identical to batch-size-1 runs with the same per-trial sources),
+    and agrees with the sequential engine built from the same rule in
+    distribution.
+    """
+    _resolve_rule(rule, sample_size)
+    if rule == "voter":
+        return EnsembleVoterDynamics(
+            num_nodes, noise, random_state, rng_mode=rng_mode
+        )
+    if rule == "3-majority":
+        return EnsembleThreeMajorityDynamics(
+            num_nodes, noise, random_state, rng_mode=rng_mode
+        )
+    if rule == "h-majority":
+        return EnsembleHMajorityDynamics(
+            num_nodes, noise, sample_size, random_state, rng_mode=rng_mode
+        )
+    if rule == "undecided-state":
+        return EnsembleUndecidedStateDynamics(
+            num_nodes, noise, random_state, rng_mode=rng_mode
+        )
+    return EnsembleMedianRuleDynamics(
+        num_nodes, noise, random_state, rng_mode=rng_mode
+    )

@@ -7,23 +7,64 @@ noise matrix the paper's protocol faces) and updates its own opinion by a
 local rule.  :class:`OpinionDynamics` implements the run loop, convergence
 detection and history recording; concrete dynamics implement
 :meth:`OpinionDynamics.step`.
+
+:class:`EnsembleOpinionDynamics` is the batched counterpart: ``R``
+independent trials evolve together over an ``(R, n)`` opinion matrix
+(:class:`~repro.core.state.EnsembleState`), with per-trial convergence
+tracking and an active-trials index so converged trials stop costing work.
+With per-trial randomness sources (the default), trial ``r`` consumes draws
+from its own source only, so a batched run is bitwise identical to ``R``
+batch-size-1 ensemble runs with matched seeds — exactly the guarantee the
+ensemble protocol gives.  Agreement with the sequential
+:meth:`OpinionDynamics.run` reference engine is distributional (the batched
+engine samples the compound observation channel; see
+:mod:`repro.network.pull_model`) and is checked statistically by the
+test-suite.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
-from repro.core.state import PopulationState
-from repro.network.pull_model import UniformPullModel
+from repro.core.state import EnsembleState, PopulationState
+from repro.network.pull_model import EnsemblePullModel, UniformPullModel
 from repro.noise.matrix import NoiseMatrix
-from repro.utils.rng import RandomState, as_generator
+from repro.utils.multiset import opinion_counts_matrix
+from repro.utils.rng import (
+    EnsembleRandomState,
+    RandomState,
+    as_generator,
+    is_generator_sequence,
+    resolve_trial_randomness,
+)
 from repro.utils.validation import require_positive_int
 
-__all__ = ["OpinionDynamics", "DynamicsResult"]
+__all__ = [
+    "OpinionDynamics",
+    "DynamicsResult",
+    "EnsembleOpinionDynamics",
+    "EnsembleDynamicsResult",
+]
+
+
+def _bias_from_counts(
+    counts: np.ndarray, opinion: int, num_nodes: int
+) -> np.ndarray:
+    """Definition-1 bias toward ``opinion`` from opinion counts.
+
+    Works on a single count vector ``(k,)`` or a batch ``(..., k)``; the
+    sequential and batched run loops share this helper so both record the
+    bias with identical arithmetic.
+    """
+    distribution = counts / num_nodes
+    if distribution.shape[-1] == 1:
+        return distribution[..., 0]
+    rivals = np.delete(distribution, opinion - 1, axis=-1)
+    return distribution[..., opinion - 1] - rivals.max(axis=-1)
 
 
 @dataclass
@@ -126,18 +167,26 @@ class OpinionDynamics(ABC):
         state = initial_state.copy()
         if target_opinion is None:
             target_opinion = state.plurality_opinion()
+        target_opinion = int(target_opinion)
+        if target_opinion > self.num_opinions:
+            raise ValueError(
+                f"target_opinion must be in [0, {self.num_opinions}], "
+                f"got {target_opinion}"
+            )
         bias_history: List[float] = []
         rounds_executed = 0
         for _ in range(max_rounds):
             self.step(state)
             rounds_executed += 1
+            # One opinion_counts() per round, shared by the bias record, the
+            # early-stop check and the final convergence verdict.
+            counts = state.opinion_counts()
             if record_history and target_opinion > 0:
-                bias_history.append(state.bias_toward(target_opinion))
-            if stop_at_consensus:
-                counts = state.opinion_counts()
-                if counts.max(initial=0) == state.num_nodes:
-                    break
-        counts = state.opinion_counts()
+                bias_history.append(
+                    float(_bias_from_counts(counts, target_opinion, self.num_nodes))
+                )
+            if stop_at_consensus and counts.max(initial=0) == state.num_nodes:
+                break
         converged = bool(counts.max(initial=0) == state.num_nodes)
         consensus_opinion = int(np.argmax(counts)) + 1 if converged else 0
         return DynamicsResult(
@@ -145,7 +194,316 @@ class OpinionDynamics(ABC):
             rounds_executed=rounds_executed,
             converged=converged,
             consensus_opinion=consensus_opinion,
-            target_opinion=int(target_opinion),
+            target_opinion=target_opinion,
             success=bool(converged and consensus_opinion == target_opinion),
+            bias_history=bias_history,
+        )
+
+
+@dataclass
+class EnsembleDynamicsResult:
+    """Outcome of a batched multi-trial dynamics run.
+
+    Attributes
+    ----------
+    final_states:
+        The ensemble state when every trial had stopped (one row per trial).
+    rounds_executed:
+        Integer ``(R,)`` array: rounds trial ``r`` executed before it
+        converged (or hit ``max_rounds``).
+    converged:
+        Boolean ``(R,)`` mask of trials that reached consensus.
+    consensus_opinions:
+        Integer ``(R,)`` array: the agreed opinion per converged trial
+        (0 otherwise).
+    target_opinion:
+        The opinion every trial was tracking.
+    successes:
+        Boolean ``(R,)`` mask: converged on ``target_opinion``.
+    bias_history:
+        Float ``(T, R)`` matrix: bias toward the target after every executed
+        round, where ``T = rounds_executed.max()``.  Rows past a trial's
+        convergence repeat its final bias; slice with ``rounds_executed`` (or
+        use :meth:`trial_result`) for the per-trial history a sequential run
+        would record.  Empty (``T = 0``) when history recording is off.
+    """
+
+    final_states: EnsembleState
+    rounds_executed: np.ndarray
+    converged: np.ndarray
+    consensus_opinions: np.ndarray
+    target_opinion: int
+    successes: np.ndarray
+    bias_history: np.ndarray
+
+    @property
+    def num_trials(self) -> int:
+        """Number of trials ``R`` in the batch."""
+        return self.final_states.num_trials
+
+    @property
+    def success_count(self) -> int:
+        """Number of trials that reached consensus on the target opinion."""
+        return int(np.count_nonzero(self.successes))
+
+    @property
+    def success_rate(self) -> float:
+        """Empirical success probability over the batch."""
+        return self.success_count / self.num_trials
+
+    @property
+    def convergence_rate(self) -> float:
+        """Fraction of trials that reached consensus on *some* opinion."""
+        return int(np.count_nonzero(self.converged)) / self.num_trials
+
+    @property
+    def final_biases(self) -> np.ndarray:
+        """Per-trial bias of the final distribution toward the target.
+
+        All zeros when no target was tracked (``target_opinion == 0``), so
+        the accessor is total like the rest of the result.
+        """
+        if self.target_opinion <= 0:
+            return np.zeros(self.num_trials, dtype=float)
+        return self.final_states.bias_toward(self.target_opinion)
+
+    def trial_result(self, trial: int) -> DynamicsResult:
+        """Trial ``trial`` as a standalone :class:`DynamicsResult`.
+
+        Bitwise identical to what a batch-size-1 ensemble run with that
+        trial's randomness source would have produced for its only trial.
+        """
+        rounds = int(self.rounds_executed[trial])
+        return DynamicsResult(
+            final_state=self.final_states.trial_state(trial),
+            rounds_executed=rounds,
+            converged=bool(self.converged[trial]),
+            consensus_opinion=int(self.consensus_opinions[trial]),
+            target_opinion=self.target_opinion,
+            success=bool(self.successes[trial]),
+            bias_history=[
+                float(value) for value in self.bias_history[:rounds, trial]
+            ],
+        )
+
+    def summary(self) -> dict:
+        """Headline statistics of the batch."""
+        return {
+            "num_trials": self.num_trials,
+            "target_opinion": self.target_opinion,
+            "success_rate": self.success_rate,
+            "convergence_rate": self.convergence_rate,
+            "mean_rounds": float(self.rounds_executed.mean()),
+            "mean_final_bias": float(self.final_biases.mean()),
+        }
+
+
+class EnsembleOpinionDynamics(ABC):
+    """Run ``R`` independent trials of a baseline dynamic as one batch.
+
+    Every trial follows exactly the rule of the matching
+    :class:`OpinionDynamics` subclass; the trial axis is carried through
+    every numpy operation, and per-trial early stopping keeps converged
+    trials out of the remaining rounds' work (the *active-trials index*).
+
+    Parameters
+    ----------
+    num_nodes:
+        Population size ``n`` per trial.
+    noise:
+        Noise matrix applied to every observation.
+    random_state:
+        Either a single :data:`~repro.utils.rng.RandomState` or a sequence
+        with one entry per trial.  With a sequence, trial ``r`` consumes
+        randomness exclusively from its own source, making a batched run
+        bitwise identical to ``R`` batch-size-1 runs with the same sources.
+    rng_mode:
+        ``"per_trial"`` (default): when ``random_state`` is a single source,
+        spawn one independent child generator per trial, preserving the
+        trial-by-trial reproducibility guarantee.  ``"shared"``: drive the
+        whole batch from one generator with fully batched draws — faster,
+        but individual trials are not reproducible in isolation (and the
+        stream depends on when other trials converge).
+    """
+
+    #: Human-readable name used in comparison tables.
+    name: str = "ensemble-opinion-dynamics"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        noise: NoiseMatrix,
+        random_state: EnsembleRandomState = None,
+        *,
+        rng_mode: str = "per_trial",
+    ) -> None:
+        if rng_mode not in {"per_trial", "shared"}:
+            raise ValueError(
+                f"rng_mode must be 'per_trial' or 'shared', got {rng_mode!r}"
+            )
+        self.num_nodes = require_positive_int(num_nodes, "num_nodes")
+        self.noise = noise
+        self.rng_mode = rng_mode
+        self._random_state = random_state
+        self.pull = EnsemblePullModel(self.num_nodes, noise)
+
+    @property
+    def num_opinions(self) -> int:
+        """Number of opinions ``k``."""
+        return self.noise.num_opinions
+
+    @abstractmethod
+    def step(
+        self, state: EnsembleState, random_state: EnsembleRandomState
+    ) -> None:
+        """One synchronous round over every trial of ``state``, in place.
+
+        ``random_state`` is the batch's randomness for this round: a list
+        with one generator per trial of ``state`` (per-trial mode) or one
+        shared generator.
+        """
+
+    def _trial_randomness(self, num_trials: int) -> EnsembleRandomState:
+        return resolve_trial_randomness(
+            self._random_state, num_trials, self.rng_mode
+        )
+
+    def _coerce_ensemble(
+        self,
+        initial_state: Union[PopulationState, EnsembleState],
+        num_trials: Optional[int],
+    ) -> EnsembleState:
+        if isinstance(initial_state, PopulationState):
+            if num_trials is None:
+                raise ValueError(
+                    "num_trials is required when initial_state is a single "
+                    "PopulationState"
+                )
+            return EnsembleState.from_state(initial_state, num_trials)
+        if isinstance(initial_state, EnsembleState):
+            if num_trials is not None and num_trials != initial_state.num_trials:
+                raise ValueError(
+                    f"num_trials = {num_trials} disagrees with the ensemble's "
+                    f"{initial_state.num_trials} trials"
+                )
+            return initial_state.copy()
+        raise TypeError(
+            "initial_state must be a PopulationState or an EnsembleState, "
+            f"got {type(initial_state).__name__}"
+        )
+
+    def _check_state(self, state: EnsembleState) -> None:
+        if state.num_nodes != self.num_nodes:
+            raise ValueError(
+                f"state has {state.num_nodes} nodes but the dynamic was built "
+                f"for {self.num_nodes}"
+            )
+        if state.num_opinions != self.num_opinions:
+            raise ValueError(
+                f"state has {state.num_opinions} opinions but the noise matrix "
+                f"has {self.num_opinions}"
+            )
+
+    def run(
+        self,
+        initial_state: Union[PopulationState, EnsembleState],
+        max_rounds: int,
+        num_trials: Optional[int] = None,
+        *,
+        target_opinion: Optional[int] = None,
+        stop_at_consensus: bool = True,
+        record_history: bool = True,
+    ) -> EnsembleDynamicsResult:
+        """Run every trial for up to ``max_rounds`` rounds.
+
+        Parameters
+        ----------
+        initial_state:
+            Either one :class:`PopulationState` (tiled into ``num_trials``
+            identical starting points) or a pre-built :class:`EnsembleState`
+            with per-trial initial conditions (``num_trials`` inferred).
+        max_rounds:
+            Round budget per trial.
+        target_opinion:
+            The opinion to track; defaults to the plurality opinion of the
+            pooled initial counts (for a tiled ensemble this matches the
+            per-trial default of the sequential runner).
+        stop_at_consensus:
+            Remove a trial from the active set as soon as all its nodes
+            agree; converged trials stop consuming randomness and compute.
+        record_history:
+            Record the per-round bias toward the target for every trial.
+        """
+        max_rounds = require_positive_int(max_rounds, "max_rounds")
+        ensemble = self._coerce_ensemble(initial_state, num_trials)
+        self._check_state(ensemble)
+        num_trials = ensemble.num_trials
+        if target_opinion is None:
+            target_opinion = ensemble.pooled_plurality_opinion()
+        target_opinion = int(target_opinion)
+        if target_opinion > self.num_opinions:
+            raise ValueError(
+                f"target_opinion must be in [0, {self.num_opinions}], "
+                f"got {target_opinion}"
+            )
+        randomness = self._trial_randomness(num_trials)
+        per_trial = is_generator_sequence(randomness)
+        opinions = ensemble.opinions
+        rounds_executed = np.zeros(num_trials, dtype=np.int64)
+        active = np.arange(num_trials)
+        bias_rows: List[np.ndarray] = []
+        last_bias = np.zeros(num_trials, dtype=float)
+        for _ in range(max_rounds):
+            if active.size == num_trials:
+                # Full batch: step the working state in place.
+                self.step(ensemble, randomness)
+                active_opinions = opinions
+            else:
+                sub_randomness = (
+                    [randomness[index] for index in active]
+                    if per_trial
+                    else randomness
+                )
+                # The fancy index already yields a fresh in-range matrix, so
+                # wrap it without the constructor's copy and range scan.
+                sub_state = EnsembleState.wrap(
+                    opinions[active], self.num_opinions
+                )
+                self.step(sub_state, sub_randomness)
+                opinions[active] = sub_state.opinions
+                active_opinions = sub_state.opinions
+            counts = opinion_counts_matrix(
+                active_opinions, self.num_opinions, validate=False
+            )
+            rounds_executed[active] += 1
+            if record_history and target_opinion > 0:
+                last_bias = last_bias.copy()
+                last_bias[active] = _bias_from_counts(
+                    counts, target_opinion, self.num_nodes
+                )
+                bias_rows.append(last_bias)
+            if stop_at_consensus:
+                done = counts.max(axis=1) == self.num_nodes
+                if done.any():
+                    active = active[~done]
+                    if active.size == 0:
+                        break
+        final_counts = ensemble.opinion_counts()
+        converged = final_counts.max(axis=1) == self.num_nodes
+        consensus_opinions = np.where(
+            converged, final_counts.argmax(axis=1) + 1, 0
+        ).astype(np.int64)
+        bias_history = (
+            np.stack(bias_rows)
+            if bias_rows
+            else np.zeros((0, num_trials), dtype=float)
+        )
+        return EnsembleDynamicsResult(
+            final_states=ensemble,
+            rounds_executed=rounds_executed,
+            converged=converged,
+            consensus_opinions=consensus_opinions,
+            target_opinion=target_opinion,
+            successes=converged & (consensus_opinions == target_opinion),
             bias_history=bias_history,
         )

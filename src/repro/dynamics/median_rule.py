@@ -19,10 +19,33 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.state import PopulationState
-from repro.dynamics.base import OpinionDynamics
+from repro.core.state import EnsembleState, PopulationState
+from repro.dynamics.base import EnsembleOpinionDynamics, OpinionDynamics
+from repro.utils.rng import EnsembleRandomState
 
-__all__ = ["MedianRuleDynamics"]
+__all__ = ["MedianRuleDynamics", "EnsembleMedianRuleDynamics"]
+
+
+def _median_rule_update(
+    current: np.ndarray, first: np.ndarray, second: np.ndarray
+) -> np.ndarray:
+    """The median-of-three transition, shape-agnostic (``(n,)`` or ``(R, n)``)."""
+    # Undecided nodes adopt the first opinion they see.
+    undecided = current == 0
+    adopted = np.where(first > 0, first, second)
+    new_opinions = current.copy()
+    new_opinions[undecided] = adopted[undecided]
+    # Opinionated nodes with two valid observations take the median of the
+    # three values; with one valid observation the median of a pair is
+    # defined here as the own value (no move), matching the conservative
+    # reading of the rule.
+    both_valid = (first > 0) & (second > 0) & (current > 0)
+    if np.any(both_valid):
+        stacked = np.stack(
+            [current[both_valid], first[both_valid], second[both_valid]]
+        )
+        new_opinions[both_valid] = np.median(stacked, axis=0).astype(np.int64)
+    return new_opinions
 
 
 class MedianRuleDynamics(OpinionDynamics):
@@ -35,20 +58,18 @@ class MedianRuleDynamics(OpinionDynamics):
         self._check_state(state)
         first = self.pull.observe_single(state.opinions)
         second = self.pull.observe_single(state.opinions)
-        current = state.opinions
-        # Undecided nodes adopt the first opinion they see.
-        undecided = current == 0
-        adopted = np.where(first > 0, first, second)
-        new_opinions = current.copy()
-        new_opinions[undecided] = adopted[undecided]
-        # Opinionated nodes with two valid observations take the median of
-        # the three values; with one valid observation the median of a pair
-        # is defined here as the own value (no move), matching the
-        # conservative reading of the rule.
-        both_valid = (first > 0) & (second > 0) & (current > 0)
-        if np.any(both_valid):
-            stacked = np.stack(
-                [current[both_valid], first[both_valid], second[both_valid]]
-            )
-            new_opinions[both_valid] = np.median(stacked, axis=0).astype(np.int64)
-        state.opinions[:] = new_opinions
+        state.opinions[:] = _median_rule_update(state.opinions, first, second)
+
+
+class EnsembleMedianRuleDynamics(EnsembleOpinionDynamics):
+    """The median rule batched over ``R`` independent trials."""
+
+    name = "median-rule"
+
+    def step(
+        self, state: EnsembleState, random_state: EnsembleRandomState
+    ) -> None:
+        """One round of the median-of-three rule over the whole batch."""
+        first = self.pull.observe_single(state.opinions, random_state)
+        second = self.pull.observe_single(state.opinions, random_state)
+        state.opinions[:] = _median_rule_update(state.opinions, first, second)

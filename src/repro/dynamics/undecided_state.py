@@ -19,10 +19,24 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.state import PopulationState
-from repro.dynamics.base import OpinionDynamics
+from repro.core.state import EnsembleState, PopulationState
+from repro.dynamics.base import EnsembleOpinionDynamics, OpinionDynamics
+from repro.utils.rng import EnsembleRandomState
 
-__all__ = ["UndecidedStateDynamics"]
+__all__ = ["UndecidedStateDynamics", "EnsembleUndecidedStateDynamics"]
+
+
+def _undecided_state_update(current: np.ndarray, observed: np.ndarray) -> np.ndarray:
+    """The undecided-state transition, shape-agnostic (``(n,)`` or ``(R, n)``)."""
+    saw_opinion = observed > 0
+    # Opinionated nodes observing a *different* opinion become undecided.
+    conflict = saw_opinion & (current > 0) & (observed != current)
+    # Undecided nodes observing any opinion adopt it.
+    adoption = saw_opinion & (current == 0)
+    new_opinions = current.copy()
+    new_opinions[conflict] = 0
+    new_opinions[adoption] = observed[adoption]
+    return new_opinions
 
 
 class UndecidedStateDynamics(OpinionDynamics):
@@ -34,13 +48,17 @@ class UndecidedStateDynamics(OpinionDynamics):
         """One round of the undecided-state update rule."""
         self._check_state(state)
         observed = self.pull.observe_single(state.opinions)
-        current = state.opinions
-        saw_opinion = observed > 0
-        # Opinionated nodes observing a *different* opinion become undecided.
-        conflict = saw_opinion & (current > 0) & (observed != current)
-        # Undecided nodes observing any opinion adopt it.
-        adoption = saw_opinion & (current == 0)
-        new_opinions = current.copy()
-        new_opinions[conflict] = 0
-        new_opinions[adoption] = observed[adoption]
-        state.opinions[:] = new_opinions
+        state.opinions[:] = _undecided_state_update(state.opinions, observed)
+
+
+class EnsembleUndecidedStateDynamics(EnsembleOpinionDynamics):
+    """The undecided-state dynamics batched over ``R`` independent trials."""
+
+    name = "undecided-state"
+
+    def step(
+        self, state: EnsembleState, random_state: EnsembleRandomState
+    ) -> None:
+        """One round of the undecided-state rule over the whole batch."""
+        observed = self.pull.observe_single(state.opinions, random_state)
+        state.opinions[:] = _undecided_state_update(state.opinions, observed)

@@ -11,10 +11,11 @@ or without noise.
 
 from __future__ import annotations
 
-from repro.core.state import PopulationState
-from repro.dynamics.base import OpinionDynamics
+from repro.core.state import EnsembleState, PopulationState
+from repro.dynamics.base import EnsembleOpinionDynamics, OpinionDynamics
+from repro.utils.rng import EnsembleRandomState
 
-__all__ = ["VoterDynamics"]
+__all__ = ["VoterDynamics", "EnsembleVoterDynamics"]
 
 
 class VoterDynamics(OpinionDynamics):
@@ -26,5 +27,19 @@ class VoterDynamics(OpinionDynamics):
         """One round: every node copies a noisy observation (if any)."""
         self._check_state(state)
         observed = self.pull.observe_single(state.opinions)
+        updaters = observed > 0
+        state.opinions[updaters] = observed[updaters]
+
+
+class EnsembleVoterDynamics(EnsembleOpinionDynamics):
+    """The voter model batched over ``R`` independent trials."""
+
+    name = "voter"
+
+    def step(
+        self, state: EnsembleState, random_state: EnsembleRandomState
+    ) -> None:
+        """One round of the copy rule over the whole batch."""
+        observed = self.pull.observe_single(state.opinions, random_state)
         updaters = observed > 0
         state.opinions[updaters] = observed[updaters]

@@ -15,30 +15,33 @@ without noise the elementary dynamics are fast and reliable; with noise the
 one-shot dynamics lose the plurality (or fail to converge within the round
 budget) while the paper's two-stage protocol still succeeds, at the cost of
 its ``O(log n / eps^2)`` round budget.
+
+All repeated trials route through the shared trial runner
+(:func:`~repro.experiments.runner.protocol_trial_outcomes` and
+:func:`~repro.experiments.runner.dynamics_trial_outcomes`), so the whole
+comparison runs on the batched ensemble engines by default; set
+``trial_engine="sequential"`` in the configuration to cross-check against
+the reference loops.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.convergence import estimate_success_probability
-from repro.core.protocol import TwoStageProtocol
-from repro.core.state import PopulationState
-from repro.dynamics.base import OpinionDynamics
-from repro.dynamics.h_majority import HMajorityDynamics, ThreeMajorityDynamics
-from repro.dynamics.median_rule import MedianRuleDynamics
-from repro.dynamics.undecided_state import UndecidedStateDynamics
-from repro.dynamics.voter import VoterDynamics
 from repro.experiments.results import ExperimentTable
-from repro.experiments.runner import repeat_trials
+from repro.experiments.runner import (
+    dynamics_trial_outcomes,
+    protocol_trial_outcomes,
+)
 from repro.experiments.workloads import biased_population
 from repro.noise.families import identity_matrix, uniform_noise_matrix
-from repro.noise.matrix import NoiseMatrix
-from repro.utils.rng import RandomState
+from repro.utils.rng import RandomState, derive_seed
+from repro.utils.validation import require_positive_int
 
 __all__ = ["BaselineComparisonConfig", "run"]
 
@@ -53,6 +56,7 @@ class BaselineComparisonConfig:
     initial_bias: float = 0.1
     max_rounds_dynamics: int = 300
     num_trials: int = 4
+    trial_engine: str = "batched"
 
     @classmethod
     def quick(cls) -> "BaselineComparisonConfig":
@@ -69,17 +73,14 @@ class BaselineComparisonConfig:
         )
 
 
-def _baseline_factories(
-    config: BaselineComparisonConfig,
-) -> List[Tuple[str, Callable[[NoiseMatrix, np.random.Generator], OpinionDynamics]]]:
-    """Name / constructor pairs for every baseline dynamic."""
-    n = config.num_nodes
+def _baseline_rules() -> List[Tuple[str, str, Optional[int]]]:
+    """(table name, runner rule, sample_size) for every baseline dynamic."""
     return [
-        ("3-majority", lambda noise, rng: ThreeMajorityDynamics(n, noise, rng)),
-        ("5-majority", lambda noise, rng: HMajorityDynamics(n, noise, 5, rng)),
-        ("undecided-state", lambda noise, rng: UndecidedStateDynamics(n, noise, rng)),
-        ("median-rule", lambda noise, rng: MedianRuleDynamics(n, noise, rng)),
-        ("voter", lambda noise, rng: VoterDynamics(n, noise, rng)),
+        ("3-majority", "3-majority", None),
+        ("5-majority", "h-majority", 5),
+        ("undecided-state", "undecided-state", None),
+        ("median-rule", "median-rule", None),
+        ("voter", "voter", None),
     ]
 
 
@@ -89,6 +90,7 @@ def run(
 ) -> ExperimentTable:
     """Run the E12 comparison and return the result table."""
     config = config or BaselineComparisonConfig.quick()
+    require_positive_int(config.num_trials, "num_trials")
     table = ExperimentTable(
         experiment_id="E12",
         title="Protocol vs. elementary dynamics, with and without channel noise",
@@ -101,72 +103,75 @@ def run(
     noiseless = identity_matrix(config.num_opinions)
     noisy = uniform_noise_matrix(config.num_opinions, config.epsilon)
 
-    for channel_name, channel in (("noise-free", noiseless), ("noisy", noisy)):
-        # --- The paper's protocol ------------------------------------------------
-        def protocol_trial(rng: np.random.Generator):
-            initial = biased_population(
-                config.num_nodes,
-                config.num_opinions,
-                config.initial_bias,
-                random_state=rng,
-            )
-            protocol = TwoStageProtocol(
-                config.num_nodes,
-                channel,
-                epsilon=config.epsilon,
-                random_state=rng,
-            )
-            result = protocol.run(initial, target_opinion=1)
-            return result.success, result.total_rounds, result.final_bias
+    for channel_index, (channel_name, channel) in enumerate(
+        (("noise-free", noiseless), ("noisy", noisy))
+    ):
+        # Every algorithm on this channel starts from the same weakly biased,
+        # fully opinionated population (the node placement is irrelevant on
+        # the complete graph; a fixed per-channel seed keeps it reproducible).
+        initial = biased_population(
+            config.num_nodes,
+            config.num_opinions,
+            config.initial_bias,
+            random_state=derive_seed(random_state, channel_index),
+        )
 
-        outcomes = repeat_trials(protocol_trial, config.num_trials, random_state)
+        # --- The paper's protocol ------------------------------------------------
+        outcomes = protocol_trial_outcomes(
+            initial,
+            channel,
+            config.epsilon,
+            config.num_trials,
+            random_state,
+            target_opinion=1,
+            trial_engine=config.trial_engine,
+        )
         success_rate, _ = estimate_success_probability(
-            [success for success, _, _ in outcomes]
+            [outcome.success for outcome in outcomes]
         )
         table.add_record(
             algorithm="two-stage protocol (this paper)",
             channel=channel_name,
             success_rate=success_rate,
-            mean_rounds=float(np.mean([rounds for _, rounds, _ in outcomes])),
-            mean_final_bias=float(np.mean([bias for _, _, bias in outcomes])),
+            mean_rounds=float(
+                np.mean([outcome.total_rounds for outcome in outcomes])
+            ),
+            mean_final_bias=float(
+                np.mean([outcome.final_bias for outcome in outcomes])
+            ),
         )
 
         # --- Baseline dynamics ---------------------------------------------------
-        for name, factory in _baseline_factories(config):
-
-            def dynamics_trial(rng: np.random.Generator, factory=factory):
-                initial = biased_population(
-                    config.num_nodes,
-                    config.num_opinions,
-                    config.initial_bias,
-                    random_state=rng,
-                )
-                dynamic = factory(channel, rng)
-                result = dynamic.run(
-                    initial,
-                    config.max_rounds_dynamics,
-                    target_opinion=1,
-                )
-                return (
-                    result.success,
-                    result.rounds_executed,
-                    result.final_state.bias_toward(1),
-                )
-
-            outcomes = repeat_trials(dynamics_trial, config.num_trials, random_state)
+        for name, rule, sample_size in _baseline_rules():
+            outcomes = dynamics_trial_outcomes(
+                initial,
+                channel,
+                rule,
+                config.max_rounds_dynamics,
+                config.num_trials,
+                random_state,
+                sample_size=sample_size,
+                target_opinion=1,
+                trial_engine=config.trial_engine,
+            )
             success_rate, _ = estimate_success_probability(
-                [success for success, _, _ in outcomes]
+                [outcome.success for outcome in outcomes]
             )
             table.add_record(
                 algorithm=name,
                 channel=channel_name,
                 success_rate=success_rate,
-                mean_rounds=float(np.mean([rounds for _, rounds, _ in outcomes])),
-                mean_final_bias=float(np.mean([bias for _, _, bias in outcomes])),
+                mean_rounds=float(
+                    np.mean([outcome.rounds_executed for outcome in outcomes])
+                ),
+                mean_final_bias=float(
+                    np.mean([outcome.final_bias for outcome in outcomes])
+                ),
             )
     table.add_note(
         f"all runs start {config.initial_bias:.0%}-biased toward opinion 1 with every "
         f"node opinionated; dynamics are capped at {config.max_rounds_dynamics} rounds "
-        f"(log2(n)/eps^2 = {math.log2(config.num_nodes) / config.epsilon**2:.0f})"
+        f"(log2(n)/eps^2 = {math.log2(config.num_nodes) / config.epsilon**2:.0f}); "
+        f"trial engine: {config.trial_engine}"
     )
     return table

@@ -14,7 +14,10 @@ Definition 2 and, where applicable, the Eq. (17)/(18) sufficient condition:
 For the counterexample the experiment additionally runs the full protocol to
 show the *dynamic* consequence: consensus on the original plurality opinion
 is not reached, matching Section 4's argument that no anonymous protocol can
-recover it.
+recover it.  That repeated-trial check routes through the shared trial
+runner (:func:`~repro.experiments.runner.protocol_trial_outcomes`), so it
+runs on the batched ensemble engine by default; set
+``trial_engine="sequential"`` to cross-check against the reference loop.
 """
 
 from __future__ import annotations
@@ -25,9 +28,9 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.analysis.convergence import estimate_success_probability
-from repro.core.plurality import PluralityConsensus, PluralityInstance
+from repro.core.plurality import PluralityInstance
 from repro.experiments.results import ExperimentTable
-from repro.experiments.runner import repeat_trials
+from repro.experiments.runner import protocol_trial_outcomes
 from repro.noise.families import (
     cyclic_shift_matrix,
     diagonally_dominant_counterexample,
@@ -54,6 +57,7 @@ class NoiseMatrixConfig:
     delta_grid: Sequence[float] = (0.05, 0.1, 0.3)
     dynamic_num_nodes: int = 1000
     dynamic_trials: int = 3
+    trial_engine: str = "batched"
 
     @classmethod
     def quick(cls) -> "NoiseMatrixConfig":
@@ -124,16 +128,17 @@ def run(
     instance = PluralityInstance.from_support_fractions(
         config.dynamic_num_nodes, config.dynamic_num_nodes, adversarial_shares
     )
-
-    def trial(trial_rng: np.random.Generator):
-        solver = PluralityConsensus(
-            instance, counterexample, config.epsilon, random_state=trial_rng
-        )
-        return solver.run().success
-
-    successes = repeat_trials(trial, config.dynamic_trials, rng)
+    outcomes = protocol_trial_outcomes(
+        instance.initial_state(rng),
+        counterexample,
+        config.epsilon,
+        config.dynamic_trials,
+        rng,
+        target_opinion=instance.plurality_opinion(),
+        trial_engine=config.trial_engine,
+    )
     failure_rate, _ = estimate_success_probability(
-        [not success for success in successes]
+        [not outcome.success for outcome in outcomes]
     )
     table.add_note(
         "dynamic check: under the diagonally-dominant counterexample the protocol "

@@ -10,6 +10,11 @@ initial plurality opinion.
 The reproduced trend: configurations whose bias clears the
 ``sqrt(log n / |S|)`` requirement succeed (nearly) always, while
 configurations well below the requirement degrade toward chance.
+
+Repeated trials route through the shared trial runner
+(:func:`~repro.experiments.runner.protocol_trial_outcomes`), so the sweep
+runs on the batched ensemble engine by default; set
+``trial_engine="sequential"`` to cross-check against the reference loop.
 """
 
 from __future__ import annotations
@@ -21,12 +26,11 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.analysis.convergence import estimate_success_probability
-from repro.core.plurality import PluralityConsensus
 from repro.experiments.results import ExperimentTable
-from repro.experiments.runner import repeat_trials
+from repro.experiments.runner import protocol_trial_outcomes
 from repro.experiments.workloads import plurality_instance_with_bias
 from repro.noise.families import uniform_noise_matrix
-from repro.utils.rng import RandomState
+from repro.utils.rng import RandomState, derive_seed
 
 __all__ = ["PluralityConsensusConfig", "run"]
 
@@ -42,6 +46,7 @@ class PluralityConsensusConfig:
     bias_multipliers: Sequence[float] = (0.5, 2.0, 4.0)
     num_trials: int = 5
     round_scale: float = 1.0
+    trial_engine: str = "batched"
 
     @classmethod
     def quick(cls) -> "PluralityConsensusConfig":
@@ -93,24 +98,24 @@ def run(
                 config.num_opinions,
                 bias_within_support,
             )
-
-            def trial(rng: np.random.Generator):
-                solver = PluralityConsensus(
-                    instance,
-                    noise,
-                    config.epsilon,
-                    random_state=rng,
-                    round_scale=config.round_scale,
-                )
-                result = solver.run()
-                return result.success, result.total_rounds
-
-            outcomes = repeat_trials(trial, config.num_trials, random_state)
+            initial_state = instance.initial_state(
+                derive_seed(random_state, len(table))
+            )
+            outcomes = protocol_trial_outcomes(
+                initial_state,
+                noise,
+                config.epsilon,
+                config.num_trials,
+                random_state,
+                target_opinion=instance.plurality_opinion(),
+                round_scale=config.round_scale,
+                trial_engine=config.trial_engine,
+            )
             success_rate, interval = estimate_success_probability(
-                [success for success, _ in outcomes]
+                [outcome.success for outcome in outcomes]
             )
             mean_rounds = float(
-                np.mean([rounds_used for _, rounds_used in outcomes])
+                np.mean([outcome.total_rounds for outcome in outcomes])
             )
             table.add_record(
                 n=config.num_nodes,
@@ -126,6 +131,7 @@ def run(
                 mean_rounds=mean_rounds,
             )
     table.add_note(
-        f"Theorem 2 needs |S| >= ~log(n)/eps^2 = {minimum_support:.0f} nodes here"
+        f"Theorem 2 needs |S| >= ~log(n)/eps^2 = {minimum_support:.0f} nodes here; "
+        f"trial engine: {config.trial_engine}"
     )
     return table

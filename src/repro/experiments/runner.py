@@ -5,31 +5,33 @@ grid, run several independent trials (each with its own derived RNG stream),
 and summarize the per-trial outputs.  These helpers centralize the trial
 bookkeeping so that the experiment modules stay declarative.
 
-Repeated full-protocol trials have two interchangeable execution engines:
+Repeated trials have two interchangeable execution engines:
 
-* ``"batched"`` (default) — all trials run as one vectorized
-  :class:`~repro.core.protocol.EnsembleProtocol` batch over an ``(R, n)``
-  opinion matrix, which is several times faster than looping;
+* ``"batched"`` (default) — all trials run as one vectorized batch over an
+  ``(R, n)`` opinion matrix (:class:`~repro.core.protocol.EnsembleProtocol`
+  for the two-stage protocol,
+  :class:`~repro.dynamics.base.EnsembleOpinionDynamics` for the baseline
+  dynamics), which is many times faster than looping;
 * ``"sequential"`` — the reference implementation: a Python loop of
-  single-trial :class:`~repro.core.protocol.TwoStageProtocol` runs, kept for
-  cross-checking the batched path.
+  single-trial runs, kept for cross-checking the batched path.
 
-:func:`protocol_trial_outcomes` hides the choice behind one call returning a
-flat list of per-trial outcomes.
+:func:`protocol_trial_outcomes` and :func:`dynamics_trial_outcomes` hide the
+choice behind one call returning a flat list of per-trial outcomes.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, TypeVar
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, TypeVar, Union
 
 import numpy as np
 
 from repro.core.protocol import EnsembleProtocol, TwoStageProtocol
-from repro.core.state import PopulationState
+from repro.core.state import EnsembleState, PopulationState
+from repro.dynamics import make_dynamics, make_ensemble_dynamics
 from repro.noise.matrix import NoiseMatrix
-from repro.utils.rng import RandomState, spawn_generators
+from repro.utils.rng import EnsembleRandomState, RandomState, as_trial_generators, spawn_generators
 
 __all__ = [
     "repeat_trials",
@@ -37,6 +39,8 @@ __all__ = [
     "summarize",
     "TrialOutcome",
     "protocol_trial_outcomes",
+    "DynamicsTrialOutcome",
+    "dynamics_trial_outcomes",
     "TRIAL_ENGINES",
 ]
 
@@ -78,12 +82,15 @@ class TrialOutcome:
         Stage 1 recorded no phases).
     correct_fraction:
         Fraction of nodes supporting the target opinion at the end.
+    final_bias:
+        Bias of the final distribution toward the target opinion.
     """
 
     success: bool
     total_rounds: int
     bias_after_stage1: Optional[float]
     correct_fraction: float
+    final_bias: float = 0.0
 
 
 def protocol_trial_outcomes(
@@ -123,6 +130,7 @@ def protocol_trial_outcomes(
         ).run(initial_state, num_trials, target_opinion=target_opinion)
         stage1_biases = result.biases_after_stage1
         correct_fractions = result.correct_fractions()
+        final_biases = result.final_biases
         return [
             TrialOutcome(
                 success=bool(result.successes[trial]),
@@ -133,6 +141,7 @@ def protocol_trial_outcomes(
                     else None
                 ),
                 correct_fraction=float(correct_fractions[trial]),
+                final_bias=float(final_biases[trial]),
             )
             for trial in range(result.num_trials)
         ]
@@ -151,9 +160,142 @@ def protocol_trial_outcomes(
             total_rounds=result.total_rounds,
             bias_after_stage1=result.bias_after_stage1,
             correct_fraction=result.correct_fraction(),
+            final_bias=result.final_bias,
         )
 
     return repeat_trials(trial, num_trials, random_state)
+
+
+@dataclass(frozen=True)
+class DynamicsTrialOutcome:
+    """The per-trial quantities of a repeated baseline-dynamics experiment.
+
+    Attributes
+    ----------
+    success:
+        ``True`` iff the trial reached consensus on the target opinion.
+    converged:
+        ``True`` iff the trial reached consensus on *some* opinion.
+    rounds_executed:
+        Synchronous rounds the trial executed before stopping.
+    consensus_opinion:
+        The agreed opinion when ``converged`` (0 otherwise).
+    final_bias:
+        Bias of the final distribution toward the target opinion.
+    """
+
+    success: bool
+    converged: bool
+    rounds_executed: int
+    consensus_opinion: int
+    final_bias: float
+
+
+def dynamics_trial_outcomes(
+    initial_state: Union[PopulationState, EnsembleState],
+    noise: NoiseMatrix,
+    rule: str,
+    max_rounds: int,
+    num_trials: int,
+    random_state: EnsembleRandomState = None,
+    *,
+    sample_size: Optional[int] = None,
+    target_opinion: Optional[int] = None,
+    stop_at_consensus: bool = True,
+    trial_engine: str = "batched",
+) -> List[DynamicsTrialOutcome]:
+    """Run ``num_trials`` independent baseline-dynamics trials.
+
+    The dynamics counterpart of :func:`protocol_trial_outcomes`: ``rule``
+    names one of :data:`~repro.dynamics.DYNAMICS_RULES` and ``trial_engine``
+    (one of :data:`TRIAL_ENGINES`) routes the batch through the vectorized
+    :class:`~repro.dynamics.base.EnsembleOpinionDynamics` engine (default)
+    or the sequential reference loop of
+    :meth:`~repro.dynamics.base.OpinionDynamics.run` calls.  Both engines
+    derive the same per-trial child streams from ``random_state``; the
+    batched engine is reproducible trial by trial (a batch is bitwise
+    identical to batch-size-1 runs), while agreement between the two engines
+    is distributional.
+
+    ``initial_state`` may be one :class:`PopulationState` (every trial
+    starts from it) or an :class:`EnsembleState` with per-trial rows
+    (``num_trials`` must then match).
+    """
+    if trial_engine not in TRIAL_ENGINES:
+        raise ValueError(
+            f"trial_engine must be one of {TRIAL_ENGINES}, got {trial_engine!r}"
+        )
+    if isinstance(initial_state, EnsembleState) and (
+        num_trials != initial_state.num_trials
+    ):
+        raise ValueError(
+            f"num_trials = {num_trials} disagrees with the ensemble's "
+            f"{initial_state.num_trials} trials"
+        )
+    num_nodes = initial_state.num_nodes
+    if target_opinion is None:
+        target_opinion = (
+            initial_state.pooled_plurality_opinion()
+            if isinstance(initial_state, EnsembleState)
+            else initial_state.plurality_opinion()
+        )
+    target_opinion = int(target_opinion)
+
+    if trial_engine == "batched":
+        dynamic = make_ensemble_dynamics(
+            rule, num_nodes, noise, random_state, sample_size=sample_size
+        )
+        result = dynamic.run(
+            initial_state,
+            max_rounds,
+            num_trials if isinstance(initial_state, PopulationState) else None,
+            target_opinion=target_opinion,
+            stop_at_consensus=stop_at_consensus,
+            record_history=False,
+        )
+        final_biases = result.final_biases
+        return [
+            DynamicsTrialOutcome(
+                success=bool(result.successes[trial]),
+                converged=bool(result.converged[trial]),
+                rounds_executed=int(result.rounds_executed[trial]),
+                consensus_opinion=int(result.consensus_opinions[trial]),
+                final_bias=float(final_biases[trial]),
+            )
+            for trial in range(result.num_trials)
+        ]
+
+    generators = as_trial_generators(random_state, num_trials)
+    outcomes: List[DynamicsTrialOutcome] = []
+    for trial, generator in enumerate(generators):
+        if isinstance(initial_state, EnsembleState):
+            trial_state = initial_state.trial_state(trial)
+        else:
+            trial_state = initial_state
+        dynamic = make_dynamics(
+            rule, num_nodes, noise, generator, sample_size=sample_size
+        )
+        result = dynamic.run(
+            trial_state,
+            max_rounds,
+            target_opinion=target_opinion,
+            stop_at_consensus=stop_at_consensus,
+            record_history=False,
+        )
+        outcomes.append(
+            DynamicsTrialOutcome(
+                success=result.success,
+                converged=result.converged,
+                rounds_executed=result.rounds_executed,
+                consensus_opinion=result.consensus_opinion,
+                final_bias=(
+                    result.final_state.bias_toward(target_opinion)
+                    if target_opinion > 0
+                    else 0.0
+                ),
+            )
+        )
+    return outcomes
 
 
 def sweep_product(**parameter_values: Sequence[Any]) -> List[Dict[str, Any]]:

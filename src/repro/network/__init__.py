@@ -27,12 +27,13 @@ from repro.network.balls_bins import BallsIntoBinsProcess
 from repro.network.delivery import deliver_phase, supports_population_delivery
 from repro.network.mailbox import ReceivedMessages
 from repro.network.poisson_model import PoissonizedProcess
-from repro.network.pull_model import UniformPullModel
+from repro.network.pull_model import EnsemblePullModel, UniformPullModel
 from repro.network.push_model import PushPhaseStatistics, UniformPushModel
 from repro.network.topology import GraphPushModel, standard_topology
 
 __all__ = [
     "BallsIntoBinsProcess",
+    "EnsemblePullModel",
     "GraphPushModel",
     "PoissonizedProcess",
     "PushPhaseStatistics",

@@ -88,13 +88,24 @@ def _subsample_core(
 
 
 def _majority_core(
-    counts: np.ndarray, eligible: np.ndarray, rng: np.random.Generator
+    counts: np.ndarray,
+    eligible: np.ndarray,
+    rng: Optional[np.random.Generator],
+    tie_keys: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Row-wise ``maj()`` with uniform tie-break, 0 for ineligible rows."""
+    """Row-wise ``maj()`` with uniform tie-break, 0 for ineligible rows.
+
+    The tie-break keys are drawn from ``rng`` unless the caller supplies
+    ``tie_keys`` (the batched per-trial-stream path draws one key block per
+    trial and passes them in so the mode computation stays vectorized).
+    Integer counts plus keys in ``[0, 1)`` order primarily by count and
+    uniformly among tied maxima, so one fused argmax picks the same winner
+    the masked-keys formulation would for the same keys.
+    """
     row_max = counts.max(axis=-1)
-    tie_keys = rng.random(counts.shape)
-    masked_keys = np.where(counts == row_max[..., np.newaxis], tie_keys, -1.0)
-    winners = masked_keys.argmax(axis=-1) + 1
+    if tie_keys is None:
+        tie_keys = rng.random(counts.shape)
+    winners = (counts + tie_keys).argmax(axis=-1) + 1
     return np.where(
         eligible & (row_max > 0), winners, 0
     ).astype(np.int64)
@@ -404,17 +415,22 @@ class EnsembleReceivedMessages:
         """
         if is_generator_sequence(random_state):
             generators = as_trial_generators(random_state, self.num_trials)
+            if sample_size is None:
+                # Fast path (the dynamics' hot loop): the per-trial streams
+                # only contribute the tie-break keys, so fill one key block
+                # per trial in place and run the mode computation batched.
+                tie_keys = np.empty(self.counts.shape, dtype=np.float64)
+                for trial, generator in enumerate(generators):
+                    generator.random(out=tie_keys[trial])
+                return _majority_core(
+                    self.counts, self.totals() > 0, None, tie_keys=tie_keys
+                )
             votes = []
             for trial, generator in enumerate(generators):
-                counts = self.counts[trial]
-                totals = counts.sum(axis=-1)
-                if sample_size is None:
-                    eligible = totals > 0
-                else:
-                    counts = _subsample_core(
-                        counts, sample_size, generator, sampling_method
-                    )
-                    eligible = totals >= sample_size
+                counts = _subsample_core(
+                    self.counts[trial], sample_size, generator, sampling_method
+                )
+                eligible = self.counts[trial].sum(axis=-1) >= sample_size
                 votes.append(_majority_core(counts, eligible, generator))
             return np.stack(votes)
         rng = as_generator(random_state)

@@ -10,18 +10,179 @@ the same noise matrix used by the push model.
 
 The engine works on a full opinion vector (0 = undecided) and reports, per
 round, the matrix of observed (noisy) opinion counts per node.
+
+:class:`EnsemblePullModel` is the batched counterpart used by the ensemble
+dynamics: the same noisy observation step over an ``(R, n)`` opinion matrix
+of ``R`` independent trials.  Exactly as the ensemble protocol replaces the
+per-round push loop with Claim-1 phase sampling, the batched pull engine
+samples the *compound* observation channel directly: an observation is a
+uniform target draw composed with per-message noise, so each observation is
+an i.i.d. categorical draw over {no opinion, 1, …, k} with probabilities
+``(1 - a, c P)`` — distribution-exact, not an approximation.  With a
+sequence of per-trial randomness sources, trial ``r`` consumes one uniform
+block per observation step from its own source, so a batched run is bitwise
+identical to ``R`` batch-size-1 runs with the same sources (the ensemble
+reproducibility guarantee); agreement with the per-message sequential engine
+is distributional and is checked statistically by the test-suite.
 """
 
 from __future__ import annotations
 
+import math
+from functools import lru_cache
+from itertools import combinations
+from typing import Tuple
+
 import numpy as np
 
-from repro.network.mailbox import ReceivedMessages
+from repro.network.mailbox import EnsembleReceivedMessages, ReceivedMessages
 from repro.noise.matrix import NoiseMatrix
-from repro.utils.rng import RandomState, as_generator
+from repro.utils.multiset import opinion_counts_matrix
+from repro.utils.rng import (
+    EnsembleRandomState,
+    RandomState,
+    as_generator,
+    as_trial_generators,
+    is_generator_sequence,
+)
 from repro.utils.validation import require_positive_int
 
-__all__ = ["UniformPullModel"]
+__all__ = ["UniformPullModel", "EnsemblePullModel"]
+
+
+def _candidate_pool(
+    opinions: np.ndarray, include_undecided: bool
+) -> np.ndarray:
+    """The nodes a single trial may observe (all, or opinionated-only)."""
+    num_nodes = opinions.shape[0]
+    if include_undecided:
+        return np.arange(num_nodes)
+    pool = np.nonzero(opinions > 0)[0]
+    if pool.size == 0:
+        return np.arange(num_nodes)
+    return pool
+
+
+def _observe_core(
+    opinions: np.ndarray,
+    sample_size: int,
+    include_undecided: bool,
+    noise: NoiseMatrix,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One trial's observed-count matrix ``(n, k)``, message by message.
+
+    The executable specification of the pull observation step: every
+    observation is materialized, noised and counted individually.  The
+    per-node accumulation is a single :func:`numpy.bincount` over flattened
+    ``observer * k + opinion`` indices (measurably faster than the
+    ``np.add.at`` scatter it replaces).
+    """
+    num_nodes = opinions.shape[0]
+    num_opinions = noise.num_opinions
+    pool = _candidate_pool(opinions, include_undecided)
+    targets = rng.choice(pool, size=(num_nodes, sample_size), replace=True)
+    observed = opinions[targets]
+    observers, slots = np.nonzero(observed > 0)
+    if observers.size == 0:
+        return np.zeros((num_nodes, num_opinions), dtype=np.int64)
+    true_opinions = observed[observers, slots]
+    noisy_opinions = noise.apply_to_opinions(true_opinions, rng)
+    flat = np.bincount(
+        observers * num_opinions + (noisy_opinions - 1),
+        minlength=num_nodes * num_opinions,
+    )
+    return flat.reshape(num_nodes, num_opinions).astype(np.int64, copy=False)
+
+
+#: Above this many compositions the closed-form ``maj()`` table is not worth
+#: building (cost and memory grow as C(sample_size + k, k)); the fused vote
+#: sampler then falls back to explicit observation counts.
+_VOTE_TABLE_MAX_COMPOSITIONS = 100_000
+
+#: Largest sample size whose factorial still fits a float64 (171! overflows);
+#: beyond it the closed form is numerically moot anyway, so the fused vote
+#: sampler falls back to explicit observation counts.
+_VOTE_TABLE_MAX_SAMPLE = 170
+
+
+def _vote_table_is_tractable(sample_size: int, num_opinions: int) -> bool:
+    """Whether the closed-form ``maj()`` table is worth (and safe) building."""
+    return (
+        sample_size <= _VOTE_TABLE_MAX_SAMPLE
+        and math.comb(sample_size + num_opinions, num_opinions)
+        <= _VOTE_TABLE_MAX_COMPOSITIONS
+    )
+
+
+@lru_cache(maxsize=None)
+def _majority_vote_table(
+    sample_size: int, num_opinions: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The exact ``maj()`` law of ``sample_size`` categorical observations.
+
+    Enumerates every composition ``m = (m_0, m_1, …, m_k)`` of
+    ``sample_size`` observations over {no opinion, opinion 1, …, opinion k}
+    and tabulates
+
+    * ``exponents`` — the ``(C, k+1)`` composition matrix,
+    * ``coefficients`` — the multinomial coefficients
+      ``sample_size! / prod(m_i!)``,
+    * ``vote_law`` — the ``(C, k+1)`` conditional vote distribution given
+      the composition: all mass on "no vote" when no opinion was observed,
+      otherwise uniform over the most frequent observed opinions (the
+      paper's uniform tie-break, folded in analytically).
+
+    With observation probabilities ``q`` the vote pmf is then
+    ``(coefficients * prod_i q_i^{m_i}) @ vote_law`` — the closed form the
+    batched h-majority step samples from with one uniform per node.
+    """
+    width = num_opinions + 1
+    # Stars-and-bars enumeration of all compositions of sample_size into
+    # width non-negative parts.
+    compositions = []
+    for dividers in combinations(range(sample_size + width - 1), width - 1):
+        previous = -1
+        parts = []
+        for divider in dividers + (sample_size + width - 1,):
+            parts.append(divider - previous - 1)
+            previous = divider
+        compositions.append(parts)
+    exponents = np.asarray(compositions, dtype=np.int64)
+    factorials = np.asarray(
+        [math.factorial(value) for value in range(sample_size + 1)],
+        dtype=float,
+    )
+    coefficients = math.factorial(sample_size) / factorials[exponents].prod(axis=1)
+    vote_law = np.zeros((exponents.shape[0], width), dtype=float)
+    opinion_counts = exponents[:, 1:]
+    row_max = opinion_counts.max(axis=1)
+    for row, top in enumerate(row_max):
+        if top == 0:
+            vote_law[row, 0] = 1.0
+        else:
+            tied = np.nonzero(opinion_counts[row] == top)[0]
+            vote_law[row, tied + 1] = 1.0 / tied.size
+    return exponents, coefficients, vote_law
+
+
+def _observe_single_core(
+    opinions: np.ndarray, noise: NoiseMatrix, rng: np.random.Generator
+) -> np.ndarray:
+    """One trial's single-observation votes, length ``n`` (0 = saw undecided).
+
+    The one-observation case never needs the ``(n, k)`` counts matrix, so it
+    samples one target per node and applies noise to the opinionated
+    observations directly.
+    """
+    num_nodes = opinions.shape[0]
+    targets = rng.choice(np.arange(num_nodes), size=num_nodes, replace=True)
+    observed = opinions[targets]
+    votes = np.zeros(num_nodes, dtype=np.int64)
+    observers = np.nonzero(observed > 0)[0]
+    if observers.size:
+        votes[observers] = noise.apply_to_opinions(observed[observers], rng)
+    return votes
 
 
 class UniformPullModel:
@@ -91,34 +252,269 @@ class UniformPullModel:
         """
         sample_size = require_positive_int(sample_size, "sample_size")
         opinions = self._validate_opinions(opinions)
-        counts = np.zeros((self.num_nodes, self.num_opinions), dtype=np.int64)
-        if include_undecided:
-            candidate_pool = np.arange(self.num_nodes)
-        else:
-            candidate_pool = np.nonzero(opinions > 0)[0]
-            if candidate_pool.size == 0:
-                candidate_pool = np.arange(self.num_nodes)
-        targets = self._rng.choice(
-            candidate_pool, size=(self.num_nodes, sample_size), replace=True
+        return ReceivedMessages(
+            _observe_core(
+                opinions, sample_size, include_undecided, self.noise, self._rng
+            )
         )
-        observed = opinions[targets]
-        observers, slots = np.nonzero(observed > 0)
-        if observers.size == 0:
-            return ReceivedMessages(counts)
-        true_opinions = observed[observers, slots]
-        noisy_opinions = self.noise.apply_to_opinions(true_opinions, self._rng)
-        np.add.at(counts, (observers, noisy_opinions - 1), 1)
-        return ReceivedMessages(counts)
 
     def observe_single(self, opinions: np.ndarray) -> np.ndarray:
         """Each node observes one random node; returns the noisy opinions.
 
-        Convenience wrapper for the voter-model baseline; the result is a
-        length-``n`` vector of observed opinions with 0 marking "observed an
-        undecided node".
+        Convenience entry point for the one-observation baselines (voter,
+        undecided-state, median rule); the result is a length-``n`` vector of
+        observed opinions with 0 marking "observed an undecided node".
         """
-        received = self.observe(opinions, sample_size=1)
-        votes = np.zeros(self.num_nodes, dtype=np.int64)
-        observers, opinion_index = np.nonzero(received.counts)
-        votes[observers] = opinion_index + 1
-        return votes
+        opinions = self._validate_opinions(opinions)
+        return _observe_single_core(opinions, self.noise, self._rng)
+
+
+class EnsemblePullModel:
+    """Noisy uniform pull over ``R`` independent trials as one batch.
+
+    Observations are sampled from the compound channel (uniform target
+    composed with per-message noise): each of a node's ``sample_size``
+    observations is an independent categorical draw over
+    ``{no opinion, 1, …, k}`` whose probabilities come from the trial's
+    current opinion distribution pushed through the noise matrix.  This is
+    exactly the distribution of the per-message engine and needs only one
+    uniform block per trial per observation step.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes ``n`` per trial.
+    noise:
+        Noise matrix applied independently to every observed opinion.
+    random_state:
+        Default randomness: one shared source (fully batched draws) or a
+        sequence of per-trial sources (trial ``r`` consumes draws from its
+        own source only, making batched runs reproducible trial by trial).
+        Every method also accepts an explicit ``random_state`` overriding
+        the default.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        noise: NoiseMatrix,
+        random_state: EnsembleRandomState = None,
+    ) -> None:
+        self.num_nodes = require_positive_int(num_nodes, "num_nodes")
+        if not isinstance(noise, NoiseMatrix):
+            raise TypeError(
+                f"noise must be a NoiseMatrix, got {type(noise).__name__}"
+            )
+        self.noise = noise
+        self._random_state: EnsembleRandomState = (
+            random_state
+            if is_generator_sequence(random_state)
+            else as_generator(random_state)
+        )
+
+    @property
+    def num_opinions(self) -> int:
+        """Number of opinions ``k``."""
+        return self.noise.num_opinions
+
+    def _validate_opinions(self, opinions: np.ndarray) -> np.ndarray:
+        array = np.asarray(opinions, dtype=np.int64)
+        if array.ndim != 2:
+            raise ValueError(
+                f"ensemble opinions must be an (R, n) matrix, got shape {array.shape}"
+            )
+        if array.shape[1] != self.num_nodes:
+            raise ValueError(
+                f"opinions must have {self.num_nodes} columns, got {array.shape[1]}"
+            )
+        if array.size and (array.min() < 0 or array.max() > self.num_opinions):
+            raise ValueError(
+                f"opinions must be in [0, {self.num_opinions}] (0 = undecided)"
+            )
+        return array
+
+    def _randomness(self, random_state: EnsembleRandomState):
+        return self._random_state if random_state is None else random_state
+
+    def observation_probabilities(
+        self, opinions: np.ndarray, *, include_undecided: bool = True
+    ) -> np.ndarray:
+        """Per-trial observation distribution, shape ``(R, k+1)``.
+
+        Column 0 is the "no opinion observed" mass (the undecided fraction,
+        or 0 when targets are restricted to opinionated nodes); columns
+        ``1..k`` are the noisy opinion masses ``c P`` (Eq. (2) applied to the
+        observation channel).
+        """
+        return self._probabilities(
+            self._validate_opinions(opinions), include_undecided
+        )
+
+    def _probabilities(
+        self, opinions: np.ndarray, include_undecided: bool
+    ) -> np.ndarray:
+        """:meth:`observation_probabilities` minus the (already-done) checks."""
+        counts = opinion_counts_matrix(
+            opinions, self.num_opinions, validate=False
+        )
+        if include_undecided:
+            shares = counts / self.num_nodes
+            none_mass = 1.0 - shares.sum(axis=1, keepdims=True)
+        else:
+            totals = counts.sum(axis=1, keepdims=True)
+            has_support = totals > 0
+            shares = np.divide(
+                counts,
+                totals,
+                out=np.zeros(counts.shape, dtype=float),
+                where=has_support,
+            )
+            # All-undecided trials fall back to "observe nothing" (pool
+            # restriction is vacuous when nobody holds an opinion).
+            none_mass = np.where(has_support, 0.0, 1.0)
+        return np.concatenate([none_mass, shares @ self.noise.matrix], axis=1)
+
+    @staticmethod
+    def _cumulative(probabilities: np.ndarray) -> np.ndarray:
+        """Row-wise CDF with the last column pinned to 1 (uniforms < 1)."""
+        cumulative = probabilities.copy()
+        np.cumsum(cumulative, axis=1, out=cumulative)
+        cumulative[:, -1] = 1.0
+        return cumulative
+
+    @staticmethod
+    def _categorical(cumulative: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+        """Inverse-CDF categories of ``uniforms`` (leading axis = trials)."""
+        outcomes = np.zeros(uniforms.shape, dtype=np.int64)
+        broadcast = (-1,) + (1,) * (uniforms.ndim - 1)
+        for column in range(cumulative.shape[1] - 1):
+            outcomes += uniforms >= cumulative[:, column].reshape(broadcast)
+        return outcomes
+
+    def _uniform_blocks(
+        self, shape, random_state: EnsembleRandomState
+    ) -> np.ndarray:
+        """A ``(R, …)`` block of uniforms: one draw per trial, or one shared.
+
+        In per-trial mode each trial's generator fills its own (contiguous)
+        row — the single RNG interaction that trial makes for the step.
+        """
+        if is_generator_sequence(random_state):
+            generators = as_trial_generators(random_state, shape[0])
+            uniforms = np.empty(shape, dtype=np.float64)
+            for trial, generator in enumerate(generators):
+                generator.random(out=uniforms[trial])
+            return uniforms
+        return as_generator(random_state).random(shape)
+
+    def observe(
+        self,
+        opinions: np.ndarray,
+        sample_size: int,
+        random_state: EnsembleRandomState = None,
+        *,
+        include_undecided: bool = True,
+    ) -> EnsembleReceivedMessages:
+        """Batched :meth:`UniformPullModel.observe` over an ``(R, n)`` matrix.
+
+        Returns the per-trial, per-node counts of (noisy) observed opinions
+        as an :class:`~repro.network.mailbox.EnsembleReceivedMessages`; the
+        node-level counts are distributed exactly as the per-message engine's
+        (independent ``Multinomial(sample_size, (1 - a, c P))`` draws per
+        node).  One uniform block per trial, one batched inverse-CDF pass,
+        one flattened bincount.
+        """
+        sample_size = require_positive_int(sample_size, "sample_size")
+        opinions = self._validate_opinions(opinions)
+        random_state = self._randomness(random_state)
+        num_trials = opinions.shape[0]
+        cumulative = self._cumulative(
+            self._probabilities(opinions, include_undecided)
+        )
+        uniforms = self._uniform_blocks(
+            (num_trials, self.num_nodes, sample_size), random_state
+        )
+        outcomes = self._categorical(cumulative, uniforms)
+        width = self.num_opinions + 1
+        offsets = (
+            np.arange(num_trials * self.num_nodes, dtype=np.int64) * width
+        ).reshape(num_trials, self.num_nodes, 1)
+        flat = np.bincount(
+            (offsets + outcomes).ravel(),
+            minlength=num_trials * self.num_nodes * width,
+        )
+        counts = np.ascontiguousarray(
+            flat.reshape(num_trials, self.num_nodes, width)[..., 1:]
+        )
+        return EnsembleReceivedMessages(counts)
+
+    def observe_single(
+        self,
+        opinions: np.ndarray,
+        random_state: EnsembleRandomState = None,
+    ) -> np.ndarray:
+        """Batched :meth:`UniformPullModel.observe_single`; returns ``(R, n)``.
+
+        Entry 0 marks "observed an undecided node"; one uniform per node per
+        trial is the entire randomness budget of the step.
+        """
+        opinions = self._validate_opinions(opinions)
+        random_state = self._randomness(random_state)
+        cumulative = self._cumulative(self._probabilities(opinions, True))
+        uniforms = self._uniform_blocks(
+            (opinions.shape[0], self.num_nodes), random_state
+        )
+        return self._categorical(cumulative, uniforms)
+
+    def observe_majority_votes(
+        self,
+        opinions: np.ndarray,
+        sample_size: int,
+        random_state: EnsembleRandomState = None,
+        *,
+        include_undecided: bool = True,
+    ) -> np.ndarray:
+        """Each node's ``maj()`` vote over ``sample_size`` observations, fused.
+
+        The hot path of the batched h-majority dynamics: because a trial's
+        nodes observe i.i.d. draws from the same compound channel, each
+        node's majority vote (ties broken uniformly) is itself a categorical
+        variable whose exact law follows from the per-trial observation
+        probabilities via :func:`_majority_vote_table`.  Sampling that law
+        directly costs one uniform per node — equivalent in distribution to
+        :meth:`observe` followed by
+        :meth:`~repro.network.mailbox.EnsembleReceivedMessages.majority_votes`
+        (the test-suite checks the agreement), at a fraction of the work.
+
+        Returns an ``(R, n)`` integer matrix; 0 means "observed no opinion,
+        cast no vote".
+        """
+        sample_size = require_positive_int(sample_size, "sample_size")
+        opinions = self._validate_opinions(opinions)
+        random_state = self._randomness(random_state)
+        if not _vote_table_is_tractable(sample_size, self.num_opinions):
+            # Huge samples: enumerate observations instead of compositions
+            # (same distribution, linear in sample_size like the sequential
+            # engine).
+            received = self.observe(
+                opinions,
+                sample_size,
+                random_state,
+                include_undecided=include_undecided,
+            )
+            return received.majority_votes(random_state)
+        probabilities = self._probabilities(opinions, include_undecided)
+        exponents, coefficients, vote_law = _majority_vote_table(
+            sample_size, self.num_opinions
+        )
+        # (R, C) composition probabilities -> (R, k+1) vote pmf.
+        composition_probabilities = coefficients * np.prod(
+            probabilities[:, np.newaxis, :] ** exponents[np.newaxis, :, :],
+            axis=2,
+        )
+        vote_pmf = composition_probabilities @ vote_law
+        cumulative = self._cumulative(vote_pmf)
+        uniforms = self._uniform_blocks(
+            (opinions.shape[0], self.num_nodes), random_state
+        )
+        return self._categorical(cumulative, uniforms)

@@ -191,15 +191,28 @@ class NoiseMatrix:
             )
         rng = as_generator(random_state)
         flat = opinions.ravel()
-        # Inverse-CDF sampling row by row, vectorized over all messages:
-        # for message with original opinion i, draw U ~ Uniform(0,1) and find
-        # the first column whose cumulative row probability exceeds U.
+        uniforms = rng.random(flat.shape[0])
+        return self.apply_with_uniforms(flat, uniforms).reshape(opinions.shape)
+
+    def apply_with_uniforms(
+        self, opinions: np.ndarray, uniforms: np.ndarray
+    ) -> np.ndarray:
+        """The deterministic kernel of :meth:`apply_to_opinions`.
+
+        Maps each opinion (flat array, labels ``1..k``) through the channel
+        using one caller-supplied ``Uniform(0,1)`` draw per message, by
+        inverse-CDF sampling of the opinion's matrix row.  The batched
+        ensemble engines use this to draw the uniforms per trial (preserving
+        per-trial streams) while applying the channel to the concatenated
+        batch in one vectorized pass; feeding it ``rng.random(m)`` reproduces
+        :meth:`apply_to_opinions` bit for bit.
+        """
+        opinions = np.asarray(opinions)
         cumulative = np.cumsum(self._matrix, axis=1)
         cumulative[:, -1] = 1.0
-        uniforms = rng.random(flat.shape[0])
-        rows = cumulative[flat - 1]
-        received = (uniforms[:, np.newaxis] > rows).sum(axis=1) + 1
-        return received.reshape(opinions.shape).astype(np.int64)
+        rows = cumulative[opinions - 1]
+        received = (np.asarray(uniforms)[:, np.newaxis] > rows).sum(axis=1) + 1
+        return received.astype(np.int64)
 
     def apply_to_counts(
         self, counts: Sequence[int], random_state: RandomState = None

@@ -32,7 +32,9 @@ __all__ = [
 ]
 
 
-def opinion_counts_matrix(opinions: np.ndarray, num_opinions: int) -> np.ndarray:
+def opinion_counts_matrix(
+    opinions: np.ndarray, num_opinions: int, *, validate: bool = True
+) -> np.ndarray:
     """Per-trial opinion histograms of an ``(R, n)`` opinion matrix.
 
     Entry ``(r, i)`` of the result is the number of nodes of trial ``r``
@@ -41,13 +43,17 @@ def opinion_counts_matrix(opinions: np.ndarray, num_opinions: int) -> np.ndarray
     — no Python loop over trials — after validating that every entry lies in
     ``[0, num_opinions]`` (an out-of-range value would otherwise silently
     leak into a neighbouring trial's slice of the flattened bincount).
+    Callers that have already range-checked the matrix may pass
+    ``validate=False`` to skip the extra min/max scans on hot paths.
     """
     opinions = np.asarray(opinions, dtype=np.int64)
     if opinions.ndim != 2:
         raise ValueError(
             f"opinions must be an (R, n) matrix, got shape {opinions.shape}"
         )
-    if opinions.size and (opinions.min() < 0 or opinions.max() > num_opinions):
+    if validate and opinions.size and (
+        opinions.min() < 0 or opinions.max() > num_opinions
+    ):
         raise ValueError(
             f"opinions must lie in [0, {num_opinions}] (0 = undecided); "
             f"got range [{opinions.min()}, {opinions.max()}]"

@@ -31,6 +31,7 @@ __all__ = [
     "is_generator_sequence",
     "as_trial_generators",
     "normalize_ensemble_random_state",
+    "resolve_trial_randomness",
 ]
 
 
@@ -124,6 +125,24 @@ def normalize_ensemble_random_state(
     """
     if is_generator_sequence(random_state):
         return [as_generator(entry) for entry in random_state]
+    return as_generator(random_state)
+
+
+def resolve_trial_randomness(
+    random_state: "EnsembleRandomState", num_trials: int, rng_mode: str
+) -> "EnsembleRandomState":
+    """The randomness an ensemble engine uses for a ``num_trials`` batch.
+
+    The shared policy of every batched engine: an explicit per-trial
+    sequence always wins; otherwise ``rng_mode`` decides between spawning
+    one independent child generator per trial (``"per_trial"``, the
+    trial-by-trial-reproducible default) and driving the whole batch from
+    one shared generator (``"shared"``, fully batched draws).
+    """
+    if is_generator_sequence(random_state):
+        return as_trial_generators(random_state, num_trials)
+    if rng_mode == "per_trial":
+        return as_trial_generators(random_state, num_trials)
     return as_generator(random_state)
 
 

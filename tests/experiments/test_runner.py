@@ -5,15 +5,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.state import EnsembleState
 from repro.experiments.runner import (
     TRIAL_ENGINES,
+    dynamics_trial_outcomes,
     protocol_trial_outcomes,
     repeat_trials,
     summarize,
     sweep_product,
 )
-from repro.experiments.workloads import rumor_instance
-from repro.noise.families import uniform_noise_matrix
+from repro.experiments.workloads import biased_population, rumor_instance
+from repro.noise.families import identity_matrix, uniform_noise_matrix
 
 
 class TestRepeatTrials:
@@ -109,3 +111,80 @@ class TestProtocolTrialOutcomes:
     def test_rejects_unknown_engine(self):
         with pytest.raises(ValueError):
             self.run_engine("bogus")
+
+
+class TestDynamicsTrialOutcomes:
+    NUM_NODES = 300
+
+    def run_engine(self, trial_engine, *, rule="3-majority", sample_size=None,
+                   noise=None, num_trials=4, max_rounds=200, random_state=0):
+        noise = noise if noise is not None else identity_matrix(3)
+        initial = biased_population(self.NUM_NODES, 3, 0.3, random_state=1)
+        return dynamics_trial_outcomes(
+            initial,
+            noise,
+            rule,
+            max_rounds,
+            num_trials,
+            random_state,
+            sample_size=sample_size,
+            target_opinion=1,
+            trial_engine=trial_engine,
+        )
+
+    @pytest.mark.parametrize("trial_engine", TRIAL_ENGINES)
+    def test_returns_one_outcome_per_trial(self, trial_engine):
+        outcomes = self.run_engine(trial_engine)
+        assert len(outcomes) == 4
+        for outcome in outcomes:
+            assert isinstance(outcome.success, bool)
+            assert isinstance(outcome.converged, bool)
+            assert outcome.rounds_executed > 0
+            assert outcome.success == (outcome.consensus_opinion == 1)
+            assert -1.0 <= outcome.final_bias <= 1.0
+
+    @pytest.mark.parametrize("trial_engine", TRIAL_ENGINES)
+    def test_reproducible_with_fixed_seed(self, trial_engine):
+        first = self.run_engine(trial_engine, random_state=3)
+        second = self.run_engine(trial_engine, random_state=3)
+        assert first == second
+
+    def test_engines_agree_on_the_certain_event(self):
+        """Noise-free 3-majority from a solid bias converges on opinion 1
+        under both engines."""
+        batched = self.run_engine("batched")
+        sequential = self.run_engine("sequential")
+        assert all(outcome.success for outcome in batched)
+        assert all(outcome.success for outcome in sequential)
+
+    def test_h_majority_accepts_sample_size(self):
+        outcomes = self.run_engine(
+            "batched", rule="h-majority", sample_size=5
+        )
+        assert len(outcomes) == 4
+
+    def test_accepts_prebuilt_ensemble_state(self):
+        initial = biased_population(self.NUM_NODES, 3, 0.3, random_state=1)
+        ensemble = EnsembleState.from_state(initial, 3)
+        for trial_engine in TRIAL_ENGINES:
+            outcomes = dynamics_trial_outcomes(
+                ensemble, identity_matrix(3), "voter", 50, 3,
+                random_state=0, trial_engine=trial_engine,
+            )
+            assert len(outcomes) == 3
+
+    def test_rejects_num_trials_mismatch_for_ensemble_state(self):
+        initial = biased_population(self.NUM_NODES, 3, 0.3, random_state=1)
+        ensemble = EnsembleState.from_state(initial, 3)
+        with pytest.raises(ValueError):
+            dynamics_trial_outcomes(
+                ensemble, identity_matrix(3), "voter", 50, 4, random_state=0
+            )
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            self.run_engine("bogus")
+
+    def test_rejects_unknown_rule(self):
+        with pytest.raises(ValueError):
+            self.run_engine("batched", rule="bogus")

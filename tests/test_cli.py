@@ -29,6 +29,31 @@ class TestParser:
         assert args.support == 100
         assert args.bias == pytest.approx(0.3)
 
+    def test_dynamics_defaults(self):
+        args = build_parser().parse_args(["dynamics"])
+        assert args.rule == "3-majority"
+        assert args.engine == "batched"
+        assert args.trials == 32
+        assert args.max_rounds == 300
+
+    def test_dynamics_rejects_unknown_rule(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dynamics", "--rule", "bogus"])
+
+    def test_dynamics_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dynamics", "--engine", "bogus"])
+
+    def test_dynamics_h_majority_requires_sample_size(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["dynamics", "--rule", "h-majority", "--nodes", "50"])
+        assert "requires --sample-size" in capsys.readouterr().err
+
+    def test_dynamics_sample_size_rejected_for_other_rules(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["dynamics", "--rule", "voter", "--sample-size", "3"])
+        assert "only applies to --rule h-majority" in capsys.readouterr().err
+
 
 class TestExperimentRegistry:
     def test_every_experiment_has_a_module_with_run(self):
@@ -77,6 +102,46 @@ class TestCommands:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "success               : True" in captured.out
+
+    def test_dynamics_command_batched(self, capsys):
+        exit_code = main(
+            [
+                "dynamics",
+                "--rule", "3-majority",
+                "--nodes", "500",
+                "--opinions", "3",
+                "--epsilon", "0.66",
+                "--bias", "0.3",
+                "--trials", "4",
+                "--max-rounds", "200",
+                "--seed", "0",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "success rate          : 1.0000" in captured.out
+        assert "engine                : batched" in captured.out
+
+    def test_dynamics_command_sequential_engine(self, capsys):
+        exit_code = main(
+            [
+                "dynamics",
+                "--rule", "undecided-state",
+                "--nodes", "300",
+                "--epsilon", "0.6",
+                "--bias", "0.4",
+                "--trials", "2",
+                "--max-rounds", "400",
+                "--engine", "sequential",
+                "--seed", "0",
+            ]
+        )
+        captured = capsys.readouterr()
+        # Exact consensus under residual noise is not guaranteed; the check
+        # here is that the sequential engine routing works end to end.
+        assert exit_code in (0, 1)
+        assert "engine                : sequential" in captured.out
+        assert "convergence rate" in captured.out
 
     def test_plurality_command(self, capsys):
         exit_code = main(
