@@ -1,0 +1,192 @@
+"""Benchmark: the counts (sufficient-statistics) engine at large ``n``.
+
+The acceptance targets of the counts-engine work:
+
+* at ``n = 10^5``, ``R = 64`` (3-majority dynamics, uniform noise
+  ``eps = 0.3``, ``k = 3``, run to convergence/round cap) the counts engine
+  must be at least **20x** faster than the batched ``(R, n)`` engine — in
+  practice it is thousands of times faster, because its per-round cost is
+  ``O(k^2)`` per trial regardless of ``n``;
+* at ``n = 10^6``, ``R = 64`` the same workload must finish in seconds —
+  the batched engine would need a ~0.5 GB opinion matrix per temporary just
+  to start.
+
+A full two-stage protocol ensemble at ``n = 10^6`` is measured as well (the
+counts protocol executors never allocate an ``n``-sized array either).  All
+measurements are recorded to ``BENCH_counts.json`` in one schema-versioned
+document via :func:`record.record_benchmark_results`, and CI prints that
+file on every run.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_counts_engine.py -s \
+        -o python_files="bench_*.py"
+
+``test_counts_speedup_and_scale`` asserts the targets directly with
+``time.perf_counter`` so it also runs without the pytest-benchmark plugin.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from record import record_benchmark_results
+
+from repro.core.protocol import CountsProtocol
+from repro.dynamics import (
+    EnsembleCountsThreeMajorityDynamics,
+    EnsembleThreeMajorityDynamics,
+)
+from repro.experiments.workloads import biased_population, rumor_instance
+from repro.noise.families import uniform_noise_matrix
+
+NUM_TRIALS = 64
+NUM_OPINIONS = 3
+EPSILON = 0.3
+INITIAL_BIAS = 0.1
+MAX_ROUNDS = 40
+SPEEDUP_NODES = 100_000
+MILLION_NODES = 1_000_000
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_counts.json"
+
+
+def make_workload(num_nodes: int):
+    noise = uniform_noise_matrix(NUM_OPINIONS, EPSILON)
+    initial_state = biased_population(
+        num_nodes, NUM_OPINIONS, INITIAL_BIAS, random_state=0
+    )
+    return noise, initial_state
+
+
+def run_counts(num_nodes: int, seed: int = 0, max_rounds: int = MAX_ROUNDS):
+    """3-majority to convergence (or the round cap) on the counts engine."""
+    noise, initial_state = make_workload(num_nodes)
+    dynamic = EnsembleCountsThreeMajorityDynamics(
+        num_nodes, noise, random_state=seed
+    )
+    return dynamic.run(
+        initial_state, max_rounds, NUM_TRIALS, target_opinion=1,
+        record_history=False,
+    )
+
+
+def run_batched(num_nodes: int, seed: int = 0, max_rounds: int = MAX_ROUNDS):
+    """The same workload on the batched (R, n) engine."""
+    noise, initial_state = make_workload(num_nodes)
+    dynamic = EnsembleThreeMajorityDynamics(
+        num_nodes, noise, random_state=seed
+    )
+    return dynamic.run(
+        initial_state, max_rounds, NUM_TRIALS, target_opinion=1,
+        record_history=False,
+    )
+
+
+def run_counts_protocol(num_nodes: int, seed: int = 0):
+    """A full two-stage protocol ensemble on the counts engine."""
+    noise = uniform_noise_matrix(NUM_OPINIONS, EPSILON)
+    initial_state = rumor_instance(num_nodes, NUM_OPINIONS, 1)
+    return CountsProtocol(
+        num_nodes, noise, epsilon=EPSILON, random_state=seed
+    ).run(initial_state, NUM_TRIALS, target_opinion=1)
+
+
+def test_bench_counts_dynamics_million_nodes(benchmark):
+    """A 64-trial 3-majority batch at n = 10^6 through the counts engine."""
+    result = benchmark.pedantic(
+        run_counts, args=(MILLION_NODES,), rounds=1, iterations=1,
+        warmup_rounds=0,
+    )
+    assert result.num_trials == NUM_TRIALS
+
+
+def test_bench_counts_protocol_million_nodes(benchmark):
+    """A 64-trial two-stage protocol ensemble at n = 10^6, counts engine."""
+    result = benchmark.pedantic(
+        run_counts_protocol, args=(MILLION_NODES,), rounds=1, iterations=1,
+        warmup_rounds=0,
+    )
+    assert result.num_trials == NUM_TRIALS
+
+
+def test_counts_speedup_and_scale():
+    """The counts engine is >= 20x faster than the batched engine at
+    n = 10^5, and runs n = 10^6 (dynamics and protocol) in seconds; the
+    measurements land together in BENCH_counts.json."""
+    run_counts(SPEEDUP_NODES)  # warm the vote-law table cache
+
+    started = time.perf_counter()
+    counts = run_counts(SPEEDUP_NODES)
+    counts_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched = run_batched(SPEEDUP_NODES)
+    batched_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    million = run_counts(MILLION_NODES)
+    million_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    protocol = run_counts_protocol(MILLION_NODES)
+    protocol_seconds = time.perf_counter() - started
+
+    speedup = batched_seconds / counts_seconds
+    entries = record_benchmark_results(
+        RESULTS_PATH,
+        {
+            "counts_dynamics_3majority_speedup": {
+                "num_nodes": SPEEDUP_NODES,
+                "num_trials": NUM_TRIALS,
+                "num_opinions": NUM_OPINIONS,
+                "epsilon": EPSILON,
+                "max_rounds": MAX_ROUNDS,
+                "counts_seconds": round(counts_seconds, 4),
+                "batched_seconds": round(batched_seconds, 4),
+                "speedup": round(speedup, 2),
+            },
+            "counts_dynamics_3majority_million": {
+                "num_nodes": MILLION_NODES,
+                "num_trials": NUM_TRIALS,
+                "num_opinions": NUM_OPINIONS,
+                "epsilon": EPSILON,
+                "max_rounds": MAX_ROUNDS,
+                "counts_seconds": round(million_seconds, 4),
+            },
+            "counts_protocol_million": {
+                "num_nodes": MILLION_NODES,
+                "num_trials": NUM_TRIALS,
+                "num_opinions": NUM_OPINIONS,
+                "epsilon": EPSILON,
+                "counts_seconds": round(protocol_seconds, 4),
+                "total_rounds": protocol.total_rounds,
+                "success_rate": protocol.success_rate,
+            },
+        },
+    )
+    print(
+        f"\nn={SPEEDUP_NODES:,}, R={NUM_TRIALS} (3-majority, noisy): "
+        f"counts {counts_seconds:.3f} s, batched {batched_seconds:.3f} s "
+        f"-> speedup {speedup:.0f}x"
+        f"\nn={MILLION_NODES:,}, R={NUM_TRIALS}: dynamics "
+        f"{million_seconds:.3f} s, two-stage protocol {protocol_seconds:.1f} s "
+        f"(recorded to {RESULTS_PATH.name})"
+    )
+    assert counts.num_trials == NUM_TRIALS
+    assert batched.num_trials == NUM_TRIALS
+    assert million.num_trials == NUM_TRIALS
+    assert protocol.success_rate > 0.9
+    assert set(entries) == {
+        "counts_dynamics_3majority_speedup",
+        "counts_dynamics_3majority_million",
+        "counts_protocol_million",
+    }
+    assert speedup >= 20.0, (
+        f"counts engine only {speedup:.1f}x faster than the batched engine "
+        f"at n = {SPEEDUP_NODES:,} (target: >= 20x)"
+    )
+    assert million_seconds < 30.0, (
+        f"n = 10^6 counts dynamics took {million_seconds:.1f} s "
+        "(target: seconds, < 30 s)"
+    )

@@ -1,10 +1,11 @@
 """Machine-readable benchmark recording.
 
-The speedup benchmarks (``bench_ensemble.py``, ``bench_ensemble_dynamics.py``)
-assert their acceptance targets with plain ``time.perf_counter`` timings; this
-helper persists those measurements as JSON so the performance trajectory of
-the repo is tracked as data rather than only as pass/fail assertions.  The CI
-benchmark step prints the recorded file after running the benchmark.
+The speedup benchmarks (``bench_ensemble.py``, ``bench_ensemble_dynamics.py``,
+``bench_counts_engine.py``) assert their acceptance targets with plain
+``time.perf_counter`` timings; this helper persists those measurements as
+JSON so the performance trajectory of the repo is tracked as data rather than
+only as pass/fail assertions.  The CI benchmark step prints the recorded
+files after running the benchmarks.
 
 The schema is deliberately small::
 
@@ -20,8 +21,11 @@ The schema is deliberately small::
       }
     }
 
-Repeated runs overwrite their own entry and leave the others untouched, so
-one file can accumulate every benchmark's latest numbers.
+Repeated runs overwrite their own entries and leave the others untouched, so
+one file can accumulate every benchmark's latest numbers.  A benchmark that
+measures several workloads (e.g. protocol + dynamics + speedup in
+``bench_counts_engine.py``) records them in one shot with
+:func:`record_benchmark_results`, which performs a single read-merge-write.
 """
 
 from __future__ import annotations
@@ -30,13 +34,17 @@ import json
 import platform
 import time
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Mapping, Union
 
 import numpy as np
 
 SCHEMA_VERSION = 1
 
-__all__ = ["record_benchmark_result", "load_benchmark_results"]
+__all__ = [
+    "record_benchmark_result",
+    "record_benchmark_results",
+    "load_benchmark_results",
+]
 
 
 def load_benchmark_results(path: Union[str, Path]) -> Dict[str, Any]:
@@ -55,22 +63,40 @@ def load_benchmark_results(path: Union[str, Path]) -> Dict[str, Any]:
     return {"schema": SCHEMA_VERSION, "benchmarks": {}}
 
 
-def record_benchmark_result(
-    path: Union[str, Path], name: str, metrics: Dict[str, Any]
-) -> Dict[str, Any]:
-    """Merge one benchmark's ``metrics`` into the JSON document at ``path``.
-
-    Environment provenance (timestamp, python and numpy versions) is stamped
-    automatically; the updated entry is returned.
-    """
-    path = Path(path)
-    document = load_benchmark_results(path)
-    entry = {
+def _stamped_entry(metrics: Mapping[str, Any]) -> Dict[str, Any]:
+    """Caller metrics plus the automatic environment provenance."""
+    return {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "numpy": np.__version__,
         **metrics,
     }
-    document["benchmarks"][name] = entry
+
+
+def record_benchmark_results(
+    path: Union[str, Path], entries: Mapping[str, Mapping[str, Any]]
+) -> Dict[str, Dict[str, Any]]:
+    """Merge several benchmarks' metrics into the JSON document at ``path``.
+
+    ``entries`` maps benchmark name to its metrics dictionary; every entry
+    is stamped with environment provenance (timestamp, python and numpy
+    versions), existing entries under other names are left untouched, and
+    the whole document is written once.  Returns the stamped entries.
+    """
+    path = Path(path)
+    document = load_benchmark_results(path)
+    stamped = {name: _stamped_entry(metrics) for name, metrics in entries.items()}
+    document["benchmarks"].update(stamped)
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
-    return entry
+    return stamped
+
+
+def record_benchmark_result(
+    path: Union[str, Path], name: str, metrics: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Merge one benchmark's ``metrics`` into the JSON document at ``path``.
+
+    Single-entry convenience wrapper over :func:`record_benchmark_results`;
+    the updated (stamped) entry is returned.
+    """
+    return record_benchmark_results(path, {name: metrics})[name]

@@ -32,6 +32,7 @@ True
 from repro.core.memory import memory_bound_bits, protocol_memory_usage
 from repro.core.plurality import PluralityConsensus, PluralityInstance
 from repro.core.protocol import (
+    CountsProtocol,
     EnsembleProtocol,
     EnsembleResult,
     ProtocolResult,
@@ -40,18 +41,30 @@ from repro.core.protocol import (
 )
 from repro.core.rumor import RumorSpreading, RumorSpreadingInstance
 from repro.core.schedule import ProtocolSchedule, Stage1Schedule, Stage2Schedule
-from repro.core.state import EnsembleState, PopulationState
+from repro.core.state import (
+    CountsState,
+    EnsembleCountsState,
+    EnsembleState,
+    PopulationState,
+)
 from repro.dynamics import (
     DYNAMICS_RULES,
+    CountsDynamicsResult,
+    EnsembleCountsDynamics,
     EnsembleDynamicsResult,
     EnsembleOpinionDynamics,
+    make_counts_dynamics,
     make_dynamics,
     make_ensemble_dynamics,
 )
-from repro.network.balls_bins import BallsIntoBinsProcess
+from repro.network.balls_bins import BallsIntoBinsProcess, CountsDeliveryModel
 from repro.network.mailbox import EnsembleReceivedMessages, ReceivedMessages
 from repro.network.poisson_model import PoissonizedProcess
-from repro.network.pull_model import EnsemblePullModel, UniformPullModel
+from repro.network.pull_model import (
+    CountsPullModel,
+    EnsemblePullModel,
+    UniformPullModel,
+)
 from repro.network.push_model import UniformPushModel
 from repro.network.topology import GraphPushModel, standard_topology
 from repro.noise.estimation import (
@@ -81,7 +94,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BallsIntoBinsProcess",
+    "CountsDeliveryModel",
+    "CountsDynamicsResult",
+    "CountsProtocol",
+    "CountsPullModel",
+    "CountsState",
     "DYNAMICS_RULES",
+    "EnsembleCountsDynamics",
+    "EnsembleCountsState",
     "EnsembleDynamicsResult",
     "EnsembleOpinionDynamics",
     "EnsembleProtocol",
@@ -117,6 +137,7 @@ __all__ = [
     "estimate_noise_matrix",
     "estimation_error",
     "identity_matrix",
+    "make_counts_dynamics",
     "make_dynamics",
     "make_engine",
     "make_ensemble_dynamics",

@@ -11,15 +11,20 @@ The CLI exposes the most common workflows without writing Python:
   --support 400 --bias 0.2`` — run one plurality-consensus instance;
 * ``python -m repro ensemble --nodes 2000 --opinions 3 --epsilon 0.3
   --trials 32`` — run a batch of independent rumor-spreading trials through
-  the vectorized ensemble engine (or the sequential reference loop with
-  ``--engine sequential``) and print the batch statistics plus throughput;
+  the vectorized ensemble engine (``--engine counts`` for the
+  sufficient-statistics engine that scales to millions of nodes,
+  ``--engine sequential`` for the reference loop, ``--engine auto`` to
+  switch to counts above ``--counts-threshold`` nodes) and print the batch
+  statistics plus throughput;
 * ``python -m repro dynamics --rule 3-majority --nodes 2000 --trials 32`` —
   run a batch of independent baseline-dynamics trials (voter, 3-majority,
   h-majority, undecided-state, median rule) on the noisy pull substrate,
-  batched by default (``--engine sequential`` for the reference loop).
+  with the same ``--engine`` choices.
 
-Every command accepts ``--seed`` for reproducibility.  The CLI is a thin
-layer over the public API; anything it prints can also be obtained
+``run-experiment`` accepts the same ``--engine`` / ``--counts-threshold``
+pair and overrides the experiment config's trial engine with it.  Every
+command accepts ``--seed`` for reproducibility.  The CLI is a thin layer
+over the public API; anything it prints can also be obtained
 programmatically (see README).
 """
 
@@ -52,10 +57,12 @@ from repro.experiments import (
 )
 from repro.dynamics import DYNAMICS_RULES
 from repro.experiments.runner import (
-    TRIAL_ENGINES,
+    TRIAL_ENGINE_CHOICES,
     dynamics_trial_outcomes,
     protocol_trial_outcomes,
+    resolve_trial_engine,
 )
+from repro.network.pull_model import vote_table_is_tractable
 from repro.experiments.workloads import (
     biased_population,
     plurality_instance_with_bias,
@@ -105,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the full() configuration instead of quick()",
     )
     run_parser.add_argument("--seed", type=int, default=0)
+    _add_engine_arguments(run_parser, default=None)
 
     rumor_parser = subparsers.add_parser(
         "rumor", help="run one noisy rumor-spreading instance"
@@ -137,11 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trials", type=int, default=32,
         help="number of independent trials R (default 32)",
     )
-    ensemble_parser.add_argument(
-        "--engine", choices=TRIAL_ENGINES, default="batched",
-        help="batched vectorized ensemble (default) or the sequential "
-             "reference loop",
-    )
+    _add_engine_arguments(ensemble_parser)
 
     dynamics_parser = subparsers.add_parser(
         "dynamics",
@@ -168,12 +172,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--trials", type=int, default=32,
         help="number of independent trials R (default 32)",
     )
-    dynamics_parser.add_argument(
-        "--engine", choices=TRIAL_ENGINES, default="batched",
-        help="batched vectorized ensemble (default) or the sequential "
-             "reference loop",
-    )
+    _add_engine_arguments(dynamics_parser)
     return parser
+
+
+def _add_engine_arguments(
+    parser: argparse.ArgumentParser, default: Optional[str] = "batched"
+) -> None:
+    """The shared ``--engine`` / ``--counts-threshold`` options.
+
+    Every trial-running subcommand (``ensemble``, ``dynamics``,
+    ``run-experiment``) accepts the same engine vocabulary; for
+    ``run-experiment`` the default is ``None`` (keep the experiment
+    config's own engine choice).
+    """
+    parser.add_argument(
+        "--engine", choices=TRIAL_ENGINE_CHOICES, default=default,
+        help="trial engine: batched (R,n) vectorized ensemble, counts "
+             "(R,k) sufficient statistics, sequential reference loop, or "
+             "auto (counts above --counts-threshold nodes)"
+             + ("" if default is None else f" (default {default})"),
+    )
+    parser.add_argument(
+        "--counts-threshold", type=int, default=None, metavar="N",
+        help="population size at which --engine auto switches to the "
+             "counts engine (default: runner.DEFAULT_COUNTS_THRESHOLD)",
+    )
+
+
+def _validate_engine_arguments(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> None:
+    """Uniform validation of the shared engine options."""
+    if args.counts_threshold is not None and args.counts_threshold < 1:
+        parser.error("--counts-threshold must be >= 1")
+    if args.counts_threshold is not None and args.engine != "auto":
+        parser.error("--counts-threshold only applies to --engine auto")
 
 
 def _experiment_key(experiment_id: str) -> int:
@@ -198,7 +232,11 @@ def _command_list_experiments() -> int:
     return 0
 
 
-def _command_run_experiment(args: argparse.Namespace) -> int:
+def _command_run_experiment(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    from repro.experiments import runner as runner_module
+
     module, _ = EXPERIMENTS[args.experiment]
     config_cls = None
     for attribute in vars(module).values():
@@ -208,7 +246,23 @@ def _command_run_experiment(args: argparse.Namespace) -> int:
     config = None
     if config_cls is not None:
         config = config_cls.full() if args.full else config_cls.quick()
-    table = module.run(config, random_state=args.seed)
+    if args.engine is not None:
+        if config is None or not hasattr(config, "trial_engine"):
+            parser.error(
+                f"experiment {args.experiment} does not run repeated trials "
+                "through a selectable engine (no trial_engine in its config)"
+            )
+        config.trial_engine = args.engine
+    try:
+        if args.counts_threshold is not None:
+            # Experiment configs only carry an engine name, so the auto
+            # switch-over point goes through the process default — restored
+            # afterwards so programmatic main() callers are unaffected.
+            runner_module.set_default_counts_threshold(args.counts_threshold)
+        table = module.run(config, random_state=args.seed)
+    finally:
+        if args.counts_threshold is not None:
+            runner_module.set_default_counts_threshold(None)
     print(table.to_text())
     return 0
 
@@ -255,6 +309,9 @@ def _command_plurality(args: argparse.Namespace) -> int:
 def _command_ensemble(args: argparse.Namespace) -> int:
     noise = uniform_noise_matrix(args.opinions, args.epsilon)
     initial_state = rumor_instance(args.nodes, args.opinions, 1)
+    engine = resolve_trial_engine(
+        args.engine, args.nodes, args.counts_threshold
+    )
     started = time.perf_counter()
     outcomes = protocol_trial_outcomes(
         initial_state,
@@ -263,7 +320,7 @@ def _command_ensemble(args: argparse.Namespace) -> int:
         args.trials,
         args.seed,
         target_opinion=1,
-        trial_engine=args.engine,
+        trial_engine=engine,
     )
     elapsed = time.perf_counter() - started
     successes = sum(outcome.success for outcome in outcomes)
@@ -277,7 +334,7 @@ def _command_ensemble(args: argparse.Namespace) -> int:
     print(f"opinions              : {args.opinions}")
     print(f"noise matrix          : {noise.name}")
     print(f"trials                : {args.trials}")
-    print(f"engine                : {args.engine}")
+    print(f"engine                : {engine}")
     print(f"success rate          : {successes / args.trials:.4f}")
     print(f"mean rounds           : {float(np.mean(rounds)):.1f}")
     if biases:
@@ -298,6 +355,19 @@ def _command_dynamics(args: argparse.Namespace, parser: argparse.ArgumentParser)
     initial_state = biased_population(
         args.nodes, args.opinions, args.bias, random_state=args.seed
     )
+    engine = resolve_trial_engine(
+        args.engine, args.nodes, args.counts_threshold
+    )
+    if (
+        engine == "counts"
+        and args.sample_size is not None
+        and not vote_table_is_tractable(args.sample_size, args.opinions)
+    ):
+        parser.error(
+            f"--sample-size {args.sample_size} with {args.opinions} opinions "
+            "exceeds the counts engine's closed-form maj() table budget; "
+            "use --engine batched"
+        )
     started = time.perf_counter()
     outcomes = dynamics_trial_outcomes(
         initial_state,
@@ -308,7 +378,7 @@ def _command_dynamics(args: argparse.Namespace, parser: argparse.ArgumentParser)
         args.seed,
         sample_size=args.sample_size,
         target_opinion=1,
-        trial_engine=args.engine,
+        trial_engine=engine,
     )
     elapsed = time.perf_counter() - started
     successes = sum(outcome.success for outcome in outcomes)
@@ -320,7 +390,7 @@ def _command_dynamics(args: argparse.Namespace, parser: argparse.ArgumentParser)
     print(f"noise matrix          : {noise.name}")
     print(f"rule                  : {args.rule}")
     print(f"trials                : {args.trials}")
-    print(f"engine                : {args.engine}")
+    print(f"engine                : {engine}")
     print(f"convergence rate      : {converged / args.trials:.4f}")
     print(f"success rate          : {successes / args.trials:.4f}")
     print(f"mean rounds           : {float(np.mean(rounds)):.1f}")
@@ -334,10 +404,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if hasattr(args, "engine"):
+        _validate_engine_arguments(args, parser)
     if args.command == "list-experiments":
         return _command_list_experiments()
     if args.command == "run-experiment":
-        return _command_run_experiment(args)
+        return _command_run_experiment(args, parser)
     if args.command == "rumor":
         return _command_rumor(args)
     if args.command == "plurality":

@@ -22,19 +22,27 @@ import numpy as np
 
 from repro.core.schedule import ProtocolSchedule
 from repro.core.stage1 import (
+    CountsStage1Executor,
     EnsembleStage1Executor,
     EnsembleStage1PhaseRecord,
     Stage1Executor,
     Stage1PhaseRecord,
 )
 from repro.core.stage2 import (
+    CountsStage2Executor,
     EnsembleStage2Executor,
     EnsembleStage2PhaseRecord,
     Stage2Executor,
     Stage2PhaseRecord,
 )
-from repro.core.state import EnsembleState, PopulationState
-from repro.network.balls_bins import BallsIntoBinsProcess
+from repro.core.state import (
+    CountsState,
+    EnsembleCountsState,
+    EnsembleState,
+    PopulationState,
+    coerce_to_ensemble_counts,
+)
+from repro.network.balls_bins import BallsIntoBinsProcess, CountsDeliveryModel
 from repro.network.poisson_model import PoissonizedProcess
 from repro.network.push_model import UniformPushModel
 from repro.noise.matrix import NoiseMatrix
@@ -50,6 +58,7 @@ __all__ = [
     "ProtocolResult",
     "EnsembleProtocol",
     "EnsembleResult",
+    "CountsProtocol",
     "make_engine",
 ]
 
@@ -583,6 +592,137 @@ class EnsembleProtocol:
             sampling_method=self.sampling_method,
             use_full_multiset=self.use_full_multiset,
         )
+        final_states, stage2_records = stage2.run(
+            state_after_stage1, track_opinion=target_opinion
+        )
+        total_rounds = int(
+            sum(record.num_rounds for record in stage1_records)
+            + sum(record.num_rounds for record in stage2_records)
+        )
+        return EnsembleResult(
+            final_states=final_states,
+            target_opinion=target_opinion,
+            successes=final_states.consensus_mask(target_opinion),
+            total_rounds=total_rounds,
+            stage1_records=stage1_records,
+            stage2_records=stage2_records,
+        )
+
+
+class CountsProtocol:
+    """Run ``R`` protocol trials on ``(R, k)`` sufficient statistics.
+
+    The third engine tier of the two-stage protocol: per-phase cost is
+    ``O(k^2)`` per trial — *independent of the population size* — because
+    both stages are driven entirely by the opinion-count vector.  Phase
+    message histograms are re-colored exactly (Claim 1's balls-into-bins
+    reformulation) and the bin-throwing step is summarized under the
+    Poissonized process P (Definition 4), the paper's own analysis device;
+    Lemma 2 bounds its distance from the real push process, and the
+    engine-agreement test-suite checks the resulting statistics against the
+    ``batched``/``sequential`` engines.  This is the engine that runs
+    ``n = 10^6`` (and beyond) protocol ensembles in seconds.
+
+    The constructor mirrors :class:`EnsembleProtocol` minus the delivery
+    knobs that require per-node state: there is no ``process``/``engine``
+    choice (delivery is always the counts model) and the Stage-2 sampling
+    ablations are rejected by :class:`~repro.core.stage2.CountsStage2Executor`.
+
+    Parameters
+    ----------
+    num_nodes, noise, schedule, epsilon, round_scale:
+        As in :class:`TwoStageProtocol`.
+    random_state, rng_mode:
+        As in :class:`EnsembleProtocol` (per-trial child streams by
+        default, so a counts batch is bitwise reproducible trial by trial).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        noise: NoiseMatrix,
+        *,
+        schedule: Optional[ProtocolSchedule] = None,
+        epsilon: Optional[float] = None,
+        random_state: EnsembleRandomState = None,
+        rng_mode: str = "per_trial",
+        round_scale: float = 1.0,
+    ) -> None:
+        if schedule is None and epsilon is None:
+            raise ValueError("either schedule or epsilon must be provided")
+        if rng_mode not in {"per_trial", "shared"}:
+            raise ValueError(
+                f"rng_mode must be 'per_trial' or 'shared', got {rng_mode!r}"
+            )
+        self.num_nodes = int(num_nodes)
+        self.noise = noise
+        self.epsilon = epsilon
+        self.rng_mode = rng_mode
+        self.round_scale = round_scale
+        self._schedule = schedule
+        self._random_state = random_state
+        self.delivery = CountsDeliveryModel(self.num_nodes, noise)
+
+    def build_schedule(self, initial_opinionated: int = 1) -> ProtocolSchedule:
+        """The schedule used by :meth:`run` (built lazily when not supplied)."""
+        if self._schedule is not None:
+            return self._schedule
+        return ProtocolSchedule.for_population(
+            self.num_nodes,
+            float(self.epsilon),
+            initial_opinionated=max(1, initial_opinionated),
+            round_scale=self.round_scale,
+        )
+
+    def _trial_randomness(self, num_trials: int) -> EnsembleRandomState:
+        return resolve_trial_randomness(
+            self._random_state, num_trials, self.rng_mode
+        )
+
+    def run(
+        self,
+        initial_state: Union[
+            PopulationState, EnsembleState, CountsState, EnsembleCountsState
+        ],
+        num_trials: Optional[int] = None,
+        *,
+        target_opinion: Optional[int] = None,
+    ) -> EnsembleResult:
+        """Execute ``num_trials`` trials from ``initial_state``.
+
+        The counts mirror of :meth:`EnsembleProtocol.run`; per-node initial
+        states are reduced to their sufficient statistics on entry, and the
+        returned :class:`EnsembleResult` carries an
+        :class:`~repro.core.state.EnsembleCountsState` as ``final_states``
+        (same accessor API as the batched result).
+        """
+        ensemble = coerce_to_ensemble_counts(initial_state, num_trials)
+        if ensemble.num_nodes != self.num_nodes:
+            raise ValueError(
+                f"initial state has {ensemble.num_nodes} nodes but the "
+                f"protocol was built for {self.num_nodes}"
+            )
+        if ensemble.num_opinions != self.noise.num_opinions:
+            raise ValueError(
+                "initial state and noise matrix disagree on the number of "
+                f"opinions ({ensemble.num_opinions} vs {self.noise.num_opinions})"
+            )
+        if target_opinion is None:
+            target_opinion = ensemble.pooled_plurality_opinion()
+        if target_opinion <= 0:
+            raise ValueError(
+                "target_opinion could not be inferred: the initial ensemble "
+                "has no opinionated node"
+            )
+        schedule = self.build_schedule(
+            int(ensemble.opinionated_counts().min())
+        )
+        randomness = self._trial_randomness(ensemble.num_trials)
+        stage1 = CountsStage1Executor(self.delivery, schedule.stage1, randomness)
+        state_after_stage1, stage1_records = stage1.run(
+            ensemble, track_opinion=target_opinion
+        )
+        stage2 = CountsStage2Executor(self.delivery, schedule.stage2, randomness)
         final_states, stage2_records = stage2.run(
             state_after_stage1, track_opinion=target_opinion
         )

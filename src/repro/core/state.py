@@ -19,11 +19,19 @@ by the rumor-spreading and plurality-consensus instances.
 ``R`` independent trials as an ``(R, n)`` matrix so that multi-trial
 experiments can evolve all trials with single vectorized numpy operations
 instead of a Python-level loop over :class:`PopulationState` runs.
+
+:class:`CountsState` / :class:`EnsembleCountsState` are the third tier: on
+the complete graph every engine rule is exchangeable over nodes, so the
+opinion-count vector ``(c_1, …, c_k)`` (plus ``n``) is a *sufficient
+statistic* of the population.  The counts states store only that vector —
+``(k,)`` for one trial, ``(R, k)`` for an ensemble — which is what lets the
+counts engines simulate millions of nodes in ``O(k)`` memory per trial,
+never materializing an ``n``-sized array.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -31,7 +39,13 @@ from repro.utils.multiset import opinion_counts_matrix
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import require_positive_int
 
-__all__ = ["PopulationState", "EnsembleState"]
+__all__ = [
+    "PopulationState",
+    "EnsembleState",
+    "CountsState",
+    "EnsembleCountsState",
+    "coerce_to_ensemble_counts",
+]
 
 UNDECIDED = 0
 
@@ -191,10 +205,10 @@ class PopulationState:
         return self.opinionated_count() / self.num_nodes
 
     def opinion_counts(self) -> np.ndarray:
-        """Number of supporters of each opinion (length ``k``)."""
+        """Number of supporters of each opinion (length ``k``, int64)."""
         return np.bincount(
             self.opinions, minlength=self.num_opinions + 1
-        )[1:]
+        )[1:].astype(np.int64, copy=False)
 
     def opinion_distribution(self) -> np.ndarray:
         """The paper's ``c(t)``: per-opinion fraction of **all** nodes.
@@ -469,3 +483,384 @@ class EnsembleState:
             f"EnsembleState(R={self.num_trials}, n={self.num_nodes}, "
             f"k={self.num_opinions})"
         )
+
+
+class CountsState:
+    """The sufficient statistic of one trial: per-opinion supporter counts.
+
+    On the complete graph node identities are exchangeable, so a population
+    is fully described (in distribution) by how many nodes support each
+    opinion; the remaining ``num_nodes - sum(counts)`` nodes are undecided.
+    All arithmetic is int64 end-to-end so populations beyond ``2**31`` nodes
+    cannot silently overflow on platforms whose default int is 32-bit.
+
+    Parameters
+    ----------
+    counts:
+        Integer vector of length ``k``; entry ``i`` is the number of nodes
+        supporting opinion ``i + 1``.
+    num_nodes:
+        Population size ``n`` (must be at least ``sum(counts)``).
+    """
+
+    def __init__(self, counts: Sequence[int], num_nodes: int) -> None:
+        self.num_nodes = require_positive_int(num_nodes, "num_nodes")
+        array = np.asarray(counts, dtype=np.int64).copy()
+        if array.ndim != 1 or array.size == 0:
+            raise ValueError(
+                f"counts must be a non-empty vector, got shape {array.shape}"
+            )
+        if array.min() < 0:
+            raise ValueError("opinion counts must be non-negative")
+        if int(array.sum()) > self.num_nodes:
+            raise ValueError(
+                f"opinion counts sum to {int(array.sum())} > num_nodes = "
+                f"{self.num_nodes}"
+            )
+        self.counts = array
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_state(cls, state: PopulationState) -> "CountsState":
+        """The sufficient statistic of a full :class:`PopulationState`."""
+        return cls(state.opinion_counts(), state.num_nodes)
+
+    @classmethod
+    def single_source(
+        cls, num_nodes: int, num_opinions: int, source_opinion: int
+    ) -> "CountsState":
+        """The rumor-spreading initial state: one source, rest undecided."""
+        num_opinions = require_positive_int(num_opinions, "num_opinions")
+        if not (1 <= source_opinion <= num_opinions):
+            raise ValueError(
+                f"source_opinion must be in [1, {num_opinions}], got {source_opinion}"
+            )
+        counts = np.zeros(num_opinions, dtype=np.int64)
+        counts[source_opinion - 1] = 1
+        return cls(counts, num_nodes)
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities (mirroring PopulationState)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_opinions(self) -> int:
+        """Number of opinions ``k``."""
+        return int(self.counts.shape[0])
+
+    def copy(self) -> "CountsState":
+        """An independent copy of this state."""
+        return CountsState(self.counts.copy(), self.num_nodes)
+
+    def opinion_counts(self) -> np.ndarray:
+        """Number of supporters of each opinion (length ``k``, int64)."""
+        return self.counts.copy()
+
+    def opinionated_count(self) -> int:
+        """Number of opinionated nodes."""
+        return int(self.counts.sum())
+
+    def opinionated_fraction(self) -> float:
+        """The paper's ``a(t)``: the fraction of opinionated nodes."""
+        return self.opinionated_count() / self.num_nodes
+
+    def opinion_distribution(self) -> np.ndarray:
+        """The paper's ``c(t)``: per-opinion fraction of **all** nodes."""
+        return self.counts / self.num_nodes
+
+    def bias_toward(self, opinion: int) -> float:
+        """``min_{i != opinion} (c_opinion - c_i)`` (Definition 1)."""
+        if not (1 <= opinion <= self.num_opinions):
+            raise ValueError(
+                f"opinion must be in [1, {self.num_opinions}], got {opinion}"
+            )
+        distribution = self.opinion_distribution()
+        if self.num_opinions == 1:
+            return float(distribution[0])
+        rivals = np.delete(distribution, opinion - 1)
+        return float(distribution[opinion - 1] - rivals.max())
+
+    def plurality_opinion(self) -> int:
+        """The most supported opinion (smallest label wins ties), 0 if none."""
+        if self.counts.sum() == 0:
+            return 0
+        return int(np.argmax(self.counts)) + 1
+
+    def has_consensus_on(self, opinion: int) -> bool:
+        """``True`` iff every node supports ``opinion``."""
+        if not (1 <= opinion <= self.num_opinions):
+            return False
+        return int(self.counts[opinion - 1]) == self.num_nodes
+
+    def to_population_state(
+        self, random_state: RandomState = None, *, shuffle: bool = True
+    ) -> PopulationState:
+        """Materialize a full ``n``-node population with these counts.
+
+        Interop helper for the per-node engines and plotting; note this
+        allocates an ``n``-sized array, which the counts engines themselves
+        never do.
+        """
+        opinion_counts = {
+            index + 1: int(count)
+            for index, count in enumerate(self.counts)
+            if count > 0
+        }
+        return PopulationState.from_counts(
+            self.num_nodes,
+            opinion_counts,
+            self.num_opinions,
+            random_state,
+            shuffle=shuffle,
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CountsState):
+            return NotImplemented
+        return self.num_nodes == other.num_nodes and bool(
+            np.array_equal(self.counts, other.counts)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CountsState(n={self.num_nodes}, k={self.num_opinions}, "
+            f"opinionated={self.opinionated_count()})"
+        )
+
+
+class EnsembleCountsState:
+    """The sufficient statistics of ``R`` independent trials: an ``(R, k)``
+    int64 count matrix.
+
+    Row ``r`` holds trial ``r``'s per-opinion supporter counts; the trial's
+    remaining ``num_nodes - counts[r].sum()`` nodes are undecided.  This is
+    the state the counts engines evolve: ``O(k)`` memory per trial, with no
+    dependence of storage or per-round work on ``n``.
+
+    Parameters
+    ----------
+    counts:
+        Integer matrix of shape ``(num_trials, num_opinions)``.
+    num_nodes:
+        Population size ``n`` shared by every trial.
+    """
+
+    def __init__(self, counts: np.ndarray, num_nodes: int) -> None:
+        self.num_nodes = require_positive_int(num_nodes, "num_nodes")
+        array = np.asarray(counts, dtype=np.int64).copy()
+        if array.ndim != 2:
+            raise ValueError(
+                f"ensemble counts must be an (R, k) matrix, got shape {array.shape}"
+            )
+        if array.shape[0] == 0 or array.shape[1] == 0:
+            raise ValueError(
+                "the ensemble must contain at least one trial and one opinion"
+            )
+        if array.min() < 0:
+            raise ValueError("opinion counts must be non-negative")
+        totals = array.sum(axis=1)
+        if int(totals.max()) > self.num_nodes:
+            raise ValueError(
+                f"opinion counts sum to {int(totals.max())} > num_nodes = "
+                f"{self.num_nodes} in at least one trial"
+            )
+        self.counts = array
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_state(
+        cls, state: PopulationState, num_trials: int
+    ) -> "EnsembleCountsState":
+        """``num_trials`` independent trials all starting from ``state``."""
+        num_trials = require_positive_int(num_trials, "num_trials")
+        counts = state.opinion_counts().astype(np.int64, copy=False)
+        return cls(np.tile(counts, (num_trials, 1)), state.num_nodes)
+
+    @classmethod
+    def from_counts_state(
+        cls, state: CountsState, num_trials: int
+    ) -> "EnsembleCountsState":
+        """``num_trials`` independent trials tiled from one counts state."""
+        num_trials = require_positive_int(num_trials, "num_trials")
+        return cls(np.tile(state.counts, (num_trials, 1)), state.num_nodes)
+
+    @classmethod
+    def from_ensemble(cls, ensemble: EnsembleState) -> "EnsembleCountsState":
+        """The sufficient statistics of a full ``(R, n)`` ensemble."""
+        return cls(ensemble.opinion_counts(), ensemble.num_nodes)
+
+    # ------------------------------------------------------------------ #
+    # Shape / conversion
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_trials(self) -> int:
+        """Number of independent trials ``R``."""
+        return int(self.counts.shape[0])
+
+    @property
+    def num_opinions(self) -> int:
+        """Number of opinions ``k``."""
+        return int(self.counts.shape[1])
+
+    def copy(self) -> "EnsembleCountsState":
+        """An independent copy of this ensemble."""
+        return EnsembleCountsState(self.counts.copy(), self.num_nodes)
+
+    def trial_state(self, trial: int) -> CountsState:
+        """Trial ``trial`` as a standalone :class:`CountsState`."""
+        return CountsState(self.counts[trial].copy(), self.num_nodes)
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities (one entry per trial, mirroring EnsembleState)
+    # ------------------------------------------------------------------ #
+
+    def opinionated_counts(self) -> np.ndarray:
+        """Number of opinionated nodes per trial (shape ``(R,)``, int64)."""
+        return self.counts.sum(axis=1, dtype=np.int64)
+
+    def undecided_counts(self) -> np.ndarray:
+        """Number of undecided nodes per trial (shape ``(R,)``, int64)."""
+        return np.int64(self.num_nodes) - self.opinionated_counts()
+
+    def opinionated_fractions(self) -> np.ndarray:
+        """The paper's ``a(t)`` per trial (shape ``(R,)``)."""
+        return self.opinionated_counts() / self.num_nodes
+
+    def opinion_counts(self) -> np.ndarray:
+        """Supporters of each opinion per trial (shape ``(R, k)``, int64)."""
+        return self.counts.copy()
+
+    def opinion_distributions(self) -> np.ndarray:
+        """The paper's ``c(t)`` per trial (shape ``(R, k)``)."""
+        return self.counts / self.num_nodes
+
+    def bias_toward(self, opinion: int) -> np.ndarray:
+        """Definition-1 bias toward ``opinion`` per trial (shape ``(R,)``)."""
+        if not (1 <= opinion <= self.num_opinions):
+            raise ValueError(
+                f"opinion must be in [1, {self.num_opinions}], got {opinion}"
+            )
+        distributions = self.opinion_distributions()
+        if self.num_opinions == 1:
+            return distributions[:, 0]
+        rivals = np.delete(distributions, opinion - 1, axis=1)
+        return distributions[:, opinion - 1] - rivals.max(axis=1)
+
+    def plurality_opinions(self) -> np.ndarray:
+        """The most supported opinion per trial, 0 for all-undecided trials."""
+        winners = self.counts.argmax(axis=1) + 1
+        return np.where(
+            self.counts.sum(axis=1) > 0, winners, 0
+        ).astype(np.int64)
+
+    def pooled_plurality_opinion(self) -> int:
+        """The plurality opinion of the counts pooled over all trials."""
+        pooled = self.counts.sum(axis=0, dtype=np.int64)
+        if pooled.sum() == 0:
+            return 0
+        return int(pooled.argmax()) + 1
+
+    def consensus_mask(self, opinion: int) -> np.ndarray:
+        """Boolean ``(R,)`` mask of trials fully agreed on ``opinion``."""
+        if not (1 <= opinion <= self.num_opinions):
+            raise ValueError(
+                f"opinion must be in [1, {self.num_opinions}], got {opinion}"
+            )
+        return self.counts[:, opinion - 1] == self.num_nodes
+
+    def correct_fractions(self, opinion: int) -> np.ndarray:
+        """Fraction of nodes supporting ``opinion`` per trial (shape ``(R,)``)."""
+        if not (1 <= opinion <= self.num_opinions):
+            raise ValueError(
+                f"opinion must be in [1, {self.num_opinions}], got {opinion}"
+            )
+        return self.counts[:, opinion - 1] / self.num_nodes
+
+    def to_ensemble_state(
+        self, random_state: RandomState = None, *, shuffle: bool = True
+    ) -> EnsembleState:
+        """Materialize a full ``(R, n)`` ensemble with these counts.
+
+        Interop/debugging helper only — it allocates the ``(R, n)`` matrix
+        the counts engines exist to avoid.
+        """
+        rng = as_generator(random_state)
+        rows = [
+            self.trial_state(trial)
+            .to_population_state(rng, shuffle=shuffle)
+            .opinions
+            for trial in range(self.num_trials)
+        ]
+        return EnsembleState(np.stack(rows), self.num_opinions)
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate statistics over the whole ensemble."""
+        fractions = self.opinionated_fractions()
+        return {
+            "num_trials": self.num_trials,
+            "num_nodes": self.num_nodes,
+            "num_opinions": self.num_opinions,
+            "mean_opinionated_fraction": float(fractions.mean()),
+            "min_opinionated_fraction": float(fractions.min()),
+        }
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, EnsembleCountsState):
+            return NotImplemented
+        return self.num_nodes == other.num_nodes and bool(
+            np.array_equal(self.counts, other.counts)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EnsembleCountsState(R={self.num_trials}, n={self.num_nodes}, "
+            f"k={self.num_opinions})"
+        )
+
+
+def coerce_to_ensemble_counts(
+    initial_state: Union[
+        PopulationState, EnsembleState, CountsState, EnsembleCountsState
+    ],
+    num_trials: Optional[int],
+) -> EnsembleCountsState:
+    """Reduce any supported initial state to a fresh ensemble counts state.
+
+    The shared entry-state coercion of the counts engines
+    (:class:`~repro.core.protocol.CountsProtocol`,
+    :class:`~repro.dynamics.base.EnsembleCountsDynamics`): ensemble states
+    have ``num_trials`` inferred (and validated against the argument when
+    given); single-trial states are tiled into the required ``num_trials``
+    identical starting points.  Per-node states are reduced to their
+    sufficient statistics on entry.
+    """
+    if isinstance(initial_state, (EnsembleState, EnsembleCountsState)):
+        if num_trials is not None and num_trials != initial_state.num_trials:
+            raise ValueError(
+                f"num_trials = {num_trials} disagrees with the ensemble's "
+                f"{initial_state.num_trials} trials"
+            )
+        if isinstance(initial_state, EnsembleCountsState):
+            return initial_state.copy()
+        return EnsembleCountsState.from_ensemble(initial_state)
+    if num_trials is None:
+        raise ValueError(
+            "num_trials is required when initial_state is a single "
+            "PopulationState or CountsState"
+        )
+    if isinstance(initial_state, CountsState):
+        return EnsembleCountsState.from_counts_state(initial_state, num_trials)
+    if isinstance(initial_state, PopulationState):
+        return EnsembleCountsState.from_state(initial_state, num_trials)
+    raise TypeError(
+        "initial_state must be a PopulationState, EnsembleState, "
+        "CountsState or EnsembleCountsState, got "
+        f"{type(initial_state).__name__}"
+    )

@@ -20,11 +20,15 @@ E12 uses to show where the paper's two-stage protocol wins: the elementary
 dynamics are fast without noise but are not designed to withstand a constant
 per-message corruption probability.
 
-Every rule comes in two engines: the sequential :class:`OpinionDynamics`
-subclasses (the reference implementations) and the batched
+Every rule comes in three engines: the sequential :class:`OpinionDynamics`
+subclasses (the reference implementations), the batched
 :class:`EnsembleOpinionDynamics` subclasses that evolve ``R`` independent
-trials over an ``(R, n)`` matrix at once.  :func:`make_dynamics` /
-:func:`make_ensemble_dynamics` build either engine from a rule name
+trials over an ``(R, n)`` matrix at once, and the counts-based
+:class:`EnsembleCountsDynamics` subclasses that evolve only the ``(R, k)``
+opinion-count sufficient statistics — ``O(k^2)`` per round independent of
+``n``, which is what scales the baselines to millions of nodes.
+:func:`make_dynamics` / :func:`make_ensemble_dynamics` /
+:func:`make_counts_dynamics` build any engine from a rule name
 (:data:`DYNAMICS_RULES`), which is how the experiment runner and the CLI
 select baselines.
 """
@@ -34,32 +38,49 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.dynamics.base import (
+    CountsDynamicsResult,
     DynamicsResult,
+    EnsembleCountsDynamics,
     EnsembleDynamicsResult,
     EnsembleOpinionDynamics,
     OpinionDynamics,
 )
 from repro.dynamics.h_majority import (
+    EnsembleCountsHMajorityDynamics,
+    EnsembleCountsThreeMajorityDynamics,
     EnsembleHMajorityDynamics,
     EnsembleThreeMajorityDynamics,
     HMajorityDynamics,
     ThreeMajorityDynamics,
 )
 from repro.dynamics.median_rule import (
+    EnsembleCountsMedianRuleDynamics,
     EnsembleMedianRuleDynamics,
     MedianRuleDynamics,
 )
 from repro.dynamics.undecided_state import (
+    EnsembleCountsUndecidedStateDynamics,
     EnsembleUndecidedStateDynamics,
     UndecidedStateDynamics,
 )
-from repro.dynamics.voter import EnsembleVoterDynamics, VoterDynamics
+from repro.dynamics.voter import (
+    EnsembleCountsVoterDynamics,
+    EnsembleVoterDynamics,
+    VoterDynamics,
+)
 from repro.noise.matrix import NoiseMatrix
 from repro.utils.rng import EnsembleRandomState, RandomState
 
 __all__ = [
     "DYNAMICS_RULES",
+    "CountsDynamicsResult",
     "DynamicsResult",
+    "EnsembleCountsDynamics",
+    "EnsembleCountsHMajorityDynamics",
+    "EnsembleCountsMedianRuleDynamics",
+    "EnsembleCountsThreeMajorityDynamics",
+    "EnsembleCountsUndecidedStateDynamics",
+    "EnsembleCountsVoterDynamics",
     "EnsembleDynamicsResult",
     "EnsembleHMajorityDynamics",
     "EnsembleMedianRuleDynamics",
@@ -75,6 +96,7 @@ __all__ = [
     "VoterDynamics",
     "make_dynamics",
     "make_ensemble_dynamics",
+    "make_counts_dynamics",
 ]
 
 #: Rule names accepted by :func:`make_dynamics` / :func:`make_ensemble_dynamics`.
@@ -161,5 +183,44 @@ def make_ensemble_dynamics(
             num_nodes, noise, random_state, rng_mode=rng_mode
         )
     return EnsembleMedianRuleDynamics(
+        num_nodes, noise, random_state, rng_mode=rng_mode
+    )
+
+
+def make_counts_dynamics(
+    rule: str,
+    num_nodes: int,
+    noise: NoiseMatrix,
+    random_state: EnsembleRandomState = None,
+    *,
+    sample_size: Optional[int] = None,
+    rng_mode: str = "per_trial",
+) -> EnsembleCountsDynamics:
+    """Instantiate a counts-engine baseline dynamic by rule name.
+
+    The sufficient-statistics counterpart of :func:`make_ensemble_dynamics`:
+    the returned engine evolves ``(R, k)`` opinion-count matrices with
+    grouped multinomial draws — exact in distribution, ``O(k^2)`` per round
+    per trial, independent of ``n``.  Like the batched engine it is
+    bitwise reproducible trial by trial in per-trial randomness mode.
+    """
+    _resolve_rule(rule, sample_size)
+    if rule == "voter":
+        return EnsembleCountsVoterDynamics(
+            num_nodes, noise, random_state, rng_mode=rng_mode
+        )
+    if rule == "3-majority":
+        return EnsembleCountsThreeMajorityDynamics(
+            num_nodes, noise, random_state, rng_mode=rng_mode
+        )
+    if rule == "h-majority":
+        return EnsembleCountsHMajorityDynamics(
+            num_nodes, noise, sample_size, random_state, rng_mode=rng_mode
+        )
+    if rule == "undecided-state":
+        return EnsembleCountsUndecidedStateDynamics(
+            num_nodes, noise, random_state, rng_mode=rng_mode
+        )
+    return EnsembleCountsMedianRuleDynamics(
         num_nodes, noise, random_state, rng_mode=rng_mode
     )

@@ -30,8 +30,18 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-from repro.core.state import EnsembleState, PopulationState
-from repro.network.pull_model import EnsemblePullModel, UniformPullModel
+from repro.core.state import (
+    CountsState,
+    EnsembleCountsState,
+    EnsembleState,
+    PopulationState,
+    coerce_to_ensemble_counts,
+)
+from repro.network.pull_model import (
+    CountsPullModel,
+    EnsemblePullModel,
+    UniformPullModel,
+)
 from repro.noise.matrix import NoiseMatrix
 from repro.utils.multiset import opinion_counts_matrix
 from repro.utils.rng import (
@@ -48,6 +58,8 @@ __all__ = [
     "DynamicsResult",
     "EnsembleOpinionDynamics",
     "EnsembleDynamicsResult",
+    "EnsembleCountsDynamics",
+    "CountsDynamicsResult",
 ]
 
 
@@ -363,6 +375,14 @@ class EnsembleOpinionDynamics(ABC):
         shared generator.
         """
 
+    def reset_randomness(self, random_state: EnsembleRandomState) -> None:
+        """Replace the default randomness source of subsequent runs.
+
+        Used by the sweep fast path to reuse one engine instance across
+        grid cells while keeping each cell's seed explicit.
+        """
+        self._random_state = random_state
+
     def _trial_randomness(self, num_trials: int) -> EnsembleRandomState:
         return resolve_trial_randomness(
             self._random_state, num_trials, self.rng_mode
@@ -499,6 +519,238 @@ class EnsembleOpinionDynamics(ABC):
             else np.zeros((0, num_trials), dtype=float)
         )
         return EnsembleDynamicsResult(
+            final_states=ensemble,
+            rounds_executed=rounds_executed,
+            converged=converged,
+            consensus_opinions=consensus_opinions,
+            target_opinion=target_opinion,
+            successes=converged & (consensus_opinions == target_opinion),
+            bias_history=bias_history,
+        )
+
+
+@dataclass
+class CountsDynamicsResult:
+    """Outcome of a multi-trial counts-engine dynamics run.
+
+    The counts-engine counterpart of :class:`EnsembleDynamicsResult`: the
+    same per-trial verdicts and histories, but the final state is an
+    :class:`~repro.core.state.EnsembleCountsState` (``(R, k)`` sufficient
+    statistics) because the engine never materializes per-node opinions.
+    """
+
+    final_states: EnsembleCountsState
+    rounds_executed: np.ndarray
+    converged: np.ndarray
+    consensus_opinions: np.ndarray
+    target_opinion: int
+    successes: np.ndarray
+    bias_history: np.ndarray
+
+    @property
+    def num_trials(self) -> int:
+        """Number of trials ``R`` in the batch."""
+        return self.final_states.num_trials
+
+    @property
+    def success_count(self) -> int:
+        """Number of trials that reached consensus on the target opinion."""
+        return int(np.count_nonzero(self.successes))
+
+    @property
+    def success_rate(self) -> float:
+        """Empirical success probability over the batch."""
+        return self.success_count / self.num_trials
+
+    @property
+    def convergence_rate(self) -> float:
+        """Fraction of trials that reached consensus on *some* opinion."""
+        return int(np.count_nonzero(self.converged)) / self.num_trials
+
+    @property
+    def final_biases(self) -> np.ndarray:
+        """Per-trial bias of the final distribution toward the target."""
+        if self.target_opinion <= 0:
+            return np.zeros(self.num_trials, dtype=float)
+        return self.final_states.bias_toward(self.target_opinion)
+
+    def summary(self) -> dict:
+        """Headline statistics of the batch."""
+        return {
+            "num_trials": self.num_trials,
+            "target_opinion": self.target_opinion,
+            "success_rate": self.success_rate,
+            "convergence_rate": self.convergence_rate,
+            "mean_rounds": float(self.rounds_executed.mean()),
+            "mean_final_bias": float(self.final_biases.mean()),
+        }
+
+
+class EnsembleCountsDynamics(ABC):
+    """Run ``R`` independent trials of a dynamic on sufficient statistics.
+
+    The third engine tier.  Every trial follows exactly the rule of the
+    matching :class:`OpinionDynamics` subclass, but the state is the
+    ``(R, k)`` opinion-count matrix of an
+    :class:`~repro.core.state.EnsembleCountsState`: on the complete graph
+    the per-node opinion vector is exchangeable, so one grouped-multinomial
+    draw per current-opinion group reproduces each round's aggregate
+    update *exactly in distribution* (see
+    :class:`~repro.network.pull_model.CountsPullModel`).  Per-round cost is
+    ``O(k^2)`` per trial — independent of ``n`` — and no method allocates
+    an array with an ``n``-sized axis, which is what lets the engine
+    simulate millions (or billions) of nodes at fixed cost.
+
+    Randomness follows the ensemble convention: with per-trial sources
+    (the default) trial ``r`` consumes draws from its own generator only,
+    so a counts batch is bitwise identical to ``R`` batch-size-1 counts
+    runs with the same sources; agreement with the ``sequential`` and
+    ``batched`` per-node engines is distributional and is checked by the
+    statistical engine-agreement test-suite.
+    """
+
+    #: Human-readable name used in comparison tables.
+    name: str = "counts-opinion-dynamics"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        noise: NoiseMatrix,
+        random_state: EnsembleRandomState = None,
+        *,
+        rng_mode: str = "per_trial",
+    ) -> None:
+        if rng_mode not in {"per_trial", "shared"}:
+            raise ValueError(
+                f"rng_mode must be 'per_trial' or 'shared', got {rng_mode!r}"
+            )
+        self.num_nodes = require_positive_int(num_nodes, "num_nodes")
+        self.noise = noise
+        self.rng_mode = rng_mode
+        self._random_state = random_state
+        self.pull = CountsPullModel(self.num_nodes, noise)
+
+    @property
+    def num_opinions(self) -> int:
+        """Number of opinions ``k``."""
+        return self.noise.num_opinions
+
+    @abstractmethod
+    def step(
+        self, state: EnsembleCountsState, random_state: EnsembleRandomState
+    ) -> None:
+        """One synchronous round over every trial of ``state``, in place.
+
+        Implementations mutate ``state.counts`` (an ``(R, k)`` int64
+        matrix) and must consume randomness per trial only from that
+        trial's generator when ``random_state`` is a per-trial sequence.
+        """
+
+    def reset_randomness(self, random_state: EnsembleRandomState) -> None:
+        """Replace the default randomness source of subsequent runs.
+
+        Used by the sweep fast path to reuse one engine instance across
+        grid cells while keeping each cell's seed explicit.
+        """
+        self._random_state = random_state
+
+    def _trial_randomness(self, num_trials: int) -> EnsembleRandomState:
+        return resolve_trial_randomness(
+            self._random_state, num_trials, self.rng_mode
+        )
+
+    def _check_state(self, state: EnsembleCountsState) -> None:
+        if state.num_nodes != self.num_nodes:
+            raise ValueError(
+                f"state has {state.num_nodes} nodes but the dynamic was built "
+                f"for {self.num_nodes}"
+            )
+        if state.num_opinions != self.num_opinions:
+            raise ValueError(
+                f"state has {state.num_opinions} opinions but the noise matrix "
+                f"has {self.num_opinions}"
+            )
+
+    def run(
+        self,
+        initial_state: Union[
+            PopulationState, EnsembleState, CountsState, EnsembleCountsState
+        ],
+        max_rounds: int,
+        num_trials: Optional[int] = None,
+        *,
+        target_opinion: Optional[int] = None,
+        stop_at_consensus: bool = True,
+        record_history: bool = True,
+    ) -> CountsDynamicsResult:
+        """Run every trial for up to ``max_rounds`` rounds.
+
+        The counts-engine mirror of :meth:`EnsembleOpinionDynamics.run`
+        (same arguments, same early-stopping semantics: converged trials
+        leave the active set and stop consuming randomness and compute).
+        ``initial_state`` additionally accepts the counts-native state
+        types; per-node states are reduced to their sufficient statistics
+        on entry.
+        """
+        max_rounds = require_positive_int(max_rounds, "max_rounds")
+        ensemble = coerce_to_ensemble_counts(initial_state, num_trials)
+        self._check_state(ensemble)
+        num_trials = ensemble.num_trials
+        if target_opinion is None:
+            target_opinion = ensemble.pooled_plurality_opinion()
+        target_opinion = int(target_opinion)
+        if target_opinion > self.num_opinions:
+            raise ValueError(
+                f"target_opinion must be in [0, {self.num_opinions}], "
+                f"got {target_opinion}"
+            )
+        randomness = self._trial_randomness(num_trials)
+        per_trial = is_generator_sequence(randomness)
+        counts = ensemble.counts
+        rounds_executed = np.zeros(num_trials, dtype=np.int64)
+        active = np.arange(num_trials)
+        bias_rows: List[np.ndarray] = []
+        last_bias = np.zeros(num_trials, dtype=float)
+        active_counts = counts
+        for _ in range(max_rounds):
+            if active.size == num_trials:
+                self.step(ensemble, randomness)
+                active_counts = counts
+            else:
+                sub_randomness = (
+                    [randomness[index] for index in active]
+                    if per_trial
+                    else randomness
+                )
+                sub_state = EnsembleCountsState(
+                    counts[active], self.num_nodes
+                )
+                self.step(sub_state, sub_randomness)
+                counts[active] = sub_state.counts
+                active_counts = sub_state.counts
+            rounds_executed[active] += 1
+            if record_history and target_opinion > 0:
+                last_bias = last_bias.copy()
+                last_bias[active] = _bias_from_counts(
+                    active_counts, target_opinion, self.num_nodes
+                )
+                bias_rows.append(last_bias)
+            if stop_at_consensus:
+                done = active_counts.max(axis=1) == self.num_nodes
+                if done.any():
+                    active = active[~done]
+                    if active.size == 0:
+                        break
+        converged = counts.max(axis=1) == self.num_nodes
+        consensus_opinions = np.where(
+            converged, counts.argmax(axis=1) + 1, 0
+        ).astype(np.int64)
+        bias_history = (
+            np.stack(bias_rows)
+            if bias_rows
+            else np.zeros((0, num_trials), dtype=float)
+        )
+        return CountsDynamicsResult(
             final_states=ensemble,
             rounds_executed=rounds_executed,
             converged=converged,

@@ -16,8 +16,13 @@ opinion); a node that observes no opinion keeps its current one.
 
 from __future__ import annotations
 
-from repro.core.state import EnsembleState, PopulationState
-from repro.dynamics.base import EnsembleOpinionDynamics, OpinionDynamics
+from repro.core.state import EnsembleCountsState, EnsembleState, PopulationState
+from repro.dynamics.base import (
+    EnsembleCountsDynamics,
+    EnsembleOpinionDynamics,
+    OpinionDynamics,
+)
+from repro.network.pull_model import vote_table_is_tractable
 from repro.noise.matrix import NoiseMatrix
 from repro.utils.rng import EnsembleRandomState, RandomState
 from repro.utils.validation import require_positive_int
@@ -27,6 +32,8 @@ __all__ = [
     "ThreeMajorityDynamics",
     "EnsembleHMajorityDynamics",
     "EnsembleThreeMajorityDynamics",
+    "EnsembleCountsHMajorityDynamics",
+    "EnsembleCountsThreeMajorityDynamics",
 ]
 
 
@@ -101,6 +108,67 @@ class EnsembleHMajorityDynamics(EnsembleOpinionDynamics):
 
 class EnsembleThreeMajorityDynamics(EnsembleHMajorityDynamics):
     """The 3-majority dynamics of [9], batched (``h = 3``)."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        noise: NoiseMatrix,
+        random_state: EnsembleRandomState = None,
+        *,
+        rng_mode: str = "per_trial",
+    ) -> None:
+        super().__init__(
+            num_nodes, noise, sample_size=3, random_state=random_state,
+            rng_mode=rng_mode,
+        )
+        self.name = "3-majority"
+
+
+class EnsembleCountsHMajorityDynamics(EnsembleCountsDynamics):
+    """The h-majority dynamics on sufficient statistics (counts engine).
+
+    Every node's ``maj()`` vote is an i.i.d. draw from the exact
+    closed-form vote law, so one grouped vote draw per round determines
+    the new counts — nodes that cast a vote adopt it, nodes that observed
+    no opinion keep their current one.  Because the counts engine has no
+    per-message fallback, ``(sample_size, k)`` must fit the composition
+    table (checked eagerly at construction); the batched engine covers the
+    huge-sample corner.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        noise: NoiseMatrix,
+        sample_size: int,
+        random_state: EnsembleRandomState = None,
+        *,
+        rng_mode: str = "per_trial",
+    ) -> None:
+        super().__init__(num_nodes, noise, random_state, rng_mode=rng_mode)
+        self.sample_size = require_positive_int(sample_size, "sample_size")
+        if not vote_table_is_tractable(self.sample_size, self.num_opinions):
+            raise ValueError(
+                f"the counts engine needs the closed-form maj() table, which "
+                f"is intractable for sample_size={self.sample_size}, "
+                f"k={self.num_opinions}; use the batched engine instead"
+            )
+        self.name = f"{self.sample_size}-majority"
+
+    def step(
+        self, state: EnsembleCountsState, random_state: EnsembleRandomState
+    ) -> None:
+        """One round of the majority rule, exactly in distribution, O(k^2)."""
+        votes = self.pull.observe_majority_grouped(
+            state.counts, self.sample_size, random_state
+        )
+        adopters = votes[:, :, 1:].sum(axis=1)
+        keepers = votes[:, 1:, 0]
+        state.counts[:] = adopters + keepers
+
+
+class EnsembleCountsThreeMajorityDynamics(EnsembleCountsHMajorityDynamics):
+    """The 3-majority dynamics on sufficient statistics (``h = 3``)."""
 
     def __init__(
         self,

@@ -17,13 +17,23 @@ matrix like every other baseline.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
-from repro.core.state import EnsembleState, PopulationState
-from repro.dynamics.base import EnsembleOpinionDynamics, OpinionDynamics
+from repro.core.state import EnsembleCountsState, EnsembleState, PopulationState
+from repro.dynamics.base import (
+    EnsembleCountsDynamics,
+    EnsembleOpinionDynamics,
+    OpinionDynamics,
+)
 from repro.utils.rng import EnsembleRandomState
 
-__all__ = ["MedianRuleDynamics", "EnsembleMedianRuleDynamics"]
+__all__ = [
+    "MedianRuleDynamics",
+    "EnsembleMedianRuleDynamics",
+    "EnsembleCountsMedianRuleDynamics",
+]
 
 
 def _median_rule_update(
@@ -73,3 +83,51 @@ class EnsembleMedianRuleDynamics(EnsembleOpinionDynamics):
         first = self.pull.observe_single(state.opinions, random_state)
         second = self.pull.observe_single(state.opinions, random_state)
         state.opinions[:] = _median_rule_update(state.opinions, first, second)
+
+
+@lru_cache(maxsize=None)
+def _median_transition_tensor(num_opinions: int) -> np.ndarray:
+    """One-hot transition tensor of the deterministic median-of-three rule.
+
+    Entry ``(g, f * (k + 1) + s, v)`` is 1 iff a node with current value
+    ``g`` (0 = undecided) that observed the ordered pair ``(f, s)`` ends the
+    round with value ``v`` — the exact tabulation of
+    :func:`_median_rule_update`, which lets the counts engine turn grouped
+    pair-observation counts into new value counts with one ``einsum``.
+    """
+    width = num_opinions + 1
+    tensor = np.zeros((width, width * width, width), dtype=np.int64)
+    for own in range(width):
+        for first in range(width):
+            for second in range(width):
+                if own == 0:
+                    new = first if first > 0 else second
+                elif first > 0 and second > 0:
+                    new = int(np.median([own, first, second]))
+                else:
+                    new = own
+                tensor[own, first * width + second, new] = 1
+    tensor.setflags(write=False)
+    return tensor
+
+
+class EnsembleCountsMedianRuleDynamics(EnsembleCountsDynamics):
+    """The median rule on sufficient statistics (counts engine).
+
+    The rule needs the joint of a node's own value and *both* observations,
+    so the grouped draw runs over ordered observation pairs — ``O(k^3)``
+    work per trial per round, still independent of ``n``.  The
+    median-of-three map itself is deterministic, so the pair counts are
+    pushed through a precomputed one-hot transition tensor.
+    """
+
+    name = "median-rule"
+
+    def step(
+        self, state: EnsembleCountsState, random_state: EnsembleRandomState
+    ) -> None:
+        """One round of the median-of-three rule, exactly in distribution."""
+        pairs = self.pull.observe_pair_grouped(state.counts, random_state)
+        transition = _median_transition_tensor(state.num_opinions)
+        new_values = np.einsum("rgp,gpv->rv", pairs, transition)
+        state.counts[:] = new_values[:, 1:]

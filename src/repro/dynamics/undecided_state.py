@@ -19,11 +19,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.state import EnsembleState, PopulationState
-from repro.dynamics.base import EnsembleOpinionDynamics, OpinionDynamics
+from repro.core.state import EnsembleCountsState, EnsembleState, PopulationState
+from repro.dynamics.base import (
+    EnsembleCountsDynamics,
+    EnsembleOpinionDynamics,
+    OpinionDynamics,
+)
 from repro.utils.rng import EnsembleRandomState
 
-__all__ = ["UndecidedStateDynamics", "EnsembleUndecidedStateDynamics"]
+__all__ = [
+    "UndecidedStateDynamics",
+    "EnsembleUndecidedStateDynamics",
+    "EnsembleCountsUndecidedStateDynamics",
+]
 
 
 def _undecided_state_update(current: np.ndarray, observed: np.ndarray) -> np.ndarray:
@@ -62,3 +70,29 @@ class EnsembleUndecidedStateDynamics(EnsembleOpinionDynamics):
         """One round of the undecided-state rule over the whole batch."""
         observed = self.pull.observe_single(state.opinions, random_state)
         state.opinions[:] = _undecided_state_update(state.opinions, observed)
+
+
+class EnsembleCountsUndecidedStateDynamics(EnsembleCountsDynamics):
+    """The undecided-state dynamics on sufficient statistics (counts engine).
+
+    The prototypical *own-opinion-dependent* rule: a node's reaction to an
+    observation depends on whether it matches its current opinion, so the
+    update reads the full grouped observation tensor — supporters of ``j``
+    after the round are the undecided nodes that observed ``j`` plus the
+    current ``j``-supporters that observed ``j`` or nothing; everyone else
+    who saw a conflicting opinion drops to undecided.
+    """
+
+    name = "undecided-state"
+
+    def step(
+        self, state: EnsembleCountsState, random_state: EnsembleRandomState
+    ) -> None:
+        """One round of the undecided-state rule, exactly in distribution."""
+        observed = self.pull.observe_single_grouped(state.counts, random_state)
+        num_opinions = state.num_opinions
+        diagonal = np.arange(num_opinions)
+        adopted = observed[:, 0, 1:]
+        kept_nothing = observed[:, 1:, 0]
+        kept_same = observed[:, diagonal + 1, diagonal + 1]
+        state.counts[:] = adopted + kept_nothing + kept_same

@@ -11,11 +11,19 @@ or without noise.
 
 from __future__ import annotations
 
-from repro.core.state import EnsembleState, PopulationState
-from repro.dynamics.base import EnsembleOpinionDynamics, OpinionDynamics
+from repro.core.state import EnsembleCountsState, EnsembleState, PopulationState
+from repro.dynamics.base import (
+    EnsembleCountsDynamics,
+    EnsembleOpinionDynamics,
+    OpinionDynamics,
+)
 from repro.utils.rng import EnsembleRandomState
 
-__all__ = ["VoterDynamics", "EnsembleVoterDynamics"]
+__all__ = [
+    "VoterDynamics",
+    "EnsembleVoterDynamics",
+    "EnsembleCountsVoterDynamics",
+]
 
 
 class VoterDynamics(OpinionDynamics):
@@ -43,3 +51,24 @@ class EnsembleVoterDynamics(EnsembleOpinionDynamics):
         observed = self.pull.observe_single(state.opinions, random_state)
         updaters = observed > 0
         state.opinions[updaters] = observed[updaters]
+
+
+class EnsembleCountsVoterDynamics(EnsembleCountsDynamics):
+    """The voter model on ``(R, k)`` sufficient statistics (counts engine).
+
+    A node that observes an opinion adopts it irrespective of its own, so
+    one grouped observation draw per round determines the new counts: the
+    new supporters of opinion ``j`` are every node that observed ``j`` plus
+    the current ``j``-supporters that observed an undecided target.
+    """
+
+    name = "voter"
+
+    def step(
+        self, state: EnsembleCountsState, random_state: EnsembleRandomState
+    ) -> None:
+        """One round of the copy rule, exactly in distribution, O(k^2)."""
+        observed = self.pull.observe_single_grouped(state.counts, random_state)
+        adopters = observed[:, :, 1:].sum(axis=1)
+        keepers = observed[:, 1:, 0]
+        state.counts[:] = adopters + keepers

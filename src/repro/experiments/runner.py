@@ -5,7 +5,7 @@ grid, run several independent trials (each with its own derived RNG stream),
 and summarize the per-trial outputs.  These helpers centralize the trial
 bookkeeping so that the experiment modules stay declarative.
 
-Repeated trials have two interchangeable execution engines:
+Repeated trials have three interchangeable execution engines:
 
 * ``"batched"`` (default) — all trials run as one vectorized batch over an
   ``(R, n)`` opinion matrix (:class:`~repro.core.protocol.EnsembleProtocol`
@@ -13,7 +13,17 @@ Repeated trials have two interchangeable execution engines:
   :class:`~repro.dynamics.base.EnsembleOpinionDynamics` for the baseline
   dynamics), which is many times faster than looping;
 * ``"sequential"`` — the reference implementation: a Python loop of
-  single-trial runs, kept for cross-checking the batched path.
+  single-trial runs, kept for cross-checking the batched path;
+* ``"counts"`` — the sufficient-statistics engine: trials evolve only their
+  ``(R, k)`` opinion-count matrices
+  (:class:`~repro.core.protocol.CountsProtocol`,
+  :class:`~repro.dynamics.base.EnsembleCountsDynamics`), ``O(k^2)`` per
+  round per trial *independent of* ``n`` — the tier that scales repeated
+  trials to millions of nodes.
+
+``"auto"`` picks between ``"batched"`` and ``"counts"`` by population size
+(:func:`resolve_trial_engine`): above :data:`DEFAULT_COUNTS_THRESHOLD`
+nodes (or an explicit ``counts_threshold``) the counts engine wins.
 
 :func:`protocol_trial_outcomes` and :func:`dynamics_trial_outcomes` hide the
 choice behind one call returning a flat list of per-trial outcomes.
@@ -27,9 +37,9 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Seque
 
 import numpy as np
 
-from repro.core.protocol import EnsembleProtocol, TwoStageProtocol
-from repro.core.state import EnsembleState, PopulationState
-from repro.dynamics import make_dynamics, make_ensemble_dynamics
+from repro.core.protocol import CountsProtocol, EnsembleProtocol, TwoStageProtocol
+from repro.core.state import CountsState, EnsembleCountsState, EnsembleState, PopulationState
+from repro.dynamics import make_counts_dynamics, make_dynamics, make_ensemble_dynamics
 from repro.noise.matrix import NoiseMatrix
 from repro.utils.rng import EnsembleRandomState, RandomState, as_trial_generators, spawn_generators
 
@@ -42,12 +52,106 @@ __all__ = [
     "DynamicsTrialOutcome",
     "dynamics_trial_outcomes",
     "TRIAL_ENGINES",
+    "TRIAL_ENGINE_CHOICES",
+    "DEFAULT_COUNTS_THRESHOLD",
+    "resolve_trial_engine",
+    "set_default_counts_threshold",
 ]
 
 T = TypeVar("T")
 
-#: Execution engines accepted by :func:`protocol_trial_outcomes`.
-TRIAL_ENGINES = ("batched", "sequential")
+#: Concrete execution engines accepted by the trial-outcome helpers.
+TRIAL_ENGINES = ("batched", "sequential", "counts")
+
+#: Everything a caller may pass as ``trial_engine`` (``"auto"`` resolves to
+#: a concrete engine by population size).
+TRIAL_ENGINE_CHOICES = TRIAL_ENGINES + ("auto",)
+
+#: Population size at which ``trial_engine="auto"`` switches from the
+#: batched ``(R, n)`` engine to the counts engine.  At ``n = 10^5`` the
+#: counts engine is already >= 20x faster (see
+#: ``benchmarks/bench_counts_engine.py``); below ~10^4 either engine
+#: finishes in milliseconds and the batched one stays the default because
+#: it also supports the ablation knobs.
+DEFAULT_COUNTS_THRESHOLD = 50_000
+
+_active_counts_threshold = DEFAULT_COUNTS_THRESHOLD
+
+
+def set_default_counts_threshold(counts_threshold: Optional[int]) -> int:
+    """Override the process-wide ``"auto"`` switch-over population size.
+
+    ``None`` restores :data:`DEFAULT_COUNTS_THRESHOLD`.  Returns the now
+    active value.  Used by the CLI's ``--counts-threshold`` so experiment
+    configs (which carry only a ``trial_engine`` name) pick it up too.
+    """
+    global _active_counts_threshold
+    if counts_threshold is None:
+        _active_counts_threshold = DEFAULT_COUNTS_THRESHOLD
+    else:
+        if counts_threshold < 1:
+            raise ValueError(
+                f"counts_threshold must be >= 1, got {counts_threshold}"
+            )
+        _active_counts_threshold = int(counts_threshold)
+    return _active_counts_threshold
+
+
+def resolve_trial_engine(
+    trial_engine: str,
+    num_nodes: int,
+    counts_threshold: Optional[int] = None,
+) -> str:
+    """The concrete engine for ``trial_engine`` at population size ``n``.
+
+    Concrete engine names pass through unchanged (after validation);
+    ``"auto"`` resolves to ``"counts"`` when ``num_nodes`` is at least
+    ``counts_threshold`` (default: the active threshold, normally
+    :data:`DEFAULT_COUNTS_THRESHOLD`) and to ``"batched"`` otherwise.
+    """
+    if trial_engine not in TRIAL_ENGINE_CHOICES:
+        raise ValueError(
+            f"trial_engine must be one of {TRIAL_ENGINE_CHOICES}, "
+            f"got {trial_engine!r}"
+        )
+    if trial_engine != "auto":
+        return trial_engine
+    if counts_threshold is None:
+        counts_threshold = _active_counts_threshold
+    elif counts_threshold < 1:
+        raise ValueError(
+            f"counts_threshold must be >= 1, got {counts_threshold}"
+        )
+    return "counts" if num_nodes >= counts_threshold else "batched"
+
+
+def _resolve_engine_for_state(
+    trial_engine: str,
+    initial_state,
+    counts_threshold: Optional[int],
+) -> str:
+    """Engine resolution that also respects the initial-state type.
+
+    Counts-native states carry no per-node information, so only the counts
+    engine can consume them: ``"auto"`` resolves straight to ``"counts"``
+    for them, and an explicit per-node engine is rejected with a clear
+    error instead of a deep ``TypeError``.
+    """
+    counts_native = isinstance(
+        initial_state, (CountsState, EnsembleCountsState)
+    )
+    if counts_native and trial_engine == "auto":
+        return "counts"
+    resolved = resolve_trial_engine(
+        trial_engine, initial_state.num_nodes, counts_threshold
+    )
+    if counts_native and resolved != "counts":
+        raise ValueError(
+            f"trial_engine={resolved!r} needs per-node initial states; "
+            "CountsState/EnsembleCountsState inputs can only run on "
+            "trial_engine='counts'"
+        )
+    return resolved
 
 
 def repeat_trials(
@@ -104,30 +208,46 @@ def protocol_trial_outcomes(
     process: str = "push",
     round_scale: float = 1.0,
     trial_engine: str = "batched",
+    counts_threshold: Optional[int] = None,
 ) -> List[TrialOutcome]:
     """Run ``num_trials`` independent protocol trials from ``initial_state``.
 
     Every trial starts from the same initial population and runs the full
-    two-stage protocol; the routing between the batched ensemble engine and
-    the sequential reference loop is controlled by ``trial_engine`` (one of
-    :data:`TRIAL_ENGINES`).  Both engines derive per-trial randomness from
-    ``random_state``, so a fixed seed gives a reproducible batch either way
-    (though not the same draws across the two engines).
+    two-stage protocol; the routing between the batched ensemble engine,
+    the counts (sufficient-statistics) engine and the sequential reference
+    loop is controlled by ``trial_engine`` (one of
+    :data:`TRIAL_ENGINE_CHOICES`; ``"auto"`` switches to ``"counts"`` at
+    ``counts_threshold`` nodes).  All engines derive per-trial randomness
+    from ``random_state``, so a fixed seed gives a reproducible batch
+    either way (though not the same draws across engines).  The counts
+    engine ignores ``process``: its delivery is always the counts-native
+    Claim-1/Poissonized model.
     """
-    if trial_engine not in TRIAL_ENGINES:
-        raise ValueError(
-            f"trial_engine must be one of {TRIAL_ENGINES}, got {trial_engine!r}"
-        )
     num_nodes = initial_state.num_nodes
-    if trial_engine == "batched":
-        result = EnsembleProtocol(
-            num_nodes,
-            noise,
-            epsilon=epsilon,
-            process=process,
-            random_state=random_state,
-            round_scale=round_scale,
-        ).run(initial_state, num_trials, target_opinion=target_opinion)
+    trial_engine = _resolve_engine_for_state(
+        trial_engine, initial_state, counts_threshold
+    )
+    if trial_engine in ("batched", "counts"):
+        if trial_engine == "batched":
+            protocol = EnsembleProtocol(
+                num_nodes,
+                noise,
+                epsilon=epsilon,
+                process=process,
+                random_state=random_state,
+                round_scale=round_scale,
+            )
+        else:
+            protocol = CountsProtocol(
+                num_nodes,
+                noise,
+                epsilon=epsilon,
+                random_state=random_state,
+                round_scale=round_scale,
+            )
+        result = protocol.run(
+            initial_state, num_trials, target_opinion=target_opinion
+        )
         stage1_biases = result.biases_after_stage1
         correct_fractions = result.correct_fractions()
         final_biases = result.final_biases
@@ -203,52 +323,86 @@ def dynamics_trial_outcomes(
     target_opinion: Optional[int] = None,
     stop_at_consensus: bool = True,
     trial_engine: str = "batched",
+    counts_threshold: Optional[int] = None,
+    engine_cache: Optional[Dict[Any, Any]] = None,
 ) -> List[DynamicsTrialOutcome]:
     """Run ``num_trials`` independent baseline-dynamics trials.
 
     The dynamics counterpart of :func:`protocol_trial_outcomes`: ``rule``
     names one of :data:`~repro.dynamics.DYNAMICS_RULES` and ``trial_engine``
-    (one of :data:`TRIAL_ENGINES`) routes the batch through the vectorized
-    :class:`~repro.dynamics.base.EnsembleOpinionDynamics` engine (default)
-    or the sequential reference loop of
-    :meth:`~repro.dynamics.base.OpinionDynamics.run` calls.  Both engines
-    derive the same per-trial child streams from ``random_state``; the
-    batched engine is reproducible trial by trial (a batch is bitwise
-    identical to batch-size-1 runs), while agreement between the two engines
-    is distributional.
+    (one of :data:`TRIAL_ENGINE_CHOICES`) routes the batch through the
+    vectorized :class:`~repro.dynamics.base.EnsembleOpinionDynamics` engine
+    (default), the ``O(k)``-per-trial counts engine, or the sequential
+    reference loop of :meth:`~repro.dynamics.base.OpinionDynamics.run`
+    calls.  All engines derive the same per-trial child streams from
+    ``random_state``; the batched and counts engines are reproducible trial
+    by trial (a batch is bitwise identical to batch-size-1 runs of the same
+    engine), while agreement across engines is distributional.
 
     ``initial_state`` may be one :class:`PopulationState` (every trial
     starts from it) or an :class:`EnsembleState` with per-trial rows
-    (``num_trials`` must then match).
+    (``num_trials`` must then match); the counts engine additionally
+    accepts the counts-native :class:`CountsState` /
+    :class:`EnsembleCountsState` (which the per-node engines cannot
+    consume).
+
+    ``engine_cache`` is the sweep fast path: pass one (initially empty)
+    dictionary across the cells of a parameter sweep and each distinct
+    ``(engine, rule, num_nodes, sample_size, noise)`` combination builds
+    its engine exactly once — subsequent cells reuse the instance with the
+    cell's own ``random_state``.
     """
-    if trial_engine not in TRIAL_ENGINES:
-        raise ValueError(
-            f"trial_engine must be one of {TRIAL_ENGINES}, got {trial_engine!r}"
-        )
-    if isinstance(initial_state, EnsembleState) and (
-        num_trials != initial_state.num_trials
-    ):
+    if isinstance(
+        initial_state, (EnsembleState, EnsembleCountsState)
+    ) and num_trials != initial_state.num_trials:
         raise ValueError(
             f"num_trials = {num_trials} disagrees with the ensemble's "
             f"{initial_state.num_trials} trials"
         )
     num_nodes = initial_state.num_nodes
+    trial_engine = _resolve_engine_for_state(
+        trial_engine, initial_state, counts_threshold
+    )
     if target_opinion is None:
         target_opinion = (
             initial_state.pooled_plurality_opinion()
-            if isinstance(initial_state, EnsembleState)
+            if isinstance(initial_state, (EnsembleState, EnsembleCountsState))
             else initial_state.plurality_opinion()
         )
     target_opinion = int(target_opinion)
 
-    if trial_engine == "batched":
-        dynamic = make_ensemble_dynamics(
-            rule, num_nodes, noise, random_state, sample_size=sample_size
+    if trial_engine in ("batched", "counts"):
+        factory = (
+            make_ensemble_dynamics
+            if trial_engine == "batched"
+            else make_counts_dynamics
         )
+        # Content-based noise fingerprint: id() could be recycled across
+        # short-lived matrices and hand back an engine with the wrong
+        # channel.
+        cache_key = (
+            trial_engine, rule, num_nodes, sample_size,
+            noise.matrix.tobytes(),
+        )
+        dynamic = None
+        if engine_cache is not None:
+            dynamic = engine_cache.get(cache_key)
+        if dynamic is None:
+            dynamic = factory(
+                rule, num_nodes, noise, random_state, sample_size=sample_size
+            )
+            if engine_cache is not None:
+                engine_cache[cache_key] = dynamic
+        else:
+            dynamic.reset_randomness(random_state)
         result = dynamic.run(
             initial_state,
             max_rounds,
-            num_trials if isinstance(initial_state, PopulationState) else None,
+            (
+                num_trials
+                if isinstance(initial_state, (PopulationState, CountsState))
+                else None
+            ),
             target_opinion=target_opinion,
             stop_at_consensus=stop_at_consensus,
             record_history=False,

@@ -23,16 +23,26 @@ of the related-work comparison (3-majority, h-majority, …), which are
 classically stated in terms of pulling a few random opinions per round.
 """
 
-from repro.network.balls_bins import BallsIntoBinsProcess
+from repro.network.balls_bins import (
+    BallsIntoBinsProcess,
+    CountsDeliveryModel,
+    poisson_tail_probability,
+)
 from repro.network.delivery import deliver_phase, supports_population_delivery
 from repro.network.mailbox import ReceivedMessages
 from repro.network.poisson_model import PoissonizedProcess
-from repro.network.pull_model import EnsemblePullModel, UniformPullModel
+from repro.network.pull_model import (
+    CountsPullModel,
+    EnsemblePullModel,
+    UniformPullModel,
+)
 from repro.network.push_model import PushPhaseStatistics, UniformPushModel
 from repro.network.topology import GraphPushModel, standard_topology
 
 __all__ = [
     "BallsIntoBinsProcess",
+    "CountsDeliveryModel",
+    "CountsPullModel",
     "EnsemblePullModel",
     "GraphPushModel",
     "PoissonizedProcess",
@@ -41,6 +51,7 @@ __all__ = [
     "UniformPullModel",
     "UniformPushModel",
     "deliver_phase",
+    "poisson_tail_probability",
     "standard_topology",
     "supports_population_delivery",
 ]

@@ -31,7 +31,306 @@ from repro.utils.rng import (
 )
 from repro.utils.validation import require_positive_int
 
-__all__ = ["BallsIntoBinsProcess", "ensemble_recolor_and_throw"]
+__all__ = [
+    "BallsIntoBinsProcess",
+    "ensemble_recolor_and_throw",
+    "CountsDeliveryModel",
+    "poisson_tail_probability",
+]
+
+
+def poisson_tail_probability(threshold: int, lam: np.ndarray) -> np.ndarray:
+    """``P(Poisson(lam) >= threshold)``, vectorized over ``lam``.
+
+    Computed in log space (no scipy dependency) so that phase intensities in
+    the hundreds — the Stage-2 final phase has ``Lambda ~ 2 L' ~ log n /
+    eps^2`` — neither underflow ``exp(-Lambda)`` nor lose the tail.  Exact
+    up to float64 rounding.
+    """
+    lam = np.asarray(lam, dtype=float)
+    if threshold <= 0:
+        return np.ones(lam.shape)
+    indices = np.arange(threshold, dtype=float)
+    log_factorial = np.zeros(threshold)
+    if threshold > 1:
+        log_factorial[1:] = np.cumsum(np.log(np.arange(1, threshold)))
+    positive = lam > 0
+    tail = np.zeros(lam.shape)
+    if np.any(positive):
+        lam_pos = lam[positive]
+        log_terms = (
+            -lam_pos[:, np.newaxis]
+            + indices[np.newaxis, :] * np.log(lam_pos)[:, np.newaxis]
+            - log_factorial[np.newaxis, :]
+        )
+        top = log_terms.max(axis=1)
+        cdf = np.exp(top) * np.exp(
+            log_terms - top[:, np.newaxis]
+        ).sum(axis=1)
+        tail[positive] = np.clip(1.0 - cdf, 0.0, 1.0)
+    return tail
+
+
+class CountsDeliveryModel:
+    """Counts-native phase delivery: Claim-1 recoloring + Poissonized bins.
+
+    The counts engine's substitute for a per-node delivery engine.  A phase
+    is reduced to its message histogram (Claim 1's balls-into-bins
+    reformulation, Definition 3): step 1 — every ball is re-colored through
+    the noise matrix — is sampled *exactly* with one multinomial per color
+    (:meth:`recolor`).  Step 2 — throwing the balls into the ``n`` bins —
+    is summarized under the Poissonized process P (Definition 4, the
+    paper's own analysis device): every node independently receives
+    ``Poisson(h_i / n)`` copies of opinion ``i``, which makes the per-node
+    outcomes i.i.d. and therefore reducible to ``O(k)`` closed-form
+    probabilities per trial:
+
+    * Stage-1 adoption (:meth:`adoption_probabilities`): by Poisson
+      splitting, a node that received at least one ball adopts color ``j``
+      with probability ``h_j / B`` independent of how many balls arrived,
+      so the per-node outcome law over {stay undecided, adopt 1, …, adopt
+      k} is ``(e^-Lambda, (1 - e^-Lambda) h / B)`` with
+      ``Lambda = B / n``.
+    * Stage-2 eligibility (:meth:`update_probability`): a node re-votes iff
+      it received at least ``L`` messages, an event of probability
+      ``P(Poisson(Lambda) >= L)``.
+    * Stage-2 votes (:meth:`vote_probabilities`): a size-``L`` uniform
+      subsample of i.i.d.-colored arrivals is ``L`` i.i.d. draws from
+      ``h / B`` — exactly the observation law the closed-form ``maj()``
+      table consumes.
+
+    Lemma 2 bounds the distance between process P and the real push process
+    O, so protocol runs under this model agree with the per-node engines
+    statistically (checked by the engine-agreement test-suite); the
+    dynamics' counts engines do not use this class and are exact outright.
+    """
+
+    def __init__(self, num_nodes: int, noise: NoiseMatrix) -> None:
+        self.num_nodes = require_positive_int(num_nodes, "num_nodes")
+        if not isinstance(noise, NoiseMatrix):
+            raise TypeError(
+                f"noise must be a NoiseMatrix, got {type(noise).__name__}"
+            )
+        self.noise = noise
+
+    @property
+    def num_opinions(self) -> int:
+        """Number of ball colors ``k``."""
+        return self.noise.num_opinions
+
+    def _validate_histograms(self, histograms: np.ndarray) -> np.ndarray:
+        array = np.asarray(histograms, dtype=np.int64)
+        if array.ndim != 2 or array.shape[1] != self.num_opinions:
+            raise ValueError(
+                f"histograms must have shape (R, {self.num_opinions}), "
+                f"got shape {array.shape}"
+            )
+        if array.size and array.min() < 0:
+            raise ValueError("histogram entries must be non-negative")
+        return array
+
+    def recolor(
+        self,
+        histograms: np.ndarray,
+        random_state: EnsembleRandomState = None,
+    ) -> np.ndarray:
+        """Step 1 of Definition 3 for ``R`` trials: exact noise re-coloring.
+
+        ``histograms`` has shape ``(R, k)``; the result is the post-noise
+        histogram matrix (same shape, int64, row sums preserved).  With a
+        per-trial randomness sequence trial ``r`` consumes exactly the
+        draws :meth:`NoiseMatrix.apply_to_counts` would make for its row.
+        """
+        histograms = self._validate_histograms(histograms)
+        return self.noise.apply_to_count_matrix(
+            histograms, random_state
+        ).astype(np.int64, copy=False)
+
+    def adoption_probabilities(self, noisy_histograms: np.ndarray) -> np.ndarray:
+        """Per-undecided-node Stage-1 outcome law, shape ``(R, k + 1)``.
+
+        Column 0 is "received nothing, stay undecided"; columns ``1..k``
+        are the adoption probabilities of each opinion.
+        """
+        noisy = self._validate_histograms(noisy_histograms)
+        totals = noisy.sum(axis=1, dtype=np.int64)
+        lam = totals / self.num_nodes
+        none_mass = np.exp(-lam)
+        shares = np.divide(
+            noisy,
+            totals[:, np.newaxis],
+            out=np.zeros(noisy.shape, dtype=float),
+            where=totals[:, np.newaxis] > 0,
+        )
+        probabilities = (1.0 - none_mass)[:, np.newaxis] * shares
+        return np.concatenate(
+            [none_mass[:, np.newaxis], probabilities], axis=1
+        )
+
+    def update_probability(
+        self, noisy_histograms: np.ndarray, sample_size: int
+    ) -> np.ndarray:
+        """Per-node probability of receiving at least ``sample_size``
+        messages during the phase, shape ``(R,)``."""
+        noisy = self._validate_histograms(noisy_histograms)
+        totals = noisy.sum(axis=1, dtype=np.int64)
+        return poisson_tail_probability(
+            int(sample_size), totals / self.num_nodes
+        )
+
+    def vote_probabilities(self, noisy_histograms: np.ndarray) -> np.ndarray:
+        """The i.i.d. color law of a re-voting node's sample, shape ``(R, k)``.
+
+        Rows with an empty histogram come back all-zero (no node can be
+        eligible there, so the law is never used).
+        """
+        noisy = self._validate_histograms(noisy_histograms)
+        totals = noisy.sum(axis=1, keepdims=True, dtype=np.int64)
+        return np.divide(
+            noisy,
+            totals,
+            out=np.zeros(noisy.shape, dtype=float),
+            where=totals > 0,
+        )
+
+    def sample_adoptions(
+        self,
+        noisy_histograms: np.ndarray,
+        undecided_counts: np.ndarray,
+        random_state: EnsembleRandomState = None,
+    ) -> np.ndarray:
+        """Stage-1 end-of-phase adoptions, shape ``(R, k + 1)`` int64.
+
+        Entry ``(r, 0)`` is the number of trial-``r`` undecided nodes that
+        received nothing and stay undecided; entry ``(r, j)`` the number
+        adopting opinion ``j`` — one multinomial per trial over the
+        :meth:`adoption_probabilities` law.
+        """
+        noisy = self._validate_histograms(noisy_histograms)
+        undecided = np.asarray(undecided_counts, dtype=np.int64)
+        if undecided.shape != (noisy.shape[0],):
+            raise ValueError(
+                f"undecided_counts must have shape ({noisy.shape[0]},), "
+                f"got {undecided.shape}"
+            )
+        if undecided.size and undecided.min() < 0:
+            raise ValueError("undecided counts must be non-negative")
+        probabilities = self.adoption_probabilities(noisy)
+        if is_generator_sequence(random_state):
+            generators = as_trial_generators(random_state, noisy.shape[0])
+            adopted = np.empty(
+                (noisy.shape[0], self.num_opinions + 1), dtype=np.int64
+            )
+            for trial, generator in enumerate(generators):
+                adopted[trial] = generator.multinomial(
+                    int(undecided[trial]), probabilities[trial]
+                )
+            return adopted
+        rng = as_generator(random_state)
+        return rng.multinomial(undecided, probabilities).astype(
+            np.int64, copy=False
+        )
+
+    #: Bounded chunk size of the per-voter fallback sampler: keeps every
+    #: intermediate array ``O(chunk * k)`` regardless of how many of the
+    #: ``n`` nodes re-vote in a phase.
+    VOTE_CHUNK = 32_768
+
+    def sample_vote_counts(
+        self,
+        noisy_histograms: np.ndarray,
+        num_voters: np.ndarray,
+        sample_size: int,
+        random_state: EnsembleRandomState = None,
+    ) -> np.ndarray:
+        """Per-trial tallies of ``num_voters`` i.i.d. ``maj()`` votes.
+
+        Each eligible node's vote is ``maj()`` of ``sample_size`` i.i.d.
+        draws from the trial's :meth:`vote_probabilities` law (the exact
+        Stage-2 sample law under Poissonization).  When the closed-form
+        vote table is tractable the tallies are one multinomial per trial;
+        otherwise voters are sampled in bounded chunks of
+        :data:`VOTE_CHUNK` compositions (same distribution, ``O(n)`` work
+        for that phase but never an ``n``-sized array).  Returns an
+        ``(R, k)`` int64 matrix.
+        """
+        from repro.network.pull_model import (  # local: avoid import cycle
+            majority_vote_law,
+            vote_table_is_tractable,
+        )
+
+        noisy = self._validate_histograms(noisy_histograms)
+        voters = np.asarray(num_voters, dtype=np.int64)
+        if voters.shape != (noisy.shape[0],):
+            raise ValueError(
+                f"num_voters must have shape ({noisy.shape[0]},), "
+                f"got {voters.shape}"
+            )
+        if voters.size and voters.min() < 0:
+            raise ValueError("voter counts must be non-negative")
+        sample_size = int(sample_size)
+        if sample_size < 1:
+            raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+        num_trials, num_opinions = noisy.shape
+        vote_law_probabilities = self.vote_probabilities(noisy)
+        if vote_table_is_tractable(sample_size, num_opinions):
+            observation_law = np.concatenate(
+                [np.zeros((num_trials, 1)), vote_law_probabilities], axis=1
+            )
+            vote_pmf = np.clip(
+                majority_vote_law(observation_law, sample_size), 0.0, 1.0
+            )[:, 1:]
+            # Renormalize away the rounding dust; the no-vote column is
+            # exactly zero because every sampled message carries an opinion.
+            row_sums = vote_pmf.sum(axis=1, keepdims=True)
+            vote_pmf = np.divide(
+                vote_pmf,
+                row_sums,
+                out=np.full(vote_pmf.shape, 1.0 / num_opinions),
+                where=row_sums > 0,
+            )
+            if is_generator_sequence(random_state):
+                generators = as_trial_generators(random_state, num_trials)
+                votes = np.empty((num_trials, num_opinions), dtype=np.int64)
+                for trial, generator in enumerate(generators):
+                    votes[trial] = generator.multinomial(
+                        int(voters[trial]), vote_pmf[trial]
+                    )
+                return votes
+            rng = as_generator(random_state)
+            return rng.multinomial(voters, vote_pmf).astype(
+                np.int64, copy=False
+            )
+        # Chunked per-voter fallback: enumerate each voter's sample
+        # composition directly (a k-cell multinomial) and tally the argmax
+        # with uniform tie-break keys — distribution-identical to the
+        # closed form, with every array bounded by VOTE_CHUNK.
+        if is_generator_sequence(random_state):
+            generators = as_trial_generators(random_state, num_trials)
+        else:
+            generators = [as_generator(random_state)] * num_trials
+        votes = np.zeros((num_trials, num_opinions), dtype=np.int64)
+        for trial, generator in enumerate(generators):
+            remaining = int(voters[trial])
+            if remaining == 0:
+                continue
+            pvals = vote_law_probabilities[trial]
+            if pvals.sum() <= 0:
+                raise ValueError(
+                    "cannot sample votes from an empty message histogram"
+                )
+            while remaining > 0:
+                chunk = min(remaining, self.VOTE_CHUNK)
+                compositions = generator.multinomial(
+                    sample_size, pvals, size=chunk
+                )
+                tie_keys = generator.random(compositions.shape)
+                winners = (compositions + tie_keys).argmax(axis=1)
+                votes[trial] += np.bincount(
+                    winners, minlength=num_opinions
+                ).astype(np.int64, copy=False)
+                remaining -= chunk
+        return votes
 
 
 def ensemble_recolor_and_throw(

@@ -64,7 +64,9 @@ def opinion_counts_matrix(
     flat = np.bincount(
         (opinions + offsets).ravel(), minlength=num_trials * width
     )
-    return flat.reshape(num_trials, width)[:, 1:]
+    # bincount returns the platform intp; pin to int64 so count arithmetic
+    # cannot silently wrap on 32-bit-int platforms once n grows past 2**31.
+    return flat.reshape(num_trials, width)[:, 1:].astype(np.int64, copy=False)
 
 
 class Multiset:

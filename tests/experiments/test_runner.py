@@ -7,10 +7,14 @@ import pytest
 
 from repro.core.state import EnsembleState
 from repro.experiments.runner import (
+    DEFAULT_COUNTS_THRESHOLD,
+    TRIAL_ENGINE_CHOICES,
     TRIAL_ENGINES,
     dynamics_trial_outcomes,
     protocol_trial_outcomes,
     repeat_trials,
+    resolve_trial_engine,
+    set_default_counts_threshold,
     summarize,
     sweep_product,
 )
@@ -188,3 +192,110 @@ class TestDynamicsTrialOutcomes:
     def test_rejects_unknown_rule(self):
         with pytest.raises(ValueError):
             self.run_engine("batched", rule="bogus")
+
+    def test_engine_cache_reuses_instances_across_cells(self):
+        """The sweep fast path: one engine instance per distinct grid cell,
+        reused (with the cell's own seed) when the cell repeats."""
+        initial = biased_population(self.NUM_NODES, 3, 0.3, random_state=1)
+        cache = {}
+        baseline = dynamics_trial_outcomes(
+            initial, identity_matrix(3), "3-majority", 100, 3,
+            random_state=5, trial_engine="counts",
+        )
+        first = dynamics_trial_outcomes(
+            initial, identity_matrix(3), "3-majority", 100, 3,
+            random_state=5, trial_engine="counts", engine_cache=cache,
+        )
+        assert len(cache) == 1
+        cached_instance = next(iter(cache.values()))
+        second = dynamics_trial_outcomes(
+            initial, identity_matrix(3), "3-majority", 100, 3,
+            random_state=5, trial_engine="counts", engine_cache=cache,
+        )
+        assert next(iter(cache.values())) is cached_instance
+        # Seeding stays per-call: cached runs match uncached runs exactly.
+        assert first == baseline == second
+        # A different cell (other engine) gets its own entry.
+        dynamics_trial_outcomes(
+            initial, identity_matrix(3), "3-majority", 100, 3,
+            random_state=5, trial_engine="batched", engine_cache=cache,
+        )
+        assert len(cache) == 2
+
+
+class TestEngineResolution:
+    def test_concrete_names_pass_through(self):
+        for engine in TRIAL_ENGINES:
+            assert resolve_trial_engine(engine, 10) == engine
+            assert resolve_trial_engine(engine, 10**9) == engine
+
+    def test_auto_switches_at_the_threshold(self):
+        assert resolve_trial_engine("auto", DEFAULT_COUNTS_THRESHOLD - 1) == "batched"
+        assert resolve_trial_engine("auto", DEFAULT_COUNTS_THRESHOLD) == "counts"
+
+    def test_auto_honours_explicit_threshold(self):
+        assert resolve_trial_engine("auto", 100, counts_threshold=50) == "counts"
+        assert resolve_trial_engine("auto", 100, counts_threshold=500) == "batched"
+        with pytest.raises(ValueError):
+            resolve_trial_engine("auto", 100, counts_threshold=0)
+
+    def test_auto_honours_process_default_override(self):
+        try:
+            assert set_default_counts_threshold(10) == 10
+            assert resolve_trial_engine("auto", 100) == "counts"
+        finally:
+            assert (
+                set_default_counts_threshold(None) == DEFAULT_COUNTS_THRESHOLD
+            )
+        assert resolve_trial_engine("auto", 100) == "batched"
+
+    def test_choices_include_auto(self):
+        assert "auto" in TRIAL_ENGINE_CHOICES
+        with pytest.raises(ValueError):
+            resolve_trial_engine("bogus", 10)
+
+    def test_auto_routes_protocol_trials(self):
+        noise = uniform_noise_matrix(3, 0.35)
+        outcomes = protocol_trial_outcomes(
+            rumor_instance(250, 3, 1), noise, 0.35, 2, 0,
+            target_opinion=1, trial_engine="auto", counts_threshold=100,
+        )
+        assert len(outcomes) == 2
+
+    def test_auto_routes_dynamics_trials(self):
+        initial = biased_population(300, 3, 0.3, random_state=1)
+        outcomes = dynamics_trial_outcomes(
+            initial, identity_matrix(3), "3-majority", 100, 2,
+            random_state=0, trial_engine="auto", counts_threshold=100,
+        )
+        assert len(outcomes) == 2
+
+    def test_counts_native_states_always_resolve_to_counts(self):
+        """Counts-native inputs carry no per-node information: 'auto' must
+        pick the counts engine even below the threshold, and explicit
+        per-node engines must be rejected with a clear error."""
+        from repro.core.state import CountsState
+
+        initial = CountsState([100, 60, 40], 300)
+        outcomes = dynamics_trial_outcomes(
+            initial, identity_matrix(3), "voter", 20, 2,
+            random_state=0, trial_engine="auto", stop_at_consensus=False,
+        )
+        assert len(outcomes) == 2
+        noise = uniform_noise_matrix(3, 0.35)
+        protocol = protocol_trial_outcomes(
+            CountsState.single_source(250, 3, 1), noise, 0.35, 2, 0,
+            target_opinion=1, trial_engine="auto",
+        )
+        assert len(protocol) == 2
+        for engine in ("batched", "sequential"):
+            with pytest.raises(ValueError, match="per-node"):
+                dynamics_trial_outcomes(
+                    initial, identity_matrix(3), "voter", 20, 2,
+                    random_state=0, trial_engine=engine,
+                )
+            with pytest.raises(ValueError, match="per-node"):
+                protocol_trial_outcomes(
+                    CountsState.single_source(250, 3, 1), noise, 0.35, 2, 0,
+                    target_opinion=1, trial_engine=engine,
+                )

@@ -1,0 +1,325 @@
+"""Statistical agreement of the sequential / batched / counts engines.
+
+The three engine tiers implement the same processes at different levels of
+aggregation, so their statistics must agree:
+
+* the **dynamics** tiers are all exact in distribution (per-message
+  sampling, compound-channel sampling, grouped multinomials), so one-round
+  outcome distributions and multi-round summaries must match up to
+  sampling noise;
+* the **protocol** counts tier replaces the balls-into-bins throw with its
+  Poissonized summary (Definition 4); Lemma 2 makes the phase statistics
+  close, and the end-of-stage summaries (Stage-1 bias, success rate,
+  final bias) must be statistically indistinguishable at these scales.
+
+Test methodology (documented so CI stays deterministic):
+
+* fixed seeds everywhere — each assertion is a deterministic computation;
+* **chi-square cross-checks**: one synchronous round from a fixed initial
+  state makes every node's outcome independent, so pooling the end-of-round
+  category counts (undecided, opinion 1..k) over trials yields two
+  multinomial samples; the two-sample chi-square statistic is compared
+  against the alpha = 0.001 critical value for its degrees of freedom.
+  (For the protocol phase check the counts engine's aggregate has slightly
+  *higher* per-trial variance than process O — the Poissonized total
+  fluctuates — which only makes this pooled test conservative.)
+* **KS cross-checks**: per-trial summary statistics (final bias, Stage-1
+  bias) are compared with the two-sample Kolmogorov-Smirnov statistic
+  against the closed-form alpha = 0.001 critical value
+  ``c(alpha) * sqrt((m + n) / (m * n))`` with ``c(0.001) ~= 1.9495``;
+  ties (the statistics live on a ``1/n`` grid) only make the test
+  conservative.
+
+With ~20 independent checks at alpha = 0.001 the probability of any false
+alarm under fixed seeds is zero (deterministic) and under reseeding ~2%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import CountsProtocol, EnsembleProtocol, TwoStageProtocol
+from repro.core.state import PopulationState
+from repro.dynamics import make_counts_dynamics, make_dynamics, make_ensemble_dynamics
+from repro.experiments.workloads import biased_population, rumor_instance
+from repro.noise.families import uniform_noise_matrix
+
+#: Upper alpha = 0.001 critical values of the chi-square distribution.
+CHI2_CRITICAL_001 = {1: 10.828, 2: 13.816, 3: 16.266, 4: 18.467, 5: 20.515}
+
+#: c(alpha) of the two-sample KS critical value at alpha = 0.001:
+#: sqrt(-ln(alpha / 2) / 2).
+KS_COEFFICIENT_001 = 1.9495
+
+ALL_RULES = [
+    ("voter", None),
+    ("3-majority", None),
+    ("h-majority", 5),
+    ("undecided-state", None),
+    ("median-rule", None),
+]
+
+
+def two_sample_chi_square(observed_a: np.ndarray, observed_b: np.ndarray):
+    """The two-sample chi-square statistic and its degrees of freedom.
+
+    ``observed_a`` / ``observed_b`` are category-count vectors (possibly
+    with different totals).  Cells empty in both samples are dropped.
+    """
+    observed = np.stack(
+        [np.asarray(observed_a, float), np.asarray(observed_b, float)]
+    )
+    observed = observed[:, observed.sum(axis=0) > 0]
+    row_totals = observed.sum(axis=1, keepdims=True)
+    column_totals = observed.sum(axis=0, keepdims=True)
+    expected = row_totals * column_totals / observed.sum()
+    statistic = float(((observed - expected) ** 2 / expected).sum())
+    return statistic, observed.shape[1] - 1
+
+
+def ks_statistic(sample_a: np.ndarray, sample_b: np.ndarray) -> float:
+    """The two-sample Kolmogorov-Smirnov statistic."""
+    sample_a = np.sort(np.asarray(sample_a, float))
+    sample_b = np.sort(np.asarray(sample_b, float))
+    grid = np.concatenate([sample_a, sample_b])
+    cdf_a = np.searchsorted(sample_a, grid, side="right") / sample_a.size
+    cdf_b = np.searchsorted(sample_b, grid, side="right") / sample_b.size
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
+def ks_critical(size_a: int, size_b: int) -> float:
+    return KS_COEFFICIENT_001 * np.sqrt(
+        (size_a + size_b) / (size_a * size_b)
+    )
+
+
+def pooled_category_counts_counts_engine(rule, sample_size, num_nodes, noise,
+                                         initial, trials, seed):
+    """Pooled end-of-one-round category counts from the counts engine."""
+    result = make_counts_dynamics(
+        rule, num_nodes, noise, seed, sample_size=sample_size
+    ).run(initial, 1, trials, target_opinion=1, stop_at_consensus=False,
+          record_history=False)
+    per_opinion = result.final_states.counts.sum(axis=0)
+    undecided = result.final_states.undecided_counts().sum()
+    return np.concatenate([[undecided], per_opinion])
+
+
+def pooled_category_counts_batched_engine(rule, sample_size, num_nodes, noise,
+                                          initial, trials, seed):
+    """Pooled end-of-one-round category counts from the batched engine."""
+    result = make_ensemble_dynamics(
+        rule, num_nodes, noise, seed, sample_size=sample_size
+    ).run(initial, 1, trials, target_opinion=1, stop_at_consensus=False,
+          record_history=False)
+    per_opinion = result.final_states.opinion_counts().sum(axis=0)
+    undecided = trials * num_nodes - per_opinion.sum()
+    return np.concatenate([[undecided], per_opinion])
+
+
+def pooled_category_counts_sequential_engine(rule, sample_size, num_nodes,
+                                             noise, initial, trials, seed):
+    """Pooled end-of-one-round category counts from the sequential engine."""
+    pooled = np.zeros(noise.num_opinions + 1, dtype=np.int64)
+    for trial in range(trials):
+        result = make_dynamics(
+            rule, num_nodes, noise, seed + trial, sample_size=sample_size
+        ).run(initial, 1, target_opinion=1, stop_at_consensus=False,
+              record_history=False)
+        pooled += np.bincount(
+            result.final_state.opinions, minlength=noise.num_opinions + 1
+        )
+    return pooled
+
+
+class TestDynamicsOneRoundAgreement:
+    """Chi-square cross-checks of the per-round count distributions.
+
+    One round from a fixed, partially-undecided initial state; all five
+    rules; counts engine vs. both per-node engines.
+    """
+
+    NUM_NODES = 400
+    POOL_TRIALS = 120
+    SEQUENTIAL_TRIALS = 40
+
+    @pytest.fixture(scope="class")
+    def noise(self):
+        return uniform_noise_matrix(3, 0.4)
+
+    @pytest.fixture(scope="class")
+    def initial(self):
+        # 25% undecided so every category (including "observed nothing")
+        # has mass, exercising the undecided handling of every rule.
+        state = biased_population(self.NUM_NODES, 3, 0.2, random_state=1)
+        opinions = state.opinions.copy()
+        opinions[: self.NUM_NODES // 4] = 0
+        return PopulationState(opinions, 3)
+
+    @pytest.mark.parametrize("rule,sample_size", ALL_RULES)
+    def test_counts_vs_batched(self, rule, sample_size, noise, initial):
+        counts = pooled_category_counts_counts_engine(
+            rule, sample_size, self.NUM_NODES, noise, initial,
+            self.POOL_TRIALS, seed=10,
+        )
+        batched = pooled_category_counts_batched_engine(
+            rule, sample_size, self.NUM_NODES, noise, initial,
+            self.POOL_TRIALS, seed=20,
+        )
+        assert counts.sum() == batched.sum()
+        statistic, df = two_sample_chi_square(counts, batched)
+        assert statistic < CHI2_CRITICAL_001[df], (
+            f"{rule}: counts vs batched one-round chi-square {statistic:.1f} "
+            f"exceeds the alpha=0.001 critical value for df={df}"
+        )
+
+    @pytest.mark.parametrize("rule,sample_size", ALL_RULES)
+    def test_counts_vs_sequential(self, rule, sample_size, noise, initial):
+        counts = pooled_category_counts_counts_engine(
+            rule, sample_size, self.NUM_NODES, noise, initial,
+            self.POOL_TRIALS, seed=30,
+        )
+        sequential = pooled_category_counts_sequential_engine(
+            rule, sample_size, self.NUM_NODES, noise, initial,
+            self.SEQUENTIAL_TRIALS, seed=4000,
+        )
+        statistic, df = two_sample_chi_square(counts, sequential)
+        assert statistic < CHI2_CRITICAL_001[df], (
+            f"{rule}: counts vs sequential one-round chi-square "
+            f"{statistic:.1f} exceeds the alpha=0.001 critical value for "
+            f"df={df}"
+        )
+
+
+class TestDynamicsFinalBiasAgreement:
+    """KS cross-checks of multi-round final-bias summaries.
+
+    20 rounds (no early stopping) keeps every trial away from consensus so
+    the bias distribution stays non-degenerate; counts vs batched engines.
+    """
+
+    NUM_NODES = 300
+    TRIALS = 100
+    ROUNDS = 20
+
+    @pytest.fixture(scope="class")
+    def noise(self):
+        return uniform_noise_matrix(3, 0.4)
+
+    @pytest.fixture(scope="class")
+    def initial(self):
+        return biased_population(self.NUM_NODES, 3, 0.15, random_state=2)
+
+    @pytest.mark.parametrize("rule,sample_size", ALL_RULES)
+    def test_counts_vs_batched_final_bias(self, rule, sample_size, noise,
+                                          initial):
+        counts = make_counts_dynamics(
+            rule, self.NUM_NODES, noise, 50, sample_size=sample_size
+        ).run(initial, self.ROUNDS, self.TRIALS, target_opinion=1,
+              stop_at_consensus=False, record_history=False)
+        batched = make_ensemble_dynamics(
+            rule, self.NUM_NODES, noise, 60, sample_size=sample_size
+        ).run(initial, self.ROUNDS, self.TRIALS, target_opinion=1,
+              stop_at_consensus=False, record_history=False)
+        statistic = ks_statistic(counts.final_biases, batched.final_biases)
+        critical = ks_critical(self.TRIALS, self.TRIALS)
+        assert statistic < critical, (
+            f"{rule}: final-bias KS {statistic:.3f} exceeds the alpha=0.001 "
+            f"critical value {critical:.3f}"
+        )
+
+
+class TestProtocolAgreement:
+    """The two-stage protocol across all three engines."""
+
+    NUM_NODES = 600
+    EPSILON = 0.3
+    TRIALS = 100
+    SEQUENTIAL_TRIALS = 20
+
+    @pytest.fixture(scope="class")
+    def noise(self):
+        return uniform_noise_matrix(3, self.EPSILON)
+
+    @pytest.fixture(scope="class")
+    def initial(self):
+        return rumor_instance(self.NUM_NODES, 3, 1)
+
+    @pytest.fixture(scope="class")
+    def counts_result(self, noise, initial):
+        return CountsProtocol(
+            self.NUM_NODES, noise, epsilon=self.EPSILON, random_state=70
+        ).run(initial, self.TRIALS, target_opinion=1)
+
+    @pytest.fixture(scope="class")
+    def batched_result(self, noise, initial):
+        return EnsembleProtocol(
+            self.NUM_NODES, noise, epsilon=self.EPSILON, random_state=80
+        ).run(initial, self.TRIALS, target_opinion=1)
+
+    def test_stage1_bias_distribution(self, counts_result, batched_result):
+        statistic = ks_statistic(
+            counts_result.biases_after_stage1,
+            batched_result.biases_after_stage1,
+        )
+        critical = ks_critical(self.TRIALS, self.TRIALS)
+        assert statistic < critical, (
+            f"Stage-1 bias KS {statistic:.3f} exceeds the alpha=0.001 "
+            f"critical value {critical:.3f}"
+        )
+
+    def test_stage1_phase0_adoption_counts(self, noise, initial):
+        """Chi-square on the pooled phase-0 adoption categories: the
+        counts engine's Poissonized throw vs the batched engine's exact
+        Claim-1 throw (pooled over trials, so the counts engine's larger
+        per-trial total variance only makes the test conservative)."""
+        counts_records = CountsProtocol(
+            self.NUM_NODES, noise, epsilon=self.EPSILON, random_state=90
+        ).run(initial, self.TRIALS, target_opinion=1).stage1_records[0]
+        batched_records = EnsembleProtocol(
+            self.NUM_NODES, noise, epsilon=self.EPSILON, random_state=95
+        ).run(initial, self.TRIALS, target_opinion=1).stage1_records[0]
+        pooled = []
+        for record in (counts_records, batched_records):
+            per_opinion = np.rint(
+                record.opinion_distributions * self.NUM_NODES
+            ).astype(np.int64).sum(axis=0)
+            undecided = self.TRIALS * self.NUM_NODES - per_opinion.sum()
+            pooled.append(np.concatenate([[undecided], per_opinion]))
+        statistic, df = two_sample_chi_square(*pooled)
+        assert statistic < CHI2_CRITICAL_001[df], (
+            f"phase-0 adoption chi-square {statistic:.1f} exceeds the "
+            f"alpha=0.001 critical value for df={df}"
+        )
+
+    def test_success_and_final_bias_across_all_engines(
+        self, noise, initial, counts_result, batched_result
+    ):
+        sequential_successes = []
+        sequential_final_biases = []
+        for seed in range(self.SEQUENTIAL_TRIALS):
+            result = TwoStageProtocol(
+                self.NUM_NODES, noise, epsilon=self.EPSILON,
+                random_state=7000 + seed,
+            ).run(initial, target_opinion=1)
+            sequential_successes.append(result.success)
+            sequential_final_biases.append(result.final_bias)
+        rates = {
+            "counts": counts_result.success_rate,
+            "batched": batched_result.success_rate,
+            "sequential": float(np.mean(sequential_successes)),
+        }
+        # The protocol succeeds w.h.p. at this scale on every engine; a
+        # four-sigma binomial tolerance on the smallest sample bounds the
+        # admissible spread.
+        tolerance = 4.0 * np.sqrt(0.25 / self.SEQUENTIAL_TRIALS)
+        assert max(rates.values()) - min(rates.values()) <= tolerance, rates
+        statistic = ks_statistic(
+            counts_result.final_biases, batched_result.final_biases
+        )
+        critical = ks_critical(self.TRIALS, self.TRIALS)
+        assert statistic < critical
+        assert float(np.mean(sequential_final_biases)) == pytest.approx(
+            float(counts_result.final_biases.mean()), abs=0.1
+        )

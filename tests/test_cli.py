@@ -54,6 +54,54 @@ class TestParser:
             main(["dynamics", "--rule", "voter", "--sample-size", "3"])
         assert "only applies to --rule h-majority" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("command", ["ensemble", "dynamics", "run-experiment"])
+    def test_engine_choices_are_uniform_across_subcommands(self, command):
+        """Every trial-running subcommand accepts the same engine names."""
+        prefix = [command, "E12"] if command == "run-experiment" else [command]
+        for engine in ("batched", "sequential", "counts", "auto"):
+            args = build_parser().parse_args(prefix + ["--engine", engine])
+            assert args.engine == engine
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(prefix + ["--engine", "bogus"])
+
+    @pytest.mark.parametrize("command", ["ensemble", "dynamics", "run-experiment"])
+    def test_counts_threshold_accepted_with_auto(self, command):
+        prefix = [command, "E12"] if command == "run-experiment" else [command]
+        args = build_parser().parse_args(
+            prefix + ["--engine", "auto", "--counts-threshold", "1234"]
+        )
+        assert args.counts_threshold == 1234
+
+    def test_counts_threshold_requires_auto(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["dynamics", "--engine", "counts", "--counts-threshold", "5"])
+        assert "only applies to --engine auto" in capsys.readouterr().err
+
+    def test_counts_threshold_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["dynamics", "--engine", "auto", "--counts-threshold", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_counts_threshold_requires_auto_on_run_experiment_too(
+        self, capsys
+    ):
+        with pytest.raises(SystemExit):
+            main(["run-experiment", "E11", "--counts-threshold", "10"])
+        assert "only applies to --engine auto" in capsys.readouterr().err
+
+    def test_intractable_counts_sample_size_is_a_parser_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "dynamics",
+                    "--rule", "h-majority",
+                    "--sample-size", "256",
+                    "--engine", "counts",
+                    "--nodes", "100",
+                ]
+            )
+        assert "maj() table budget" in capsys.readouterr().err
+
 
 class TestExperimentRegistry:
     def test_every_experiment_has_a_module_with_run(self):
@@ -158,3 +206,56 @@ class TestCommands:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "plurality opinion     : 1" in captured.out
+
+    def test_ensemble_command_counts_engine(self, capsys):
+        exit_code = main(
+            [
+                "ensemble",
+                "--nodes", "400",
+                "--opinions", "3",
+                "--epsilon", "0.3",
+                "--trials", "4",
+                "--engine", "counts",
+                "--seed", "0",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code in (0, 1)
+        assert "engine                : counts" in captured.out
+        assert "throughput" in captured.out
+
+    def test_dynamics_command_auto_resolves_to_counts(self, capsys):
+        exit_code = main(
+            [
+                "dynamics",
+                "--rule", "3-majority",
+                "--nodes", "500",
+                "--epsilon", "0.66",
+                "--bias", "0.3",
+                "--trials", "4",
+                "--max-rounds", "200",
+                "--engine", "auto",
+                "--counts-threshold", "100",
+                "--seed", "0",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "engine                : counts" in captured.out
+
+    def test_run_experiment_engine_override(self, capsys):
+        exit_code = main(
+            ["run-experiment", "E9", "--seed", "0", "--engine", "counts"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "[E9]" in captured.out
+
+    def test_run_experiment_engine_override_rejected_without_config(
+        self, capsys
+    ):
+        # E11 (memory accounting) runs no repeated trials and has no
+        # trial_engine in its config.
+        with pytest.raises(SystemExit):
+            main(["run-experiment", "E11", "--engine", "counts"])
+        assert "does not run repeated trials" in capsys.readouterr().err
