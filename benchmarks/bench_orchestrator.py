@@ -1,0 +1,129 @@
+"""Benchmark: the orchestrator's parallel sweep vs. serial execution.
+
+The acceptance target of the orchestration layer: a ``run_all`` replication
+sweep (the quick configurations of every registered experiment at three
+base seeds — 42 jobs) must be at least **2x** faster with ``--jobs 4`` than
+serially.  Parallel results are identical to serial results (the
+per-experiment seeds derive from the job identity, not from execution
+order), so the speedup is pure wall-clock — the property the orchestrator
+test-suite verifies separately on records.
+
+The speedup assertion needs real parallel hardware: on a machine with
+fewer than ``PARALLEL_JOBS`` cores the measurement is still taken and
+recorded, but the ≥2x target is skipped (time-slicing one core cannot
+speed anything up).  CI runs on multi-core runners, so the target is
+enforced there.
+
+A resume pass over the already-populated store is measured as well: every
+job must report ``cached`` and the pass must cost a small fraction of the
+original run.  All measurements are recorded to ``BENCH_experiments.json``
+in one schema-versioned document via
+:func:`record.record_benchmark_results`, and CI prints that file on every
+run.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_orchestrator.py -s \
+        -o python_files="bench_*.py"
+
+``test_run_all_parallel_speedup`` asserts the targets directly with
+``time.perf_counter`` so it also runs without the pytest-benchmark plugin.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from record import record_benchmark_results
+
+from repro.experiments.orchestrator import run_all
+from repro.experiments.spec import registered_ids
+
+PARALLEL_JOBS = 4
+MIN_SPEEDUP = 2.0
+SWEEP_SEEDS = (0, 1, 2)
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_experiments.json"
+
+
+def run_sweep(jobs: int, store=None, resume: bool = False):
+    """One replication sweep over all quick configs; (reports, seconds)."""
+    started = time.perf_counter()
+    reports = run_all(
+        registered_ids(),
+        jobs=jobs,
+        seeds=SWEEP_SEEDS,
+        store=store,
+        resume=resume,
+    )
+    return reports, time.perf_counter() - started
+
+
+def test_run_all_parallel_speedup(tmp_path, capsys):
+    # Warm-up: one cheap experiment so one-time import/JIT costs (numpy
+    # caches, schedule tables) do not pollute the serial measurement.
+    run_all(["E11"], jobs=1)
+
+    serial_reports, serial_seconds = run_sweep(jobs=1)
+    store = tmp_path / "results"
+    parallel_reports, parallel_seconds = run_sweep(
+        jobs=PARALLEL_JOBS, store=store
+    )
+    resume_reports, resume_seconds = run_sweep(
+        jobs=PARALLEL_JOBS, store=store, resume=True
+    )
+
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    num_jobs = len(serial_reports)
+    cores = os.cpu_count() or 1
+
+    with capsys.disabled():
+        print(
+            f"\n[bench_orchestrator] run-all over {num_jobs} quick-config "
+            f"jobs ({len(SWEEP_SEEDS)} seeds x {len(registered_ids())} "
+            f"experiments): serial {serial_seconds:.2f}s, "
+            f"--jobs {PARALLEL_JOBS} {parallel_seconds:.2f}s "
+            f"-> speedup {speedup:.1f}x; resume {resume_seconds:.3f}s "
+            f"({cores} cores)"
+        )
+
+    assert all(report.status == "ran" for report in serial_reports)
+    assert all(report.status == "ran" for report in parallel_reports)
+    assert all(report.status == "cached" for report in resume_reports)
+    assert resume_seconds < serial_seconds / 2, (
+        f"resume pass took {resume_seconds:.2f}s - the cache is not "
+        "actually skipping work"
+    )
+
+    record_benchmark_results(
+        RESULTS_PATH,
+        {
+            "orchestrator_run_all_quick": {
+                "num_jobs": num_jobs,
+                "num_experiments": len(registered_ids()),
+                "num_seeds": len(SWEEP_SEEDS),
+                "jobs": PARALLEL_JOBS,
+                "cores": cores,
+                "serial_seconds": round(serial_seconds, 4),
+                "parallel_seconds": round(parallel_seconds, 4),
+                "speedup": round(speedup, 2),
+                "resume_seconds": round(resume_seconds, 4),
+                "min_speedup_target": MIN_SPEEDUP,
+            }
+        },
+    )
+
+    if cores < PARALLEL_JOBS:
+        pytest.skip(
+            f"only {cores} core(s) available - the >= {MIN_SPEEDUP}x "
+            f"--jobs {PARALLEL_JOBS} target needs parallel hardware "
+            "(measurement recorded above)"
+        )
+    assert speedup >= MIN_SPEEDUP, (
+        f"run-all --jobs {PARALLEL_JOBS} speedup {speedup:.2f}x is below "
+        f"the {MIN_SPEEDUP}x acceptance target "
+        f"(serial {serial_seconds:.2f}s, parallel {parallel_seconds:.2f}s)"
+    )

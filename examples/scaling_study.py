@@ -14,6 +14,12 @@ the counts (sufficient-statistics) engine, whose per-round cost is
 independent of ``n`` — which is why this script can afford a million-node
 row on a laptop.
 
+Completed sweep points persist through the orchestrator's content-keyed
+:class:`~repro.experiments.orchestrator.ResultStore` (the same ``results/``
+artifacts as ``python -m repro run-all``), so an interrupted or re-run study
+*resumes*: already-computed grid points load from disk instead of being
+recomputed, and editing the grid only computes the new points.
+
 Run with::
 
     python examples/scaling_study.py
@@ -28,6 +34,7 @@ import numpy as np
 from repro import uniform_noise_matrix
 from repro.analysis.convergence import fit_round_complexity
 from repro.core.schedule import theoretical_round_complexity
+from repro.experiments.orchestrator import ResultStore
 from repro.experiments.runner import protocol_trial_outcomes, resolve_trial_engine
 from repro.experiments.workloads import rumor_instance
 from repro.utils.tables import format_records
@@ -36,44 +43,76 @@ NUM_NODES_GRID = (1_000, 4_000, 16_000, 100_000, 1_000_000)
 EPSILON_GRID = (0.2, 0.3, 0.4)
 NUM_OPINIONS = 3
 TRIALS_PER_POINT = 3
+SEED = 0
 #: Populations at or above this size run on the counts engine.
 COUNTS_THRESHOLD = 50_000
+#: Where completed sweep points persist (shared with `repro run-all`).
+STORE_DIR = "results"
+
+
+def measure_point(num_nodes: int, epsilon: float, engine: str) -> dict:
+    """Run one grid point and return its measurements."""
+    noise = uniform_noise_matrix(NUM_OPINIONS, epsilon)
+    initial_state = rumor_instance(num_nodes, NUM_OPINIONS, 1)
+    started = time.perf_counter()
+    outcomes = protocol_trial_outcomes(
+        initial_state,
+        noise,
+        epsilon,
+        TRIALS_PER_POINT,
+        random_state=SEED,
+        target_opinion=1,
+        trial_engine=engine,
+    )
+    elapsed = time.perf_counter() - started
+    return {
+        "successes": sum(outcome.success for outcome in outcomes),
+        "mean_rounds": float(
+            np.mean([outcome.total_rounds for outcome in outcomes])
+        ),
+        "seconds": elapsed,
+    }
 
 
 def main() -> None:
+    store = ResultStore(STORE_DIR)
     records = []
     nodes_for_fit, eps_for_fit, rounds_for_fit = [], [], []
+    resumed = 0
     for num_nodes in NUM_NODES_GRID:
         engine = resolve_trial_engine("auto", num_nodes, COUNTS_THRESHOLD)
-        initial_state = rumor_instance(num_nodes, NUM_OPINIONS, 1)
         for epsilon in EPSILON_GRID:
-            noise = uniform_noise_matrix(NUM_OPINIONS, epsilon)
-            started = time.perf_counter()
-            outcomes = protocol_trial_outcomes(
-                initial_state,
-                noise,
-                epsilon,
-                TRIALS_PER_POINT,
-                random_state=0,
-                target_opinion=1,
-                trial_engine=engine,
-            )
-            elapsed = time.perf_counter() - started
-            successes = sum(outcome.success for outcome in outcomes)
-            mean_rounds = float(
-                np.mean([outcome.total_rounds for outcome in outcomes])
-            )
+            # The point's identity: everything that determines its outcome.
+            # Identical identity -> load from the store instead of re-running.
+            identity = {
+                "script": "scaling_study",
+                "n": num_nodes,
+                "epsilon": epsilon,
+                "opinions": NUM_OPINIONS,
+                "trials": TRIALS_PER_POINT,
+                "seed": SEED,
+                "engine": engine,
+            }
+            point = store.fetch("scaling_study", identity)
+            cached = point is not None
+            if cached:
+                resumed += 1
+            else:
+                point = measure_point(num_nodes, epsilon, engine)
+                store.store("scaling_study", identity, point)
+            mean_rounds = float(point["mean_rounds"])
             clock = theoretical_round_complexity(num_nodes, epsilon)
             records.append(
                 {
                     "n": num_nodes,
                     "epsilon": epsilon,
                     "engine": engine,
-                    "success": f"{successes}/{TRIALS_PER_POINT}",
+                    "success": f"{int(point['successes'])}/{TRIALS_PER_POINT}",
                     "mean rounds": round(mean_rounds, 1),
                     "log2(n)/eps^2": round(clock, 1),
                     "ratio": round(mean_rounds / clock, 2),
-                    "wall [s]": round(elapsed, 2),
+                    "wall [s]": round(float(point["seconds"]), 2),
+                    "from": "store" if cached else "run",
                 }
             )
             nodes_for_fit.append(num_nodes)
@@ -95,6 +134,11 @@ def main() -> None:
         "Rows at n >= {:,} ran on the counts engine: per-round cost O(k^2) "
         "per trial, independent of n.".format(COUNTS_THRESHOLD)
     )
+    if resumed:
+        print(
+            f"{resumed}/{len(records)} grid points resumed from {STORE_DIR}/ "
+            "(delete the scaling_study_*.json artifacts to force a re-run)."
+        )
 
 
 if __name__ == "__main__":

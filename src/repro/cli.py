@@ -2,9 +2,16 @@
 
 The CLI exposes the most common workflows without writing Python:
 
-* ``python -m repro list-experiments`` — show the experiment index (E1–E14);
+* ``python -m repro list-experiments`` — show the experiment index (E1–E14)
+  with each experiment's supported trial engines and, when a result store is
+  present, its cache status;
 * ``python -m repro run-experiment E5 [--full] [--seed 0]`` — regenerate one
   experiment table and print it;
+* ``python -m repro run-all [--jobs 4] [--out results] [--resume]`` — run
+  every registered experiment (or an explicit subset) through the
+  orchestration layer: deterministic per-experiment seeds, optional process
+  parallelism, persistent content-keyed result artifacts, and
+  resume/skip-unchanged semantics;
 * ``python -m repro rumor --nodes 2000 --opinions 4 --epsilon 0.3`` — run one
   rumor-spreading instance and print the outcome;
 * ``python -m repro plurality --nodes 2000 --opinions 3 --epsilon 0.3
@@ -21,11 +28,13 @@ The CLI exposes the most common workflows without writing Python:
   h-majority, undecided-state, median rule) on the noisy pull substrate,
   with the same ``--engine`` choices.
 
-``run-experiment`` accepts the same ``--engine`` / ``--counts-threshold``
-pair and overrides the experiment config's trial engine with it.  Every
-command accepts ``--seed`` for reproducibility.  The CLI is a thin layer
-over the public API; anything it prints can also be obtained
-programmatically (see README).
+``run-experiment`` and ``run-all`` accept the same ``--engine`` /
+``--counts-threshold`` pair and override the experiment configs' trial
+engine with it; an engine an experiment does not support is rejected with
+an explicit error naming the supported engines (``run-all`` skips such
+experiments instead).  Every command accepts ``--seed`` for
+reproducibility.  The CLI is a thin layer over the public API; anything it
+prints can also be obtained programmatically (see README).
 """
 
 from __future__ import annotations
@@ -33,35 +42,28 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.plurality import PluralityConsensus
 from repro.core.rumor import RumorSpreading
-from repro.experiments import (
-    exp_ablation_sampling,
-    exp_amplification,
-    exp_baselines,
-    exp_epsilon_threshold,
-    exp_memory,
-    exp_noise_matrices,
-    exp_parity,
-    exp_plurality_consensus,
-    exp_poissonization,
-    exp_rumor_scaling,
-    exp_stage1_bias,
-    exp_stage1_growth,
-    exp_stage2_trajectory,
-    exp_topologies,
-)
+import repro.experiments  # noqa: F401  (imports populate the spec registry)
 from repro.dynamics import DYNAMICS_RULES
+from repro.experiments.orchestrator import (
+    DEFAULT_STORE_DIR,
+    ExperimentJob,
+    ResultStore,
+    job_seed,
+    run_all,
+)
 from repro.experiments.runner import (
     TRIAL_ENGINE_CHOICES,
     dynamics_trial_outcomes,
     protocol_trial_outcomes,
     resolve_trial_engine,
 )
+from repro.experiments.spec import all_specs, get_spec, registered_ids
 from repro.network.pull_model import vote_table_is_tractable
 from repro.experiments.workloads import (
     biased_population,
@@ -70,25 +72,7 @@ from repro.experiments.workloads import (
 )
 from repro.noise.families import uniform_noise_matrix
 
-__all__ = ["main", "build_parser", "EXPERIMENTS"]
-
-#: Experiment id -> (module, one-line description).
-EXPERIMENTS = {
-    "E1": (exp_rumor_scaling, "Theorem 1: rumor-spreading scaling"),
-    "E2": (exp_plurality_consensus, "Theorem 2: plurality consensus"),
-    "E3": (exp_stage1_bias, "Lemma 4/6/7: Stage-1 bias"),
-    "E4": (exp_stage1_growth, "Claims 2/3: Stage-1 growth"),
-    "E5": (exp_amplification, "Proposition 1: amplification bound"),
-    "E6": (exp_stage2_trajectory, "Lemma 12: Stage-2 trajectory"),
-    "E7": (exp_noise_matrices, "Section 4: majority-preserving matrices"),
-    "E8": (exp_poissonization, "Claim 1 / Lemma 2: process equivalence"),
-    "E9": (exp_epsilon_threshold, "Appendix D: epsilon threshold"),
-    "E10": (exp_parity, "Lemma 17: sample-size parity"),
-    "E11": (exp_memory, "Memory bound"),
-    "E12": (exp_baselines, "Baseline comparison under noise"),
-    "E13": (exp_ablation_sampling, "Ablations: sampling rule, engine"),
-    "E14": (exp_topologies, "Extension: non-complete topologies"),
-}
+__all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -99,20 +83,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser(
-        "list-experiments", help="list the reproducible experiments (E1-E14)"
+    list_parser = subparsers.add_parser(
+        "list-experiments",
+        help="list the reproducible experiments (E1-E14) with their engines "
+             "and cache status",
     )
+    list_parser.add_argument(
+        "--out", default=DEFAULT_STORE_DIR, metavar="DIR",
+        help="result-store directory to check cache status against "
+             f"(default {DEFAULT_STORE_DIR}/)",
+    )
+    list_parser.add_argument(
+        "--full", action="store_true",
+        help="check cache status for the full() configurations",
+    )
+    list_parser.add_argument("--seed", type=int, default=0)
 
     run_parser = subparsers.add_parser(
         "run-experiment", help="regenerate one experiment table"
     )
-    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS, key=_experiment_key))
+    run_parser.add_argument("experiment", choices=registered_ids())
     run_parser.add_argument(
         "--full", action="store_true",
         help="use the full() configuration instead of quick()",
     )
     run_parser.add_argument("--seed", type=int, default=0)
     _add_engine_arguments(run_parser, default=None)
+
+    run_all_parser = subparsers.add_parser(
+        "run-all",
+        help="run every registered experiment (or a subset) through the "
+             "orchestrator, with parallelism and persistent results",
+    )
+    run_all_parser.add_argument(
+        "experiments", nargs="*", metavar="EXPERIMENT",
+        help="experiment ids to run (default: all registered)",
+    )
+    run_all_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (default 1 = serial)",
+    )
+    run_all_parser.add_argument(
+        "--full", action="store_true",
+        help="use the full() configurations instead of quick()",
+    )
+    run_all_parser.add_argument("--seed", type=int, default=0)
+    run_all_parser.add_argument(
+        "--seeds", type=int, nargs="+", default=None, metavar="N",
+        help="replication sweep: run every experiment once per base seed "
+             "(overrides --seed)",
+    )
+    run_all_parser.add_argument(
+        "--out", default=DEFAULT_STORE_DIR, metavar="DIR",
+        help="directory for the persistent result artifacts "
+             f"(default {DEFAULT_STORE_DIR}/); 'none' disables persistence",
+    )
+    run_all_parser.add_argument(
+        "--resume", action="store_true",
+        help="skip experiments whose identity (id + config + seed + engine "
+             "+ code version) already has a stored result",
+    )
+    run_all_parser.add_argument(
+        "--print-tables", action="store_true",
+        help="print every experiment table after the status summary",
+    )
+    _add_engine_arguments(run_all_parser, default=None)
 
     rumor_parser = subparsers.add_parser(
         "rumor", help="run one noisy rumor-spreading instance"
@@ -182,9 +217,9 @@ def _add_engine_arguments(
     """The shared ``--engine`` / ``--counts-threshold`` options.
 
     Every trial-running subcommand (``ensemble``, ``dynamics``,
-    ``run-experiment``) accepts the same engine vocabulary; for
-    ``run-experiment`` the default is ``None`` (keep the experiment
-    config's own engine choice).
+    ``run-experiment``, ``run-all``) accepts the same engine vocabulary;
+    for ``run-experiment`` and ``run-all`` the default is ``None`` (keep
+    the experiment configs' own engine choice).
     """
     parser.add_argument(
         "--engine", choices=TRIAL_ENGINE_CHOICES, default=default,
@@ -210,10 +245,6 @@ def _validate_engine_arguments(
         parser.error("--counts-threshold only applies to --engine auto")
 
 
-def _experiment_key(experiment_id: str) -> int:
-    return int(experiment_id[1:])
-
-
 def _add_common_instance_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--nodes", type=int, default=2000, help="population size n")
     parser.add_argument("--opinions", type=int, default=3, help="number of opinions k")
@@ -224,12 +255,45 @@ def _add_common_instance_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
-def _command_list_experiments() -> int:
-    width = max(len(identifier) for identifier in EXPERIMENTS)
-    for identifier in sorted(EXPERIMENTS, key=_experiment_key):
-        _, description = EXPERIMENTS[identifier]
-        print(f"{identifier.ljust(width)}  {description}")
+def _command_list_experiments(args: argparse.Namespace) -> int:
+    store = ResultStore(args.out)
+    specs = all_specs()
+    id_width = max(len(spec.experiment_id) for spec in specs)
+    description_width = max(len(spec.description) for spec in specs)
+    engines_width = max(
+        len(", ".join(spec.supported_engines)) for spec in specs
+    )
+    for spec in specs:
+        job = ExperimentJob(
+            experiment_id=spec.experiment_id,
+            full=args.full,
+            seed=job_seed(args.seed, spec),
+        )
+        cached = "cached" if store.has(job) else "-"
+        print(
+            f"{spec.experiment_id.ljust(id_width)}  "
+            f"{spec.description.ljust(description_width)}  "
+            f"engines: {', '.join(spec.supported_engines).ljust(engines_width)}  "
+            f"[{cached}]"
+        )
     return 0
+
+
+def _apply_engine_override(
+    spec, config, engine: Optional[str], parser: argparse.ArgumentParser
+):
+    """Validate ``--engine`` against the spec and apply it to the config."""
+    if engine is None:
+        return config
+    if not spec.supports_engine(engine):
+        parser.error(
+            f"experiment {spec.experiment_id} does not support "
+            f"--engine {engine}; supported engines: "
+            f"{', '.join(spec.supported_engines)}"
+        )
+    if config is not None and hasattr(config, "trial_engine"):
+        config.trial_engine = engine
+    return config
 
 
 def _command_run_experiment(
@@ -237,33 +301,67 @@ def _command_run_experiment(
 ) -> int:
     from repro.experiments import runner as runner_module
 
-    module, _ = EXPERIMENTS[args.experiment]
-    config_cls = None
-    for attribute in vars(module).values():
-        if isinstance(attribute, type) and hasattr(attribute, "quick"):
-            config_cls = attribute
-            break
-    config = None
-    if config_cls is not None:
-        config = config_cls.full() if args.full else config_cls.quick()
-    if args.engine is not None:
-        if config is None or not hasattr(config, "trial_engine"):
-            parser.error(
-                f"experiment {args.experiment} does not run repeated trials "
-                "through a selectable engine (no trial_engine in its config)"
-            )
-        config.trial_engine = args.engine
+    spec = get_spec(args.experiment)
+    config = spec.build_config(args.full)
+    config = _apply_engine_override(spec, config, args.engine, parser)
     try:
         if args.counts_threshold is not None:
             # Experiment configs only carry an engine name, so the auto
             # switch-over point goes through the process default — restored
             # afterwards so programmatic main() callers are unaffected.
             runner_module.set_default_counts_threshold(args.counts_threshold)
-        table = module.run(config, random_state=args.seed)
+        table = spec.run_fn(config, random_state=args.seed)
     finally:
         if args.counts_threshold is not None:
             runner_module.set_default_counts_threshold(None)
     print(table.to_text())
+    return 0
+
+
+def _command_run_all(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    experiment_ids = args.experiments or None
+    if experiment_ids is not None:
+        known = set(registered_ids())
+        unknown = [i for i in experiment_ids if i not in known]
+        if unknown:
+            parser.error(
+                f"unknown experiment(s): {', '.join(unknown)}; "
+                f"registered: {', '.join(registered_ids())}"
+            )
+    store = None if args.out == "none" else ResultStore(args.out)
+    if args.resume and store is None:
+        parser.error("--resume requires a result store (--out DIR)")
+    started = time.perf_counter()
+    # The threshold travels inside every job (and its store identity), so
+    # it reaches worker processes and never aliases cached artifacts.
+    reports = run_all(
+        experiment_ids,
+        jobs=args.jobs,
+        seed=args.seed,
+        seeds=args.seeds,
+        full=args.full,
+        engine=args.engine,
+        counts_threshold=args.counts_threshold,
+        store=store,
+        resume=args.resume,
+        log=print,
+    )
+    elapsed = time.perf_counter() - started
+    ran = sum(report.status == "ran" for report in reports)
+    cached = sum(report.status == "cached" for report in reports)
+    skipped = sum(report.status == "skipped" for report in reports)
+    print(
+        f"run-all: {ran} ran, {cached} cached, {skipped} skipped "
+        f"in {elapsed:.2f} s"
+        + (f" (results in {store.root}/)" if store is not None else "")
+    )
+    if args.print_tables:
+        for report in reports:
+            if report.table is not None:
+                print()
+                print(report.table.to_text())
     return 0
 
 
@@ -404,12 +502,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if hasattr(args, "engine"):
+    if hasattr(args, "engine") and hasattr(args, "counts_threshold"):
         _validate_engine_arguments(args, parser)
     if args.command == "list-experiments":
-        return _command_list_experiments()
+        return _command_list_experiments(args)
     if args.command == "run-experiment":
         return _command_run_experiment(args, parser)
+    if args.command == "run-all":
+        return _command_run_all(args, parser)
     if args.command == "rumor":
         return _command_rumor(args)
     if args.command == "plurality":

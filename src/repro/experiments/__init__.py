@@ -10,10 +10,18 @@ corresponding benchmark in ``benchmarks/``.
 All experiments accept a configuration dataclass with a ``quick()``
 constructor (minutes on a laptop, used by the benchmark suite) and a
 ``full()`` constructor (closer to the asymptotic regime).
+
+Each module registers itself in the declarative spec registry
+(:mod:`~repro.experiments.spec`) at import time — id, paper claim,
+quick/full configuration constructors, and the trial engines it supports —
+and the orchestration layer (:mod:`~repro.experiments.orchestrator`)
+executes any subset of registered experiments in parallel with
+content-keyed result persistence (``python -m repro run-all``).
 """
 
 from repro.experiments.results import ExperimentTable
 from repro.experiments.runner import repeat_trials, sweep_product
+from repro.experiments.spec import ExperimentSpec, all_specs, get_spec, registered_ids
 
 from repro.experiments import (  # noqa: F401  (re-exported experiment modules)
     exp_ablation_sampling,
@@ -31,9 +39,17 @@ from repro.experiments import (  # noqa: F401  (re-exported experiment modules)
     exp_stage2_trajectory,
     exp_topologies,
 )
+from repro.experiments import orchestrator  # noqa: F401,E402  (needs the registry above)
+from repro.experiments.orchestrator import ResultStore, run_all  # noqa: E402
 
 __all__ = [
     "ExperimentTable",
+    "ExperimentSpec",
+    "ResultStore",
+    "all_specs",
+    "get_spec",
+    "registered_ids",
+    "run_all",
     "exp_ablation_sampling",
     "exp_amplification",
     "exp_baselines",

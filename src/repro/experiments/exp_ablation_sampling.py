@@ -16,6 +16,13 @@ Two design choices called out in DESIGN.md are ablated here:
    records the wall-clock speedup at a fixed workload — the quantity that
    justifies the vectorized design.  (The timing comparison also runs inside
    the benchmark harness, where pytest-benchmark measures it properly.)
+
+The sampling ablation routes through the engine-aware
+:func:`~repro.experiments.runner.stage2_trial_trajectories`, so it runs on
+the batched ensemble engine by default (``trial_engine="sequential"`` for
+the reference loop).  The counts engine is unsupported: the ablated
+variants condition on per-node arrival totals, which the sufficient
+statistics deliberately discard.
 """
 
 from __future__ import annotations
@@ -27,21 +34,32 @@ from typing import Optional
 import numpy as np
 
 from repro.analysis.convergence import estimate_success_probability
-from repro.core.schedule import Stage2Schedule
-from repro.core.stage2 import Stage2Executor
 from repro.experiments.results import ExperimentTable
-from repro.experiments.runner import repeat_trials
-from repro.experiments.workloads import biased_population
+from repro.experiments.runner import stage2_trial_trajectories
+from repro.experiments.spec import register_experiment
+from repro.experiments.workloads import ensemble_biased_population
 from repro.network.push_model import UniformPushModel
 from repro.noise.families import uniform_noise_matrix
-from repro.utils.rng import RandomState, as_generator
+from repro.utils.rng import RandomState, as_generator, derive_seed
 
 __all__ = ["AblationConfig", "run"]
+
+_TITLE = "Ablations: Stage-2 voting rule and delivery-engine implementation"
+_PAPER_CLAIM = (
+    "Design decisions (DESIGN.md): reservoir sampling keeps the memory bound "
+    "without hurting convergence; the vectorized engine is what makes "
+    "laptop-scale sweeps feasible"
+)
 
 
 @dataclass
 class AblationConfig:
-    """Parameters of the E13 ablations."""
+    """Parameters of the E13 ablations.
+
+    ``trial_engine`` selects the sampling ablation's repeated-trial engine
+    (``"batched"`` or ``"sequential"``; the ablated voting rules condition
+    on per-node state, so the counts engine is unsupported).
+    """
 
     num_nodes: int = 1200
     num_opinions: int = 3
@@ -50,6 +68,7 @@ class AblationConfig:
     num_trials: int = 4
     timing_nodes: int = 400
     timing_rounds: int = 20
+    trial_engine: str = "batched"
 
     @classmethod
     def quick(cls) -> "AblationConfig":
@@ -67,41 +86,38 @@ def _sampling_ablation(
 ) -> None:
     """Compare the three Stage-2 voting variants."""
     noise = uniform_noise_matrix(config.num_opinions, config.epsilon)
-    schedule = Stage2Schedule.for_population(config.num_nodes, config.epsilon)
     variants = (
         ("reservoir sample (paper)", "without_replacement", False),
         ("sample with replacement", "with_replacement", False),
         ("full received multiset", "without_replacement", True),
     )
+    initial_states = ensemble_biased_population(
+        config.num_nodes,
+        config.num_opinions,
+        config.initial_bias,
+        config.num_trials,
+        random_state=derive_seed(random_state, 0),
+    )
     for label, method, full_multiset in variants:
-
-        def trial(rng: np.random.Generator):
-            initial = biased_population(
-                config.num_nodes,
-                config.num_opinions,
-                config.initial_bias,
-                random_state=rng,
-            )
-            engine = UniformPushModel(config.num_nodes, noise, rng)
-            executor = Stage2Executor(
-                engine,
-                schedule,
-                rng,
-                sampling_method=method,
-                use_full_multiset=full_multiset,
-            )
-            final_state, _ = executor.run(initial, track_opinion=1)
-            return final_state.has_consensus_on(1), final_state.bias_toward(1)
-
-        outcomes = repeat_trials(trial, config.num_trials, random_state)
+        trajectories = stage2_trial_trajectories(
+            initial_states,
+            noise,
+            config.epsilon,
+            config.num_trials,
+            derive_seed(random_state, 1),
+            track_opinion=1,
+            sampling_method=method,
+            use_full_multiset=full_multiset,
+            trial_engine=config.trial_engine,
+        )
         success_rate, _ = estimate_success_probability(
-            [success for success, _ in outcomes]
+            [bool(flag) for flag in trajectories.consensus]
         )
         table.add_record(
             ablation="stage2 voting rule",
             variant=label,
             success_rate=success_rate,
-            mean_final_bias=float(np.mean([bias for _, bias in outcomes])),
+            mean_final_bias=float(trajectories.final_biases.mean()),
             speedup=None,
         )
 
@@ -134,6 +150,14 @@ def _engine_ablation(
     )
 
 
+@register_experiment(
+    experiment_id="E13",
+    description="Ablations: sampling rule, engine",
+    title=_TITLE,
+    paper_claim=_PAPER_CLAIM,
+    supported_engines=("batched", "sequential"),
+    config_cls=AblationConfig,
+)
 def run(
     config: Optional[AblationConfig] = None,
     random_state: RandomState = 0,
@@ -142,13 +166,10 @@ def run(
     config = config or AblationConfig.quick()
     table = ExperimentTable(
         experiment_id="E13",
-        title="Ablations: Stage-2 voting rule and delivery-engine implementation",
-        paper_claim=(
-            "Design decisions (DESIGN.md): reservoir sampling keeps the memory bound "
-            "without hurting convergence; the vectorized engine is what makes "
-            "laptop-scale sweeps feasible"
-        ),
+        title=_TITLE,
+        paper_claim=_PAPER_CLAIM,
     )
     _sampling_ablation(config, random_state, table)
     _engine_ablation(config, random_state, table)
+    table.add_note(f"sampling-ablation trial engine: {config.trial_engine}")
     return table

@@ -20,9 +20,16 @@ from typing import Optional, Sequence
 
 from repro.analysis.amplification import expected_amplification_factor
 from repro.experiments.results import ExperimentTable
+from repro.experiments.spec import register_experiment
 from repro.utils.rng import RandomState, as_generator
 
 __all__ = ["AmplificationConfig", "run"]
+
+_TITLE = "Sample-majority amplification: measured gap vs. Proposition 1 bound"
+_PAPER_CLAIM = (
+    "Proposition 1: Pr[maj_l = m] - Pr[maj_l = i] >= "
+    "sqrt(2 l / pi) * g(delta, l) / 4^(k-2) for every rival opinion i"
+)
 
 
 @dataclass
@@ -55,6 +62,14 @@ class AmplificationConfig:
         )
 
 
+@register_experiment(
+    experiment_id="E5",
+    description="Proposition 1: amplification bound",
+    title=_TITLE,
+    paper_claim=_PAPER_CLAIM,
+    supported_engines=("sequential",),
+    config_cls=AmplificationConfig,
+)
 def run(
     config: Optional[AmplificationConfig] = None,
     random_state: RandomState = 0,
@@ -64,11 +79,8 @@ def run(
     rng = as_generator(random_state)
     table = ExperimentTable(
         experiment_id="E5",
-        title="Sample-majority amplification: measured gap vs. Proposition 1 bound",
-        paper_claim=(
-            "Proposition 1: Pr[maj_l = m] - Pr[maj_l = i] >= "
-            "sqrt(2 l / pi) * g(delta, l) / 4^(k-2) for every rival opinion i"
-        ),
+        title=_TITLE,
+        paper_claim=_PAPER_CLAIM,
     )
     violations = 0
     for num_opinions in config.num_opinions_grid:

@@ -38,12 +38,20 @@ from repro.experiments.runner import (
     dynamics_trial_outcomes,
     protocol_trial_outcomes,
 )
+from repro.experiments.spec import register_experiment
 from repro.experiments.workloads import biased_population
 from repro.noise.families import identity_matrix, uniform_noise_matrix
 from repro.utils.rng import RandomState, derive_seed
 from repro.utils.validation import require_positive_int
 
 __all__ = ["BaselineComparisonConfig", "run"]
+
+_TITLE = "Protocol vs. elementary dynamics, with and without channel noise"
+_PAPER_CLAIM = (
+    "Related work: elementary dynamics (3-majority, undecided-state, median "
+    "rule, ...) solve plurality/majority consensus on reliable channels; the "
+    "paper's protocol additionally tolerates per-message noise"
+)
 
 
 @dataclass
@@ -84,6 +92,14 @@ def _baseline_rules() -> List[Tuple[str, str, Optional[int]]]:
     ]
 
 
+@register_experiment(
+    experiment_id="E12",
+    description="Baseline comparison under noise",
+    title=_TITLE,
+    paper_claim=_PAPER_CLAIM,
+    supported_engines=("batched", "sequential", "counts"),
+    config_cls=BaselineComparisonConfig,
+)
 def run(
     config: Optional[BaselineComparisonConfig] = None,
     random_state: RandomState = 0,
@@ -93,12 +109,8 @@ def run(
     require_positive_int(config.num_trials, "num_trials")
     table = ExperimentTable(
         experiment_id="E12",
-        title="Protocol vs. elementary dynamics, with and without channel noise",
-        paper_claim=(
-            "Related work: elementary dynamics (3-majority, undecided-state, median "
-            "rule, ...) solve plurality/majority consensus on reliable channels; the "
-            "paper's protocol additionally tolerates per-message noise"
-        ),
+        title=_TITLE,
+        paper_claim=_PAPER_CLAIM,
     )
     noiseless = identity_matrix(config.num_opinions)
     noisy = uniform_noise_matrix(config.num_opinions, config.epsilon)

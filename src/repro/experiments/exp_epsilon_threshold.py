@@ -26,11 +26,19 @@ from repro.analysis.convergence import estimate_success_probability
 from repro.analysis.theory import theoretical_bias_after_stage1
 from repro.experiments.results import ExperimentTable
 from repro.experiments.runner import protocol_trial_outcomes
+from repro.experiments.spec import register_experiment
 from repro.experiments.workloads import rumor_instance
 from repro.noise.families import uniform_noise_matrix
 from repro.utils.rng import RandomState
 
 __all__ = ["EpsilonThresholdConfig", "run"]
+
+_TITLE = "Success across the eps ~ n^(-1/4) noise threshold"
+_PAPER_CLAIM = (
+    "Theorem 1 requires eps = Omega(n^(-1/4 + eta)); Appendix D argues the "
+    "protocol's phase structure fails to deliver the required "
+    "sqrt(log n / n) bias to Stage 2 when eps = Theta(n^(-1/4 - eta))"
+)
 
 
 @dataclass
@@ -67,6 +75,14 @@ class EpsilonThresholdConfig:
         )
 
 
+@register_experiment(
+    experiment_id="E9",
+    description="Appendix D: epsilon threshold",
+    title=_TITLE,
+    paper_claim=_PAPER_CLAIM,
+    supported_engines=("batched", "sequential", "counts"),
+    config_cls=EpsilonThresholdConfig,
+)
 def run(
     config: Optional[EpsilonThresholdConfig] = None,
     random_state: RandomState = 0,
@@ -75,12 +91,8 @@ def run(
     config = config or EpsilonThresholdConfig.quick()
     table = ExperimentTable(
         experiment_id="E9",
-        title="Success across the eps ~ n^(-1/4) noise threshold",
-        paper_claim=(
-            "Theorem 1 requires eps = Omega(n^(-1/4 + eta)); Appendix D argues the "
-            "protocol's phase structure fails to deliver the required "
-            "sqrt(log n / n) bias to Stage 2 when eps = Theta(n^(-1/4 - eta))"
-        ),
+        title=_TITLE,
+        paper_claim=_PAPER_CLAIM,
     )
     threshold = config.num_nodes ** (-0.25)
     required_bias = theoretical_bias_after_stage1(config.num_nodes)
@@ -125,6 +137,7 @@ def run(
         )
     table.add_note(
         f"threshold n^(-1/4) = {threshold:.4f} for n = {config.num_nodes}; epsilons "
-        "are clamped at 0.45 so the uniform-noise matrix stays well-formed"
+        "are clamped at 0.45 so the uniform-noise matrix stays well-formed; "
+        f"trial engine: {config.trial_engine}"
     )
     return table

@@ -19,9 +19,16 @@ from typing import Optional, Sequence
 from repro.core.memory import memory_bound_bits, protocol_memory_usage
 from repro.core.schedule import ProtocolSchedule
 from repro.experiments.results import ExperimentTable
+from repro.experiments.spec import register_experiment
 from repro.utils.rng import RandomState
 
 __all__ = ["MemoryConfig", "run"]
+
+_TITLE = "Per-node memory of the protocol vs. the O(log log n + log 1/eps) bound"
+_PAPER_CLAIM = (
+    "Theorems 1/2: the protocol uses O(log log n + log(1/eps)) bits of "
+    "memory per node (each node only counts opinions within a phase)"
+)
 
 
 @dataclass
@@ -46,6 +53,14 @@ class MemoryConfig:
         )
 
 
+@register_experiment(
+    experiment_id="E11",
+    description="Memory bound",
+    title=_TITLE,
+    paper_claim=_PAPER_CLAIM,
+    supported_engines=("sequential",),
+    config_cls=MemoryConfig,
+)
 def run(
     config: Optional[MemoryConfig] = None,
     random_state: RandomState = 0,
@@ -54,11 +69,8 @@ def run(
     config = config or MemoryConfig.quick()
     table = ExperimentTable(
         experiment_id="E11",
-        title="Per-node memory of the protocol vs. the O(log log n + log 1/eps) bound",
-        paper_claim=(
-            "Theorems 1/2: the protocol uses O(log log n + log(1/eps)) bits of "
-            "memory per node (each node only counts opinions within a phase)"
-        ),
+        title=_TITLE,
+        paper_claim=_PAPER_CLAIM,
     )
     ratios = []
     for num_nodes in config.num_nodes_grid:

@@ -44,9 +44,17 @@ from repro.noise.majority_preserving import (
     sufficient_condition_epsilon,
     worst_case_distribution,
 )
+from repro.experiments.spec import register_experiment
 from repro.utils.rng import RandomState, as_generator
 
 __all__ = ["NoiseMatrixConfig", "run"]
+
+_TITLE = "(eps, delta)-majority preservation of the Section-4 example matrices"
+_PAPER_CLAIM = (
+    "Section 4: the uniform-noise generalization of Eq. (1) is m.p. for every "
+    "delta; the diagonally dominant counterexample fails for eps, delta < 1/6; "
+    "Eq. (18) gives a sufficient condition for near-uniform matrices"
+)
 
 
 @dataclass
@@ -83,6 +91,14 @@ def _example_matrices(epsilon: float, rng: np.random.Generator):
     ]
 
 
+@register_experiment(
+    experiment_id="E7",
+    description="Section 4: majority-preserving matrices",
+    title=_TITLE,
+    paper_claim=_PAPER_CLAIM,
+    supported_engines=("batched", "sequential", "counts"),
+    config_cls=NoiseMatrixConfig,
+)
 def run(
     config: Optional[NoiseMatrixConfig] = None,
     random_state: RandomState = 0,
@@ -92,12 +108,8 @@ def run(
     rng = as_generator(random_state)
     table = ExperimentTable(
         experiment_id="E7",
-        title="(eps, delta)-majority preservation of the Section-4 example matrices",
-        paper_claim=(
-            "Section 4: the uniform-noise generalization of Eq. (1) is m.p. for every "
-            "delta; the diagonally dominant counterexample fails for eps, delta < 1/6; "
-            "Eq. (18) gives a sufficient condition for near-uniform matrices"
-        ),
+        title=_TITLE,
+        paper_claim=_PAPER_CLAIM,
     )
     for matrix in _example_matrices(config.epsilon, rng):
         sufficient_eps, sufficient_delta = sufficient_condition_epsilon(matrix)

@@ -23,9 +23,16 @@ import numpy as np
 
 from repro.analysis.amplification import majority_probabilities_exact
 from repro.experiments.results import ExperimentTable
+from repro.experiments.spec import register_experiment
 from repro.utils.rng import RandomState
 
 __all__ = ["ParityConfig", "run"]
+
+_TITLE = "Parity of the sample size: Pr[maj_l = m] for l, l+1, l+2"
+_PAPER_CLAIM = (
+    "Lemma 17: for odd l, Pr[maj_l = m] = Pr[maj_{l+1} = m] <= "
+    "Pr[maj_{l+2} = m] (and symmetrically for the rival opinion)"
+)
 
 
 @dataclass
@@ -50,6 +57,14 @@ class ParityConfig:
         return cls(sample_sizes=(3, 5, 9, 15, 25, 41, 61))
 
 
+@register_experiment(
+    experiment_id="E10",
+    description="Lemma 17: sample-size parity",
+    title=_TITLE,
+    paper_claim=_PAPER_CLAIM,
+    supported_engines=("sequential",),
+    config_cls=ParityConfig,
+)
 def run(
     config: Optional[ParityConfig] = None,
     random_state: RandomState = 0,
@@ -58,11 +73,8 @@ def run(
     config = config or ParityConfig.quick()
     table = ExperimentTable(
         experiment_id="E10",
-        title="Parity of the sample size: Pr[maj_l = m] for l, l+1, l+2",
-        paper_claim=(
-            "Lemma 17: for odd l, Pr[maj_l = m] = Pr[maj_{l+1} = m] <= "
-            "Pr[maj_{l+2} = m] (and symmetrically for the rival opinion)"
-        ),
+        title=_TITLE,
+        paper_claim=_PAPER_CLAIM,
     )
     violations = 0
 

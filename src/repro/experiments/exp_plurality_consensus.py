@@ -28,11 +28,19 @@ import numpy as np
 from repro.analysis.convergence import estimate_success_probability
 from repro.experiments.results import ExperimentTable
 from repro.experiments.runner import protocol_trial_outcomes
+from repro.experiments.spec import register_experiment
 from repro.experiments.workloads import plurality_instance_with_bias
 from repro.noise.families import uniform_noise_matrix
 from repro.utils.rng import RandomState, derive_seed
 
 __all__ = ["PluralityConsensusConfig", "run"]
+
+_TITLE = "Plurality consensus: success vs. support size and initial bias"
+_PAPER_CLAIM = (
+    "Theorem 2: with |S| = Omega(log n / eps^2) opinionated nodes and a "
+    "plurality bias of Omega(sqrt(log n / |S|)) within S, all nodes adopt "
+    "the plurality opinion w.h.p. in O(log n / eps^2) rounds"
+)
 
 
 @dataclass
@@ -69,6 +77,14 @@ class PluralityConsensusConfig:
         )
 
 
+@register_experiment(
+    experiment_id="E2",
+    description="Theorem 2: plurality consensus",
+    title=_TITLE,
+    paper_claim=_PAPER_CLAIM,
+    supported_engines=("batched", "sequential", "counts"),
+    config_cls=PluralityConsensusConfig,
+)
 def run(
     config: Optional[PluralityConsensusConfig] = None,
     random_state: RandomState = 0,
@@ -77,12 +93,8 @@ def run(
     config = config or PluralityConsensusConfig.quick()
     table = ExperimentTable(
         experiment_id="E2",
-        title="Plurality consensus: success vs. support size and initial bias",
-        paper_claim=(
-            "Theorem 2: with |S| = Omega(log n / eps^2) opinionated nodes and a "
-            "plurality bias of Omega(sqrt(log n / |S|)) within S, all nodes adopt "
-            "the plurality opinion w.h.p. in O(log n / eps^2) rounds"
-        ),
+        title=_TITLE,
+        paper_claim=_PAPER_CLAIM,
     )
     noise = uniform_noise_matrix(config.num_opinions, config.epsilon)
     log_n = math.log(config.num_nodes)

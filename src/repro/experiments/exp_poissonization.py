@@ -17,6 +17,13 @@ Two checks:
 
 The Lemma-2 transfer factor ``e^k sqrt(prod h_i)`` is reported alongside, to
 show the regime where Lemma 3's condition on the failure exponent applies.
+
+The dynamic check routes through the shared trial runner
+(:func:`~repro.experiments.runner.protocol_trial_outcomes` with its
+``process`` knob), so it runs on the batched ensemble engine by default;
+``trial_engine="sequential"`` cross-checks against the reference loop.  The
+counts engine is *not* offered: its delivery is always the counts-native
+Claim-1/Poissonized model, which would make the O/B/P comparison vacuous.
 """
 
 from __future__ import annotations
@@ -32,20 +39,32 @@ from repro.analysis.poisson import (
     process_count_distribution,
     total_variation_distance,
 )
-from repro.core.protocol import TwoStageProtocol, make_engine
-from repro.core.state import PopulationState
+from repro.core.protocol import make_engine
 from repro.experiments.results import ExperimentTable
-from repro.experiments.runner import repeat_trials
-from repro.experiments.workloads import biased_population
+from repro.experiments.runner import protocol_trial_outcomes
+from repro.experiments.spec import register_experiment
+from repro.experiments.workloads import biased_population, rumor_instance
 from repro.noise.families import uniform_noise_matrix
 from repro.utils.rng import RandomState, as_generator
 
 __all__ = ["PoissonizationConfig", "run"]
 
+_TITLE = "Process equivalence: push (O) vs balls-into-bins (B) vs Poissonized (P)"
+_PAPER_CLAIM = (
+    "Claim 1: O and B induce the same end-of-phase distribution; "
+    "Lemma 2/3: w.h.p. events transfer from P to O at cost e^k sqrt(prod h_i)"
+)
+
 
 @dataclass
 class PoissonizationConfig:
-    """Parameters of the E8 comparison."""
+    """Parameters of the E8 comparison.
+
+    ``trial_engine`` selects how the dynamic check's repeated trials run:
+    ``"batched"`` (vectorized ensemble) or ``"sequential"`` (reference
+    loop).  The counts engine is unsupported — it replaces the delivery
+    process under comparison.
+    """
 
     num_nodes: int = 500
     num_opinions: int = 3
@@ -54,6 +73,7 @@ class PoissonizationConfig:
     num_deliveries: int = 200
     dynamic_trials: int = 3
     dynamic_num_nodes: int = 800
+    trial_engine: str = "batched"
 
     @classmethod
     def quick(cls) -> "PoissonizationConfig":
@@ -141,25 +161,24 @@ def _dynamic_comparison(
 ) -> None:
     """Full protocol runs under each delivery process."""
     noise = uniform_noise_matrix(config.num_opinions, config.epsilon)
+    initial = rumor_instance(config.dynamic_num_nodes, config.num_opinions, 1)
     for process in ("push", "balls_bins", "poisson"):
-
-        def trial(trial_rng: np.random.Generator):
-            protocol = TwoStageProtocol(
-                config.dynamic_num_nodes,
-                noise,
-                epsilon=config.epsilon,
-                process=process,
-                random_state=trial_rng,
-            )
-            initial = PopulationState.single_source(
-                config.dynamic_num_nodes, config.num_opinions, source_opinion=1
-            )
-            result = protocol.run(initial, target_opinion=1)
-            return result.success, result.final_bias
-
-        outcomes = repeat_trials(trial, config.dynamic_trials, rng)
-        success_rate = float(np.mean([success for success, _ in outcomes]))
-        mean_bias = float(np.mean([bias for _, bias in outcomes]))
+        outcomes = protocol_trial_outcomes(
+            initial,
+            noise,
+            config.epsilon,
+            config.dynamic_trials,
+            rng,
+            target_opinion=1,
+            process=process,
+            trial_engine=config.trial_engine,
+        )
+        success_rate = float(
+            np.mean([outcome.success for outcome in outcomes])
+        )
+        mean_bias = float(
+            np.mean([outcome.final_bias for outcome in outcomes])
+        )
         table.add_record(
             check="dynamic",
             comparison=f"protocol under {process}",
@@ -170,6 +189,14 @@ def _dynamic_comparison(
         )
 
 
+@register_experiment(
+    experiment_id="E8",
+    description="Claim 1 / Lemma 2: process equivalence",
+    title=_TITLE,
+    paper_claim=_PAPER_CLAIM,
+    supported_engines=("batched", "sequential"),
+    config_cls=PoissonizationConfig,
+)
 def run(
     config: Optional[PoissonizationConfig] = None,
     random_state: RandomState = 0,
@@ -179,12 +206,10 @@ def run(
     rng = as_generator(random_state)
     table = ExperimentTable(
         experiment_id="E8",
-        title="Process equivalence: push (O) vs balls-into-bins (B) vs Poissonized (P)",
-        paper_claim=(
-            "Claim 1: O and B induce the same end-of-phase distribution; "
-            "Lemma 2/3: w.h.p. events transfer from P to O at cost e^k sqrt(prod h_i)"
-        ),
+        title=_TITLE,
+        paper_claim=_PAPER_CLAIM,
     )
     _static_comparison(config, rng, table)
     _dynamic_comparison(config, rng, table)
+    table.add_note(f"dynamic-check trial engine: {config.trial_engine}")
     return table

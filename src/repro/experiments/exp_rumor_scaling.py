@@ -24,11 +24,18 @@ from repro.analysis.convergence import estimate_success_probability, fit_round_c
 from repro.core.schedule import theoretical_round_complexity
 from repro.experiments.results import ExperimentTable
 from repro.experiments.runner import protocol_trial_outcomes, summarize
+from repro.experiments.spec import register_experiment
 from repro.experiments.workloads import rumor_instance
 from repro.noise.families import uniform_noise_matrix
 from repro.utils.rng import RandomState
 
 __all__ = ["RumorScalingConfig", "run"]
+
+_TITLE = "Rumor spreading: success rate and round count vs. n and epsilon"
+_PAPER_CLAIM = (
+    "Theorem 1: with an (eps, delta)-majority-preserving noise matrix, "
+    "rumor spreading with k opinions succeeds w.h.p. in O(log n / eps^2) rounds"
+)
 
 
 @dataclass
@@ -68,6 +75,14 @@ class RumorScalingConfig:
         )
 
 
+@register_experiment(
+    experiment_id="E1",
+    description="Theorem 1: rumor-spreading scaling",
+    title=_TITLE,
+    paper_claim=_PAPER_CLAIM,
+    supported_engines=("batched", "sequential", "counts"),
+    config_cls=RumorScalingConfig,
+)
 def run(
     config: Optional[RumorScalingConfig] = None,
     random_state: RandomState = 0,
@@ -76,11 +91,8 @@ def run(
     config = config or RumorScalingConfig.quick()
     table = ExperimentTable(
         experiment_id="E1",
-        title="Rumor spreading: success rate and round count vs. n and epsilon",
-        paper_claim=(
-            "Theorem 1: with an (eps, delta)-majority-preserving noise matrix, "
-            "rumor spreading with k opinions succeeds w.h.p. in O(log n / eps^2) rounds"
-        ),
+        title=_TITLE,
+        paper_claim=_PAPER_CLAIM,
     )
     mean_rounds: List[float] = []
     nodes_for_fit: List[int] = []
@@ -121,6 +133,7 @@ def run(
     fit = fit_round_complexity(nodes_for_fit, eps_for_fit, mean_rounds)
     table.add_note(
         f"least-squares fit: rounds ~ {fit.constant:.2f} * log2(n)/eps^2 "
-        f"(relative residual {fit.relative_residual:.2%})"
+        f"(relative residual {fit.relative_residual:.2%}); "
+        f"trial engine: {config.trial_engine}"
     )
     return table

@@ -1,7 +1,7 @@
 """Experiment E3 — Lemma 4/6/7: Stage 1 opinionates everyone and keeps a bias.
 
-For a grid of population sizes, the experiment runs *only Stage 1* from a
-single source and records, at the end of the stage:
+For a grid of population sizes, the experiment runs the protocol from a
+single source and records, at the end of Stage 1:
 
 * the fraction of opinionated nodes (Lemma 6 says 1 w.h.p.),
 * the bias of the opinion distribution toward the source's opinion,
@@ -11,6 +11,13 @@ single source and records, at the end of the stage:
 The reproduced trend: the opinionated fraction is 1 in essentially every
 trial, and the measured bias tracks (and typically exceeds) the
 ``sqrt(log n / n)`` scale as ``n`` grows.
+
+Repeated trials route through the engine-aware
+:func:`~repro.experiments.runner.stage1_trial_trajectories` (only Stage 1
+executes — Stage 2 would be wasted work for this measurement), so the
+sweep runs on the batched ensemble engine by default and supports
+``trial_engine="counts"`` / ``"sequential"`` / ``"auto"`` uniformly with
+the other experiments.
 """
 
 from __future__ import annotations
@@ -18,29 +25,37 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-import numpy as np
-
 from repro.analysis.theory import theoretical_bias_after_stage1
-from repro.core.schedule import Stage1Schedule
-from repro.core.stage1 import Stage1Executor
-from repro.core.state import PopulationState
 from repro.experiments.results import ExperimentTable
-from repro.experiments.runner import repeat_trials, summarize
-from repro.network.push_model import UniformPushModel
+from repro.experiments.runner import stage1_trial_trajectories, summarize
+from repro.experiments.spec import register_experiment
+from repro.experiments.workloads import rumor_instance
 from repro.noise.families import uniform_noise_matrix
 from repro.utils.rng import RandomState
 
 __all__ = ["Stage1BiasConfig", "run"]
 
+_TITLE = "Stage 1: opinionated fraction and bias at the end of the stage"
+_PAPER_CLAIM = (
+    "Lemma 4: Stage 1 takes O(log n / eps^2) rounds, after which w.h.p. "
+    "all nodes are opinionated and the distribution is "
+    "Omega(sqrt(log n / n))-biased toward the correct opinion"
+)
+
 
 @dataclass
 class Stage1BiasConfig:
-    """Parameters of the E3 sweep."""
+    """Parameters of the E3 sweep.
+
+    ``trial_engine`` selects the repeated-trial execution engine
+    (``"batched"``, ``"sequential"``, ``"counts"`` or ``"auto"``).
+    """
 
     num_nodes_grid: Sequence[int] = (500, 1000, 2000, 4000)
     num_opinions: int = 3
     epsilon: float = 0.3
     num_trials: int = 5
+    trial_engine: str = "batched"
 
     @classmethod
     def quick(cls) -> "Stage1BiasConfig":
@@ -53,6 +68,14 @@ class Stage1BiasConfig:
         return cls(num_nodes_grid=(1000, 2000, 4000, 8000, 16000), num_trials=10)
 
 
+@register_experiment(
+    experiment_id="E3",
+    description="Lemma 4/6/7: Stage-1 bias",
+    title=_TITLE,
+    paper_claim=_PAPER_CLAIM,
+    supported_engines=("batched", "sequential", "counts"),
+    config_cls=Stage1BiasConfig,
+)
 def run(
     config: Optional[Stage1BiasConfig] = None,
     random_state: RandomState = 0,
@@ -61,39 +84,27 @@ def run(
     config = config or Stage1BiasConfig.quick()
     table = ExperimentTable(
         experiment_id="E3",
-        title="Stage 1: opinionated fraction and bias at the end of the stage",
-        paper_claim=(
-            "Lemma 4: Stage 1 takes O(log n / eps^2) rounds, after which w.h.p. "
-            "all nodes are opinionated and the distribution is "
-            "Omega(sqrt(log n / n))-biased toward the correct opinion"
-        ),
+        title=_TITLE,
+        paper_claim=_PAPER_CLAIM,
     )
     noise = uniform_noise_matrix(config.num_opinions, config.epsilon)
     for num_nodes in config.num_nodes_grid:
-        schedule = Stage1Schedule.for_population(num_nodes, config.epsilon)
-
-        def trial(rng: np.random.Generator):
-            engine = UniformPushModel(num_nodes, noise, rng)
-            executor = Stage1Executor(engine, schedule, rng)
-            initial = PopulationState.single_source(
-                num_nodes, config.num_opinions, source_opinion=1
-            )
-            final_state, records = executor.run(initial, track_opinion=1)
-            return (
-                final_state.opinionated_fraction(),
-                final_state.bias_toward(1),
-                sum(record.num_rounds for record in records),
-            )
-
-        outcomes = repeat_trials(trial, config.num_trials, random_state)
-        fractions = summarize([fraction for fraction, _, _ in outcomes])
-        biases = summarize([bias for _, bias, _ in outcomes])
-        rounds = outcomes[0][2]
+        trajectories = stage1_trial_trajectories(
+            rumor_instance(num_nodes, config.num_opinions, 1),
+            noise,
+            config.epsilon,
+            config.num_trials,
+            random_state,
+            track_opinion=1,
+            trial_engine=config.trial_engine,
+        )
+        fractions = summarize(trajectories.opinionated_fractions[:, -1])
+        biases = summarize(trajectories.biases[:, -1])
         theory_bias = theoretical_bias_after_stage1(num_nodes)
         table.add_record(
             n=num_nodes,
             epsilon=config.epsilon,
-            stage1_rounds=rounds,
+            stage1_rounds=trajectories.total_rounds,
             mean_opinionated_fraction=fractions["mean"],
             min_opinionated_fraction=fractions["min"],
             mean_bias=biases["mean"],
@@ -103,6 +114,7 @@ def run(
         )
     table.add_note(
         "bias_over_theory is the measured bias divided by sqrt(log n / n); "
-        "Lemma 4 predicts it stays bounded away from 0 as n grows"
+        "Lemma 4 predicts it stays bounded away from 0 as n grows; "
+        f"trial engine: {config.trial_engine}"
     )
     return table

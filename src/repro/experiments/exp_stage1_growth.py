@@ -6,6 +6,12 @@ subsequent growth phase multiplies the opinionated count by roughly
 ``beta/eps^2 + 1`` (within a factor-8 envelope).  The experiment runs Stage 1
 once per trial, records the opinionated fraction after every phase, and
 checks it against the claimed envelope.
+
+The per-phase trajectories route through the engine-aware
+:func:`~repro.experiments.runner.stage1_trial_trajectories`, so the
+experiment runs on the batched ensemble engine by default and supports
+``trial_engine="counts"`` / ``"sequential"`` / ``"auto"`` like the other
+experiments.
 """
 
 from __future__ import annotations
@@ -17,27 +23,38 @@ from typing import Optional
 import numpy as np
 
 from repro.analysis.theory import stage1_growth_envelope
-from repro.core.schedule import DEFAULT_BETA, DEFAULT_S, Stage1Schedule
-from repro.core.stage1 import Stage1Executor
-from repro.core.state import PopulationState
+from repro.core.schedule import DEFAULT_BETA, DEFAULT_S
 from repro.experiments.results import ExperimentTable
-from repro.experiments.runner import repeat_trials
-from repro.network.push_model import UniformPushModel
+from repro.experiments.runner import stage1_trial_trajectories
+from repro.experiments.spec import register_experiment
+from repro.experiments.workloads import rumor_instance
 from repro.noise.families import uniform_noise_matrix
 from repro.utils.rng import RandomState
 
 __all__ = ["Stage1GrowthConfig", "run"]
 
+_TITLE = "Stage 1: per-phase growth of the opinionated set"
+_PAPER_CLAIM = (
+    "Claim 2/3: phase 0 opinionates Theta((s/eps^2) log n) nodes, and each "
+    "growth phase multiplies the opinionated set by (beta/eps^2 + 1) up to "
+    "a constant-factor envelope"
+)
+
 
 @dataclass
 class Stage1GrowthConfig:
-    """Parameters of the E4 run."""
+    """Parameters of the E4 run.
+
+    ``trial_engine`` selects the repeated-trial execution engine
+    (``"batched"``, ``"sequential"``, ``"counts"`` or ``"auto"``).
+    """
 
     num_nodes: int = 4000
     num_opinions: int = 3
     epsilon: float = 0.3
     num_trials: int = 5
     envelope_slack: float = 2.0
+    trial_engine: str = "batched"
 
     @classmethod
     def quick(cls) -> "Stage1GrowthConfig":
@@ -50,6 +67,14 @@ class Stage1GrowthConfig:
         return cls(num_nodes=20000, num_trials=10)
 
 
+@register_experiment(
+    experiment_id="E4",
+    description="Claims 2/3: Stage-1 growth",
+    title=_TITLE,
+    paper_claim=_PAPER_CLAIM,
+    supported_engines=("batched", "sequential", "counts"),
+    config_cls=Stage1GrowthConfig,
+)
 def run(
     config: Optional[Stage1GrowthConfig] = None,
     random_state: RandomState = 0,
@@ -58,27 +83,20 @@ def run(
     config = config or Stage1GrowthConfig.quick()
     table = ExperimentTable(
         experiment_id="E4",
-        title="Stage 1: per-phase growth of the opinionated set",
-        paper_claim=(
-            "Claim 2/3: phase 0 opinionates Theta((s/eps^2) log n) nodes, and each "
-            "growth phase multiplies the opinionated set by (beta/eps^2 + 1) up to "
-            "a constant-factor envelope"
-        ),
+        title=_TITLE,
+        paper_claim=_PAPER_CLAIM,
     )
     noise = uniform_noise_matrix(config.num_opinions, config.epsilon)
-    schedule = Stage1Schedule.for_population(config.num_nodes, config.epsilon)
-
-    def trial(rng: np.random.Generator):
-        engine = UniformPushModel(config.num_nodes, noise, rng)
-        executor = Stage1Executor(engine, schedule, rng)
-        initial = PopulationState.single_source(
-            config.num_nodes, config.num_opinions, source_opinion=1
-        )
-        _, records = executor.run(initial, track_opinion=1)
-        return [record.opinionated_after / config.num_nodes for record in records]
-
-    trajectories = repeat_trials(trial, config.num_trials, random_state)
-    mean_trajectory = np.mean(np.asarray(trajectories), axis=0)
+    trajectories = stage1_trial_trajectories(
+        rumor_instance(config.num_nodes, config.num_opinions, 1),
+        noise,
+        config.epsilon,
+        config.num_trials,
+        random_state,
+        track_opinion=1,
+        trial_engine=config.trial_engine,
+    )
+    mean_trajectory = trajectories.opinionated_fractions.mean(axis=0)
 
     # The Claim 2 prediction for the fraction opinionated after phase 0.
     phase0_prediction = min(
@@ -105,7 +123,7 @@ def run(
         )
         table.add_record(
             phase=phase_index,
-            num_rounds=schedule.phase_lengths[phase_index],
+            num_rounds=trajectories.phase_lengths[phase_index],
             mean_opinionated_fraction=float(fraction),
             envelope_lower=lower,
             envelope_upper=upper,
@@ -113,6 +131,7 @@ def run(
         )
     table.add_note(
         f"envelope checked with a slack factor of {config.envelope_slack} to "
-        "absorb the unspecified constants of Claims 2/3"
+        "absorb the unspecified constants of Claims 2/3; "
+        f"trial engine: {config.trial_engine}"
     )
     return table

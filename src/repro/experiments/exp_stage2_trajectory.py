@@ -6,6 +6,13 @@ runs Stage 2 and records the bias toward the plurality opinion after every
 phase.  Lemma 12 predicts the bias grows by a constant factor > 1 per phase
 until it exceeds 1/2, after which the final long phase finishes the job and
 all nodes agree.
+
+The per-phase trajectories route through the engine-aware
+:func:`~repro.experiments.runner.stage2_trial_trajectories`, so the
+experiment runs on the batched ensemble engine by default and supports
+``trial_engine="counts"`` / ``"sequential"`` / ``"auto"`` like the other
+experiments.  Each trial starts from its own independently sampled initial
+placement, mirroring the sequential loop.
 """
 
 from __future__ import annotations
@@ -14,29 +21,36 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
-from repro.core.schedule import Stage2Schedule
-from repro.core.stage2 import Stage2Executor
 from repro.experiments.results import ExperimentTable
-from repro.experiments.runner import repeat_trials
-from repro.experiments.workloads import biased_population
-from repro.network.push_model import UniformPushModel
+from repro.experiments.runner import stage2_trial_trajectories
+from repro.experiments.spec import register_experiment
+from repro.experiments.workloads import ensemble_biased_population
 from repro.noise.families import uniform_noise_matrix
-from repro.utils.rng import RandomState
+from repro.utils.rng import RandomState, derive_seed
 
 __all__ = ["Stage2TrajectoryConfig", "run"]
+
+_TITLE = "Stage 2: per-phase bias trajectory toward the plurality opinion"
+_PAPER_CLAIM = (
+    "Lemma 12: each Stage-2 phase multiplies the bias by a constant factor "
+    "> 1 (w.h.p.) until it exceeds 1/2, after which consensus is reached"
+)
 
 
 @dataclass
 class Stage2TrajectoryConfig:
-    """Parameters of the E6 run."""
+    """Parameters of the E6 run.
+
+    ``trial_engine`` selects the repeated-trial execution engine
+    (``"batched"``, ``"sequential"``, ``"counts"`` or ``"auto"``).
+    """
 
     num_nodes: int = 3000
     num_opinions: int = 3
     epsilon: float = 0.3
     initial_bias_multiplier: float = 2.0
     num_trials: int = 5
+    trial_engine: str = "batched"
 
     @classmethod
     def quick(cls) -> "Stage2TrajectoryConfig":
@@ -49,6 +63,14 @@ class Stage2TrajectoryConfig:
         return cls(num_nodes=20000, num_trials=10)
 
 
+@register_experiment(
+    experiment_id="E6",
+    description="Lemma 12: Stage-2 trajectory",
+    title=_TITLE,
+    paper_claim=_PAPER_CLAIM,
+    supported_engines=("batched", "sequential", "counts"),
+    config_cls=Stage2TrajectoryConfig,
+)
 def run(
     config: Optional[Stage2TrajectoryConfig] = None,
     random_state: RandomState = 0,
@@ -57,41 +79,41 @@ def run(
     config = config or Stage2TrajectoryConfig.quick()
     table = ExperimentTable(
         experiment_id="E6",
-        title="Stage 2: per-phase bias trajectory toward the plurality opinion",
-        paper_claim=(
-            "Lemma 12: each Stage-2 phase multiplies the bias by a constant factor "
-            "> 1 (w.h.p.) until it exceeds 1/2, after which consensus is reached"
-        ),
+        title=_TITLE,
+        paper_claim=_PAPER_CLAIM,
     )
     noise = uniform_noise_matrix(config.num_opinions, config.epsilon)
-    schedule = Stage2Schedule.for_population(config.num_nodes, config.epsilon)
     initial_bias = min(
         0.4,
         config.initial_bias_multiplier
         * math.sqrt(math.log(config.num_nodes) / config.num_nodes),
     )
-
-    def trial(rng: np.random.Generator):
-        initial = biased_population(
-            config.num_nodes, config.num_opinions, initial_bias, random_state=rng
-        )
-        engine = UniformPushModel(config.num_nodes, noise, rng)
-        executor = Stage2Executor(engine, schedule, rng)
-        final_state, records = executor.run(initial, track_opinion=1)
-        biases = [record.bias_after for record in records]
-        return biases, final_state.has_consensus_on(1)
-
-    outcomes = repeat_trials(trial, config.num_trials, random_state)
-    trajectories = np.asarray([biases for biases, _ in outcomes])
-    successes = [success for _, success in outcomes]
-    mean_trajectory = trajectories.mean(axis=0)
+    # Independent per-trial initial placements, derived from a different
+    # child seed than the run randomness so the two streams never overlap.
+    initial_states = ensemble_biased_population(
+        config.num_nodes,
+        config.num_opinions,
+        initial_bias,
+        config.num_trials,
+        random_state=derive_seed(random_state, 0),
+    )
+    trajectories = stage2_trial_trajectories(
+        initial_states,
+        noise,
+        config.epsilon,
+        config.num_trials,
+        derive_seed(random_state, 1),
+        track_opinion=1,
+        trial_engine=config.trial_engine,
+    )
+    mean_trajectory = trajectories.biases.mean(axis=0)
     previous_bias = initial_bias
     for phase_index, bias in enumerate(mean_trajectory):
         amplification = float(bias / previous_bias) if previous_bias > 0 else float("inf")
         table.add_record(
             phase=phase_index,
-            sample_size=schedule.sample_sizes[phase_index],
-            num_rounds=schedule.phase_lengths[phase_index],
+            sample_size=trajectories.sample_sizes[phase_index],
+            num_rounds=trajectories.phase_lengths[phase_index],
             mean_bias_before=float(previous_bias),
             mean_bias_after=float(bias),
             amplification=amplification,
@@ -100,6 +122,7 @@ def run(
         previous_bias = float(bias)
     table.add_note(
         f"initial bias {initial_bias:.4f}; consensus reached in "
-        f"{sum(successes)}/{len(successes)} trials"
+        f"{int(trajectories.consensus.sum())}/{trajectories.num_trials} trials; "
+        f"trial engine: {config.trial_engine}"
     )
     return table

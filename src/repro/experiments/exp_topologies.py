@@ -31,11 +31,18 @@ from repro.core.protocol import TwoStageProtocol
 from repro.core.state import PopulationState
 from repro.experiments.results import ExperimentTable
 from repro.experiments.runner import repeat_trials
+from repro.experiments.spec import register_experiment
 from repro.network.topology import GraphPushModel, standard_topology
 from repro.noise.families import uniform_noise_matrix
 from repro.utils.rng import RandomState
 
 __all__ = ["TopologyConfig", "run"]
+
+_TITLE = "Extension: the unchanged protocol on non-complete topologies"
+_PAPER_CLAIM = (
+    "No claim in the paper - the analysis assumes the complete graph; this "
+    "extension measures how the guarantee degrades on sparser topologies"
+)
 
 
 @dataclass
@@ -78,6 +85,14 @@ class TopologyConfig:
         )
 
 
+@register_experiment(
+    experiment_id="E14",
+    description="Extension: non-complete topologies",
+    title=_TITLE,
+    paper_claim=_PAPER_CLAIM,
+    supported_engines=("sequential",),
+    config_cls=TopologyConfig,
+)
 def run(
     config: Optional[TopologyConfig] = None,
     random_state: RandomState = 0,
@@ -86,11 +101,8 @@ def run(
     config = config or TopologyConfig.quick()
     table = ExperimentTable(
         experiment_id="E14",
-        title="Extension: the unchanged protocol on non-complete topologies",
-        paper_claim=(
-            "No claim in the paper - the analysis assumes the complete graph; this "
-            "extension measures how the guarantee degrades on sparser topologies"
-        ),
+        title=_TITLE,
+        paper_claim=_PAPER_CLAIM,
     )
     noise = uniform_noise_matrix(config.num_opinions, config.epsilon)
     for label, topology_name, kwargs in config.topologies:

@@ -4,16 +4,48 @@ Every experiment returns an :class:`ExperimentTable`: a named list of record
 dictionaries plus the paper statement it reproduces.  The table renders
 itself as plain text (for benches and examples) and exposes simple accessors
 so tests can assert on the reproduced trends without re-running anything.
+
+Tables also serialize to and from JSON (:meth:`ExperimentTable.to_json` /
+:meth:`ExperimentTable.from_json`), which is what the orchestration layer's
+content-keyed result store persists under ``results/``: the provenance
+dictionary carries the run's seed, engine, configuration and code version so
+a stored table is self-describing.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.utils.tables import format_records
 
-__all__ = ["ExperimentTable"]
+__all__ = ["ExperimentTable", "jsonify_value"]
+
+
+def jsonify_value(value: Any) -> Any:
+    """Reduce ``value`` to plain JSON-serializable Python.
+
+    Experiment records routinely carry numpy scalars (means, counts,
+    boolean verdicts) and the occasional array or tuple; persisting them
+    requires the plain-Python equivalents, and normalizing *before* writing
+    keeps the ``to_json``/``from_json`` round trip exact.
+    """
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [jsonify_value(entry) for entry in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [jsonify_value(entry) for entry in value]
+    if isinstance(value, Mapping):
+        return {str(key): jsonify_value(entry) for key, entry in value.items()}
+    return value
 
 
 @dataclass
@@ -23,7 +55,7 @@ class ExperimentTable:
     Attributes
     ----------
     experiment_id:
-        The DESIGN.md experiment id (``"E1"`` … ``"E13"``).
+        The DESIGN.md experiment id (``"E1"`` … ``"E14"``).
     title:
         Human-readable title.
     paper_claim:
@@ -33,6 +65,10 @@ class ExperimentTable:
     notes:
         Free-form remarks recorded alongside the measurements (e.g. observed
         deviations, scale caveats).
+    provenance:
+        How the table was produced (seed, trial engine, configuration, code
+        version, timestamps) — filled in by the orchestration layer; empty
+        for ad-hoc programmatic runs.
     """
 
     experiment_id: str
@@ -40,6 +76,7 @@ class ExperimentTable:
     paper_claim: str
     records: List[Dict[str, Any]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    provenance: Dict[str, Any] = field(default_factory=dict)
 
     def add_record(self, **fields: Any) -> Dict[str, Any]:
         """Append a row and return it."""
@@ -73,6 +110,55 @@ class ExperimentTable:
             parts.append("")
             parts.extend(f"note: {note}" for note in self.notes)
         return "\n".join(parts)
+
+    # ------------------------------------------------------------------ #
+    # JSON persistence (the orchestrator's result-store format)
+    # ------------------------------------------------------------------ #
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The table as a plain-Python dictionary (numpy types reduced)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "records": [jsonify_value(record) for record in self.records],
+            "notes": list(self.notes),
+            "provenance": jsonify_value(self.provenance),
+        }
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        """Serialize the table (records, notes, provenance) to JSON."""
+        return json.dumps(self.to_json_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(
+        cls, document: Union[str, Mapping[str, Any]]
+    ) -> "ExperimentTable":
+        """Rebuild a table from :meth:`to_json` output (string or dict)."""
+        if isinstance(document, str):
+            document = json.loads(document)
+        if not isinstance(document, Mapping):
+            raise TypeError(
+                "document must be a JSON object string or a mapping, got "
+                f"{type(document).__name__}"
+            )
+        missing = [
+            key
+            for key in ("experiment_id", "title", "paper_claim")
+            if key not in document
+        ]
+        if missing:
+            raise ValueError(
+                f"experiment-table document is missing fields: {missing}"
+            )
+        return cls(
+            experiment_id=str(document["experiment_id"]),
+            title=str(document["title"]),
+            paper_claim=str(document["paper_claim"]),
+            records=[dict(record) for record in document.get("records", [])],
+            notes=[str(note) for note in document.get("notes", [])],
+            provenance=dict(document.get("provenance", {})),
+        )
 
     def __len__(self) -> int:
         return len(self.records)

@@ -33,15 +33,26 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, TypeVar, Union
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, TypeVar, Union
 
 import numpy as np
 
 from repro.core.protocol import CountsProtocol, EnsembleProtocol, TwoStageProtocol
+from repro.core.schedule import Stage1Schedule, Stage2Schedule
+from repro.core.stage1 import CountsStage1Executor, EnsembleStage1Executor, Stage1Executor
+from repro.core.stage2 import CountsStage2Executor, EnsembleStage2Executor, Stage2Executor
 from repro.core.state import CountsState, EnsembleCountsState, EnsembleState, PopulationState
 from repro.dynamics import make_counts_dynamics, make_dynamics, make_ensemble_dynamics
+from repro.network.balls_bins import CountsDeliveryModel
+from repro.network.push_model import UniformPushModel
 from repro.noise.matrix import NoiseMatrix
-from repro.utils.rng import EnsembleRandomState, RandomState, as_trial_generators, spawn_generators
+from repro.utils.rng import (
+    EnsembleRandomState,
+    RandomState,
+    as_trial_generators,
+    resolve_trial_randomness,
+    spawn_generators,
+)
 
 __all__ = [
     "repeat_trials",
@@ -51,6 +62,10 @@ __all__ = [
     "protocol_trial_outcomes",
     "DynamicsTrialOutcome",
     "dynamics_trial_outcomes",
+    "Stage1TrajectoryResult",
+    "stage1_trial_trajectories",
+    "Stage2TrajectoryResult",
+    "stage2_trial_trajectories",
     "TRIAL_ENGINES",
     "TRIAL_ENGINE_CHOICES",
     "DEFAULT_COUNTS_THRESHOLD",
@@ -188,6 +203,11 @@ class TrialOutcome:
         Fraction of nodes supporting the target opinion at the end.
     final_bias:
         Bias of the final distribution toward the target opinion.
+    stage1_rounds:
+        Communication rounds spent in Stage 1.
+    opinionated_fraction_after_stage1:
+        Fraction of opinionated nodes at the end of Stage 1 (``None`` when
+        Stage 1 recorded no phases) — the Lemma 6 quantity.
     """
 
     success: bool
@@ -195,6 +215,8 @@ class TrialOutcome:
     bias_after_stage1: Optional[float]
     correct_fraction: float
     final_bias: float = 0.0
+    stage1_rounds: int = 0
+    opinionated_fraction_after_stage1: Optional[float] = None
 
 
 def protocol_trial_outcomes(
@@ -249,6 +271,7 @@ def protocol_trial_outcomes(
             initial_state, num_trials, target_opinion=target_opinion
         )
         stage1_biases = result.biases_after_stage1
+        stage1_opinionated = result.opinionated_after_stage1
         correct_fractions = result.correct_fractions()
         final_biases = result.final_biases
         return [
@@ -262,6 +285,12 @@ def protocol_trial_outcomes(
                 ),
                 correct_fraction=float(correct_fractions[trial]),
                 final_bias=float(final_biases[trial]),
+                stage1_rounds=result.stage1_rounds,
+                opinionated_fraction_after_stage1=(
+                    float(stage1_opinionated[trial]) / num_nodes
+                    if stage1_opinionated is not None
+                    else None
+                ),
             )
             for trial in range(result.num_trials)
         ]
@@ -275,12 +304,19 @@ def protocol_trial_outcomes(
             random_state=rng,
             round_scale=round_scale,
         ).run(initial_state, target_opinion=target_opinion)
+        opinionated = result.opinionated_after_stage1
         return TrialOutcome(
             success=result.success,
             total_rounds=result.total_rounds,
             bias_after_stage1=result.bias_after_stage1,
             correct_fraction=result.correct_fraction(),
             final_bias=result.final_bias,
+            stage1_rounds=result.stage1_rounds,
+            opinionated_fraction_after_stage1=(
+                float(opinionated) / num_nodes
+                if opinionated is not None
+                else None
+            ),
         )
 
     return repeat_trials(trial, num_trials, random_state)
@@ -450,6 +486,247 @@ def dynamics_trial_outcomes(
             )
         )
     return outcomes
+
+
+@dataclass(frozen=True)
+class Stage1TrajectoryResult:
+    """Per-phase Stage-1 measurements for a batch of independent trials.
+
+    Attributes
+    ----------
+    phase_lengths:
+        Rounds per Stage-1 phase (shared by every trial).
+    opinionated_fractions:
+        ``(R, P)`` array: fraction of opinionated nodes after each phase.
+    biases:
+        ``(R, P)`` array: bias toward the tracked opinion after each phase.
+    """
+
+    phase_lengths: Tuple[int, ...]
+    opinionated_fractions: np.ndarray
+    biases: np.ndarray
+
+    @property
+    def num_trials(self) -> int:
+        return self.opinionated_fractions.shape[0]
+
+    @property
+    def total_rounds(self) -> int:
+        return int(sum(self.phase_lengths))
+
+
+def stage1_trial_trajectories(
+    initial_state: PopulationState,
+    noise: NoiseMatrix,
+    epsilon: float,
+    num_trials: int,
+    random_state: EnsembleRandomState = None,
+    *,
+    track_opinion: int = 1,
+    schedule: Optional[Stage1Schedule] = None,
+    trial_engine: str = "batched",
+    counts_threshold: Optional[int] = None,
+) -> Stage1TrajectoryResult:
+    """Run *only Stage 1* for ``num_trials`` trials, recording every phase.
+
+    The engine-aware counterpart of driving
+    :class:`~repro.core.stage1.Stage1Executor` in a Python loop: the batched
+    engine evolves one ``(R, n)`` ensemble, the counts engine one ``(R, k)``
+    count matrix, and the sequential reference loops single trials — all
+    three produce the same per-phase measurement arrays (Lemma 4/6/7's
+    opinionated fraction and bias, experiments E3/E4).  Per-trial randomness
+    follows the shared spawned-generator discipline, so a fixed
+    ``random_state`` reproduces the batch on any engine.
+    """
+    num_nodes = initial_state.num_nodes
+    if schedule is None:
+        schedule = Stage1Schedule.for_population(num_nodes, epsilon)
+    trial_engine = _resolve_engine_for_state(
+        trial_engine, initial_state, counts_threshold
+    )
+    phase_lengths = tuple(int(length) for length in schedule.phase_lengths)
+
+    if trial_engine == "batched":
+        ensemble = EnsembleState.from_state(initial_state, num_trials)
+        engine = UniformPushModel(num_nodes, noise, None)
+        randomness = resolve_trial_randomness(
+            random_state, num_trials, "per_trial"
+        )
+        executor = EnsembleStage1Executor(engine, schedule, randomness)
+        _, records = executor.run(ensemble, track_opinion=track_opinion)
+        fractions = np.stack(
+            [record.opinionated_after / num_nodes for record in records],
+            axis=1,
+        )
+        biases = np.stack([record.bias for record in records], axis=1)
+        return Stage1TrajectoryResult(phase_lengths, fractions, biases)
+
+    if trial_engine == "counts":
+        ensemble = EnsembleCountsState.from_state(initial_state, num_trials)
+        delivery = CountsDeliveryModel(num_nodes, noise)
+        randomness = resolve_trial_randomness(
+            random_state, num_trials, "per_trial"
+        )
+        executor = CountsStage1Executor(delivery, schedule, randomness)
+        _, records = executor.run(ensemble, track_opinion=track_opinion)
+        fractions = np.stack(
+            [record.opinionated_after / num_nodes for record in records],
+            axis=1,
+        )
+        biases = np.stack([record.bias for record in records], axis=1)
+        return Stage1TrajectoryResult(phase_lengths, fractions, biases)
+
+    generators = as_trial_generators(random_state, num_trials)
+    fractions = np.empty((num_trials, len(phase_lengths)), dtype=float)
+    biases = np.empty((num_trials, len(phase_lengths)), dtype=float)
+    for trial, generator in enumerate(generators):
+        engine = UniformPushModel(num_nodes, noise, generator)
+        executor = Stage1Executor(engine, schedule, generator)
+        _, records = executor.run(
+            initial_state, track_opinion=track_opinion
+        )
+        fractions[trial] = [
+            record.opinionated_after / num_nodes for record in records
+        ]
+        biases[trial] = [record.bias for record in records]
+    return Stage1TrajectoryResult(phase_lengths, fractions, biases)
+
+
+@dataclass(frozen=True)
+class Stage2TrajectoryResult:
+    """Per-phase Stage-2 measurements for a batch of independent trials.
+
+    Attributes
+    ----------
+    phase_lengths, sample_sizes:
+        Rounds and sample size per Stage-2 phase (shared by every trial).
+    biases:
+        ``(R, P)`` array: bias toward the tracked opinion after each phase.
+    consensus:
+        ``(R,)`` boolean array: consensus on the tracked opinion at the end.
+    """
+
+    phase_lengths: Tuple[int, ...]
+    sample_sizes: Tuple[int, ...]
+    biases: np.ndarray
+    consensus: np.ndarray
+
+    @property
+    def num_trials(self) -> int:
+        return self.biases.shape[0]
+
+    @property
+    def final_biases(self) -> np.ndarray:
+        """Bias toward the tracked opinion after the last phase, per trial."""
+        return self.biases[:, -1]
+
+
+def stage2_trial_trajectories(
+    initial_state: Union[PopulationState, EnsembleState],
+    noise: NoiseMatrix,
+    epsilon: float,
+    num_trials: int,
+    random_state: EnsembleRandomState = None,
+    *,
+    track_opinion: int = 1,
+    schedule: Optional[Stage2Schedule] = None,
+    sampling_method: str = "without_replacement",
+    use_full_multiset: bool = False,
+    trial_engine: str = "batched",
+    counts_threshold: Optional[int] = None,
+) -> Stage2TrajectoryResult:
+    """Run *only Stage 2* for ``num_trials`` trials, recording every phase.
+
+    The engine-aware Stage-2 counterpart of :func:`stage1_trial_trajectories`
+    (Lemma 12's per-phase bias amplification, experiments E6/E13).
+    ``initial_state`` is either one fully opinionated population (every
+    trial starts from it) or a pre-built :class:`EnsembleState` with
+    per-trial rows.  The Stage-2 sampling ablations (``sampling_method``,
+    ``use_full_multiset``) are served by the batched and sequential engines;
+    the counts engine implements only the faithful rule and raises
+    ``ValueError`` for anything else.
+    """
+    num_nodes = initial_state.num_nodes
+    if schedule is None:
+        schedule = Stage2Schedule.for_population(num_nodes, epsilon)
+    if isinstance(initial_state, EnsembleState) and (
+        num_trials != initial_state.num_trials
+    ):
+        raise ValueError(
+            f"num_trials = {num_trials} disagrees with the ensemble's "
+            f"{initial_state.num_trials} trials"
+        )
+    trial_engine = _resolve_engine_for_state(
+        trial_engine, initial_state, counts_threshold
+    )
+    phase_lengths = tuple(int(length) for length in schedule.phase_lengths)
+    sample_sizes = tuple(int(size) for size in schedule.sample_sizes)
+
+    if trial_engine in ("batched", "counts"):
+        randomness = resolve_trial_randomness(
+            random_state, num_trials, "per_trial"
+        )
+        if trial_engine == "batched":
+            if isinstance(initial_state, PopulationState):
+                ensemble = EnsembleState.from_state(initial_state, num_trials)
+            else:
+                ensemble = initial_state
+            engine = UniformPushModel(num_nodes, noise, None)
+            executor = EnsembleStage2Executor(
+                engine,
+                schedule,
+                randomness,
+                sampling_method=sampling_method,
+                use_full_multiset=use_full_multiset,
+            )
+        else:
+            if isinstance(initial_state, PopulationState):
+                ensemble = EnsembleCountsState.from_state(
+                    initial_state, num_trials
+                )
+            else:
+                ensemble = EnsembleCountsState.from_ensemble(initial_state)
+            delivery = CountsDeliveryModel(num_nodes, noise)
+            executor = CountsStage2Executor(
+                delivery,
+                schedule,
+                randomness,
+                sampling_method=sampling_method,
+                use_full_multiset=use_full_multiset,
+            )
+        final_states, records = executor.run(
+            ensemble, track_opinion=track_opinion
+        )
+        biases = np.stack([record.bias_after for record in records], axis=1)
+        consensus = final_states.consensus_mask(track_opinion)
+        return Stage2TrajectoryResult(
+            phase_lengths, sample_sizes, biases, consensus
+        )
+
+    generators = as_trial_generators(random_state, num_trials)
+    biases = np.empty((num_trials, len(phase_lengths)), dtype=float)
+    consensus = np.empty(num_trials, dtype=bool)
+    for trial, generator in enumerate(generators):
+        if isinstance(initial_state, EnsembleState):
+            trial_state = initial_state.trial_state(trial)
+        else:
+            trial_state = initial_state
+        engine = UniformPushModel(num_nodes, noise, generator)
+        executor = Stage2Executor(
+            engine,
+            schedule,
+            generator,
+            sampling_method=sampling_method,
+            use_full_multiset=use_full_multiset,
+        )
+        final_state, records = executor.run(
+            trial_state, track_opinion=track_opinion
+        )
+        biases[trial] = [record.bias_after for record in records]
+        consensus[trial] = final_state.has_consensus_on(track_opinion)
+    return Stage2TrajectoryResult(
+        phase_lengths, sample_sizes, biases, consensus
+    )
 
 
 def sweep_product(**parameter_values: Sequence[Any]) -> List[Dict[str, Any]]:

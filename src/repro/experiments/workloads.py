@@ -14,7 +14,12 @@ modules read as parameter sweeps rather than state plumbing.
 
 The ``ensemble_*`` variants produce the batched
 :class:`~repro.core.state.EnsembleState` counterparts consumed by the
-vectorized multi-trial path (:class:`~repro.core.protocol.EnsembleProtocol`).
+vectorized multi-trial paths — :class:`~repro.core.protocol.EnsembleProtocol`
+and the engine-aware stage helpers
+(:func:`~repro.experiments.runner.stage2_trial_trajectories` builds E6's
+and E13's per-trial initial placements from
+:func:`ensemble_biased_population`); the counts engine reduces them to
+sufficient statistics on entry.
 """
 
 from __future__ import annotations

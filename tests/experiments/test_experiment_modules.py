@@ -233,10 +233,60 @@ class TestE14Topologies:
         assert cycle["mean_degree"] == pytest.approx(2.0)
 
 
+class TestEngineUniformity:
+    """Every migrated experiment honours its declared trial engines."""
+
+    @pytest.mark.parametrize("engine", ["batched", "sequential", "counts"])
+    def test_e3_runs_on_every_engine(self, engine):
+        config = exp_stage1_bias.Stage1BiasConfig(
+            num_nodes_grid=(400,), num_trials=2, trial_engine=engine
+        )
+        table = exp_stage1_bias.run(config, random_state=0)
+        assert table.records[0]["min_opinionated_fraction"] == pytest.approx(
+            1.0
+        )
+        assert f"trial engine: {engine}" in table.notes[-1]
+
+    @pytest.mark.parametrize("engine", ["batched", "sequential", "counts"])
+    def test_e4_runs_on_every_engine(self, engine):
+        config = exp_stage1_growth.Stage1GrowthConfig(
+            num_nodes=800, num_trials=2, trial_engine=engine
+        )
+        table = exp_stage1_growth.run(config, random_state=0)
+        fractions = table.column("mean_opinionated_fraction")
+        assert fractions[-1] == pytest.approx(1.0, abs=0.05)
+
+    @pytest.mark.parametrize("engine", ["batched", "sequential", "counts"])
+    def test_e6_runs_on_every_engine(self, engine):
+        config = exp_stage2_trajectory.Stage2TrajectoryConfig(
+            num_nodes=600, num_trials=2, trial_engine=engine
+        )
+        table = exp_stage2_trajectory.run(config, random_state=0)
+        assert table.records[-1]["mean_bias_after"] > 0.9
+
+    @pytest.mark.parametrize("engine", ["batched", "sequential"])
+    def test_e8_dynamic_check_runs_on_both_per_node_engines(self, engine):
+        config = exp_poissonization.PoissonizationConfig(
+            num_nodes=200,
+            num_deliveries=40,
+            dynamic_trials=1,
+            dynamic_num_nodes=400,
+            trial_engine=engine,
+        )
+        table = exp_poissonization.run(config, random_state=0)
+        dynamic_rows = table.filtered(check="dynamic")
+        assert len(dynamic_rows) == 3
+        assert all(record["success_rate"] == 1.0 for record in dynamic_rows)
+
+
 class TestE13Ablation:
     def test_all_variants_reported(self):
         config = exp_ablation_sampling.AblationConfig(
-            num_nodes=500, num_trials=2, timing_nodes=100, timing_rounds=5
+            num_nodes=600,
+            initial_bias=0.12,
+            num_trials=2,
+            timing_nodes=100,
+            timing_rounds=5,
         )
         table = exp_ablation_sampling.run(config, random_state=0)
         voting_rows = table.filtered(ablation="stage2 voting rule")

@@ -15,10 +15,16 @@ from repro.experiments.runner import (
     repeat_trials,
     resolve_trial_engine,
     set_default_counts_threshold,
+    stage1_trial_trajectories,
+    stage2_trial_trajectories,
     summarize,
     sweep_product,
 )
-from repro.experiments.workloads import biased_population, rumor_instance
+from repro.experiments.workloads import (
+    biased_population,
+    ensemble_biased_population,
+    rumor_instance,
+)
 from repro.noise.families import identity_matrix, uniform_noise_matrix
 
 
@@ -115,6 +121,134 @@ class TestProtocolTrialOutcomes:
     def test_rejects_unknown_engine(self):
         with pytest.raises(ValueError):
             self.run_engine("bogus")
+
+
+class TestStage1TrialTrajectories:
+    NUM_NODES = 300
+    EPSILON = 0.35
+
+    def run_engine(self, trial_engine, num_trials=3, random_state=0):
+        noise = uniform_noise_matrix(3, self.EPSILON)
+        return stage1_trial_trajectories(
+            rumor_instance(self.NUM_NODES, 3, 1),
+            noise,
+            self.EPSILON,
+            num_trials,
+            random_state,
+            track_opinion=1,
+            trial_engine=trial_engine,
+        )
+
+    @pytest.mark.parametrize("trial_engine", TRIAL_ENGINES)
+    def test_shapes_and_phase_axis(self, trial_engine):
+        result = self.run_engine(trial_engine)
+        num_phases = len(result.phase_lengths)
+        assert num_phases >= 2
+        assert result.opinionated_fractions.shape == (3, num_phases)
+        assert result.biases.shape == (3, num_phases)
+        assert result.num_trials == 3
+        assert result.total_rounds == sum(result.phase_lengths)
+
+    @pytest.mark.parametrize("trial_engine", TRIAL_ENGINES)
+    def test_fractions_grow_to_one(self, trial_engine):
+        """Stage 1 opinionates everyone (Lemma 6): the per-phase fraction is
+        non-decreasing per trial and ends at 1 at this easy scale."""
+        result = self.run_engine(trial_engine)
+        fractions = result.opinionated_fractions
+        assert np.all(np.diff(fractions, axis=1) >= -1e-12)
+        assert fractions[:, -1] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("trial_engine", TRIAL_ENGINES)
+    def test_reproducible_with_fixed_seed(self, trial_engine):
+        first = self.run_engine(trial_engine, random_state=5)
+        second = self.run_engine(trial_engine, random_state=5)
+        np.testing.assert_array_equal(
+            first.opinionated_fractions, second.opinionated_fractions
+        )
+        np.testing.assert_array_equal(first.biases, second.biases)
+
+    def test_engines_share_the_schedule(self):
+        lengths = {
+            engine: self.run_engine(engine, num_trials=2).phase_lengths
+            for engine in TRIAL_ENGINES
+        }
+        assert len(set(lengths.values())) == 1
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            self.run_engine("bogus")
+
+
+class TestStage2TrialTrajectories:
+    NUM_NODES = 400
+    EPSILON = 0.35
+
+    def run_engine(
+        self,
+        trial_engine,
+        num_trials=3,
+        random_state=0,
+        initial_state=None,
+        **kwargs,
+    ):
+        noise = uniform_noise_matrix(3, self.EPSILON)
+        if initial_state is None:
+            initial_state = biased_population(
+                self.NUM_NODES, 3, 0.2, random_state=123
+            )
+        return stage2_trial_trajectories(
+            initial_state,
+            noise,
+            self.EPSILON,
+            num_trials,
+            random_state,
+            track_opinion=1,
+            trial_engine=trial_engine,
+            **kwargs,
+        )
+
+    @pytest.mark.parametrize("trial_engine", TRIAL_ENGINES)
+    def test_shapes_and_consensus(self, trial_engine):
+        result = self.run_engine(trial_engine)
+        num_phases = len(result.phase_lengths)
+        assert len(result.sample_sizes) == num_phases
+        assert result.biases.shape == (3, num_phases)
+        assert result.consensus.shape == (3,)
+        # A 0.2-bias start at this scale amplifies to consensus (Lemma 12).
+        assert result.consensus.all()
+        assert result.final_biases == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("trial_engine", TRIAL_ENGINES)
+    def test_reproducible_with_fixed_seed(self, trial_engine):
+        first = self.run_engine(trial_engine, random_state=5)
+        second = self.run_engine(trial_engine, random_state=5)
+        np.testing.assert_array_equal(first.biases, second.biases)
+        np.testing.assert_array_equal(first.consensus, second.consensus)
+
+    @pytest.mark.parametrize("trial_engine", ("batched", "sequential"))
+    def test_accepts_per_trial_ensemble_and_ablation_knobs(self, trial_engine):
+        ensemble = ensemble_biased_population(
+            self.NUM_NODES, 3, 0.2, 3, random_state=7
+        )
+        result = self.run_engine(
+            trial_engine,
+            initial_state=ensemble,
+            sampling_method="with_replacement",
+        )
+        assert result.biases.shape[0] == 3
+
+    def test_counts_rejects_ablation_knobs(self):
+        with pytest.raises(ValueError, match="batched or"):
+            self.run_engine("counts", sampling_method="with_replacement")
+        with pytest.raises(ValueError, match="batched or"):
+            self.run_engine("counts", use_full_multiset=True)
+
+    def test_rejects_num_trials_mismatch_for_ensemble_state(self):
+        ensemble = ensemble_biased_population(
+            self.NUM_NODES, 3, 0.2, 4, random_state=7
+        )
+        with pytest.raises(ValueError, match="disagrees"):
+            self.run_engine("batched", num_trials=2, initial_state=ensemble)
 
 
 class TestDynamicsTrialOutcomes:

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import build_parser, main
+from repro.experiments.spec import all_specs, registered_ids
 
 
 class TestParser:
@@ -104,16 +105,15 @@ class TestParser:
 
 
 class TestExperimentRegistry:
-    def test_every_experiment_has_a_module_with_run(self):
-        for identifier, (module, description) in EXPERIMENTS.items():
-            assert identifier.startswith("E")
-            assert callable(module.run)
-            assert description
+    def test_every_experiment_has_a_runnable_spec(self):
+        for spec in all_specs():
+            assert spec.experiment_id.startswith("E")
+            assert callable(spec.run_fn)
+            assert spec.description
+            assert spec.supported_engines
 
     def test_registry_covers_e1_through_e14(self):
-        assert sorted(EXPERIMENTS, key=lambda x: int(x[1:])) == [
-            f"E{index}" for index in range(1, 15)
-        ]
+        assert registered_ids() == [f"E{index}" for index in range(1, 15)]
 
 
 class TestCommands:
@@ -250,12 +250,104 @@ class TestCommands:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "[E9]" in captured.out
+        assert "trial engine: counts" in captured.out
 
-    def test_run_experiment_engine_override_rejected_without_config(
+    @pytest.mark.parametrize(
+        "experiment,engine",
+        [
+            ("E11", "counts"),   # analytic: sequential only
+            ("E14", "batched"),  # per-node graph engines: sequential only
+            ("E8", "counts"),    # O/B/P comparison: counts replaces delivery
+            ("E8", "auto"),      # auto needs both batched and counts
+        ],
+    )
+    def test_run_experiment_unsupported_engine_rejected_explicitly(
+        self, capsys, experiment, engine
+    ):
+        """Requesting an engine a spec lacks is a hard error naming the
+        supported engines — never a silent ignore."""
+        with pytest.raises(SystemExit):
+            main(["run-experiment", experiment, "--engine", engine])
+        err = capsys.readouterr().err
+        assert f"experiment {experiment} does not support" in err
+        assert "supported engines" in err
+        assert "sequential" in err
+
+    def test_run_experiment_sequential_accepted_by_analytic_specs(
         self, capsys
     ):
-        # E11 (memory accounting) runs no repeated trials and has no
-        # trial_engine in its config.
+        # E11 runs no repeated trials; 'sequential' (the plain-Python
+        # execution it always uses) is accepted as a no-op override.
+        exit_code = main(
+            ["run-experiment", "E11", "--engine", "sequential"]
+        )
+        assert exit_code == 0
+        assert "[E11]" in capsys.readouterr().out
+
+
+class TestRunAllCommand:
+    FAST = ["E5", "E10", "E11"]
+
+    def test_run_all_parallel_then_resume_all_cached(self, capsys, tmp_path):
+        store = str(tmp_path / "results")
+        exit_code = main(
+            ["run-all", *self.FAST, "--jobs", "2", "--out", store]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "3 ran, 0 cached, 0 skipped" in captured.out
+
+        exit_code = main(
+            ["run-all", *self.FAST, "--out", store, "--resume"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "0 ran, 3 cached, 0 skipped" in captured.out
+
+    def test_run_all_lists_cache_status_in_list_experiments(
+        self, capsys, tmp_path
+    ):
+        store = str(tmp_path / "results")
+        main(["run-all", "E11", "--out", store])
+        capsys.readouterr()
+        main(["list-experiments", "--out", store])
+        lines = capsys.readouterr().out.splitlines()
+        e11 = [line for line in lines if line.startswith("E11")][0]
+        assert "[cached]" in e11
+        e10 = [line for line in lines if line.startswith("E10")][0]
+        assert "[cached]" not in e10
+
+    def test_run_all_skips_unsupported_engine(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "run-all", "E10", "E11",
+                "--engine", "counts",
+                "--out", str(tmp_path / "results"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "0 ran, 0 cached, 2 skipped" in captured.out
+        assert "unsupported" in captured.out
+
+    def test_run_all_print_tables(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "run-all", "E11",
+                "--out", str(tmp_path / "results"),
+                "--print-tables",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "[E11]" in captured.out
+
+    def test_run_all_rejects_unknown_experiment(self, capsys, tmp_path):
         with pytest.raises(SystemExit):
-            main(["run-experiment", "E11", "--engine", "counts"])
-        assert "does not run repeated trials" in capsys.readouterr().err
+            main(["run-all", "E42", "--out", str(tmp_path / "results")])
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_all_resume_requires_store(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run-all", "E11", "--out", "none", "--resume"])
+        assert "requires a result store" in capsys.readouterr().err
