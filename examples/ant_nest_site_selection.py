@@ -4,14 +4,16 @@
 House-hunting ants [21] solve a plurality-consensus problem: a minority of
 scouts have assessed candidate nest sites and recruit nest-mates by signalling
 their preferred site; recruitment signals (tandem runs, pheromones) are noisy.
-This example compares two strategies under the *same* noisy channel:
+This example compares three strategies under the *same* noisy channel:
 
 * the paper's two-stage protocol (sample-majority over a bounded reservoir),
 * the undecided-state dynamics (a classic model of ant recruitment), and
 * the 3-majority dynamics,
 
-starting from identical colonies, and reports which strategies still recover
-the best (plurality) site once the channel is noisy.
+starting from identical colonies.  Every strategy is one declarative
+:class:`repro.Scenario` — same colony, same scouts, same channel — run
+through the one :func:`repro.simulate` entry point; only the ``workload``
+(and ``rule``) fields differ, which is exactly the point of the facade.
 
 Run with::
 
@@ -20,77 +22,72 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import PluralityConsensus, PluralityInstance, uniform_noise_matrix
-from repro.dynamics import ThreeMajorityDynamics, UndecidedStateDynamics
+from repro import Scenario, simulate, uniform_noise_matrix
 from repro.utils.tables import format_records
 
 COLONY_SIZE = 3_000
 NUM_SITES = 3
 NUM_SCOUTS = 600
-SITE_SHARES = [0.45, 0.35, 0.20]   # scout support per candidate site
+SITE_SHARES = (0.45, 0.35, 0.20)   # scout support per candidate site
 SIGNAL_NOISE_EPSILON = 0.25        # the channel keeps a signal with prob 1/k + eps
 MAX_DYNAMICS_ROUNDS = 400
 NUM_TRIALS = 5
+SEED = 0
 
 
-def build_instance() -> PluralityInstance:
-    """Scouts have opinions; the rest of the colony is undecided."""
-    return PluralityInstance.from_support_fractions(
-        COLONY_SIZE, NUM_SCOUTS, SITE_SHARES
+def strategy_scenarios() -> list:
+    """One Scenario per strategy; only workload/rule differ."""
+    shared = dict(
+        num_nodes=COLONY_SIZE,
+        num_opinions=NUM_SITES,
+        epsilon=SIGNAL_NOISE_EPSILON,
+        support_size=NUM_SCOUTS,
+        shares=SITE_SHARES,
+        num_trials=NUM_TRIALS,
+        seed=SEED,
     )
-
-
-def run_protocol(instance: PluralityInstance, noise, seed: int):
-    result = PluralityConsensus(
-        instance, noise, SIGNAL_NOISE_EPSILON, random_state=seed
-    ).run()
-    return result.success, result.total_rounds
-
-
-def run_dynamic(dynamic_cls, instance: PluralityInstance, noise, seed: int):
-    rng = np.random.default_rng(seed)
-    dynamic = dynamic_cls(COLONY_SIZE, noise, rng)
-    initial = instance.initial_state(rng)
-    result = dynamic.run(
-        initial, MAX_DYNAMICS_ROUNDS, target_opinion=instance.plurality_opinion()
-    )
-    return result.success, result.rounds_executed
+    return [
+        (
+            "two-stage protocol (paper)",
+            Scenario(workload="plurality", engine="batched", **shared),
+        ),
+        (
+            "undecided-state dynamics",
+            Scenario(
+                workload="dynamics", rule="undecided-state",
+                engine="sequential", max_rounds=MAX_DYNAMICS_ROUNDS, **shared,
+            ),
+        ),
+        (
+            "3-majority dynamics",
+            Scenario(
+                workload="dynamics", rule="3-majority",
+                engine="sequential", max_rounds=MAX_DYNAMICS_ROUNDS, **shared,
+            ),
+        ),
+    ]
 
 
 def main() -> None:
-    instance = build_instance()
+    scenarios = strategy_scenarios()
+    instance = scenarios[0][1].plurality_instance()
     noise = uniform_noise_matrix(NUM_SITES, SIGNAL_NOISE_EPSILON)
     print(f"colony size     : {COLONY_SIZE}")
     print(f"scouts          : {instance.support_size}")
-    print(f"candidate sites : {NUM_SITES} with scout shares {SITE_SHARES}")
+    print(f"candidate sites : {NUM_SITES} with scout shares {list(SITE_SHARES)}")
     print(f"best site       : site {instance.plurality_opinion()}")
     print(f"signal noise    : {noise.name}")
     print()
 
-    strategies = [
-        ("two-stage protocol (paper)", lambda seed: run_protocol(instance, noise, seed)),
-        (
-            "undecided-state dynamics",
-            lambda seed: run_dynamic(UndecidedStateDynamics, instance, noise, seed),
-        ),
-        (
-            "3-majority dynamics",
-            lambda seed: run_dynamic(ThreeMajorityDynamics, instance, noise, seed),
-        ),
-    ]
     records = []
-    for name, runner in strategies:
-        outcomes = [runner(seed) for seed in range(NUM_TRIALS)]
-        successes = sum(1 for success, _ in outcomes if success)
-        mean_rounds = float(np.mean([rounds for _, rounds in outcomes]))
+    for name, scenario in scenarios:
+        result = simulate(scenario)
         records.append(
             {
                 "strategy": name,
                 "trials": NUM_TRIALS,
-                "chose best site": f"{successes}/{NUM_TRIALS}",
-                "mean rounds": round(mean_rounds, 1),
+                "chose best site": f"{result.success_count}/{NUM_TRIALS}",
+                "mean rounds": round(result.mean_rounds, 1),
             }
         )
     print(format_records(records, title="Nest-site selection under noisy recruitment"))

@@ -15,9 +15,11 @@ The example:
 1. builds the cyclic-shift noise matrix and asks the LP checker whether it is
    majority-preserving for the relevant bias (it is, for moderate noise);
 2. derives the effective ``epsilon`` for the protocol's schedule from the LP;
-3. runs plurality consensus from a partially informed flock;
-4. reports whether the flock locked onto the plurality direction, and how the
-   bias evolved.
+3. describes the flock as a :class:`repro.Scenario` carrying that *custom*
+   noise matrix (the facade accepts any channel, not just the uniform
+   family) and runs it through :func:`repro.simulate`;
+4. reports whether the flock locked onto the plurality direction, and how
+   the bias evolved phase by phase.
 
 Run with::
 
@@ -26,7 +28,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import PluralityConsensus, PluralityInstance, cyclic_shift_matrix
+from repro import Scenario, cyclic_shift_matrix, simulate
 from repro.noise.majority_preserving import check_majority_preserving, epsilon_for_delta
 
 NUM_BIRDS = 4_000
@@ -38,18 +40,31 @@ PLURALITY_SHARE = 0.30      # share of informed birds preferring the roost headi
 DIRECTION_NAMES = ["N", "NE", "E", "SE", "S", "SW", "W", "NW"]
 
 
-def build_instance() -> PluralityInstance:
+def build_scenario(noise, effective_epsilon: float) -> Scenario:
     """Informed birds split over all directions, with a plurality for one."""
     informed = int(NUM_BIRDS * INFORMED_FRACTION)
     remaining_share = (1.0 - PLURALITY_SHARE) / (NUM_DIRECTIONS - 1)
     shares = [remaining_share] * NUM_DIRECTIONS
     shares[0] = PLURALITY_SHARE
-    return PluralityInstance.from_support_fractions(NUM_BIRDS, informed, shares)
+    return Scenario(
+        workload="plurality",
+        num_nodes=NUM_BIRDS,
+        num_opinions=NUM_DIRECTIONS,
+        epsilon=effective_epsilon,
+        noise=noise,
+        engine="sequential",
+        support_size=informed,
+        shares=tuple(shares),
+        num_trials=1,
+        seed=7,
+    )
 
 
 def main() -> None:
     noise = cyclic_shift_matrix(NUM_DIRECTIONS, MISREAD_PROBABILITY)
-    instance = build_instance()
+    # Probe the instance geometry first (bias within the informed set).
+    probe = build_scenario(noise, effective_epsilon=0.05)
+    instance = probe.plurality_instance()
     bias = instance.plurality_bias_within_support()
 
     report = check_majority_preserving(noise, epsilon=0.05, delta=bias)
@@ -67,31 +82,22 @@ def main() -> None:
     )
     print(f"plurality bias in S : {bias:.3f}")
 
-    solver = PluralityConsensus(
-        instance,
-        noise,
-        epsilon=effective_epsilon,
-        random_state=7,
-    )
-    result = solver.run()
+    result = simulate(build_scenario(noise, effective_epsilon))
 
     print()
-    print(f"rounds of signalling: {result.total_rounds}")
-    print(f"consensus reached   : {result.success}")
-    final = result.final_state
-    winner = final.plurality_opinion()
+    print(f"rounds of signalling: {int(result.rounds[0])}")
+    print(f"consensus reached   : {bool(result.successes[0])}")
+    final_counts = result.final_opinion_counts[0]
+    winner = int(final_counts.argmax()) + 1
     print(
         f"final heading       : {DIRECTION_NAMES[winner - 1]} "
-        f"(supported by {final.opinion_counts()[winner - 1]}/{NUM_BIRDS} birds)"
+        f"(supported by {int(final_counts[winner - 1])}/{NUM_BIRDS} birds)"
     )
 
     print()
-    print("bias toward the preferred heading over Stage 2:")
-    for record in result.stage2_records:
-        print(
-            f"  phase {record.phase_index}: bias "
-            f"{record.bias_before:.3f} -> {record.bias_after:.3f}"
-        )
+    print("bias toward the preferred heading over the protocol phases:")
+    for phase, phase_bias in enumerate(result.trajectories[0], start=1):
+        print(f"  phase {phase}: bias {phase_bias:.3f}")
 
 
 if __name__ == "__main__":

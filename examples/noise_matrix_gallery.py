@@ -6,7 +6,11 @@ consensus at all: the (eps, delta)-majority-preserving matrices.  This
 example walks through the matrices discussed in the paper (and a couple of
 extra shapes from the introduction), prints the exact LP verdict for a grid
 of biases, the Eq. (17)/(18) sufficient condition where it applies, and the
-worst-case delta-biased starting distribution for each matrix.
+worst-case delta-biased starting distribution for each matrix — then puts
+the verdicts to the test empirically: each channel is dropped into the same
+declarative :class:`repro.Scenario` and run through :func:`repro.simulate`
+on the batched engine, showing that the LP's yes/no answer predicts whether
+the protocol actually recovers the plurality.
 
 Run with::
 
@@ -18,10 +22,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro import (
+    Scenario,
     cyclic_shift_matrix,
     diagonally_dominant_counterexample,
     near_uniform_matrix,
     reset_matrix,
+    simulate,
     uniform_noise_matrix,
 )
 from repro.noise.majority_preserving import (
@@ -85,6 +91,49 @@ def main() -> None:
         "dominates its row, yet a 0.1-biased distribution exists from which the "
         "noisy channel makes a rival opinion look most frequent - diagonal "
         "dominance is not sufficient for majority preservation."
+    )
+
+    print()
+    print("Empirical check (8 protocol trials per channel via the facade):")
+    empirical = []
+    for label, matrix in (
+        ("Eq. (1) generalization, k=3", uniform_noise_matrix(3, EPSILON)),
+        (
+            "diagonally dominant counterexample",
+            diagonally_dominant_counterexample(EPSILON),
+        ),
+    ):
+        result = simulate(
+            Scenario(
+                workload="plurality",
+                num_nodes=800,
+                num_opinions=matrix.num_opinions,
+                epsilon=EPSILON,
+                noise=matrix,
+                engine="batched",
+                support_size=800,
+                bias=0.1,
+                num_trials=8,
+                seed=0,
+            )
+        )
+        empirical.append(
+            {
+                "matrix": label,
+                "LP verdict": check_majority_preserving(
+                    matrix, EPSILON, 0.1
+                ).is_majority_preserving,
+                "consensus on plurality": (
+                    f"{result.success_count}/{result.num_trials}"
+                ),
+                "mean final bias": round(result.mean_final_bias, 3),
+            }
+        )
+    print(format_records(empirical))
+    print(
+        "The majority-preserving channel amplifies the 0.1 bias to "
+        "consensus; the counterexample's worst-case geometry shows up as "
+        "lost or flipped pluralities."
     )
 
 

@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
 """Quickstart: spread a rumor through a noisy population.
 
-This is the smallest end-to-end use of the library:
+This is the smallest end-to-end use of the library, built on the unified
+simulation facade:
 
 1. build the canonical uniform-noise matrix over ``k`` opinions (the
-   Section-4 generalization of the paper's Eq. (1));
-2. verify it is (eps, delta)-majority-preserving with the exact LP checker;
-3. run the two-stage protocol from a single source node;
-4. print what happened, phase by phase.
+   Section-4 generalization of the paper's Eq. (1)) and verify it is
+   (eps, delta)-majority-preserving with the exact LP checker;
+2. describe the run as a declarative :class:`repro.Scenario` — one source
+   node, everyone else undecided, the two-stage protocol;
+3. hand it to :func:`repro.simulate`, which picks the engine tier;
+4. print what happened, including the per-phase bias trajectory.
 
 Run with::
 
@@ -16,11 +19,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    RumorSpreading,
-    check_majority_preserving,
-    uniform_noise_matrix,
-)
+from repro import Scenario, check_majority_preserving, simulate
 
 NUM_NODES = 5_000
 NUM_OPINIONS = 4
@@ -29,43 +28,43 @@ CORRECT_OPINION = 2
 
 
 def main() -> None:
+    # The scenario is plain data: what to run, at what scale, through which
+    # channel, on which engine ("auto" picks the tier by population size).
+    scenario = Scenario(
+        workload="rumor",
+        num_nodes=NUM_NODES,
+        num_opinions=NUM_OPINIONS,
+        epsilon=EPSILON,
+        correct_opinion=CORRECT_OPINION,
+        engine="auto",
+        num_trials=1,
+        seed=0,
+    )
+
     # The channel: every message survives with probability 1/k + eps and is
     # switched to each other opinion with probability 1/k - eps/(k-1).
-    noise = uniform_noise_matrix(NUM_OPINIONS, EPSILON)
+    noise = scenario.build_noise()
     report = check_majority_preserving(noise, EPSILON, delta=0.1)
     print(f"noise matrix: {noise.name}")
     print(f"  {report.summary()}")
 
-    # The problem: one node knows the correct opinion, everyone else is
-    # undecided, and every transmission is corrupted by the matrix above.
-    solver = RumorSpreading(
-        num_nodes=NUM_NODES,
-        num_opinions=NUM_OPINIONS,
-        noise=noise,
-        epsilon=EPSILON,
-        correct_opinion=CORRECT_OPINION,
-        random_state=0,
-    )
-    result = solver.run()
+    result = simulate(scenario)
 
     print()
-    print(f"population size          : {NUM_NODES}")
-    print(f"correct opinion          : {CORRECT_OPINION}")
-    print(f"total rounds             : {result.total_rounds}")
+    print(f"population size          : {result.num_nodes}")
+    print(f"correct opinion          : {result.target_opinion}")
+    print(f"engine tier              : {result.engine}")
+    print(f"total rounds             : {int(result.rounds[0])}")
     print(f"  Stage 1 (spread)       : {result.stage1_rounds} rounds")
-    print(f"  Stage 2 (amplify)      : {result.stage2_rounds} rounds")
-    print(f"opinionated after Stage 1: {result.opinionated_after_stage1}")
-    print(f"bias after Stage 1       : {result.bias_after_stage1:.4f}")
-    print(f"success (full consensus) : {result.success}")
-    print(f"fraction holding rumor   : {result.correct_fraction():.4f}")
+    print(f"bias after Stage 1       : {float(result.bias_after_stage1[0]):.4f}")
+    print(f"success (full consensus) : {bool(result.successes[0])}")
+    print(f"fraction holding rumor   : {float(result.correct_fractions()[0]):.4f}")
+    print(f"wall time                : {result.provenance['wall_time_seconds']:.3f} s")
 
     print()
-    print("bias toward the correct opinion after each Stage-2 phase:")
-    for record in result.stage2_records:
-        print(
-            f"  phase {record.phase_index}: sample size {record.sample_size:>4} "
-            f"bias {record.bias_before:.4f} -> {record.bias_after:.4f}"
-        )
+    print("bias toward the correct opinion after each protocol phase:")
+    for phase, bias in enumerate(result.trajectories[0], start=1):
+        print(f"  phase {phase}: bias {bias:.4f}")
 
 
 if __name__ == "__main__":

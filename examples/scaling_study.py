@@ -7,18 +7,19 @@ levels, fits the measured running time against the theoretical
 the same computation as experiment E1, exposed as a standalone script that a
 user can edit to explore their own parameter ranges.
 
-Trials are routed through :func:`repro.experiments.runner.
-protocol_trial_outcomes` with ``trial_engine="auto"``: the small grid points
-run on the batched ``(R, n)`` ensemble engine, while the large ones switch to
-the counts (sufficient-statistics) engine, whose per-round cost is
-independent of ``n`` — which is why this script can afford a million-node
-row on a laptop.
+Every grid point is one declarative :class:`repro.Scenario` executed through
+:func:`repro.simulate` with ``engine="auto"``: the small points run on the
+batched ``(R, n)`` ensemble engine, while the large ones switch to the
+counts (sufficient-statistics) engine, whose per-round cost is independent
+of ``n`` — which is why this script can afford a million-node row on a
+laptop.
 
 Completed sweep points persist through the orchestrator's content-keyed
 :class:`~repro.experiments.orchestrator.ResultStore` (the same ``results/``
-artifacts as ``python -m repro run-all``), so an interrupted or re-run study
-*resumes*: already-computed grid points load from disk instead of being
-recomputed, and editing the grid only computes the new points.
+artifacts as ``python -m repro run-all``), keyed on the scenario dictionary
+itself, so an interrupted or re-run study *resumes*: already-computed grid
+points load from disk instead of being recomputed, and editing the grid
+only computes the new points.
 
 Run with::
 
@@ -27,16 +28,10 @@ Run with::
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
-
-from repro import uniform_noise_matrix
+from repro import Scenario, simulate
 from repro.analysis.convergence import fit_round_complexity
 from repro.core.schedule import theoretical_round_complexity
 from repro.experiments.orchestrator import ResultStore
-from repro.experiments.runner import protocol_trial_outcomes, resolve_trial_engine
-from repro.experiments.workloads import rumor_instance
 from repro.utils.tables import format_records
 
 NUM_NODES_GRID = (1_000, 4_000, 16_000, 100_000, 1_000_000)
@@ -50,27 +45,14 @@ COUNTS_THRESHOLD = 50_000
 STORE_DIR = "results"
 
 
-def measure_point(num_nodes: int, epsilon: float, engine: str) -> dict:
-    """Run one grid point and return its measurements."""
-    noise = uniform_noise_matrix(NUM_OPINIONS, epsilon)
-    initial_state = rumor_instance(num_nodes, NUM_OPINIONS, 1)
-    started = time.perf_counter()
-    outcomes = protocol_trial_outcomes(
-        initial_state,
-        noise,
-        epsilon,
-        TRIALS_PER_POINT,
-        random_state=SEED,
-        target_opinion=1,
-        trial_engine=engine,
-    )
-    elapsed = time.perf_counter() - started
+def measure_point(scenario: Scenario) -> dict:
+    """Run one grid point through the facade and return its measurements."""
+    result = simulate(scenario)
     return {
-        "successes": sum(outcome.success for outcome in outcomes),
-        "mean_rounds": float(
-            np.mean([outcome.total_rounds for outcome in outcomes])
-        ),
-        "seconds": elapsed,
+        "successes": result.success_count,
+        "mean_rounds": result.mean_rounds,
+        "seconds": result.provenance["wall_time_seconds"],
+        "engine": result.engine,
     }
 
 
@@ -80,25 +62,27 @@ def main() -> None:
     nodes_for_fit, eps_for_fit, rounds_for_fit = [], [], []
     resumed = 0
     for num_nodes in NUM_NODES_GRID:
-        engine = resolve_trial_engine("auto", num_nodes, COUNTS_THRESHOLD)
         for epsilon in EPSILON_GRID:
-            # The point's identity: everything that determines its outcome.
+            scenario = Scenario(
+                workload="rumor",
+                num_nodes=num_nodes,
+                num_opinions=NUM_OPINIONS,
+                epsilon=epsilon,
+                engine="auto",
+                counts_threshold=COUNTS_THRESHOLD,
+                num_trials=TRIALS_PER_POINT,
+                seed=SEED,
+            )
+            # The point's identity is the scenario itself: everything that
+            # determines its outcome, already in canonical dictionary form.
             # Identical identity -> load from the store instead of re-running.
-            identity = {
-                "script": "scaling_study",
-                "n": num_nodes,
-                "epsilon": epsilon,
-                "opinions": NUM_OPINIONS,
-                "trials": TRIALS_PER_POINT,
-                "seed": SEED,
-                "engine": engine,
-            }
+            identity = {"script": "scaling_study", "scenario": scenario.to_dict()}
             point = store.fetch("scaling_study", identity)
             cached = point is not None
             if cached:
                 resumed += 1
             else:
-                point = measure_point(num_nodes, epsilon, engine)
+                point = measure_point(scenario)
                 store.store("scaling_study", identity, point)
             mean_rounds = float(point["mean_rounds"])
             clock = theoretical_round_complexity(num_nodes, epsilon)
@@ -106,7 +90,7 @@ def main() -> None:
                 {
                     "n": num_nodes,
                     "epsilon": epsilon,
-                    "engine": engine,
+                    "engine": point["engine"],
                     "success": f"{int(point['successes'])}/{TRIALS_PER_POINT}",
                     "mean rounds": round(mean_rounds, 1),
                     "log2(n)/eps^2": round(clock, 1),

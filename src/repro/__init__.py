@@ -5,6 +5,10 @@ Consensus*, PODC 2016 (arXiv:1507.05796).
 
 The package provides:
 
+* the unified simulation facade — one declarative :class:`~repro.sim.
+  Scenario`, one :func:`~repro.sim.simulate` call, one
+  :class:`~repro.sim.SimulationResult` across all three engine tiers
+  (:mod:`repro.sim`),
 * the noisy uniform push model and its analytical surrogates
   (:mod:`repro.network`),
 * noise matrices and the (epsilon, delta)-majority-preserving theory
@@ -19,13 +23,37 @@ The package provides:
 
 Quickstart
 ----------
->>> from repro import RumorSpreading, uniform_noise_matrix
->>> noise = uniform_noise_matrix(num_opinions=4, epsilon=0.3)
->>> result = RumorSpreading(
-...     num_nodes=2000, num_opinions=4, noise=noise, epsilon=0.3,
-...     correct_opinion=2, random_state=0,
-... ).run()
->>> result.success
+Describe what to simulate, let the facade pick (or be told) the engine:
+
+>>> from repro import Scenario, simulate
+>>> result = simulate(Scenario(
+...     workload="rumor", num_nodes=600, num_opinions=4, epsilon=0.3,
+...     correct_opinion=2, engine="batched", num_trials=8, seed=0,
+... ))
+>>> bool(result.successes.all())
+True
+>>> result.engine
+'batched'
+
+The same call scales to millions of nodes on the counts tier — the
+``(R, k)`` sufficient-statistics engine whose per-round cost is
+independent of ``n``:
+
+>>> giant = simulate(Scenario(
+...     workload="rumor", num_nodes=1_000_000, num_opinions=4,
+...     epsilon=0.3, engine="counts", num_trials=4, seed=0,
+... ))
+>>> giant.num_nodes
+1000000
+
+Baseline opinion dynamics go through the identical entry point:
+
+>>> dyn = simulate(Scenario(
+...     workload="dynamics", rule="3-majority", num_nodes=500,
+...     num_opinions=3, epsilon=0.66, bias=0.3, engine="batched",
+...     num_trials=4, seed=0,
+... ))
+>>> bool(dyn.converged.all())
 True
 """
 
@@ -89,8 +117,17 @@ from repro.noise.majority_preserving import (
     sufficient_condition_epsilon,
 )
 from repro.noise.matrix import NoiseMatrix
+from repro.sim import Scenario, SimulationResult, simulate
 
-__version__ = "1.0.0"
+# The version is sourced from the installed package metadata; a source
+# checkout on PYTHONPATH (not pip-installed) falls back to the pyproject
+# version it tracks.
+try:  # pragma: no cover - depends on the install mode
+    from importlib.metadata import PackageNotFoundError, version as _version
+
+    __version__ = _version("repro-fraigniaud-natale-2016")
+except PackageNotFoundError:  # pragma: no cover - source checkout
+    __version__ = "1.0.0"
 
 __all__ = [
     "BallsIntoBinsProcess",
@@ -121,6 +158,8 @@ __all__ = [
     "ReceivedMessages",
     "RumorSpreading",
     "RumorSpreadingInstance",
+    "Scenario",
+    "SimulationResult",
     "Stage1Schedule",
     "Stage2Schedule",
     "TwoStageProtocol",
@@ -145,6 +184,7 @@ __all__ = [
     "near_uniform_matrix",
     "protocol_memory_usage",
     "reset_matrix",
+    "simulate",
     "standard_topology",
     "sufficient_condition_epsilon",
     "uniform_noise_matrix",

@@ -12,6 +12,11 @@ The CLI exposes the most common workflows without writing Python:
   orchestration layer: deterministic per-experiment seeds, optional process
   parallelism, persistent content-keyed result artifacts, and
   resume/skip-unchanged semantics;
+* ``python -m repro simulate --workload rumor --nodes 2000 --trials 32`` —
+  the generic facade entry point: build one declarative
+  :class:`~repro.sim.Scenario` (any workload, any engine tier) and run it
+  through :func:`~repro.sim.simulate`, printing the unified summary
+  (``--json`` emits the full :class:`~repro.sim.SimulationResult`);
 * ``python -m repro rumor --nodes 2000 --opinions 4 --epsilon 0.3`` — run one
   rumor-spreading instance and print the outcome;
 * ``python -m repro plurality --nodes 2000 --opinions 3 --epsilon 0.3
@@ -27,6 +32,11 @@ The CLI exposes the most common workflows without writing Python:
   run a batch of independent baseline-dynamics trials (voter, 3-majority,
   h-majority, undecided-state, median rule) on the noisy pull substrate,
   with the same ``--engine`` choices.
+
+``rumor``, ``plurality``, ``ensemble`` and ``dynamics`` are thin wrappers
+over Scenario construction — every one of them routes through
+``simulate(Scenario(...))``; they only differ in defaults and in what the
+summary prints.
 
 ``run-experiment`` and ``run-all`` accept the same ``--engine`` /
 ``--counts-threshold`` pair and override the experiment configs' trial
@@ -46,8 +56,6 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.plurality import PluralityConsensus
-from repro.core.rumor import RumorSpreading
 import repro.experiments  # noqa: F401  (imports populate the spec registry)
 from repro.dynamics import DYNAMICS_RULES
 from repro.experiments.orchestrator import (
@@ -57,20 +65,9 @@ from repro.experiments.orchestrator import (
     job_seed,
     run_all,
 )
-from repro.experiments.runner import (
-    TRIAL_ENGINE_CHOICES,
-    dynamics_trial_outcomes,
-    protocol_trial_outcomes,
-    resolve_trial_engine,
-)
+from repro.experiments.runner import TRIAL_ENGINE_CHOICES
 from repro.experiments.spec import all_specs, get_spec, registered_ids
-from repro.network.pull_model import vote_table_is_tractable
-from repro.experiments.workloads import (
-    biased_population,
-    plurality_instance_with_bias,
-    rumor_instance,
-)
-from repro.noise.families import uniform_noise_matrix
+from repro.sim import WORKLOADS, Scenario, simulate
 
 __all__ = ["main", "build_parser"]
 
@@ -148,6 +145,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="print every experiment table after the status summary",
     )
     _add_engine_arguments(run_all_parser, default=None)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate",
+        help="run any workload on any engine tier through the unified "
+             "Scenario facade",
+    )
+    simulate_parser.add_argument(
+        "--workload", choices=WORKLOADS, default="rumor",
+        help="what to simulate (default rumor)",
+    )
+    _add_common_instance_arguments(simulate_parser)
+    simulate_parser.add_argument(
+        "--trials", type=int, default=32,
+        help="number of independent trials R (default 32)",
+    )
+    simulate_parser.add_argument(
+        "--correct-opinion", type=int, default=1,
+        help="the rumor source's opinion (workload rumor, default 1)",
+    )
+    simulate_parser.add_argument(
+        "--support", type=int, default=None,
+        help="initially opinionated nodes (plurality/dynamics; "
+             "default: all nodes)",
+    )
+    simulate_parser.add_argument(
+        "--bias", type=float, default=0.2,
+        help="plurality bias within the support (default 0.2)",
+    )
+    simulate_parser.add_argument(
+        "--rule", choices=DYNAMICS_RULES, default=None,
+        help="baseline update rule (workload dynamics)",
+    )
+    simulate_parser.add_argument(
+        "--sample-size", type=int, default=None,
+        help="observations per round for the h-majority rule",
+    )
+    simulate_parser.add_argument(
+        "--max-rounds", type=int, default=300,
+        help="round budget per dynamics trial (default 300)",
+    )
+    simulate_parser.add_argument(
+        "--process", choices=("push", "balls_bins", "poisson"),
+        default="push",
+        help="delivery process for the protocol workloads (default push)",
+    )
+    simulate_parser.add_argument(
+        "--json", action="store_true",
+        help="print the full SimulationResult as JSON instead of the summary",
+    )
+    _add_engine_arguments(simulate_parser, default="auto")
 
     rumor_parser = subparsers.add_parser(
         "rumor", help="run one noisy rumor-spreading instance"
@@ -365,81 +412,142 @@ def _command_run_all(
     return 0
 
 
-def _command_rumor(args: argparse.Namespace) -> int:
-    noise = uniform_noise_matrix(args.opinions, args.epsilon)
-    result = RumorSpreading(
-        args.nodes,
-        args.opinions,
-        noise,
-        args.epsilon,
+def _run_scenario(
+    scenario: Scenario, parser: argparse.ArgumentParser
+):
+    """Execute a scenario, turning validation errors into parser errors."""
+    try:
+        return simulate(scenario)
+    except ValueError as error:
+        parser.error(str(error))
+
+
+def _command_simulate(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    try:
+        scenario = Scenario(
+            workload=args.workload,
+            num_nodes=args.nodes,
+            num_opinions=args.opinions,
+            epsilon=args.epsilon,
+            engine=args.engine,
+            num_trials=args.trials,
+            seed=args.seed,
+            counts_threshold=args.counts_threshold,
+            correct_opinion=args.correct_opinion,
+            support_size=args.support,
+            bias=args.bias,
+            rule=args.rule,
+            sample_size=args.sample_size,
+            max_rounds=args.max_rounds,
+            process=args.process,
+        )
+    except ValueError as error:
+        parser.error(str(error))
+    result = _run_scenario(scenario, parser)
+    if args.json:
+        print(result.to_json())
+        return 0 if result.success_count == result.num_trials else 1
+    print(f"workload              : {result.workload}")
+    print(f"nodes                 : {result.num_nodes}")
+    print(f"opinions              : {result.num_opinions}")
+    print(f"noise matrix          : {scenario.build_noise().name}")
+    print(f"trials                : {result.num_trials}")
+    print(f"engine                : {result.engine}")
+    print(f"target opinion        : {result.target_opinion}")
+    print(f"convergence rate      : {result.convergence_rate:.4f}")
+    print(f"success rate          : {result.success_rate:.4f}")
+    print(f"mean rounds           : {result.mean_rounds:.1f}")
+    print(f"mean final bias       : {result.mean_final_bias:.4f}")
+    elapsed = result.provenance["wall_time_seconds"]
+    print(f"wall time             : {elapsed:.3f} s")
+    print(f"throughput            : {result.num_trials / elapsed:.2f} trials/s")
+    return 0 if result.success_count == result.num_trials else 1
+
+
+def _command_rumor(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    scenario = Scenario(
+        workload="rumor",
+        num_nodes=args.nodes,
+        num_opinions=args.opinions,
+        epsilon=args.epsilon,
+        engine="sequential",
+        num_trials=1,
+        seed=args.seed,
         correct_opinion=args.correct_opinion,
-        random_state=args.seed,
-    ).run()
+    )
+    result = _run_scenario(scenario, parser)
+    success = bool(result.successes[0])
     print(f"nodes                 : {args.nodes}")
     print(f"opinions              : {args.opinions}")
-    print(f"noise matrix          : {noise.name}")
-    print(f"rounds                : {result.total_rounds}")
-    print(f"bias after Stage 1    : {result.bias_after_stage1:.4f}")
-    print(f"success               : {result.success}")
-    print(f"correct fraction      : {result.correct_fraction():.4f}")
-    return 0 if result.success else 1
+    print(f"noise matrix          : {scenario.build_noise().name}")
+    print(f"rounds                : {int(result.rounds[0])}")
+    print(f"bias after Stage 1    : {float(result.bias_after_stage1[0]):.4f}")
+    print(f"success               : {success}")
+    print(f"correct fraction      : {float(result.correct_fractions()[0]):.4f}")
+    return 0 if success else 1
 
 
-def _command_plurality(args: argparse.Namespace) -> int:
-    noise = uniform_noise_matrix(args.opinions, args.epsilon)
-    support = args.support if args.support is not None else args.nodes
-    instance = plurality_instance_with_bias(
-        args.nodes, support, args.opinions, args.bias
+def _command_plurality(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    scenario = Scenario(
+        workload="plurality",
+        num_nodes=args.nodes,
+        num_opinions=args.opinions,
+        epsilon=args.epsilon,
+        engine="sequential",
+        num_trials=1,
+        seed=args.seed,
+        support_size=args.support,
+        bias=args.bias,
     )
-    result = PluralityConsensus(
-        instance, noise, args.epsilon, random_state=args.seed
-    ).run()
+    instance = scenario.plurality_instance()
+    result = _run_scenario(scenario, parser)
+    success = bool(result.successes[0])
     print(f"nodes                 : {args.nodes}")
     print(f"initially opinionated : {instance.support_size}")
     print(f"plurality opinion     : {instance.plurality_opinion()}")
     print(f"bias within support   : {instance.plurality_bias_within_support():.4f}")
-    print(f"rounds                : {result.total_rounds}")
-    print(f"success               : {result.success}")
-    print(f"correct fraction      : {result.correct_fraction():.4f}")
-    return 0 if result.success else 1
+    print(f"rounds                : {int(result.rounds[0])}")
+    print(f"success               : {success}")
+    print(f"correct fraction      : {float(result.correct_fractions()[0]):.4f}")
+    return 0 if success else 1
 
 
-def _command_ensemble(args: argparse.Namespace) -> int:
-    noise = uniform_noise_matrix(args.opinions, args.epsilon)
-    initial_state = rumor_instance(args.nodes, args.opinions, 1)
-    engine = resolve_trial_engine(
-        args.engine, args.nodes, args.counts_threshold
+def _command_ensemble(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    scenario = Scenario(
+        workload="rumor",
+        num_nodes=args.nodes,
+        num_opinions=args.opinions,
+        epsilon=args.epsilon,
+        engine=args.engine,
+        counts_threshold=args.counts_threshold,
+        num_trials=args.trials,
+        seed=args.seed,
     )
-    started = time.perf_counter()
-    outcomes = protocol_trial_outcomes(
-        initial_state,
-        noise,
-        args.epsilon,
-        args.trials,
-        args.seed,
-        target_opinion=1,
-        trial_engine=engine,
-    )
-    elapsed = time.perf_counter() - started
-    successes = sum(outcome.success for outcome in outcomes)
-    rounds = [outcome.total_rounds for outcome in outcomes]
-    biases = [
-        outcome.bias_after_stage1
-        for outcome in outcomes
-        if outcome.bias_after_stage1 is not None
-    ]
+    result = _run_scenario(scenario, parser)
+    elapsed = result.provenance["wall_time_seconds"]
     print(f"nodes                 : {args.nodes}")
     print(f"opinions              : {args.opinions}")
-    print(f"noise matrix          : {noise.name}")
+    print(f"noise matrix          : {scenario.build_noise().name}")
     print(f"trials                : {args.trials}")
-    print(f"engine                : {engine}")
-    print(f"success rate          : {successes / args.trials:.4f}")
-    print(f"mean rounds           : {float(np.mean(rounds)):.1f}")
-    if biases:
-        print(f"mean Stage-1 bias     : {float(np.mean(biases)):.4f}")
+    print(f"engine                : {result.engine}")
+    print(f"success rate          : {result.success_rate:.4f}")
+    print(f"mean rounds           : {result.mean_rounds:.1f}")
+    if result.bias_after_stage1 is not None:
+        print(
+            "mean Stage-1 bias     : "
+            f"{float(np.mean(result.bias_after_stage1)):.4f}"
+        )
     print(f"wall time             : {elapsed:.3f} s")
     print(f"throughput            : {args.trials / elapsed:.2f} trials/s")
-    return 0 if successes == args.trials else 1
+    return 0 if result.success_count == args.trials else 1
 
 
 def _command_dynamics(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -449,53 +557,42 @@ def _command_dynamics(args: argparse.Namespace, parser: argparse.ArgumentParser)
         parser.error(
             f"--sample-size only applies to --rule h-majority (got {args.rule})"
         )
-    noise = uniform_noise_matrix(args.opinions, args.epsilon)
-    initial_state = biased_population(
-        args.nodes, args.opinions, args.bias, random_state=args.seed
-    )
-    engine = resolve_trial_engine(
-        args.engine, args.nodes, args.counts_threshold
-    )
-    if (
-        engine == "counts"
-        and args.sample_size is not None
-        and not vote_table_is_tractable(args.sample_size, args.opinions)
-    ):
-        parser.error(
-            f"--sample-size {args.sample_size} with {args.opinions} opinions "
-            "exceeds the counts engine's closed-form maj() table budget; "
-            "use --engine batched"
+    # The engine policy (including "auto") goes straight into the scenario:
+    # an explicit --engine counts with an intractable maj() table is a
+    # validation error, while "auto" degrades to the batched tier exactly
+    # like `repro simulate` does.
+    try:
+        scenario = Scenario(
+            workload="dynamics",
+            num_nodes=args.nodes,
+            num_opinions=args.opinions,
+            epsilon=args.epsilon,
+            engine=args.engine,
+            counts_threshold=args.counts_threshold,
+            num_trials=args.trials,
+            seed=args.seed,
+            bias=args.bias,
+            rule=args.rule,
+            sample_size=args.sample_size,
+            max_rounds=args.max_rounds,
         )
-    started = time.perf_counter()
-    outcomes = dynamics_trial_outcomes(
-        initial_state,
-        noise,
-        args.rule,
-        args.max_rounds,
-        args.trials,
-        args.seed,
-        sample_size=args.sample_size,
-        target_opinion=1,
-        trial_engine=engine,
-    )
-    elapsed = time.perf_counter() - started
-    successes = sum(outcome.success for outcome in outcomes)
-    converged = sum(outcome.converged for outcome in outcomes)
-    rounds = [outcome.rounds_executed for outcome in outcomes]
-    biases = [outcome.final_bias for outcome in outcomes]
+    except ValueError as error:
+        parser.error(str(error))
+    result = _run_scenario(scenario, parser)
+    elapsed = result.provenance["wall_time_seconds"]
     print(f"nodes                 : {args.nodes}")
     print(f"opinions              : {args.opinions}")
-    print(f"noise matrix          : {noise.name}")
+    print(f"noise matrix          : {scenario.build_noise().name}")
     print(f"rule                  : {args.rule}")
     print(f"trials                : {args.trials}")
-    print(f"engine                : {engine}")
-    print(f"convergence rate      : {converged / args.trials:.4f}")
-    print(f"success rate          : {successes / args.trials:.4f}")
-    print(f"mean rounds           : {float(np.mean(rounds)):.1f}")
-    print(f"mean final bias       : {float(np.mean(biases)):.4f}")
+    print(f"engine                : {result.engine}")
+    print(f"convergence rate      : {result.convergence_rate:.4f}")
+    print(f"success rate          : {result.success_rate:.4f}")
+    print(f"mean rounds           : {result.mean_rounds:.1f}")
+    print(f"mean final bias       : {result.mean_final_bias:.4f}")
     print(f"wall time             : {elapsed:.3f} s")
     print(f"throughput            : {args.trials / elapsed:.2f} trials/s")
-    return 0 if successes == args.trials else 1
+    return 0 if result.success_count == args.trials else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -510,12 +607,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_run_experiment(args, parser)
     if args.command == "run-all":
         return _command_run_all(args, parser)
+    if args.command == "simulate":
+        return _command_simulate(args, parser)
     if args.command == "rumor":
-        return _command_rumor(args)
+        return _command_rumor(args, parser)
     if args.command == "plurality":
-        return _command_plurality(args)
+        return _command_plurality(args, parser)
     if args.command == "ensemble":
-        return _command_ensemble(args)
+        return _command_ensemble(args, parser)
     if args.command == "dynamics":
         return _command_dynamics(args, parser)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

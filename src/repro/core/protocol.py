@@ -42,9 +42,8 @@ from repro.core.state import (
     PopulationState,
     coerce_to_ensemble_counts,
 )
-from repro.network.balls_bins import BallsIntoBinsProcess, CountsDeliveryModel
-from repro.network.poisson_model import PoissonizedProcess
-from repro.network.push_model import UniformPushModel
+from repro.network.balls_bins import CountsDeliveryModel
+from repro.network.delivery import DELIVERY_PROCESSES, make_delivery_engine
 from repro.noise.matrix import NoiseMatrix
 from repro.utils.rng import (
     EnsembleRandomState,
@@ -62,9 +61,6 @@ __all__ = [
     "make_engine",
 ]
 
-#: Delivery processes accepted by :func:`make_engine`.
-DELIVERY_PROCESSES = ("push", "balls_bins", "poisson")
-
 
 def make_engine(
     process: str,
@@ -72,20 +68,24 @@ def make_engine(
     noise: NoiseMatrix,
     random_state: RandomState = None,
 ):
-    """Instantiate a delivery engine by name.
+    """Deprecated alias of
+    :func:`repro.network.delivery.make_delivery_engine`.
 
-    ``process`` is one of ``"push"`` (process O, the real model),
-    ``"balls_bins"`` (process B) or ``"poisson"`` (process P).
+    Kept for backwards compatibility; new code should build engines through
+    the :mod:`repro.sim` facade (or call ``make_delivery_engine`` directly).
+    The returned engine is identical to what this function always produced,
+    so existing seeded runs stay bitwise reproducible.
     """
-    if process == "push":
-        return UniformPushModel(num_nodes, noise, random_state)
-    if process == "balls_bins":
-        return BallsIntoBinsProcess(num_nodes, noise, random_state)
-    if process == "poisson":
-        return PoissonizedProcess(num_nodes, noise, random_state)
-    raise ValueError(
-        f"process must be one of {DELIVERY_PROCESSES}, got {process!r}"
+    import warnings
+
+    warnings.warn(
+        "repro.core.protocol.make_engine is deprecated; use "
+        "repro.network.delivery.make_delivery_engine or the repro.sim "
+        "facade (simulate(Scenario(...))) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return make_delivery_engine(process, num_nodes, noise, random_state)
 
 
 @dataclass
@@ -277,7 +277,7 @@ class TwoStageProtocol:
         if self.engine is not None:
             engine = self.engine
         else:
-            engine = make_engine(
+            engine = make_delivery_engine(
                 self.process, self.num_nodes, self.noise, self._rng
             )
         stage1 = Stage1Executor(engine, schedule.stage1, self._rng)
@@ -579,7 +579,9 @@ class EnsembleProtocol:
         if self.engine is not None:
             engine = self.engine
         else:
-            engine = make_engine(self.process, self.num_nodes, self.noise, None)
+            engine = make_delivery_engine(
+                self.process, self.num_nodes, self.noise, None
+            )
         randomness = self._trial_randomness(ensemble.num_trials)
         stage1 = EnsembleStage1Executor(engine, schedule.stage1, randomness)
         state_after_stage1, stage1_records = stage1.run(

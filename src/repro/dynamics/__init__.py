@@ -27,14 +27,19 @@ trials over an ``(R, n)`` matrix at once, and the counts-based
 :class:`EnsembleCountsDynamics` subclasses that evolve only the ``(R, k)``
 opinion-count sufficient statistics — ``O(k^2)`` per round independent of
 ``n``, which is what scales the baselines to millions of nodes.
-:func:`make_dynamics` / :func:`make_ensemble_dynamics` /
-:func:`make_counts_dynamics` build any engine from a rule name
-(:data:`DYNAMICS_RULES`), which is how the experiment runner and the CLI
-select baselines.
+
+Engines are built by the unified ``(tier, rule)`` registry of
+:func:`repro.sim.engines.build_dynamics` (or, one level up, by
+``simulate(Scenario(workload="dynamics", rule=...))``).  The historical
+per-tier factories :func:`make_dynamics` / :func:`make_ensemble_dynamics` /
+:func:`make_counts_dynamics` remain as deprecation shims over that
+registry: they construct exactly the same classes with exactly the same
+arguments, so existing seeded runs stay bitwise reproducible.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from repro.dynamics.base import (
@@ -109,18 +114,36 @@ DYNAMICS_RULES = (
 )
 
 
-def _resolve_rule(rule: str, sample_size: Optional[int]) -> None:
-    if rule not in DYNAMICS_RULES:
-        raise ValueError(
-            f"rule must be one of {DYNAMICS_RULES}, got {rule!r}"
-        )
-    if rule == "h-majority" and sample_size is None:
-        raise ValueError("rule 'h-majority' requires sample_size")
-    if rule != "h-majority" and sample_size is not None:
-        raise ValueError(
-            f"rule {rule!r} does not take a sample_size "
-            "(use 'h-majority' for a custom h)"
-        )
+def _deprecated_build(
+    tier: str,
+    legacy_name: str,
+    rule: str,
+    num_nodes: int,
+    noise: NoiseMatrix,
+    random_state,
+    sample_size: Optional[int],
+    **kwargs,
+):
+    """Shared body of the three deprecated per-tier factory shims."""
+    warnings.warn(
+        f"repro.dynamics.{legacy_name} is deprecated; use "
+        "repro.sim.engines.build_dynamics (or the repro.sim facade: "
+        "simulate(Scenario(workload='dynamics', ...))) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    # Imported lazily: repro.sim.engines imports this package's submodules.
+    from repro.sim.engines import build_dynamics
+
+    return build_dynamics(
+        tier,
+        rule,
+        num_nodes,
+        noise,
+        random_state,
+        sample_size=sample_size,
+        **kwargs,
+    )
 
 
 def make_dynamics(
@@ -131,21 +154,16 @@ def make_dynamics(
     *,
     sample_size: Optional[int] = None,
 ) -> OpinionDynamics:
-    """Instantiate a sequential baseline dynamic by rule name.
+    """Deprecated: build a sequential baseline dynamic by rule name.
 
-    ``rule`` is one of :data:`DYNAMICS_RULES`; ``sample_size`` is required
-    for (and only accepted by) ``"h-majority"``.
+    A shim over :func:`repro.sim.engines.build_dynamics` (tier
+    ``"sequential"``); it constructs the identical class with identical
+    arguments, so seeded runs stay bitwise reproducible.
     """
-    _resolve_rule(rule, sample_size)
-    if rule == "voter":
-        return VoterDynamics(num_nodes, noise, random_state)
-    if rule == "3-majority":
-        return ThreeMajorityDynamics(num_nodes, noise, random_state)
-    if rule == "h-majority":
-        return HMajorityDynamics(num_nodes, noise, sample_size, random_state)
-    if rule == "undecided-state":
-        return UndecidedStateDynamics(num_nodes, noise, random_state)
-    return MedianRuleDynamics(num_nodes, noise, random_state)
+    return _deprecated_build(
+        "sequential", "make_dynamics", rule, num_nodes, noise,
+        random_state, sample_size,
+    )
 
 
 def make_ensemble_dynamics(
@@ -157,33 +175,15 @@ def make_ensemble_dynamics(
     sample_size: Optional[int] = None,
     rng_mode: str = "per_trial",
 ) -> EnsembleOpinionDynamics:
-    """Instantiate a batched baseline dynamic by rule name.
+    """Deprecated: build a batched baseline dynamic by rule name.
 
-    The batched counterpart of :func:`make_dynamics`; with the default
-    per-trial randomness mode a batched run is bitwise reproducible trial by
-    trial (identical to batch-size-1 runs with the same per-trial sources),
-    and agrees with the sequential engine built from the same rule in
-    distribution.
+    A shim over :func:`repro.sim.engines.build_dynamics` (tier
+    ``"batched"``); it constructs the identical class with identical
+    arguments, so seeded runs stay bitwise reproducible.
     """
-    _resolve_rule(rule, sample_size)
-    if rule == "voter":
-        return EnsembleVoterDynamics(
-            num_nodes, noise, random_state, rng_mode=rng_mode
-        )
-    if rule == "3-majority":
-        return EnsembleThreeMajorityDynamics(
-            num_nodes, noise, random_state, rng_mode=rng_mode
-        )
-    if rule == "h-majority":
-        return EnsembleHMajorityDynamics(
-            num_nodes, noise, sample_size, random_state, rng_mode=rng_mode
-        )
-    if rule == "undecided-state":
-        return EnsembleUndecidedStateDynamics(
-            num_nodes, noise, random_state, rng_mode=rng_mode
-        )
-    return EnsembleMedianRuleDynamics(
-        num_nodes, noise, random_state, rng_mode=rng_mode
+    return _deprecated_build(
+        "batched", "make_ensemble_dynamics", rule, num_nodes, noise,
+        random_state, sample_size, rng_mode=rng_mode,
     )
 
 
@@ -196,31 +196,13 @@ def make_counts_dynamics(
     sample_size: Optional[int] = None,
     rng_mode: str = "per_trial",
 ) -> EnsembleCountsDynamics:
-    """Instantiate a counts-engine baseline dynamic by rule name.
+    """Deprecated: build a counts-engine baseline dynamic by rule name.
 
-    The sufficient-statistics counterpart of :func:`make_ensemble_dynamics`:
-    the returned engine evolves ``(R, k)`` opinion-count matrices with
-    grouped multinomial draws — exact in distribution, ``O(k^2)`` per round
-    per trial, independent of ``n``.  Like the batched engine it is
-    bitwise reproducible trial by trial in per-trial randomness mode.
+    A shim over :func:`repro.sim.engines.build_dynamics` (tier
+    ``"counts"``); it constructs the identical class with identical
+    arguments, so seeded runs stay bitwise reproducible.
     """
-    _resolve_rule(rule, sample_size)
-    if rule == "voter":
-        return EnsembleCountsVoterDynamics(
-            num_nodes, noise, random_state, rng_mode=rng_mode
-        )
-    if rule == "3-majority":
-        return EnsembleCountsThreeMajorityDynamics(
-            num_nodes, noise, random_state, rng_mode=rng_mode
-        )
-    if rule == "h-majority":
-        return EnsembleCountsHMajorityDynamics(
-            num_nodes, noise, sample_size, random_state, rng_mode=rng_mode
-        )
-    if rule == "undecided-state":
-        return EnsembleCountsUndecidedStateDynamics(
-            num_nodes, noise, random_state, rng_mode=rng_mode
-        )
-    return EnsembleCountsMedianRuleDynamics(
-        num_nodes, noise, random_state, rng_mode=rng_mode
+    return _deprecated_build(
+        "counts", "make_counts_dynamics", rule, num_nodes, noise,
+        random_state, sample_size, rng_mode=rng_mode,
     )

@@ -39,7 +39,7 @@ from repro.analysis.poisson import (
     process_count_distribution,
     total_variation_distance,
 )
-from repro.core.protocol import make_engine
+from repro.network.delivery import make_delivery_engine
 from repro.experiments.results import ExperimentTable
 from repro.experiments.runner import protocol_trial_outcomes
 from repro.experiments.spec import register_experiment
@@ -108,7 +108,7 @@ def _static_comparison(
 
     deliveries: Dict[str, List] = {"push": [], "balls_bins": [], "poisson": []}
     for process in deliveries:
-        engine = make_engine(process, config.num_nodes, noise, rng)
+        engine = make_delivery_engine(process, config.num_nodes, noise, rng)
         for _ in range(config.num_deliveries):
             deliveries[process].append(
                 engine.run_phase_from_senders(

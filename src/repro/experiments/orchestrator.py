@@ -77,22 +77,28 @@ def experiment_code_version(spec: ExperimentSpec) -> str:
     """A short fingerprint of the code a run of ``spec`` executes.
 
     Hashes the defining experiment module together with the shared trial
-    runner, so editing either invalidates the store entries of the affected
-    experiments (the "code version" component of the content key).  The
-    deeper simulation layers are deliberately not hashed — they are covered
-    by the engine-equivalence test-suite, and hashing the whole package
-    would turn every docstring edit into a full cache flush.
+    runner and the :mod:`repro.sim` dispatch layer the runner routes
+    through, so editing any of them invalidates the store entries of the
+    affected experiments (the "code version" component of the content
+    key).  The deeper simulation layers are deliberately not hashed — they
+    are covered by the engine-equivalence test-suite, and hashing the whole
+    package would turn every docstring edit into a full cache flush.
     """
     cached = _code_version_cache.get(spec.module_name)
     if cached is not None:
         return cached
     import importlib
 
+    from repro.sim import engines as sim_engines_module
+    from repro.sim import facade as sim_facade_module
+
     module = importlib.import_module(spec.module_name)
     digest = hashlib.sha256()
     digest.update(_module_source(module).encode())
     digest.update(_module_source(runner_module).encode())
     digest.update(_module_source(spec_module).encode())
+    digest.update(_module_source(sim_engines_module).encode())
+    digest.update(_module_source(sim_facade_module).encode())
     version = digest.hexdigest()[:16]
     _code_version_cache[spec.module_name] = version
     return version

@@ -42,10 +42,10 @@ from repro.core.schedule import Stage1Schedule, Stage2Schedule
 from repro.core.stage1 import CountsStage1Executor, EnsembleStage1Executor, Stage1Executor
 from repro.core.stage2 import CountsStage2Executor, EnsembleStage2Executor, Stage2Executor
 from repro.core.state import CountsState, EnsembleCountsState, EnsembleState, PopulationState
-from repro.dynamics import make_counts_dynamics, make_dynamics, make_ensemble_dynamics
 from repro.network.balls_bins import CountsDeliveryModel
 from repro.network.push_model import UniformPushModel
 from repro.noise.matrix import NoiseMatrix
+from repro.sim.engines import build_dynamics
 from repro.utils.rng import (
     EnsembleRandomState,
     RandomState,
@@ -123,6 +123,13 @@ def resolve_trial_engine(
     ``"auto"`` resolves to ``"counts"`` when ``num_nodes`` is at least
     ``counts_threshold`` (default: the active threshold, normally
     :data:`DEFAULT_COUNTS_THRESHOLD`) and to ``"batched"`` otherwise.
+
+    The boundary is inclusive on the counts side: at *exactly*
+    ``num_nodes == counts_threshold`` the counts engine wins (``>=``, not
+    ``>``).  The threshold is the smallest population the n-independent
+    engine should serve, so the ``repro.sim`` facade, the CLI and the
+    experiment configs all see ``auto(n=threshold) == "counts"`` — pinned
+    by the test-suite so the semantics cannot drift silently.
     """
     if trial_engine not in TRIAL_ENGINE_CHOICES:
         raise ValueError(
@@ -408,11 +415,6 @@ def dynamics_trial_outcomes(
     target_opinion = int(target_opinion)
 
     if trial_engine in ("batched", "counts"):
-        factory = (
-            make_ensemble_dynamics
-            if trial_engine == "batched"
-            else make_counts_dynamics
-        )
         # Content-based noise fingerprint: id() could be recycled across
         # short-lived matrices and hand back an engine with the wrong
         # channel.
@@ -424,8 +426,9 @@ def dynamics_trial_outcomes(
         if engine_cache is not None:
             dynamic = engine_cache.get(cache_key)
         if dynamic is None:
-            dynamic = factory(
-                rule, num_nodes, noise, random_state, sample_size=sample_size
+            dynamic = build_dynamics(
+                trial_engine, rule, num_nodes, noise, random_state,
+                sample_size=sample_size,
             )
             if engine_cache is not None:
                 engine_cache[cache_key] = dynamic
@@ -462,8 +465,9 @@ def dynamics_trial_outcomes(
             trial_state = initial_state.trial_state(trial)
         else:
             trial_state = initial_state
-        dynamic = make_dynamics(
-            rule, num_nodes, noise, generator, sample_size=sample_size
+        dynamic = build_dynamics(
+            "sequential", rule, num_nodes, noise, generator,
+            sample_size=sample_size,
         )
         result = dynamic.run(
             trial_state,

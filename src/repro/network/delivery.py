@@ -11,22 +11,58 @@ vector (0 = undecided, undecided nodes do not push).
 :func:`deliver_phase` hides that difference from the Stage-1/Stage-2
 executors: it prefers the population-aware entry point when the engine
 provides one and falls back to the anonymous one otherwise.
+
+:func:`make_delivery_engine` is the canonical factory for the three
+complete-graph engines (processes O, B and P) by name; it backs both the
+protocol drivers and the :mod:`repro.sim` facade's engine registry (the
+legacy :func:`repro.core.protocol.make_engine` is a deprecated alias).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.network.balls_bins import BallsIntoBinsProcess
 from repro.network.mailbox import EnsembleReceivedMessages, ReceivedMessages
+from repro.network.poisson_model import PoissonizedProcess
+from repro.network.push_model import UniformPushModel
+from repro.noise.matrix import NoiseMatrix
 from repro.utils.multiset import opinion_counts_matrix
-from repro.utils.rng import EnsembleRandomState
+from repro.utils.rng import EnsembleRandomState, RandomState
 
 __all__ = [
+    "DELIVERY_PROCESSES",
     "deliver_phase",
+    "make_delivery_engine",
     "supports_population_delivery",
     "deliver_ensemble_phase",
     "supports_ensemble_delivery",
 ]
+
+#: Delivery processes accepted by :func:`make_delivery_engine`.
+DELIVERY_PROCESSES = ("push", "balls_bins", "poisson")
+
+
+def make_delivery_engine(
+    process: str,
+    num_nodes: int,
+    noise: NoiseMatrix,
+    random_state: RandomState = None,
+):
+    """Instantiate a complete-graph delivery engine by name.
+
+    ``process`` is one of ``"push"`` (process O, the real model),
+    ``"balls_bins"`` (process B) or ``"poisson"`` (process P).
+    """
+    if process == "push":
+        return UniformPushModel(num_nodes, noise, random_state)
+    if process == "balls_bins":
+        return BallsIntoBinsProcess(num_nodes, noise, random_state)
+    if process == "poisson":
+        return PoissonizedProcess(num_nodes, noise, random_state)
+    raise ValueError(
+        f"process must be one of {DELIVERY_PROCESSES}, got {process!r}"
+    )
 
 
 def supports_population_delivery(engine) -> bool:

@@ -107,6 +107,21 @@ class NoiseMatrix:
                 f"opinion must be in [1, {self.num_opinions}], got {opinion}"
             )
 
+    def __eq__(self, other) -> bool:
+        """Value equality: same entries and same name.
+
+        Lets declarative containers (e.g. :class:`repro.sim.Scenario`) that
+        carry a noise matrix compare equal after a serialization round trip.
+        """
+        if not isinstance(other, NoiseMatrix):
+            return NotImplemented
+        return self.name == other.name and np.array_equal(
+            self._matrix, other._matrix
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self._matrix.tobytes()))
+
     # ------------------------------------------------------------------ #
     # Structural properties
     # ------------------------------------------------------------------ #

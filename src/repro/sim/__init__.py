@@ -1,0 +1,58 @@
+"""``repro.sim`` — the unified simulation facade.
+
+One declarative :class:`Scenario` describes *what* to simulate (rumor
+spreading, plurality consensus, or a baseline opinion dynamic), one
+:func:`simulate` call executes it on the right engine tier (sequential
+reference loop, batched ``(R, n)`` ensemble, counts ``(R, k)`` sufficient
+statistics, or ``auto``), and one :class:`SimulationResult` carries the
+per-trial verdicts, the measurements and the provenance — across every
+workload and every tier.
+
+The :data:`~repro.sim.engines.ENGINE_REGISTRY` keyed by
+``(workload, engine)`` is the single dispatch table; it absorbed the legacy
+per-tier factories (``make_dynamics`` / ``make_ensemble_dynamics`` /
+``make_counts_dynamics`` and ``core.protocol.make_engine``), which remain
+as deprecation shims.  Under a fixed seed, ``simulate()`` is bitwise
+identical to the legacy entry point it supersedes, tier by tier.
+
+>>> from repro.sim import Scenario, simulate
+>>> result = simulate(Scenario(
+...     workload="rumor", num_nodes=600, num_opinions=3, epsilon=0.3,
+...     engine="batched", num_trials=4, seed=0,
+... ))
+>>> bool(result.successes.all())
+True
+"""
+
+from repro.sim.engines import (
+    DELIVERY_PROCESSES,
+    ENGINE_REGISTRY,
+    ENGINE_TIERS,
+    EngineRegistry,
+    build_dynamics,
+    make_delivery_engine,
+)
+from repro.sim.facade import sim_code_version, simulate
+from repro.sim.result import SimulationResult
+from repro.sim.scenario import (
+    ENGINE_POLICIES,
+    TOPOLOGIES,
+    WORKLOADS,
+    Scenario,
+)
+
+__all__ = [
+    "DELIVERY_PROCESSES",
+    "ENGINE_POLICIES",
+    "ENGINE_REGISTRY",
+    "ENGINE_TIERS",
+    "EngineRegistry",
+    "Scenario",
+    "SimulationResult",
+    "TOPOLOGIES",
+    "WORKLOADS",
+    "build_dynamics",
+    "make_delivery_engine",
+    "sim_code_version",
+    "simulate",
+]

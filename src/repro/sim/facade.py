@@ -1,0 +1,297 @@
+"""``simulate(Scenario(...)) -> SimulationResult`` — the one entry point.
+
+The facade resolves the scenario's engine policy to a concrete tier, looks
+up the ``(workload, engine)`` runner in the
+:data:`~repro.sim.engines.ENGINE_REGISTRY`, executes it, and stamps the
+result with provenance (resolved engine, seed, facade code version, wall
+time, the scenario itself).
+
+Every runner reproduces the exact randomness discipline of the legacy entry
+point it supersedes — the protocol classes and the dynamics engines are
+constructed with the same arguments and consume the same draws — so under a
+fixed seed ``simulate()`` is *bitwise identical* to the corresponding
+legacy path (the equivalence test-suite pins this per workload × engine).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import time
+from typing import Optional
+
+from repro.core.protocol import (
+    CountsProtocol,
+    EnsembleProtocol,
+    TwoStageProtocol,
+)
+from repro.network.topology import GraphPushModel, standard_topology
+from repro.noise.matrix import NoiseMatrix
+from repro.sim.engines import ENGINE_REGISTRY, build_dynamics
+from repro.sim.result import SimulationResult
+from repro.sim.scenario import Scenario
+from repro.utils.rng import as_trial_generators, spawn_generators
+
+__all__ = ["simulate", "sim_code_version"]
+
+_code_version: Optional[str] = None
+
+
+def sim_code_version() -> str:
+    """A short fingerprint of the facade's code, recorded in provenance.
+
+    Hashes the sim layer's own modules (scenario, engines, result, facade);
+    the engine tiers underneath are covered by the equivalence and
+    engine-agreement test-suites, exactly like the orchestrator's
+    experiment fingerprint.
+    """
+    global _code_version
+    if _code_version is None:
+        from repro.sim import engines as engines_module
+        from repro.sim import result as result_module
+        from repro.sim import scenario as scenario_module
+        import repro.sim.facade as facade_module
+
+        digest = hashlib.sha256()
+        for module in (
+            scenario_module, engines_module, result_module, facade_module
+        ):
+            try:
+                digest.update(inspect.getsource(module).encode())
+            except (OSError, TypeError):  # pragma: no cover - frozen builds
+                pass
+        _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+def _resolve_engine(scenario: Scenario) -> str:
+    """The concrete tier for the scenario's engine policy.
+
+    Delegates to :func:`repro.experiments.runner.resolve_trial_engine` (the
+    single owner of the ``auto`` threshold semantics, including the
+    process-wide default installed by ``set_default_counts_threshold``).
+    Imported lazily: the runner imports the sim engine registry, so a
+    module-level import would be circular.
+    """
+    if scenario.engine != "auto":
+        return scenario.engine
+    from repro.experiments.runner import resolve_trial_engine
+
+    engine = resolve_trial_engine(
+        "auto", scenario.num_nodes, scenario.counts_threshold
+    )
+    if (
+        engine == "counts"
+        and scenario.rule == "h-majority"
+        and scenario.sample_size is not None
+    ):
+        from repro.network.pull_model import vote_table_is_tractable
+
+        # The counts h-majority tier needs a tractable closed-form maj()
+        # table; 'auto' degrades to the batched tier instead of failing
+        # (an explicit engine='counts' request raises at validation).
+        if not vote_table_is_tractable(
+            scenario.sample_size, scenario.num_opinions
+        ):
+            engine = "batched"
+    return engine
+
+
+def simulate(scenario: Scenario) -> SimulationResult:
+    """Execute ``scenario`` on the engine tier its policy resolves to.
+
+    The single public entry point of the simulation layer: one declarative
+    :class:`~repro.sim.scenario.Scenario` in, one
+    :class:`~repro.sim.result.SimulationResult` out, for every workload
+    (rumor / plurality / dynamics) and every engine tier (sequential /
+    batched / counts).  Provenance on the result records the resolved
+    engine, the seed, the facade code version, the wall time and the full
+    scenario dictionary, so any stored result is self-describing.
+    """
+    scenario.validate()
+    engine = _resolve_engine(scenario)
+    noise = scenario.build_noise()
+    runner = ENGINE_REGISTRY.get(scenario.workload, engine)
+    started = time.perf_counter()
+    result = runner(scenario, noise, engine)
+    elapsed = time.perf_counter() - started
+    result.provenance = {
+        "workload": scenario.workload,
+        "engine": engine,
+        "engine_policy": scenario.engine,
+        "seed": scenario.seed,
+        "num_trials": scenario.num_trials,
+        "code_version": sim_code_version(),
+        "wall_time_seconds": round(elapsed, 6),
+        "scenario": scenario.to_dict(),
+    }
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Protocol workloads (rumor & plurality share the two-stage machinery)
+# --------------------------------------------------------------------- #
+
+
+def _build_graph_engine(
+    scenario: Scenario, noise: NoiseMatrix, random_state
+) -> GraphPushModel:
+    graph = standard_topology(
+        scenario.topology,
+        scenario.num_nodes,
+        random_state=scenario.seed,
+        **({"degree": scenario.degree} if scenario.degree is not None else {}),
+    )
+    return GraphPushModel(graph, noise, random_state=random_state)
+
+
+@ENGINE_REGISTRY.register("rumor", "sequential")
+@ENGINE_REGISTRY.register("plurality", "sequential")
+def _protocol_sequential(
+    scenario: Scenario, noise: NoiseMatrix, engine: str
+) -> SimulationResult:
+    """The reference loop: one :class:`TwoStageProtocol` run per trial.
+
+    Trial ``r`` consumes randomness from its own spawned child generator —
+    the same discipline (and hence the same draws) as the legacy
+    ``protocol_trial_outcomes(..., trial_engine="sequential")`` path.
+    """
+    initial_state = scenario.initial_state()
+    target = scenario.target_opinion()
+    results = []
+    for generator in spawn_generators(scenario.num_trials, scenario.seed):
+        delivery = (
+            _build_graph_engine(scenario, noise, generator)
+            if scenario.topology != "complete"
+            else None
+        )
+        protocol = TwoStageProtocol(
+            scenario.num_nodes,
+            noise,
+            epsilon=scenario.epsilon,
+            process=scenario.process,
+            engine=delivery,
+            random_state=generator,
+            round_scale=scenario.round_scale,
+            sampling_method=scenario.sampling_method,
+            use_full_multiset=scenario.use_full_multiset,
+        )
+        results.append(protocol.run(initial_state, target_opinion=target))
+    return SimulationResult.from_protocol_results(
+        results, workload=scenario.workload, engine=engine
+    )
+
+
+@ENGINE_REGISTRY.register("rumor", "batched")
+@ENGINE_REGISTRY.register("plurality", "batched")
+def _protocol_batched(
+    scenario: Scenario, noise: NoiseMatrix, engine: str
+) -> SimulationResult:
+    """The vectorized ``(R, n)`` tier: one :class:`EnsembleProtocol` batch."""
+    protocol = EnsembleProtocol(
+        scenario.num_nodes,
+        noise,
+        epsilon=scenario.epsilon,
+        process=scenario.process,
+        random_state=scenario.seed,
+        round_scale=scenario.round_scale,
+        sampling_method=scenario.sampling_method,
+        use_full_multiset=scenario.use_full_multiset,
+    )
+    result = protocol.run(
+        scenario.initial_state(),
+        scenario.num_trials,
+        target_opinion=scenario.target_opinion(),
+    )
+    return SimulationResult.from_ensemble_result(
+        result, workload=scenario.workload, engine=engine
+    )
+
+
+@ENGINE_REGISTRY.register("rumor", "counts")
+@ENGINE_REGISTRY.register("plurality", "counts")
+def _protocol_counts(
+    scenario: Scenario, noise: NoiseMatrix, engine: str
+) -> SimulationResult:
+    """The ``(R, k)`` sufficient-statistics tier: :class:`CountsProtocol`."""
+    protocol = CountsProtocol(
+        scenario.num_nodes,
+        noise,
+        epsilon=scenario.epsilon,
+        random_state=scenario.seed,
+        round_scale=scenario.round_scale,
+    )
+    # Counts-native entry state: same opinion counts as the per-node
+    # construction, but O(k) — n never gets an array axis on this tier.
+    result = protocol.run(
+        scenario.initial_counts_state(),
+        scenario.num_trials,
+        target_opinion=scenario.target_opinion(),
+    )
+    return SimulationResult.from_ensemble_result(
+        result, workload=scenario.workload, engine=engine
+    )
+
+
+# --------------------------------------------------------------------- #
+# Dynamics workload
+# --------------------------------------------------------------------- #
+
+
+@ENGINE_REGISTRY.register("dynamics", "batched")
+@ENGINE_REGISTRY.register("dynamics", "counts")
+def _dynamics_ensemble(
+    scenario: Scenario, noise: NoiseMatrix, engine: str
+) -> SimulationResult:
+    """The batched / counts dynamics tiers via :func:`build_dynamics`."""
+    initial_state = (
+        scenario.initial_counts_state()
+        if engine == "counts"
+        else scenario.initial_state()
+    )
+    dynamic = build_dynamics(
+        engine,
+        scenario.rule,
+        scenario.num_nodes,
+        noise,
+        scenario.seed,
+        sample_size=scenario.sample_size,
+    )
+    result = dynamic.run(
+        initial_state,
+        scenario.max_rounds,
+        scenario.num_trials,
+        target_opinion=scenario.target_opinion(),
+        stop_at_consensus=scenario.stop_at_consensus,
+        record_history=scenario.record_trajectories,
+    )
+    return SimulationResult.from_ensemble_dynamics_result(result, engine=engine)
+
+
+@ENGINE_REGISTRY.register("dynamics", "sequential")
+def _dynamics_sequential(
+    scenario: Scenario, noise: NoiseMatrix, engine: str
+) -> SimulationResult:
+    """The sequential dynamics reference loop, one engine per trial."""
+    initial_state = scenario.initial_state()
+    target = scenario.target_opinion()
+    results = []
+    for generator in as_trial_generators(scenario.seed, scenario.num_trials):
+        dynamic = build_dynamics(
+            "sequential",
+            scenario.rule,
+            scenario.num_nodes,
+            noise,
+            generator,
+            sample_size=scenario.sample_size,
+        )
+        results.append(
+            dynamic.run(
+                initial_state,
+                scenario.max_rounds,
+                target_opinion=target,
+                stop_at_consensus=scenario.stop_at_consensus,
+                record_history=scenario.record_trajectories,
+            )
+        )
+    return SimulationResult.from_dynamics_results(results, engine=engine)

@@ -1,0 +1,502 @@
+"""The declarative :class:`Scenario` — one description of one simulation.
+
+A scenario names *what* to simulate (the workload: the paper's rumor or
+plurality protocol, or one of the baseline opinion dynamics), *at what
+scale* (population, opinions, trials), *through which channel* (the uniform
+noise built from ``epsilon``, or any custom :class:`~repro.noise.matrix.
+NoiseMatrix`) and *on which engine tier* (``sequential`` reference loop,
+``batched`` ``(R, n)`` ensemble, ``counts`` ``(R, k)`` sufficient
+statistics, or ``auto``).  It is plain data: every field is serializable,
+``to_dict``/``from_dict`` round-trip exactly, and validation happens at
+construction time with error messages that name the supported options.
+
+:func:`repro.sim.facade.simulate` is the single entry point that turns a
+scenario into a :class:`~repro.sim.result.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.bias import make_biased_distribution
+from repro.core.plurality import PluralityInstance
+from repro.core.state import CountsState, PopulationState
+from repro.dynamics import DYNAMICS_RULES
+from repro.network.delivery import DELIVERY_PROCESSES
+from repro.network.pull_model import vote_table_is_tractable
+from repro.noise.families import uniform_noise_matrix
+from repro.noise.matrix import NoiseMatrix
+
+__all__ = [
+    "Scenario",
+    "WORKLOADS",
+    "ENGINE_POLICIES",
+    "TOPOLOGIES",
+]
+
+#: Workloads a scenario can describe.
+WORKLOADS = ("rumor", "plurality", "dynamics")
+
+#: Engine policies a scenario can request (``"auto"`` resolves to a concrete
+#: tier by population size; see :func:`repro.experiments.runner.
+#: resolve_trial_engine`).
+ENGINE_POLICIES = ("sequential", "batched", "counts", "auto")
+
+#: Communication topologies (non-complete graphs run on the sequential
+#: engine only — the batched/counts reformulations assume the complete
+#: graph's exchangeability).
+TOPOLOGIES = ("complete", "random_regular")
+
+_PROTOCOL_WORKLOADS = ("rumor", "plurality")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A declarative simulation request.
+
+    Attributes
+    ----------
+    workload:
+        One of :data:`WORKLOADS`: ``"rumor"`` (Theorem 1: single source,
+        two-stage protocol), ``"plurality"`` (Theorem 2: opinionated support
+        with a plurality bias, two-stage protocol) or ``"dynamics"``
+        (a baseline opinion dynamic named by ``rule``).
+    num_nodes, num_opinions:
+        Population size ``n`` and opinion-space size ``k``.
+    epsilon:
+        The noise parameter: builds the canonical uniform-noise matrix when
+        ``noise`` is omitted, and always drives the protocol schedule.
+    noise:
+        Optional custom channel (any :class:`~repro.noise.matrix.
+        NoiseMatrix` over ``num_opinions`` opinions); ``epsilon`` then only
+        sets the schedule (use :func:`~repro.noise.majority_preserving.
+        epsilon_for_delta` to derive it).
+    engine:
+        One of :data:`ENGINE_POLICIES`; ``"auto"`` switches from
+        ``"batched"`` to ``"counts"`` at ``counts_threshold`` nodes.
+    num_trials:
+        Number of independent trials ``R``.
+    seed:
+        Base seed; per-trial child streams derive from it, so a scenario is
+        bitwise reproducible per engine tier.
+    counts_threshold:
+        The ``"auto"`` switch-over population size (only meaningful with
+        ``engine="auto"``; ``None`` uses the process-wide default).
+    correct_opinion:
+        The rumor source's opinion (``workload="rumor"`` only).
+    support_size:
+        Number of initially opinionated nodes for ``plurality`` /
+        ``dynamics`` (``None`` = every node starts opinionated).
+    bias:
+        Plurality bias within the support (the Theorem-2 convention for
+        ``plurality``; the initial distribution bias for ``dynamics``).
+    shares:
+        Optional explicit opinion shares within the support (overrides
+        ``bias``); must have one entry per opinion and sum to 1.
+    rule:
+        The baseline update rule (one of
+        :data:`~repro.dynamics.DYNAMICS_RULES`; ``workload="dynamics"``
+        only).
+    sample_size:
+        Observations per round for the ``"h-majority"`` rule.
+    max_rounds:
+        Round budget per trial (``dynamics`` only; the protocol workloads
+        run their schedule).
+    stop_at_consensus:
+        Stop a dynamics trial at consensus (``dynamics`` only).
+    process:
+        Delivery process for the protocol workloads (one of
+        :data:`~repro.network.delivery.DELIVERY_PROCESSES`); the counts
+        engine always uses its Claim-1/Poissonized delivery.
+    round_scale:
+        Multiplier for the protocol schedule's phase lengths.
+    sampling_method, use_full_multiset:
+        Stage-2 ablation knobs (batched/sequential engines only).
+    topology, degree:
+        Communication topology (sequential engine, protocol workloads
+        only); ``degree`` is required for ``"random_regular"``.
+    record_trajectories:
+        Record per-round (dynamics) / per-phase (protocol) bias
+        trajectories on the result.
+    """
+
+    workload: str
+    num_nodes: int = 2000
+    num_opinions: int = 3
+    epsilon: float = 0.3
+    noise: Optional[NoiseMatrix] = None
+    engine: str = "auto"
+    num_trials: int = 1
+    seed: Optional[int] = 0
+    counts_threshold: Optional[int] = None
+    correct_opinion: int = 1
+    support_size: Optional[int] = None
+    bias: float = 0.2
+    shares: Optional[Tuple[float, ...]] = None
+    rule: Optional[str] = None
+    sample_size: Optional[int] = None
+    max_rounds: int = 300
+    stop_at_consensus: bool = True
+    process: str = "push"
+    round_scale: float = 1.0
+    sampling_method: str = "without_replacement"
+    use_full_multiset: bool = False
+    topology: str = "complete"
+    degree: Optional[int] = None
+    record_trajectories: bool = True
+
+    def __post_init__(self) -> None:
+        if self.shares is not None and not isinstance(self.shares, tuple):
+            object.__setattr__(self, "shares", tuple(self.shares))
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` (naming the supported options) if invalid."""
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"workload must be one of {WORKLOADS}, got {self.workload!r}"
+            )
+        if self.engine not in ENGINE_POLICIES:
+            raise ValueError(
+                f"engine must be one of {ENGINE_POLICIES}, got {self.engine!r}"
+            )
+        if self.process not in DELIVERY_PROCESSES:
+            raise ValueError(
+                f"process must be one of {DELIVERY_PROCESSES}, "
+                f"got {self.process!r}"
+            )
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"topology must be one of {TOPOLOGIES}, got {self.topology!r}"
+            )
+        for name in ("num_nodes", "num_opinions", "num_trials", "max_rounds"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, np.integer)) or value < 1:
+                raise ValueError(f"{name} must be a positive int, got {value!r}")
+        if not (0.0 < float(self.epsilon)):
+            raise ValueError(f"epsilon must be positive, got {self.epsilon!r}")
+        if not (0.0 <= float(self.bias) < 1.0):
+            raise ValueError(f"bias must be in [0, 1), got {self.bias!r}")
+        if self.noise is not None:
+            if not isinstance(self.noise, NoiseMatrix):
+                raise ValueError(
+                    "noise must be a NoiseMatrix (or None for the uniform "
+                    f"channel), got {type(self.noise).__name__}"
+                )
+            if self.noise.num_opinions != self.num_opinions:
+                raise ValueError(
+                    f"noise matrix has {self.noise.num_opinions} opinions "
+                    f"but the scenario asks for {self.num_opinions}"
+                )
+        if self.counts_threshold is not None:
+            if self.engine != "auto":
+                raise ValueError(
+                    "counts_threshold only applies to engine='auto' "
+                    f"(got engine={self.engine!r})"
+                )
+            if self.counts_threshold < 1:
+                raise ValueError(
+                    f"counts_threshold must be >= 1, got {self.counts_threshold}"
+                )
+        if not (1 <= self.correct_opinion <= self.num_opinions):
+            raise ValueError(
+                f"correct_opinion must be in [1, {self.num_opinions}], "
+                f"got {self.correct_opinion}"
+            )
+        self._validate_workload_knobs()
+        self._validate_engine_knobs()
+        self._validate_topology_knobs()
+
+    def _validate_workload_knobs(self) -> None:
+        if self.workload == "dynamics":
+            if self.rule is None:
+                raise ValueError(
+                    "workload 'dynamics' requires rule, one of "
+                    f"{DYNAMICS_RULES}"
+                )
+            if self.rule not in DYNAMICS_RULES:
+                raise ValueError(
+                    f"rule must be one of {DYNAMICS_RULES}, got {self.rule!r}"
+                )
+            if self.rule == "h-majority" and self.sample_size is None:
+                raise ValueError("rule 'h-majority' requires sample_size")
+            if self.rule != "h-majority" and self.sample_size is not None:
+                raise ValueError(
+                    f"rule {self.rule!r} does not take a sample_size "
+                    "(use 'h-majority' for a custom h)"
+                )
+            # Protocol-only knobs are meaningless for the dynamics
+            # workload; reject them instead of silently dropping them.
+            if self.process != "push":
+                raise ValueError(
+                    "process only applies to the protocol workloads "
+                    "('rumor', 'plurality'); the dynamics workload runs on "
+                    "the noisy pull substrate"
+                )
+            if self.round_scale != 1.0:
+                raise ValueError(
+                    "round_scale only applies to the protocol workloads "
+                    "('rumor', 'plurality')"
+                )
+            if (
+                self.sampling_method != "without_replacement"
+                or self.use_full_multiset
+            ):
+                raise ValueError(
+                    "the Stage-2 sampling ablations (sampling_method, "
+                    "use_full_multiset) only apply to the protocol "
+                    "workloads ('rumor', 'plurality')"
+                )
+        else:
+            if self.rule is not None:
+                raise ValueError(
+                    "rule only applies to workload 'dynamics' "
+                    f"(got workload={self.workload!r})"
+                )
+            if self.sample_size is not None:
+                raise ValueError(
+                    "sample_size only applies to workload 'dynamics' with "
+                    "rule 'h-majority'"
+                )
+            # Dynamics-only knobs are meaningless for the protocol
+            # workloads, whose round budget is the schedule itself.
+            if self.max_rounds != 300:
+                raise ValueError(
+                    "max_rounds only applies to workload 'dynamics' (the "
+                    "protocol workloads run their schedule; use round_scale "
+                    "to stretch it)"
+                )
+            if not self.stop_at_consensus:
+                raise ValueError(
+                    "stop_at_consensus only applies to workload 'dynamics'"
+                )
+        if self.workload == "rumor":
+            if self.support_size is not None:
+                raise ValueError(
+                    "support_size only applies to workloads 'plurality' and "
+                    "'dynamics' (the rumor workload always starts from one "
+                    "source node)"
+                )
+            if self.shares is not None:
+                raise ValueError(
+                    "shares only applies to workloads 'plurality' and "
+                    "'dynamics'"
+                )
+        if self.support_size is not None and not (
+            1 <= self.support_size <= self.num_nodes
+        ):
+            raise ValueError(
+                f"support_size must be in [1, {self.num_nodes}], "
+                f"got {self.support_size}"
+            )
+        if self.shares is not None:
+            if len(self.shares) != self.num_opinions:
+                raise ValueError(
+                    f"shares must have one entry per opinion "
+                    f"({self.num_opinions}), got {len(self.shares)}"
+                )
+            total = float(sum(self.shares))
+            if any(share < 0 for share in self.shares) or abs(total - 1.0) > 1e-6:
+                raise ValueError(
+                    "shares must be non-negative and sum to 1, "
+                    f"got {self.shares}"
+                )
+
+    def _validate_engine_knobs(self) -> None:
+        has_ablations = (
+            self.sampling_method != "without_replacement"
+            or self.use_full_multiset
+        )
+        if has_ablations and self.engine in ("counts", "auto"):
+            raise ValueError(
+                "the Stage-2 sampling ablations (sampling_method, "
+                "use_full_multiset) are only supported by engines "
+                "('batched', 'sequential'); engine "
+                f"{self.engine!r} cannot serve them"
+            )
+        if (
+            self.engine == "counts"
+            and self.workload == "dynamics"
+            and self.rule == "h-majority"
+            and self.sample_size is not None
+            and not vote_table_is_tractable(self.sample_size, self.num_opinions)
+        ):
+            raise ValueError(
+                f"sample_size {self.sample_size} with {self.num_opinions} "
+                "opinions exceeds the counts engine's closed-form maj() "
+                "table budget; use one of the engines "
+                "('batched', 'sequential')"
+            )
+
+    def _validate_topology_knobs(self) -> None:
+        if self.topology == "complete":
+            if self.degree is not None:
+                raise ValueError(
+                    "degree only applies to topology 'random_regular'"
+                )
+            return
+        if self.workload == "dynamics":
+            raise ValueError(
+                "non-complete topologies are only supported by the protocol "
+                "workloads ('rumor', 'plurality')"
+            )
+        if self.engine != "sequential":
+            raise ValueError(
+                f"topology {self.topology!r} requires engine='sequential' "
+                "(the batched and counts reformulations assume the "
+                "complete graph)"
+            )
+        if self.topology == "random_regular" and self.degree is None:
+            raise ValueError("topology 'random_regular' requires degree")
+
+    # ------------------------------------------------------------------ #
+    # Derived objects
+    # ------------------------------------------------------------------ #
+
+    def build_noise(self) -> NoiseMatrix:
+        """The channel: the explicit matrix, or the canonical uniform one."""
+        if self.noise is not None:
+            return self.noise
+        return uniform_noise_matrix(self.num_opinions, self.epsilon)
+
+    def support_shares(self) -> Tuple[float, ...]:
+        """Opinion shares within the support (explicit, or bias-derived)."""
+        if self.shares is not None:
+            return self.shares
+        return tuple(
+            make_biased_distribution(self.num_opinions, self.bias, 1)
+        )
+
+    def plurality_instance(self) -> PluralityInstance:
+        """The Theorem-2 instance this scenario's support describes."""
+        support = (
+            self.support_size if self.support_size is not None else self.num_nodes
+        )
+        return PluralityInstance.from_support_fractions(
+            self.num_nodes, support, self.support_shares()
+        )
+
+    def initial_state(self) -> PopulationState:
+        """Materialize the workload's initial population, deterministically.
+
+        The placement randomness (which node gets which opinion — irrelevant
+        on the complete graph, load-bearing on sparse topologies) derives
+        from ``seed`` alone, independently of the per-trial streams.
+        """
+        if self.workload == "rumor":
+            return PopulationState.single_source(
+                self.num_nodes, self.num_opinions, self.correct_opinion
+            )
+        if self.workload == "plurality":
+            return self.plurality_instance().initial_state(
+                random_state=self.seed
+            )
+        # dynamics: a fully opinionated bias-shaped population by default
+        # (the same construction as the legacy CLI / workloads helper),
+        # or a partially opinionated support when support_size/shares say so.
+        if self.support_size is None and self.shares is None:
+            distribution = make_biased_distribution(
+                self.num_opinions, self.bias, 1
+            )
+            return PopulationState.from_fractions(
+                self.num_nodes, distribution, random_state=self.seed
+            )
+        return self.plurality_instance().initial_state(random_state=self.seed)
+
+    def initial_counts_state(self) -> CountsState:
+        """The workload's initial condition as ``O(k)`` sufficient statistics.
+
+        The counts tier never materializes per-node opinions, so its
+        runners start from this instead of :meth:`initial_state` — which is
+        what keeps ``simulate(engine="counts")`` usable at populations far
+        beyond available memory.  The counts are *exactly* those of the
+        per-node construction (same rounding, same slack placement), so a
+        counts run from either entry state consumes identical draws.
+        """
+        if self.workload == "rumor":
+            return CountsState.single_source(
+                self.num_nodes, self.num_opinions, self.correct_opinion
+            )
+        if self.workload == "dynamics" and (
+            self.support_size is None and self.shares is None
+        ):
+            # Mirror PopulationState.from_fractions' count derivation:
+            # floor, then the largest-fraction opinion absorbs the slack.
+            fractions = np.asarray(
+                make_biased_distribution(self.num_opinions, self.bias, 1),
+                dtype=float,
+            )
+            counts = np.floor(fractions * self.num_nodes).astype(np.int64)
+            slack = int(round(fractions.sum() * self.num_nodes)) - int(
+                counts.sum()
+            )
+            if slack > 0:
+                counts[int(np.argmax(fractions))] += slack
+            return CountsState(counts, self.num_nodes)
+        instance = self.plurality_instance()
+        counts = np.zeros(self.num_opinions, dtype=np.int64)
+        for opinion, count in instance.opinion_counts.items():
+            counts[opinion - 1] = count
+        return CountsState(counts, self.num_nodes)
+
+    def target_opinion(self) -> int:
+        """The opinion every trial tracks (source's / plurality opinion)."""
+        if self.workload == "rumor":
+            return self.correct_opinion
+        if self.support_size is None and self.shares is None and (
+            self.workload == "dynamics"
+        ):
+            return 1  # make_biased_distribution majority_opinion
+        return self.plurality_instance().plurality_opinion()
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The scenario as plain JSON-serializable data (exact round trip)."""
+        document: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "noise":
+                value = (
+                    None
+                    if value is None
+                    else {
+                        "name": value.name,
+                        "probabilities": value.matrix.tolist(),
+                    }
+                )
+            elif spec.name == "shares" and value is not None:
+                value = [float(share) for share in value]
+            document[spec.name] = value
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output."""
+        if not isinstance(document, Mapping):
+            raise TypeError(
+                f"document must be a mapping, got {type(document).__name__}"
+            )
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(document) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown scenario fields: {unknown}; known fields: "
+                f"{sorted(known)}"
+            )
+        values = dict(document)
+        noise = values.get("noise")
+        if noise is not None and not isinstance(noise, NoiseMatrix):
+            values["noise"] = NoiseMatrix(
+                noise["probabilities"], name=noise.get("name")
+            )
+        return cls(**values)

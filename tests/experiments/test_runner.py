@@ -367,6 +367,39 @@ class TestEngineResolution:
         assert resolve_trial_engine("auto", DEFAULT_COUNTS_THRESHOLD - 1) == "batched"
         assert resolve_trial_engine("auto", DEFAULT_COUNTS_THRESHOLD) == "counts"
 
+    def test_auto_boundary_is_inclusive_on_the_counts_side(self):
+        """At exactly ``n == counts_threshold`` the counts engine wins.
+
+        The documented semantics are ``>=`` (the threshold is the smallest
+        population the n-independent engine serves); this pin keeps the
+        boundary from silently drifting to ``>``.
+        """
+        for threshold in (1, 2, 77, DEFAULT_COUNTS_THRESHOLD):
+            assert (
+                resolve_trial_engine("auto", threshold, counts_threshold=threshold)
+                == "counts"
+            )
+            assert (
+                resolve_trial_engine(
+                    "auto", threshold - 1, counts_threshold=threshold
+                )
+                == "batched"
+            )
+
+    def test_facade_auto_resolution_matches_runner_boundary(self):
+        """simulate()'s auto policy resolves through the same boundary."""
+        from repro.sim import Scenario
+        from repro.sim.facade import _resolve_engine
+
+        at = Scenario(
+            workload="rumor", num_nodes=64, engine="auto", counts_threshold=64
+        )
+        below = Scenario(
+            workload="rumor", num_nodes=63, engine="auto", counts_threshold=64
+        )
+        assert _resolve_engine(at) == "counts"
+        assert _resolve_engine(below) == "batched"
+
     def test_auto_honours_explicit_threshold(self):
         assert resolve_trial_engine("auto", 100, counts_threshold=50) == "counts"
         assert resolve_trial_engine("auto", 100, counts_threshold=500) == "batched"

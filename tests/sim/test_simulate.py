@@ -1,0 +1,323 @@
+"""Tests for simulate() — legacy equivalence, provenance, JSON, shims."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.experiments.orchestrator import ResultStore
+from repro.experiments.runner import (
+    dynamics_trial_outcomes,
+    protocol_trial_outcomes,
+)
+from repro.sim import (
+    ENGINE_REGISTRY,
+    Scenario,
+    SimulationResult,
+    sim_code_version,
+    simulate,
+)
+
+SEED = 13
+TRIALS = 4
+
+
+def protocol_scenario(workload: str, engine: str) -> Scenario:
+    knobs = dict(
+        workload=workload,
+        num_nodes=300,
+        num_opinions=3,
+        epsilon=0.35,
+        engine=engine,
+        num_trials=TRIALS,
+        seed=SEED,
+    )
+    if workload == "plurality":
+        knobs.update(support_size=120, bias=0.4)
+    return Scenario(**knobs)
+
+
+def dynamics_scenario(engine: str, **overrides) -> Scenario:
+    knobs = dict(
+        workload="dynamics",
+        rule="3-majority",
+        num_nodes=300,
+        num_opinions=3,
+        epsilon=0.66,
+        bias=0.3,
+        max_rounds=120,
+        engine=engine,
+        num_trials=TRIALS,
+        seed=SEED,
+    )
+    knobs.update(overrides)
+    return Scenario(**knobs)
+
+
+class TestLegacyEquivalence:
+    """simulate() is bitwise identical to the legacy entry points.
+
+    The legacy path for each pair is the engine-aware trial helper the
+    experiments always used (`protocol_trial_outcomes` /
+    `dynamics_trial_outcomes`), fed the same materialized initial state,
+    the same seed and the same target — the exact call sites the facade
+    supersedes.
+    """
+
+    @pytest.mark.parametrize("workload", ["rumor", "plurality"])
+    @pytest.mark.parametrize("engine", ["sequential", "batched", "counts"])
+    def test_protocol_workloads_match_trial_outcomes(self, workload, engine):
+        scenario = protocol_scenario(workload, engine)
+        result = simulate(scenario)
+        legacy = protocol_trial_outcomes(
+            scenario.initial_state(),
+            scenario.build_noise(),
+            scenario.epsilon,
+            scenario.num_trials,
+            scenario.seed,
+            target_opinion=scenario.target_opinion(),
+            trial_engine=engine,
+        )
+        assert result.engine == engine
+        assert result.num_trials == len(legacy)
+        for trial, outcome in enumerate(legacy):
+            assert bool(result.successes[trial]) == outcome.success
+            assert int(result.rounds[trial]) == outcome.total_rounds
+            # Bitwise float equality — same engines, same draws.
+            assert float(result.final_biases[trial]) == outcome.final_bias
+            assert (
+                float(result.bias_after_stage1[trial])
+                == outcome.bias_after_stage1
+            )
+        assert result.stage1_rounds == legacy[0].stage1_rounds
+
+    @pytest.mark.parametrize(
+        "engine", ["sequential", "batched", "counts"]
+    )
+    @pytest.mark.parametrize(
+        "rule,sample_size",
+        [("3-majority", None), ("voter", None), ("h-majority", 5)],
+    )
+    def test_dynamics_workload_matches_trial_outcomes(
+        self, engine, rule, sample_size
+    ):
+        scenario = dynamics_scenario(engine, rule=rule, sample_size=sample_size)
+        result = simulate(scenario)
+        legacy = dynamics_trial_outcomes(
+            scenario.initial_state(),
+            scenario.build_noise(),
+            rule,
+            scenario.max_rounds,
+            scenario.num_trials,
+            scenario.seed,
+            sample_size=sample_size,
+            target_opinion=scenario.target_opinion(),
+            trial_engine=engine,
+        )
+        assert result.engine == engine
+        for trial, outcome in enumerate(legacy):
+            assert bool(result.successes[trial]) == outcome.success
+            assert bool(result.converged[trial]) == outcome.converged
+            assert int(result.rounds[trial]) == outcome.rounds_executed
+            assert (
+                int(result.consensus_opinions[trial])
+                == outcome.consensus_opinion
+            )
+            assert float(result.final_biases[trial]) == outcome.final_bias
+
+    def test_every_workload_engine_pair_is_registered(self):
+        pairs = set(ENGINE_REGISTRY.pairs())
+        for workload in ("rumor", "plurality", "dynamics"):
+            for engine in ("sequential", "batched", "counts"):
+                assert (workload, engine) in pairs
+
+
+class TestAutoPolicy:
+    def test_auto_resolves_by_population_size(self):
+        small = simulate(
+            protocol_scenario("rumor", "auto")
+        )
+        assert small.engine == "batched"
+        assert small.provenance["engine_policy"] == "auto"
+
+        big = simulate(
+            Scenario(
+                workload="rumor", num_nodes=300, num_opinions=3,
+                epsilon=0.35, engine="auto", counts_threshold=300,
+                num_trials=TRIALS, seed=SEED,
+            )
+        )
+        assert big.engine == "counts"
+
+    def test_auto_degrades_intractable_counts_h_majority_to_batched(self):
+        result = simulate(
+            dynamics_scenario(
+                "auto",
+                rule="h-majority",
+                sample_size=256,
+                counts_threshold=100,
+                max_rounds=5,
+                num_nodes=150,
+            )
+        )
+        assert result.engine == "batched"
+
+
+class TestProvenanceAndJson:
+    def test_provenance_is_self_describing(self):
+        scenario = protocol_scenario("rumor", "batched")
+        result = simulate(scenario)
+        provenance = result.provenance
+        assert provenance["workload"] == "rumor"
+        assert provenance["engine"] == "batched"
+        assert provenance["seed"] == SEED
+        assert provenance["code_version"] == sim_code_version()
+        assert provenance["wall_time_seconds"] > 0
+        assert Scenario.from_dict(provenance["scenario"]) == scenario
+
+    def test_json_round_trip_is_exact(self):
+        result = simulate(dynamics_scenario("batched"))
+        rebuilt = SimulationResult.from_json(result.to_json())
+        np.testing.assert_array_equal(rebuilt.successes, result.successes)
+        np.testing.assert_array_equal(rebuilt.converged, result.converged)
+        np.testing.assert_array_equal(rebuilt.rounds, result.rounds)
+        np.testing.assert_array_equal(
+            rebuilt.final_biases, result.final_biases
+        )
+        np.testing.assert_array_equal(
+            rebuilt.final_opinion_counts, result.final_opinion_counts
+        )
+        np.testing.assert_array_equal(
+            rebuilt.trajectories, result.trajectories
+        )
+        assert rebuilt.provenance == json.loads(result.to_json())["provenance"]
+
+    def test_to_json_uses_the_canonical_encoder(self):
+        """Every leaf of to_json_dict() must be plain JSON-compatible."""
+        result = simulate(protocol_scenario("plurality", "counts"))
+        document = result.to_json_dict()
+        json.dumps(document)  # would raise on stray numpy scalars
+
+        def assert_plain(value):
+            if isinstance(value, dict):
+                for entry in value.values():
+                    assert_plain(entry)
+            elif isinstance(value, list):
+                for entry in value:
+                    assert_plain(entry)
+            else:
+                assert value is None or isinstance(
+                    value, (bool, int, float, str)
+                )
+                assert not isinstance(value, np.generic)
+
+        assert_plain(document)
+
+
+class TestResultStoreStability:
+    """Orchestrator ResultStore payloads with facade provenance stay
+    content-key stable (the satellite regression)."""
+
+    def test_store_key_survives_json_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "results")
+        scenario = protocol_scenario("rumor", "counts")
+        result = simulate(scenario)
+        identity = {
+            "kind": "simulation",
+            "scenario": scenario.to_dict(),
+            "engine": result.engine,
+            "code_version": result.provenance["code_version"],
+        }
+        key = store.key_of(identity)
+        # The canonical key must be invariant under JSON normalization —
+        # the property that makes resume semantics trustworthy.
+        assert key == store.key_of(json.loads(json.dumps(identity)))
+
+        store.store("simulation", identity, result.to_json_dict())
+        payload = store.fetch("simulation", identity)
+        assert payload is not None
+        rebuilt = SimulationResult.from_json(payload)
+        np.testing.assert_array_equal(rebuilt.successes, result.successes)
+        assert (
+            rebuilt.provenance["code_version"]
+            == result.provenance["code_version"]
+        )
+        # Storing the fetched payload again maps to the same artifact.
+        assert key == store.key_of(json.loads(json.dumps(identity)))
+
+
+class TestDeprecationShims:
+    def test_legacy_factories_warn_and_build_identical_engines(self, uniform3):
+        from repro.dynamics import (
+            make_counts_dynamics,
+            make_dynamics,
+            make_ensemble_dynamics,
+        )
+        from repro.sim import build_dynamics
+
+        with pytest.warns(DeprecationWarning, match="build_dynamics"):
+            legacy = make_dynamics("voter", 50, uniform3, 0)
+        assert type(legacy) is type(
+            build_dynamics("sequential", "voter", 50, uniform3, 0)
+        )
+        with pytest.warns(DeprecationWarning):
+            batched = make_ensemble_dynamics("3-majority", 50, uniform3, 0)
+        assert type(batched) is type(
+            build_dynamics("batched", "3-majority", 50, uniform3, 0)
+        )
+        with pytest.warns(DeprecationWarning):
+            counts = make_counts_dynamics("median-rule", 50, uniform3, 0)
+        assert type(counts) is type(
+            build_dynamics("counts", "median-rule", 50, uniform3, 0)
+        )
+
+    def test_make_engine_warns_and_delegates(self, uniform3):
+        from repro.core.protocol import make_engine
+        from repro.network.delivery import make_delivery_engine
+        from repro.network.push_model import UniformPushModel
+
+        with pytest.warns(DeprecationWarning, match="make_delivery_engine"):
+            engine = make_engine("push", 10, uniform3)
+        assert isinstance(engine, UniformPushModel)
+        assert isinstance(
+            make_delivery_engine("push", 10, uniform3), UniformPushModel
+        )
+
+    def test_plain_import_emits_no_deprecation_warning(self):
+        """`import repro` must stay silent — the CI gate in miniature."""
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-W",
+                "error::DeprecationWarning",
+                "-c",
+                "import repro",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0, completed.stderr
+
+    def test_shimmed_runs_stay_bitwise_reproducible(self, uniform3):
+        """A seeded shim-built engine reproduces the registry-built one."""
+        from repro.dynamics import make_ensemble_dynamics
+        from repro.experiments.workloads import biased_population
+        from repro.sim import build_dynamics
+
+        initial = biased_population(200, 3, 0.3, random_state=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = make_ensemble_dynamics("3-majority", 200, uniform3, 9).run(
+                initial, 60, 3, target_opinion=1
+            )
+        new = build_dynamics("batched", "3-majority", 200, uniform3, 9).run(
+            initial, 60, 3, target_opinion=1
+        )
+        np.testing.assert_array_equal(old.successes, new.successes)
+        np.testing.assert_array_equal(old.rounds_executed, new.rounds_executed)
+        np.testing.assert_array_equal(old.bias_history, new.bias_history)

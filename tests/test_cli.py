@@ -103,6 +103,130 @@ class TestParser:
             )
         assert "maj() table budget" in capsys.readouterr().err
 
+    def test_intractable_sample_size_on_auto_degrades_to_batched(self, capsys):
+        """--engine auto matches the facade: degrade, don't error."""
+        exit_code = main(
+            [
+                "dynamics",
+                "--rule", "h-majority",
+                "--sample-size", "256",
+                "--engine", "auto",
+                "--counts-threshold", "100",
+                "--nodes", "200",
+                "--trials", "2",
+                "--max-rounds", "5",
+                "--epsilon", "0.6",
+                "--bias", "0.3",
+                "--seed", "0",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code in (0, 1)
+        assert "engine                : batched" in captured.out
+
+
+class TestSimulateCommand:
+    def test_simulate_rumor_batched(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--workload", "rumor",
+                "--nodes", "500",
+                "--opinions", "3",
+                "--epsilon", "0.35",
+                "--trials", "4",
+                "--engine", "batched",
+                "--seed", "0",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "workload              : rumor" in captured.out
+        assert "engine                : batched" in captured.out
+        assert "success rate          : 1.0000" in captured.out
+
+    def test_simulate_dynamics_counts(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--workload", "dynamics",
+                "--rule", "3-majority",
+                "--nodes", "500",
+                "--epsilon", "0.66",
+                "--bias", "0.3",
+                "--trials", "4",
+                "--max-rounds", "200",
+                "--engine", "counts",
+                "--seed", "0",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "workload              : dynamics" in captured.out
+        assert "engine                : counts" in captured.out
+
+    def test_simulate_json_output_is_a_simulation_result(self, capsys):
+        import json as json_module
+
+        exit_code = main(
+            [
+                "simulate",
+                "--workload", "plurality",
+                "--nodes", "400",
+                "--support", "150",
+                "--bias", "0.4",
+                "--epsilon", "0.35",
+                "--trials", "2",
+                "--engine", "counts",
+                "--seed", "0",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code in (0, 1)
+        document = json_module.loads(captured.out)
+        assert document["workload"] == "plurality"
+        assert document["engine"] == "counts"
+        assert len(document["successes"]) == 2
+        assert document["provenance"]["scenario"]["workload"] == "plurality"
+
+    def test_simulate_dynamics_without_rule_is_a_parser_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workload", "dynamics", "--nodes", "50"])
+        assert "requires rule" in capsys.readouterr().err
+
+    def test_simulate_counts_rejects_ablation_free_error(self, capsys):
+        # Scenario validation surfaces as a parser error naming the
+        # engines that do support the request.
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate",
+                    "--workload", "dynamics",
+                    "--rule", "h-majority",
+                    "--sample-size", "256",
+                    "--engine", "counts",
+                    "--nodes", "100",
+                ]
+            )
+        assert "maj() table budget" in capsys.readouterr().err
+
+    def test_simulate_auto_threshold_resolves_to_counts(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--nodes", "500",
+                "--epsilon", "0.35",
+                "--trials", "2",
+                "--engine", "auto",
+                "--counts-threshold", "100",
+                "--seed", "0",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code in (0, 1)
+        assert "engine                : counts" in captured.out
+
 
 class TestExperimentRegistry:
     def test_every_experiment_has_a_runnable_spec(self):
