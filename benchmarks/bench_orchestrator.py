@@ -2,31 +2,32 @@
 
 The acceptance target of the orchestration layer: a ``run_all`` replication
 sweep (the quick configurations of every registered experiment at three
-base seeds — 42 jobs) must be at least **2x** faster with ``--jobs 4`` than
-serially.  Parallel results are identical to serial results (the
-per-experiment seeds derive from the job identity, not from execution
-order), so the speedup is pure wall-clock — the property the orchestrator
-test-suite verifies separately on records.
+base seeds — 42 jobs) must scale with worker count.  The bench measures
+*per-core scaling*: serial first, then every parallel level in
+``PARALLEL_LEVELS`` that the host can genuinely run in parallel
+(``level <= cores``), and records the whole scaling curve to
+``BENCH_experiments.json`` — so a 1-core record reads ``scaling: {}``
+instead of a misleading 0.9x "speedup".
 
-The speedup assertion needs real parallel hardware: on a machine with
-fewer than ``PARALLEL_JOBS`` cores the measurement is still taken and
-recorded, but the ≥2x target is skipped (time-slicing one core cannot
-speed anything up).  CI runs on multi-core runners, so the target is
-enforced there.
+Each measurable level has its own acceptance target
+(``MIN_SPEEDUP[level]``); the targets are asserted for every level the
+host can measure.  When *no* level is measurable (a 1-core host) the
+bench skips with an explicit reason after recording — never a silent
+pass, and never an assertion against time-slicing noise.  CI runs on
+multi-core runners, so at least the 2-way target is enforced there.
 
 A resume pass over the already-populated store is measured as well: every
 job must report ``cached`` and the pass must cost a small fraction of the
-original run.  All measurements are recorded to ``BENCH_experiments.json``
-in one schema-versioned document via
-:func:`record.record_benchmark_results`, and CI prints that file on every
-run.
+original run.  All measurements are recorded in one schema-versioned
+document via :func:`record.record_benchmark_results`, and CI prints that
+file on every run.
 
 Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_orchestrator.py -s \
         -o python_files="bench_*.py"
 
-``test_run_all_parallel_speedup`` asserts the targets directly with
+``test_run_all_parallel_scaling`` asserts the targets directly with
 ``time.perf_counter`` so it also runs without the pytest-benchmark plugin.
 """
 
@@ -43,8 +44,12 @@ from record import record_benchmark_results
 from repro.experiments.orchestrator import run_all
 from repro.experiments.spec import registered_ids
 
-PARALLEL_JOBS = 4
-MIN_SPEEDUP = 2.0
+# Parallel levels measured (when the host has at least that many cores)
+# and the wall-clock speedup over serial each must reach.  The 4-way
+# target is the orchestration layer's original >= 2x acceptance bar; the
+# 2-way target tolerates pool/pickling overhead on small hosts.
+PARALLEL_LEVELS = (2, 4)
+MIN_SPEEDUP = {2: 1.3, 4: 2.0}
 SWEEP_SEEDS = (0, 1, 2)
 RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_experiments.json"
 
@@ -62,41 +67,47 @@ def run_sweep(jobs: int, store=None, resume: bool = False):
     return reports, time.perf_counter() - started
 
 
-def test_run_all_parallel_speedup(tmp_path, capsys):
+def test_run_all_parallel_scaling(tmp_path, capsys):
     # Warm-up: one cheap experiment so one-time import/JIT costs (numpy
     # caches, schedule tables) do not pollute the serial measurement.
     run_all(["E11"], jobs=1)
 
-    serial_reports, serial_seconds = run_sweep(jobs=1)
-    store = tmp_path / "results"
-    parallel_reports, parallel_seconds = run_sweep(
-        jobs=PARALLEL_JOBS, store=store
-    )
-    resume_reports, resume_seconds = run_sweep(
-        jobs=PARALLEL_JOBS, store=store, resume=True
-    )
-
-    speedup = serial_seconds / max(parallel_seconds, 1e-9)
-    num_jobs = len(serial_reports)
     cores = os.cpu_count() or 1
+    measurable = [level for level in PARALLEL_LEVELS if level <= cores]
 
-    with capsys.disabled():
-        print(
-            f"\n[bench_orchestrator] run-all over {num_jobs} quick-config "
-            f"jobs ({len(SWEEP_SEEDS)} seeds x {len(registered_ids())} "
-            f"experiments): serial {serial_seconds:.2f}s, "
-            f"--jobs {PARALLEL_JOBS} {parallel_seconds:.2f}s "
-            f"-> speedup {speedup:.1f}x; resume {resume_seconds:.3f}s "
-            f"({cores} cores)"
-        )
-
+    store = tmp_path / "results"
+    serial_reports, serial_seconds = run_sweep(jobs=1, store=store)
+    num_jobs = len(serial_reports)
     assert all(report.status == "ran" for report in serial_reports)
-    assert all(report.status == "ran" for report in parallel_reports)
+
+    scaling = {}
+    for level in measurable:
+        parallel_reports, parallel_seconds = run_sweep(jobs=level)
+        assert all(report.status == "ran" for report in parallel_reports)
+        scaling[f"jobs_{level}"] = {
+            "seconds": round(parallel_seconds, 4),
+            "speedup": round(serial_seconds / max(parallel_seconds, 1e-9), 2),
+            "min_speedup_target": MIN_SPEEDUP[level],
+        }
+
+    resume_reports, resume_seconds = run_sweep(jobs=1, store=store, resume=True)
     assert all(report.status == "cached" for report in resume_reports)
     assert resume_seconds < serial_seconds / 2, (
         f"resume pass took {resume_seconds:.2f}s - the cache is not "
         "actually skipping work"
     )
+
+    with capsys.disabled():
+        curve = ", ".join(
+            f"--jobs {level.split('_')[1]} {entry['speedup']:.1f}x"
+            for level, entry in scaling.items()
+        ) or "no parallel level measurable"
+        print(
+            f"\n[bench_orchestrator] run-all over {num_jobs} quick-config "
+            f"jobs ({len(SWEEP_SEEDS)} seeds x {len(registered_ids())} "
+            f"experiments): serial {serial_seconds:.2f}s; {curve}; "
+            f"resume {resume_seconds:.3f}s ({cores} cores)"
+        )
 
     record_benchmark_results(
         RESULTS_PATH,
@@ -105,25 +116,26 @@ def test_run_all_parallel_speedup(tmp_path, capsys):
                 "num_jobs": num_jobs,
                 "num_experiments": len(registered_ids()),
                 "num_seeds": len(SWEEP_SEEDS),
-                "jobs": PARALLEL_JOBS,
                 "cores": cores,
                 "serial_seconds": round(serial_seconds, 4),
-                "parallel_seconds": round(parallel_seconds, 4),
-                "speedup": round(speedup, 2),
+                "scaling": scaling,
                 "resume_seconds": round(resume_seconds, 4),
-                "min_speedup_target": MIN_SPEEDUP,
             }
         },
     )
 
-    if cores < PARALLEL_JOBS:
+    if not measurable:
         pytest.skip(
-            f"only {cores} core(s) available - the >= {MIN_SPEEDUP}x "
-            f"--jobs {PARALLEL_JOBS} target needs parallel hardware "
-            "(measurement recorded above)"
+            f"only {cores} core(s) available - none of the parallel levels "
+            f"{PARALLEL_LEVELS} can beat serial on time-sliced hardware; "
+            "serial + resume measurements recorded, speedup targets "
+            "unmeasurable here (CI enforces them on multi-core runners)"
         )
-    assert speedup >= MIN_SPEEDUP, (
-        f"run-all --jobs {PARALLEL_JOBS} speedup {speedup:.2f}x is below "
-        f"the {MIN_SPEEDUP}x acceptance target "
-        f"(serial {serial_seconds:.2f}s, parallel {parallel_seconds:.2f}s)"
-    )
+    for level in measurable:
+        speedup = scaling[f"jobs_{level}"]["speedup"]
+        assert speedup >= MIN_SPEEDUP[level], (
+            f"run-all --jobs {level} speedup {speedup:.2f}x is below the "
+            f"{MIN_SPEEDUP[level]}x target at {cores} cores "
+            f"(serial {serial_seconds:.2f}s, "
+            f"parallel {scaling[f'jobs_{level}']['seconds']:.2f}s)"
+        )

@@ -1,0 +1,44 @@
+"""Sampling-free engines: exact Markov chains and mean-field integration.
+
+This package holds the shared machinery of the ``analytic`` engine tier —
+count-simplex enumeration, exact grouped-multinomial convolution, and the
+distribution-level verification statistics (total-variation distance,
+Wilson intervals) the engine-agreement suite asserts with.  The workload
+engines themselves live next to their sampled counterparts:
+:mod:`repro.dynamics.analytic` for the five baseline dynamics and
+:mod:`repro.core.analytic` for the two-stage protocol.
+"""
+
+from repro.analytic.simplex import (
+    DEFAULT_STATE_BUDGET,
+    enumerate_states,
+    multinomial_outcome_law,
+    next_state_distribution,
+    state_indices,
+    state_lookup,
+    state_space_size,
+    states_within_budget,
+)
+from repro.analytic.verify import (
+    Z_99_9,
+    empirical_state_distribution,
+    sampling_tvd_threshold,
+    total_variation_distance,
+    wilson_interval,
+)
+
+__all__ = [
+    "DEFAULT_STATE_BUDGET",
+    "enumerate_states",
+    "multinomial_outcome_law",
+    "next_state_distribution",
+    "state_indices",
+    "state_lookup",
+    "state_space_size",
+    "states_within_budget",
+    "Z_99_9",
+    "empirical_state_distribution",
+    "sampling_tvd_threshold",
+    "total_variation_distance",
+    "wilson_interval",
+]

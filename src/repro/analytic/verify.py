@@ -1,0 +1,121 @@
+"""Distribution-level verification helpers for the engine-agreement suite.
+
+The analytic tier gives the test-suite something the sampled tiers never
+could: an *exact reference distribution*.  Two statistics turn that into
+assertions with quantifiable false-alarm rates:
+
+* **Total-variation distance** between the exact one-round transition
+  distribution and the empirical distribution of ``R`` sampled rounds.
+  When the sampler is distribution-correct, the plug-in TVD is pure
+  sampling noise: over a support of ``S`` states its expectation is at
+  most ``0.5 * sqrt(S / R)`` (Cauchy–Schwarz on the per-state errors) and
+  it concentrates around that mean within ``sqrt(ln(1/alpha) / (2 R))``
+  with probability ``1 - alpha`` (McDiarmid — changing one sample moves
+  the TVD by at most ``1/R``).  :func:`sampling_tvd_threshold` is the sum
+  of the two terms and is the documented threshold the agreement tests
+  assert against.
+
+* **Wilson score intervals** around each sampled tier's empirical success
+  frequency.  The exact success probability must land inside the 99.9%
+  interval; a miss is a one-in-a-thousand event per check under the null
+  hypothesis that the tier is correct.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.analytic.simplex import state_indices, state_space_size
+
+__all__ = [
+    "total_variation_distance",
+    "empirical_state_distribution",
+    "sampling_tvd_threshold",
+    "wilson_interval",
+    "Z_99_9",
+]
+
+#: Two-sided 99.9% standard-normal quantile (z for a Wilson score
+#: interval at confidence 0.999).
+Z_99_9 = 3.2905267314919255
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """``TV(p, q) = 0.5 * ||p - q||_1`` for two pmf vectors."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError(
+            f"distributions must have the same shape, got {p.shape} vs {q.shape}"
+        )
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def empirical_state_distribution(
+    counts: np.ndarray, num_nodes: int, num_opinions: int
+) -> np.ndarray:
+    """Empirical pmf over the count simplex from ``(R, k)`` sampled counts."""
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.ndim != 2 or counts.shape[1] != num_opinions:
+        raise ValueError(
+            f"counts must have shape (R, {num_opinions}), got {counts.shape}"
+        )
+    indices = state_indices(counts, num_nodes, num_opinions)
+    if indices.size and indices.min() < 0:
+        raise ValueError("sampled counts fall outside the state simplex")
+    size = state_space_size(num_nodes, num_opinions)
+    return np.bincount(indices, minlength=size) / counts.shape[0]
+
+
+def sampling_tvd_threshold(
+    support_size: int, num_samples: int, alpha: float = 0.001
+) -> float:
+    """Bound exceeded with probability at most ``alpha`` by the plug-in TVD.
+
+    ``0.5 * sqrt(S / R)`` bounds the expectation (Cauchy–Schwarz over the
+    ``S`` per-state deviations of an ``R``-sample empirical pmf), and
+    ``sqrt(ln(1/alpha) / (2 R))`` is the McDiarmid deviation allowance at
+    level ``alpha``.  Valid for any sampler whose rounds are i.i.d. and
+    exactly distributed as the reference — which the counts engines are by
+    construction, making any systematic excess a real bug.
+    """
+    if support_size < 1 or num_samples < 1:
+        raise ValueError("support_size and num_samples must be positive")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    expectation = 0.5 * math.sqrt(support_size / num_samples)
+    deviation = math.sqrt(math.log(1.0 / alpha) / (2.0 * num_samples))
+    return expectation + deviation
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = Z_99_9
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)``; with the default ``z`` the interval covers
+    the true probability with ~99.9% confidence, so an exact success
+    probability falling outside it is strong evidence the sampler is
+    biased.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes must be in [0, {trials}], got {successes}"
+        )
+    frequency = successes / trials
+    z_squared = z * z
+    center = (frequency + z_squared / (2 * trials)) / (1 + z_squared / trials)
+    radius = (
+        z
+        * math.sqrt(
+            frequency * (1 - frequency) / trials
+            + z_squared / (4 * trials * trials)
+        )
+        / (1 + z_squared / trials)
+    )
+    return max(0.0, center - radius), min(1.0, center + radius)

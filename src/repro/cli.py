@@ -25,8 +25,10 @@ The CLI exposes the most common workflows without writing Python:
   --trials 32`` — run a batch of independent rumor-spreading trials through
   the vectorized ensemble engine (``--engine counts`` for the
   sufficient-statistics engine that scales to millions of nodes,
-  ``--engine sequential`` for the reference loop, ``--engine auto`` to
-  switch to counts above ``--counts-threshold`` nodes) and print the batch
+  ``--engine sequential`` for the reference loop, ``--engine analytic``
+  for the sampling-free exact-Markov/mean-field tier, ``--engine auto``
+  to prefer analytic when exactly tractable and otherwise switch to
+  counts above ``--counts-threshold`` nodes) and print the batch
   statistics plus throughput;
 * ``python -m repro dynamics --rule 3-majority --nodes 2000 --trials 32`` —
   run a batch of independent baseline-dynamics trials (voter, 3-majority,
@@ -271,8 +273,11 @@ def _add_engine_arguments(
     parser.add_argument(
         "--engine", choices=TRIAL_ENGINE_CHOICES, default=default,
         help="trial engine: batched (R,n) vectorized ensemble, counts "
-             "(R,k) sufficient statistics, sequential reference loop, or "
-             "auto (counts above --counts-threshold nodes)"
+             "(R,k) sufficient statistics, sequential reference loop, "
+             "analytic (exact Markov chain / mean-field, no sampling; "
+             "simulate/ensemble/dynamics only), or auto (analytic when "
+             "exactly tractable, else counts above --counts-threshold "
+             "nodes)"
              + ("" if default is None else f" (default {default})"),
     )
     parser.add_argument(
@@ -422,6 +427,14 @@ def _run_scenario(
         parser.error(str(error))
 
 
+def _result_exit_code(result) -> int:
+    """0 when every sampled trial succeeded (analytic runs always return 0:
+    they report probabilities, not per-trial verdicts)."""
+    if result.is_analytic:
+        return 0
+    return 0 if result.success_count == result.num_trials else 1
+
+
 def _command_simulate(
     args: argparse.Namespace, parser: argparse.ArgumentParser
 ) -> int:
@@ -448,13 +461,18 @@ def _command_simulate(
     result = _run_scenario(scenario, parser)
     if args.json:
         print(result.to_json())
-        return 0 if result.success_count == result.num_trials else 1
+        return _result_exit_code(result)
     print(f"workload              : {result.workload}")
     print(f"nodes                 : {result.num_nodes}")
     print(f"opinions              : {result.num_opinions}")
     print(f"noise matrix          : {scenario.build_noise().name}")
-    print(f"trials                : {result.num_trials}")
     print(f"engine                : {result.engine}")
+    if result.is_analytic:
+        print(f"analytic method       : {result.analytic_method}")
+        if result.state_space_size is not None:
+            print(f"state space           : {result.state_space_size}")
+    else:
+        print(f"trials                : {result.num_trials}")
     print(f"target opinion        : {result.target_opinion}")
     print(f"convergence rate      : {result.convergence_rate:.4f}")
     print(f"success rate          : {result.success_rate:.4f}")
@@ -462,8 +480,12 @@ def _command_simulate(
     print(f"mean final bias       : {result.mean_final_bias:.4f}")
     elapsed = result.provenance["wall_time_seconds"]
     print(f"wall time             : {elapsed:.3f} s")
-    print(f"throughput            : {result.num_trials / elapsed:.2f} trials/s")
-    return 0 if result.success_count == result.num_trials else 1
+    if not result.is_analytic:
+        print(
+            f"throughput            : {result.num_trials / elapsed:.2f} "
+            "trials/s"
+        )
+    return _result_exit_code(result)
 
 
 def _command_rumor(
@@ -538,6 +560,8 @@ def _command_ensemble(
     print(f"noise matrix          : {scenario.build_noise().name}")
     print(f"trials                : {args.trials}")
     print(f"engine                : {result.engine}")
+    if result.is_analytic:
+        print(f"analytic method       : {result.analytic_method}")
     print(f"success rate          : {result.success_rate:.4f}")
     print(f"mean rounds           : {result.mean_rounds:.1f}")
     if result.bias_after_stage1 is not None:
@@ -545,9 +569,15 @@ def _command_ensemble(
             "mean Stage-1 bias     : "
             f"{float(np.mean(result.bias_after_stage1)):.4f}"
         )
+    elif result.expected_bias_after_stage1 is not None:
+        print(
+            "mean Stage-1 bias     : "
+            f"{result.expected_bias_after_stage1:.4f}"
+        )
     print(f"wall time             : {elapsed:.3f} s")
-    print(f"throughput            : {args.trials / elapsed:.2f} trials/s")
-    return 0 if result.success_count == args.trials else 1
+    if not result.is_analytic:
+        print(f"throughput            : {args.trials / elapsed:.2f} trials/s")
+    return _result_exit_code(result)
 
 
 def _command_dynamics(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -586,13 +616,16 @@ def _command_dynamics(args: argparse.Namespace, parser: argparse.ArgumentParser)
     print(f"rule                  : {args.rule}")
     print(f"trials                : {args.trials}")
     print(f"engine                : {result.engine}")
+    if result.is_analytic:
+        print(f"analytic method       : {result.analytic_method}")
     print(f"convergence rate      : {result.convergence_rate:.4f}")
     print(f"success rate          : {result.success_rate:.4f}")
     print(f"mean rounds           : {result.mean_rounds:.1f}")
     print(f"mean final bias       : {result.mean_final_bias:.4f}")
     print(f"wall time             : {elapsed:.3f} s")
-    print(f"throughput            : {args.trials / elapsed:.2f} trials/s")
-    return 0 if result.success_count == args.trials else 1
+    if not result.is_analytic:
+        print(f"throughput            : {args.trials / elapsed:.2f} trials/s")
+    return _result_exit_code(result)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

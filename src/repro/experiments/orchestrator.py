@@ -91,6 +91,8 @@ def experiment_code_version(spec: ExperimentSpec) -> str:
 
     from repro.sim import engines as sim_engines_module
     from repro.sim import facade as sim_facade_module
+    from repro.sim import result as sim_result_module
+    from repro.sim import scenario as sim_scenario_module
 
     module = importlib.import_module(spec.module_name)
     digest = hashlib.sha256()
@@ -99,6 +101,8 @@ def experiment_code_version(spec: ExperimentSpec) -> str:
     digest.update(_module_source(spec_module).encode())
     digest.update(_module_source(sim_engines_module).encode())
     digest.update(_module_source(sim_facade_module).encode())
+    digest.update(_module_source(sim_scenario_module).encode())
+    digest.update(_module_source(sim_result_module).encode())
     version = digest.hexdigest()[:16]
     _code_version_cache[spec.module_name] = version
     return version

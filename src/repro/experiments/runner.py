@@ -78,9 +78,11 @@ T = TypeVar("T")
 #: Concrete execution engines accepted by the trial-outcome helpers.
 TRIAL_ENGINES = ("batched", "sequential", "counts")
 
-#: Everything a caller may pass as ``trial_engine`` (``"auto"`` resolves to
-#: a concrete engine by population size).
-TRIAL_ENGINE_CHOICES = TRIAL_ENGINES + ("auto",)
+#: Everything a caller may pass as ``trial_engine``: the per-trial engines,
+#: ``"analytic"`` (the distribution-level tier — valid for routing, but
+#: rejected by the per-trial helpers, which have no trials to report), and
+#: ``"auto"`` (resolves to a concrete engine by population size).
+TRIAL_ENGINE_CHOICES = TRIAL_ENGINES + ("analytic", "auto")
 
 #: Population size at which ``trial_engine="auto"`` switches from the
 #: batched ``(R, n)`` engine to the counts engine.  At ``n = 10^5`` the
@@ -116,6 +118,8 @@ def resolve_trial_engine(
     trial_engine: str,
     num_nodes: int,
     counts_threshold: Optional[int] = None,
+    *,
+    allow_analytic: bool = False,
 ) -> str:
     """The concrete engine for ``trial_engine`` at population size ``n``.
 
@@ -130,6 +134,13 @@ def resolve_trial_engine(
     engine should serve, so the ``repro.sim`` facade, the CLI and the
     experiment configs all see ``auto(n=threshold) == "counts"`` — pinned
     by the test-suite so the semantics cannot drift silently.
+
+    ``allow_analytic=True`` short-circuits ``"auto"`` to ``"analytic"``:
+    the caller asserts the scenario is *exactly tractable* (the count
+    simplex fits the analytic state budget, plus any closed-form vote
+    tables the workload needs), in which case the exact answer beats any
+    amount of sampling.  Only the ``repro.sim`` facade sets it — the
+    per-trial helpers in this module cannot consume the analytic tier.
     """
     if trial_engine not in TRIAL_ENGINE_CHOICES:
         raise ValueError(
@@ -138,6 +149,8 @@ def resolve_trial_engine(
         )
     if trial_engine != "auto":
         return trial_engine
+    if allow_analytic:
+        return "analytic"
     if counts_threshold is None:
         counts_threshold = _active_counts_threshold
     elif counts_threshold < 1:
@@ -159,6 +172,12 @@ def _resolve_engine_for_state(
     for them, and an explicit per-node engine is rejected with a clear
     error instead of a deep ``TypeError``.
     """
+    if trial_engine == "analytic":
+        raise ValueError(
+            "the per-trial helpers sample independent trials, which the "
+            "analytic (distribution-level) engine does not produce; run "
+            "repro.sim.simulate(Scenario(..., engine='analytic')) instead"
+        )
     counts_native = isinstance(
         initial_state, (CountsState, EnsembleCountsState)
     )

@@ -42,7 +42,14 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.experiments.results import ExperimentTable
 from repro.experiments.runner import TRIAL_ENGINES
 
+#: Engine names an experiment may declare in ``supported_engines``: the
+#: per-trial engines plus the distribution-level ``"analytic"`` tier (for
+#: experiments that compute exact probabilities through ``repro.sim``
+#: instead of sampling trials).
+DECLARABLE_ENGINES = TRIAL_ENGINES + ("analytic",)
+
 __all__ = [
+    "DECLARABLE_ENGINES",
     "ExperimentSpec",
     "register_experiment",
     "get_spec",
@@ -161,13 +168,13 @@ def register_experiment(
     if not supported_engines:
         raise ValueError(
             f"{experiment_id}: supported_engines must name at least one of "
-            f"{TRIAL_ENGINES}"
+            f"{DECLARABLE_ENGINES}"
         )
-    unknown = [e for e in supported_engines if e not in TRIAL_ENGINES]
+    unknown = [e for e in supported_engines if e not in DECLARABLE_ENGINES]
     if unknown:
         raise ValueError(
             f"{experiment_id}: unknown engines {unknown}; valid engines are "
-            f"{TRIAL_ENGINES}"
+            f"{DECLARABLE_ENGINES}"
         )
     if config_cls is not None and not (
         callable(getattr(config_cls, "quick", None))

@@ -62,8 +62,10 @@ __all__ = [
     "make_delivery_engine",
 ]
 
-#: The concrete execution tiers every workload can be served on.
-ENGINE_TIERS = ("sequential", "batched", "counts")
+#: The concrete execution tiers every workload can be served on.  The
+#: first three sample trajectories; ``analytic`` evolves the exact state
+#: distribution (or its mean-field limit) and draws no randomness at all.
+ENGINE_TIERS = ("sequential", "batched", "counts", "analytic")
 
 #: The one dynamics-class table all three tiers share, keyed ``(tier, rule)``.
 _DYNAMICS_CLASSES: Dict[Tuple[str, str], type] = {

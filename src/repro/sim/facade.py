@@ -20,10 +20,20 @@ import inspect
 import time
 from typing import Optional
 
+from repro.core.analytic import (
+    AnalyticProtocol,
+    MeanFieldProtocol,
+    exact_protocol_is_tractable,
+)
 from repro.core.protocol import (
     CountsProtocol,
     EnsembleProtocol,
     TwoStageProtocol,
+)
+from repro.dynamics.analytic import (
+    ExactDynamicsChain,
+    MeanFieldDynamics,
+    exact_dynamics_is_tractable,
 )
 from repro.network.topology import GraphPushModel, standard_topology
 from repro.noise.matrix import NoiseMatrix
@@ -47,6 +57,10 @@ def sim_code_version() -> str:
     """
     global _code_version
     if _code_version is None:
+        from repro.analytic import simplex as simplex_module
+        from repro.analytic import verify as verify_module
+        from repro.core import analytic as core_analytic_module
+        from repro.dynamics import analytic as dynamics_analytic_module
         from repro.sim import engines as engines_module
         from repro.sim import result as result_module
         from repro.sim import scenario as scenario_module
@@ -54,7 +68,9 @@ def sim_code_version() -> str:
 
         digest = hashlib.sha256()
         for module in (
-            scenario_module, engines_module, result_module, facade_module
+            scenario_module, engines_module, result_module, facade_module,
+            simplex_module, verify_module,
+            dynamics_analytic_module, core_analytic_module,
         ):
             try:
                 digest.update(inspect.getsource(module).encode())
@@ -62,6 +78,31 @@ def sim_code_version() -> str:
                 pass
         _code_version = digest.hexdigest()[:16]
     return _code_version
+
+
+def _exactly_tractable(scenario: Scenario) -> bool:
+    """Whether the analytic tier can serve ``scenario`` *exactly*.
+
+    True when the full count-simplex Markov chain fits the analytic state
+    budget (and, for the protocol workloads, every Stage-2 vote table is
+    closed-form) — the regime where ``auto`` should prefer the exact
+    answer over any sampled one.
+    """
+    if scenario.workload == "dynamics":
+        return exact_dynamics_is_tractable(
+            scenario.rule,
+            scenario.num_nodes,
+            scenario.num_opinions,
+            sample_size=scenario.sample_size,
+        )
+    opinionated = int(scenario.initial_counts_state().counts.sum())
+    return exact_protocol_is_tractable(
+        scenario.num_nodes,
+        scenario.num_opinions,
+        scenario.epsilon,
+        initial_opinionated=opinionated,
+        round_scale=scenario.round_scale,
+    )
 
 
 def _resolve_engine(scenario: Scenario) -> str:
@@ -72,13 +113,20 @@ def _resolve_engine(scenario: Scenario) -> str:
     process-wide default installed by ``set_default_counts_threshold``).
     Imported lazily: the runner imports the sim engine registry, so a
     module-level import would be circular.
+
+    ``auto`` prefers the analytic tier whenever the scenario is exactly
+    tractable (tiny ``n * k``): the exact chain answers in one kernel
+    evolution with zero sampling noise, which no trial count can beat.
     """
     if scenario.engine != "auto":
         return scenario.engine
     from repro.experiments.runner import resolve_trial_engine
 
     engine = resolve_trial_engine(
-        "auto", scenario.num_nodes, scenario.counts_threshold
+        "auto",
+        scenario.num_nodes,
+        scenario.counts_threshold,
+        allow_analytic=_exactly_tractable(scenario),
     )
     if (
         engine == "counts"
@@ -266,6 +314,64 @@ def _dynamics_ensemble(
         record_history=scenario.record_trajectories,
     )
     return SimulationResult.from_ensemble_dynamics_result(result, engine=engine)
+
+
+@ENGINE_REGISTRY.register("rumor", "analytic")
+@ENGINE_REGISTRY.register("plurality", "analytic")
+def _protocol_analytic(
+    scenario: Scenario, noise: NoiseMatrix, engine: str
+) -> SimulationResult:
+    """The sampling-free protocol tier: exact chain or mean-field ODE.
+
+    Exactly tractable scenarios evolve the full count-state distribution
+    through both stages (:class:`AnalyticProtocol`); everything else
+    integrates the mean-field phase recursion with a Gaussian-diffusion
+    correction (:class:`MeanFieldProtocol`).  Both consume the counts-native
+    entry state — the analytic tier never materializes per-node opinions.
+    """
+    counts_state = scenario.initial_counts_state()
+    protocol_cls = (
+        AnalyticProtocol if _exactly_tractable(scenario) else MeanFieldProtocol
+    )
+    protocol = protocol_cls(
+        scenario.num_nodes,
+        noise,
+        epsilon=scenario.epsilon,
+        round_scale=scenario.round_scale,
+    )
+    result = protocol.run(
+        counts_state.counts, target_opinion=scenario.target_opinion()
+    )
+    return SimulationResult.from_analytic_protocol(
+        result, workload=scenario.workload, engine=engine
+    )
+
+
+@ENGINE_REGISTRY.register("dynamics", "analytic")
+def _dynamics_analytic(
+    scenario: Scenario, noise: NoiseMatrix, engine: str
+) -> SimulationResult:
+    """The sampling-free dynamics tier: exact chain or mean-field recursion."""
+    counts_state = scenario.initial_counts_state()
+    dynamics_cls = (
+        ExactDynamicsChain
+        if _exactly_tractable(scenario)
+        else MeanFieldDynamics
+    )
+    dynamic = dynamics_cls(
+        scenario.rule,
+        scenario.num_nodes,
+        noise,
+        sample_size=scenario.sample_size,
+    )
+    result = dynamic.run(
+        counts_state.counts,
+        scenario.max_rounds,
+        target_opinion=scenario.target_opinion(),
+        stop_at_consensus=scenario.stop_at_consensus,
+        record_history=scenario.record_trajectories,
+    )
+    return SimulationResult.from_analytic_dynamics(result, engine=engine)
 
 
 @ENGINE_REGISTRY.register("dynamics", "sequential")

@@ -21,7 +21,9 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.analytic import AnalyticProtocolResult
 from repro.core.protocol import EnsembleResult, ProtocolResult
+from repro.dynamics.analytic import AnalyticDynamicsResult
 from repro.dynamics.base import (
     CountsDynamicsResult,
     DynamicsResult,
@@ -80,7 +82,27 @@ class SimulationResult:
         Rounds spent in Stage 1 (protocol workloads; ``None`` otherwise).
     trajectories:
         Optional float ``(R, T)`` bias trajectory — per protocol phase for
-        the protocol workloads, per round for the dynamics workload.
+        the protocol workloads, per round for the dynamics workload.  The
+        analytic tier stores its single expected-bias trajectory as the
+        one row of a ``(1, T)`` matrix.
+    success_probability, convergence_probability:
+        Analytic tier only: the computed (exact or mean-field) outcome
+        probabilities.  When set, :attr:`success_rate` /
+        :attr:`convergence_rate` return them instead of empirical
+        frequencies (the analytic tier samples no trials, so the
+        per-trial arrays are empty).
+    expected_rounds, expected_final_bias, expected_final_counts:
+        Analytic tier only: exact / mean-field expectations of the
+        matching per-trial statistics.
+    expected_bias_after_stage1:
+        Analytic tier, protocol workloads only: the expected end-of-
+        Stage-1 bias.
+    analytic_method:
+        ``"exact"`` or ``"mean-field"`` when the analytic tier produced
+        the result; ``None`` for the sampling tiers.
+    state_space_size:
+        Size of the enumerated count simplex (exact analytic method
+        only).
     provenance:
         How the result was produced: resolved engine, requested policy,
         seed, facade code version, wall time, and the full scenario
@@ -102,9 +124,22 @@ class SimulationResult:
     bias_after_stage1: Optional[np.ndarray] = None
     stage1_rounds: Optional[int] = None
     trajectories: Optional[np.ndarray] = None
+    success_probability: Optional[float] = None
+    convergence_probability: Optional[float] = None
+    expected_rounds: Optional[float] = None
+    expected_final_bias: Optional[float] = None
+    expected_final_counts: Optional[np.ndarray] = None
+    expected_bias_after_stage1: Optional[float] = None
+    analytic_method: Optional[str] = None
+    state_space_size: Optional[int] = None
     provenance: Dict[str, Any] = field(default_factory=dict)
 
     # ---------------------- derived statistics ---------------------- #
+
+    @property
+    def is_analytic(self) -> bool:
+        """Whether the analytic tier produced this result (no sampling)."""
+        return self.analytic_method is not None
 
     @property
     def success_count(self) -> int:
@@ -113,22 +148,30 @@ class SimulationResult:
 
     @property
     def success_rate(self) -> float:
-        """Empirical success probability over the batch."""
+        """Success probability: computed (analytic tier) or empirical."""
+        if self.success_probability is not None:
+            return float(self.success_probability)
         return self.success_count / self.num_trials
 
     @property
     def convergence_rate(self) -> float:
-        """Fraction of trials that reached consensus on *some* opinion."""
+        """Probability of consensus on *some* opinion (computed or empirical)."""
+        if self.convergence_probability is not None:
+            return float(self.convergence_probability)
         return int(np.count_nonzero(self.converged)) / self.num_trials
 
     @property
     def mean_rounds(self) -> float:
-        """Mean executed rounds per trial."""
+        """Mean executed rounds per trial (expected rounds on the analytic tier)."""
+        if self.expected_rounds is not None:
+            return float(self.expected_rounds)
         return float(self.rounds.mean())
 
     @property
     def mean_final_bias(self) -> float:
         """Mean final bias toward the target opinion."""
+        if self.expected_final_bias is not None:
+            return float(self.expected_final_bias)
         return float(self.final_biases.mean())
 
     def correct_fractions(self) -> np.ndarray:
@@ -140,7 +183,7 @@ class SimulationResult:
 
     def summary(self) -> Dict[str, Any]:
         """Headline statistics of the run."""
-        return {
+        document = {
             "workload": self.workload,
             "engine": self.engine,
             "num_nodes": self.num_nodes,
@@ -151,6 +194,9 @@ class SimulationResult:
             "mean_rounds": self.mean_rounds,
             "mean_final_bias": self.mean_final_bias,
         }
+        if self.analytic_method is not None:
+            document["analytic_method"] = self.analytic_method
+        return document
 
     # ------------------- adapters from legacy results ------------------- #
 
@@ -342,6 +388,92 @@ class SimulationResult:
             trajectories=trajectories,
         )
 
+    @classmethod
+    def from_analytic_dynamics(
+        cls,
+        result: AnalyticDynamicsResult,
+        *,
+        engine: str = "analytic",
+    ) -> "SimulationResult":
+        """Adapt an :class:`AnalyticDynamicsResult` (exact or mean-field).
+
+        The analytic tier evolves the state *distribution*, so there are
+        no trials: the per-trial arrays are empty (``num_trials == 0``)
+        and the derived statistics come from the ``*_probability`` /
+        ``expected_*`` fields instead.  ``trajectories`` carries the
+        expected-bias trajectory as a single ``(1, T)`` row.
+        """
+        trajectory = np.asarray(result.bias_trajectory, dtype=float)
+        return cls(
+            workload="dynamics",
+            engine=engine,
+            num_nodes=result.num_nodes,
+            num_opinions=result.num_opinions,
+            num_trials=0,
+            target_opinion=int(result.target_opinion),
+            successes=np.zeros(0, dtype=bool),
+            converged=np.zeros(0, dtype=bool),
+            rounds=np.zeros(0, dtype=np.int64),
+            final_biases=np.zeros(0, dtype=float),
+            final_opinion_counts=np.zeros(
+                (0, result.num_opinions), dtype=np.int64
+            ),
+            consensus_opinions=np.zeros(0, dtype=np.int64),
+            trajectories=(
+                trajectory[np.newaxis, :] if trajectory.size else None
+            ),
+            success_probability=float(result.success_probability),
+            convergence_probability=float(result.convergence_probability),
+            expected_rounds=float(result.expected_rounds),
+            expected_final_bias=float(result.expected_final_bias),
+            expected_final_counts=np.asarray(
+                result.expected_final_counts, dtype=float
+            ),
+            analytic_method=result.method,
+            state_space_size=result.state_space_size,
+        )
+
+    @classmethod
+    def from_analytic_protocol(
+        cls,
+        result: AnalyticProtocolResult,
+        *,
+        workload: str,
+        engine: str = "analytic",
+    ) -> "SimulationResult":
+        """Adapt an :class:`AnalyticProtocolResult` (exact or mean-field)."""
+        phase_biases = np.asarray(result.phase_biases, dtype=float)
+        return cls(
+            workload=workload,
+            engine=engine,
+            num_nodes=result.num_nodes,
+            num_opinions=result.num_opinions,
+            num_trials=0,
+            target_opinion=int(result.target_opinion),
+            successes=np.zeros(0, dtype=bool),
+            converged=np.zeros(0, dtype=bool),
+            rounds=np.zeros(0, dtype=np.int64),
+            final_biases=np.zeros(0, dtype=float),
+            final_opinion_counts=np.zeros(
+                (0, result.num_opinions), dtype=np.int64
+            ),
+            consensus_opinions=np.zeros(0, dtype=np.int64),
+            stage1_rounds=int(result.stage1_rounds),
+            trajectories=(
+                phase_biases[np.newaxis, :] if phase_biases.size else None
+            ),
+            success_probability=float(result.success_probability),
+            convergence_probability=float(result.convergence_probability),
+            expected_rounds=float(result.total_rounds),
+            expected_final_bias=float(result.expected_final_bias),
+            expected_final_counts=np.asarray(
+                result.expected_final_counts, dtype=float
+            ),
+            expected_bias_after_stage1=float(result.expected_bias_after_stage1),
+            analytic_method=result.method,
+            state_space_size=result.state_space_size,
+        )
+
     # --------------------------- JSON I/O --------------------------- #
 
     def to_json_dict(self) -> Dict[str, Any]:
@@ -374,6 +506,18 @@ class SimulationResult:
                 int(self.stage1_rounds) if self.stage1_rounds is not None else None
             ),
             "trajectories": jsonify_value(self.trajectories),
+            "success_probability": self.success_probability,
+            "convergence_probability": self.convergence_probability,
+            "expected_rounds": self.expected_rounds,
+            "expected_final_bias": self.expected_final_bias,
+            "expected_final_counts": jsonify_value(self.expected_final_counts),
+            "expected_bias_after_stage1": self.expected_bias_after_stage1,
+            "analytic_method": self.analytic_method,
+            "state_space_size": (
+                int(self.state_space_size)
+                if self.state_space_size is not None
+                else None
+            ),
             "provenance": jsonify_value(self.provenance),
         }
 
@@ -434,6 +578,46 @@ class SimulationResult:
             trajectories=(
                 np.asarray(trajectories, dtype=float)
                 if trajectories is not None
+                else None
+            ),
+            success_probability=(
+                float(document["success_probability"])
+                if document.get("success_probability") is not None
+                else None
+            ),
+            convergence_probability=(
+                float(document["convergence_probability"])
+                if document.get("convergence_probability") is not None
+                else None
+            ),
+            expected_rounds=(
+                float(document["expected_rounds"])
+                if document.get("expected_rounds") is not None
+                else None
+            ),
+            expected_final_bias=(
+                float(document["expected_final_bias"])
+                if document.get("expected_final_bias") is not None
+                else None
+            ),
+            expected_final_counts=(
+                np.asarray(document["expected_final_counts"], dtype=float)
+                if document.get("expected_final_counts") is not None
+                else None
+            ),
+            expected_bias_after_stage1=(
+                float(document["expected_bias_after_stage1"])
+                if document.get("expected_bias_after_stage1") is not None
+                else None
+            ),
+            analytic_method=(
+                str(document["analytic_method"])
+                if document.get("analytic_method") is not None
+                else None
+            ),
+            state_space_size=(
+                int(document["state_space_size"])
+                if document.get("state_space_size") is not None
                 else None
             ),
             provenance=dict(document.get("provenance", {})),

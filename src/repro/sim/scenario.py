@@ -42,8 +42,11 @@ WORKLOADS = ("rumor", "plurality", "dynamics")
 
 #: Engine policies a scenario can request (``"auto"`` resolves to a concrete
 #: tier by population size; see :func:`repro.experiments.runner.
-#: resolve_trial_engine`).
-ENGINE_POLICIES = ("sequential", "batched", "counts", "auto")
+#: resolve_trial_engine`).  ``"analytic"`` runs no sampling at all: the
+#: exact Markov chain over opinion counts when ``C(n + k, k)`` fits the
+#: state budget, the mean-field ODE with a Gaussian-diffusion correction
+#: otherwise.
+ENGINE_POLICIES = ("sequential", "batched", "counts", "auto", "analytic")
 
 #: Communication topologies (non-complete graphs run on the sequential
 #: engine only — the batched/counts reformulations assume the complete
@@ -314,7 +317,7 @@ class Scenario:
             self.sampling_method != "without_replacement"
             or self.use_full_multiset
         )
-        if has_ablations and self.engine in ("counts", "auto"):
+        if has_ablations and self.engine in ("counts", "auto", "analytic"):
             raise ValueError(
                 "the Stage-2 sampling ablations (sampling_method, "
                 "use_full_multiset) are only supported by engines "
@@ -322,7 +325,7 @@ class Scenario:
                 f"{self.engine!r} cannot serve them"
             )
         if (
-            self.engine == "counts"
+            self.engine in ("counts", "analytic")
             and self.workload == "dynamics"
             and self.rule == "h-majority"
             and self.sample_size is not None
@@ -330,8 +333,8 @@ class Scenario:
         ):
             raise ValueError(
                 f"sample_size {self.sample_size} with {self.num_opinions} "
-                "opinions exceeds the counts engine's closed-form maj() "
-                "table budget; use one of the engines "
+                f"opinions exceeds the {self.engine} engine's closed-form "
+                "maj() table budget; use one of the engines "
                 "('batched', 'sequential')"
             )
 

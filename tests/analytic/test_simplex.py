@@ -1,0 +1,138 @@
+"""Tests for the count-simplex machinery behind the analytic engine tier.
+
+The exact Markov tier's correctness rests on three primitives: the
+lexicographic enumeration of count states, the exact (log-space)
+multinomial outcome law, and the per-group convolution that assembles a
+one-round transition row.  Each is checked against first principles
+(binomial identities, hand-computed small cases, conservation laws).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analytic import (
+    DEFAULT_STATE_BUDGET,
+    enumerate_states,
+    multinomial_outcome_law,
+    next_state_distribution,
+    state_indices,
+    state_lookup,
+    state_space_size,
+    states_within_budget,
+)
+
+
+class TestStateEnumeration:
+    @pytest.mark.parametrize("n,k", [(0, 1), (1, 1), (5, 2), (12, 2), (6, 3)])
+    def test_size_matches_stars_and_bars(self, n, k):
+        assert state_space_size(n, k) == math.comb(n + k, k)
+        assert enumerate_states(n, k).shape == (state_space_size(n, k), k)
+
+    def test_states_are_unique_within_simplex_and_sorted(self):
+        states = enumerate_states(7, 3)
+        assert np.all(states >= 0)
+        assert np.all(states.sum(axis=1) <= 7)
+        as_tuples = [tuple(row) for row in states]
+        assert as_tuples == sorted(set(as_tuples))
+
+    def test_indices_invert_enumeration(self):
+        n, k = 9, 2
+        states = enumerate_states(n, k)
+        ranks = state_indices(states, n, k)
+        assert np.array_equal(ranks, np.arange(len(states)))
+
+    def test_lookup_table_ranks_every_state(self):
+        n, k = 6, 2
+        lookup = state_lookup(n, k)
+        states = enumerate_states(n, k)
+        for index, state in enumerate(states):
+            assert lookup[tuple(state)] == index
+
+    def test_off_simplex_counts_rank_negative(self):
+        ranks = state_indices(np.array([[8, 8]]), 9, 2)
+        assert ranks[0] == -1
+
+    def test_budget_gate(self):
+        assert states_within_budget(12, 2, DEFAULT_STATE_BUDGET)
+        assert not states_within_budget(300, 3, DEFAULT_STATE_BUDGET)
+
+
+class TestMultinomialOutcomeLaw:
+    def test_pmf_is_a_distribution_over_full_compositions(self):
+        outcomes, pmf = multinomial_outcome_law(6, np.array([0.2, 0.5, 0.3]))
+        assert np.all(outcomes.sum(axis=1) == 6)
+        assert np.all(pmf > 0)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_binomial_special_case(self):
+        # Two categories: the first-slot tally is Binomial(n, p).
+        n, p = 5, 0.3
+        outcomes, pmf = multinomial_outcome_law(n, np.array([p, 1 - p]))
+        for outcome, probability in zip(outcomes, pmf):
+            expected = (
+                math.comb(n, int(outcome[0]))
+                * p ** outcome[0]
+                * (1 - p) ** outcome[1]
+            )
+            assert probability == pytest.approx(expected, rel=1e-12)
+
+    def test_zero_probability_category_is_pruned(self):
+        outcomes, pmf = multinomial_outcome_law(4, np.array([0.0, 0.6, 0.4]))
+        assert np.all(outcomes[:, 0] == 0)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_deterministic_law_reduces_to_one_row(self):
+        outcomes, pmf = multinomial_outcome_law(7, np.array([0.0, 1.0]))
+        assert outcomes.shape == (1, 2)
+        assert np.array_equal(outcomes[0], [0, 7])
+        assert pmf[0] == pytest.approx(1.0)
+
+    def test_zero_draws_is_point_mass_at_origin(self):
+        outcomes, pmf = multinomial_outcome_law(0, np.array([0.5, 0.5]))
+        assert outcomes.shape == (1, 2)
+        assert np.array_equal(outcomes[0], [0, 0])
+        assert pmf[0] == pytest.approx(1.0)
+
+
+class TestNextStateDistribution:
+    def test_conserves_probability(self):
+        n, k = 8, 2
+        # Row g of the laws: outcome distribution of one group-g node over
+        # {0 = end undecided, 1, 2}.
+        laws = np.array([
+            [1.0, 0.0, 0.0],   # undecided nodes stay undecided
+            [0.1, 0.6, 0.3],   # opinion-1 nodes
+            [0.1, 0.3, 0.6],   # opinion-2 nodes
+        ])
+        distribution = next_state_distribution(np.array([2, 3, 3]), laws, n, k)
+        assert distribution.shape == (state_space_size(n, k),)
+        assert np.all(distribution >= 0)
+        assert distribution.sum() == pytest.approx(1.0, abs=1e-10)
+
+    def test_deterministic_laws_give_point_mass(self):
+        n, k = 6, 2
+        to_first = np.array([
+            [0.0, 1.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 1.0, 0.0],
+        ])
+        distribution = next_state_distribution(np.array([0, 4, 2]), to_first, n, k)
+        target = state_indices(np.array([[6, 0]]), n, k)[0]
+        assert distribution[target] == pytest.approx(1.0)
+        assert np.count_nonzero(distribution) == 1
+
+    def test_single_node_round_reproduces_its_law(self):
+        n, k = 1, 2
+        law = np.array([0.25, 0.45, 0.30])
+        laws = np.stack([law, law, law])
+        distribution = next_state_distribution(np.array([0, 1, 0]), laws, n, k)
+        undecided = state_indices(np.array([[0, 0]]), n, k)[0]
+        first = state_indices(np.array([[1, 0]]), n, k)[0]
+        second = state_indices(np.array([[0, 1]]), n, k)[0]
+        assert distribution[undecided] == pytest.approx(0.25)
+        assert distribution[first] == pytest.approx(0.45)
+        assert distribution[second] == pytest.approx(0.30)

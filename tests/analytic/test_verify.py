@@ -1,0 +1,117 @@
+"""Tests for the distribution-level verification helpers.
+
+These primitives back the exact-vs-sampled agreement harness in
+``tests/integration/test_engine_agreement.py``: total variation
+distance, the empirical distribution over count states, the
+distribution-free sampling TVD threshold, and Wilson score intervals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytic import (
+    Z_99_9,
+    empirical_state_distribution,
+    sampling_tvd_threshold,
+    state_indices,
+    state_space_size,
+    total_variation_distance,
+    wilson_interval,
+)
+
+
+class TestTotalVariationDistance:
+    def test_identical_distributions_have_zero_distance(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert total_variation_distance(p, p) == 0.0
+
+    def test_disjoint_supports_have_distance_one(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert total_variation_distance(p, q) == pytest.approx(1.0)
+
+    def test_symmetry_and_known_value(self):
+        p = np.array([0.5, 0.5, 0.0])
+        q = np.array([0.25, 0.25, 0.5])
+        assert total_variation_distance(p, q) == pytest.approx(0.5)
+        assert total_variation_distance(q, p) == pytest.approx(
+            total_variation_distance(p, q)
+        )
+
+
+class TestEmpiricalStateDistribution:
+    def test_tallies_count_vectors(self):
+        n, k = 4, 2
+        counts = np.array([[2, 1], [2, 1], [0, 4], [2, 1]])
+        distribution = empirical_state_distribution(counts, n, k)
+        assert distribution.shape == (state_space_size(n, k),)
+        assert distribution.sum() == pytest.approx(1.0)
+        rank_a = state_indices(np.array([[2, 1]]), n, k)[0]
+        rank_b = state_indices(np.array([[0, 4]]), n, k)[0]
+        assert distribution[rank_a] == pytest.approx(0.75)
+        assert distribution[rank_b] == pytest.approx(0.25)
+
+    def test_rejects_off_simplex_rows(self):
+        with pytest.raises(ValueError):
+            empirical_state_distribution(np.array([[3, 3]]), 4, 2)
+
+
+class TestSamplingTvdThreshold:
+    def test_shrinks_with_more_samples(self):
+        loose = sampling_tvd_threshold(91, 400)
+        tight = sampling_tvd_threshold(91, 4000)
+        assert tight < loose
+
+    def test_grows_with_support_size(self):
+        assert sampling_tvd_threshold(1000, 4000) > sampling_tvd_threshold(91, 4000)
+
+    def test_matches_closed_form(self):
+        support, samples, alpha = 91, 4000, 0.001
+        expected = 0.5 * np.sqrt(support / samples) + np.sqrt(
+            np.log(1.0 / alpha) / (2.0 * samples)
+        )
+        assert sampling_tvd_threshold(support, samples) == pytest.approx(expected)
+
+    def test_empirical_coverage(self):
+        # Draw empirical distributions from a known law; the threshold must
+        # dominate the realised TVD in every replicate (alpha = 0.001).
+        rng = np.random.default_rng(7)
+        p = np.array([0.5, 0.2, 0.2, 0.1])
+        samples = 500
+        threshold = sampling_tvd_threshold(p.size, samples)
+        for _ in range(50):
+            draws = rng.multinomial(samples, p) / samples
+            assert total_variation_distance(p, draws) < threshold
+
+
+class TestWilsonInterval:
+    def test_is_clamped_to_unit_interval(self):
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0 and 0.0 < high < 1.0
+        low, high = wilson_interval(20, 20)
+        assert 0.0 < low < 1.0 and high == 1.0
+
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(13, 40)
+        assert low < 13 / 40 < high
+
+    def test_narrows_with_more_trials(self):
+        low_small, high_small = wilson_interval(50, 100)
+        low_large, high_large = wilson_interval(500, 1000)
+        assert (high_large - low_large) < (high_small - low_small)
+
+    def test_z_default_is_99_9_two_sided(self):
+        # Phi^{-1}(1 - 0.001 / 2) = 3.29052673...
+        assert Z_99_9 == pytest.approx(3.2905267314919255, rel=1e-12)
+
+    def test_empirical_coverage(self):
+        # 200 binomial replicates at p = 0.3: the 99.9% interval must cover
+        # the true p in every one of them (expected misses: 0.2).
+        rng = np.random.default_rng(11)
+        p, trials = 0.3, 250
+        for _ in range(200):
+            successes = int(rng.binomial(trials, p))
+            low, high = wilson_interval(successes, trials)
+            assert low <= p <= high
