@@ -1,0 +1,219 @@
+"""Benchmark: ``simulate_sweep`` vs. the serial ``simulate()`` loop.
+
+The vectorized sweep engine's acceptance target: running a 256-point
+epsilon grid of counts-tier voter dynamics through one
+:func:`~repro.sim.simulate_sweep` call must be at least **5x** faster than
+the serial reference loop ``[simulate(s) for s in grid.scenarios()]`` —
+while staying *bitwise identical* to it, point by point.  The bench
+measures both halves of that contract:
+
+* **Speedup curve** — grid sizes 16 / 64 / 256 over the same epsilon
+  range, serial loop vs. fused sweep, recorded to ``BENCH_sweep.json``;
+  the ``>= 5x`` target is asserted at the 256-point grid.
+* **Bitwise equivalence** — every per-point result of every measured grid
+  is compared field-for-field against its serial counterpart (the
+  deeper axis/tier matrix lives in ``tests/sim/test_sweep.py``; the bench
+  re-checks it on the exact grids it times so the speedup number can
+  never come from a semantics drift).
+
+A protocol-workload grid (counts tier, rumor spreading) is measured as
+well and recorded without an assertion — protocol points fuse per
+opinion-count group and their speedup is workload-dependent — plus the
+``maj()`` vote-law cache counters, which show how much tabulation work
+grid points shared.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sweep.py -s \
+        -o python_files="bench_*.py"
+
+``test_sweep_speedup_and_equivalence`` asserts the target directly with
+``time.perf_counter`` so it also runs without the pytest-benchmark plugin.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from record import record_benchmark_results
+
+from repro.network.pull_model import vote_law_cache_info
+from repro.sim import Scenario, ScenarioGrid, simulate, simulate_sweep
+
+# Epsilon grids over [0.02, 0.30]: deep in the noisy regime, so every
+# trial runs its full round budget and the measurement is dominated by
+# round-loop throughput rather than early-consensus luck.
+GRID_SIZES = (16, 64, 256)
+EPSILON_LOW, EPSILON_HIGH = 0.02, 0.30
+#: The acceptance point: the 256-point dynamics grid must fuse >= 5x.
+ACCEPTANCE_GRID_SIZE = 256
+MIN_SPEEDUP = 5.0
+
+PROTOCOL_GRID_SIZE = 16
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
+
+#: Every field of :class:`~repro.sim.result.SimulationResult` that carries
+#: simulation output (provenance intentionally excluded: wall times and
+#: sweep bookkeeping legitimately differ between the two execution paths).
+_RESULT_FIELDS = (
+    "successes",
+    "converged",
+    "rounds",
+    "final_biases",
+    "final_opinion_counts",
+    "consensus_opinions",
+    "bias_after_stage1",
+    "stage1_rounds",
+    "trajectories",
+    "expected_bias_after_stage1",
+)
+
+
+def _dynamics_grid(size: int) -> ScenarioGrid:
+    """A ``size``-point counts-tier voter epsilon grid (the ISSUE target)."""
+    return ScenarioGrid(
+        Scenario(
+            workload="dynamics",
+            rule="voter",
+            num_nodes=600,
+            num_opinions=2,
+            epsilon=EPSILON_LOW,
+            engine="counts",
+            num_trials=1,
+            max_rounds=200,
+            seed=7,
+            record_trajectories=False,
+        ),
+        {"epsilon": tuple(np.linspace(EPSILON_LOW, EPSILON_HIGH, size))},
+    )
+
+
+def _protocol_grid(size: int) -> ScenarioGrid:
+    """A counts-tier rumor-spreading epsilon grid (reported, not asserted)."""
+    return ScenarioGrid(
+        Scenario(
+            workload="rumor",
+            num_nodes=100_000,
+            num_opinions=2,
+            epsilon=0.2,
+            engine="counts",
+            num_trials=2,
+            seed=11,
+        ),
+        {"epsilon": tuple(np.linspace(0.2, 0.45, size))},
+    )
+
+
+def _assert_point_equal(index: int, serial, fused) -> None:
+    """Field-for-field bitwise comparison of one grid point's results."""
+    for name in _RESULT_FIELDS:
+        left = getattr(serial, name)
+        right = getattr(fused, name)
+        if left is None or right is None:
+            assert left is None and right is None, (
+                f"grid point {index}: field {name!r} is "
+                f"{'set' if left is not None else 'None'} serially but "
+                f"{'set' if right is not None else 'None'} in the sweep"
+            )
+            continue
+        assert np.array_equal(np.asarray(left), np.asarray(right)), (
+            f"grid point {index}: field {name!r} differs between the "
+            "serial loop and simulate_sweep - the fused engine is not "
+            "bitwise equivalent"
+        )
+
+
+def _measure(grid: ScenarioGrid):
+    """(serial seconds, sweep seconds) for one grid, equivalence-checked."""
+    started = time.perf_counter()
+    serial_results = [simulate(scenario) for scenario in grid.scenarios()]
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    sweep = simulate_sweep(grid)
+    sweep_seconds = time.perf_counter() - started
+
+    for index, (serial, fused) in enumerate(zip(serial_results, sweep)):
+        _assert_point_equal(index, serial, fused)
+    return serial_seconds, sweep_seconds
+
+
+def test_sweep_speedup_and_equivalence(capsys):
+    # Warm-up: one tiny point per workload so one-time import costs and
+    # numpy caches do not pollute the serial measurement.
+    simulate(_dynamics_grid(2).scenario(0))
+    simulate(_protocol_grid(2).scenario(0))
+
+    curve = {}
+    for size in GRID_SIZES:
+        serial_seconds, sweep_seconds = _measure(_dynamics_grid(size))
+        curve[f"grid_{size}"] = {
+            "points": size,
+            "serial_seconds": round(serial_seconds, 4),
+            "sweep_seconds": round(sweep_seconds, 4),
+            "speedup": round(serial_seconds / max(sweep_seconds, 1e-9), 2),
+        }
+
+    protocol_serial, protocol_sweep = _measure(
+        _protocol_grid(PROTOCOL_GRID_SIZE)
+    )
+    protocol_entry = {
+        "points": PROTOCOL_GRID_SIZE,
+        "serial_seconds": round(protocol_serial, 4),
+        "sweep_seconds": round(protocol_sweep, 4),
+        "speedup": round(protocol_serial / max(protocol_sweep, 1e-9), 2),
+    }
+    cache_info = vote_law_cache_info()
+
+    with capsys.disabled():
+        dynamics_curve = ", ".join(
+            f"{entry['points']} pts {entry['speedup']:.1f}x"
+            for entry in curve.values()
+        )
+        print(
+            f"\n[bench_sweep] dynamics epsilon grids (voter, n=600, "
+            f"max_rounds=200): {dynamics_curve} (target >= "
+            f"{MIN_SPEEDUP:.0f}x at {ACCEPTANCE_GRID_SIZE}); protocol grid "
+            f"(rumor, n=100k, R=2, {PROTOCOL_GRID_SIZE} pts) "
+            f"{protocol_entry['speedup']:.1f}x; every point bitwise equal; "
+            f"vote-law cache {cache_info['law_hits']} hits / "
+            f"{cache_info['law_misses']} misses"
+        )
+
+    record_benchmark_results(
+        RESULTS_PATH,
+        {
+            "sweep_dynamics_epsilon_grid": {
+                "workload": "dynamics/voter",
+                "num_nodes": 600,
+                "num_opinions": 2,
+                "max_rounds": 200,
+                "epsilon_range": [EPSILON_LOW, EPSILON_HIGH],
+                "min_speedup_target": MIN_SPEEDUP,
+                "acceptance_grid_size": ACCEPTANCE_GRID_SIZE,
+                "bitwise_equal": True,
+                "scaling": curve,
+            },
+            "sweep_protocol_epsilon_grid": {
+                "workload": "rumor",
+                "num_nodes": 100_000,
+                "num_opinions": 2,
+                "num_trials": 2,
+                "bitwise_equal": True,
+                **protocol_entry,
+            },
+            "sweep_vote_law_cache": dict(cache_info),
+        },
+    )
+
+    acceptance = curve[f"grid_{ACCEPTANCE_GRID_SIZE}"]
+    assert acceptance["speedup"] >= MIN_SPEEDUP, (
+        f"simulate_sweep over the {ACCEPTANCE_GRID_SIZE}-point counts-tier "
+        f"epsilon grid is only {acceptance['speedup']:.2f}x faster than the "
+        f"serial simulate() loop (serial {acceptance['serial_seconds']:.2f}s, "
+        f"sweep {acceptance['sweep_seconds']:.2f}s); the acceptance target "
+        f"is >= {MIN_SPEEDUP:.0f}x"
+    )

@@ -7,12 +7,14 @@ levels, fits the measured running time against the theoretical
 the same computation as experiment E1, exposed as a standalone script that a
 user can edit to explore their own parameter ranges.
 
-Every grid point is one declarative :class:`repro.Scenario` executed through
-:func:`repro.simulate` with ``engine="auto"``: the small points run on the
-batched ``(R, n)`` ensemble engine, while the large ones switch to the
-counts (sufficient-statistics) engine, whose per-round cost is independent
-of ``n`` — which is why this script can afford a million-node row on a
-laptop.
+The whole grid is one declarative :class:`repro.sim.ScenarioGrid` executed
+through :func:`repro.sim.simulate_sweep` with ``engine="auto"``: the small
+points run on the batched ``(R, n)`` ensemble engine, while the large ones
+switch to the counts (sufficient-statistics) engine — and every counts-tier
+point is fused into a single heterogeneous batched computation whose
+per-round cost is independent of ``n``, which is why this script can afford
+a million-node row on a laptop.  Per-point results are bitwise identical to
+a serial ``simulate()`` loop over the same scenarios.
 
 Completed sweep points persist through the orchestrator's content-keyed
 :class:`~repro.experiments.orchestrator.ResultStore` (the same ``results/``
@@ -28,10 +30,11 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Scenario, simulate
+from repro import Scenario
 from repro.analysis.convergence import fit_round_complexity
 from repro.core.schedule import theoretical_round_complexity
 from repro.experiments.orchestrator import ResultStore
+from repro.sim import ScenarioGrid, simulate_sweep
 from repro.utils.tables import format_records
 
 NUM_NODES_GRID = (1_000, 4_000, 16_000, 100_000, 1_000_000)
@@ -45,63 +48,52 @@ COUNTS_THRESHOLD = 50_000
 STORE_DIR = "results"
 
 
-def measure_point(scenario: Scenario) -> dict:
-    """Run one grid point through the facade and return its measurements."""
-    result = simulate(scenario)
-    return {
-        "successes": result.success_count,
-        "mean_rounds": result.mean_rounds,
-        "seconds": result.provenance["wall_time_seconds"],
-        "engine": result.engine,
-    }
-
-
 def main() -> None:
     store = ResultStore(STORE_DIR)
+    grid = ScenarioGrid(
+        Scenario(
+            workload="rumor",
+            num_nodes=NUM_NODES_GRID[0],
+            num_opinions=NUM_OPINIONS,
+            epsilon=EPSILON_GRID[0],
+            engine="auto",
+            counts_threshold=COUNTS_THRESHOLD,
+            num_trials=TRIALS_PER_POINT,
+            seed=SEED,
+        ),
+        {"num_nodes": NUM_NODES_GRID, "epsilon": EPSILON_GRID},
+    )
+    # One call runs (or resumes) the whole grid: cached points are sliced
+    # out of the batch, everything else runs fused, and fresh results are
+    # written back to the store under the scenario-derived identity.
+    sweep = simulate_sweep(grid, store=store, store_label="scaling_study")
+
     records = []
     nodes_for_fit, eps_for_fit, rounds_for_fit = [], [], []
-    resumed = 0
-    for num_nodes in NUM_NODES_GRID:
-        for epsilon in EPSILON_GRID:
-            scenario = Scenario(
-                workload="rumor",
-                num_nodes=num_nodes,
-                num_opinions=NUM_OPINIONS,
-                epsilon=epsilon,
-                engine="auto",
-                counts_threshold=COUNTS_THRESHOLD,
-                num_trials=TRIALS_PER_POINT,
-                seed=SEED,
-            )
-            # The point's identity is the scenario itself: everything that
-            # determines its outcome, already in canonical dictionary form.
-            # Identical identity -> load from the store instead of re-running.
-            identity = {"script": "scaling_study", "scenario": scenario.to_dict()}
-            point = store.fetch("scaling_study", identity)
-            cached = point is not None
-            if cached:
-                resumed += 1
-            else:
-                point = measure_point(scenario)
-                store.store("scaling_study", identity, point)
-            mean_rounds = float(point["mean_rounds"])
-            clock = theoretical_round_complexity(num_nodes, epsilon)
-            records.append(
-                {
-                    "n": num_nodes,
-                    "epsilon": epsilon,
-                    "engine": point["engine"],
-                    "success": f"{int(point['successes'])}/{TRIALS_PER_POINT}",
-                    "mean rounds": round(mean_rounds, 1),
-                    "log2(n)/eps^2": round(clock, 1),
-                    "ratio": round(mean_rounds / clock, 2),
-                    "wall [s]": round(float(point["seconds"]), 2),
-                    "from": "store" if cached else "run",
-                }
-            )
-            nodes_for_fit.append(num_nodes)
-            eps_for_fit.append(epsilon)
-            rounds_for_fit.append(mean_rounds)
+    for index, result in enumerate(sweep.results):
+        overrides = grid.point_overrides(index)
+        num_nodes = overrides["num_nodes"]
+        epsilon = overrides["epsilon"]
+        mean_rounds = float(result.mean_rounds)
+        clock = theoretical_round_complexity(num_nodes, epsilon)
+        records.append(
+            {
+                "n": num_nodes,
+                "epsilon": epsilon,
+                "engine": sweep.engines[index],
+                "success": f"{result.success_count}/{TRIALS_PER_POINT}",
+                "mean rounds": round(mean_rounds, 1),
+                "log2(n)/eps^2": round(clock, 1),
+                "ratio": round(mean_rounds / clock, 2),
+                "wall [s]": round(
+                    float(result.provenance["wall_time_seconds"]), 2
+                ),
+                "from": "store" if sweep.from_cache[index] else "run",
+            }
+        )
+        nodes_for_fit.append(num_nodes)
+        eps_for_fit.append(epsilon)
+        rounds_for_fit.append(mean_rounds)
 
     print(format_records(records, title="Rounds to consensus vs. the Theorem 1 clock"))
     fit = fit_round_complexity(nodes_for_fit, eps_for_fit, rounds_for_fit)
@@ -116,12 +108,14 @@ def main() -> None:
     )
     print(
         "Rows at n >= {:,} ran on the counts engine: per-round cost O(k^2) "
-        "per trial, independent of n.".format(COUNTS_THRESHOLD)
+        "per trial, independent of n - and the sweep fused them into one "
+        "batched computation.".format(COUNTS_THRESHOLD)
     )
-    if resumed:
+    if sweep.cache_hits:
         print(
-            f"{resumed}/{len(records)} grid points resumed from {STORE_DIR}/ "
-            "(delete the scaling_study_*.json artifacts to force a re-run)."
+            f"{sweep.cache_hits}/{len(records)} grid points resumed from "
+            f"{STORE_DIR}/ (delete the scaling_study_*.json artifacts to "
+            "force a re-run)."
         )
 
 

@@ -13,8 +13,13 @@ through the unified facade:
    :class:`repro.Scenario` and re-run it with only the ``topology`` /
    ``degree`` fields changed (complete graph, then random regular graphs of
    decreasing degree), showing where the complete-graph guarantee starts to
-   erode.  Sparse topologies are per-node by nature, so the facade routes
-   them to the sequential engine.
+   erode.  The random-regular rows form one
+   :class:`~repro.sim.ScenarioGrid` over the ``degree`` axis executed by
+   :func:`~repro.sim.simulate_sweep`; sparse topologies are per-node by
+   nature, so the sweep transparently falls back to per-point sequential
+   simulation for them (the batched fusion only applies to counts-tier
+   points) while keeping the grid bookkeeping — per-point derived seeds and
+   sweep provenance — identical to any other sweep.
 
 Run with::
 
@@ -22,6 +27,8 @@ Run with::
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 import numpy as np
 
@@ -33,6 +40,7 @@ from repro import (
     simulate,
     uniform_noise_matrix,
 )
+from repro.sim import ScenarioGrid, simulate_sweep
 from repro.utils.tables import format_records
 
 NUM_NODES = 2_000
@@ -66,38 +74,52 @@ def main() -> None:
     print()
 
     # Step 2: run the protocol, built from the *estimated* epsilon, on
-    # progressively sparser topologies over the *true* channel.  One
-    # Scenario per row; only topology/degree change.
-    records = []
-    for label, topology, degree in (
-        ("complete graph", "complete", None),
-        ("random regular, degree 128", "random_regular", 128),
-        ("random regular, degree 16", "random_regular", 16),
-        ("random regular, degree 6", "random_regular", 6),
-    ):
-        scenario = Scenario(
-            workload="rumor",
-            num_nodes=NUM_NODES,
-            num_opinions=NUM_OPINIONS,
-            epsilon=epsilon,
-            noise=true_channel,
-            engine="sequential",
-            topology=topology,
-            degree=degree,
-            num_trials=1,
-            seed=2,
-        )
-        result = simulate(scenario)
+    # progressively sparser topologies over the *true* channel.  The
+    # complete-graph baseline is one Scenario; the random-regular rows are
+    # the same Scenario with only topology/degree changed, expressed as a
+    # one-axis ScenarioGrid over ``degree``.  (Scenario validation couples
+    # degree to topology — complete graphs take no degree — so the
+    # baseline cannot share the sparse rows' axis.)
+    base = Scenario(
+        workload="rumor",
+        num_nodes=NUM_NODES,
+        num_opinions=NUM_OPINIONS,
+        epsilon=epsilon,
+        noise=true_channel,
+        engine="sequential",
+        num_trials=1,
+        seed=2,
+    )
+    complete_result = simulate(base)
+
+    sparse_degrees = (128, 16, 6)
+    grid = ScenarioGrid(
+        dataclasses.replace(
+            base, topology="random_regular", degree=sparse_degrees[0]
+        ),
+        {"degree": sparse_degrees},
+    )
+    # Sequential-topology points have no counts-tier fusion; the sweep
+    # transparently falls back to per-point simulation while keeping the
+    # per-point derived seeds and sweep provenance of any other grid.
+    sweep = simulate_sweep(grid)
+
+    def row(label, degree, result, trial=0):
+        return {
+            "topology": label,
+            "degree": degree,
+            "rounds": int(result.rounds[trial]),
+            "consensus on rumor": bool(result.successes[trial]),
+            "correct fraction": round(
+                float(result.correct_fractions()[trial]), 3
+            ),
+        }
+
+    records = [row("complete graph", NUM_NODES - 1, complete_result)]
+    for index, result in enumerate(sweep.results):
+        degree = grid.point_overrides(index)["degree"]
         records.append(
-            {
-                "topology": label,
-                "degree": degree if degree is not None else NUM_NODES - 1,
-                "rounds": int(result.rounds[0]),
-                "consensus on rumor": bool(result.successes[0]),
-                "correct fraction": round(
-                    float(result.correct_fractions()[0]), 3
-                ),
-            }
+            row(f"random regular, degree {degree}", degree, result)
         )
     print(format_records(records, title="Calibrated protocol across topologies"))
     print()

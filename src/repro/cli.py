@@ -17,6 +17,11 @@ The CLI exposes the most common workflows without writing Python:
   :class:`~repro.sim.Scenario` (any workload, any engine tier) and run it
   through :func:`~repro.sim.simulate`, printing the unified summary
   (``--json`` emits the full :class:`~repro.sim.SimulationResult`);
+* ``python -m repro sweep --workload rumor --axis epsilon=0.2,0.3,0.4`` —
+  run a whole parameter grid as one batched
+  :func:`~repro.sim.simulate_sweep` call (repeat ``--axis NAME=V1,V2,...``
+  per swept Scenario field; ``--store DIR`` resumes cached points,
+  ``--json`` emits the per-point summaries);
 * ``python -m repro rumor --nodes 2000 --opinions 4 --epsilon 0.3`` — run one
   rumor-spreading instance and print the outcome;
 * ``python -m repro plurality --nodes 2000 --opinions 3 --epsilon 0.3
@@ -69,7 +74,7 @@ from repro.experiments.orchestrator import (
 )
 from repro.experiments.runner import TRIAL_ENGINE_CHOICES
 from repro.experiments.spec import all_specs, get_spec, registered_ids
-from repro.sim import WORKLOADS, Scenario, simulate
+from repro.sim import WORKLOADS, Scenario, ScenarioGrid, simulate, simulate_sweep
 
 __all__ = ["main", "build_parser"]
 
@@ -197,6 +202,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full SimulationResult as JSON instead of the summary",
     )
     _add_engine_arguments(simulate_parser, default="auto")
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a whole parameter grid as one batched sweep "
+             "(simulate_sweep over a ScenarioGrid)",
+    )
+    sweep_parser.add_argument(
+        "--workload", choices=WORKLOADS, default="rumor",
+        help="what to simulate at every grid point (default rumor)",
+    )
+    sweep_parser.add_argument(
+        "--axis", action="append", default=[], metavar="NAME=V1,V2,...",
+        help="swept Scenario field and its values, e.g. "
+             "--axis epsilon=0.1,0.2,0.3; repeat for a multi-axis grid "
+             "(the last axis varies fastest)",
+    )
+    _add_common_instance_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--trials", type=int, default=32,
+        help="number of independent trials R per grid point (default 32)",
+    )
+    sweep_parser.add_argument(
+        "--correct-opinion", type=int, default=1,
+        help="the rumor source's opinion (workload rumor, default 1)",
+    )
+    sweep_parser.add_argument(
+        "--support", type=int, default=None,
+        help="initially opinionated nodes (plurality/dynamics; "
+             "default: all nodes)",
+    )
+    sweep_parser.add_argument(
+        "--bias", type=float, default=0.2,
+        help="plurality bias within the support (default 0.2)",
+    )
+    sweep_parser.add_argument(
+        "--rule", choices=DYNAMICS_RULES, default=None,
+        help="baseline update rule (workload dynamics)",
+    )
+    sweep_parser.add_argument(
+        "--sample-size", type=int, default=None,
+        help="observations per round for the h-majority rule",
+    )
+    sweep_parser.add_argument(
+        "--max-rounds", type=int, default=300,
+        help="round budget per dynamics trial (default 300)",
+    )
+    sweep_parser.add_argument(
+        "--process", choices=("push", "balls_bins", "poisson"),
+        default="push",
+        help="delivery process for the protocol workloads (default push)",
+    )
+    sweep_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result-store directory: cached grid points are sliced out "
+             "of the batch and merged back into the sweep result",
+    )
+    sweep_parser.add_argument(
+        "--json", action="store_true",
+        help="print the sweep summary as JSON instead of the table",
+    )
+    _add_engine_arguments(sweep_parser, default="auto")
 
     rumor_parser = subparsers.add_parser(
         "rumor", help="run one noisy rumor-spreading instance"
@@ -488,6 +554,100 @@ def _command_simulate(
     return _result_exit_code(result)
 
 
+def _parse_axis_values(raw: str) -> list:
+    """Parse a ``--axis`` value list: int, then float, then bare string."""
+    values = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            values.append(int(token))
+            continue
+        except ValueError:
+            pass
+        try:
+            values.append(float(token))
+            continue
+        except ValueError:
+            pass
+        values.append(token)
+    return values
+
+
+def _command_sweep(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    import json as json_module
+
+    axes = {}
+    for spec in args.axis:
+        name, separator, raw = spec.partition("=")
+        name = name.strip()
+        if not separator or not name:
+            parser.error(f"--axis must look like NAME=V1,V2,... (got {spec!r})")
+        values = _parse_axis_values(raw)
+        if not values:
+            parser.error(f"--axis {name} needs at least one value")
+        axes[name] = values
+    if not axes:
+        parser.error("sweep needs at least one --axis NAME=V1,V2,...")
+    try:
+        base = Scenario(
+            workload=args.workload,
+            num_nodes=args.nodes,
+            num_opinions=args.opinions,
+            epsilon=args.epsilon,
+            engine=args.engine,
+            num_trials=args.trials,
+            seed=args.seed,
+            counts_threshold=args.counts_threshold,
+            correct_opinion=args.correct_opinion,
+            support_size=args.support,
+            bias=args.bias,
+            rule=args.rule,
+            sample_size=args.sample_size,
+            max_rounds=args.max_rounds,
+            process=args.process,
+        )
+        grid = ScenarioGrid(base, axes)
+        store = None if args.store is None else ResultStore(args.store)
+        sweep = simulate_sweep(grid, store=store)
+    except ValueError as error:
+        parser.error(str(error))
+    rows = sweep.summary()
+    if args.json:
+        print(json_module.dumps(
+            {
+                "grid": grid.to_dict(),
+                "wall_time_seconds": sweep.wall_time_seconds,
+                "cache_hits": sweep.cache_hits,
+                "points": rows,
+            },
+            indent=2,
+        ))
+        return 0
+    axis_names = list(grid.axis_names)
+    header = axis_names + ["engine", "cached", "success_rate", "mean_rounds"]
+    widths = [max(len(name), 12) for name in header]
+    print("  ".join(name.ljust(width) for name, width in zip(header, widths)))
+    for row in rows:
+        cells = [f"{row[name]:g}" if isinstance(row[name], float) else str(row[name])
+                 for name in axis_names]
+        cells += [
+            str(row["engine"]),
+            "yes" if row["from_cache"] else "-",
+            f"{row['success_rate']:.4f}",
+            f"{row['mean_rounds']:.1f}",
+        ]
+        print("  ".join(cell.ljust(width) for cell, width in zip(cells, widths)))
+    print(
+        f"sweep: {len(rows)} points ({sweep.cache_hits} cached) in "
+        f"{sweep.wall_time_seconds:.2f} s"
+    )
+    return 0
+
+
 def _command_rumor(
     args: argparse.Namespace, parser: argparse.ArgumentParser
 ) -> int:
@@ -642,6 +802,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_run_all(args, parser)
     if args.command == "simulate":
         return _command_simulate(args, parser)
+    if args.command == "sweep":
+        return _command_sweep(args, parser)
     if args.command == "rumor":
         return _command_rumor(args, parser)
     if args.command == "plurality":

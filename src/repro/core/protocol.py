@@ -58,6 +58,8 @@ __all__ = [
     "EnsembleProtocol",
     "EnsembleResult",
     "CountsProtocol",
+    "CountsProtocolTask",
+    "run_heterogeneous_counts_protocol",
     "make_engine",
 ]
 
@@ -740,3 +742,300 @@ class CountsProtocol:
             stage1_records=stage1_records,
             stage2_records=stage2_records,
         )
+
+
+@dataclass
+class CountsProtocolTask:
+    """One grid point of a heterogeneous counts-protocol batch.
+
+    Carries exactly the arguments a serial per-point run would pass to
+    :class:`CountsProtocol` and :meth:`CountsProtocol.run`; see
+    :func:`run_heterogeneous_counts_protocol` for the equivalence contract.
+    """
+
+    num_nodes: int
+    noise: NoiseMatrix
+    initial_state: Union[
+        PopulationState, EnsembleState, CountsState, EnsembleCountsState
+    ]
+    num_trials: Optional[int] = None
+    epsilon: Optional[float] = None
+    schedule: Optional[ProtocolSchedule] = None
+    target_opinion: Optional[int] = None
+    random_state: EnsembleRandomState = None
+    round_scale: float = 1.0
+
+
+def _block_bias(distributions: np.ndarray, target: int) -> np.ndarray:
+    """Per-trial Definition-1 bias of one block toward its own target.
+
+    Evaluates the exact expression of
+    :meth:`~repro.core.state.EnsembleCountsState.bias_toward` on the block's
+    rows, so merged runs record bitwise-identical biases.
+    """
+    if distributions.shape[1] == 1:
+        return distributions[:, 0]
+    rivals = np.delete(distributions, target - 1, axis=1)
+    return distributions[:, target - 1] - rivals.max(axis=1)
+
+
+@dataclass
+class _PreparedPoint:
+    """A grid point resolved to the state a serial run would start from."""
+
+    task: CountsProtocolTask
+    ensemble: EnsembleCountsState
+    target_opinion: int
+    generators: list
+    plan: list  # [("s1", phase_index, num_rounds)] + [("s2", j, nr, L)]
+    slice: Optional[slice] = None
+    stage1_records: list = field(default_factory=list)
+    stage2_records: list = field(default_factory=list)
+
+
+def _prepare_point(task: CountsProtocolTask) -> _PreparedPoint:
+    """Replicate :meth:`CountsProtocol.run`'s entry work for one point."""
+    if task.schedule is None and task.epsilon is None:
+        raise ValueError("either schedule or epsilon must be provided")
+    num_nodes = int(task.num_nodes)
+    ensemble = coerce_to_ensemble_counts(task.initial_state, task.num_trials)
+    if ensemble.num_nodes != num_nodes:
+        raise ValueError(
+            f"initial state has {ensemble.num_nodes} nodes but the "
+            f"protocol was built for {num_nodes}"
+        )
+    if ensemble.num_opinions != task.noise.num_opinions:
+        raise ValueError(
+            "initial state and noise matrix disagree on the number of "
+            f"opinions ({ensemble.num_opinions} vs {task.noise.num_opinions})"
+        )
+    target_opinion = task.target_opinion
+    if target_opinion is None:
+        target_opinion = ensemble.pooled_plurality_opinion()
+    if target_opinion <= 0:
+        raise ValueError(
+            "target_opinion could not be inferred: the initial ensemble "
+            "has no opinionated node"
+        )
+    if task.schedule is not None:
+        schedule = task.schedule
+    else:
+        schedule = ProtocolSchedule.for_population(
+            num_nodes,
+            float(task.epsilon),
+            initial_opinionated=max(1, int(ensemble.opinionated_counts().min())),
+            round_scale=task.round_scale,
+        )
+    generators = resolve_trial_randomness(
+        task.random_state, ensemble.num_trials, "per_trial"
+    )
+    plan = [
+        ("s1", phase_index, int(num_rounds))
+        for phase_index, num_rounds in enumerate(schedule.stage1.phase_lengths)
+    ] + [
+        ("s2", phase_index, int(num_rounds), int(sample_size))
+        for phase_index, (num_rounds, sample_size) in enumerate(
+            zip(schedule.stage2.phase_lengths, schedule.stage2.sample_sizes)
+        )
+    ]
+    return _PreparedPoint(
+        task=task,
+        ensemble=ensemble,
+        target_opinion=int(target_opinion),
+        generators=list(generators),
+        plan=plan,
+    )
+
+
+def _gather_submodel(parts):
+    """Gathered rows, local slices and a delivery model for one substep."""
+    from repro.network.balls_bins import HeterogeneousCountsDeliveryModel
+
+    rows = []
+    local_slices = []
+    offset = 0
+    for point in parts:
+        sl = point.slice
+        size = sl.stop - sl.start
+        rows.append(np.arange(sl.start, sl.stop))
+        local_slices.append(slice(offset, offset + size))
+        offset += size
+    sub_model = HeterogeneousCountsDeliveryModel(
+        local_slices,
+        [point.task.num_nodes for point in parts],
+        [point.task.noise for point in parts],
+    )
+    return np.concatenate(rows), local_slices, sub_model
+
+
+def _run_stage1_substep(counts, generators, parts, step) -> None:
+    """One merged Stage-1 phase over every block whose plan says "s1" now."""
+    rows, local_slices, sub_model = _gather_submodel(parts)
+    num_rounds = np.repeat(
+        np.asarray([point.plan[step][2] for point in parts], dtype=np.int64),
+        [sl.stop - sl.start for sl in local_slices],
+    )
+    counts_sub = counts[rows]
+    histograms = counts_sub * num_rounds[:, np.newaxis]
+    gens_sub = [generators[row] for row in rows]
+    noisy = sub_model.recolor(histograms, gens_sub)
+    undecided = sub_model.num_nodes - counts_sub.sum(axis=1, dtype=np.int64)
+    adopted = sub_model.sample_adoptions(noisy, undecided, gens_sub)
+    new_counts = counts_sub + adopted[:, 1:]
+    counts[rows] = new_counts
+    for point, lsl in zip(parts, local_slices):
+        _, phase_index, phase_rounds = point.plan[step]
+        distributions = new_counts[lsl] / point.task.num_nodes
+        point.stage1_records.append(
+            EnsembleStage1PhaseRecord(
+                phase_index=phase_index,
+                num_rounds=phase_rounds,
+                opinionated_before=counts_sub[lsl].sum(axis=1, dtype=np.int64),
+                opinionated_after=new_counts[lsl].sum(axis=1, dtype=np.int64),
+                newly_opinionated=adopted[lsl, 1:].sum(axis=1, dtype=np.int64),
+                opinion_distributions=distributions,
+                bias=_block_bias(distributions, point.target_opinion),
+                messages_sent=histograms[lsl].sum(axis=1, dtype=np.int64),
+            )
+        )
+
+
+def _run_stage2_substep(counts, generators, parts, step) -> None:
+    """One merged Stage-2 phase over every block whose plan says "s2" now."""
+    rows, local_slices, sub_model = _gather_submodel(parts)
+    sizes = [sl.stop - sl.start for sl in local_slices]
+    num_rounds = np.repeat(
+        np.asarray([point.plan[step][2] for point in parts], dtype=np.int64),
+        sizes,
+    )
+    sample_sizes = [point.plan[step][3] for point in parts]
+    sample_sizes_rows = np.repeat(
+        np.asarray(sample_sizes, dtype=np.int64), sizes
+    )
+    counts_sub = counts[rows]
+    distributions_before = counts_sub / sub_model.num_nodes[:, np.newaxis]
+    histograms = counts_sub * num_rounds[:, np.newaxis]
+    gens_sub = [generators[row] for row in rows]
+    noisy = sub_model.recolor(histograms, gens_sub)
+    update_probability = sub_model.update_probability(noisy, sample_sizes_rows)
+    undecided = sub_model.num_nodes - counts_sub.sum(axis=1, dtype=np.int64)
+    group_sizes = np.concatenate([undecided[:, np.newaxis], counts_sub], axis=1)
+    updaters = sub_model.sample_updaters(
+        group_sizes, update_probability, gens_sub
+    )
+    votes = sub_model.sample_vote_counts(
+        noisy,
+        updaters.sum(axis=1, dtype=np.int64),
+        sample_sizes,
+        gens_sub,
+    )
+    new_counts = counts_sub + votes - updaters[:, 1:]
+    counts[rows] = new_counts
+    for point, lsl in zip(parts, local_slices):
+        _, phase_index, phase_rounds, sample_size = point.plan[step]
+        target = point.target_opinion
+        distributions = new_counts[lsl] / point.task.num_nodes
+        point.stage2_records.append(
+            EnsembleStage2PhaseRecord(
+                phase_index=phase_index,
+                num_rounds=phase_rounds,
+                sample_size=sample_size,
+                updated_nodes=updaters[lsl].sum(axis=1, dtype=np.int64),
+                opinion_distributions=distributions,
+                bias_before=_block_bias(distributions_before[lsl], target),
+                bias_after=_block_bias(distributions, target),
+                messages_sent=histograms[lsl].sum(axis=1, dtype=np.int64),
+                consensus_after=new_counts[lsl, target - 1]
+                == point.task.num_nodes,
+            )
+        )
+
+
+def run_heterogeneous_counts_protocol(
+    tasks: List[CountsProtocolTask],
+) -> List[EnsembleResult]:
+    """Run many counts-protocol grid points as one merged batched computation.
+
+    The sweep engine's protocol executor.  Each task is one grid point; the
+    per-point :class:`EnsembleResult` is **bitwise identical** to what
+
+    .. code-block:: python
+
+        CountsProtocol(
+            task.num_nodes, task.noise,
+            schedule=task.schedule, epsilon=task.epsilon,
+            random_state=task.random_state, round_scale=task.round_scale,
+        ).run(task.initial_state, task.num_trials,
+              target_opinion=task.target_opinion)
+
+    would return — same values, same random draws.  The equivalence holds
+    because randomness is always per-trial (trial ``r`` of point ``g`` draws
+    only from its own spawned generator, in the same order as serially) and
+    every merged floating-point operation is row-stable; the one op that is
+    not (the wide ``maj()`` composition matmul) is evaluated per block at
+    the block's own row shape by
+    :class:`~repro.network.balls_bins.HeterogeneousCountsDeliveryModel`.
+
+    Points advance phase-synchronously: at global step ``p`` every point
+    still owning a ``p``-th phase executes it (Stage-1 and Stage-2 phases in
+    separate merged substeps); points whose schedule is exhausted retire
+    early and stop paying any per-step cost.  All points must share the
+    number of opinions ``k`` (callers group by ``k`` first).
+    """
+    if not tasks:
+        return []
+    points = [_prepare_point(task) for task in tasks]
+    num_opinions = points[0].ensemble.num_opinions
+    if any(p.ensemble.num_opinions != num_opinions for p in points):
+        raise ValueError(
+            "every task of a heterogeneous batch must share the number of "
+            "opinions; group grid points by k first"
+        )
+    offset = 0
+    per_row_nodes = []
+    for point in points:
+        point.slice = slice(offset, offset + point.ensemble.num_trials)
+        offset += point.ensemble.num_trials
+        per_row_nodes.append(
+            np.full(point.ensemble.num_trials, point.task.num_nodes, dtype=np.int64)
+        )
+    merged = EnsembleCountsState(
+        np.vstack([point.ensemble.counts for point in points]),
+        np.concatenate(per_row_nodes),
+    )
+    counts = merged.counts
+    generators = [
+        generator for point in points for generator in point.generators
+    ]
+    step = 0
+    while True:
+        active = [point for point in points if step < len(point.plan)]
+        if not active:
+            break
+        stage1_parts = [p for p in active if p.plan[step][0] == "s1"]
+        stage2_parts = [p for p in active if p.plan[step][0] == "s2"]
+        if stage1_parts:
+            _run_stage1_substep(counts, generators, stage1_parts, step)
+        if stage2_parts:
+            _run_stage2_substep(counts, generators, stage2_parts, step)
+        step += 1
+    results = []
+    for point in points:
+        final_states = EnsembleCountsState(
+            counts[point.slice].copy(), point.task.num_nodes
+        )
+        total_rounds = int(
+            sum(record.num_rounds for record in point.stage1_records)
+            + sum(record.num_rounds for record in point.stage2_records)
+        )
+        results.append(
+            EnsembleResult(
+                final_states=final_states,
+                target_opinion=point.target_opinion,
+                successes=final_states.consensus_mask(point.target_opinion),
+                total_rounds=total_rounds,
+                stage1_records=point.stage1_records,
+                stage2_records=point.stage2_records,
+            )
+        )
+    return results

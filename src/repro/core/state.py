@@ -645,11 +645,25 @@ class EnsembleCountsState:
     counts:
         Integer matrix of shape ``(num_trials, num_opinions)``.
     num_nodes:
-        Population size ``n`` shared by every trial.
+        Population size ``n`` shared by every trial, or an ``(R,)`` integer
+        vector giving each trial its own population size (the heterogeneous
+        form used by the sweep engine, where rows of one merged ensemble
+        belong to different grid points).
     """
 
-    def __init__(self, counts: np.ndarray, num_nodes: int) -> None:
-        self.num_nodes = require_positive_int(num_nodes, "num_nodes")
+    def __init__(self, counts: np.ndarray, num_nodes) -> None:
+        if np.ndim(num_nodes) == 0:
+            self.num_nodes = require_positive_int(num_nodes, "num_nodes")
+        else:
+            nodes = np.asarray(num_nodes, dtype=np.int64).copy()
+            if nodes.ndim != 1:
+                raise ValueError(
+                    "per-trial num_nodes must be a 1-d vector, got shape "
+                    f"{nodes.shape}"
+                )
+            if nodes.size == 0 or nodes.min() < 1:
+                raise ValueError("per-trial num_nodes must all be positive")
+            self.num_nodes = nodes
         array = np.asarray(counts, dtype=np.int64).copy()
         if array.ndim != 2:
             raise ValueError(
@@ -659,15 +673,25 @@ class EnsembleCountsState:
             raise ValueError(
                 "the ensemble must contain at least one trial and one opinion"
             )
+        if self.has_per_trial_nodes and self.num_nodes.shape != (array.shape[0],):
+            raise ValueError(
+                f"per-trial num_nodes must have shape ({array.shape[0]},), "
+                f"got {self.num_nodes.shape}"
+            )
         if array.min() < 0:
             raise ValueError("opinion counts must be non-negative")
         totals = array.sum(axis=1)
-        if int(totals.max()) > self.num_nodes:
+        if np.any(totals > self.num_nodes):
             raise ValueError(
                 f"opinion counts sum to {int(totals.max())} > num_nodes = "
                 f"{self.num_nodes} in at least one trial"
             )
         self.counts = array
+
+    @property
+    def has_per_trial_nodes(self) -> bool:
+        """``True`` when each trial carries its own population size."""
+        return isinstance(self.num_nodes, np.ndarray)
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -715,7 +739,12 @@ class EnsembleCountsState:
 
     def trial_state(self, trial: int) -> CountsState:
         """Trial ``trial`` as a standalone :class:`CountsState`."""
-        return CountsState(self.counts[trial].copy(), self.num_nodes)
+        num_nodes = (
+            int(self.num_nodes[trial])
+            if self.has_per_trial_nodes
+            else self.num_nodes
+        )
+        return CountsState(self.counts[trial].copy(), num_nodes)
 
     # ------------------------------------------------------------------ #
     # Derived quantities (one entry per trial, mirroring EnsembleState)
@@ -727,6 +756,8 @@ class EnsembleCountsState:
 
     def undecided_counts(self) -> np.ndarray:
         """Number of undecided nodes per trial (shape ``(R,)``, int64)."""
+        if self.has_per_trial_nodes:
+            return self.num_nodes - self.opinionated_counts()
         return np.int64(self.num_nodes) - self.opinionated_counts()
 
     def opinionated_fractions(self) -> np.ndarray:
@@ -739,6 +770,8 @@ class EnsembleCountsState:
 
     def opinion_distributions(self) -> np.ndarray:
         """The paper's ``c(t)`` per trial (shape ``(R, k)``)."""
+        if self.has_per_trial_nodes:
+            return self.counts / self.num_nodes[:, np.newaxis]
         return self.counts / self.num_nodes
 
     def bias_toward(self, opinion: int) -> np.ndarray:
@@ -814,9 +847,9 @@ class EnsembleCountsState:
     def __eq__(self, other) -> bool:
         if not isinstance(other, EnsembleCountsState):
             return NotImplemented
-        return self.num_nodes == other.num_nodes and bool(
-            np.array_equal(self.counts, other.counts)
-        )
+        return bool(
+            np.array_equal(self.num_nodes, other.num_nodes)
+        ) and bool(np.array_equal(self.counts, other.counts))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

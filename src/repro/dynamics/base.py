@@ -60,6 +60,8 @@ __all__ = [
     "EnsembleDynamicsResult",
     "EnsembleCountsDynamics",
     "CountsDynamicsResult",
+    "CountsDynamicsTask",
+    "run_heterogeneous_counts_dynamics",
 ]
 
 
@@ -671,6 +673,106 @@ class EnsembleCountsDynamics(ABC):
                 f"has {self.num_opinions}"
             )
 
+    def _begin(
+        self,
+        initial_state: Union[
+            PopulationState, EnsembleState, CountsState, EnsembleCountsState
+        ],
+        max_rounds: int,
+        num_trials: Optional[int] = None,
+        *,
+        target_opinion: Optional[int] = None,
+        stop_at_consensus: bool = True,
+        record_history: bool = True,
+    ) -> "_CountsRunState":
+        """Validate inputs and set up the run-loop state of :meth:`run`."""
+        max_rounds = require_positive_int(max_rounds, "max_rounds")
+        ensemble = coerce_to_ensemble_counts(initial_state, num_trials)
+        self._check_state(ensemble)
+        num_trials = ensemble.num_trials
+        if target_opinion is None:
+            target_opinion = ensemble.pooled_plurality_opinion()
+        target_opinion = int(target_opinion)
+        if target_opinion > self.num_opinions:
+            raise ValueError(
+                f"target_opinion must be in [0, {self.num_opinions}], "
+                f"got {target_opinion}"
+            )
+        randomness = self._trial_randomness(num_trials)
+        return _CountsRunState(
+            ensemble=ensemble,
+            max_rounds=max_rounds,
+            target_opinion=target_opinion,
+            stop_at_consensus=stop_at_consensus,
+            record_history=record_history,
+            randomness=randomness,
+            per_trial=is_generator_sequence(randomness),
+            rounds_executed=np.zeros(num_trials, dtype=np.int64),
+            active=np.arange(num_trials),
+            last_bias=np.zeros(num_trials, dtype=float),
+        )
+
+    def _advance(self, run: "_CountsRunState") -> bool:
+        """Execute one round of :meth:`run`'s loop; ``True`` while unfinished.
+
+        The exact body of the historical monolithic loop, factored out so
+        the heterogeneous sweep runner
+        (:func:`run_heterogeneous_counts_dynamics`) can interleave many
+        grid points round by round while each point stays bitwise
+        identical to its own standalone :meth:`run`.
+        """
+        if run.rounds_done >= run.max_rounds or run.active.size == 0:
+            return False
+        ensemble, counts, active = run.ensemble, run.ensemble.counts, run.active
+        if active.size == ensemble.num_trials:
+            self.step(ensemble, run.randomness)
+            active_counts = counts
+        else:
+            sub_randomness = (
+                [run.randomness[index] for index in active]
+                if run.per_trial
+                else run.randomness
+            )
+            sub_state = EnsembleCountsState(counts[active], self.num_nodes)
+            self.step(sub_state, sub_randomness)
+            counts[active] = sub_state.counts
+            active_counts = sub_state.counts
+        run.rounds_executed[active] += 1
+        if run.record_history and run.target_opinion > 0:
+            run.last_bias = run.last_bias.copy()
+            run.last_bias[active] = _bias_from_counts(
+                active_counts, run.target_opinion, self.num_nodes
+            )
+            run.bias_rows.append(run.last_bias)
+        if run.stop_at_consensus:
+            done = active_counts.max(axis=1) == self.num_nodes
+            if done.any():
+                run.active = run.active[~done]
+        run.rounds_done += 1
+        return run.rounds_done < run.max_rounds and run.active.size > 0
+
+    def _finish(self, run: "_CountsRunState") -> CountsDynamicsResult:
+        """Assemble the :class:`CountsDynamicsResult` of a completed loop."""
+        counts = run.ensemble.counts
+        converged = counts.max(axis=1) == self.num_nodes
+        consensus_opinions = np.where(
+            converged, counts.argmax(axis=1) + 1, 0
+        ).astype(np.int64)
+        bias_history = (
+            np.stack(run.bias_rows)
+            if run.bias_rows
+            else np.zeros((0, run.ensemble.num_trials), dtype=float)
+        )
+        return CountsDynamicsResult(
+            final_states=run.ensemble,
+            rounds_executed=run.rounds_executed,
+            converged=converged,
+            consensus_opinions=consensus_opinions,
+            target_opinion=run.target_opinion,
+            successes=converged & (consensus_opinions == run.target_opinion),
+            bias_history=bias_history,
+        )
+
     def run(
         self,
         initial_state: Union[
@@ -692,70 +794,314 @@ class EnsembleCountsDynamics(ABC):
         types; per-node states are reduced to their sufficient statistics
         on entry.
         """
-        max_rounds = require_positive_int(max_rounds, "max_rounds")
-        ensemble = coerce_to_ensemble_counts(initial_state, num_trials)
-        self._check_state(ensemble)
-        num_trials = ensemble.num_trials
-        if target_opinion is None:
-            target_opinion = ensemble.pooled_plurality_opinion()
-        target_opinion = int(target_opinion)
-        if target_opinion > self.num_opinions:
-            raise ValueError(
-                f"target_opinion must be in [0, {self.num_opinions}], "
-                f"got {target_opinion}"
-            )
-        randomness = self._trial_randomness(num_trials)
-        per_trial = is_generator_sequence(randomness)
-        counts = ensemble.counts
-        rounds_executed = np.zeros(num_trials, dtype=np.int64)
-        active = np.arange(num_trials)
-        bias_rows: List[np.ndarray] = []
-        last_bias = np.zeros(num_trials, dtype=float)
-        active_counts = counts
-        for _ in range(max_rounds):
-            if active.size == num_trials:
-                self.step(ensemble, randomness)
-                active_counts = counts
-            else:
-                sub_randomness = (
-                    [randomness[index] for index in active]
-                    if per_trial
-                    else randomness
-                )
-                sub_state = EnsembleCountsState(
-                    counts[active], self.num_nodes
-                )
-                self.step(sub_state, sub_randomness)
-                counts[active] = sub_state.counts
-                active_counts = sub_state.counts
-            rounds_executed[active] += 1
-            if record_history and target_opinion > 0:
-                last_bias = last_bias.copy()
-                last_bias[active] = _bias_from_counts(
-                    active_counts, target_opinion, self.num_nodes
-                )
-                bias_rows.append(last_bias)
-            if stop_at_consensus:
-                done = active_counts.max(axis=1) == self.num_nodes
-                if done.any():
-                    active = active[~done]
-                    if active.size == 0:
-                        break
-        converged = counts.max(axis=1) == self.num_nodes
-        consensus_opinions = np.where(
-            converged, counts.argmax(axis=1) + 1, 0
-        ).astype(np.int64)
-        bias_history = (
-            np.stack(bias_rows)
-            if bias_rows
-            else np.zeros((0, num_trials), dtype=float)
-        )
-        return CountsDynamicsResult(
-            final_states=ensemble,
-            rounds_executed=rounds_executed,
-            converged=converged,
-            consensus_opinions=consensus_opinions,
+        run = self._begin(
+            initial_state,
+            max_rounds,
+            num_trials,
             target_opinion=target_opinion,
-            successes=converged & (consensus_opinions == target_opinion),
-            bias_history=bias_history,
+            stop_at_consensus=stop_at_consensus,
+            record_history=record_history,
         )
+        while self._advance(run):
+            pass
+        return self._finish(run)
+
+
+@dataclass
+class _CountsRunState:
+    """The loop state of one :meth:`EnsembleCountsDynamics.run` in flight."""
+
+    ensemble: EnsembleCountsState
+    max_rounds: int
+    target_opinion: int
+    stop_at_consensus: bool
+    record_history: bool
+    randomness: EnsembleRandomState
+    per_trial: bool
+    rounds_executed: np.ndarray
+    active: np.ndarray
+    last_bias: np.ndarray
+    bias_rows: List[np.ndarray] = field(default_factory=list)
+    rounds_done: int = 0
+
+
+@dataclass
+class CountsDynamicsTask:
+    """One grid point of a heterogeneous counts-dynamics batch.
+
+    Carries exactly the arguments a serial per-point loop would pass to
+    :meth:`EnsembleCountsDynamics.run` on ``dynamics``.
+    """
+
+    dynamics: EnsembleCountsDynamics
+    initial_state: Union[
+        PopulationState, EnsembleState, CountsState, EnsembleCountsState
+    ]
+    max_rounds: int
+    num_trials: Optional[int] = None
+    target_opinion: Optional[int] = None
+    stop_at_consensus: bool = True
+    record_history: bool = True
+
+
+def _merge_kind(dynamics: EnsembleCountsDynamics) -> Optional[str]:
+    """The merged-step family of ``dynamics``, or ``None`` if unmergeable.
+
+    Only the exact stock counts classes qualify (a subclass may override
+    :meth:`step`, which the merged round cannot reproduce); they all share
+    the grouped-observation structure — a row-stable observation pmf, one
+    multinomial per trial, then exact integer algebra — which is what lets
+    many grid points advance as one ``(sum of trials, k)`` computation
+    while staying bitwise identical to their standalone runs.
+    """
+    from repro.dynamics.h_majority import (
+        EnsembleCountsHMajorityDynamics,
+        EnsembleCountsThreeMajorityDynamics,
+    )
+    from repro.dynamics.median_rule import EnsembleCountsMedianRuleDynamics
+    from repro.dynamics.undecided_state import (
+        EnsembleCountsUndecidedStateDynamics,
+    )
+    from repro.dynamics.voter import EnsembleCountsVoterDynamics
+
+    concrete = type(dynamics)
+    if concrete is EnsembleCountsVoterDynamics:
+        return "voter"
+    if concrete in (
+        EnsembleCountsHMajorityDynamics,
+        EnsembleCountsThreeMajorityDynamics,
+    ):
+        return "majority"
+    if concrete is EnsembleCountsUndecidedStateDynamics:
+        return "undecided"
+    if concrete is EnsembleCountsMedianRuleDynamics:
+        return "median"
+    return None
+
+
+def _run_merged_counts_group(
+    kind: str,
+    tasks: List[CountsDynamicsTask],
+    states: List["_CountsRunState"],
+) -> None:
+    """Advance a group of same-``(kind, k)`` points as one merged batch.
+
+    All heterogeneity is per row or per block: per-row population sizes
+    (the merged state's ``num_nodes`` vector), per-block noise matrices
+    and ``maj()`` sample sizes, per-row generators, per-point round
+    budgets and convergence masks.  Every floating-point operation either
+    is elementwise / a per-row reduction (row-stable by construction) or
+    runs on exactly the slice shape the standalone run would use (the
+    per-block matmul and vote-law calls), and every draw comes from the
+    same generator with the same arguments — so each point's trajectory is
+    bitwise identical to its own :meth:`EnsembleCountsDynamics.run`.
+    Mutates ``states`` in place; callers finish with ``_finish``.
+    """
+    from repro.network.pull_model import majority_vote_law
+
+    num_opinions = tasks[0].dynamics.num_opinions
+    if kind == "median":
+        from repro.dynamics.median_rule import _median_transition_tensor
+
+        transition = _median_transition_tensor(num_opinions)
+    live = list(range(len(tasks)))
+    global_round = 0
+    rebuild = True
+    while live:
+        if rebuild:
+            # (Re)assemble the merged batch.  Between retirement events
+            # the active sets are frozen, so this runs only when a row
+            # converges or a point exhausts its round budget — the steady
+            # state pays no per-block bookkeeping at all.
+            blocks = []
+            counts_parts: List[np.ndarray] = []
+            node_parts: List[np.ndarray] = []
+            stop_parts: List[np.ndarray] = []
+            generators: List = []
+            position = 0
+            for index in live:
+                state = states[index]
+                dynamics = tasks[index].dynamics
+                size = state.active.size
+                blocks.append(
+                    (
+                        index,
+                        state,
+                        dynamics,
+                        slice(position, position + size),
+                        dynamics.noise.matrix,
+                    )
+                )
+                counts_parts.append(state.ensemble.counts[state.active])
+                node_parts.append(
+                    np.full(size, dynamics.num_nodes, dtype=np.int64)
+                )
+                stop_parts.append(
+                    np.full(size, state.stop_at_consensus, dtype=bool)
+                )
+                generators.extend(
+                    state.randomness[row].multinomial
+                    for row in state.active
+                )
+                position += size
+            counts_active = np.vstack(counts_parts)
+            nodes_active = np.concatenate(node_parts)
+            stop_mask = np.concatenate(stop_parts)
+            any_stop = bool(stop_mask.any())
+            bias_blocks = [
+                entry
+                for entry in blocks
+                if entry[1].record_history and entry[1].target_opinion > 0
+            ]
+            num_rows = counts_active.shape[0]
+            deadline = min(tasks[index].max_rounds for index in live)
+            rebuild = False
+        # Observation pmf with per-row n and per-block noise — identical
+        # arithmetic to CountsPullModel.observation_probabilities.
+        shares = counts_active / nodes_active[:, np.newaxis]
+        none_mass = 1.0 - shares.sum(axis=1, keepdims=True)
+        noisy = np.empty((num_rows, num_opinions), dtype=float)
+        for index, state, dynamics, block, noise_matrix in blocks:
+            np.matmul(shares[block], noise_matrix, out=noisy[block])
+        pmf = np.clip(np.concatenate([none_mass, noisy], axis=1), 0.0, 1.0)
+        undecided = nodes_active - counts_active.sum(axis=1, dtype=np.int64)
+        sizes = np.concatenate(
+            [undecided[:, np.newaxis], counts_active], axis=1
+        )
+        if kind == "majority":
+            draw_pmf = np.empty_like(pmf)
+            for index, state, dynamics, block, noise_matrix in blocks:
+                draw_pmf[block] = majority_vote_law(
+                    pmf[block], dynamics.sample_size
+                )
+            out_dim = num_opinions + 1
+        elif kind == "median":
+            draw_pmf = (
+                pmf[:, :, np.newaxis] * pmf[:, np.newaxis, :]
+            ).reshape(num_rows, -1)
+            out_dim = (num_opinions + 1) ** 2
+        else:
+            draw_pmf = pmf
+            out_dim = num_opinions + 1
+        drawn = np.empty(
+            (num_rows, num_opinions + 1, out_dim), dtype=np.int64
+        )
+        # One scalar-n multinomial per observing group instead of one
+        # vector-n call per row: numpy's broadcasting path costs ~5x more
+        # per call, draws the same bits in the same order, and empty
+        # groups (n = 0) consume no bits at all, so both decompositions
+        # are bitwise identical to the serial _grouped_multinomial.
+        for out_row, draw, size_row, pmf_row in zip(
+            drawn, generators, sizes, draw_pmf
+        ):
+            for group in range(num_opinions + 1):
+                group_size = size_row[group]
+                if group_size:
+                    out_row[group] = draw(group_size, pmf_row)
+                else:
+                    out_row[group] = 0
+        if kind in ("voter", "majority"):
+            counts_active = drawn[:, :, 1:].sum(axis=1) + drawn[:, 1:, 0]
+        elif kind == "undecided":
+            diagonal = np.arange(num_opinions)
+            counts_active = (
+                drawn[:, 0, 1:]
+                + drawn[:, 1:, 0]
+                + drawn[:, diagonal + 1, diagonal + 1]
+            )
+        else:  # median
+            # Same unsafe cast the serial step performs when assigning the
+            # float transition product into the int64 counts matrix.
+            counts_active = np.einsum("rgp,gpv->rv", drawn, transition)[
+                :, 1:
+            ].astype(np.int64)
+        global_round += 1
+        for index, state, dynamics, block, noise_matrix in bias_blocks:
+            state.last_bias = state.last_bias.copy()
+            state.last_bias[state.active] = _bias_from_counts(
+                counts_active[block], state.target_opinion, dynamics.num_nodes
+            )
+            state.bias_rows.append(state.last_bias)
+        retired = False
+        if any_stop:
+            done_rows = (
+                counts_active.max(axis=1) == nodes_active
+            ) & stop_mask
+            retired = bool(done_rows.any())
+        if retired or global_round == deadline:
+            still_live: List[int] = []
+            for index, state, dynamics, block, noise_matrix in blocks:
+                state.ensemble.counts[state.active] = counts_active[block]
+                if retired:
+                    local_done = done_rows[block]
+                    if local_done.any():
+                        state.rounds_executed[
+                            state.active[local_done]
+                        ] = global_round
+                        state.active = state.active[~local_done]
+                if (
+                    global_round >= tasks[index].max_rounds
+                    or state.active.size == 0
+                ):
+                    # Rows stepped in every round so far finish with the
+                    # same count the serial per-round increment would give.
+                    state.rounds_executed[state.active] = global_round
+                    state.rounds_done = global_round
+                    continue
+                still_live.append(index)
+            live = still_live
+            rebuild = True
+
+
+def run_heterogeneous_counts_dynamics(
+    tasks: List[CountsDynamicsTask],
+) -> List[CountsDynamicsResult]:
+    """Run many counts-dynamics grid points in one shared round loop.
+
+    The sweep engine's dynamics executor.  Points whose dynamics are stock
+    counts rules are grouped by ``(rule family, k)`` and advanced as one
+    merged ``(sum of trials, k)`` batch per round — per-row population
+    sizes, per-block noise matrices and vote laws, per-block convergence
+    masks, early retirement of finished points (see
+    :func:`_run_merged_counts_group`).  Anything else (custom subclasses,
+    shared-generator randomness) falls back to round-robin interleaving of
+    the factored ``_begin`` / ``_advance`` / ``_finish`` loop.  Either
+    way every point's :class:`CountsDynamicsResult` is **bitwise
+    identical** to ``task.dynamics.run(...)`` with the same arguments.
+    """
+    states = [
+        task.dynamics._begin(
+            task.initial_state,
+            task.max_rounds,
+            task.num_trials,
+            target_opinion=task.target_opinion,
+            stop_at_consensus=task.stop_at_consensus,
+            record_history=task.record_history,
+        )
+        for task in tasks
+    ]
+    groups: dict = {}
+    loners: List[int] = []
+    for index, (task, state) in enumerate(zip(tasks, states)):
+        kind = _merge_kind(task.dynamics)
+        if kind is not None and is_generator_sequence(state.randomness):
+            key = (kind, task.dynamics.num_opinions)
+            groups.setdefault(key, []).append(index)
+        else:
+            loners.append(index)
+    for (kind, _), indices in groups.items():
+        _run_merged_counts_group(
+            kind,
+            [tasks[index] for index in indices],
+            [states[index] for index in indices],
+        )
+    pending = list(loners)
+    while pending:
+        pending = [
+            index
+            for index in pending
+            if tasks[index].dynamics._advance(states[index])
+        ]
+    return [
+        task.dynamics._finish(state) for task, state in zip(tasks, states)
+    ]

@@ -114,9 +114,6 @@ def run(
     )
     noiseless = identity_matrix(config.num_opinions)
     noisy = uniform_noise_matrix(config.num_opinions, config.epsilon)
-    # One dynamics-engine instance per distinct (rule, channel) grid cell,
-    # shared across the sweep (the runner's sweep fast path).
-    engine_cache = {}
 
     for channel_index, (channel_name, channel) in enumerate(
         (("noise-free", noiseless), ("noisy", noisy))
@@ -168,7 +165,6 @@ def run(
                 sample_size=sample_size,
                 target_opinion=1,
                 trial_engine=config.trial_engine,
-                engine_cache=engine_cache,
             )
             success_rate, _ = estimate_success_probability(
                 [outcome.success for outcome in outcomes]

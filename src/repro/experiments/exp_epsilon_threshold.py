@@ -25,11 +25,9 @@ import numpy as np
 from repro.analysis.convergence import estimate_success_probability
 from repro.analysis.theory import theoretical_bias_after_stage1
 from repro.experiments.results import ExperimentTable
-from repro.experiments.runner import protocol_trial_outcomes
 from repro.experiments.spec import register_experiment
-from repro.experiments.workloads import rumor_instance
-from repro.noise.families import uniform_noise_matrix
-from repro.utils.rng import RandomState
+from repro.sim import Scenario, ScenarioGrid, simulate_sweep
+from repro.utils.rng import RandomState, derive_seed
 
 __all__ = ["EpsilonThresholdConfig", "run"]
 
@@ -96,33 +94,38 @@ def run(
     )
     threshold = config.num_nodes ** (-0.25)
     required_bias = theoretical_bias_after_stage1(config.num_nodes)
-    for multiplier in config.epsilon_over_threshold:
-        epsilon = min(0.45, multiplier * threshold)
-        noise = uniform_noise_matrix(config.num_opinions, epsilon)
-        outcomes = protocol_trial_outcomes(
-            rumor_instance(config.num_nodes, config.num_opinions, 1),
-            noise,
-            epsilon,
-            config.num_trials,
-            random_state,
-            target_opinion=1,
-            trial_engine=config.trial_engine,
-        )
+    epsilons = [
+        min(0.45, multiplier * threshold)
+        for multiplier in config.epsilon_over_threshold
+    ]
+    # One batched sweep over the epsilon axis: the counts tier fuses every
+    # grid point into a single heterogeneous ensemble, other tiers fall
+    # back to per-point simulate() — results are bitwise identical to a
+    # serial loop over the grid's scenarios either way.
+    grid = ScenarioGrid(
+        Scenario(
+            workload="rumor",
+            num_nodes=config.num_nodes,
+            num_opinions=config.num_opinions,
+            epsilon=epsilons[0],
+            engine=config.trial_engine,
+            num_trials=config.num_trials,
+            seed=derive_seed(random_state, 0),
+            correct_opinion=1,
+        ),
+        {"epsilon": epsilons},
+    )
+    sweep = simulate_sweep(grid)
+    for epsilon, result in zip(epsilons, sweep.results):
         success_rate, interval = estimate_success_probability(
-            [outcome.success for outcome in outcomes]
+            [bool(success) for success in result.successes]
         )
-        mean_stage1_bias = float(
-            np.mean(
-                [
-                    outcome.bias_after_stage1
-                    for outcome in outcomes
-                    if outcome.bias_after_stage1 is not None
-                ]
-            )
+        mean_stage1_bias = (
+            float(np.mean(result.bias_after_stage1))
+            if result.bias_after_stage1 is not None
+            else float("nan")
         )
-        mean_rounds = float(
-            np.mean([outcome.total_rounds for outcome in outcomes])
-        )
+        mean_rounds = float(np.mean(result.rounds))
         table.add_record(
             n=config.num_nodes,
             epsilon=epsilon,

@@ -32,6 +32,7 @@ choice behind one call returning a flat list of per-trial outcomes.
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, TypeVar, Union
 
@@ -408,12 +409,24 @@ def dynamics_trial_outcomes(
     :class:`EnsembleCountsState` (which the per-node engines cannot
     consume).
 
-    ``engine_cache`` is the sweep fast path: pass one (initially empty)
-    dictionary across the cells of a parameter sweep and each distinct
-    ``(engine, rule, num_nodes, sample_size, noise)`` combination builds
-    its engine exactly once — subsequent cells reuse the instance with the
-    cell's own ``random_state``.
+    ``engine_cache`` is deprecated: it was the sweep fast path (one engine
+    instance per distinct ``(engine, rule, num_nodes, sample_size, noise)``
+    combination, reused across the cells of a parameter sweep), superseded
+    by the batched sweep layer — build a
+    :class:`~repro.sim.ScenarioGrid` and call
+    :func:`~repro.sim.simulate_sweep`, which fuses the counts-tier cells
+    into one heterogeneous batch instead of merely reusing engine objects.
+    Passing a cache still works (same behavior, same results) but emits a
+    :class:`DeprecationWarning`.
     """
+    if engine_cache is not None:
+        warnings.warn(
+            "dynamics_trial_outcomes(engine_cache=...) is deprecated; "
+            "sweep over a repro.sim.ScenarioGrid with simulate_sweep() "
+            "instead, which batches the grid's counts-tier cells",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     if isinstance(
         initial_state, (EnsembleState, EnsembleCountsState)
     ) and num_trials != initial_state.num_trials:

@@ -35,6 +35,7 @@ __all__ = [
     "BallsIntoBinsProcess",
     "ensemble_recolor_and_throw",
     "CountsDeliveryModel",
+    "HeterogeneousCountsDeliveryModel",
     "poisson_tail_probability",
 ]
 
@@ -330,6 +331,241 @@ class CountsDeliveryModel:
                     winners, minlength=num_opinions
                 ).astype(np.int64, copy=False)
                 remaining -= chunk
+        return votes
+
+
+class HeterogeneousCountsDeliveryModel:
+    """Counts-native phase delivery for rows with *per-row parameters*.
+
+    The sweep engine's delivery model: rows of one merged ``(A, k)``
+    histogram matrix belong to contiguous blocks (one block per grid
+    point), each with its own population size ``n``, noise channel and
+    Stage-2 sample size.  Every method reproduces, row for row, exactly
+    the values and random draws that a homogeneous
+    :class:`CountsDeliveryModel` built for that row's block would produce
+    on the block alone — merged evaluation is used only for operations
+    whose floating-point result is row-stable (elementwise arithmetic and
+    per-row reductions), while the ``maj()`` vote law (a wide matmul whose
+    summation tree depends on the batch shape) is always evaluated per
+    block at the block's own row count.  This is what makes the sweep's
+    per-point results bitwise identical to a serial per-scenario loop.
+
+    Parameters
+    ----------
+    block_slices:
+        Contiguous, non-overlapping slices partitioning ``range(A)``, one
+        per grid point.
+    num_nodes:
+        One population size per block.
+    noises:
+        One :class:`~repro.noise.matrix.NoiseMatrix` per block; all blocks
+        must share the same number of opinions ``k``.
+    """
+
+    def __init__(
+        self,
+        block_slices: Sequence[slice],
+        num_nodes: Sequence[int],
+        noises: Sequence[NoiseMatrix],
+    ) -> None:
+        if not block_slices:
+            raise ValueError("at least one block is required")
+        if not (len(block_slices) == len(num_nodes) == len(noises)):
+            raise ValueError(
+                "block_slices, num_nodes and noises must have equal length"
+            )
+        for noise in noises:
+            if not isinstance(noise, NoiseMatrix):
+                raise TypeError(
+                    f"noise must be a NoiseMatrix, got {type(noise).__name__}"
+                )
+        self.num_opinions = noises[0].num_opinions
+        if any(noise.num_opinions != self.num_opinions for noise in noises):
+            raise ValueError(
+                "every block must have the same number of opinions"
+            )
+        self.block_slices = list(block_slices)
+        self.block_num_nodes = [
+            require_positive_int(n, "num_nodes") for n in num_nodes
+        ]
+        self.noises = list(noises)
+        total = 0
+        rows_nodes = []
+        for block, sl in enumerate(self.block_slices):
+            if sl.start != total or sl.stop <= sl.start:
+                raise ValueError(
+                    "block_slices must be contiguous, non-empty and ordered"
+                )
+            total = sl.stop
+            rows_nodes.append(
+                np.full(sl.stop - sl.start, self.block_num_nodes[block], dtype=np.int64)
+            )
+        self.num_rows = total
+        #: Per-row population size, shape ``(A,)``.
+        self.num_nodes = np.concatenate(rows_nodes)
+
+    def _validate_histograms(self, histograms: np.ndarray) -> np.ndarray:
+        array = np.asarray(histograms, dtype=np.int64)
+        if array.shape != (self.num_rows, self.num_opinions):
+            raise ValueError(
+                f"histograms must have shape ({self.num_rows}, "
+                f"{self.num_opinions}), got shape {array.shape}"
+            )
+        if array.size and array.min() < 0:
+            raise ValueError("histogram entries must be non-negative")
+        return array
+
+    def recolor(
+        self, histograms: np.ndarray, generators: Sequence
+    ) -> np.ndarray:
+        """Exact per-row noise re-coloring (one block's channel per row)."""
+        histograms = self._validate_histograms(histograms)
+        noisy = np.empty_like(histograms)
+        for block, sl in enumerate(self.block_slices):
+            noise = self.noises[block]
+            for row in range(sl.start, sl.stop):
+                noisy[row] = noise.apply_to_counts(
+                    histograms[row], generators[row]
+                )
+        return noisy
+
+    def adoption_probabilities(self, noisy_histograms: np.ndarray) -> np.ndarray:
+        """Stage-1 outcome laws with per-row ``n``, shape ``(A, k + 1)``."""
+        noisy = self._validate_histograms(noisy_histograms)
+        totals = noisy.sum(axis=1, dtype=np.int64)
+        lam = totals / self.num_nodes
+        none_mass = np.exp(-lam)
+        shares = np.divide(
+            noisy,
+            totals[:, np.newaxis],
+            out=np.zeros(noisy.shape, dtype=float),
+            where=totals[:, np.newaxis] > 0,
+        )
+        probabilities = (1.0 - none_mass)[:, np.newaxis] * shares
+        return np.concatenate(
+            [none_mass[:, np.newaxis], probabilities], axis=1
+        )
+
+    def sample_adoptions(
+        self,
+        noisy_histograms: np.ndarray,
+        undecided_counts: np.ndarray,
+        generators: Sequence,
+    ) -> np.ndarray:
+        """Stage-1 adoptions: one multinomial per row from its own stream."""
+        noisy = self._validate_histograms(noisy_histograms)
+        undecided = np.asarray(undecided_counts, dtype=np.int64)
+        probabilities = self.adoption_probabilities(noisy)
+        adopted = np.empty(
+            (self.num_rows, self.num_opinions + 1), dtype=np.int64
+        )
+        for row in range(self.num_rows):
+            adopted[row] = generators[row].multinomial(
+                int(undecided[row]), probabilities[row]
+            )
+        return adopted
+
+    def update_probability(
+        self, noisy_histograms: np.ndarray, sample_sizes: np.ndarray
+    ) -> np.ndarray:
+        """Per-row Stage-2 eligibility with per-row thresholds.
+
+        ``sample_sizes`` is an ``(A,)`` integer vector; rows sharing a
+        threshold are evaluated in one merged (row-stable) tail call.
+        """
+        noisy = self._validate_histograms(noisy_histograms)
+        thresholds = np.asarray(sample_sizes, dtype=np.int64)
+        totals = noisy.sum(axis=1, dtype=np.int64)
+        lam = totals / self.num_nodes
+        tail = np.empty(self.num_rows, dtype=float)
+        for threshold in np.unique(thresholds):
+            mask = thresholds == threshold
+            tail[mask] = poisson_tail_probability(int(threshold), lam[mask])
+        return tail
+
+    def sample_updaters(
+        self,
+        group_sizes: np.ndarray,
+        update_probability: np.ndarray,
+        generators: Sequence,
+    ) -> np.ndarray:
+        """Stage-2 re-voter counts: one binomial per row."""
+        updaters = np.empty(group_sizes.shape, dtype=np.int64)
+        for row in range(group_sizes.shape[0]):
+            updaters[row] = generators[row].binomial(
+                group_sizes[row], update_probability[row]
+            )
+        return updaters
+
+    def vote_probabilities(self, noisy_histograms: np.ndarray) -> np.ndarray:
+        """The per-row i.i.d. color law of a re-voter's sample."""
+        noisy = self._validate_histograms(noisy_histograms)
+        totals = noisy.sum(axis=1, keepdims=True, dtype=np.int64)
+        return np.divide(
+            noisy,
+            totals,
+            out=np.zeros(noisy.shape, dtype=float),
+            where=totals > 0,
+        )
+
+    def sample_vote_counts(
+        self,
+        noisy_histograms: np.ndarray,
+        num_voters: np.ndarray,
+        sample_sizes: Sequence[int],
+        generators: Sequence,
+    ) -> np.ndarray:
+        """Per-row ``maj()`` vote tallies with a per-block sample size.
+
+        The vote law is evaluated *per block* (at the block's own row
+        shape — the wide composition matmul is not row-stable across batch
+        sizes); the clip/renormalization and the per-row multinomials are
+        merged.  Blocks whose composition table is intractable fall back
+        to the homogeneous model's bounded-chunk sampler on their slice,
+        consuming exactly the serial draws.
+        """
+        from repro.network.pull_model import (  # local: avoid import cycle
+            majority_vote_law,
+            vote_table_is_tractable,
+        )
+
+        noisy = self._validate_histograms(noisy_histograms)
+        voters = np.asarray(num_voters, dtype=np.int64)
+        vote_law_probabilities = self.vote_probabilities(noisy)
+        observation_law = np.concatenate(
+            [np.zeros((self.num_rows, 1)), vote_law_probabilities], axis=1
+        )
+        votes = np.empty((self.num_rows, self.num_opinions), dtype=np.int64)
+        law = np.zeros((self.num_rows, self.num_opinions + 1), dtype=float)
+        tractable_rows = np.zeros(self.num_rows, dtype=bool)
+        for block, sl in enumerate(self.block_slices):
+            sample_size = int(sample_sizes[block])
+            if vote_table_is_tractable(sample_size, self.num_opinions):
+                law[sl] = majority_vote_law(observation_law[sl], sample_size)
+                tractable_rows[sl] = True
+            else:
+                fallback = CountsDeliveryModel(
+                    self.block_num_nodes[block], self.noises[block]
+                )
+                votes[sl] = fallback.sample_vote_counts(
+                    noisy[sl],
+                    voters[sl],
+                    sample_size,
+                    list(generators[sl]),
+                )
+        if tractable_rows.any():
+            vote_pmf = np.clip(law, 0.0, 1.0)[:, 1:]
+            row_sums = vote_pmf.sum(axis=1, keepdims=True)
+            vote_pmf = np.divide(
+                vote_pmf,
+                row_sums,
+                out=np.full(vote_pmf.shape, 1.0 / self.num_opinions),
+                where=row_sums > 0,
+            )
+            for row in np.nonzero(tractable_rows)[0]:
+                votes[row] = generators[row].multinomial(
+                    int(voters[row]), vote_pmf[row]
+                )
         return votes
 
 

@@ -29,9 +29,10 @@ is distributional and is checked statistically by the test-suite.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from functools import lru_cache
 from itertools import combinations
-from typing import Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -53,6 +54,8 @@ __all__ = [
     "CountsPullModel",
     "majority_vote_law",
     "vote_table_is_tractable",
+    "vote_law_cache_info",
+    "clear_vote_law_cache",
 ]
 
 
@@ -131,6 +134,53 @@ def vote_table_is_tractable(sample_size: int, num_opinions: int) -> bool:
     return _vote_table_is_tractable(sample_size, num_opinions)
 
 
+#: Module-level LRU over fully evaluated ``maj()`` vote laws, keyed by
+#: ``(k, sample_size, observation-pmf bytes)`` — the "noise hash" of a
+#: Stage-2 phase or h-majority round is exactly its observation pmf, so
+#: repeated engine construction (orchestrator jobs, sweep blocks, analytic
+#: kernels) stops re-evaluating identical composition sums.  The cache is
+#: exact: identical key bytes imply a bitwise-identical law.
+_VOTE_LAW_CACHE: "OrderedDict[Tuple[int, int, bytes], np.ndarray]" = (
+    OrderedDict()
+)
+#: Entry cap of the vote-law LRU.
+_VOTE_LAW_CACHE_MAX_ENTRIES = 256
+#: Largest observation-pmf payload (bytes) worth hashing and retaining;
+#: larger batches are passed through uncached.
+_VOTE_LAW_CACHE_MAX_BYTES = 1 << 16
+_vote_law_hits = 0
+_vote_law_misses = 0
+
+
+def vote_law_cache_info() -> Dict[str, int]:
+    """Hit/miss counters of the ``maj()`` caches (law LRU + table LRU).
+
+    ``law_*`` counts the module-level vote-law LRU of
+    :func:`majority_vote_law`; ``table_*`` counts the composition-table
+    LRU underneath it (:func:`_majority_vote_table`).  Exposed for the
+    sweep benchmark, which reports how many grid points shared tables.
+    """
+    table = _majority_vote_table.cache_info()
+    return {
+        "law_hits": _vote_law_hits,
+        "law_misses": _vote_law_misses,
+        "law_entries": len(_VOTE_LAW_CACHE),
+        "table_hits": table.hits,
+        "table_misses": table.misses,
+        "table_entries": table.currsize,
+    }
+
+
+def clear_vote_law_cache(*, tables: bool = False) -> None:
+    """Empty the vote-law LRU (and optionally the composition-table LRU)."""
+    global _vote_law_hits, _vote_law_misses
+    _VOTE_LAW_CACHE.clear()
+    _vote_law_hits = 0
+    _vote_law_misses = 0
+    if tables:
+        _majority_vote_table.cache_clear()
+
+
 def majority_vote_law(
     probabilities: np.ndarray, sample_size: int
 ) -> np.ndarray:
@@ -144,7 +194,13 @@ def majority_vote_law(
     composition table is intractable for ``(sample_size, k)`` — callers
     should check :func:`vote_table_is_tractable` first and fall back to
     explicit observation sampling.
+
+    Results for small batches are memoized in a module-level LRU keyed by
+    ``(k, sample_size, pmf bytes)`` (see :func:`vote_law_cache_info`); a
+    hit returns a fresh copy of the stored law, bitwise identical to
+    recomputing it.
     """
+    global _vote_law_hits, _vote_law_misses
     probabilities = np.asarray(probabilities, dtype=float)
     if probabilities.ndim != 2 or probabilities.shape[1] < 2:
         raise ValueError(
@@ -159,6 +215,16 @@ def majority_vote_law(
             f"k={num_opinions} is intractable; check vote_table_is_tractable "
             "and use explicit observation sampling instead"
         )
+    probabilities = np.ascontiguousarray(probabilities)
+    key = None
+    if probabilities.nbytes <= _VOTE_LAW_CACHE_MAX_BYTES:
+        key = (num_opinions, sample_size, probabilities.tobytes())
+        cached = _VOTE_LAW_CACHE.get(key)
+        if cached is not None:
+            _VOTE_LAW_CACHE.move_to_end(key)
+            _vote_law_hits += 1
+            return cached.copy()
+        _vote_law_misses += 1
     exponents, coefficients, vote_law = _majority_vote_table(
         sample_size, num_opinions
     )
@@ -166,7 +232,12 @@ def majority_vote_law(
         probabilities[:, np.newaxis, :] ** exponents[np.newaxis, :, :],
         axis=2,
     )
-    return composition_probabilities @ vote_law
+    law = composition_probabilities @ vote_law
+    if key is not None:
+        _VOTE_LAW_CACHE[key] = law.copy()
+        while len(_VOTE_LAW_CACHE) > _VOTE_LAW_CACHE_MAX_ENTRIES:
+            _VOTE_LAW_CACHE.popitem(last=False)
+    return law
 
 
 @lru_cache(maxsize=None)

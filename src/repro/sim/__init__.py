@@ -34,6 +34,7 @@ from repro.sim.engines import (
 )
 from repro.sim.facade import sim_code_version, simulate
 from repro.sim.result import SimulationResult
+from repro.sim.sweep import ScenarioGrid, SweepResult, simulate_sweep
 from repro.sim.scenario import (
     ENGINE_POLICIES,
     TOPOLOGIES,
@@ -48,11 +49,14 @@ __all__ = [
     "ENGINE_TIERS",
     "EngineRegistry",
     "Scenario",
+    "ScenarioGrid",
     "SimulationResult",
+    "SweepResult",
     "TOPOLOGIES",
     "WORKLOADS",
     "build_dynamics",
     "make_delivery_engine",
     "sim_code_version",
     "simulate",
+    "simulate_sweep",
 ]

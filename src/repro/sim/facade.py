@@ -64,11 +64,13 @@ def sim_code_version() -> str:
         from repro.sim import engines as engines_module
         from repro.sim import result as result_module
         from repro.sim import scenario as scenario_module
+        from repro.sim import sweep as sweep_module
         import repro.sim.facade as facade_module
 
         digest = hashlib.sha256()
         for module in (
             scenario_module, engines_module, result_module, facade_module,
+            sweep_module,
             simplex_module, verify_module,
             dynamics_analytic_module, core_analytic_module,
         ):

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -327,34 +329,49 @@ class TestDynamicsTrialOutcomes:
         with pytest.raises(ValueError):
             self.run_engine("batched", rule="bogus")
 
-    def test_engine_cache_reuses_instances_across_cells(self):
-        """The sweep fast path: one engine instance per distinct grid cell,
-        reused (with the cell's own seed) when the cell repeats."""
+    def test_engine_cache_deprecated_but_still_works(self):
+        """The legacy sweep fast path warns on use but keeps its behavior:
+        one engine instance per distinct grid cell, reused (with the
+        cell's own seed) when the cell repeats, results unchanged."""
         initial = biased_population(self.NUM_NODES, 3, 0.3, random_state=1)
         cache = {}
         baseline = dynamics_trial_outcomes(
             initial, identity_matrix(3), "3-majority", 100, 3,
             random_state=5, trial_engine="counts",
         )
-        first = dynamics_trial_outcomes(
-            initial, identity_matrix(3), "3-majority", 100, 3,
-            random_state=5, trial_engine="counts", engine_cache=cache,
-        )
+        with pytest.warns(DeprecationWarning, match="simulate_sweep"):
+            first = dynamics_trial_outcomes(
+                initial, identity_matrix(3), "3-majority", 100, 3,
+                random_state=5, trial_engine="counts", engine_cache=cache,
+            )
         assert len(cache) == 1
         cached_instance = next(iter(cache.values()))
-        second = dynamics_trial_outcomes(
-            initial, identity_matrix(3), "3-majority", 100, 3,
-            random_state=5, trial_engine="counts", engine_cache=cache,
-        )
+        with pytest.warns(DeprecationWarning):
+            second = dynamics_trial_outcomes(
+                initial, identity_matrix(3), "3-majority", 100, 3,
+                random_state=5, trial_engine="counts", engine_cache=cache,
+            )
         assert next(iter(cache.values())) is cached_instance
         # Seeding stays per-call: cached runs match uncached runs exactly.
         assert first == baseline == second
         # A different cell (other engine) gets its own entry.
-        dynamics_trial_outcomes(
-            initial, identity_matrix(3), "3-majority", 100, 3,
-            random_state=5, trial_engine="batched", engine_cache=cache,
-        )
+        with pytest.warns(DeprecationWarning):
+            dynamics_trial_outcomes(
+                initial, identity_matrix(3), "3-majority", 100, 3,
+                random_state=5, trial_engine="batched", engine_cache=cache,
+            )
         assert len(cache) == 2
+
+    def test_no_engine_cache_no_warning(self):
+        """The default path must stay silent — `import repro` plus normal
+        calls run under -W error::DeprecationWarning in CI."""
+        initial = biased_population(self.NUM_NODES, 3, 0.3, random_state=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            dynamics_trial_outcomes(
+                initial, identity_matrix(3), "3-majority", 50, 2,
+                random_state=5, trial_engine="counts",
+            )
 
 
 class TestEngineResolution:
