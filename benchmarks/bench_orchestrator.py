@@ -2,7 +2,7 @@
 
 The acceptance target of the orchestration layer: a ``run_all`` replication
 sweep (the quick configurations of every registered experiment at three
-base seeds — 42 jobs) must scale with worker count.  The bench measures
+base seeds — 45 jobs) must scale with worker count.  The bench measures
 *per-core scaling*: serial first, then every parallel level in
 ``PARALLEL_LEVELS`` that the host can genuinely run in parallel
 (``level <= cores``), and records the whole scaling curve to

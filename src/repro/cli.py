@@ -2,7 +2,7 @@
 
 The CLI exposes the most common workflows without writing Python:
 
-* ``python -m repro list-experiments`` — show the experiment index (E1–E14)
+* ``python -m repro list-experiments`` — show the experiment index (E1–E15)
   with each experiment's supported trial engines and, when a result store is
   present, its cache status;
 * ``python -m repro run-experiment E5 [--full] [--seed 0]`` — regenerate one
@@ -16,7 +16,9 @@ The CLI exposes the most common workflows without writing Python:
   the generic facade entry point: build one declarative
   :class:`~repro.sim.Scenario` (any workload, any engine tier) and run it
   through :func:`~repro.sim.simulate`, printing the unified summary
-  (``--json`` emits the full :class:`~repro.sim.SimulationResult`);
+  (``--json`` emits the full :class:`~repro.sim.SimulationResult`;
+  ``--faults KIND:F[:PARAM]`` injects a crash/omission/liar/adaptive
+  adversary at faulty fraction F);
 * ``python -m repro sweep --workload rumor --axis epsilon=0.2,0.3,0.4`` —
   run a whole parameter grid as one batched
   :func:`~repro.sim.simulate_sweep` call (repeat ``--axis NAME=V1,V2,...``
@@ -65,6 +67,7 @@ import numpy as np
 
 import repro.experiments  # noqa: F401  (imports populate the spec registry)
 from repro.dynamics import DYNAMICS_RULES
+from repro.faults import FAULT_KINDS, FaultModel
 from repro.experiments.orchestrator import (
     DEFAULT_STORE_DIR,
     ExperimentJob,
@@ -89,7 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_parser = subparsers.add_parser(
         "list-experiments",
-        help="list the reproducible experiments (E1-E14) with their engines "
+        help="list the reproducible experiments (E1-E15) with their engines "
              "and cache status",
     )
     list_parser.add_argument(
@@ -196,6 +199,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--process", choices=("push", "balls_bins", "poisson"),
         default="push",
         help="delivery process for the protocol workloads (default push)",
+    )
+    simulate_parser.add_argument(
+        "--faults", default=None, metavar="KIND:F[:PARAM]",
+        help="inject faulty nodes into the protocol workloads: KIND one of "
+             f"{'/'.join(FAULT_KINDS)}, F the faulty fraction, PARAM the "
+             "crash round (crash) or per-message drop rate (omission) — "
+             "e.g. liar:0.1, crash:0.2:3, omission:0.1:0.5",
     )
     simulate_parser.add_argument(
         "--json", action="store_true",
@@ -470,17 +480,20 @@ def _command_run_all(
     ran = sum(report.status == "ran" for report in reports)
     cached = sum(report.status == "cached" for report in reports)
     skipped = sum(report.status == "skipped" for report in reports)
+    failed = [report for report in reports if report.status == "failed"]
     print(
-        f"run-all: {ran} ran, {cached} cached, {skipped} skipped "
-        f"in {elapsed:.2f} s"
+        f"run-all: {ran} ran, {cached} cached, {skipped} skipped, "
+        f"{len(failed)} failed in {elapsed:.2f} s"
         + (f" (results in {store.root}/)" if store is not None else "")
     )
+    for report in failed:
+        print(f"FAILED {report.experiment_id}: {report.error}")
     if args.print_tables:
         for report in reports:
             if report.table is not None:
                 print()
                 print(report.table.to_text())
-    return 0
+    return 1 if failed else 0
 
 
 def _run_scenario(
@@ -501,10 +514,41 @@ def _result_exit_code(result) -> int:
     return 0 if result.success_count == result.num_trials else 1
 
 
+def _parse_faults(spec: str) -> FaultModel:
+    """Parse ``--faults KIND:FRACTION[:PARAM]`` into a :class:`FaultModel`.
+
+    ``PARAM`` is the crash round for ``crash`` and the per-message drop
+    rate for ``omission``; the liar and adaptive adversaries take none.
+    """
+    parts = [part.strip() for part in spec.split(":")]
+    if len(parts) not in (2, 3) or not parts[0]:
+        raise ValueError(
+            f"--faults must look like KIND:FRACTION[:PARAM], e.g. liar:0.1 "
+            f"or crash:0.2:3 (got {spec!r})"
+        )
+    kind = parts[0]
+    try:
+        knobs = {"kind": kind, "fraction": float(parts[1])}
+        if len(parts) == 3:
+            if kind == "crash":
+                knobs["crash_round"] = int(parts[2])
+            elif kind == "omission":
+                knobs["drop_rate"] = float(parts[2])
+            else:
+                raise ValueError(
+                    f"--faults {kind} takes no extra parameter; only crash "
+                    "(crash round) and omission (drop rate) do"
+                )
+    except ValueError as error:
+        raise ValueError(f"--faults {spec!r}: {error}") from None
+    return FaultModel(**knobs)
+
+
 def _command_simulate(
     args: argparse.Namespace, parser: argparse.ArgumentParser
 ) -> int:
     try:
+        faults = _parse_faults(args.faults) if args.faults else None
         scenario = Scenario(
             workload=args.workload,
             num_nodes=args.nodes,
@@ -521,6 +565,7 @@ def _command_simulate(
             sample_size=args.sample_size,
             max_rounds=args.max_rounds,
             process=args.process,
+            faults=faults,
         )
     except ValueError as error:
         parser.error(str(error))
@@ -532,7 +577,15 @@ def _command_simulate(
     print(f"nodes                 : {result.num_nodes}")
     print(f"opinions              : {result.num_opinions}")
     print(f"noise matrix          : {scenario.build_noise().name}")
+    if faults is not None:
+        print(
+            f"faults                : {faults.kind} "
+            f"(f={faults.fraction:g}, {scenario.faulty_count()} nodes)"
+        )
     print(f"engine                : {result.engine}")
+    degraded = result.provenance.get("engine_degraded_reason")
+    if degraded:
+        print(f"engine degraded       : {degraded}")
     if result.is_analytic:
         print(f"analytic method       : {result.analytic_method}")
         if result.state_space_size is not None:

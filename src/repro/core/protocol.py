@@ -651,6 +651,7 @@ class CountsProtocol:
         random_state: EnsembleRandomState = None,
         rng_mode: str = "per_trial",
         round_scale: float = 1.0,
+        delivery: Optional[CountsDeliveryModel] = None,
     ) -> None:
         if schedule is None and epsilon is None:
             raise ValueError("either schedule or epsilon must be provided")
@@ -665,7 +666,16 @@ class CountsProtocol:
         self.round_scale = round_scale
         self._schedule = schedule
         self._random_state = random_state
-        self.delivery = CountsDeliveryModel(self.num_nodes, noise)
+        if delivery is None:
+            delivery = CountsDeliveryModel(self.num_nodes, noise)
+        elif not isinstance(delivery, CountsDeliveryModel):
+            raise TypeError(
+                f"delivery must be a CountsDeliveryModel, got "
+                f"{type(delivery).__name__}"
+            )
+        # A fault-injecting delivery may span more bins than the (honest)
+        # state the protocol tracks, so num_nodes equality is not enforced.
+        self.delivery = delivery
 
     def build_schedule(self, initial_opinionated: int = 1) -> ProtocolSchedule:
         """The schedule used by :meth:`run` (built lazily when not supplied)."""

@@ -371,7 +371,9 @@ class CountsStage1Executor:
     ) -> EnsembleStage1PhaseRecord:
         """Execute a single counts Stage-1 phase, mutating ``state`` in place."""
         opinionated_before = state.opinionated_counts()
-        histograms = state.counts * np.int64(num_rounds)
+        histograms = self.delivery.phase_histograms(
+            state.counts, num_rounds, self._random_state
+        )
         noisy = self.delivery.recolor(histograms, self._random_state)
         adopted = self.delivery.sample_adoptions(
             noisy, state.undecided_counts(), self._random_state

@@ -484,7 +484,9 @@ class CountsStage2Executor:
         bias_before = (
             state.bias_toward(track_opinion) if track_opinion is not None else None
         )
-        histograms = state.counts * np.int64(num_rounds)
+        histograms = self.delivery.phase_histograms(
+            state.counts, num_rounds, self._random_state
+        )
         noisy = self.delivery.recolor(histograms, self._random_state)
         update_probability = self.delivery.update_probability(
             noisy, sample_size

@@ -12,7 +12,11 @@ elementary dynamics that solve (noise-free) plurality or majority consensus:
 * the **median rule / power of two choices** [15]: opinions are treated as
   ordered values and every node moves to the median of its own value and two
   sampled values;
-* the plain **voter model**: every node copies one random node's opinion.
+* the plain **voter model**: every node copies one random node's opinion;
+* **approximate consensus** (midpoint of extremes over ``n - f`` accepted
+  values, in the style of Byzantine approximate agreement): every node
+  moves to the midpoint of the smallest and largest opinion among the
+  values it accepts, for a phase budget derived from the target precision.
 
 These baselines run here on the same noisy uniform communication substrate
 (every observation corrupted by the noise matrix), which is what experiment
@@ -42,6 +46,11 @@ from __future__ import annotations
 import warnings
 from typing import Optional
 
+from repro.dynamics.approximate_consensus import (
+    ApproximateConsensusDynamics,
+    EnsembleApproximateConsensusDynamics,
+    EnsembleCountsApproximateConsensusDynamics,
+)
 from repro.dynamics.base import (
     CountsDynamicsResult,
     DynamicsResult,
@@ -78,8 +87,11 @@ from repro.utils.rng import EnsembleRandomState, RandomState
 
 __all__ = [
     "DYNAMICS_RULES",
+    "ApproximateConsensusDynamics",
     "CountsDynamicsResult",
     "DynamicsResult",
+    "EnsembleApproximateConsensusDynamics",
+    "EnsembleCountsApproximateConsensusDynamics",
     "EnsembleCountsDynamics",
     "EnsembleCountsHMajorityDynamics",
     "EnsembleCountsMedianRuleDynamics",
@@ -111,6 +123,7 @@ DYNAMICS_RULES = (
     "h-majority",
     "undecided-state",
     "median-rule",
+    "approximate-consensus",
 )
 
 

@@ -151,6 +151,10 @@ def exact_dynamics_is_tractable(
     state_budget: int = DEFAULT_STATE_BUDGET,
 ) -> bool:
     """Whether :class:`ExactDynamicsChain` can serve this configuration."""
+    if rule == "approximate-consensus":
+        # The phase-tagged termination state is not a function of the
+        # opinion counts alone, so no counts-simplex kernel covers it.
+        return False
     if not states_within_budget(num_nodes, num_opinions, state_budget):
         return False
     if rule in ("3-majority", "h-majority"):

@@ -27,6 +27,7 @@ from repro.experiments import (  # noqa: F401  (re-exported experiment modules)
     exp_ablation_sampling,
     exp_amplification,
     exp_baselines,
+    exp_byzantine_degradation,
     exp_epsilon_threshold,
     exp_memory,
     exp_noise_matrices,
@@ -53,6 +54,7 @@ __all__ = [
     "exp_ablation_sampling",
     "exp_amplification",
     "exp_baselines",
+    "exp_byzantine_degradation",
     "exp_epsilon_threshold",
     "exp_memory",
     "exp_noise_matrices",

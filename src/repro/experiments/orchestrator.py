@@ -26,7 +26,11 @@ Three pieces turn the registered experiment specs
 
 The process pool falls back to serial execution when the platform cannot
 provide worker processes (or when ``jobs <= 1``), so ``run_all`` always
-completes.
+completes.  The sweep is also *crash-tolerant*: a job that raises (or
+takes its worker process down) no longer kills the batch — it is retried
+once, and if it fails again a structured failure table takes its place
+(status ``"failed"``, never persisted to the store) while every other
+experiment completes normally.
 """
 
 from __future__ import annotations
@@ -273,13 +277,19 @@ def run_experiment_job(job: ExperimentJob) -> ExperimentTable:
 
 @dataclass
 class ExperimentRunReport:
-    """What ``run_all`` did for one experiment (at one base seed)."""
+    """What ``run_all`` did for one experiment (at one base seed).
+
+    ``status`` is ``"ran"``, ``"cached"``, ``"skipped"`` (engine
+    unsupported), or ``"failed"`` (the job raised on both attempts; the
+    report then carries the structured failure table and the error text).
+    """
 
     experiment_id: str
-    status: str  # "ran" | "cached" | "skipped"
+    status: str  # "ran" | "cached" | "skipped" | "failed"
     seconds: float
     table: Optional[ExperimentTable] = field(repr=False, default=None)
     base_seed: int = 0
+    error: Optional[str] = None
 
 
 def job_seed(base_seed: int, spec: ExperimentSpec) -> int:
@@ -293,10 +303,79 @@ def job_seed(base_seed: int, spec: ExperimentSpec) -> int:
     return derive_seed(int(base_seed), spec.index)
 
 
+def _failure_table(
+    job: ExperimentJob, error: BaseException, attempts: int
+) -> ExperimentTable:
+    """A structured failure entry standing in for a crashed job's table.
+
+    One row naming the exception, the attempt count, and the job knobs, so
+    a batch artifact that contains failures is still complete and
+    self-describing.  Failure tables are deliberately *not* persisted to
+    the result store — a later ``resume`` run retries the job instead of
+    serving the crash from cache.
+    """
+    spec = get_spec(job.experiment_id)
+    table = ExperimentTable(
+        experiment_id=job.experiment_id,
+        title=spec.title,
+        paper_claim=spec.paper_claim,
+    )
+    table.add_record(
+        status="failed",
+        error_type=type(error).__name__,
+        error=str(error) or repr(error),
+        attempts=attempts,
+        seed=job.seed,
+        engine=job.engine,
+        full=job.full,
+    )
+    table.add_note(
+        f"the job raised on all {attempts} attempts; the sweep continued "
+        "without it (see the error column)"
+    )
+    table.provenance = {
+        **job.identity(),
+        "full": job.full,
+        "failed": True,
+        "error": repr(error),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    return table
+
+
+#: One executed job: ``(table, status, error)`` with status ``"ran"`` or
+#: ``"failed"`` (error text set only on failure).
+_JobOutcome = tuple
+
+
+def _retry_once(
+    job: ExperimentJob,
+    first_error: BaseException,
+    log: Callable[[str], None],
+) -> _JobOutcome:
+    """The single in-process retry after a failed first attempt."""
+    log(
+        f"{job.experiment_id}: attempt 1 failed ({first_error!r}); "
+        "retrying once"
+    )
+    try:
+        return run_experiment_job(job), "ran", None
+    except Exception as error:
+        log(f"{job.experiment_id}: failed after retry ({error!r})")
+        return _failure_table(job, error, attempts=2), "failed", repr(error)
+
+
 def _run_jobs_serial(
     jobs_list: Sequence[ExperimentJob],
-) -> List[ExperimentTable]:
-    return [run_experiment_job(job) for job in jobs_list]
+    log: Callable[[str], None],
+) -> List[_JobOutcome]:
+    outcomes: List[_JobOutcome] = []
+    for job in jobs_list:
+        try:
+            outcomes.append((run_experiment_job(job), "ran", None))
+        except Exception as error:
+            outcomes.append(_retry_once(job, error, log))
+    return outcomes
 
 
 def _pool_probe() -> bool:  # pragma: no cover - trivial worker payload
@@ -307,14 +386,19 @@ def _run_jobs_parallel(
     jobs_list: Sequence[ExperimentJob],
     jobs: int,
     log: Callable[[str], None],
-) -> List[ExperimentTable]:
+) -> List[_JobOutcome]:
     """Fan jobs out over a process pool; fall back to serial on failure.
 
     Only *pool* failures (platforms without working worker processes —
     sandboxes, missing semaphores) trigger the serial fallback; a no-op
-    probe task forces worker spawn before any real job is dispatched, so
-    exceptions raised by the experiments themselves propagate unchanged
-    instead of silently discarding the parallel run.
+    probe task forces worker spawn before any real job is dispatched.
+    Jobs are dispatched as individual futures, so one crashing job fails
+    only its own future: the job is retried once in-process, and if it
+    fails again a structured failure entry takes its place while the
+    other jobs complete normally.  (A worker that dies outright breaks
+    the pool and fails its siblings' futures too — each of those is then
+    retried in-process the same way, so even a hard crash cannot kill
+    the sweep.)
     """
     try:
         from concurrent.futures import ProcessPoolExecutor
@@ -326,9 +410,16 @@ def _run_jobs_parallel(
             f"process pool unavailable ({error!r}); "
             "falling back to serial execution"
         )
-        return _run_jobs_serial(jobs_list)
+        return _run_jobs_serial(jobs_list, log)
+    outcomes: List[_JobOutcome] = []
     with pool:
-        return list(pool.map(run_experiment_job, jobs_list))
+        futures = [pool.submit(run_experiment_job, job) for job in jobs_list]
+        for job, future in zip(jobs_list, futures):
+            try:
+                outcomes.append((future.result(), "ran", None))
+            except Exception as error:
+                outcomes.append(_retry_once(job, error, log))
+    return outcomes
 
 
 def run_all(
@@ -387,6 +478,9 @@ def run_all(
     list of ExperimentRunReport
         One report per requested ``(seed, experiment)`` pair, in request
         order, each carrying the (fresh or cached) :class:`ExperimentTable`.
+        A job that raises on both attempts is reported as ``"failed"``
+        with a structured failure table (not persisted to the store) —
+        the sweep itself always completes.
     """
     if log is None:
         def log(message: str) -> None:  # noqa: ANN001 - simple sink
@@ -453,20 +547,25 @@ def run_all(
         )
         pending_jobs = [jobs_by_key[key] for key in pending]
         if jobs <= 1 or len(pending_jobs) == 1:
-            tables = _run_jobs_serial(pending_jobs)
+            outcomes = _run_jobs_serial(pending_jobs, log)
         else:
-            tables = _run_jobs_parallel(pending_jobs, jobs, log)
-        for key, job, table in zip(pending, pending_jobs, tables):
-            if store is not None:
-                store.put(job, table)
-            seconds = float(table.provenance.get("seconds", 0.0))
-            log(f"{job.experiment_id}: ran in {seconds:.2f}s")
+            outcomes = _run_jobs_parallel(pending_jobs, jobs, log)
+        for key, job, (table, status, error) in zip(
+            pending, pending_jobs, outcomes
+        ):
+            seconds = 0.0
+            if status == "ran":
+                if store is not None:
+                    store.put(job, table)
+                seconds = float(table.provenance.get("seconds", 0.0))
+                log(f"{job.experiment_id}: ran in {seconds:.2f}s")
             reports[key] = ExperimentRunReport(
                 experiment_id=job.experiment_id,
-                status="ran",
+                status=status,
                 seconds=seconds,
                 table=table,
                 base_seed=key[0],
+                error=error,
             )
 
     return [reports[key] for key in request]

@@ -1,7 +1,7 @@
 """Declarative experiment specifications and the module-decorator registry.
 
 Every reproduced statement of the paper is described by one
-:class:`ExperimentSpec`: its id (``"E1"`` … ``"E14"``), the paper claim it
+:class:`ExperimentSpec`: its id (``"E1"`` … ``"E15"``), the paper claim it
 reproduces, zero-argument constructors for its quick and full
 configurations, the ``run`` function, and — crucially for the orchestration
 layer — the set of *trial engines* the experiment supports.  Experiment
@@ -70,7 +70,7 @@ class ExperimentSpec:
     Attributes
     ----------
     experiment_id:
-        The experiment index id (``"E1"`` … ``"E14"``).
+        The experiment index id (``"E1"`` … ``"E15"``).
     title:
         Human-readable one-line title (what the result table is about).
     paper_claim:

@@ -130,6 +130,21 @@ class CountsDeliveryModel:
             raise ValueError("histogram entries must be non-negative")
         return array
 
+    def phase_histograms(
+        self,
+        counts: np.ndarray,
+        num_rounds: int,
+        random_state: EnsembleRandomState = None,
+    ) -> np.ndarray:
+        """The phase's message histograms from the senders' opinion counts.
+
+        Every opinionated node pushes once per round, so the base model
+        returns ``counts * num_rounds``.  Fault-injecting subclasses
+        override this to append adversarial balls (``random_state`` exists
+        for their benefit; the base draw is deterministic).
+        """
+        return np.asarray(counts, dtype=np.int64) * np.int64(num_rounds)
+
     def recolor(
         self,
         histograms: np.ndarray,

@@ -40,6 +40,7 @@ from repro.sim.scenario import (
     TOPOLOGIES,
     WORKLOADS,
     Scenario,
+    ScenarioError,
 )
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "ENGINE_TIERS",
     "EngineRegistry",
     "Scenario",
+    "ScenarioError",
     "ScenarioGrid",
     "SimulationResult",
     "SweepResult",

@@ -25,6 +25,11 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.dynamics import DYNAMICS_RULES
+from repro.dynamics.approximate_consensus import (
+    ApproximateConsensusDynamics,
+    EnsembleApproximateConsensusDynamics,
+    EnsembleCountsApproximateConsensusDynamics,
+)
 from repro.dynamics.h_majority import (
     EnsembleCountsHMajorityDynamics,
     EnsembleCountsThreeMajorityDynamics,
@@ -74,16 +79,21 @@ _DYNAMICS_CLASSES: Dict[Tuple[str, str], type] = {
     ("sequential", "h-majority"): HMajorityDynamics,
     ("sequential", "undecided-state"): UndecidedStateDynamics,
     ("sequential", "median-rule"): MedianRuleDynamics,
+    ("sequential", "approximate-consensus"): ApproximateConsensusDynamics,
     ("batched", "voter"): EnsembleVoterDynamics,
     ("batched", "3-majority"): EnsembleThreeMajorityDynamics,
     ("batched", "h-majority"): EnsembleHMajorityDynamics,
     ("batched", "undecided-state"): EnsembleUndecidedStateDynamics,
     ("batched", "median-rule"): EnsembleMedianRuleDynamics,
+    ("batched", "approximate-consensus"): EnsembleApproximateConsensusDynamics,
     ("counts", "voter"): EnsembleCountsVoterDynamics,
     ("counts", "3-majority"): EnsembleCountsThreeMajorityDynamics,
     ("counts", "h-majority"): EnsembleCountsHMajorityDynamics,
     ("counts", "undecided-state"): EnsembleCountsUndecidedStateDynamics,
     ("counts", "median-rule"): EnsembleCountsMedianRuleDynamics,
+    ("counts", "approximate-consensus"): (
+        EnsembleCountsApproximateConsensusDynamics
+    ),
 }
 
 
@@ -110,31 +120,44 @@ def build_dynamics(
     *,
     sample_size: Optional[int] = None,
     rng_mode: str = "per_trial",
+    epsilon: Optional[float] = None,
 ):
     """Instantiate a baseline-dynamics engine by ``(tier, rule)``.
 
     ``tier`` is one of :data:`ENGINE_TIERS` and ``rule`` one of
     :data:`DYNAMICS_RULES`; ``sample_size`` is required for (and only
-    accepted by) ``"h-majority"``.  ``rng_mode`` applies to the batched and
-    counts tiers only (the sequential classes take a single source).  The
-    construction is identical to what the legacy per-tier factories
-    produced, so seeded runs are bitwise reproducible across the migration.
+    accepted by) ``"h-majority"``, and ``epsilon`` (the target agreement
+    precision) is only accepted by ``"approximate-consensus"``.
+    ``rng_mode`` applies to the batched and counts tiers only (the
+    sequential classes take a single source).  The construction is
+    identical to what the legacy per-tier factories produced, so seeded
+    runs are bitwise reproducible across the migration.
     """
     if tier not in ENGINE_TIERS:
         raise ValueError(
             f"tier must be one of {ENGINE_TIERS}, got {tier!r}"
         )
     _validate_rule(rule, sample_size)
+    if epsilon is not None and rule != "approximate-consensus":
+        raise ValueError(
+            f"rule {rule!r} does not take an epsilon "
+            "(use 'approximate-consensus' for a precision target)"
+        )
+    extra = {}
+    if rule == "approximate-consensus" and epsilon is not None:
+        extra["epsilon"] = float(epsilon)
     dynamics_cls = _DYNAMICS_CLASSES[(tier, rule)]
     if tier == "sequential":
         if rule == "h-majority":
             return dynamics_cls(num_nodes, noise, sample_size, random_state)
-        return dynamics_cls(num_nodes, noise, random_state)
+        return dynamics_cls(num_nodes, noise, random_state, **extra)
     if rule == "h-majority":
         return dynamics_cls(
             num_nodes, noise, sample_size, random_state, rng_mode=rng_mode
         )
-    return dynamics_cls(num_nodes, noise, random_state, rng_mode=rng_mode)
+    return dynamics_cls(
+        num_nodes, noise, random_state, rng_mode=rng_mode, **extra
+    )
 
 
 class EngineRegistry:

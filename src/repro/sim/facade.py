@@ -18,7 +18,7 @@ from __future__ import annotations
 import hashlib
 import inspect
 import time
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.analytic import (
     AnalyticProtocol,
@@ -30,10 +30,16 @@ from repro.core.protocol import (
     EnsembleProtocol,
     TwoStageProtocol,
 )
+from repro.core.state import PopulationState
 from repro.dynamics.analytic import (
     ExactDynamicsChain,
     MeanFieldDynamics,
     exact_dynamics_is_tractable,
+)
+from repro.faults import (
+    FaultedCountsDeliveryModel,
+    FaultedDeliveryEngine,
+    FaultedPhaseSampler,
 )
 from repro.network.topology import GraphPushModel, standard_topology
 from repro.noise.matrix import NoiseMatrix
@@ -61,6 +67,9 @@ def sim_code_version() -> str:
         from repro.analytic import verify as verify_module
         from repro.core import analytic as core_analytic_module
         from repro.dynamics import analytic as dynamics_analytic_module
+        from repro.faults import delivery as faults_delivery_module
+        from repro.faults import injection as faults_injection_module
+        from repro.faults import model as faults_model_module
         from repro.sim import engines as engines_module
         from repro.sim import result as result_module
         from repro.sim import scenario as scenario_module
@@ -73,6 +82,8 @@ def sim_code_version() -> str:
             sweep_module,
             simplex_module, verify_module,
             dynamics_analytic_module, core_analytic_module,
+            faults_model_module, faults_injection_module,
+            faults_delivery_module,
         ):
             try:
                 digest.update(inspect.getsource(module).encode())
@@ -107,8 +118,30 @@ def _exactly_tractable(scenario: Scenario) -> bool:
     )
 
 
-def _resolve_engine(scenario: Scenario) -> str:
-    """The concrete tier for the scenario's engine policy.
+def _degrade_for_faults(scenario: Scenario, engine: str) -> Tuple[str, Optional[str]]:
+    """Swap the counts tier out when the adversary defeats its statistics.
+
+    The adaptive plurality-targeting adversary conditions on per-node
+    information the counts reduction has discarded, so a counts resolution
+    gracefully degrades to the batched tier (``allow_degradation=False``
+    was already rejected at scenario validation).  Returns the possibly
+    demoted engine and a human-readable reason for provenance.
+    """
+    if (
+        scenario.faults is not None
+        and scenario.faults.kind == "adaptive"
+        and engine == "counts"
+    ):
+        return "batched", (
+            "adaptive adversary admits no counts-tier sufficient "
+            "statistics; degraded counts -> batched"
+        )
+    return engine, None
+
+
+def _resolve_engine(scenario: Scenario) -> Tuple[str, Optional[str]]:
+    """The concrete tier for the scenario's engine policy, plus the
+    degradation reason (``None`` when the policy was served as asked).
 
     Delegates to :func:`repro.experiments.runner.resolve_trial_engine` (the
     single owner of the ``auto`` threshold semantics, including the
@@ -119,16 +152,18 @@ def _resolve_engine(scenario: Scenario) -> str:
     ``auto`` prefers the analytic tier whenever the scenario is exactly
     tractable (tiny ``n * k``): the exact chain answers in one kernel
     evolution with zero sampling noise, which no trial count can beat.
+    Faulted scenarios never resolve analytic — no exact chain or
+    mean-field law covers them.
     """
     if scenario.engine != "auto":
-        return scenario.engine
+        return _degrade_for_faults(scenario, scenario.engine)
     from repro.experiments.runner import resolve_trial_engine
 
     engine = resolve_trial_engine(
         "auto",
         scenario.num_nodes,
         scenario.counts_threshold,
-        allow_analytic=_exactly_tractable(scenario),
+        allow_analytic=scenario.faults is None and _exactly_tractable(scenario),
     )
     if (
         engine == "counts"
@@ -143,8 +178,12 @@ def _resolve_engine(scenario: Scenario) -> str:
         if not vote_table_is_tractable(
             scenario.sample_size, scenario.num_opinions
         ):
-            engine = "batched"
-    return engine
+            return "batched", (
+                f"h-majority sample_size {scenario.sample_size} with "
+                f"{scenario.num_opinions} opinions exceeds the closed-form "
+                "maj() table budget; degraded counts -> batched"
+            )
+    return _degrade_for_faults(scenario, engine)
 
 
 def simulate(scenario: Scenario) -> SimulationResult:
@@ -159,7 +198,7 @@ def simulate(scenario: Scenario) -> SimulationResult:
     scenario dictionary, so any stored result is self-describing.
     """
     scenario.validate()
-    engine = _resolve_engine(scenario)
+    engine, degraded_reason = _resolve_engine(scenario)
     noise = scenario.build_noise()
     runner = ENGINE_REGISTRY.get(scenario.workload, engine)
     started = time.perf_counter()
@@ -175,6 +214,8 @@ def simulate(scenario: Scenario) -> SimulationResult:
         "wall_time_seconds": round(elapsed, 6),
         "scenario": scenario.to_dict(),
     }
+    if degraded_reason is not None:
+        result.provenance["engine_degraded_reason"] = degraded_reason
     return result
 
 
@@ -195,6 +236,42 @@ def _build_graph_engine(
     return GraphPushModel(graph, noise, random_state=random_state)
 
 
+def _fault_sampler(scenario: Scenario) -> FaultedPhaseSampler:
+    """A fresh phase sampler for one protocol run (owns the round counter)."""
+    _, faulty_histogram = scenario.fault_split()
+    return FaultedPhaseSampler(
+        scenario.faults,
+        scenario.faulty_count(),
+        faulty_histogram,
+        scenario.num_opinions,
+    )
+
+
+def _honest_initial_state(scenario: Scenario) -> PopulationState:
+    """The per-node initial state of the honest ``n_h`` sub-population.
+
+    The rumor source stays node 0 of the honest population; plurality
+    supports materialize from the deterministic fault split with the same
+    placement-seed discipline as :meth:`Scenario.initial_state`.
+    """
+    honest, _ = scenario.fault_split()
+    if scenario.workload == "rumor":
+        return PopulationState.single_source(
+            honest.num_nodes, scenario.num_opinions, scenario.correct_opinion
+        )
+    opinion_counts = {
+        opinion + 1: int(count)
+        for opinion, count in enumerate(honest.counts)
+        if count
+    }
+    return PopulationState.from_counts(
+        honest.num_nodes,
+        opinion_counts,
+        scenario.num_opinions,
+        random_state=scenario.seed,
+    )
+
+
 @ENGINE_REGISTRY.register("rumor", "sequential")
 @ENGINE_REGISTRY.register("plurality", "sequential")
 def _protocol_sequential(
@@ -205,18 +282,33 @@ def _protocol_sequential(
     Trial ``r`` consumes randomness from its own spawned child generator —
     the same discipline (and hence the same draws) as the legacy
     ``protocol_trial_outcomes(..., trial_engine="sequential")`` path.
+
+    Faulted scenarios track only the honest ``n_h`` nodes and route every
+    phase through a per-trial :class:`FaultedDeliveryEngine` (fresh crash
+    counter per trial) over the full ``n`` bins.
     """
-    initial_state = scenario.initial_state()
+    faulted = scenario.faults is not None
+    initial_state = (
+        _honest_initial_state(scenario) if faulted else scenario.initial_state()
+    )
+    num_nodes = initial_state.num_nodes
     target = scenario.target_opinion()
     results = []
     for generator in spawn_generators(scenario.num_trials, scenario.seed):
-        delivery = (
-            _build_graph_engine(scenario, noise, generator)
-            if scenario.topology != "complete"
-            else None
-        )
+        if faulted:
+            delivery = FaultedDeliveryEngine(
+                num_nodes,
+                scenario.num_nodes,
+                noise,
+                _fault_sampler(scenario),
+                random_state=generator,
+            )
+        elif scenario.topology != "complete":
+            delivery = _build_graph_engine(scenario, noise, generator)
+        else:
+            delivery = None
         protocol = TwoStageProtocol(
-            scenario.num_nodes,
+            num_nodes,
             noise,
             epsilon=scenario.epsilon,
             process=scenario.process,
@@ -237,19 +329,39 @@ def _protocol_sequential(
 def _protocol_batched(
     scenario: Scenario, noise: NoiseMatrix, engine: str
 ) -> SimulationResult:
-    """The vectorized ``(R, n)`` tier: one :class:`EnsembleProtocol` batch."""
+    """The vectorized ``(R, n)`` tier: one :class:`EnsembleProtocol` batch.
+
+    Faulted scenarios share one :class:`FaultedDeliveryEngine` across the
+    batch — the phase schedule (and hence the crash-round clock) is common
+    to every trial, while each trial's ball draws stay on its own stream.
+    """
+    faulted = scenario.faults is not None
+    initial_state = (
+        _honest_initial_state(scenario) if faulted else scenario.initial_state()
+    )
+    delivery = (
+        FaultedDeliveryEngine(
+            initial_state.num_nodes,
+            scenario.num_nodes,
+            noise,
+            _fault_sampler(scenario),
+        )
+        if faulted
+        else None
+    )
     protocol = EnsembleProtocol(
-        scenario.num_nodes,
+        initial_state.num_nodes,
         noise,
         epsilon=scenario.epsilon,
         process=scenario.process,
+        engine=delivery,
         random_state=scenario.seed,
         round_scale=scenario.round_scale,
         sampling_method=scenario.sampling_method,
         use_full_multiset=scenario.use_full_multiset,
     )
     result = protocol.run(
-        scenario.initial_state(),
+        initial_state,
         scenario.num_trials,
         target_opinion=scenario.target_opinion(),
     )
@@ -263,18 +375,34 @@ def _protocol_batched(
 def _protocol_counts(
     scenario: Scenario, noise: NoiseMatrix, engine: str
 ) -> SimulationResult:
-    """The ``(R, k)`` sufficient-statistics tier: :class:`CountsProtocol`."""
+    """The ``(R, k)`` sufficient-statistics tier: :class:`CountsProtocol`.
+
+    Faulted scenarios keep honest-only counts as state while the delivery
+    model spans the full ``n`` bins (so the Poissonized rate ``B / n``
+    counts faulty balls and faulty mailboxes alike); only oblivious
+    adversaries reach this tier.
+    """
+    faulted = scenario.faults is not None
+    if faulted:
+        initial_counts, _ = scenario.fault_split()
+        delivery = FaultedCountsDeliveryModel(
+            scenario.num_nodes, noise, _fault_sampler(scenario)
+        )
+    else:
+        initial_counts = scenario.initial_counts_state()
+        delivery = None
     protocol = CountsProtocol(
-        scenario.num_nodes,
+        initial_counts.num_nodes,
         noise,
         epsilon=scenario.epsilon,
         random_state=scenario.seed,
         round_scale=scenario.round_scale,
+        delivery=delivery,
     )
     # Counts-native entry state: same opinion counts as the per-node
     # construction, but O(k) — n never gets an array axis on this tier.
     result = protocol.run(
-        scenario.initial_counts_state(),
+        initial_counts,
         scenario.num_trials,
         target_opinion=scenario.target_opinion(),
     )
@@ -286,6 +414,18 @@ def _protocol_counts(
 # --------------------------------------------------------------------- #
 # Dynamics workload
 # --------------------------------------------------------------------- #
+
+
+def _dynamics_epsilon(scenario: Scenario) -> Optional[float]:
+    """The ``epsilon`` to forward to :func:`build_dynamics`.
+
+    Only the approximate-consensus rule takes a precision target (the
+    scenario's ``epsilon`` doubles as it); every other rule must see
+    ``None`` or the factory rejects the argument.
+    """
+    if scenario.rule == "approximate-consensus":
+        return scenario.epsilon
+    return None
 
 
 @ENGINE_REGISTRY.register("dynamics", "batched")
@@ -306,6 +446,7 @@ def _dynamics_ensemble(
         noise,
         scenario.seed,
         sample_size=scenario.sample_size,
+        epsilon=_dynamics_epsilon(scenario),
     )
     result = dynamic.run(
         initial_state,
@@ -392,6 +533,7 @@ def _dynamics_sequential(
             noise,
             generator,
             sample_size=scenario.sample_size,
+            epsilon=_dynamics_epsilon(scenario),
         )
         results.append(
             dynamic.run(

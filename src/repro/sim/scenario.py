@@ -25,6 +25,8 @@ from repro.analysis.bias import make_biased_distribution
 from repro.core.plurality import PluralityInstance
 from repro.core.state import CountsState, PopulationState
 from repro.dynamics import DYNAMICS_RULES
+from repro.faults.injection import split_faulty_population
+from repro.faults.model import FaultModel, coerce_fault_model
 from repro.network.delivery import DELIVERY_PROCESSES
 from repro.network.pull_model import vote_table_is_tractable
 from repro.noise.families import uniform_noise_matrix
@@ -32,10 +34,20 @@ from repro.noise.matrix import NoiseMatrix
 
 __all__ = [
     "Scenario",
+    "ScenarioError",
     "WORKLOADS",
     "ENGINE_POLICIES",
     "TOPOLOGIES",
 ]
+
+
+class ScenarioError(ValueError):
+    """An invalid or unsupported scenario combination.
+
+    Every rejection names the offending knob and the supported
+    alternatives; subclassing ``ValueError`` keeps pre-existing callers
+    (and ``except ValueError`` CLI handling) working.
+    """
 
 #: Workloads a scenario can describe.
 WORKLOADS = ("rumor", "plurality", "dynamics")
@@ -150,10 +162,18 @@ class Scenario:
     topology: str = "complete"
     degree: Optional[int] = None
     record_trajectories: bool = True
+    faults: Optional[FaultModel] = None
 
     def __post_init__(self) -> None:
         if self.shares is not None and not isinstance(self.shares, tuple):
             object.__setattr__(self, "shares", tuple(self.shares))
+        if self.faults is not None and not isinstance(self.faults, FaultModel):
+            try:
+                object.__setattr__(
+                    self, "faults", coerce_fault_model(self.faults)
+                )
+            except ValueError as error:
+                raise ScenarioError(str(error)) from error
         self.validate()
 
     # ------------------------------------------------------------------ #
@@ -163,88 +183,97 @@ class Scenario:
     def validate(self) -> None:
         """Raise ``ValueError`` (naming the supported options) if invalid."""
         if self.workload not in WORKLOADS:
-            raise ValueError(
+            raise ScenarioError(
                 f"workload must be one of {WORKLOADS}, got {self.workload!r}"
             )
         if self.engine not in ENGINE_POLICIES:
-            raise ValueError(
+            raise ScenarioError(
                 f"engine must be one of {ENGINE_POLICIES}, got {self.engine!r}"
             )
         if self.process not in DELIVERY_PROCESSES:
-            raise ValueError(
+            raise ScenarioError(
                 f"process must be one of {DELIVERY_PROCESSES}, "
                 f"got {self.process!r}"
             )
         if self.topology not in TOPOLOGIES:
-            raise ValueError(
+            raise ScenarioError(
                 f"topology must be one of {TOPOLOGIES}, got {self.topology!r}"
             )
         for name in ("num_nodes", "num_opinions", "num_trials", "max_rounds"):
             value = getattr(self, name)
             if not isinstance(value, (int, np.integer)) or value < 1:
-                raise ValueError(f"{name} must be a positive int, got {value!r}")
+                raise ScenarioError(f"{name} must be a positive int, got {value!r}")
         if not (0.0 < float(self.epsilon)):
-            raise ValueError(f"epsilon must be positive, got {self.epsilon!r}")
+            raise ScenarioError(f"epsilon must be positive, got {self.epsilon!r}")
         if not (0.0 <= float(self.bias) < 1.0):
-            raise ValueError(f"bias must be in [0, 1), got {self.bias!r}")
+            raise ScenarioError(f"bias must be in [0, 1), got {self.bias!r}")
         if self.noise is not None:
             if not isinstance(self.noise, NoiseMatrix):
-                raise ValueError(
+                raise ScenarioError(
                     "noise must be a NoiseMatrix (or None for the uniform "
                     f"channel), got {type(self.noise).__name__}"
                 )
             if self.noise.num_opinions != self.num_opinions:
-                raise ValueError(
+                raise ScenarioError(
                     f"noise matrix has {self.noise.num_opinions} opinions "
                     f"but the scenario asks for {self.num_opinions}"
                 )
         if self.counts_threshold is not None:
             if self.engine != "auto":
-                raise ValueError(
+                raise ScenarioError(
                     "counts_threshold only applies to engine='auto' "
                     f"(got engine={self.engine!r})"
                 )
             if self.counts_threshold < 1:
-                raise ValueError(
+                raise ScenarioError(
                     f"counts_threshold must be >= 1, got {self.counts_threshold}"
                 )
         if not (1 <= self.correct_opinion <= self.num_opinions):
-            raise ValueError(
+            raise ScenarioError(
                 f"correct_opinion must be in [1, {self.num_opinions}], "
                 f"got {self.correct_opinion}"
             )
         self._validate_workload_knobs()
         self._validate_engine_knobs()
         self._validate_topology_knobs()
+        self._validate_fault_knobs()
 
     def _validate_workload_knobs(self) -> None:
         if self.workload == "dynamics":
             if self.rule is None:
-                raise ValueError(
+                raise ScenarioError(
                     "workload 'dynamics' requires rule, one of "
                     f"{DYNAMICS_RULES}"
                 )
             if self.rule not in DYNAMICS_RULES:
-                raise ValueError(
+                raise ScenarioError(
                     f"rule must be one of {DYNAMICS_RULES}, got {self.rule!r}"
                 )
             if self.rule == "h-majority" and self.sample_size is None:
-                raise ValueError("rule 'h-majority' requires sample_size")
+                raise ScenarioError("rule 'h-majority' requires sample_size")
             if self.rule != "h-majority" and self.sample_size is not None:
-                raise ValueError(
+                raise ScenarioError(
                     f"rule {self.rule!r} does not take a sample_size "
                     "(use 'h-majority' for a custom h)"
+                )
+            if self.rule == "approximate-consensus" and not (
+                0.0 < float(self.epsilon) < 1.0
+            ):
+                raise ScenarioError(
+                    "rule 'approximate-consensus' reuses epsilon as the "
+                    "agreement precision target, which must be in (0, 1); "
+                    f"got {self.epsilon!r}"
                 )
             # Protocol-only knobs are meaningless for the dynamics
             # workload; reject them instead of silently dropping them.
             if self.process != "push":
-                raise ValueError(
+                raise ScenarioError(
                     "process only applies to the protocol workloads "
                     "('rumor', 'plurality'); the dynamics workload runs on "
                     "the noisy pull substrate"
                 )
             if self.round_scale != 1.0:
-                raise ValueError(
+                raise ScenarioError(
                     "round_scale only applies to the protocol workloads "
                     "('rumor', 'plurality')"
                 )
@@ -252,62 +281,62 @@ class Scenario:
                 self.sampling_method != "without_replacement"
                 or self.use_full_multiset
             ):
-                raise ValueError(
+                raise ScenarioError(
                     "the Stage-2 sampling ablations (sampling_method, "
                     "use_full_multiset) only apply to the protocol "
                     "workloads ('rumor', 'plurality')"
                 )
         else:
             if self.rule is not None:
-                raise ValueError(
+                raise ScenarioError(
                     "rule only applies to workload 'dynamics' "
                     f"(got workload={self.workload!r})"
                 )
             if self.sample_size is not None:
-                raise ValueError(
+                raise ScenarioError(
                     "sample_size only applies to workload 'dynamics' with "
                     "rule 'h-majority'"
                 )
             # Dynamics-only knobs are meaningless for the protocol
             # workloads, whose round budget is the schedule itself.
             if self.max_rounds != 300:
-                raise ValueError(
+                raise ScenarioError(
                     "max_rounds only applies to workload 'dynamics' (the "
                     "protocol workloads run their schedule; use round_scale "
                     "to stretch it)"
                 )
             if not self.stop_at_consensus:
-                raise ValueError(
+                raise ScenarioError(
                     "stop_at_consensus only applies to workload 'dynamics'"
                 )
         if self.workload == "rumor":
             if self.support_size is not None:
-                raise ValueError(
+                raise ScenarioError(
                     "support_size only applies to workloads 'plurality' and "
                     "'dynamics' (the rumor workload always starts from one "
                     "source node)"
                 )
             if self.shares is not None:
-                raise ValueError(
+                raise ScenarioError(
                     "shares only applies to workloads 'plurality' and "
                     "'dynamics'"
                 )
         if self.support_size is not None and not (
             1 <= self.support_size <= self.num_nodes
         ):
-            raise ValueError(
+            raise ScenarioError(
                 f"support_size must be in [1, {self.num_nodes}], "
                 f"got {self.support_size}"
             )
         if self.shares is not None:
             if len(self.shares) != self.num_opinions:
-                raise ValueError(
+                raise ScenarioError(
                     f"shares must have one entry per opinion "
                     f"({self.num_opinions}), got {len(self.shares)}"
                 )
             total = float(sum(self.shares))
             if any(share < 0 for share in self.shares) or abs(total - 1.0) > 1e-6:
-                raise ValueError(
+                raise ScenarioError(
                     "shares must be non-negative and sum to 1, "
                     f"got {self.shares}"
                 )
@@ -318,7 +347,7 @@ class Scenario:
             or self.use_full_multiset
         )
         if has_ablations and self.engine in ("counts", "auto", "analytic"):
-            raise ValueError(
+            raise ScenarioError(
                 "the Stage-2 sampling ablations (sampling_method, "
                 "use_full_multiset) are only supported by engines "
                 "('batched', 'sequential'); engine "
@@ -331,33 +360,87 @@ class Scenario:
             and self.sample_size is not None
             and not vote_table_is_tractable(self.sample_size, self.num_opinions)
         ):
-            raise ValueError(
+            raise ScenarioError(
                 f"sample_size {self.sample_size} with {self.num_opinions} "
                 f"opinions exceeds the {self.engine} engine's closed-form "
                 "maj() table budget; use one of the engines "
                 "('batched', 'sequential')"
             )
+        if self.engine == "analytic" and self.rule == "approximate-consensus":
+            raise ScenarioError(
+                "rule 'approximate-consensus' is phase-tagged and admits no "
+                "counts-simplex analytic kernel; use one of the engines "
+                "('sequential', 'batched', 'counts', 'auto')"
+            )
 
     def _validate_topology_knobs(self) -> None:
         if self.topology == "complete":
             if self.degree is not None:
-                raise ValueError(
+                raise ScenarioError(
                     "degree only applies to topology 'random_regular'"
                 )
             return
         if self.workload == "dynamics":
-            raise ValueError(
+            raise ScenarioError(
                 "non-complete topologies are only supported by the protocol "
                 "workloads ('rumor', 'plurality')"
             )
         if self.engine != "sequential":
-            raise ValueError(
+            raise ScenarioError(
                 f"topology {self.topology!r} requires engine='sequential' "
                 "(the batched and counts reformulations assume the "
                 "complete graph)"
             )
         if self.topology == "random_regular" and self.degree is None:
-            raise ValueError("topology 'random_regular' requires degree")
+            raise ScenarioError("topology 'random_regular' requires degree")
+
+    def _validate_fault_knobs(self) -> None:
+        if self.faults is None:
+            return
+        try:
+            self.faults.validate()
+            self.faults.faulty_count(self.num_nodes)
+        except ValueError as error:
+            raise ScenarioError(str(error)) from error
+        if self.workload not in _PROTOCOL_WORKLOADS:
+            raise ScenarioError(
+                "faults only apply to the protocol workloads "
+                f"{_PROTOCOL_WORKLOADS} (got workload={self.workload!r}); "
+                "for Byzantine-tolerant dynamics use "
+                "rule='approximate-consensus', whose f parameter models "
+                "faulty nodes natively"
+            )
+        if self.topology != "complete":
+            raise ScenarioError(
+                "faults require topology 'complete' (got "
+                f"{self.topology!r}); the fault injection relies on the "
+                "complete graph's balls-into-bins delivery reduction"
+            )
+        if self.engine == "analytic":
+            raise ScenarioError(
+                "faults are not supported by engine 'analytic' (no exact "
+                "chain or mean-field law is implemented for faulted runs); "
+                "use one of the sampling engines "
+                "('sequential', 'batched', 'counts', 'auto')"
+            )
+        if self.process != "push":
+            raise ScenarioError(
+                "faults replace the delivery engine with the fault-aware "
+                "balls-into-bins process, so process must stay 'push' "
+                f"(got {self.process!r})"
+            )
+        if (
+            self.faults.kind == "adaptive"
+            and not self.faults.allow_degradation
+            and self.engine in ("counts", "auto")
+        ):
+            raise ScenarioError(
+                "the adaptive adversary has no counts-tier sufficient "
+                f"statistics, and engine {self.engine!r} with "
+                "allow_degradation=False forbids the counts->batched "
+                "fallback; use engine='batched' (or 'sequential'), or set "
+                "faults.allow_degradation=True"
+            )
 
     # ------------------------------------------------------------------ #
     # Derived objects
@@ -460,6 +543,40 @@ class Scenario:
         return self.plurality_instance().plurality_opinion()
 
     # ------------------------------------------------------------------ #
+    # Fault split
+    # ------------------------------------------------------------------ #
+
+    def faulty_count(self) -> int:
+        """Head-count of faulty nodes (0 when no faults are declared)."""
+        if self.faults is None:
+            return 0
+        return self.faults.faulty_count(self.num_nodes)
+
+    def honest_nodes(self) -> int:
+        """Number of honest nodes ``n_h = n - m``."""
+        return self.num_nodes - self.faulty_count()
+
+    def fault_split(self) -> Tuple[CountsState, np.ndarray]:
+        """Initial honest state and the frozen faulty opinion histogram.
+
+        Deterministic (largest-remainder proportional over the full
+        occupancy vector, undecided pool included); the rumor source is
+        always honest.  The honest part comes back as a
+        :class:`CountsState` over ``n_h`` nodes — the per-node runners
+        materialize opinions from it with the placement seed.
+        """
+        if self.faults is None:
+            raise ScenarioError("fault_split() requires a faults model")
+        full = self.initial_counts_state()
+        num_faulty = self.faulty_count()
+        protected = self.correct_opinion if self.workload == "rumor" else None
+        honest_counts, faulty_histogram = split_faulty_population(
+            full.counts, self.num_nodes, num_faulty, protected
+        )
+        honest = CountsState(honest_counts, self.num_nodes - num_faulty)
+        return honest, faulty_histogram
+
+    # ------------------------------------------------------------------ #
     # Serialization
     # ------------------------------------------------------------------ #
 
@@ -479,6 +596,8 @@ class Scenario:
                 )
             elif spec.name == "shares" and value is not None:
                 value = [float(share) for share in value]
+            elif spec.name == "faults" and value is not None:
+                value = value.to_dict()
             document[spec.name] = value
         return document
 
@@ -492,7 +611,7 @@ class Scenario:
         known = {spec.name for spec in fields(cls)}
         unknown = sorted(set(document) - known)
         if unknown:
-            raise ValueError(
+            raise ScenarioError(
                 f"unknown scenario fields: {unknown}; known fields: "
                 f"{sorted(known)}"
             )
@@ -502,4 +621,10 @@ class Scenario:
             values["noise"] = NoiseMatrix(
                 noise["probabilities"], name=noise.get("name")
             )
+        faults = values.get("faults")
+        if faults is not None and not isinstance(faults, FaultModel):
+            try:
+                values["faults"] = FaultModel.from_dict(faults)
+            except ValueError as error:
+                raise ScenarioError(str(error)) from error
         return cls(**values)

@@ -245,6 +245,11 @@ def _dynamics_task(scenario: Scenario) -> CountsDynamicsTask:
         scenario.build_noise(),
         scenario.seed,
         sample_size=scenario.sample_size,
+        epsilon=(
+            scenario.epsilon
+            if scenario.rule == "approximate-consensus"
+            else None
+        ),
     )
     return CountsDynamicsTask(
         dynamics=dynamics,
@@ -331,9 +336,15 @@ def simulate_sweep(
     serial_points: List[int] = []
     for index in pending:
         scenario = scenarios[index]
-        engine = _resolve_engine(scenario)
+        engine, _ = _resolve_engine(scenario)
         engines[index] = engine
-        if engine == "counts" and scenario.workload in ("rumor", "plurality"):
+        if scenario.faults is not None:
+            # Faulted points run per-point: the merged counts batch knows
+            # nothing about fault samplers, and simulate() already owns the
+            # honest-reduction construction (bitwise equality to the serial
+            # loop is then trivial).
+            serial_points.append(index)
+        elif engine == "counts" and scenario.workload in ("rumor", "plurality"):
             protocol_groups.setdefault(scenario.num_opinions, []).append(index)
         elif engine == "counts" and scenario.workload == "dynamics":
             dynamics_batch.append(index)

@@ -1,6 +1,18 @@
-"""Shared pytest fixtures for the repro test suite."""
+"""Shared pytest fixtures for the repro test suite.
+
+Also installs a per-test wall-clock timeout so a hung simulation (an
+engine that stops terminating, a deadlocked worker pool) fails the one
+test instead of wedging the whole suite.  When the ``pytest-timeout``
+plugin is installed it owns the job; otherwise a ``SIGALRM``-based
+fallback covers POSIX platforms (the container image has no
+pytest-timeout, and installing packages is off the table).  Override the
+budget with ``REPRO_TEST_TIMEOUT`` (seconds; ``0`` disables).
+"""
 
 from __future__ import annotations
+
+import os
+import signal
 
 import numpy as np
 import pytest
@@ -10,6 +22,40 @@ from repro.noise.families import (
     identity_matrix,
     uniform_noise_matrix,
 )
+
+TEST_TIMEOUT_SECONDS = int(os.environ.get("REPRO_TEST_TIMEOUT", "600"))
+
+
+def _pytest_timeout_installed() -> bool:
+    try:
+        import pytest_timeout  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+if (
+    TEST_TIMEOUT_SECONDS > 0
+    and hasattr(signal, "SIGALRM")
+    and not _pytest_timeout_installed()
+):
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        def _on_timeout(signum, frame):
+            raise TimeoutError(
+                f"{item.nodeid} exceeded the {TEST_TIMEOUT_SECONDS}s "
+                "per-test budget (override with REPRO_TEST_TIMEOUT)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_timeout)
+        signal.alarm(TEST_TIMEOUT_SECONDS)
+        try:
+            yield
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

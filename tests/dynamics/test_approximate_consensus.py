@@ -1,0 +1,158 @@
+"""Unit tests for the approximate-consensus baseline (all three tiers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.state import CountsState, PopulationState
+from repro.dynamics.approximate_consensus import (
+    ApproximateConsensusDynamics,
+    EnsembleApproximateConsensusDynamics,
+    EnsembleCountsApproximateConsensusDynamics,
+    byzantine_fault_tolerance,
+    interval_midpoint_law,
+    phase_budget,
+)
+from repro.noise.families import uniform_noise_matrix
+from repro.noise.matrix import NoiseMatrix
+
+
+def identity_noise(num_opinions: int) -> NoiseMatrix:
+    return NoiseMatrix(np.eye(num_opinions))
+
+
+class TestParameters:
+    def test_fault_tolerance_satisfies_n_over_3(self):
+        for num_nodes in (1, 3, 4, 60, 100):
+            fault_tolerance = byzantine_fault_tolerance(num_nodes)
+            assert num_nodes > 3 * fault_tolerance
+            assert num_nodes > 2 * fault_tolerance
+
+    def test_phase_budget_grows_with_precision(self):
+        loose = phase_budget(60, 4, 0.4)
+        tight = phase_budget(60, 4, 0.01)
+        assert tight > loose >= 1
+
+    def test_phase_budget_floors_at_one_without_faults(self):
+        assert phase_budget(3, 5, 0.01) == 1
+
+    def test_epsilon_outside_unit_interval_rejected(self):
+        noise = identity_noise(2)
+        with pytest.raises(ValueError, match="epsilon"):
+            ApproximateConsensusDynamics(10, noise, 0, epsilon=1.5)
+
+
+class TestMidpointLaw:
+    def test_consensus_input_is_absorbing(self):
+        noise = identity_noise(3)
+        law, has_mass = interval_midpoint_law(
+            np.array([[0, 12, 0]]), 12, noise, 9
+        )
+        assert has_mass[0]
+        assert np.allclose(law, [[0.0, 1.0, 0.0]])
+
+    def test_all_undecided_row_is_masked(self):
+        noise = identity_noise(3)
+        law, has_mass = interval_midpoint_law(
+            np.array([[0, 0, 0]]), 12, noise, 9
+        )
+        assert not has_mass[0]
+
+    def test_two_opinions_midpoint_rounds_half_up(self):
+        # Both extremes present almost surely => midpoint (1+2+1)//2 = 2.
+        noise = identity_noise(2)
+        law, _ = interval_midpoint_law(
+            np.array([[500, 500]]), 1000, noise, 900
+        )
+        assert law[0, 1] > 0.99
+
+    def test_law_is_a_distribution(self):
+        noise = uniform_noise_matrix(4, 0.3)
+        counts = np.array([[10, 0, 5, 3], [2, 2, 2, 2]])
+        law, has_mass = interval_midpoint_law(counts, 20, noise, 14)
+        assert has_mass.all()
+        assert np.allclose(law.sum(axis=1), 1.0)
+        assert (law >= 0).all()
+
+
+class TestTierRuns:
+    NOISE = uniform_noise_matrix(3, 0.3)
+
+    def test_sequential_fully_opinionates_and_terminates(self):
+        dynamics = ApproximateConsensusDynamics(30, self.NOISE, 0, epsilon=0.2)
+        initial = PopulationState.from_counts(
+            30, {1: 10, 2: 10}, 3, random_state=0
+        )
+        result = dynamics.run(
+            initial, 40, target_opinion=1, stop_at_consensus=False
+        )
+        assert (result.final_state.opinions > 0).all()
+
+    def test_phase_budget_freezes_the_state(self):
+        dynamics = ApproximateConsensusDynamics(30, self.NOISE, 0, epsilon=0.2)
+        initial = PopulationState.from_counts(
+            30, {1: 10, 2: 10}, 3, random_state=0
+        )
+        first = dynamics.run(
+            initial, dynamics.phase_budget, target_opinion=1,
+            stop_at_consensus=False,
+        )
+        frozen = ApproximateConsensusDynamics(
+            30, self.NOISE, 0, epsilon=0.2
+        ).run(
+            initial, dynamics.phase_budget + 25, target_opinion=1,
+            stop_at_consensus=False,
+        )
+        assert np.array_equal(
+            np.sort(first.final_state.opinions),
+            np.sort(frozen.final_state.opinions),
+        )
+
+    def test_counts_tier_reaches_consensus_without_noise(self):
+        dynamics = EnsembleCountsApproximateConsensusDynamics(
+            31, identity_noise(2), 3, epsilon=0.2
+        )
+        result = dynamics.run(
+            CountsState(np.array([15, 16]), 31), 20, 50,
+            target_opinion=1, stop_at_consensus=False,
+        )
+        assert result.convergence_rate == 1.0
+
+    def test_counts_run_is_repeatable(self):
+        def run():
+            return EnsembleCountsApproximateConsensusDynamics(
+                30, self.NOISE, 5, epsilon=0.2
+            ).run(
+                CountsState(np.array([10, 10, 0]), 30), 20, 16,
+                target_opinion=1, stop_at_consensus=False,
+            )
+
+        first, second = run(), run()
+        assert np.array_equal(first.final_states.counts,
+                              second.final_states.counts)
+
+    def test_batched_trials_match_batch_of_one(self):
+        initial = PopulationState.from_counts(
+            24, {1: 8, 2: 8}, 3, random_state=0
+        )
+        from repro.utils.rng import spawn_generators
+
+        batch = EnsembleApproximateConsensusDynamics(
+            24, self.NOISE, None, epsilon=0.2
+        )
+        batch._random_state = spawn_generators(4, 12)
+        batched = batch.run(
+            initial, 15, 4, target_opinion=1, stop_at_consensus=False
+        )
+        for trial in range(4):
+            single = EnsembleApproximateConsensusDynamics(
+                24, self.NOISE, None, epsilon=0.2
+            )
+            single._random_state = [spawn_generators(4, 12)[trial]]
+            lone = single.run(
+                initial, 15, 1, target_opinion=1, stop_at_consensus=False
+            )
+            assert np.array_equal(
+                lone.final_states.opinions[0], batched.final_states.opinions[trial]
+            ), f"trial {trial} diverges from its batch-of-one run"

@@ -26,6 +26,19 @@ from repro.experiments.spec import get_spec
 FAST_IDS = ["E5", "E10", "E11"]
 
 
+def _always_crash(config=None, random_state=0):
+    """A deliberately crashing experiment body (module-level: picklable)."""
+    raise RuntimeError("injected worker crash")
+
+
+def _patch_run_fn(monkeypatch, experiment_id, run_fn):
+    """Swap one registered experiment's run function (registry-scoped)."""
+    from repro.experiments import spec as spec_module
+
+    broken = dataclasses.replace(get_spec(experiment_id), run_fn=run_fn)
+    monkeypatch.setitem(spec_module._REGISTRY, experiment_id, broken)
+
+
 class TestResultStoreKeys:
     def test_identical_identity_hits(self, tmp_path):
         store = ResultStore(tmp_path)
@@ -176,6 +189,76 @@ class TestRunAll:
     def test_unknown_experiment_id_raises(self, tmp_path):
         with pytest.raises(KeyError):
             run_all(["E42"], store=tmp_path)
+
+    def test_crashing_job_fails_structured_without_killing_the_sweep(
+        self, tmp_path, monkeypatch
+    ):
+        calls = {"count": 0}
+
+        def crash(config=None, random_state=0):
+            calls["count"] += 1
+            raise RuntimeError("injected worker crash")
+
+        _patch_run_fn(monkeypatch, "E10", crash)
+        reports = run_all(["E10", "E11"], jobs=1, seed=0, store=tmp_path)
+        statuses = {r.experiment_id: r.status for r in reports}
+        assert statuses == {"E10": "failed", "E11": "ran"}
+        assert calls["count"] == 2  # first attempt + exactly one retry
+        failed = next(r for r in reports if r.status == "failed")
+        assert "injected worker crash" in failed.error
+        record = failed.table.records[0]
+        assert record["status"] == "failed"
+        assert record["error_type"] == "RuntimeError"
+        assert record["attempts"] == 2
+        assert failed.table.provenance["failed"] is True
+
+    def test_failure_tables_are_not_persisted(self, tmp_path, monkeypatch):
+        _patch_run_fn(monkeypatch, "E10", _always_crash)
+        run_all(["E10", "E11"], jobs=1, seed=0, store=tmp_path)
+        # A resume pass serves E11 from cache but *retries* the crashed
+        # E10 instead of serving the failure from the store.
+        resumed = run_all(
+            ["E10", "E11"], jobs=1, seed=0, store=tmp_path, resume=True
+        )
+        statuses = {r.experiment_id: r.status for r in resumed}
+        assert statuses == {"E10": "failed", "E11": "cached"}
+
+    def test_flaky_job_succeeds_on_the_retry(self, tmp_path, monkeypatch):
+        baseline = run_all(["E10"], seed=0, store=tmp_path / "baseline")
+        original = get_spec("E10").run_fn
+        calls = {"count": 0}
+
+        def flaky(config=None, random_state=0):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("transient glitch")
+            return original(config, random_state=random_state)
+
+        _patch_run_fn(monkeypatch, "E10", flaky)
+        reports = run_all(["E10"], seed=0, store=tmp_path / "retry")
+        assert reports[0].status == "ran"
+        assert reports[0].error is None
+        assert reports[0].table.records == baseline[0].table.records
+
+    def test_parallel_crashed_worker_leaves_e15_table_complete(
+        self, tmp_path, monkeypatch
+    ):
+        """The ISSUE acceptance: E15 quick under run-all --jobs with a
+        deliberately crashed sibling job still produces its full table."""
+        _patch_run_fn(monkeypatch, "E10", _always_crash)
+        reports = run_all(["E10", "E15"], jobs=2, seed=0, store=tmp_path)
+        statuses = {r.experiment_id: r.status for r in reports}
+        assert statuses == {"E10": "failed", "E15": "ran"}
+        e15 = next(r for r in reports if r.experiment_id == "E15")
+        # Complete grid: 2 workloads x (1 fault-free + 4 families x 2 f's).
+        assert len(e15.table.records) == 18
+        adaptive = [
+            record for record in e15.table.records
+            if record["adversary"] == "adaptive"
+        ]
+        assert adaptive and all(
+            record["engine_degraded_reason"] for record in adaptive
+        )
 
     def test_multi_seed_replication_sweep(self, tmp_path):
         reports = run_all(

@@ -414,8 +414,8 @@ class TestEngineResolution:
         below = Scenario(
             workload="rumor", num_nodes=63, engine="auto", counts_threshold=64
         )
-        assert _resolve_engine(at) == "counts"
-        assert _resolve_engine(below) == "batched"
+        assert _resolve_engine(at) == ("counts", None)
+        assert _resolve_engine(below) == ("batched", None)
 
     def test_auto_honours_explicit_threshold(self):
         assert resolve_trial_engine("auto", 100, counts_threshold=50) == "counts"

@@ -19,8 +19,8 @@ from repro.experiments.spec import (
 
 
 class TestRegistryCompleteness:
-    def test_all_fourteen_experiments_registered(self):
-        assert registered_ids() == [f"E{index}" for index in range(1, 15)]
+    def test_all_fifteen_experiments_registered(self):
+        assert registered_ids() == [f"E{index}" for index in range(1, 16)]
 
     def test_specs_are_ordered_numerically(self):
         indices = [spec.index for spec in all_specs()]

@@ -289,3 +289,84 @@ class TestDerivedObjects:
         noise = scenario.build_noise()
         assert noise.num_opinions == scenario.num_opinions
         assert "0.25" in noise.name or noise.name.startswith("uniform")
+
+
+class TestActionableErrorMessages:
+    """Every invalid knob raises the single ScenarioError type, naming the
+    offending knob and the valid alternatives (the simulate() facade's
+    actionable-error contract)."""
+
+    def test_scenario_error_is_the_single_value_error_subtype(self):
+        from repro.sim.scenario import ScenarioError
+
+        assert issubclass(ScenarioError, ValueError)
+        with pytest.raises(ScenarioError) as excinfo:
+            scenario_for("gossip", "auto")
+        assert "workload" in str(excinfo.value)
+        assert "rumor" in str(excinfo.value)  # names the alternatives
+
+    def test_bad_engine_lists_the_policies(self):
+        from repro.sim.scenario import ScenarioError
+
+        with pytest.raises(ScenarioError, match="engine must be one of"):
+            scenario_for("rumor", "quantum")
+
+    def test_faults_on_analytic_points_to_the_sampling_engines(self):
+        from repro.faults import FaultModel
+        from repro.sim.scenario import ScenarioError
+
+        with pytest.raises(ScenarioError) as excinfo:
+            scenario_for(
+                "rumor", "analytic",
+                faults=FaultModel(kind="liar", fraction=0.1),
+            )
+        message = str(excinfo.value)
+        assert "analytic" in message and "sampling engines" in message
+
+    def test_faults_on_dynamics_points_to_approximate_consensus(self):
+        from repro.faults import FaultModel
+        from repro.sim.scenario import ScenarioError
+
+        with pytest.raises(ScenarioError) as excinfo:
+            scenario_for(
+                "dynamics", "batched",
+                faults=FaultModel(kind="crash", fraction=0.1, crash_round=2),
+            )
+        assert "approximate-consensus" in str(excinfo.value)
+
+    def test_adaptive_without_degradation_names_both_fixes(self):
+        from repro.faults import FaultModel
+        from repro.sim.scenario import ScenarioError
+
+        with pytest.raises(ScenarioError) as excinfo:
+            scenario_for(
+                "rumor", "counts",
+                faults=FaultModel(
+                    kind="adaptive", fraction=0.1, allow_degradation=False
+                ),
+            )
+        message = str(excinfo.value)
+        assert "allow_degradation" in message
+        assert "batched" in message  # the alternative engine is named
+
+    def test_fault_model_errors_surface_as_scenario_errors(self):
+        """Model-level failures (here: a fraction leaving no honest node
+        at this population size) re-raise as ScenarioError, so callers
+        catch one type for every invalid knob."""
+        from repro.faults import FaultModel
+        from repro.sim.scenario import ScenarioError
+
+        with pytest.raises(ScenarioError):
+            scenario_for(
+                "rumor", "auto", num_nodes=2,
+                faults=FaultModel(kind="liar", fraction=0.9),
+            )
+
+    def test_approximate_consensus_epsilon_message_names_the_reuse(self):
+        from repro.sim.scenario import ScenarioError
+
+        with pytest.raises(ScenarioError, match="precision target"):
+            scenario_for(
+                "dynamics", "batched", rule="approximate-consensus",
+                epsilon=1.2,
+            )

@@ -18,6 +18,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.dynamics import DYNAMICS_RULES
+from repro.faults import FAULT_KINDS, FaultModel
 from repro.network.delivery import DELIVERY_PROCESSES
 from repro.noise.families import uniform_noise_matrix
 from repro.sim import Scenario
@@ -27,6 +28,36 @@ from repro.sim.scenario import ENGINE_POLICIES, TOPOLOGIES, WORKLOADS
 # h-majority combinations stay valid on every engine policy.
 OPINIONS = st.integers(min_value=2, max_value=5)
 SEEDS = st.one_of(st.none(), st.integers(min_value=0, max_value=2**31 - 1))
+
+
+@st.composite
+def fault_models(draw, engine: str) -> FaultModel:
+    """A valid :class:`FaultModel` for a scenario running on ``engine``.
+
+    The adaptive adversary on the counts-capable policies must keep the
+    degradation fallback enabled to stay a *valid* combination (the
+    rejection of the disabled fallback is pinned separately).
+    """
+    kind = draw(st.sampled_from(FAULT_KINDS))
+    knobs = {
+        "kind": kind,
+        # Capped below 1/2 so at least one honest node always survives
+        # the rounded split at every population size.
+        "fraction": draw(
+            st.floats(min_value=0.05, max_value=0.45, allow_nan=False)
+        ),
+    }
+    if kind == "crash":
+        knobs["crash_round"] = draw(st.integers(min_value=0, max_value=30))
+    if kind == "omission":
+        knobs["drop_rate"] = draw(
+            st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+        )
+    if kind == "adaptive" and engine in ("counts", "auto"):
+        knobs["allow_degradation"] = True
+    else:
+        knobs["allow_degradation"] = draw(st.booleans())
+    return FaultModel(**knobs)
 
 
 @st.composite
@@ -66,7 +97,14 @@ def valid_scenarios(draw) -> Scenario:
         )
 
     if workload == "dynamics":
-        rule = draw(st.sampled_from(DYNAMICS_RULES))
+        rules = DYNAMICS_RULES
+        if engine == "analytic":
+            # The phase-tagged approximate-consensus rule has no analytic
+            # kernel; the pair is a documented rejection, not a scenario.
+            rules = tuple(
+                rule for rule in rules if rule != "approximate-consensus"
+            )
+        rule = draw(st.sampled_from(rules))
         knobs["rule"] = rule
         if rule == "h-majority":
             knobs["sample_size"] = draw(st.integers(min_value=3, max_value=20))
@@ -88,6 +126,13 @@ def valid_scenarios(draw) -> Scenario:
             knobs["degree"] = draw(
                 st.integers(min_value=1, max_value=max(1, num_nodes - 1))
             )
+        if (
+            engine != "analytic"
+            and knobs.get("process", "push") == "push"
+            and "topology" not in knobs
+            and draw(st.booleans())
+        ):
+            knobs["faults"] = draw(fault_models(engine))
 
     if workload in ("plurality", "dynamics"):
         if draw(st.booleans()):
@@ -218,6 +263,18 @@ class TestCrossWorkloadKnobRejection:
             )
 
     @settings(max_examples=40, deadline=None)
+    @given(scenario=valid_scenarios(), kind=st.sampled_from(FAULT_KINDS))
+    def test_faults_are_rejected_on_dynamics(self, scenario, kind):
+        if scenario.workload != "dynamics":
+            return
+        document = {
+            **scenario.to_dict(),
+            "faults": {"kind": kind, "fraction": 0.1},
+        }
+        with pytest.raises(ValueError, match="faults only apply"):
+            Scenario.from_dict(document)
+
+    @settings(max_examples=40, deadline=None)
     @given(
         scenario=valid_scenarios(),
         support=st.integers(min_value=1, max_value=100),
@@ -249,6 +306,34 @@ class TestEngineKnobRejection:
         }
         document.pop("counts_threshold", None)
         with pytest.raises(ValueError, match="sampling ablations"):
+            Scenario.from_dict(document)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        scenario=valid_scenarios(),
+        engine=st.sampled_from(["counts", "auto"]),
+    )
+    def test_adaptive_without_degradation_is_rejected_on_counts(
+        self, scenario, engine
+    ):
+        if scenario.workload == "dynamics":
+            return
+        document = {
+            **scenario.to_dict(),
+            "engine": engine,
+            "faults": {
+                "kind": "adaptive",
+                "fraction": 0.1,
+                "allow_degradation": False,
+            },
+        }
+        document.update(
+            sampling_method="without_replacement", use_full_multiset=False,
+            topology="complete", degree=None, process="push",
+        )
+        if engine != "auto":
+            document.pop("counts_threshold", None)
+        with pytest.raises(ValueError, match="allow_degradation"):
             Scenario.from_dict(document)
 
     @settings(max_examples=40, deadline=None)

@@ -369,6 +369,59 @@ class TestFallbackTiers:
         assert sweep.engines == ["batched", "counts"]
 
 
+class TestFaultedSweep:
+    """Faulted points route to the serial path and stay bitwise exact."""
+
+    def test_faults_axis_counts_engine(self):
+        from repro.faults import FaultModel
+
+        grid = ScenarioGrid(
+            protocol_base(num_nodes=200, num_trials=2),
+            {
+                "faults": (
+                    None,
+                    FaultModel(kind="liar", fraction=0.1),
+                    FaultModel(kind="crash", fraction=0.1, crash_round=2),
+                    FaultModel(kind="omission", fraction=0.1, drop_rate=0.4),
+                )
+            },
+        )
+        sweep = assert_sweep_matches_serial(grid)
+        # The fault-free point still fuses on counts; faulted ones serial.
+        assert sweep.engines == ["counts"] * 4
+
+    def test_fraction_axis_batched_engine(self):
+        from repro.faults import FaultModel
+
+        grid = ScenarioGrid(
+            protocol_base(
+                workload="plurality", bias=0.4, engine="batched",
+                num_nodes=150, num_trials=2,
+            ),
+            {
+                "faults": (
+                    FaultModel(kind="adaptive", fraction=0.05),
+                    FaultModel(kind="adaptive", fraction=0.2),
+                )
+            },
+        )
+        assert_sweep_matches_serial(grid)
+
+    def test_adaptive_on_counts_degrades_inside_the_sweep(self):
+        from repro.faults import FaultModel
+
+        grid = ScenarioGrid(
+            protocol_base(
+                num_nodes=200, num_trials=2,
+                faults=FaultModel(kind="adaptive", fraction=0.1),
+            ),
+            {"epsilon": (0.3, 0.4)},
+        )
+        sweep = assert_sweep_matches_serial(grid)
+        for result in sweep:
+            assert "engine_degraded_reason" in result.provenance
+
+
 # --------------------------------------------------------------------- #
 # Result store integration
 # --------------------------------------------------------------------- #

@@ -236,8 +236,8 @@ class TestExperimentRegistry:
             assert spec.description
             assert spec.supported_engines
 
-    def test_registry_covers_e1_through_e14(self):
-        assert registered_ids() == [f"E{index}" for index in range(1, 15)]
+    def test_registry_covers_e1_through_e15(self):
+        assert registered_ids() == [f"E{index}" for index in range(1, 16)]
 
 
 class TestCommands:
@@ -246,7 +246,7 @@ class TestCommands:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "E1" in captured.out
-        assert "E14" in captured.out
+        assert "E15" in captured.out
 
     def test_run_experiment_e11(self, capsys):
         exit_code = main(["run-experiment", "E11", "--seed", "0"])
