@@ -17,10 +17,13 @@ measures both halves of that contract:
   never come from a semantics drift).
 
 A protocol-workload grid (counts tier, rumor spreading) is measured as
-well and recorded without an assertion — protocol points fuse per
-opinion-count group and their speedup is workload-dependent — plus the
-``maj()`` vote-law cache counters, which show how much tabulation work
-grid points shared.
+well — best-of-3 timings at a trial count large enough that the fused
+path's advantage is measurable, in both draw modes (per-trial, which is
+bitwise-checked here, and batched, which is distribution-pinned by the
+``pytest -m agreement`` suite) — and recorded without an assertion; the
+``>= 3x`` protocol-sweep floor is asserted by
+``bench_protocol_fastpath.py``.  The ``maj()`` vote-law cache counters
+are recorded too, showing how much tabulation work grid points shared.
 
 Run with::
 
@@ -53,6 +56,12 @@ ACCEPTANCE_GRID_SIZE = 256
 MIN_SPEEDUP = 5.0
 
 PROTOCOL_GRID_SIZE = 16
+#: Enough trials that the fused path's advantage is measurable: at
+#: ``num_trials=2`` the constant per-grid setup cost swamps the per-trial
+#: signal and a single timing run reports noise (the old 1.15x number).
+PROTOCOL_TRIALS = 32
+#: Protocol timings are best-of-N; sub-second measurements jitter badly.
+PROTOCOL_REPEATS = 3
 RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
 
 #: Every field of :class:`~repro.sim.result.SimulationResult` that carries
@@ -100,7 +109,7 @@ def _protocol_grid(size: int) -> ScenarioGrid:
             num_opinions=2,
             epsilon=0.2,
             engine="counts",
-            num_trials=2,
+            num_trials=PROTOCOL_TRIALS,
             seed=11,
         ),
         {"epsilon": tuple(np.linspace(0.2, 0.45, size))},
@@ -126,18 +135,31 @@ def _assert_point_equal(index: int, serial, fused) -> None:
         )
 
 
-def _measure(grid: ScenarioGrid):
-    """(serial seconds, sweep seconds) for one grid, equivalence-checked."""
-    started = time.perf_counter()
-    serial_results = [simulate(scenario) for scenario in grid.scenarios()]
-    serial_seconds = time.perf_counter() - started
+def _measure(grid: ScenarioGrid, repeats: int = 1, draw_mode: str = "per-trial"):
+    """(serial seconds, sweep seconds) for one grid, equivalence-checked.
 
-    started = time.perf_counter()
-    sweep = simulate_sweep(grid)
-    sweep_seconds = time.perf_counter() - started
+    Both sides are timed ``repeats`` times and the minimum is kept —
+    best-of-N is the standard estimator for the deterministic cost of a
+    computation (every perturbation is additive noise).  Bitwise
+    equivalence is only asserted for the per-trial draw mode; the batched
+    mode reorders raw draws and is pinned distributionally by the
+    ``pytest -m agreement`` suite instead.
+    """
+    serial_seconds = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        serial_results = [simulate(scenario) for scenario in grid.scenarios()]
+        serial_seconds = min(serial_seconds, time.perf_counter() - started)
 
-    for index, (serial, fused) in enumerate(zip(serial_results, sweep)):
-        _assert_point_equal(index, serial, fused)
+    sweep_seconds = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        sweep = simulate_sweep(grid, draw_mode=draw_mode)
+        sweep_seconds = min(sweep_seconds, time.perf_counter() - started)
+
+    if draw_mode == "per-trial":
+        for index, (serial, fused) in enumerate(zip(serial_results, sweep)):
+            _assert_point_equal(index, serial, fused)
     return serial_seconds, sweep_seconds
 
 
@@ -158,13 +180,23 @@ def test_sweep_speedup_and_equivalence(capsys):
         }
 
     protocol_serial, protocol_sweep = _measure(
-        _protocol_grid(PROTOCOL_GRID_SIZE)
+        _protocol_grid(PROTOCOL_GRID_SIZE), repeats=PROTOCOL_REPEATS
+    )
+    _, protocol_batched = _measure(
+        _protocol_grid(PROTOCOL_GRID_SIZE),
+        repeats=PROTOCOL_REPEATS,
+        draw_mode="batched",
     )
     protocol_entry = {
         "points": PROTOCOL_GRID_SIZE,
+        "timing_repeats": PROTOCOL_REPEATS,
         "serial_seconds": round(protocol_serial, 4),
         "sweep_seconds": round(protocol_sweep, 4),
         "speedup": round(protocol_serial / max(protocol_sweep, 1e-9), 2),
+        "batched_sweep_seconds": round(protocol_batched, 4),
+        "batched_speedup": round(
+            protocol_serial / max(protocol_batched, 1e-9), 2
+        ),
     }
     cache_info = vote_law_cache_info()
 
@@ -177,8 +209,10 @@ def test_sweep_speedup_and_equivalence(capsys):
             f"\n[bench_sweep] dynamics epsilon grids (voter, n=600, "
             f"max_rounds=200): {dynamics_curve} (target >= "
             f"{MIN_SPEEDUP:.0f}x at {ACCEPTANCE_GRID_SIZE}); protocol grid "
-            f"(rumor, n=100k, R=2, {PROTOCOL_GRID_SIZE} pts) "
-            f"{protocol_entry['speedup']:.1f}x; every point bitwise equal; "
+            f"(rumor, n=100k, R={PROTOCOL_TRIALS}, {PROTOCOL_GRID_SIZE} pts, "
+            f"best of {PROTOCOL_REPEATS}) {protocol_entry['speedup']:.1f}x "
+            f"per-trial / {protocol_entry['batched_speedup']:.1f}x batched; "
+            f"every per-trial point bitwise equal; "
             f"vote-law cache {cache_info['law_hits']} hits / "
             f"{cache_info['law_misses']} misses"
         )
@@ -201,7 +235,7 @@ def test_sweep_speedup_and_equivalence(capsys):
                 "workload": "rumor",
                 "num_nodes": 100_000,
                 "num_opinions": 2,
-                "num_trials": 2,
+                "num_trials": PROTOCOL_TRIALS,
                 "bitwise_equal": True,
                 **protocol_entry,
             },

@@ -1,0 +1,119 @@
+"""Profile the hot path of every engine tier with cProfile.
+
+Perf PRs should start from data, not guesses: this script runs one
+representative scenario per engine tier (plus the fused protocol sweep,
+the subject of the counts-tier fast path work) under :mod:`cProfile` and
+prints the top-20 cumulative-time functions for each.  The same report is
+available for a single ad-hoc run via ``repro simulate --profile``.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/profile_hotpath.py
+    PYTHONPATH=src python benchmarks/profile_hotpath.py --tier counts --limit 30
+
+Scenario sizes are chosen so each tier profiles in roughly a second —
+large enough that the round loop dominates over one-time setup, small
+enough to iterate on.  Pass ``--scale`` to multiply the node counts when
+hunting size-dependent costs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+from typing import Callable, Dict
+
+from repro.sim import Scenario, ScenarioGrid, simulate, simulate_sweep
+
+
+def _tier_scenario(engine: str, num_nodes: int) -> Scenario:
+    return Scenario(
+        workload="rumor",
+        num_nodes=num_nodes,
+        num_opinions=2,
+        epsilon=0.3,
+        engine=engine,
+        num_trials=8 if engine == "sequential" else 32,
+        seed=7,
+    )
+
+
+def _profile_sweep(scale: float) -> None:
+    grid = ScenarioGrid(
+        Scenario(
+            workload="rumor",
+            num_nodes=int(50_000 * scale),
+            num_opinions=2,
+            epsilon=0.2,
+            engine="counts",
+            num_trials=16,
+            seed=11,
+        ),
+        {"epsilon": (0.2, 0.25, 0.3, 0.35, 0.4, 0.45)},
+    )
+    simulate_sweep(grid)
+
+
+def _workloads(scale: float) -> Dict[str, Callable[[], None]]:
+    return {
+        "sequential": lambda: simulate(
+            _tier_scenario("sequential", int(400 * scale))
+        ),
+        "batched": lambda: simulate(
+            _tier_scenario("batched", int(5_000 * scale))
+        ),
+        "counts": lambda: simulate(
+            _tier_scenario("counts", int(1_000_000 * scale))
+        ),
+        "sweep": lambda: _profile_sweep(scale),
+    }
+
+
+def _profile(name: str, workload: Callable[[], None], limit: int) -> None:
+    # One unprofiled warm-up run so lazily built tables (vote laws,
+    # Poisson tails) and import costs do not drown the steady-state
+    # round-loop numbers the report is meant to expose.
+    workload()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        workload()
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(
+        limit
+    )
+    print(f"=== {name} ===")
+    print(stream.getvalue().rstrip())
+    print()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tier",
+        action="append",
+        choices=("sequential", "batched", "counts", "sweep"),
+        help="profile only these tiers (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=20,
+        help="number of functions to print per tier (default 20)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="multiply every tier's node count by this factor (default 1)",
+    )
+    args = parser.parse_args(argv)
+    workloads = _workloads(args.scale)
+    tiers = args.tier or list(workloads)
+    for name in tiers:
+        _profile(name, workloads[name], args.limit)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,6 +59,9 @@ prints can also be obtained programmatically (see README).
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
+import pstats
 import sys
 import time
 from typing import Optional, Sequence
@@ -210,6 +213,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument(
         "--json", action="store_true",
         help="print the full SimulationResult as JSON instead of the summary",
+    )
+    simulate_parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top-20 cumulative-time "
+             "functions to stderr after the summary",
     )
     _add_engine_arguments(simulate_parser, default="auto")
 
@@ -506,6 +514,14 @@ def _run_scenario(
         parser.error(str(error))
 
 
+def _profile_report(profiler: cProfile.Profile, limit: int = 20) -> str:
+    """The top-``limit`` cumulative-time functions of a finished profile."""
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(limit)
+    return stream.getvalue().rstrip()
+
+
 def _result_exit_code(result) -> int:
     """0 when every sampled trial succeeded (analytic runs always return 0:
     they report probabilities, not per-trial verdicts)."""
@@ -569,7 +585,17 @@ def _command_simulate(
         )
     except ValueError as error:
         parser.error(str(error))
-    result = _run_scenario(scenario, parser)
+    profiler = cProfile.Profile() if args.profile else None
+    if profiler is not None:
+        profiler.enable()
+        try:
+            result = _run_scenario(scenario, parser)
+        finally:
+            profiler.disable()
+        # Stats go to stderr so ``--json`` output stays parseable.
+        print(_profile_report(profiler), file=sys.stderr)
+    else:
+        result = _run_scenario(scenario, parser)
     if args.json:
         print(result.to_json())
         return _result_exit_code(result)

@@ -785,7 +785,8 @@ def _block_bias(distributions: np.ndarray, target: int) -> np.ndarray:
     """
     if distributions.shape[1] == 1:
         return distributions[:, 0]
-    rivals = np.delete(distributions, target - 1, axis=1)
+    rivals = distributions.copy()
+    rivals[:, target - 1] = -np.inf
     return distributions[:, target - 1] - rivals.max(axis=1)
 
 
@@ -803,8 +804,16 @@ class _PreparedPoint:
     stage2_records: list = field(default_factory=list)
 
 
-def _prepare_point(task: CountsProtocolTask) -> _PreparedPoint:
-    """Replicate :meth:`CountsProtocol.run`'s entry work for one point."""
+def _prepare_point(
+    task: CountsProtocolTask, *, spawn_generators: bool = True
+) -> _PreparedPoint:
+    """Replicate :meth:`CountsProtocol.run`'s entry work for one point.
+
+    ``spawn_generators=False`` skips resolving the per-trial streams —
+    batched-draw runs never touch them (only the shared stream of the
+    batch's first point), so spawning one child generator per trial per
+    point would be pure setup waste.
+    """
     if task.schedule is None and task.epsilon is None:
         raise ValueError("either schedule or epsilon must be provided")
     num_nodes = int(task.num_nodes)
@@ -836,9 +845,12 @@ def _prepare_point(task: CountsProtocolTask) -> _PreparedPoint:
             initial_opinionated=max(1, int(ensemble.opinionated_counts().min())),
             round_scale=task.round_scale,
         )
-    generators = resolve_trial_randomness(
-        task.random_state, ensemble.num_trials, "per_trial"
-    )
+    if spawn_generators:
+        generators = resolve_trial_randomness(
+            task.random_state, ensemble.num_trials, "per_trial"
+        )
+    else:
+        generators = []
     plan = [
         ("s1", phase_index, int(num_rounds))
         for phase_index, num_rounds in enumerate(schedule.stage1.phase_lengths)
@@ -857,10 +869,21 @@ def _prepare_point(task: CountsProtocolTask) -> _PreparedPoint:
     )
 
 
-def _gather_submodel(parts):
-    """Gathered rows, local slices and a delivery model for one substep."""
+def _gather_submodel(parts, cache=None):
+    """Gathered rows, local slices and a delivery model for one substep.
+
+    The active point set is stable across most substeps (points retire only
+    when their schedule ends), so callers pass a ``cache`` dict and the
+    rows/slices/model triple is rebuilt only when the participating points
+    change — the lazy-assembly rebuild that used to run every substep.
+    """
     from repro.network.balls_bins import HeterogeneousCountsDeliveryModel
 
+    key = tuple(id(point) for point in parts)
+    if cache is not None:
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
     rows = []
     local_slices = []
     offset = 0
@@ -875,19 +898,34 @@ def _gather_submodel(parts):
         [point.task.num_nodes for point in parts],
         [point.task.noise for point in parts],
     )
-    return np.concatenate(rows), local_slices, sub_model
+    gathered = (np.concatenate(rows), local_slices, sub_model)
+    if cache is not None:
+        cache[key] = gathered
+    return gathered
 
 
-def _run_stage1_substep(counts, generators, parts, step) -> None:
+def _substep_randomness(generators, rows):
+    """The randomness a merged substep hands the delivery model.
+
+    Per-trial mode (a list of one generator per merged row) gathers the
+    active rows' own streams; batched mode (a single shared generator)
+    passes the stream through untouched.
+    """
+    if isinstance(generators, list):
+        return [generators[row] for row in rows]
+    return generators
+
+
+def _run_stage1_substep(counts, generators, parts, step, cache=None) -> None:
     """One merged Stage-1 phase over every block whose plan says "s1" now."""
-    rows, local_slices, sub_model = _gather_submodel(parts)
+    rows, local_slices, sub_model = _gather_submodel(parts, cache)
     num_rounds = np.repeat(
         np.asarray([point.plan[step][2] for point in parts], dtype=np.int64),
         [sl.stop - sl.start for sl in local_slices],
     )
     counts_sub = counts[rows]
     histograms = counts_sub * num_rounds[:, np.newaxis]
-    gens_sub = [generators[row] for row in rows]
+    gens_sub = _substep_randomness(generators, rows)
     noisy = sub_model.recolor(histograms, gens_sub)
     undecided = sub_model.num_nodes - counts_sub.sum(axis=1, dtype=np.int64)
     adopted = sub_model.sample_adoptions(noisy, undecided, gens_sub)
@@ -910,9 +948,9 @@ def _run_stage1_substep(counts, generators, parts, step) -> None:
         )
 
 
-def _run_stage2_substep(counts, generators, parts, step) -> None:
+def _run_stage2_substep(counts, generators, parts, step, cache=None) -> None:
     """One merged Stage-2 phase over every block whose plan says "s2" now."""
-    rows, local_slices, sub_model = _gather_submodel(parts)
+    rows, local_slices, sub_model = _gather_submodel(parts, cache)
     sizes = [sl.stop - sl.start for sl in local_slices]
     num_rounds = np.repeat(
         np.asarray([point.plan[step][2] for point in parts], dtype=np.int64),
@@ -925,7 +963,7 @@ def _run_stage2_substep(counts, generators, parts, step) -> None:
     counts_sub = counts[rows]
     distributions_before = counts_sub / sub_model.num_nodes[:, np.newaxis]
     histograms = counts_sub * num_rounds[:, np.newaxis]
-    gens_sub = [generators[row] for row in rows]
+    gens_sub = _substep_randomness(generators, rows)
     noisy = sub_model.recolor(histograms, gens_sub)
     update_probability = sub_model.update_probability(noisy, sample_sizes_rows)
     undecided = sub_model.num_nodes - counts_sub.sum(axis=1, dtype=np.int64)
@@ -963,6 +1001,8 @@ def _run_stage2_substep(counts, generators, parts, step) -> None:
 
 def run_heterogeneous_counts_protocol(
     tasks: List[CountsProtocolTask],
+    *,
+    draw_mode: str = "per-trial",
 ) -> List[EnsembleResult]:
     """Run many counts-protocol grid points as one merged batched computation.
 
@@ -991,10 +1031,27 @@ def run_heterogeneous_counts_protocol(
     separate merged substeps); points whose schedule is exhausted retire
     early and stop paying any per-step cost.  All points must share the
     number of opinions ``k`` (callers group by ``k`` first).
+
+    ``draw_mode="batched"`` gives up the bitwise guarantee for throughput:
+    every merged substep draws from one shared stream via column-wise
+    batched multinomials/binomials instead of one generator call per row.
+    The per-row *laws* are untouched, so results are samples of exactly the
+    same distribution (verified by the ``pytest -m agreement`` TVD/Wilson
+    harness); only the raw draw order differs from the serial loop.  The
+    shared stream is the first point's first spawned trial generator, so
+    batched runs are themselves deterministic given the task seeds.
     """
+    if draw_mode not in ("per-trial", "batched"):
+        raise ValueError(
+            f"draw_mode must be 'per-trial' or 'batched', got {draw_mode!r}"
+        )
     if not tasks:
         return []
-    points = [_prepare_point(task) for task in tasks]
+    batched = draw_mode == "batched"
+    points = [
+        _prepare_point(task, spawn_generators=(not batched or index == 0))
+        for index, task in enumerate(tasks)
+    ]
     num_opinions = points[0].ensemble.num_opinions
     if any(p.ensemble.num_opinions != num_opinions for p in points):
         raise ValueError(
@@ -1014,10 +1071,14 @@ def run_heterogeneous_counts_protocol(
         np.concatenate(per_row_nodes),
     )
     counts = merged.counts
-    generators = [
-        generator for point in points for generator in point.generators
-    ]
+    if draw_mode == "batched":
+        generators = points[0].generators[0]
+    else:
+        generators = [
+            generator for point in points for generator in point.generators
+        ]
     step = 0
+    submodel_cache = {}
     while True:
         active = [point for point in points if step < len(point.plan)]
         if not active:
@@ -1025,9 +1086,13 @@ def run_heterogeneous_counts_protocol(
         stage1_parts = [p for p in active if p.plan[step][0] == "s1"]
         stage2_parts = [p for p in active if p.plan[step][0] == "s2"]
         if stage1_parts:
-            _run_stage1_substep(counts, generators, stage1_parts, step)
+            _run_stage1_substep(
+                counts, generators, stage1_parts, step, submodel_cache
+            )
         if stage2_parts:
-            _run_stage2_substep(counts, generators, stage2_parts, step)
+            _run_stage2_substep(
+                counts, generators, stage2_parts, step, submodel_cache
+            )
         step += 1
     results = []
     for point in points:

@@ -374,9 +374,11 @@ class CountsStage1Executor:
         histograms = self.delivery.phase_histograms(
             state.counts, num_rounds, self._random_state
         )
+        # The histogram is validated once here (recolor); the adoption
+        # sampler reuses the validated post-noise array without re-checking.
         noisy = self.delivery.recolor(histograms, self._random_state)
         adopted = self.delivery.sample_adoptions(
-            noisy, state.undecided_counts(), self._random_state
+            noisy, state.undecided_counts(), self._random_state, validate=False
         )
         state.counts += adopted[:, 1:]
         bias = (

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.core.schedule import Stage2Schedule
 from repro.core.state import EnsembleCountsState, EnsembleState, PopulationState
-from repro.network.balls_bins import CountsDeliveryModel
+from repro.network.balls_bins import CompiledPhaseLaw, CountsDeliveryModel
 from repro.network.delivery import (
     deliver_ensemble_phase,
     deliver_phase,
@@ -435,6 +435,18 @@ class CountsStage2Executor:
         if track_opinion is None:
             pooled = current.pooled_plurality_opinion()
             track_opinion = pooled if pooled > 0 else None
+        # Compile each distinct (num_rounds, sample_size) once up front:
+        # phases sharing a sample size (all the "short" Stage-2 phases do)
+        # then share one law object, tail table and vote-path decision.
+        compiled_laws = {}
+        for num_rounds, sample_size in zip(
+            self.schedule.phase_lengths, self.schedule.sample_sizes
+        ):
+            key = (int(num_rounds), int(sample_size))
+            if key not in compiled_laws:
+                compiled_laws[key] = self.delivery.compile_phase(
+                    num_rounds, sample_size
+                )
         records: List[EnsembleStage2PhaseRecord] = []
         for phase_index, (num_rounds, sample_size) in enumerate(
             zip(self.schedule.phase_lengths, self.schedule.sample_sizes)
@@ -445,6 +457,7 @@ class CountsStage2Executor:
                 num_rounds,
                 sample_size,
                 track_opinion=track_opinion,
+                compiled=compiled_laws[(int(num_rounds), int(sample_size))],
             )
             records.append(record)
         return current, records
@@ -479,8 +492,19 @@ class CountsStage2Executor:
         sample_size: int,
         *,
         track_opinion: Optional[int] = None,
+        compiled: Optional[CompiledPhaseLaw] = None,
     ) -> EnsembleStage2PhaseRecord:
-        """Execute a single counts Stage-2 phase, mutating ``state`` in place."""
+        """Execute a single counts Stage-2 phase, mutating ``state`` in place.
+
+        ``compiled`` carries the phase's precomputed law constants (vote
+        path, warmed tables); :meth:`run` builds one per distinct phase
+        shape.  The phase's message histogram is validated once on entry
+        (in :meth:`~repro.network.balls_bins.CountsDeliveryModel.recolor`);
+        the downstream law/sampler calls reuse the validated arrays without
+        re-checking.
+        """
+        if compiled is None:
+            compiled = self.delivery.compile_phase(num_rounds, sample_size)
         bias_before = (
             state.bias_toward(track_opinion) if track_opinion is not None else None
         )
@@ -489,7 +513,7 @@ class CountsStage2Executor:
         )
         noisy = self.delivery.recolor(histograms, self._random_state)
         update_probability = self.delivery.update_probability(
-            noisy, sample_size
+            noisy, sample_size, validate=False
         )
         group_sizes = np.concatenate(
             [state.undecided_counts()[:, np.newaxis], state.counts], axis=1
@@ -500,6 +524,8 @@ class CountsStage2Executor:
             updaters.sum(axis=1, dtype=np.int64),
             sample_size,
             self._random_state,
+            vote_path=compiled.vote_path,
+            validate=False,
         )
         state.counts += votes - updaters[:, 1:]
         bias_after = (

@@ -430,7 +430,8 @@ class EnsembleState:
         distributions = self.opinion_distributions()
         if self.num_opinions == 1:
             return distributions[:, 0]
-        rivals = np.delete(distributions, opinion - 1, axis=1)
+        rivals = distributions.copy()
+        rivals[:, opinion - 1] = -np.inf
         return distributions[:, opinion - 1] - rivals.max(axis=1)
 
     def plurality_opinions(self) -> np.ndarray:
@@ -783,7 +784,8 @@ class EnsembleCountsState:
         distributions = self.opinion_distributions()
         if self.num_opinions == 1:
             return distributions[:, 0]
-        rivals = np.delete(distributions, opinion - 1, axis=1)
+        rivals = distributions.copy()
+        rivals[:, opinion - 1] = -np.inf
         return distributions[:, opinion - 1] - rivals.max(axis=1)
 
     def plurality_opinions(self) -> np.ndarray:

@@ -16,7 +16,9 @@ compare the two empirically.
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,10 +36,31 @@ from repro.utils.validation import require_positive_int
 __all__ = [
     "BallsIntoBinsProcess",
     "ensemble_recolor_and_throw",
+    "CompiledPhaseLaw",
     "CountsDeliveryModel",
     "HeterogeneousCountsDeliveryModel",
     "poisson_tail_probability",
 ]
+
+
+@lru_cache(maxsize=64)
+def _poisson_tail_tables(threshold: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Cached ``(indices, log_factorial)`` work arrays of the Poisson tail.
+
+    The tail is evaluated once per phase per threshold, and the same
+    thresholds recur across phases, trials, sweep points and repeated engine
+    construction — hoisting the ``O(L)`` cumulative-log table out of
+    :func:`poisson_tail_probability` makes the per-call cost proportional to
+    the batch size only.  The arrays are read-only views shared by every
+    caller.
+    """
+    indices = np.arange(threshold, dtype=float)
+    log_factorial = np.zeros(threshold)
+    if threshold > 1:
+        log_factorial[1:] = np.cumsum(np.log(np.arange(1, threshold)))
+    indices.setflags(write=False)
+    log_factorial.setflags(write=False)
+    return indices, log_factorial
 
 
 def poisson_tail_probability(threshold: int, lam: np.ndarray) -> np.ndarray:
@@ -51,25 +74,45 @@ def poisson_tail_probability(threshold: int, lam: np.ndarray) -> np.ndarray:
     lam = np.asarray(lam, dtype=float)
     if threshold <= 0:
         return np.ones(lam.shape)
-    indices = np.arange(threshold, dtype=float)
-    log_factorial = np.zeros(threshold)
-    if threshold > 1:
-        log_factorial[1:] = np.cumsum(np.log(np.arange(1, threshold)))
+    indices, log_factorial = _poisson_tail_tables(threshold)
     positive = lam > 0
+    all_positive = lam.ndim > 0 and bool(positive.all())
+    if not all_positive and not positive.any():
+        return np.zeros(lam.shape)
+    lam_pos = lam if all_positive else lam[positive]
+    log_terms = (
+        -lam_pos[:, np.newaxis]
+        + indices[np.newaxis, :] * np.log(lam_pos)[:, np.newaxis]
+        - log_factorial[np.newaxis, :]
+    )
+    top = log_terms.max(axis=1)
+    cdf = np.exp(top) * np.exp(
+        log_terms - top[:, np.newaxis]
+    ).sum(axis=1)
+    if all_positive:
+        return np.clip(1.0 - cdf, 0.0, 1.0)
     tail = np.zeros(lam.shape)
-    if np.any(positive):
-        lam_pos = lam[positive]
-        log_terms = (
-            -lam_pos[:, np.newaxis]
-            + indices[np.newaxis, :] * np.log(lam_pos)[:, np.newaxis]
-            - log_factorial[np.newaxis, :]
-        )
-        top = log_terms.max(axis=1)
-        cdf = np.exp(top) * np.exp(
-            log_terms - top[:, np.newaxis]
-        ).sum(axis=1)
-        tail[positive] = np.clip(1.0 - cdf, 0.0, 1.0)
+    tail[positive] = np.clip(1.0 - cdf, 0.0, 1.0)
     return tail
+
+
+@dataclass(frozen=True)
+class CompiledPhaseLaw:
+    """Everything about a counts phase that is constant across its rounds.
+
+    Built once per distinct ``(num_rounds, sample_size)`` by
+    :meth:`CountsDeliveryModel.compile_phase` and reused for every round and
+    trial of the phase: the vote-law path decision (closed-form table, dense
+    large-sample table, or bounded-chunk fallback) is made once, and the
+    backing tables (Poisson-tail log-factorial, ``maj()`` composition
+    tables) are warmed into their caches at compile time, so the phase
+    samplers do no re-derivation.  ``sample_size`` is ``None`` for Stage-1
+    phases, which have no vote step.
+    """
+
+    num_rounds: int
+    sample_size: Optional[int] = None
+    vote_path: Optional[str] = None
 
 
 class CountsDeliveryModel:
@@ -145,10 +188,58 @@ class CountsDeliveryModel:
         """
         return np.asarray(counts, dtype=np.int64) * np.int64(num_rounds)
 
+    def resolve_vote_path(self, sample_size: int) -> str:
+        """Which sampler :meth:`sample_vote_counts` uses for ``sample_size``.
+
+        ``"table"`` — the closed-form composition table over
+        {no opinion, 1, …, k} (small samples); ``"dense"`` — the exact dense
+        table over opinionated observations only (large samples, any ``k=2``
+        and thousands for ``k=3``); ``"chunk"`` — the bounded-chunk
+        per-voter fallback (``O(num_voters)`` work).  The decision depends
+        only on ``(sample_size, k)``, so phase compilers hoist it.
+        """
+        from repro.network.pull_model import (  # local: avoid import cycle
+            dense_vote_law_is_tractable,
+            vote_table_is_tractable,
+        )
+
+        if vote_table_is_tractable(sample_size, self.num_opinions):
+            return "table"
+        if dense_vote_law_is_tractable(sample_size, self.num_opinions):
+            return "dense"
+        return "chunk"
+
+    def compile_phase(
+        self, num_rounds: int, sample_size: Optional[int] = None
+    ) -> CompiledPhaseLaw:
+        """Hoist a phase's round/trial-invariant law work into one object.
+
+        Decides the vote-law path once and warms the caches the phase
+        samplers read (the Poisson-tail log-factorial table and, on the
+        dense path, the ``maj()`` composition table), so that per-phase
+        execution touches only batch-sized arrays.
+        """
+        if sample_size is None:
+            return CompiledPhaseLaw(num_rounds=int(num_rounds))
+        sample_size = int(sample_size)
+        vote_path = self.resolve_vote_path(sample_size)
+        _poisson_tail_tables(sample_size)
+        if vote_path == "dense":
+            from repro.network.pull_model import _dense_majority_vote_table
+
+            _dense_majority_vote_table(sample_size, self.num_opinions)
+        return CompiledPhaseLaw(
+            num_rounds=int(num_rounds),
+            sample_size=sample_size,
+            vote_path=vote_path,
+        )
+
     def recolor(
         self,
         histograms: np.ndarray,
         random_state: EnsembleRandomState = None,
+        *,
+        validate: bool = True,
     ) -> np.ndarray:
         """Step 1 of Definition 3 for ``R`` trials: exact noise re-coloring.
 
@@ -156,19 +247,28 @@ class CountsDeliveryModel:
         histogram matrix (same shape, int64, row sums preserved).  With a
         per-trial randomness sequence trial ``r`` consumes exactly the
         draws :meth:`NoiseMatrix.apply_to_counts` would make for its row.
+        Executors that built the histograms themselves pass
+        ``validate=False`` to skip the redundant shape/sign re-checks.
         """
-        histograms = self._validate_histograms(histograms)
+        if validate:
+            histograms = self._validate_histograms(histograms)
         return self.noise.apply_to_count_matrix(
             histograms, random_state
         ).astype(np.int64, copy=False)
 
-    def adoption_probabilities(self, noisy_histograms: np.ndarray) -> np.ndarray:
+    def adoption_probabilities(
+        self, noisy_histograms: np.ndarray, *, validate: bool = True
+    ) -> np.ndarray:
         """Per-undecided-node Stage-1 outcome law, shape ``(R, k + 1)``.
 
         Column 0 is "received nothing, stay undecided"; columns ``1..k``
         are the adoption probabilities of each opinion.
         """
-        noisy = self._validate_histograms(noisy_histograms)
+        noisy = (
+            self._validate_histograms(noisy_histograms)
+            if validate
+            else noisy_histograms
+        )
         totals = noisy.sum(axis=1, dtype=np.int64)
         lam = totals / self.num_nodes
         none_mass = np.exp(-lam)
@@ -184,23 +284,37 @@ class CountsDeliveryModel:
         )
 
     def update_probability(
-        self, noisy_histograms: np.ndarray, sample_size: int
+        self,
+        noisy_histograms: np.ndarray,
+        sample_size: int,
+        *,
+        validate: bool = True,
     ) -> np.ndarray:
         """Per-node probability of receiving at least ``sample_size``
         messages during the phase, shape ``(R,)``."""
-        noisy = self._validate_histograms(noisy_histograms)
+        noisy = (
+            self._validate_histograms(noisy_histograms)
+            if validate
+            else noisy_histograms
+        )
         totals = noisy.sum(axis=1, dtype=np.int64)
         return poisson_tail_probability(
             int(sample_size), totals / self.num_nodes
         )
 
-    def vote_probabilities(self, noisy_histograms: np.ndarray) -> np.ndarray:
+    def vote_probabilities(
+        self, noisy_histograms: np.ndarray, *, validate: bool = True
+    ) -> np.ndarray:
         """The i.i.d. color law of a re-voting node's sample, shape ``(R, k)``.
 
         Rows with an empty histogram come back all-zero (no node can be
         eligible there, so the law is never used).
         """
-        noisy = self._validate_histograms(noisy_histograms)
+        noisy = (
+            self._validate_histograms(noisy_histograms)
+            if validate
+            else noisy_histograms
+        )
         totals = noisy.sum(axis=1, keepdims=True, dtype=np.int64)
         return np.divide(
             noisy,
@@ -214,6 +328,8 @@ class CountsDeliveryModel:
         noisy_histograms: np.ndarray,
         undecided_counts: np.ndarray,
         random_state: EnsembleRandomState = None,
+        *,
+        validate: bool = True,
     ) -> np.ndarray:
         """Stage-1 end-of-phase adoptions, shape ``(R, k + 1)`` int64.
 
@@ -222,16 +338,20 @@ class CountsDeliveryModel:
         adopting opinion ``j`` — one multinomial per trial over the
         :meth:`adoption_probabilities` law.
         """
-        noisy = self._validate_histograms(noisy_histograms)
-        undecided = np.asarray(undecided_counts, dtype=np.int64)
-        if undecided.shape != (noisy.shape[0],):
-            raise ValueError(
-                f"undecided_counts must have shape ({noisy.shape[0]},), "
-                f"got {undecided.shape}"
-            )
-        if undecided.size and undecided.min() < 0:
-            raise ValueError("undecided counts must be non-negative")
-        probabilities = self.adoption_probabilities(noisy)
+        if validate:
+            noisy = self._validate_histograms(noisy_histograms)
+            undecided = np.asarray(undecided_counts, dtype=np.int64)
+            if undecided.shape != (noisy.shape[0],):
+                raise ValueError(
+                    f"undecided_counts must have shape ({noisy.shape[0]},), "
+                    f"got {undecided.shape}"
+                )
+            if undecided.size and undecided.min() < 0:
+                raise ValueError("undecided counts must be non-negative")
+        else:
+            noisy = noisy_histograms
+            undecided = undecided_counts
+        probabilities = self.adoption_probabilities(noisy, validate=False)
         if is_generator_sequence(random_state):
             generators = as_trial_generators(random_state, noisy.shape[0])
             adopted = np.empty(
@@ -258,38 +378,58 @@ class CountsDeliveryModel:
         num_voters: np.ndarray,
         sample_size: int,
         random_state: EnsembleRandomState = None,
+        *,
+        vote_path: Optional[str] = None,
+        validate: bool = True,
     ) -> np.ndarray:
         """Per-trial tallies of ``num_voters`` i.i.d. ``maj()`` votes.
 
         Each eligible node's vote is ``maj()`` of ``sample_size`` i.i.d.
         draws from the trial's :meth:`vote_probabilities` law (the exact
-        Stage-2 sample law under Poissonization).  When the closed-form
-        vote table is tractable the tallies are one multinomial per trial;
-        otherwise voters are sampled in bounded chunks of
-        :data:`VOTE_CHUNK` compositions (same distribution, ``O(n)`` work
-        for that phase but never an ``n``-sized array).  Returns an
-        ``(R, k)`` int64 matrix.
+        Stage-2 sample law under Poissonization).  Three samplers, chosen
+        by :meth:`resolve_vote_path` (or the precomputed ``vote_path`` of a
+        :class:`CompiledPhaseLaw`):
+
+        * ``"table"`` — the closed-form vote law; one multinomial per trial;
+        * ``"dense"`` — the dense large-sample vote law (exact, evaluated in
+          log space over opinionated compositions only); one multinomial per
+          trial, so the phase cost is independent of ``num_voters``.  The
+          dense law is the *same distribution* as the chunk fallback it
+          replaces but consumes different raw draws, so enabling it on a
+          formerly chunked phase is a distributional (not bitwise) change —
+          see ``docs/performance.md``;
+        * ``"chunk"`` — bounded chunks of :data:`VOTE_CHUNK` per-voter
+          compositions (``O(num_voters)`` work but never an ``n``-sized
+          array), for ``(sample_size, k)`` beyond both table budgets.
+
+        Returns an ``(R, k)`` int64 matrix.
         """
         from repro.network.pull_model import (  # local: avoid import cycle
+            dense_majority_vote_law,
             majority_vote_law,
-            vote_table_is_tractable,
         )
 
-        noisy = self._validate_histograms(noisy_histograms)
-        voters = np.asarray(num_voters, dtype=np.int64)
-        if voters.shape != (noisy.shape[0],):
-            raise ValueError(
-                f"num_voters must have shape ({noisy.shape[0]},), "
-                f"got {voters.shape}"
-            )
-        if voters.size and voters.min() < 0:
-            raise ValueError("voter counts must be non-negative")
+        if validate:
+            noisy = self._validate_histograms(noisy_histograms)
+            voters = np.asarray(num_voters, dtype=np.int64)
+            if voters.shape != (noisy.shape[0],):
+                raise ValueError(
+                    f"num_voters must have shape ({noisy.shape[0]},), "
+                    f"got {voters.shape}"
+                )
+            if voters.size and voters.min() < 0:
+                raise ValueError("voter counts must be non-negative")
+        else:
+            noisy = noisy_histograms
+            voters = num_voters
         sample_size = int(sample_size)
         if sample_size < 1:
             raise ValueError(f"sample_size must be >= 1, got {sample_size}")
         num_trials, num_opinions = noisy.shape
-        vote_law_probabilities = self.vote_probabilities(noisy)
-        if vote_table_is_tractable(sample_size, num_opinions):
+        vote_law_probabilities = self.vote_probabilities(noisy, validate=False)
+        if vote_path is None:
+            vote_path = self.resolve_vote_path(sample_size)
+        if vote_path == "table":
             observation_law = np.concatenate(
                 [np.zeros((num_trials, 1)), vote_law_probabilities], axis=1
             )
@@ -305,6 +445,16 @@ class CountsDeliveryModel:
                 out=np.full(vote_pmf.shape, 1.0 / num_opinions),
                 where=row_sums > 0,
             )
+        elif vote_path == "dense":
+            vote_pmf = dense_majority_vote_law(
+                vote_law_probabilities, sample_size
+            )
+        elif vote_path != "chunk":
+            raise ValueError(
+                f"vote_path must be 'table', 'dense' or 'chunk', got "
+                f"{vote_path!r}"
+            )
+        if vote_path != "chunk":
             if is_generator_sequence(random_state):
                 generators = as_trial_generators(random_state, num_trials)
                 votes = np.empty((num_trials, num_opinions), dtype=np.int64)
@@ -430,19 +580,69 @@ class HeterogeneousCountsDeliveryModel:
             raise ValueError("histogram entries must be non-negative")
         return array
 
+    def _resolve_vote_path(self, sample_size: int) -> str:
+        """Cached per-``L`` vote-path decision (see ``resolve_vote_path``).
+
+        The decision depends only on ``(sample_size, num_opinions)``, so it
+        is resolved once per distinct sample size and reused by every phase
+        substep instead of re-probing the tractability predicates per call.
+        """
+        cache = self.__dict__.setdefault("_vote_path_cache", {})
+        path = cache.get(sample_size)
+        if path is None:
+            probe = CountsDeliveryModel(
+                self.block_num_nodes[0], self.noises[0]
+            )
+            path = probe.resolve_vote_path(sample_size)
+            cache[sample_size] = path
+        return path
+
     def recolor(
-        self, histograms: np.ndarray, generators: Sequence
+        self, histograms: np.ndarray, generators
     ) -> np.ndarray:
-        """Exact per-row noise re-coloring (one block's channel per row)."""
+        """Exact per-row noise re-coloring (one block's channel per row).
+
+        ``generators`` is either one source per row (per-trial mode: row
+        ``r`` consumes exactly its serial draws) or a single shared stream
+        (batched mode: one column-wise multinomial per block and source
+        opinion — far fewer generator calls, different draw order).
+        """
         histograms = self._validate_histograms(histograms)
-        noisy = np.empty_like(histograms)
-        for block, sl in enumerate(self.block_slices):
-            noise = self.noises[block]
-            for row in range(sl.start, sl.stop):
-                noisy[row] = noise.apply_to_counts(
-                    histograms[row], generators[row]
+        if is_generator_sequence(generators):
+            noisy = np.empty_like(histograms)
+            for block, sl in enumerate(self.block_slices):
+                noisy[sl] = self.noises[block].recolor_rows(
+                    histograms[sl], generators[sl.start : sl.stop]
                 )
+            return noisy
+        rng = as_generator(generators)
+        noisy = np.zeros_like(histograms)
+        stacked = self._stacked_noise_rows()
+        for source in range(self.num_opinions):
+            column = histograms[:, source]
+            if column.any():
+                noisy += rng.multinomial(column, stacked[source])
         return noisy
+
+    def _stacked_noise_rows(self) -> np.ndarray:
+        """Per-source per-row channel laws, shape ``(k, A, k)``.
+
+        ``stacked[s, r]`` is row ``s`` of the noise matrix governing merged
+        row ``r`` — the pvals layout that lets shared-stream recoloring draw
+        one batched multinomial per *source opinion* across every block at
+        once, instead of one numpy call per block and source.  Built once
+        per (cached) submodel.
+        """
+        cached = self.__dict__.get("_stacked_noise_rows_cache")
+        if cached is None:
+            k = self.num_opinions
+            cached = np.empty((k, self.num_rows, k))
+            for block, sl in enumerate(self.block_slices):
+                cached[:, sl, :] = self.noises[block].matrix[
+                    :, np.newaxis, :
+                ]
+            self.__dict__["_stacked_noise_rows_cache"] = cached
+        return cached
 
     def adoption_probabilities(self, noisy_histograms: np.ndarray) -> np.ndarray:
         """Stage-1 outcome laws with per-row ``n``, shape ``(A, k + 1)``."""
@@ -465,18 +665,25 @@ class HeterogeneousCountsDeliveryModel:
         self,
         noisy_histograms: np.ndarray,
         undecided_counts: np.ndarray,
-        generators: Sequence,
+        generators,
     ) -> np.ndarray:
-        """Stage-1 adoptions: one multinomial per row from its own stream."""
+        """Stage-1 adoptions: one multinomial per row from its own stream
+        (per-trial mode) or one batched multinomial (shared-stream mode)."""
         noisy = self._validate_histograms(noisy_histograms)
         undecided = np.asarray(undecided_counts, dtype=np.int64)
         probabilities = self.adoption_probabilities(noisy)
+        if not is_generator_sequence(generators):
+            rng = as_generator(generators)
+            return rng.multinomial(undecided, probabilities).astype(
+                np.int64, copy=False
+            )
         adopted = np.empty(
             (self.num_rows, self.num_opinions + 1), dtype=np.int64
         )
+        undecided_list = undecided.tolist()
         for row in range(self.num_rows):
             adopted[row] = generators[row].multinomial(
-                int(undecided[row]), probabilities[row]
+                undecided_list[row], probabilities[row]
             )
         return adopted
 
@@ -502,13 +709,23 @@ class HeterogeneousCountsDeliveryModel:
         self,
         group_sizes: np.ndarray,
         update_probability: np.ndarray,
-        generators: Sequence,
+        generators,
     ) -> np.ndarray:
-        """Stage-2 re-voter counts: one binomial per row."""
+        """Stage-2 re-voter counts: one binomial per row (per-trial mode)
+        or one batched binomial over the whole matrix (shared-stream)."""
+        group_sizes = np.asarray(group_sizes, dtype=np.int64)
+        probabilities = np.asarray(update_probability)
+        if not is_generator_sequence(generators):
+            rng = as_generator(generators)
+            return rng.binomial(
+                group_sizes, probabilities[:, np.newaxis]
+            ).astype(np.int64, copy=False)
         updaters = np.empty(group_sizes.shape, dtype=np.int64)
-        for row in range(group_sizes.shape[0]):
+        sizes = group_sizes.tolist()
+        probability_list = probabilities.tolist()
+        for row in range(updaters.shape[0]):
             updaters[row] = generators[row].binomial(
-                group_sizes[row], update_probability[row]
+                sizes[row], probability_list[row]
             )
         return updaters
 
@@ -535,29 +752,41 @@ class HeterogeneousCountsDeliveryModel:
         The vote law is evaluated *per block* (at the block's own row
         shape — the wide composition matmul is not row-stable across batch
         sizes); the clip/renormalization and the per-row multinomials are
-        merged.  Blocks whose composition table is intractable fall back
-        to the homogeneous model's bounded-chunk sampler on their slice,
-        consuming exactly the serial draws.
+        merged.  Blocks beyond the closed-form table budget use the dense
+        large-sample law (evaluated row by row, hence row-stable) when
+        tractable, and otherwise fall back to the homogeneous model's
+        bounded-chunk sampler on their slice, consuming exactly the serial
+        draws.
         """
         from repro.network.pull_model import (  # local: avoid import cycle
+            dense_majority_vote_law,
             majority_vote_law,
-            vote_table_is_tractable,
         )
 
         noisy = self._validate_histograms(noisy_histograms)
         voters = np.asarray(num_voters, dtype=np.int64)
+        per_trial = is_generator_sequence(generators)
+        shared_rng = None if per_trial else as_generator(generators)
         vote_law_probabilities = self.vote_probabilities(noisy)
         observation_law = np.concatenate(
             [np.zeros((self.num_rows, 1)), vote_law_probabilities], axis=1
         )
         votes = np.empty((self.num_rows, self.num_opinions), dtype=np.int64)
         law = np.zeros((self.num_rows, self.num_opinions + 1), dtype=float)
+        dense_pmf = np.empty((self.num_rows, self.num_opinions), dtype=float)
         tractable_rows = np.zeros(self.num_rows, dtype=bool)
+        dense_rows = np.zeros(self.num_rows, dtype=bool)
         for block, sl in enumerate(self.block_slices):
             sample_size = int(sample_sizes[block])
-            if vote_table_is_tractable(sample_size, self.num_opinions):
+            vote_path = self._resolve_vote_path(sample_size)
+            if vote_path == "table":
                 law[sl] = majority_vote_law(observation_law[sl], sample_size)
                 tractable_rows[sl] = True
+            elif vote_path == "dense":
+                dense_pmf[sl] = dense_majority_vote_law(
+                    vote_law_probabilities[sl], sample_size
+                )
+                dense_rows[sl] = True
             else:
                 fallback = CountsDeliveryModel(
                     self.block_num_nodes[block], self.noises[block]
@@ -566,9 +795,10 @@ class HeterogeneousCountsDeliveryModel:
                     noisy[sl],
                     voters[sl],
                     sample_size,
-                    list(generators[sl]),
+                    list(generators[sl]) if per_trial else shared_rng,
                 )
-        if tractable_rows.any():
+        law_rows = tractable_rows | dense_rows
+        if law_rows.any():
             vote_pmf = np.clip(law, 0.0, 1.0)[:, 1:]
             row_sums = vote_pmf.sum(axis=1, keepdims=True)
             vote_pmf = np.divide(
@@ -577,9 +807,17 @@ class HeterogeneousCountsDeliveryModel:
                 out=np.full(vote_pmf.shape, 1.0 / self.num_opinions),
                 where=row_sums > 0,
             )
-            for row in np.nonzero(tractable_rows)[0]:
-                votes[row] = generators[row].multinomial(
-                    int(voters[row]), vote_pmf[row]
+            if dense_rows.any():
+                vote_pmf[dense_rows] = dense_pmf[dense_rows]
+            if per_trial:
+                voters_list = voters.tolist()
+                for row in np.nonzero(law_rows)[0]:
+                    votes[row] = generators[row].multinomial(
+                        voters_list[row], vote_pmf[row]
+                    )
+            else:
+                votes[law_rows] = shared_rng.multinomial(
+                    voters[law_rows], vote_pmf[law_rows]
                 )
         return votes
 

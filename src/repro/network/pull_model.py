@@ -54,6 +54,8 @@ __all__ = [
     "CountsPullModel",
     "majority_vote_law",
     "vote_table_is_tractable",
+    "dense_majority_vote_law",
+    "dense_vote_law_is_tractable",
     "vote_law_cache_info",
     "clear_vote_law_cache",
 ]
@@ -161,6 +163,7 @@ def vote_law_cache_info() -> Dict[str, int]:
     sweep benchmark, which reports how many grid points shared tables.
     """
     table = _majority_vote_table.cache_info()
+    dense = _dense_majority_vote_table.cache_info()
     return {
         "law_hits": _vote_law_hits,
         "law_misses": _vote_law_misses,
@@ -168,17 +171,21 @@ def vote_law_cache_info() -> Dict[str, int]:
         "table_hits": table.hits,
         "table_misses": table.misses,
         "table_entries": table.currsize,
+        "dense_table_hits": dense.hits,
+        "dense_table_misses": dense.misses,
+        "dense_table_entries": dense.currsize,
     }
 
 
 def clear_vote_law_cache(*, tables: bool = False) -> None:
-    """Empty the vote-law LRU (and optionally the composition-table LRU)."""
+    """Empty the vote-law LRU (and optionally both composition-table LRUs)."""
     global _vote_law_hits, _vote_law_misses
     _VOTE_LAW_CACHE.clear()
     _vote_law_hits = 0
     _vote_law_misses = 0
     if tables:
         _majority_vote_table.cache_clear()
+        _dense_majority_vote_table.cache_clear()
 
 
 def majority_vote_law(
@@ -289,6 +296,145 @@ def _majority_vote_table(
             tied = np.nonzero(opinion_counts[row] == top)[0]
             vote_law[row, tied + 1] = 1.0 / tied.size
     return exponents, coefficients, vote_law
+
+
+#: Composition budget of the *dense* vote law (opinionated observations
+#: only, so ``C(sample_size + k - 1, k - 1)`` rows): large enough to cover
+#: the Stage-2 final phase of million-node protocol runs (k = 3, L ~ 700 is
+#: ~250k rows), small enough that the table stays a few dozen MB.
+_DENSE_VOTE_LAW_MAX_COMPOSITIONS = 3_000_000
+
+#: Memory guard of the dense table builder, which enumerates compositions on
+#: a ``(sample_size + 1)**(k - 1)`` grid before filtering; beyond this the
+#: transient grid would dominate the table itself.
+_DENSE_VOTE_LAW_MAX_GRID = 2_000_000
+
+#: Log-probability surrogate for zero-probability colors: finite (so the
+#: composition matmul never produces ``0 * -inf = nan``) yet negative enough
+#: that any composition using such a color underflows to exactly 0.
+_DENSE_LOG_ZERO = -1.0e6
+
+
+def dense_vote_law_is_tractable(sample_size: int, num_opinions: int) -> bool:
+    """Can the dense (opinionated-only) ``maj()`` law be evaluated exactly?
+
+    The dense path enumerates only the compositions of ``sample_size``
+    observations over the ``k`` opinions — no "no opinion" cell — which is
+    exactly the Stage-2 counts situation, where every message in a voter's
+    sample carries an opinion.  Because one axis is dropped, it stays exact
+    far beyond :func:`vote_table_is_tractable`'s factorial/composition
+    budget (any ``sample_size`` for ``k = 2``, thousands for ``k = 3``);
+    beyond these budgets callers fall back to per-voter observation
+    sampling.
+    """
+    if sample_size < 1 or num_opinions < 1:
+        return False
+    return (
+        math.comb(sample_size + num_opinions - 1, num_opinions - 1)
+        <= _DENSE_VOTE_LAW_MAX_COMPOSITIONS
+        and (sample_size + 1) ** (num_opinions - 1)
+        <= _DENSE_VOTE_LAW_MAX_GRID
+    )
+
+
+@lru_cache(maxsize=32)
+def _dense_majority_vote_table(
+    sample_size: int, num_opinions: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Composition table of the dense ``maj()`` law (opinionated-only).
+
+    Enumerates every composition ``m = (m_1, …, m_k)`` of ``sample_size``
+    observations over the ``k`` opinions and tabulates
+
+    * ``exponents`` — the ``(C, k)`` composition matrix (float64, ready for
+      the log-space matmul),
+    * ``log_coefficients`` — ``log(sample_size! / prod(m_i!))``, exact in
+      log space for arbitrarily large ``sample_size``,
+    * ``win_weight`` — the ``(C, k)`` conditional vote law given the
+      composition: uniform over the most frequent opinions (the paper's
+      tie-break, folded in analytically).  With ``sample_size >= 1`` some
+      opinion always wins, so there is no "no vote" column.
+    """
+    width = num_opinions
+    if width == 1:
+        compositions = np.asarray([[sample_size]], dtype=np.int64)
+    else:
+        grid = np.indices((sample_size + 1,) * (width - 1))
+        partial = grid.reshape(width - 1, -1).T
+        totals = partial.sum(axis=1)
+        keep = totals <= sample_size
+        compositions = np.concatenate(
+            [partial[keep], (sample_size - totals[keep])[:, np.newaxis]],
+            axis=1,
+        ).astype(np.int64, copy=False)
+    log_factorial = np.concatenate(
+        [[0.0], np.cumsum(np.log(np.arange(1, sample_size + 1)))]
+    )
+    log_coefficients = log_factorial[sample_size] - log_factorial[
+        compositions
+    ].sum(axis=1)
+    row_max = compositions.max(axis=1)
+    tied = compositions == row_max[:, np.newaxis]
+    win_weight = tied / tied.sum(axis=1, keepdims=True)
+    return compositions.astype(float), log_coefficients, win_weight
+
+
+def dense_majority_vote_law(
+    probabilities: np.ndarray, sample_size: int
+) -> np.ndarray:
+    """Exact ``maj()`` pmf over *opinionated* observations, for large samples.
+
+    ``probabilities`` has shape ``(R, k)``: row ``r`` is trial ``r``'s color
+    law of a voter's sample (every observation carries an opinion — the
+    Stage-2 counts situation).  Returns the ``(R, k)`` vote pmf with the
+    uniform tie-break folded in, evaluated in log space per trial from the
+    cached composition table, then renormalized row-wise.  The result is the
+    same distribution the bounded-chunk per-voter sampler draws from, at
+    ``O(C)`` cost per trial instead of ``O(num_voters)`` per phase.  Rows
+    summing to zero (empty histograms, never voted from) come back uniform.
+
+    Raises ``ValueError`` when ``(sample_size, k)`` is beyond the dense
+    budget — check :func:`dense_vote_law_is_tractable` first.
+    """
+    probabilities = np.asarray(probabilities, dtype=float)
+    if probabilities.ndim != 2 or probabilities.shape[1] < 1:
+        raise ValueError(
+            f"probabilities must have shape (R, k), got {probabilities.shape}"
+        )
+    num_opinions = probabilities.shape[1]
+    sample_size = require_positive_int(sample_size, "sample_size")
+    if not dense_vote_law_is_tractable(sample_size, num_opinions):
+        raise ValueError(
+            f"the dense maj() table for sample_size={sample_size}, "
+            f"k={num_opinions} is intractable; check "
+            "dense_vote_law_is_tractable and use per-voter observation "
+            "sampling instead"
+        )
+    exponents, log_coefficients, win_weight = _dense_majority_vote_table(
+        sample_size, num_opinions
+    )
+    law = np.empty(probabilities.shape, dtype=float)
+    log_probabilities = np.full(num_opinions, _DENSE_LOG_ZERO)
+    for row in range(probabilities.shape[0]):
+        pvals = probabilities[row]
+        positive = pvals > 0
+        if not positive.any():
+            law[row] = 1.0 / num_opinions
+            continue
+        log_probabilities.fill(_DENSE_LOG_ZERO)
+        np.log(pvals, out=log_probabilities, where=positive)
+        log_pmf = exponents @ log_probabilities
+        log_pmf += log_coefficients
+        pmf = np.exp(log_pmf, out=log_pmf)
+        law[row] = pmf @ win_weight
+    law = np.clip(law, 0.0, 1.0)
+    row_sums = law.sum(axis=1, keepdims=True)
+    return np.divide(
+        law,
+        row_sums,
+        out=np.full(law.shape, 1.0 / num_opinions),
+        where=row_sums > 0,
+    )
 
 
 def _observe_single_core(

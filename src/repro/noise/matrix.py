@@ -254,6 +254,29 @@ class NoiseMatrix:
             )
         return received
 
+    def recolor_rows(
+        self, count_matrix: np.ndarray, generators: Sequence
+    ) -> np.ndarray:
+        """Per-trial noisy delivery of pre-validated per-row histograms.
+
+        Row ``r`` consumes exactly the draws :meth:`apply_to_counts` would
+        make with ``generators[r]`` — one multinomial per nonzero source
+        opinion, in ascending opinion order — but the per-call shape and
+        sign checks are skipped, so the caller must pass a non-negative
+        integer ``(R, k)`` array.  This is the engine round-loop kernel:
+        validation happens once per phase, not once per row.
+        """
+        counts = np.asarray(count_matrix, dtype=np.int64)
+        matrix = self._matrix
+        received = np.zeros_like(counts)
+        count_rows = counts.tolist()
+        for index, generator in enumerate(generators):
+            target = received[index]
+            for source_index, count in enumerate(count_rows[index]):
+                if count:
+                    target += generator.multinomial(count, matrix[source_index])
+        return received
+
     def apply_to_count_matrix(
         self,
         count_matrix: np.ndarray,
@@ -284,12 +307,7 @@ class NoiseMatrix:
             raise ValueError("counts must be non-negative")
         if is_generator_sequence(random_state):
             generators = as_trial_generators(random_state, counts.shape[0])
-            return np.stack(
-                [
-                    self.apply_to_counts(row, generator)
-                    for row, generator in zip(counts, generators)
-                ]
-            )
+            return self.recolor_rows(counts, generators)
         rng = as_generator(random_state)
         received = np.zeros_like(counts)
         for source_index in range(self.num_opinions):

@@ -41,6 +41,7 @@ from repro.faults import (
     FaultedDeliveryEngine,
     FaultedPhaseSampler,
 )
+from repro.network.pull_model import vote_law_cache_info
 from repro.network.topology import GraphPushModel, standard_topology
 from repro.noise.matrix import NoiseMatrix
 from repro.sim.engines import ENGINE_REGISTRY, build_dynamics
@@ -201,6 +202,7 @@ def simulate(scenario: Scenario) -> SimulationResult:
     engine, degraded_reason = _resolve_engine(scenario)
     noise = scenario.build_noise()
     runner = ENGINE_REGISTRY.get(scenario.workload, engine)
+    cache_before = vote_law_cache_info() if engine == "counts" else None
     started = time.perf_counter()
     result = runner(scenario, noise, engine)
     elapsed = time.perf_counter() - started
@@ -216,7 +218,24 @@ def simulate(scenario: Scenario) -> SimulationResult:
     }
     if degraded_reason is not None:
         result.provenance["engine_degraded_reason"] = degraded_reason
+    if cache_before is not None:
+        result.provenance["vote_law_cache"] = _cache_delta(cache_before)
     return result
+
+
+def _cache_delta(before: dict) -> dict:
+    """This run's ``maj()``-cache activity (counter deltas + end sizes).
+
+    Hit/miss counters are reported as the difference across the run, so a
+    stored provenance dictionary answers "did *this* simulation's phases
+    share laws?" rather than mirroring process-lifetime totals; ``*_entries``
+    gauges stay absolute.
+    """
+    after = vote_law_cache_info()
+    return {
+        key: value - (0 if key.endswith("_entries") else before[key])
+        for key, value in after.items()
+    }
 
 
 # --------------------------------------------------------------------- #

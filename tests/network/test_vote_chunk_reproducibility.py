@@ -10,7 +10,10 @@ chunk loop's randomness-consumption order (multinomial compositions,
 then uniform tie-break keys, per chunk).
 
 ``VOTE_CHUNK`` is monkeypatched small so the boundary cases are cheap;
-the sampler reads it through ``self``, so the patch is honored.
+the sampler reads it through ``self``, so the patch is honored.  The
+dense large-sample vote law (which would normally absorb this operating
+point — it exists precisely to spare tractable ``(L, k)`` pairs from the
+chunk loop) is monkeypatched *off* so the fallback itself stays pinned.
 """
 
 from __future__ import annotations
@@ -18,8 +21,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.network import pull_model
 from repro.network.balls_bins import CountsDeliveryModel
-from repro.network.pull_model import vote_table_is_tractable
+from repro.network.pull_model import (
+    dense_vote_law_is_tractable,
+    vote_table_is_tractable,
+)
 from repro.noise.families import uniform_noise_matrix
 
 # Past the exact maj() composition-table budget -> the chunked fallback.
@@ -30,11 +37,16 @@ SMALL_CHUNK = 8
 @pytest.fixture
 def model(monkeypatch):
     monkeypatch.setattr(CountsDeliveryModel, "VOTE_CHUNK", SMALL_CHUNK)
+    # Force resolve_vote_path past "dense" so the chunk loop stays the
+    # sampler under test.
+    monkeypatch.setattr(pull_model, "_DENSE_VOTE_LAW_MAX_COMPOSITIONS", 0)
     return CountsDeliveryModel(50, uniform_noise_matrix(3, 0.3))
 
 
 def test_operating_point_actually_uses_the_fallback():
     assert not vote_table_is_tractable(FALLBACK_SAMPLE_SIZE, 3)
+    # Unpatched, the dense law covers this point; the fixture disables it.
+    assert dense_vote_law_is_tractable(FALLBACK_SAMPLE_SIZE, 3)
 
 
 @pytest.mark.parametrize(

@@ -180,6 +180,22 @@ class TestProvenanceAndJson:
         assert provenance["wall_time_seconds"] > 0
         assert Scenario.from_dict(provenance["scenario"]) == scenario
 
+    def test_counts_runs_expose_vote_law_cache_counters(self):
+        result = simulate(protocol_scenario("rumor", "counts"))
+        counters = result.provenance["vote_law_cache"]
+        assert {
+            "law_hits", "law_misses", "law_entries",
+            "table_hits", "table_misses", "table_entries",
+            "dense_table_hits", "dense_table_misses", "dense_table_entries",
+        } <= set(counters)
+        # Deltas for this run: a protocol run builds at least one law.
+        assert all(value >= 0 for value in counters.values())
+        assert counters["law_hits"] + counters["law_misses"] > 0
+
+    def test_non_counts_runs_have_no_cache_counters(self):
+        result = simulate(protocol_scenario("rumor", "batched"))
+        assert "vote_law_cache" not in result.provenance
+
     def test_json_round_trip_is_exact(self):
         result = simulate(dynamics_scenario("batched"))
         rebuilt = SimulationResult.from_json(result.to_json())
