@@ -9,7 +9,6 @@ by the benchmark harness itself rather than by ad-hoc timers.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import run_experiment_benchmark
 from repro.experiments import exp_ablation_sampling

@@ -86,7 +86,7 @@ def test_batched_speedup_at_acceptance_point():
     batched_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    sequential = run_sequential()
+    run_sequential()
     sequential_seconds = time.perf_counter() - started
 
     speedup = sequential_seconds / batched_seconds

@@ -9,10 +9,8 @@ suite alongside the per-experiment tables.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.rumor import RumorSpreading
-from repro.core.state import PopulationState
 from repro.network.mailbox import ReceivedMessages
 from repro.noise.families import uniform_noise_matrix
 from repro.noise.majority_preserving import check_majority_preserving

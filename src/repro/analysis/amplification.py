@@ -24,6 +24,7 @@ import numpy as np
 from scipy.special import gammaln
 
 from repro.analysis.theory import g_function
+from repro.noise.matrix import NoiseMatrix
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import require_positive_int, require_probability_vector
 
@@ -166,7 +167,7 @@ def expected_amplification_factor(
     num_opinions: int,
     *,
     majority_opinion: int = 1,
-    noise_matrix=None,
+    noise_matrix: Optional["NoiseMatrix"] = None,
     method: str = "auto",
     num_trials: int = 200_000,
     random_state: RandomState = None,

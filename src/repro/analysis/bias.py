@@ -8,7 +8,7 @@ reason about distributions directly without materializing populations.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

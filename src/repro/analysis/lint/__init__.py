@@ -1,0 +1,46 @@
+"""reprolint — AST-based invariant checks for this repository.
+
+The engine tiers rest on invariants Python cannot express in types:
+bitwise per-trial reproducibility (no global RNG state, no wall-clock
+reads in simulation code), the counts tier's n-independence (no n-sized
+allocation on the Poissonized paths), 64-bit count arithmetic beyond
+``2**31`` nodes, and exact serialization round trips.  The runtime test
+suite checks these on the paths it exercises; reprolint checks them on
+*every* path, statically.
+
+Usage::
+
+    python -m repro.analysis.lint src/            # text report, CI exit codes
+    python -m repro.analysis.lint --format json src/
+    python -m repro.analysis.lint --list-rules
+
+Programmatic::
+
+    from repro.analysis.lint import run_lint
+    findings, files_scanned = run_lint(["src/"])
+
+See ``docs/static_analysis.md`` for the rule catalog, the suppression
+policy, and how to add a rule.
+"""
+
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import all_rules, get_rule, register_rule, rule_ids
+from repro.analysis.lint.reporters import render_json, render_text
+from repro.analysis.lint.runner import LintError, collect_files, run_lint
+from repro.analysis.lint.visitor import FileRule, ProjectRule, ScopedVisitorRule
+
+__all__ = [
+    "Finding",
+    "FileRule",
+    "LintError",
+    "ProjectRule",
+    "ScopedVisitorRule",
+    "all_rules",
+    "collect_files",
+    "get_rule",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_ids",
+    "run_lint",
+]

@@ -1,0 +1,93 @@
+"""The ``reprolint`` command line: ``python -m repro.analysis.lint``.
+
+Exit codes follow CI conventions:
+
+* ``0`` — scan completed, no findings;
+* ``1`` — scan completed, at least one finding;
+* ``2`` — the scan itself failed (unknown path or rule id, unparsable
+  source), so CI can distinguish "violations" from "broken invocation".
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.lint.registry import all_rules
+from repro.analysis.lint.reporters import render_json, render_text
+from repro.analysis.lint.runner import LintError, run_lint
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description=(
+            "reprolint: static checks for the invariants the paper's "
+            "analysis demands (RNG discipline, counts-tier n-freedom, "
+            "int64 dtype pins, serialization contracts, ...)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (e.g. src/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help=(
+            "restrict the run to this rule id (repeatable; default: all "
+            "registered rules)"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+
+    if arguments.list_rules:
+        for rule_class in all_rules():
+            print(f"{rule_class.rule_id}: {rule_class.description}")
+        return 0
+
+    if not arguments.paths:
+        parser.print_usage(sys.stderr)
+        print(
+            "error: at least one path is required (try: src/)",
+            file=sys.stderr,
+        )
+        return 2
+
+    select: Optional[List[str]] = arguments.select
+    try:
+        findings, files_scanned = run_lint(arguments.paths, select=select)
+    except LintError as error:
+        print(f"reprolint: error: {error}", file=sys.stderr)
+        return 2
+
+    if arguments.format == "json":
+        print(render_json(findings, files_scanned))
+    else:
+        print(render_text(findings, files_scanned))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Per-file lint context: source, AST, suppressions, and tier markers.
+
+One :class:`FileContext` is built per linted file and shared by every
+rule.  It owns the two comment-level protocols:
+
+* **Suppressions** — ``# reprolint: disable=rule-id[,rule-id...]`` on a
+  line suppresses those rules' findings *on that line* (``disable=all``
+  suppresses every rule).  Suppressions are deliberately line-scoped:
+  there is no block or file-wide disable, so every exemption is visible
+  next to the code it exempts and can carry its justification comment.
+* **Counts-tier markers** — ``# reprolint: counts-tier`` on (or directly
+  above) a ``def``/``class`` line declares that definition counts-tier
+  for the scoped rules, complementing the module-level manifest.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set
+
+from repro.analysis.lint.manifest import COUNTS_TIER_MODULES, module_matches
+
+__all__ = ["FileContext", "SUPPRESS_ALL"]
+
+#: The wildcard accepted by ``# reprolint: disable=all``.
+SUPPRESS_ALL = "all"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s-]+)"
+)
+_COUNTS_TIER_RE = re.compile(r"#\s*reprolint:\s*counts-tier\b")
+
+
+def _parse_suppressions(source_lines: List[str]) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line number -> rule ids suppressed on that line."""
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source_lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        if rules:
+            suppressions[lineno] = rules
+    return suppressions
+
+
+def _parse_counts_tier_marks(source_lines: List[str]) -> Set[int]:
+    """1-based line numbers carrying a ``counts-tier`` marker comment."""
+    return {
+        lineno
+        for lineno, line in enumerate(source_lines, start=1)
+        if _COUNTS_TIER_RE.search(line)
+    }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one parsed source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    source_lines: List[str] = field(default_factory=list)
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    counts_tier_marks: Set[int] = field(default_factory=set)
+    module_is_counts_tier: bool = False
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "FileContext":
+        """Parse ``source`` (raises ``SyntaxError`` on unparsable input)."""
+        tree = ast.parse(source, filename=path)
+        lines = source.splitlines()
+        return cls(
+            path=path.replace("\\", "/"),
+            source=source,
+            tree=tree,
+            source_lines=lines,
+            suppressions=_parse_suppressions(lines),
+            counts_tier_marks=_parse_counts_tier_marks(lines),
+            module_is_counts_tier=any(
+                module_matches(path, suffix) for suffix in COUNTS_TIER_MODULES
+            ),
+        )
+
+    def is_suppressed(self, lineno: int, rule: str) -> bool:
+        """Whether findings of ``rule`` on ``lineno`` are suppressed."""
+        rules = self.suppressions.get(lineno)
+        if rules is None:
+            return False
+        return rule in rules or SUPPRESS_ALL in rules
+
+    def definition_is_marked_counts_tier(self, node: ast.AST) -> bool:
+        """Whether a ``def``/``class`` carries a counts-tier marker.
+
+        The marker may sit on the definition line itself, on the line
+        directly above it, or on/above its first decorator.
+        """
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return False
+        first_line = node.lineno
+        decorators = getattr(node, "decorator_list", [])
+        if decorators:
+            first_line = min(first_line, decorators[0].lineno)
+        candidates = {first_line - 1, first_line, node.lineno}
+        return bool(candidates & self.counts_tier_marks)

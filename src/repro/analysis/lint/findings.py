@@ -1,0 +1,55 @@
+"""The unit of reprolint output: one finding at one source location.
+
+A :class:`Finding` is plain data — rule id, location, message — ordered so
+that reports are deterministic (sorted by file, then line, then column,
+then rule id).  ``to_dict`` is the JSON-reporter payload; its keys are a
+stable contract tested by ``tests/analysis/test_lint_reporters.py``, and
+``from_dict`` restores it exactly (reprolint self-hosts: its own
+serialization honors the ``serialization-contract`` rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    file:
+        Path of the offending file, as given on the command line
+        (posix-normalized, relative paths preserved).
+    line, column:
+        1-based line and 0-based column of the offending node, matching
+        :mod:`ast` conventions so ``file:line`` is clickable in editors.
+    rule:
+        The violated rule's id (e.g. ``"no-global-rng"``).
+    message:
+        Human-readable explanation naming the offending construct and the
+        sanctioned alternative.
+    """
+
+    file: str
+    line: int
+    column: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-reporter payload for this finding (stable schema)."""
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output."""
+        return cls(**{field.name: payload[field.name] for field in fields(cls)})
+
+    def format_text(self) -> str:
+        """The text-reporter line: ``file:line:col: rule message``."""
+        return f"{self.file}:{self.line}:{self.column}: {self.rule} {self.message}"

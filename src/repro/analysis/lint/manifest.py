@@ -1,0 +1,83 @@
+"""The repository manifest: which code the scoped rules apply to.
+
+Two rules are *scoped* rather than universal, and this module is where
+their scope is declared:
+
+* ``counts-tier-n-free`` / the counts-tier half of ``int64-dtype-pin``
+  apply to the code that upholds the paper's n-independence reformulation
+  (the balls-into-bins/Poissonization argument that decouples wall-clock
+  from the population size).  Counts-tier code is declared two ways:
+  whole modules here in :data:`COUNTS_TIER_MODULES`, and individual
+  functions/classes inline with a ``# reprolint: counts-tier`` marker
+  comment on (or directly above) their ``def``/``class`` line.
+* ``no-wallclock-nondeterminism`` bans wall-clock reads everywhere except
+  the modules in :data:`WALLCLOCK_ALLOWLIST`, each entry carrying the
+  justification for why that module may legitimately observe time.
+
+Paths are posix-style suffixes matched against the linted file's path, so
+the manifest works for ``src/repro/...``, installed-package paths, and
+bare relative invocations alike.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = [
+    "COUNTS_TIER_MODULES",
+    "WALLCLOCK_ALLOWLIST",
+    "WALLCLOCK_ALLOWLIST_DIRS",
+    "module_matches",
+    "path_in_directory",
+]
+
+#: Modules that are counts-tier in their entirety: every function and class
+#: in them evolves (R, k) sufficient statistics and must never allocate an
+#: n-sized array.  Finer-grained declarations (a counts class inside a
+#: mixed-tier module) use the inline ``# reprolint: counts-tier`` marker —
+#: currently every counts-tier module is mixed-tier (e.g.
+#: ``repro/network/balls_bins.py`` also hosts the per-node reference
+#: process), so the whole-module list is empty and all declarations are
+#: inline markers.
+COUNTS_TIER_MODULES: Tuple[str, ...] = ()
+
+#: Modules allowed to read the wall clock, with the reason each may.
+#: Everything else in ``src/`` must not observe time at all: per-trial
+#: bitwise reproducibility means a simulation's outputs are a function of
+#: (scenario, seed, code version) only.
+WALLCLOCK_ALLOWLIST: Dict[str, str] = {
+    "repro/cli.py": "user-facing elapsed-time display on the CLI",
+    "repro/sim/facade.py": "provenance wall_time_seconds stamping",
+    "repro/sim/sweep.py": "per-batch wall-time provenance for fused sweeps",
+    "repro/experiments/orchestrator.py": (
+        "ExperimentRunReport wall-clock accounting for run-all"
+    ),
+    "repro/experiments/exp_ablation_sampling.py": (
+        "E13 measures the vectorized-vs-naive sampling speedup; timing is "
+        "the experiment's observable"
+    ),
+}
+
+
+#: Directories whose every module may read the wall clock: measuring time
+#: is their entire purpose.
+WALLCLOCK_ALLOWLIST_DIRS: Dict[str, str] = {
+    "benchmarks/": "benchmark harnesses exist to measure wall-clock time",
+}
+
+
+def path_in_directory(path: str, directory: str) -> bool:
+    """Whether posix ``path`` lies under the manifest directory prefix."""
+    normalized = path.replace("\\", "/")
+    return normalized.startswith(directory) or ("/" + directory) in normalized
+
+
+def module_matches(path: str, suffix: str) -> bool:
+    """Whether posix ``path`` names the manifest module ``suffix``.
+
+    Suffix matching on whole path components: ``repro/cli.py`` matches
+    ``src/repro/cli.py`` and ``/site-packages/repro/cli.py`` but not
+    ``src/repro/faults/cli.py``'s hypothetical ``faults_cli.py``.
+    """
+    normalized = path.replace("\\", "/")
+    return normalized == suffix or normalized.endswith("/" + suffix)

@@ -1,0 +1,70 @@
+"""The rule registry: how rules announce themselves to the runner.
+
+Rule modules register a class with :func:`register_rule`; the runner
+instantiates every registered rule per invocation (rules carry per-run
+state, so class registration — not instance registration — keeps runs
+independent).  Adding a rule to reprolint is therefore three steps:
+write a ``FileRule``/``ProjectRule`` subclass in
+``repro/analysis/lint/rules/``, decorate it with ``@register_rule``, and
+import the module from ``rules/__init__.py`` (plus fixtures — see
+``docs/static_analysis.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type, TypeVar, Union
+
+from repro.analysis.lint.visitor import FileRule, ProjectRule
+
+__all__ = ["register_rule", "all_rules", "rule_ids", "get_rule"]
+
+RuleClass = Union[Type[FileRule], Type[ProjectRule]]
+R = TypeVar("R", bound=RuleClass)
+
+_REGISTRY: Dict[str, RuleClass] = {}
+
+
+def register_rule(rule_class: R) -> R:
+    """Class decorator adding a rule to the global registry.
+
+    The class must define a unique, non-empty ``rule_id``; registration
+    order is preserved and becomes the ``--list-rules`` order.
+    """
+    rule_id = getattr(rule_class, "rule_id", "")
+    if not rule_id:
+        raise ValueError(
+            f"{rule_class.__name__} must define a non-empty rule_id"
+        )
+    if rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    if not issubclass(rule_class, (FileRule, ProjectRule)):
+        raise TypeError(
+            f"{rule_class.__name__} must subclass FileRule or ProjectRule"
+        )
+    _REGISTRY[rule_id] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[RuleClass]:
+    """Every registered rule class, in registration order."""
+    _ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def rule_ids() -> List[str]:
+    """Every registered rule id, in registration order."""
+    _ensure_loaded()
+    return list(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> RuleClass:
+    """The registered rule class for ``rule_id`` (KeyError if unknown)."""
+    _ensure_loaded()
+    return _REGISTRY[rule_id]
+
+
+def _ensure_loaded() -> None:
+    """Import the built-in rule modules (idempotent)."""
+    # Imported lazily to avoid a cycle: rule modules import this module
+    # for the decorator.
+    import repro.analysis.lint.rules  # noqa: F401

@@ -1,0 +1,48 @@
+"""Finding reporters: human text and machine JSON.
+
+The text reporter prints one ``file:line:col: rule-id message`` line per
+finding (clickable in editors and CI logs) plus a summary.  The JSON
+reporter emits a single stable document — schema version, scan counts,
+the registered rule catalog, and the findings — for tooling; its shape
+is pinned by ``tests/analysis/test_lint_reporters.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import all_rules
+
+__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+
+#: Bumped on any breaking change to the JSON document shape.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding], files_scanned: int) -> str:
+    """The text report: one line per finding, then a summary line."""
+    lines: List[str] = [finding.format_text() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"reprolint: {len(findings)} {noun} in {files_scanned} files"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_scanned: int) -> str:
+    """The JSON report as a compact, stable-schema document."""
+    document: Dict[str, Any] = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": files_scanned,
+        "rules": [
+            {
+                "id": rule_class.rule_id,
+                "description": rule_class.description,
+            }
+            for rule_class in all_rules()
+        ],
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

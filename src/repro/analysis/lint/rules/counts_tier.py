@@ -1,0 +1,192 @@
+"""``counts-tier-n-free`` — counts-tier code never allocates O(n) arrays.
+
+The counts tier is the paper's balls-into-bins/Poissonization
+reformulation made executable: on the complete graph the opinion-count
+vector is a sufficient statistic, so a round costs ``O(k^2)`` per trial
+*independently of* ``n`` — which is what lets ``simulate()`` answer
+``n = 10**12`` in milliseconds.  One ``np.zeros(n)`` on such a path
+silently re-couples wall-clock (and memory) to the population size.  The
+runtime counterpart, ``tests/integration/test_counts_no_n_arrays.py``,
+traces allocations on the paths it runs; this rule covers every path.
+
+Scope: modules in :data:`~repro.analysis.lint.manifest.
+COUNTS_TIER_MODULES` plus definitions marked ``# reprolint:
+counts-tier``.  Inside that scope the rule flags any array-constructor
+shape (or sampler ``size=``) expression derived — through local
+assignments, with a light taint analysis — from a population-size
+parameter (``n``, ``num_nodes``, ...) or attribute (``*.num_nodes``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.registry import register_rule
+from repro.analysis.lint.visitor import ScopedVisitorRule
+
+__all__ = ["CountsTierNFreeRule"]
+
+#: Parameter/variable names that denote a population size.
+_N_NAMES = frozenset(
+    {"n", "num_nodes", "n_nodes", "population_size", "num_balls", "n_h",
+     "honest_nodes", "num_honest"}
+)
+
+#: Attribute terminals that denote a population size on any receiver
+#: (``self.num_nodes``, ``state.num_nodes``, ...).
+_N_ATTRIBUTES = frozenset({"num_nodes", "n_nodes", "population_size"})
+
+#: numpy constructors whose first positional argument (or ``shape=``) is
+#: the allocated shape.
+_SHAPE_ARG0_CONSTRUCTORS = frozenset(
+    {"zeros", "empty", "ones", "full", "identity", "eye", "ndarray"}
+)
+
+#: Generator/sampler method names whose ``size=`` keyword allocates.
+_SAMPLER_METHODS = frozenset(
+    {
+        "multinomial", "binomial", "poisson", "normal", "integers",
+        "random", "choice", "uniform", "exponential", "standard_normal",
+        "permutation", "permuted", "gamma", "beta", "hypergeometric",
+        "geometric", "dirichlet",
+    }
+)
+
+
+@register_rule
+class CountsTierNFreeRule(ScopedVisitorRule):
+    rule_id = "counts-tier-n-free"
+    description = (
+        "in counts-tier code, forbid array allocations whose shape derives "
+        "from the population size n (the tier's O(k) contract)"
+    )
+
+    def begin_file(self, context: FileContext) -> None:
+        self._taint_stack: List[Set[str]] = []
+
+    # -- taint bookkeeping ------------------------------------------------ #
+
+    def handle_function(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> None:
+        tainted = {
+            name
+            for name in (self.scope_stack[-1].parameters or ())
+            if name in _N_NAMES
+        }
+        self._taint_stack.append(tainted)
+
+    def handle_function_exit(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> None:
+        self._taint_stack.pop()
+
+    def _tainted_names(self) -> Set[str]:
+        return self._taint_stack[-1] if self._taint_stack else set()
+
+    def _taint_source(self, expression: ast.AST) -> Optional[str]:
+        """The population-size identifier ``expression`` derives from."""
+        tainted = self._tainted_names()
+        for node in ast.walk(expression):
+            if isinstance(node, ast.Name):
+                if node.id in tainted or node.id in _N_NAMES:
+                    return node.id
+            elif isinstance(node, ast.Attribute):
+                if node.attr in _N_ATTRIBUTES:
+                    return f"...{node.attr}"
+        return None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        if not self._taint_stack:
+            return
+        if self._taint_source(node.value) is not None:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._taint_stack[-1].add(target.id)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if not self._taint_stack or node.value is None:
+            return
+        if self._taint_source(node.value) is not None and isinstance(
+            node.target, ast.Name
+        ):
+            self._taint_stack[-1].add(node.target.id)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.generic_visit(node)
+        if not self._taint_stack:
+            return
+        if self._taint_source(node.value) is not None and isinstance(
+            node.target, ast.Name
+        ):
+            self._taint_stack[-1].add(node.target.id)
+
+    # -- allocation checks ------------------------------------------------ #
+
+    def _keyword(self, node: ast.Call, name: str) -> Optional[ast.expr]:
+        for keyword in node.keywords:
+            if keyword.arg == name:
+                return keyword.value
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.in_counts_tier:
+            self._check_allocation(node)
+        self.generic_visit(node)
+
+    def _check_allocation(self, node: ast.Call) -> None:
+        shape_expressions: Dict[str, ast.expr] = {}
+        resolved = self.resolved_name(node.func)
+        constructor = None
+        if resolved is not None and resolved.startswith("numpy."):
+            constructor = resolved.split(".")[-1]
+        if constructor in _SHAPE_ARG0_CONSTRUCTORS:
+            shape = self._keyword(node, "shape")
+            if shape is None and node.args:
+                shape = node.args[0]
+            if shape is not None:
+                shape_expressions["shape"] = shape
+        elif constructor == "arange":
+            for position, argument in enumerate(node.args):
+                shape_expressions[f"argument {position}"] = argument
+        elif constructor == "linspace":
+            num = self._keyword(node, "num")
+            if num is None and len(node.args) >= 3:
+                num = node.args[2]
+            if num is not None:
+                shape_expressions["num"] = num
+        elif constructor in ("tile", "repeat"):
+            reps = self._keyword(
+                node, "reps" if constructor == "tile" else "repeats"
+            )
+            if reps is None and len(node.args) >= 2:
+                reps = node.args[1]
+            if reps is not None:
+                shape_expressions["repetitions"] = reps
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SAMPLER_METHODS
+        ):
+            size = self._keyword(node, "size")
+            if size is not None:
+                shape_expressions["size"] = size
+
+        for role, expression in shape_expressions.items():
+            source = self._taint_source(expression)
+            if source is not None:
+                label = (
+                    f"'{ast.unparse(node.func)}'"
+                    if hasattr(ast, "unparse")
+                    else "array constructor"
+                )
+                self.add_finding(
+                    node,
+                    f"{label} {role} derives from population size "
+                    f"'{source}' inside counts-tier code; the counts tier "
+                    "must stay O(k) per trial — allocate over opinions/"
+                    "trials, never over nodes",
+                )

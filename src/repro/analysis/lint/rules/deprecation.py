@@ -1,0 +1,91 @@
+"""``deprecation-shim-hygiene`` — deprecated functions actually warn.
+
+PR 5 turned the legacy factories (``make_dynamics``, ``make_engine``,
+...) into shims over the ``repro.sim`` facade, and CI gates on
+``python -W error::DeprecationWarning -c "import repro"`` staying
+silent while *calls* to the shims warn.  A shim whose docstring claims
+deprecation but whose body forgot ``warnings.warn(...,
+DeprecationWarning)`` silently un-deprecates itself — callers never
+learn to migrate, and the eventual removal becomes a surprise break.
+
+A function is *declared deprecated* when its name contains
+``deprecated`` or its docstring's first line says so (or anywhere via
+the Sphinx ``.. deprecated::`` directive).  Such a function must either
+call ``warnings.warn`` with ``DeprecationWarning`` directly, or call a
+helper whose name mentions ``deprecat`` (the shared-shim-body pattern).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.lint.registry import register_rule
+from repro.analysis.lint.visitor import ScopedVisitorRule, resolve_attribute_chain
+
+__all__ = ["DeprecationShimHygieneRule"]
+
+_DEPRECATED_WORD_RE = re.compile(r"\bdeprecated\b", re.IGNORECASE)
+_HELPER_NAME_RE = re.compile(r"deprecat", re.IGNORECASE)
+
+
+def _is_declared_deprecated(node: ast.FunctionDef) -> bool:
+    docstring = ast.get_docstring(node)
+    if docstring is None:
+        return False
+    first_line = docstring.strip().splitlines()[0] if docstring.strip() else ""
+    if _DEPRECATED_WORD_RE.search(first_line):
+        return True
+    return ".. deprecated::" in docstring
+
+
+def _emits_deprecation_warning(node: ast.FunctionDef) -> bool:
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Call):
+            continue
+        chain = resolve_attribute_chain(child.func)
+        if chain is None:
+            continue
+        if chain[-1] == "warn":
+            mentions_category = any(
+                isinstance(part, ast.Name)
+                and part.id in ("DeprecationWarning", "FutureWarning")
+                or isinstance(part, ast.Attribute)
+                and part.attr in ("DeprecationWarning", "FutureWarning")
+                for argument in list(child.args) + [
+                    keyword.value for keyword in child.keywords
+                ]
+                for part in ast.walk(argument)
+            )
+            if mentions_category:
+                return True
+        elif _HELPER_NAME_RE.search(chain[-1]):
+            # Delegation to a shared shim body (e.g. _deprecated_build),
+            # itself checked by this rule wherever it is defined.
+            return True
+    return False
+
+
+@register_rule
+class DeprecationShimHygieneRule(ScopedVisitorRule):
+    rule_id = "deprecation-shim-hygiene"
+    description = (
+        "functions documented/named as deprecated must emit "
+        "DeprecationWarning (directly or via a deprecation helper)"
+    )
+
+    def handle_function(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> None:
+        if not isinstance(node, ast.FunctionDef):
+            return
+        if not _is_declared_deprecated(node):
+            return
+        if _emits_deprecation_warning(node):
+            return
+        self.add_finding(
+            node,
+            f"'{node.name}' is documented as deprecated but never emits "
+            "DeprecationWarning; add warnings.warn(..., DeprecationWarning, "
+            "stacklevel=2) so callers learn to migrate",
+        )

@@ -1,0 +1,201 @@
+"""``int64-dtype-pin`` — count-state arrays are explicitly int64.
+
+Populations beyond ``2**31`` nodes are a headline capability of the
+counts tier (``n = 10**12`` runs in the integration suite).  On
+platforms whose default integer is 32-bit (Windows, some ARM), an
+unpinned integer array constructor (``np.zeros(k)`` is even float64;
+``np.asarray(counts)`` inherits whatever the input carries;
+``.astype(int)`` is C ``long``) silently overflows above ``2**31``.
+The runtime counterpart is the int64 regression suite
+(``tests/core/test_state.py`` large-n cases); this rule pins the
+discipline at every construction site.
+
+The rule fires on array constructions that are *recognizably count
+states* — the assignment target or the source argument is named like a
+count vector (``counts``, ``honest_counts``, ``counts_matrix``, ...) —
+and that either omit ``dtype=`` entirely or pin an integer dtype
+narrower than int64.  An explicit float dtype is not flagged: that is a
+deliberate conversion to distribution space, not a count state.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Optional
+
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.registry import register_rule
+from repro.analysis.lint.visitor import ScopedVisitorRule, resolve_attribute_chain
+
+__all__ = ["Int64DtypePinRule"]
+
+#: Identifiers (variable names or attribute terminals) naming count states.
+_COUNTS_NAME_RE = re.compile(r"(^|_)counts($|_)")
+
+#: numpy constructors that materialize a fresh array.
+_CONSTRUCTORS = frozenset(
+    {"zeros", "empty", "ones", "full", "asarray", "array", "ascontiguousarray"}
+)
+
+#: Accepted spellings of the 64-bit pin.
+_INT64_SPELLINGS = frozenset({"int64", "i8"})
+
+#: Integer dtype spellings that are (or may be) narrower than 64-bit.
+_NARROW_INT_SPELLINGS = frozenset(
+    {"int", "intc", "int_", "int8", "int16", "int32", "uint8", "uint16",
+     "uint32", "i4", "short", "long"}
+)
+
+
+def _matches_counts(name: Optional[str]) -> bool:
+    return name is not None and _COUNTS_NAME_RE.search(name) is not None
+
+
+def _terminal_identifier(node: ast.AST) -> Optional[str]:
+    """The final identifier of a name/attribute expression, if any."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _dtype_spelling(node: ast.expr) -> Optional[str]:
+    """A normalized spelling for a ``dtype=`` argument expression."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    parts = resolve_attribute_chain(node)
+    if parts is not None:
+        return parts[-1]
+    if isinstance(node, ast.Call):
+        # np.dtype("int64") / np.dtype(np.int64): inspect the argument.
+        chain = resolve_attribute_chain(node.func)
+        if chain is not None and chain[-1] == "dtype" and node.args:
+            return _dtype_spelling(node.args[0])
+    return None
+
+
+@register_rule
+class Int64DtypePinRule(ScopedVisitorRule):
+    rule_id = "int64-dtype-pin"
+    description = (
+        "count-state array constructions must pin dtype=np.int64 so "
+        ">= 2**31-node populations cannot overflow platform ints"
+    )
+
+    def begin_file(self, context: FileContext) -> None:
+        # Calls are reachable both through their assignment statement and
+        # through the generic traversal; check each call site once.
+        self._checked: set = set()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        target_name = None
+        for target in node.targets:
+            identifier = _terminal_identifier(target)
+            if _matches_counts(identifier):
+                target_name = identifier
+                break
+        self._check_expression(node.value, target_name)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            identifier = _terminal_identifier(node.target)
+            self._check_expression(
+                node.value,
+                identifier if _matches_counts(identifier) else None,
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # Calls not handled through an assignment context: still check
+        # constructor-from-counts-argument and .astype on counts.
+        self._check_call(node, assigned_to=None)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------ #
+
+    def _check_expression(
+        self, value: ast.expr, target_name: Optional[str]
+    ) -> None:
+        # Unwrap trailing .copy() so `np.asarray(...).copy()` is inspected.
+        call = value
+        if (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr == "copy"
+        ):
+            call = call.func.value
+        if isinstance(call, ast.Call):
+            self._check_call(call, assigned_to=target_name)
+
+    def _keyword(self, node: ast.Call, name: str) -> Optional[ast.expr]:
+        for keyword in node.keywords:
+            if keyword.arg == name:
+                return keyword.value
+        return None
+
+    def _check_call(self, node: ast.Call, assigned_to: Optional[str]) -> None:
+        if id(node) in self._checked:
+            return
+        self._checked.add(id(node))
+        if not isinstance(node.func, (ast.Attribute, ast.Name)):
+            return
+        method = (
+            node.func.attr
+            if isinstance(node.func, ast.Attribute)
+            else node.func.id
+        )
+        if method == "astype":
+            self._check_astype(node, assigned_to)
+            return
+        resolved = self.resolved_name(node.func)
+        if resolved is None or not resolved.startswith("numpy."):
+            return
+        constructor = resolved.split(".")[-1]
+        if constructor not in _CONSTRUCTORS:
+            return
+        source_name = (
+            _terminal_identifier(node.args[0]) if node.args else None
+        )
+        if not (_matches_counts(assigned_to) or _matches_counts(source_name)):
+            return
+        subject = assigned_to or source_name
+        dtype = self._keyword(node, "dtype")
+        if dtype is None:
+            self.add_finding(
+                node,
+                f"count-state construction 'np.{constructor}' of "
+                f"'{subject}' has no dtype pin; pass dtype=np.int64 so "
+                "populations beyond 2**31 nodes cannot overflow",
+            )
+            return
+        spelling = _dtype_spelling(dtype)
+        if spelling in _NARROW_INT_SPELLINGS:
+            self.add_finding(
+                node,
+                f"count-state construction 'np.{constructor}' of "
+                f"'{subject}' pins dtype '{spelling}', which is (or may "
+                "be) narrower than 64-bit; pin dtype=np.int64",
+            )
+
+    def _check_astype(self, node: ast.Call, assigned_to: Optional[str]) -> None:
+        assert isinstance(node.func, ast.Attribute)
+        receiver = _terminal_identifier(node.func.value)
+        if not (_matches_counts(assigned_to) or _matches_counts(receiver)):
+            return
+        subject = assigned_to or receiver or "counts"
+        dtype = self._keyword(node, "dtype")
+        if dtype is None and node.args:
+            dtype = node.args[0]
+        if dtype is None:
+            return
+        spelling = _dtype_spelling(dtype)
+        if spelling in _NARROW_INT_SPELLINGS:
+            self.add_finding(
+                node,
+                f"count-state conversion '.astype' of '{subject}' uses "
+                f"dtype '{spelling}', which is (or may be) narrower than "
+                "64-bit; use np.int64",
+            )

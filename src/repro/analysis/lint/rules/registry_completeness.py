@@ -1,0 +1,114 @@
+"""``experiment-registry-completeness`` — every experiment is reachable.
+
+The experiment registry (:mod:`repro.experiments.spec`) populates at
+import time: an ``exp_*`` module that defines ``@register_experiment``
+but is not imported by ``repro/experiments/__init__.py`` silently
+vanishes from ``run-all``, ``list-experiments`` and the orchestrator's
+seed sweeps — the suite *looks* complete while skipping a result.  The
+runtime counterpart (``tests/experiments/test_spec.py`` counting
+registered ids) only catches the drop if someone remembers to bump the
+expected count; this cross-file rule catches the missing import itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import register_rule
+from repro.analysis.lint.visitor import ProjectRule, resolve_attribute_chain
+
+__all__ = ["ExperimentRegistryCompletenessRule"]
+
+_EXP_MODULE_RE = re.compile(r"(^|/)experiments/(exp_[A-Za-z0-9_]+)\.py$")
+
+
+def _registers_experiment(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            for decorator in node.decorator_list:
+                target = (
+                    decorator.func
+                    if isinstance(decorator, ast.Call)
+                    else decorator
+                )
+                chain = resolve_attribute_chain(target)
+                if chain is not None and chain[-1] == "register_experiment":
+                    return True
+        elif isinstance(node, ast.Call):
+            chain = resolve_attribute_chain(node.func)
+            if chain is not None and chain[-1] == "register_experiment":
+                return True
+    return False
+
+
+def _imported_experiment_modules(tree: ast.Module) -> Set[str]:
+    imported: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module.endswith("experiments") or node.level >= 1 and not module:
+                for alias in node.names:
+                    imported.add(alias.name)
+            elif "experiments.exp_" in module or module.startswith("exp_"):
+                imported.add(module.rsplit(".", 1)[-1])
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if ".experiments.exp_" in alias.name:
+                    imported.add(alias.name.rsplit(".", 1)[-1])
+    return imported
+
+
+@register_rule
+class ExperimentRegistryCompletenessRule(ProjectRule):
+    rule_id = "experiment-registry-completeness"
+    description = (
+        "every experiments/exp_*.py module using @register_experiment "
+        "must be imported by experiments/__init__.py"
+    )
+
+    def check_project(
+        self, contexts: Sequence[FileContext]
+    ) -> Iterable[Finding]:
+        # Group by package directory: each experiments/ package is checked
+        # against its *own* __init__.py, so unrelated packages (or test
+        # fixtures) linted in the same run never cross-contaminate.
+        package_inits: Dict[str, FileContext] = {}
+        registering: Dict[str, List[str]] = {}
+        for context in contexts:
+            path = context.path.replace("\\", "/")
+            if path.endswith("experiments/__init__.py"):
+                package_inits[path.rsplit("/", 1)[0]] = context
+            match = _EXP_MODULE_RE.search(path)
+            if match is not None and _registers_experiment(context.tree):
+                package = path.rsplit("/", 1)[0]
+                registering.setdefault(package, []).append(match.group(2))
+
+        findings: List[Finding] = []
+        for package, modules in sorted(registering.items()):
+            package_init = package_inits.get(package)
+            if package_init is None:
+                # Linting a subset that lacks the package __init__: the
+                # invariant is not checkable for these modules.
+                continue
+            imported = _imported_experiment_modules(package_init.tree)
+            for module in sorted(set(modules) - imported):
+                findings.append(
+                    Finding(
+                        file=package_init.path,
+                        line=1,
+                        column=0,
+                        rule=self.rule_id,
+                        message=(
+                            f"experiment module '{module}' registers itself "
+                            "via @register_experiment but is never imported "
+                            "here, so it is invisible to run-all/"
+                            "list-experiments; add it to the package's "
+                            "experiment-module import block"
+                        ),
+                    )
+                )
+        return findings

@@ -1,0 +1,102 @@
+"""``no-global-rng`` — all randomness flows through a passed Generator.
+
+Bitwise per-trial reproducibility is the repo's foundational contract:
+a simulation's outputs are a pure function of (scenario, seed, code
+version).  Any draw from *global* RNG state — ``np.random.seed``/
+``np.random.<sampler>`` module-level functions, or the stdlib ``random``
+module — breaks that: it entangles results with import order, test
+order, and whatever else touched the process-wide stream.  The runtime
+counterpart is the seeded-equivalence suites (``tests/sim``,
+``tests/dynamics``); this rule guarantees the discipline on paths they
+never execute.
+
+Sanctioned: explicit-state constructors (``np.random.default_rng``,
+``np.random.Generator``, ``np.random.SeedSequence``, the bit
+generators), which *create* the passed-around state the rest of the
+code must use.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.registry import register_rule
+from repro.analysis.lint.visitor import ScopedVisitorRule
+
+__all__ = ["NoGlobalRngRule"]
+
+#: numpy.random attributes that construct explicit, passable RNG state
+#: (everything else on the module is global-state or a legacy sampler).
+_SANCTIONED_NUMPY_RANDOM = frozenset(
+    {
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "default_rng",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+@register_rule
+class NoGlobalRngRule(ScopedVisitorRule):
+    rule_id = "no-global-rng"
+    description = (
+        "forbid global-state randomness (np.random module-level samplers, "
+        "stdlib random); randomness must flow through a passed "
+        "numpy.random.Generator"
+    )
+
+    def handle_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self.add_finding(
+                    node,
+                    "stdlib 'random' draws from hidden global state; pass a "
+                    "numpy.random.Generator (see repro.utils.rng.as_generator)",
+                )
+
+    def handle_import_from(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" and node.level == 0:
+            self.add_finding(
+                node,
+                "stdlib 'random' draws from hidden global state; pass a "
+                "numpy.random.Generator (see repro.utils.rng.as_generator)",
+            )
+        elif node.module == "numpy.random" and node.level == 0:
+            for alias in node.names:
+                if alias.name not in _SANCTIONED_NUMPY_RANDOM:
+                    self.add_finding(
+                        node,
+                        f"'from numpy.random import {alias.name}' binds a "
+                        "global-state sampler; use a passed "
+                        "numpy.random.Generator method instead",
+                    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.resolved_name(node.func)
+        if resolved is not None:
+            parts = resolved.split(".")
+            if parts[0] == "random" and len(parts) > 1:
+                self.add_finding(
+                    node,
+                    f"call to '{resolved}' uses the stdlib global RNG; use a "
+                    "passed numpy.random.Generator method instead",
+                )
+            elif (
+                len(parts) >= 3
+                and parts[0] == "numpy"
+                and parts[1] == "random"
+                and parts[2] not in _SANCTIONED_NUMPY_RANDOM
+            ):
+                self.add_finding(
+                    node,
+                    f"call to '{resolved}' mutates/reads numpy's global RNG "
+                    "state; use a passed numpy.random.Generator method "
+                    "(create one with numpy.random.default_rng)",
+                )
+        self.generic_visit(node)

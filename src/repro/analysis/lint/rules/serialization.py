@@ -1,0 +1,151 @@
+"""``serialization-contract`` — frozen dataclasses round-trip completely.
+
+``Scenario``, ``FaultModel`` and ``ScenarioGrid`` promise *exact*
+``to_dict``/``from_dict`` round trips: the orchestrator's content-keyed
+ResultStore hashes the serialized form, so a field silently dropped by
+``to_dict`` (or ignored by ``from_dict``) makes two different scenarios
+collide on one cache entry.  The runtime counterpart is the hypothesis
+round-trip suite (``tests/sim/test_scenario_properties.py``); this rule
+cross-checks the contract structurally for every frozen dataclass.
+
+Checked per frozen dataclass that defines ``to_dict``:
+
+* a ``from_dict`` (or ``from_json``) classmethod must exist;
+* every dataclass field name must appear in ``to_dict``'s body — as a
+  string literal key, or via the ``dataclasses.fields(...)``/
+  ``asdict(...)`` iteration idiom which covers all fields by
+  construction;
+* symmetrically for ``from_dict``, where a ``cls(**...)`` splat (or the
+  ``fields(...)`` idiom) also covers everything.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analysis.lint.registry import register_rule
+from repro.analysis.lint.visitor import ScopedVisitorRule, resolve_attribute_chain
+
+__all__ = ["SerializationContractRule"]
+
+_DATACLASS_NAMES = frozenset({"dataclass", "dataclasses.dataclass"})
+_COVERING_CALLS = frozenset({"fields", "asdict", "astuple"})
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        chain = resolve_attribute_chain(target)
+        if chain is None or ".".join(chain) not in _DATACLASS_NAMES:
+            continue
+        if not isinstance(decorator, ast.Call):
+            return False  # bare @dataclass: not frozen
+        for keyword in decorator.keywords:
+            if keyword.arg == "frozen":
+                value = keyword.value
+                return isinstance(value, ast.Constant) and value.value is True
+        return False
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> List[str]:
+    """Field names: annotated assignments, minus ClassVar declarations."""
+    names: List[str] = []
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        annotation = ast.dump(statement.annotation)
+        if "ClassVar" in annotation:
+            continue
+        names.append(statement.target.id)
+    return names
+
+
+def _find_method(node: ast.ClassDef, *names: str) -> Optional[ast.FunctionDef]:
+    for statement in node.body:
+        if isinstance(statement, ast.FunctionDef) and statement.name in names:
+            return statement
+    return None
+
+
+def _uses_covering_idiom(method: ast.FunctionDef) -> bool:
+    """Whether the body iterates ``fields(...)``/``asdict(...)`` or splats
+    ``cls(**...)`` — idioms that cover every field by construction."""
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call):
+            chain = resolve_attribute_chain(node.func)
+            if chain is not None and chain[-1] in _COVERING_CALLS:
+                return True
+            for keyword in node.keywords:
+                if keyword.arg is None:  # cls(**values)
+                    return True
+    return False
+
+
+def _string_constants(method: ast.FunctionDef) -> Set[str]:
+    found: Set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            found.add(node.value)
+    return found
+
+
+def _keyword_names(method: ast.FunctionDef) -> Set[str]:
+    found: Set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg is not None:
+                    found.add(keyword.arg)
+    return found
+
+
+@register_rule
+class SerializationContractRule(ScopedVisitorRule):
+    rule_id = "serialization-contract"
+    description = (
+        "frozen dataclasses with to_dict must define from_dict, and both "
+        "must cover every dataclass field (exact round-trip contract)"
+    )
+
+    def handle_class(self, node: ast.ClassDef) -> None:
+        if not _is_frozen_dataclass(node):
+            return
+        to_dict = _find_method(node, "to_dict")
+        if to_dict is None:
+            return
+        field_names = _dataclass_fields(node)
+        from_dict = _find_method(node, "from_dict", "from_json")
+        if from_dict is None:
+            self.add_finding(
+                node,
+                f"frozen dataclass '{node.name}' defines to_dict but no "
+                "from_dict; serializable scenario objects must round-trip "
+                "(the ResultStore keys caches by the serialized form)",
+            )
+        else:
+            self._check_coverage(node, from_dict, field_names, "from_dict")
+        self._check_coverage(node, to_dict, field_names, "to_dict")
+
+    def _check_coverage(
+        self,
+        class_node: ast.ClassDef,
+        method: ast.FunctionDef,
+        field_names: List[str],
+        label: str,
+    ) -> None:
+        if _uses_covering_idiom(method):
+            return
+        mentioned = _string_constants(method) | _keyword_names(method)
+        missing = [name for name in field_names if name not in mentioned]
+        if missing:
+            self.add_finding(
+                method,
+                f"'{class_node.name}.{label}' does not cover dataclass "
+                f"field(s) {missing}: every field must be serialized/"
+                "restored (or use the dataclasses.fields(...) idiom) so "
+                "round trips stay exact",
+            )

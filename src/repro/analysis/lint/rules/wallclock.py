@@ -1,0 +1,80 @@
+"""``no-wallclock-nondeterminism`` — simulation code never reads clocks.
+
+Provenance-carrying results are content-addressed: the ResultStore keys
+cached payloads by (scenario, seed, code version), and the engine
+equivalence suites assert bitwise-identical reruns.  A wall-clock read
+inside simulation logic (timeouts, time-seeded defaults, time-dependent
+branching) would silently break both.  Clock reads are legitimate only
+where *measuring time is the point* — the CLI's elapsed display,
+provenance ``wall_time_seconds`` stamps, the orchestrator's run report,
+and the benchmark harnesses — and those sites are enumerated (with
+their justifications) in :data:`~repro.analysis.lint.manifest.
+WALLCLOCK_ALLOWLIST`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.manifest import (
+    WALLCLOCK_ALLOWLIST,
+    WALLCLOCK_ALLOWLIST_DIRS,
+    module_matches,
+    path_in_directory,
+)
+from repro.analysis.lint.registry import register_rule
+from repro.analysis.lint.visitor import ScopedVisitorRule
+
+__all__ = ["NoWallclockRule"]
+
+#: Fully resolved callables that read a clock.
+_FORBIDDEN_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.today",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+
+@register_rule
+class NoWallclockRule(ScopedVisitorRule):
+    rule_id = "no-wallclock-nondeterminism"
+    description = (
+        "forbid wall-clock reads (time.time/perf_counter/datetime.now) "
+        "outside the manifest's timing allowlist"
+    )
+
+    def begin_file(self, context: FileContext) -> None:
+        self._allowlisted = any(
+            module_matches(context.path, suffix)
+            for suffix in WALLCLOCK_ALLOWLIST
+        ) or any(
+            path_in_directory(context.path, directory)
+            for directory in WALLCLOCK_ALLOWLIST_DIRS
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self._allowlisted:
+            resolved = self.resolved_name(node.func)
+            if resolved in _FORBIDDEN_CALLS:
+                self.add_finding(
+                    node,
+                    f"call to '{resolved}' reads the wall clock; simulation "
+                    "outputs must be a function of (scenario, seed, code "
+                    "version) only — if this module legitimately measures "
+                    "time, add it to the WALLCLOCK_ALLOWLIST manifest with "
+                    "a justification",
+                )
+        self.generic_visit(node)

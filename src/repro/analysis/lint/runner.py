@@ -1,0 +1,132 @@
+"""The reprolint runner: collect files, run rules, filter suppressions.
+
+:func:`run_lint` is the programmatic entry point (the CLI and the
+self-lint test both call it): it expands the given paths to ``.py``
+files, parses each into a :class:`~repro.analysis.lint.context.
+FileContext`, runs every selected file rule per file and every project
+rule once over the whole set, and drops findings suppressed by a
+``# reprolint: disable=...`` comment on the finding's line.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import all_rules
+from repro.analysis.lint.visitor import FileRule, ProjectRule
+
+__all__ = ["run_lint", "collect_files", "LintError"]
+
+#: Directories never descended into when expanding path arguments.
+_SKIP_DIRS = {
+    ".git", "__pycache__", ".mypy_cache", ".ruff_cache",
+    ".pytest_cache", ".eggs", "build", "dist",
+}
+
+
+class LintError(Exception):
+    """A usage or parse failure that aborts the run (CLI exit code 2)."""
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories to a sorted list of ``.py`` file paths."""
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            collected.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    name for name in dirnames if name not in _SKIP_DIRS
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        collected.append(os.path.join(dirpath, filename))
+        else:
+            raise LintError(f"no such file or directory: {path}")
+    if not collected:
+        raise LintError(f"no Python files found under: {', '.join(paths)}")
+    # De-duplicate while preserving a deterministic order.
+    return sorted(dict.fromkeys(collected))
+
+
+def _parse_contexts(files: Iterable[str]) -> List[FileContext]:
+    contexts: List[FileContext] = []
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            raise LintError(f"cannot read {path}: {error}") from error
+        try:
+            contexts.append(FileContext.parse(path, source))
+        except SyntaxError as error:
+            raise LintError(
+                f"cannot parse {path}: {error.msg} (line {error.lineno})"
+            ) from error
+    return contexts
+
+
+def _select_rules(
+    select: Optional[Sequence[str]],
+) -> Tuple[List[FileRule], List[ProjectRule]]:
+    known = {rule_class.rule_id: rule_class for rule_class in all_rules()}
+    if select is None:
+        selected = list(known)
+    else:
+        unknown = sorted(set(select) - set(known))
+        if unknown:
+            raise LintError(
+                f"unknown rule ids: {', '.join(unknown)}; known rules: "
+                f"{', '.join(known)}"
+            )
+        selected = [rule_id for rule_id in known if rule_id in set(select)]
+    file_rules: List[FileRule] = []
+    project_rules: List[ProjectRule] = []
+    for rule_id in selected:
+        rule = known[rule_id]()
+        if isinstance(rule, FileRule):
+            file_rules.append(rule)
+        else:
+            project_rules.append(rule)
+    return file_rules, project_rules
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    select: Optional[Sequence[str]] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint ``paths``; return (sorted unsuppressed findings, files scanned).
+
+    ``select`` restricts the run to the named rule ids (default: every
+    registered rule).  Raises :class:`LintError` on unknown paths, rule
+    ids, or unparsable source files.
+    """
+    files = collect_files(paths)
+    contexts = _parse_contexts(files)
+    file_rules, project_rules = _select_rules(select)
+
+    findings: List[Finding] = []
+    by_path = {context.path: context for context in contexts}
+    for context in contexts:
+        for rule in file_rules:
+            findings.extend(rule.check_file(context))
+    for project_rule in project_rules:
+        findings.extend(project_rule.check_project(contexts))
+
+    kept = [
+        finding
+        for finding in findings
+        if not _suppressed(finding, by_path.get(finding.file))
+    ]
+    return sorted(kept), len(contexts)
+
+
+def _suppressed(finding: Finding, context: Optional[FileContext]) -> bool:
+    if context is None:
+        return False
+    return context.is_suppressed(finding.line, finding.rule)

@@ -1,0 +1,260 @@
+"""The rule base classes and the scope/import-tracking AST walker.
+
+Two kinds of rule exist:
+
+* :class:`FileRule` — checked one file at a time.  Most rules subclass
+  the convenience :class:`ScopedVisitorRule`, whose walker resolves
+  imported names to dotted module paths (``np.random.seed`` ->
+  ``numpy.random.seed`` through ``import numpy as np``) and tracks the
+  enclosing function/class stack, so rule code asks *what* is being
+  called rather than pattern-matching surface syntax.
+* :class:`ProjectRule` — checked once over all parsed files together,
+  for cross-file invariants (e.g. every ``@register_experiment`` module
+  is imported by the experiments package).
+
+Findings returned by rules are filtered against per-line suppressions by
+the runner, not by the rules themselves — a rule never needs to know the
+suppression protocol exists.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.findings import Finding
+
+__all__ = [
+    "FileRule",
+    "ProjectRule",
+    "ScopedVisitorRule",
+    "ScopeInfo",
+    "resolve_attribute_chain",
+]
+
+
+def resolve_attribute_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """The dotted-name parts of a ``Name``/``Attribute`` chain, or None.
+
+    ``np.random.seed`` -> ``("np", "random", "seed")``; anything rooted in
+    a non-name expression (a call result, a subscript) resolves to None.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+class FileRule:
+    """A rule checked independently on every linted file."""
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check_file(self, context: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule:
+    """A rule checked once over the whole set of linted files."""
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check_project(
+        self, contexts: Sequence[FileContext]
+    ) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class ScopeInfo:
+    """One entry of the walker's definition stack."""
+
+    def __init__(
+        self,
+        node: ast.AST,
+        name: str,
+        is_function: bool,
+        parameters: Tuple[str, ...],
+        counts_tier: bool,
+    ) -> None:
+        self.node = node
+        self.name = name
+        self.is_function = is_function
+        self.parameters = parameters
+        self.counts_tier = counts_tier
+
+
+def _function_parameters(
+    node: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> Tuple[str, ...]:
+    args = node.args
+    names = [
+        arg.arg
+        for group in (args.posonlyargs, args.args, args.kwonlyargs)
+        for arg in group
+    ]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return tuple(names)
+
+
+class ScopedVisitorRule(FileRule, ast.NodeVisitor):
+    """A :class:`FileRule` driven by one scope-aware AST traversal.
+
+    Subclasses override the ``visit_*`` hooks they care about (calling
+    ``self.generic_visit(node)`` to keep descending) and emit findings
+    with :meth:`add_finding`.  During traversal the base class maintains:
+
+    ``self.imports``
+        alias -> dotted module/object path, fed by ``import`` and
+        ``from ... import`` statements (``import numpy as np`` maps
+        ``np -> numpy``; ``from time import perf_counter`` maps
+        ``perf_counter -> time.perf_counter``).
+    ``self.scope_stack``
+        the enclosing ``class``/``def`` chain, each with its parameter
+        names and whether it is (or is inside) counts-tier code.
+    """
+
+    def check_file(self, context: FileContext) -> List[Finding]:
+        self.context = context
+        self.findings: List[Finding] = []
+        self.imports: Dict[str, str] = {}
+        self.scope_stack: List[ScopeInfo] = []
+        self.begin_file(context)
+        self.visit(context.tree)
+        return self.findings
+
+    # -- subclass surface ------------------------------------------------ #
+
+    def begin_file(self, context: FileContext) -> None:
+        """Per-file setup hook (state reset) for subclasses."""
+
+    def add_finding(self, node: ast.AST, message: str) -> None:
+        """Record a finding of this rule at ``node``'s location."""
+        self.findings.append(
+            Finding(
+                file=self.context.path,
+                line=getattr(node, "lineno", 1),
+                column=getattr(node, "col_offset", 0),
+                rule=self.rule_id,
+                message=message,
+            )
+        )
+
+    def resolved_name(self, node: ast.AST) -> Optional[str]:
+        """``node``'s dotted name with the import table applied.
+
+        ``np.random.seed`` -> ``"numpy.random.seed"``;
+        ``perf_counter`` (from-imported) -> ``"time.perf_counter"``;
+        a local variable that shadows no import resolves to itself.
+        """
+        parts = resolve_attribute_chain(node)
+        if parts is None:
+            return None
+        root = self.imports.get(parts[0], parts[0])
+        return ".".join((root,) + parts[1:])
+
+    # -- scope bookkeeping ----------------------------------------------- #
+
+    @property
+    def in_counts_tier(self) -> bool:
+        """Whether the walker currently stands in counts-tier code."""
+        if self.context.module_is_counts_tier:
+            return True
+        return any(scope.counts_tier for scope in self.scope_stack)
+
+    @property
+    def current_function(self) -> Optional[ScopeInfo]:
+        """The innermost enclosing function scope, if any."""
+        for scope in reversed(self.scope_stack):
+            if scope.is_function:
+                return scope
+        return None
+
+    def qualified_scope_name(self) -> str:
+        """Dotted path of the enclosing definitions (for messages)."""
+        return ".".join(scope.name for scope in self.scope_stack)
+
+    def _enter_scope(self, node: ast.AST, is_function: bool) -> None:
+        parameters: Tuple[str, ...] = ()
+        if is_function and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            parameters = _function_parameters(node)
+        marked = self.context.definition_is_marked_counts_tier(node)
+        self.scope_stack.append(
+            ScopeInfo(
+                node=node,
+                name=getattr(node, "name", "<scope>"),
+                is_function=is_function,
+                parameters=parameters,
+                counts_tier=marked,
+            )
+        )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_scope(node, is_function=True)
+        self.handle_function(node)
+        self.generic_visit(node)
+        self.scope_stack.pop()
+        self.handle_function_exit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_scope(node, is_function=True)
+        self.handle_function(node)
+        self.generic_visit(node)
+        self.scope_stack.pop()
+        self.handle_function_exit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._enter_scope(node, is_function=False)
+        self.handle_class(node)
+        self.generic_visit(node)
+        self.scope_stack.pop()
+
+    def handle_function(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> None:
+        """Hook called on entering a function scope."""
+
+    def handle_function_exit(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> None:
+        """Hook called after leaving a function scope."""
+
+    def handle_class(self, node: ast.ClassDef) -> None:
+        """Hook called on entering a class scope."""
+
+    # -- import bookkeeping ---------------------------------------------- #
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".", 1)[0]
+            target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+            self.imports[bound] = target
+        self.handle_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is not None and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                self.imports[bound] = f"{node.module}.{alias.name}"
+        self.handle_import_from(node)
+        self.generic_visit(node)
+
+    def handle_import(self, node: ast.Import) -> None:
+        """Hook called on every ``import`` statement."""
+
+    def handle_import_from(self, node: ast.ImportFrom) -> None:
+        """Hook called on every ``from ... import`` statement."""

@@ -16,7 +16,7 @@ empirical count-distribution extraction, and the Lemma-2 transfer factor.
 from __future__ import annotations
 
 import math
-from typing import Dict, Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

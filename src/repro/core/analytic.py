@@ -298,7 +298,9 @@ class AnalyticProtocol:
         )
         if index < 0:
             raise ValueError(
-                f"counts {np.asarray(counts).tolist()} are not a valid "
+                # Error display only: show the offending value in its raw
+                # dtype rather than coercing it.
+                f"counts {np.asarray(counts).tolist()} are not a valid "  # reprolint: disable=int64-dtype-pin
                 f"state for n={self.num_nodes}"
             )
         distribution = np.zeros(

@@ -121,7 +121,7 @@ class PluralityInstance:
             raise ValueError("fractions must be a non-empty vector")
         if np.any(shares < 0) or abs(shares.sum() - 1.0) > 1e-6:
             raise ValueError("fractions must be non-negative and sum to 1")
-        counts = np.floor(shares * support_size).astype(int)
+        counts = np.floor(shares * support_size).astype(np.int64)
         counts[int(np.argmax(shares))] += support_size - int(counts.sum())
         opinion_counts = {
             index + 1: int(count) for index, count in enumerate(counts) if count > 0

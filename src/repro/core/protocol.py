@@ -43,7 +43,7 @@ from repro.core.state import (
     coerce_to_ensemble_counts,
 )
 from repro.network.balls_bins import CountsDeliveryModel
-from repro.network.delivery import DELIVERY_PROCESSES, make_delivery_engine
+from repro.network.delivery import make_delivery_engine
 from repro.noise.matrix import NoiseMatrix
 from repro.utils.rng import (
     EnsembleRandomState,
@@ -613,6 +613,7 @@ class EnsembleProtocol:
         )
 
 
+# reprolint: counts-tier
 class CountsProtocol:
     """Run ``R`` protocol trials on ``(R, k)`` sufficient statistics.
 
@@ -754,6 +755,7 @@ class CountsProtocol:
         )
 
 
+# reprolint: counts-tier
 @dataclass
 class CountsProtocolTask:
     """One grid point of a heterogeneous counts-protocol batch.
@@ -999,6 +1001,7 @@ def _run_stage2_substep(counts, generators, parts, step, cache=None) -> None:
         )
 
 
+# reprolint: counts-tier
 def run_heterogeneous_counts_protocol(
     tasks: List[CountsProtocolTask],
     *,

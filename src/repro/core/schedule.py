@@ -23,7 +23,7 @@ laptop-scale simulation and can be overridden.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.utils.validation import require_positive, require_positive_int

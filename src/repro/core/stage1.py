@@ -303,6 +303,7 @@ class EnsembleStage1Executor:
         )
 
 
+# reprolint: counts-tier
 class CountsStage1Executor:
     """Run Stage 1 on ``(R, k)`` sufficient statistics — never ``(R, n)``.
 

@@ -358,6 +358,7 @@ class EnsembleStage2Executor:
         )
 
 
+# reprolint: counts-tier
 class CountsStage2Executor:
     """Run Stage 2 on ``(R, k)`` sufficient statistics — never ``(R, n)``.
 

@@ -165,7 +165,7 @@ class PopulationState:
             raise ValueError("fractions must be a non-empty vector")
         if np.any(fractions < 0) or fractions.sum() > 1.0 + 1e-9:
             raise ValueError("fractions must be non-negative and sum to at most 1")
-        counts = np.floor(fractions * num_nodes).astype(int)
+        counts = np.floor(fractions * num_nodes).astype(np.int64)
         # Give the rounding slack (if any) to the largest-fraction opinion so
         # the intended plurality is preserved exactly.
         target_total = int(round(fractions.sum() * num_nodes))
@@ -486,6 +486,7 @@ class EnsembleState:
         )
 
 
+# reprolint: counts-tier
 class CountsState:
     """The sufficient statistic of one trial: per-opinion supporter counts.
 
@@ -632,6 +633,7 @@ class CountsState:
         )
 
 
+# reprolint: counts-tier
 class EnsembleCountsState:
     """The sufficient statistics of ``R`` independent trials: an ``(R, k)``
     int64 count matrix.
@@ -860,6 +862,7 @@ class EnsembleCountsState:
         )
 
 
+# reprolint: counts-tier
 def coerce_to_ensemble_counts(
     initial_state: Union[
         PopulationState, EnsembleState, CountsState, EnsembleCountsState

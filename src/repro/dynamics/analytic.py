@@ -292,7 +292,9 @@ class ExactDynamicsChain:
         index = int(state_indices(counts, self.num_nodes, self.num_opinions))
         if index < 0:
             raise ValueError(
-                f"counts {np.asarray(counts).tolist()} are not a valid state "
+                # Error display only: show the offending value in its raw
+                # dtype rather than coercing it.
+                f"counts {np.asarray(counts).tolist()} are not a valid state "  # reprolint: disable=int64-dtype-pin
                 f"for n={self.num_nodes}"
             )
         return index

@@ -588,6 +588,7 @@ class CountsDynamicsResult:
         }
 
 
+# reprolint: counts-tier
 class EnsembleCountsDynamics(ABC):
     """Run ``R`` independent trials of a dynamic on sufficient statistics.
 
@@ -825,6 +826,7 @@ class _CountsRunState:
     rounds_done: int = 0
 
 
+# reprolint: counts-tier
 @dataclass
 class CountsDynamicsTask:
     """One grid point of a heterogeneous counts-dynamics batch.
@@ -1053,6 +1055,7 @@ def _run_merged_counts_group(
             rebuild = True
 
 
+# reprolint: counts-tier
 def run_heterogeneous_counts_dynamics(
     tasks: List[CountsDynamicsTask],
 ) -> List[CountsDynamicsResult]:

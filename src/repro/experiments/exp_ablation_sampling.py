@@ -31,7 +31,6 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
 
 from repro.analysis.convergence import estimate_success_probability
 from repro.experiments.results import ExperimentTable

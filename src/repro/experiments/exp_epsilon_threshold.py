@@ -16,7 +16,6 @@ degrades as ``eps`` crosses below it.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 

@@ -154,7 +154,7 @@ def run(
     )
     table.add_note(
         "dynamic check: under the diagonally-dominant counterexample the protocol "
-        f"failed to reach consensus on the original plurality in "
+        "failed to reach consensus on the original plurality in "
         f"{failure_rate:.0%} of {config.dynamic_trials} trials (expected: all)"
     )
     return table

@@ -17,7 +17,7 @@ the ``n^(-1/4)`` threshold explored separately in E9).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.analysis.convergence import estimate_success_probability, fit_round_complexity

@@ -20,7 +20,6 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
 
 from repro.analysis.theory import stage1_growth_envelope
 from repro.core.schedule import DEFAULT_BETA, DEFAULT_S

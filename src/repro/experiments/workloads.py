@@ -24,9 +24,7 @@ sufficient statistics on entry.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
 
-import numpy as np
 
 from repro.analysis.bias import make_biased_distribution
 from repro.core.plurality import PluralityInstance

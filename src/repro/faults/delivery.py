@@ -72,7 +72,7 @@ class FaultedDeliveryEngine:
         self,
         honest_histograms: np.ndarray,
         num_rounds: int,
-        random_state,
+        random_state: EnsembleRandomState,
     ) -> np.ndarray:
         deltas = self.sampler.phase_ball_deltas(
             honest_histograms, num_rounds, random_state

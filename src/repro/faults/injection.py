@@ -27,7 +27,12 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.faults.model import FaultModel
-from repro.utils.rng import as_generator, as_trial_generators, is_generator_sequence
+from repro.utils.rng import (
+    EnsembleRandomState,
+    as_generator,
+    as_trial_generators,
+    is_generator_sequence,
+)
 
 __all__ = [
     "FaultedPhaseSampler",
@@ -130,7 +135,7 @@ class FaultedPhaseSampler:
         self,
         honest_histograms: np.ndarray,
         num_rounds: int,
-        random_state=None,
+        random_state: EnsembleRandomState = None,
     ) -> np.ndarray:
         """Faulty balls to append for one phase, shape ``(R, k)``.
 

@@ -43,6 +43,7 @@ __all__ = [
 ]
 
 
+# reprolint: counts-tier
 @lru_cache(maxsize=64)
 def _poisson_tail_tables(threshold: int) -> Tuple[np.ndarray, np.ndarray]:
     """Cached ``(indices, log_factorial)`` work arrays of the Poisson tail.
@@ -63,6 +64,7 @@ def _poisson_tail_tables(threshold: int) -> Tuple[np.ndarray, np.ndarray]:
     return indices, log_factorial
 
 
+# reprolint: counts-tier
 def poisson_tail_probability(threshold: int, lam: np.ndarray) -> np.ndarray:
     """``P(Poisson(lam) >= threshold)``, vectorized over ``lam``.
 
@@ -96,6 +98,7 @@ def poisson_tail_probability(threshold: int, lam: np.ndarray) -> np.ndarray:
     return tail
 
 
+# reprolint: counts-tier
 @dataclass(frozen=True)
 class CompiledPhaseLaw:
     """Everything about a counts phase that is constant across its rounds.
@@ -115,6 +118,7 @@ class CompiledPhaseLaw:
     vote_path: Optional[str] = None
 
 
+# reprolint: counts-tier
 class CountsDeliveryModel:
     """Counts-native phase delivery: Claim-1 recoloring + Poissonized bins.
 
@@ -499,6 +503,7 @@ class CountsDeliveryModel:
         return votes
 
 
+# reprolint: counts-tier
 class HeterogeneousCountsDeliveryModel:
     """Counts-native phase delivery for rows with *per-row parameters*.
 

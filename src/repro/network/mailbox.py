@@ -125,7 +125,9 @@ class ReceivedMessages:
     counts: np.ndarray
 
     def __post_init__(self) -> None:
-        counts = np.asarray(self.counts)
+        # Raw-dtype view for validation only; the stored array is pinned to
+        # int64 by the astype below.
+        counts = np.asarray(self.counts)  # reprolint: disable=int64-dtype-pin
         if counts.ndim != 2:
             raise ValueError(
                 f"counts must be a 2-D matrix, got shape {counts.shape}"
@@ -302,7 +304,9 @@ class EnsembleReceivedMessages:
     counts: np.ndarray
 
     def __post_init__(self) -> None:
-        counts = np.asarray(self.counts)
+        # Raw-dtype view for validation only; the stored array is pinned to
+        # int64 by the astype below.
+        counts = np.asarray(self.counts)  # reprolint: disable=int64-dtype-pin
         if counts.ndim != 3:
             raise ValueError(
                 f"ensemble counts must be a 3-D tensor, got shape {counts.shape}"

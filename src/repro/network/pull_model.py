@@ -715,7 +715,8 @@ class EnsemblePullModel:
             minlength=num_trials * self.num_nodes * width,
         )
         counts = np.ascontiguousarray(
-            flat.reshape(num_trials, self.num_nodes, width)[..., 1:]
+            flat.reshape(num_trials, self.num_nodes, width)[..., 1:],
+            dtype=np.int64,
         )
         return EnsembleReceivedMessages(counts)
 
@@ -784,6 +785,7 @@ class EnsemblePullModel:
         return self._categorical(cumulative, uniforms)
 
 
+# reprolint: counts-tier
 class CountsPullModel:
     """Counts-native noisy uniform pull: sufficient-statistics observation.
 

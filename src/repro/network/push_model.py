@@ -23,7 +23,6 @@ them, and the test-suite checks they agree in distribution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -22,7 +22,6 @@ Stage 2's concentration).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
 
 import networkx as nx
 import numpy as np

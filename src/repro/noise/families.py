@@ -21,7 +21,6 @@ majority preserving.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

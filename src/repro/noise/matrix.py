@@ -11,7 +11,7 @@ as a dense float array indexed ``0 .. k-1``.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 

@@ -22,9 +22,14 @@ which absorbed the legacy :func:`repro.core.protocol.make_engine`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.dynamics import DYNAMICS_RULES
+from repro.dynamics.base import (
+    EnsembleCountsDynamics,
+    EnsembleOpinionDynamics,
+    OpinionDynamics,
+)
 from repro.dynamics.approximate_consensus import (
     ApproximateConsensusDynamics,
     EnsembleApproximateConsensusDynamics,
@@ -121,7 +126,9 @@ def build_dynamics(
     sample_size: Optional[int] = None,
     rng_mode: str = "per_trial",
     epsilon: Optional[float] = None,
-):
+) -> Union[
+    OpinionDynamics, EnsembleOpinionDynamics, EnsembleCountsDynamics
+]:
     """Instantiate a baseline-dynamics engine by ``(tier, rule)``.
 
     ``tier`` is one of :data:`ENGINE_TIERS` and ``rule`` one of

@@ -47,7 +47,7 @@ from repro.noise.matrix import NoiseMatrix
 from repro.sim.engines import ENGINE_REGISTRY, build_dynamics
 from repro.sim.result import SimulationResult
 from repro.sim.scenario import Scenario
-from repro.utils.rng import as_trial_generators, spawn_generators
+from repro.utils.rng import RandomState, as_trial_generators, spawn_generators
 
 __all__ = ["simulate", "sim_code_version"]
 
@@ -244,7 +244,7 @@ def _cache_delta(before: dict) -> dict:
 
 
 def _build_graph_engine(
-    scenario: Scenario, noise: NoiseMatrix, random_state
+    scenario: Scenario, noise: NoiseMatrix, random_state: RandomState
 ) -> GraphPushModel:
     graph = standard_topology(
         scenario.topology,

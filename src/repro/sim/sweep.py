@@ -32,7 +32,17 @@ import dataclasses
 import itertools
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -55,6 +65,9 @@ from repro.sim.facade import (
 from repro.sim.result import SimulationResult
 from repro.sim.scenario import Scenario
 from repro.utils.rng import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.experiments.orchestrator import ResultStore
 
 __all__ = ["ScenarioGrid", "SweepResult", "simulate_sweep"]
 
@@ -157,6 +170,22 @@ class ScenarioGrid:
             "base": self.base.to_dict(),
             "axes": {name: list(values) for name, values in self.axes.items()},
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioGrid":
+        """Rebuild a grid from :meth:`to_dict` output (exact round trip).
+
+        Axis value *order* is preserved, so the reconstructed grid
+        enumerates points (and derives per-point seeds) identically to
+        the original.
+        """
+        return cls(
+            base=Scenario.from_dict(payload["base"]),
+            axes={
+                name: tuple(values)
+                for name, values in payload["axes"].items()
+            },
+        )
 
 
 @dataclass
@@ -295,7 +324,7 @@ def _stamp_provenance(
 def simulate_sweep(
     grid: ScenarioGrid,
     *,
-    store=None,
+    store: Optional["ResultStore"] = None,
     store_label: str = "sweep",
     draw_mode: str = "per-trial",
 ) -> SweepResult:

@@ -181,7 +181,7 @@ def mode_from_counts(counts: np.ndarray) -> np.ndarray:
     a boolean array of the same shape marking the mode set.  An all-zero
     count vector has an empty mode set (all-``False`` mask).
     """
-    counts = np.asarray(counts)
+    counts = np.asarray(counts, dtype=np.int64)
     if counts.ndim != 1:
         raise ValueError(f"counts must be one-dimensional, got shape {counts.shape}")
     if counts.size == 0 or counts.max(initial=0) == 0:
@@ -210,7 +210,7 @@ def majority_from_counts(
         (``1 .. num_opinions``) per row, or ``0`` for rows whose counts are
         all zero (no observation, hence no vote).
     """
-    counts = np.asarray(counts)
+    counts = np.asarray(counts, dtype=np.int64)
     if counts.ndim == 1:
         counts = counts[np.newaxis, :]
         squeeze = True

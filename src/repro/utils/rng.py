@@ -10,7 +10,7 @@ multi-trial experiments.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 

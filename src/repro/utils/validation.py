@@ -9,7 +9,7 @@ the validated, possibly-normalized value so they can be used inline.
 from __future__ import annotations
 
 from numbers import Integral, Real
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

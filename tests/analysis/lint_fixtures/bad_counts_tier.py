@@ -1,0 +1,10 @@
+"""Violates counts-tier-n-free: n-sized allocation in marked code."""
+
+import numpy as np
+
+
+# reprolint: counts-tier
+def evolve(num_nodes: int, num_opinions: int) -> np.ndarray:
+    per_node = np.zeros(num_nodes, dtype=np.int64)  # line 8: flagged
+    per_opinion = np.zeros(num_opinions, dtype=np.int64)
+    return per_node[:1] + per_opinion[:1]

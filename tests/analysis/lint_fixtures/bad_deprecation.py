@@ -1,0 +1,10 @@
+"""Violates deprecation-shim-hygiene: documented deprecated, never warns."""
+
+
+def make_legacy_engine(kind: str):  # line 4: flagged
+    """Deprecated: use the facade instead.
+
+    This shim forgot its ``warnings.warn`` call, so callers never learn
+    to migrate.
+    """
+    return kind

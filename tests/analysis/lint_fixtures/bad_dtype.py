@@ -1,0 +1,13 @@
+"""Violates int64-dtype-pin: count-state constructions without the pin."""
+
+import numpy as np
+
+
+def unpinned(num_opinions: int) -> np.ndarray:
+    counts = np.zeros(num_opinions)  # line 7: flagged (no dtype)
+    return counts
+
+
+def narrow(values) -> np.ndarray:
+    opinion_counts = np.asarray(values).astype(int)  # line 12: flagged
+    return opinion_counts

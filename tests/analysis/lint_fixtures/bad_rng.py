@@ -1,0 +1,11 @@
+"""Violates no-global-rng: stdlib random import and numpy global draws."""
+
+import random  # line 3: flagged (stdlib random import)
+
+import numpy as np
+
+
+def draw() -> float:
+    a = random.random()  # line 9: flagged (stdlib global RNG call)
+    b = np.random.rand()  # line 10: flagged (numpy global RNG call)
+    return a + b

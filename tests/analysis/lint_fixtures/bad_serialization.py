@@ -1,0 +1,28 @@
+"""Violates serialization-contract twice: a frozen dataclass whose
+``to_dict`` has no ``from_dict`` counterpart, and one whose ``from_dict``
+never mentions a field (so a round trip silently drops it)."""
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class OneWay:  # line 10: flagged (to_dict without from_dict)
+    alpha: float
+    beta: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"alpha": self.alpha, "beta": self.beta}
+
+
+@dataclass(frozen=True)
+class Lossy:
+    gamma: float
+    delta: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"gamma": self.gamma, "delta": self.delta}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Lossy":  # line 27: flagged
+        return cls(payload["gamma"], 0.0)

@@ -1,0 +1,10 @@
+"""Violates no-wallclock-nondeterminism: wall-clock reads off-allowlist."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    started = time.perf_counter()  # line 8: flagged
+    _ = datetime.now()  # line 9: flagged
+    return started

@@ -1,0 +1,21 @@
+"""Conforms to counts-tier-n-free: O(k)-per-trial allocations only.
+
+``num_nodes`` may flow into *scalar* arithmetic (Poisson intensities,
+probabilities) — only array shapes are constrained.
+"""
+
+import numpy as np
+
+
+# reprolint: counts-tier
+def evolve(
+    num_nodes: int, num_opinions: int, num_trials: int
+) -> np.ndarray:
+    intensity = 3.0 / float(num_nodes)
+    law = np.zeros((num_trials, num_opinions), dtype=np.int64)
+    return law + intensity
+
+
+def reference_process(num_nodes: int) -> np.ndarray:
+    # Unmarked per-node code: n-sized allocation is legitimate here.
+    return np.zeros(num_nodes, dtype=np.int64)

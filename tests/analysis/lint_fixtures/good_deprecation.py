@@ -1,0 +1,36 @@
+"""Conforms to deprecation-shim-hygiene: every declared-deprecated shim
+warns, directly or via a shared deprecation helper."""
+
+import warnings
+
+
+def _deprecated_call(name: str, replacement: str) -> None:
+    """Shared shim body: emit the migration warning for ``name``.
+
+    .. deprecated:: 0.5
+       Helpers documented with this directive must themselves warn.
+    """
+    warnings.warn(
+        f"{name} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def make_legacy_engine(kind: str):
+    """Deprecated: use the facade instead."""
+    _deprecated_call("make_legacy_engine", "simulate(Scenario(...))")
+    return kind
+
+
+def make_direct_engine(kind: str):
+    """Deprecated: warns inline rather than via the helper."""
+    warnings.warn(
+        "make_direct_engine is deprecated", DeprecationWarning, stacklevel=2
+    )
+    return kind
+
+
+def make_current_engine(kind: str):
+    """Current API: no warning required."""
+    return kind

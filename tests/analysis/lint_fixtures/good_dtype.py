@@ -1,0 +1,19 @@
+"""Conforms to int64-dtype-pin: every count-state construction pins int64."""
+
+import numpy as np
+
+
+def pinned(num_opinions: int) -> np.ndarray:
+    counts = np.zeros(num_opinions, dtype=np.int64)
+    return counts
+
+
+def converted(values) -> np.ndarray:
+    opinion_counts = np.asarray(values, dtype=np.int64)
+    return opinion_counts.astype(np.int64, copy=False)
+
+
+def not_counts(num_opinions: int) -> np.ndarray:
+    # Not a count state: float allocations are unconstrained.
+    weights = np.zeros(num_opinions)
+    return weights

@@ -1,0 +1,16 @@
+"""Conforms to no-global-rng: sanctioned Generator-based randomness only."""
+
+import numpy as np
+from numpy.random import Generator, default_rng
+
+
+def draw(rng: Generator) -> float:
+    return float(rng.random())
+
+
+def fresh_draw(seed: int) -> float:
+    return draw(np.random.default_rng(seed))
+
+
+def seeded() -> Generator:
+    return default_rng(np.random.SeedSequence(7))

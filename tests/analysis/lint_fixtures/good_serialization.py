@@ -1,0 +1,31 @@
+"""Conforms to serialization-contract: explicit coverage and the
+``dataclasses.fields`` covering idiom both round-trip every field."""
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping
+
+
+@dataclass(frozen=True)
+class Explicit:
+    alpha: float
+    beta: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"alpha": self.alpha, "beta": self.beta}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Explicit":
+        return cls(alpha=payload["alpha"], beta=payload["beta"])
+
+
+@dataclass(frozen=True)
+class Idiomatic:
+    gamma: float
+    delta: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Idiomatic":
+        return cls(**{f.name: payload[f.name] for f in fields(cls)})

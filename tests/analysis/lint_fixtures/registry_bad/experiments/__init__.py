@@ -1,0 +1,6 @@
+"""Violating experiment package: ``exp_missing`` registers an experiment
+but is never imported here, so the registry silently drops it."""
+
+from tests.analysis.lint_fixtures.registry_bad.experiments import (  # noqa: F401
+    exp_present,
+)

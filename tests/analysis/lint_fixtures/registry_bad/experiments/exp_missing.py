@@ -1,0 +1,10 @@
+"""An experiment module the package __init__ forgot to import."""
+
+
+def register_experiment(spec):
+    return spec
+
+
+@register_experiment
+def run():
+    return None

@@ -1,0 +1,10 @@
+"""An experiment module that *is* imported by the package."""
+
+
+def register_experiment(spec):
+    return spec
+
+
+@register_experiment
+def run():
+    return None

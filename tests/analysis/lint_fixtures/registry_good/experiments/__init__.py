@@ -1,0 +1,6 @@
+"""Conforming experiment package: every registering module is imported."""
+
+from tests.analysis.lint_fixtures.registry_good.experiments import (  # noqa: F401
+    exp_alpha,
+    exp_beta,
+)

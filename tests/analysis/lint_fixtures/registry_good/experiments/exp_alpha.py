@@ -1,0 +1,10 @@
+"""First registered experiment module."""
+
+
+def register_experiment(spec):
+    return spec
+
+
+@register_experiment
+def run():
+    return None

@@ -1,0 +1,14 @@
+"""Line-scoped suppressions: the disabled line passes, the rest still fail."""
+
+import numpy as np
+
+
+def tolerated(num_opinions: int) -> np.ndarray:
+    # Validation-only view; justification comments ride with the pragma.
+    counts = np.zeros(num_opinions)  # reprolint: disable=int64-dtype-pin
+    return counts
+
+
+def not_tolerated(num_opinions: int) -> np.ndarray:
+    counts = np.zeros(num_opinions)  # line 13: still flagged
+    return counts

@@ -1,0 +1,66 @@
+"""Reporter contracts: text line format and the JSON schema."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.lint import (
+    Finding,
+    render_json,
+    render_text,
+    rule_ids,
+    run_lint,
+)
+from repro.analysis.lint.reporters import JSON_SCHEMA_VERSION
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def test_finding_round_trips_through_dict():
+    finding = Finding(
+        file="src/x.py", line=3, column=7, rule="no-global-rng", message="m"
+    )
+    assert Finding.from_dict(finding.to_dict()) == finding
+
+
+def test_text_line_format_is_clickable():
+    finding = Finding(
+        file="src/x.py", line=3, column=7, rule="no-global-rng", message="msg"
+    )
+    assert finding.format_text() == "src/x.py:3:7: no-global-rng msg"
+
+
+def test_text_report_ends_with_summary():
+    findings, files_scanned = run_lint([str(FIXTURES / "bad_rng.py")])
+    report = render_text(findings, files_scanned)
+    lines = report.splitlines()
+    assert len(lines) == len(findings) + 1
+    assert lines[-1] == f"reprolint: {len(findings)} findings in 1 files"
+
+
+def test_json_schema():
+    findings, files_scanned = run_lint([str(FIXTURES / "bad_rng.py")])
+    document = json.loads(render_json(findings, files_scanned))
+
+    assert set(document) == {"version", "files_scanned", "rules", "findings"}
+    assert document["version"] == JSON_SCHEMA_VERSION
+    assert document["files_scanned"] == files_scanned
+
+    assert [rule["id"] for rule in document["rules"]] == rule_ids()
+    assert all(rule["description"] for rule in document["rules"])
+
+    assert len(document["findings"]) == len(findings)
+    for entry, finding in zip(document["findings"], findings):
+        assert set(entry) == {"file", "line", "column", "rule", "message"}
+        assert entry == finding.to_dict()
+        assert Finding.from_dict(entry) == finding
+
+
+def test_json_report_is_deterministically_sorted():
+    findings, files_scanned = run_lint([str(FIXTURES)])
+    assert findings == sorted(findings)
+    document = json.loads(render_json(findings, files_scanned))
+    keys = [
+        (entry["file"], entry["line"], entry["column"], entry["rule"])
+        for entry in document["findings"]
+    ]
+    assert keys == sorted(keys)

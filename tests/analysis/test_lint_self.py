@@ -1,0 +1,56 @@
+"""Self-hosting gate: the shipped tree passes its own linter.
+
+This is the tier-1 teeth of the static-analysis subsystem: deleting a
+``dtype=np.int64`` pin, adding ``np.zeros(num_nodes)`` to counts-tier
+code, or forgetting a ``from_dict`` fails this test (and the reprolint
+CI job) without running a single simulation.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.lint import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The trees reprolint gates in CI.  ``src/`` is located through the
+#: installed package so the test also works from an installed checkout.
+SRC_TREE = Path(repro.__file__).resolve().parent
+
+
+def _lint_paths():
+    paths = [str(SRC_TREE)]
+    for extra in ("examples", "benchmarks"):
+        tree = REPO_ROOT / extra
+        if tree.is_dir():
+            paths.append(str(tree))
+    return paths
+
+
+def test_shipped_tree_has_zero_findings():
+    findings, files_scanned = run_lint(_lint_paths())
+    assert files_scanned > 0
+    assert findings == [], "\n" + "\n".join(
+        finding.format_text() for finding in findings
+    )
+
+
+def test_every_rule_exercised_by_fixtures():
+    """Every registered rule has at least one violating fixture — a rule
+    nothing can trigger is dead weight (or silently broken)."""
+    from repro.analysis.lint import rule_ids
+
+    fixtures = Path(__file__).parent / "lint_fixtures"
+    findings, _ = run_lint([str(fixtures)])
+    triggered = {finding.rule for finding in findings}
+    assert triggered == set(rule_ids())
+
+
+@pytest.mark.parametrize("rule_id", ["no-global-rng", "int64-dtype-pin"])
+def test_self_lint_per_rule_select(rule_id):
+    """--select'ed runs over src/ are clean too (CI uses the full run;
+    this pins the select path against regressions)."""
+    findings, _ = run_lint([str(SRC_TREE)], select=[rule_id])
+    assert findings == []
